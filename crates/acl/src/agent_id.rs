@@ -1,0 +1,186 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an agent, following the FIPA `name@platform` convention.
+///
+/// The platform part names the *container/site* an agent lives in; the
+/// grid root uses it to route messages between sites. An identifier
+/// without an `@` is local to the default platform.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_acl::AgentId;
+///
+/// let id = AgentId::new("collector-3@site-1");
+/// assert_eq!(id.local_name(), "collector-3");
+/// assert_eq!(id.platform(), Some("site-1"));
+/// assert_eq!(id.to_string(), "collector-3@site-1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AgentId {
+    name: String,
+}
+
+impl AgentId {
+    /// Creates an agent identifier from its full name.
+    pub fn new(name: impl Into<String>) -> Self {
+        AgentId { name: name.into() }
+    }
+
+    /// Creates an identifier from a local name and a platform.
+    ///
+    /// ```
+    /// use agentgrid_acl::AgentId;
+    /// let id = AgentId::with_platform("root", "grid");
+    /// assert_eq!(id.to_string(), "root@grid");
+    /// ```
+    pub fn with_platform(local: impl AsRef<str>, platform: impl AsRef<str>) -> Self {
+        AgentId {
+            name: format!("{}@{}", local.as_ref(), platform.as_ref()),
+        }
+    }
+
+    /// The full name, e.g. `"collector-3@site-1"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The part before `@`, or the whole name when no platform is given.
+    pub fn local_name(&self) -> &str {
+        match self.name.split_once('@') {
+            Some((local, _)) => local,
+            None => &self.name,
+        }
+    }
+
+    /// The part after `@`, if any.
+    pub fn platform(&self) -> Option<&str> {
+        self.name.split_once('@').map(|(_, p)| p)
+    }
+
+    /// Returns a copy of this identifier re-homed on `platform`.
+    pub fn on_platform(&self, platform: &str) -> AgentId {
+        AgentId::with_platform(self.local_name(), platform)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for AgentId {
+    fn from(s: &str) -> Self {
+        AgentId::new(s)
+    }
+}
+
+impl From<String> for AgentId {
+    fn from(s: String) -> Self {
+        AgentId::new(s)
+    }
+}
+
+/// Error returned when parsing an [`AgentId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAgentIdError {
+    kind: ParseAgentIdErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseAgentIdErrorKind {
+    Empty,
+    EmptyLocal,
+    EmptyPlatform,
+}
+
+impl fmt::Display for ParseAgentIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseAgentIdErrorKind::Empty => f.write_str("agent id is empty"),
+            ParseAgentIdErrorKind::EmptyLocal => f.write_str("agent id has empty local name"),
+            ParseAgentIdErrorKind::EmptyPlatform => f.write_str("agent id has empty platform"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAgentIdError {}
+
+impl FromStr for AgentId {
+    type Err = ParseAgentIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseAgentIdError {
+                kind: ParseAgentIdErrorKind::Empty,
+            });
+        }
+        if let Some((local, platform)) = s.split_once('@') {
+            if local.is_empty() {
+                return Err(ParseAgentIdError {
+                    kind: ParseAgentIdErrorKind::EmptyLocal,
+                });
+            }
+            if platform.is_empty() {
+                return Err(ParseAgentIdError {
+                    kind: ParseAgentIdErrorKind::EmptyPlatform,
+                });
+            }
+        }
+        Ok(AgentId::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_local_and_platform() {
+        let id = AgentId::new("a@b");
+        assert_eq!(id.local_name(), "a");
+        assert_eq!(id.platform(), Some("b"));
+    }
+
+    #[test]
+    fn local_only_has_no_platform() {
+        let id = AgentId::new("solo");
+        assert_eq!(id.local_name(), "solo");
+        assert_eq!(id.platform(), None);
+    }
+
+    #[test]
+    fn with_platform_round_trips() {
+        let id = AgentId::with_platform("root", "grid");
+        assert_eq!(id.local_name(), "root");
+        assert_eq!(id.platform(), Some("grid"));
+    }
+
+    #[test]
+    fn on_platform_rehomes() {
+        let id = AgentId::new("pg-worker@site-1").on_platform("site-2");
+        assert_eq!(id.to_string(), "pg-worker@site-2");
+    }
+
+    #[test]
+    fn parse_rejects_empty_parts() {
+        assert!("".parse::<AgentId>().is_err());
+        assert!("@x".parse::<AgentId>().is_err());
+        assert!("x@".parse::<AgentId>().is_err());
+        assert!("x@y".parse::<AgentId>().is_ok());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AgentId::new("n@p").to_string(), "n@p");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(AgentId::new("a@x") < AgentId::new("b@x"));
+    }
+}

@@ -1,0 +1,299 @@
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{AclMessage, AgentId, ConversationId, Performative, Value};
+
+/// Wire envelope carrying an [`AclMessage`] between containers/sites.
+///
+/// In-process delivery passes `AclMessage` values directly; the envelope is
+/// used by the inter-site transport (and by anything persisting messages).
+/// The encoding is a simple length-prefixed field list — deliberately not a
+/// full FIPA bit-efficient codec, but stable and self-contained.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_acl::{AclMessage, AgentId, Envelope, Performative};
+///
+/// let msg = AclMessage::builder(Performative::Inform)
+///     .sender(AgentId::new("a@x"))
+///     .receiver(AgentId::new("b@y"))
+///     .content_text("(hello)")
+///     .build()?;
+/// let bytes = Envelope::seal(&msg).encode();
+/// let back = Envelope::decode(bytes)?.open()?;
+/// assert_eq!(back, msg);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    fields: Vec<(String, String)>,
+}
+
+const MAGIC: u32 = 0xA61D_0001;
+
+impl Envelope {
+    /// Wraps a message into an envelope.
+    pub fn seal(message: &AclMessage) -> Envelope {
+        let mut fields = vec![
+            ("performative".to_owned(), message.performative().to_string()),
+            ("sender".to_owned(), message.sender().to_string()),
+            ("language".to_owned(), message.language().to_owned()),
+            ("content".to_owned(), message.content().to_string()),
+        ];
+        for r in message.receivers() {
+            fields.push(("receiver".to_owned(), r.to_string()));
+        }
+        if let Some(r) = message.reply_to() {
+            fields.push(("reply-to".to_owned(), r.to_string()));
+        }
+        if let Some(o) = message.ontology() {
+            fields.push(("ontology".to_owned(), o.to_owned()));
+        }
+        if let Some(p) = message.protocol() {
+            fields.push(("protocol".to_owned(), p.to_owned()));
+        }
+        if let Some(c) = message.conversation_id() {
+            fields.push(("conversation-id".to_owned(), c.to_string()));
+        }
+        if let Some(t) = message.in_reply_to() {
+            fields.push(("in-reply-to".to_owned(), t.to_owned()));
+        }
+        if let Some(t) = message.reply_with() {
+            fields.push(("reply-with".to_owned(), t.to_owned()));
+        }
+        Envelope { fields }
+    }
+
+    /// First value for a field name, if present.
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for a field name (e.g. multiple `receiver`s).
+    pub fn fields<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.fields
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the envelope to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32(MAGIC);
+        buf.put_u32(self.fields.len() as u32);
+        for (k, v) in &self.fields {
+            put_str(&mut buf, k);
+            put_str(&mut buf, v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses an envelope from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeEnvelopeError`] on a bad magic number, truncated
+    /// input or invalid UTF-8.
+    pub fn decode(bytes: Bytes) -> Result<Envelope, DecodeEnvelopeError> {
+        let mut buf = bytes;
+        if buf.remaining() < 8 {
+            return Err(DecodeEnvelopeError::new("envelope too short"));
+        }
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(DecodeEnvelopeError::new(format!(
+                "bad magic 0x{magic:08x}"
+            )));
+        }
+        let n = buf.get_u32() as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = get_str(&mut buf)?;
+            let v = get_str(&mut buf)?;
+            fields.push((k, v));
+        }
+        if buf.has_remaining() {
+            return Err(DecodeEnvelopeError::new("trailing bytes after envelope"));
+        }
+        Ok(Envelope { fields })
+    }
+
+    /// Reconstructs the [`AclMessage`] inside.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeEnvelopeError`] if required fields are missing or
+    /// malformed.
+    pub fn open(&self) -> Result<AclMessage, DecodeEnvelopeError> {
+        let performative: Performative = self
+            .field("performative")
+            .ok_or_else(|| DecodeEnvelopeError::new("missing performative"))?
+            .parse()
+            .map_err(|e| DecodeEnvelopeError::new(format!("{e}")))?;
+        let sender = self
+            .field("sender")
+            .ok_or_else(|| DecodeEnvelopeError::new("missing sender"))?;
+        let content: Value = self
+            .field("content")
+            .unwrap_or("nil")
+            .parse()
+            .map_err(|e| DecodeEnvelopeError::new(format!("bad content: {e}")))?;
+        let mut builder = AclMessage::builder(performative)
+            .sender(AgentId::new(sender))
+            .content(content);
+        if let Some(l) = self.field("language") {
+            builder = builder.language(l);
+        }
+        for r in self.fields("receiver") {
+            builder = builder.receiver(AgentId::new(r));
+        }
+        if let Some(r) = self.field("reply-to") {
+            builder = builder.reply_to(AgentId::new(r));
+        }
+        if let Some(o) = self.field("ontology") {
+            builder = builder.ontology(o);
+        }
+        if let Some(p) = self.field("protocol") {
+            builder = builder.protocol(p);
+        }
+        if let Some(c) = self.field("conversation-id") {
+            builder = builder.conversation(ConversationId::new(c));
+        }
+        if let Some(t) = self.field("in-reply-to") {
+            builder = builder.in_reply_to(t);
+        }
+        if let Some(t) = self.field("reply-with") {
+            builder = builder.reply_with(t);
+        }
+        builder
+            .build()
+            .map_err(|e| DecodeEnvelopeError::new(format!("{e}")))
+    }
+
+    /// Encoded size in bytes, for network accounting.
+    pub fn encoded_len(&self) -> usize {
+        8 + self
+            .fields
+            .iter()
+            .map(|(k, v)| 8 + k.len() + v.len())
+            .sum::<usize>()
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, DecodeEnvelopeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeEnvelopeError::new("truncated length"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeEnvelopeError::new("truncated string"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeEnvelopeError::new("invalid utf-8"))
+}
+
+/// Error returned when decoding an [`Envelope`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeEnvelopeError {
+    message: String,
+}
+
+impl DecodeEnvelopeError {
+    fn new(message: impl Into<String>) -> Self {
+        DecodeEnvelopeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeEnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid envelope: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeEnvelopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AclMessage {
+        AclMessage::builder(Performative::Cfp)
+            .sender(AgentId::new("root@grid"))
+            .receiver(AgentId::new("c1@grid"))
+            .receiver(AgentId::new("c2@grid"))
+            .reply_to(AgentId::new("broker@grid"))
+            .ontology("agentgrid-management")
+            .protocol("fipa-contract-net")
+            .conversation(ConversationId::new("conv-7"))
+            .reply_with("bid-1")
+            .content(Value::list([Value::symbol("analyze"), Value::Int(3)]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn seal_encode_decode_open_round_trips() {
+        let msg = sample();
+        let bytes = Envelope::seal(&msg).encode();
+        let back = Envelope::decode(bytes).unwrap().open().unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn multiple_receivers_survive() {
+        let env = Envelope::seal(&sample());
+        let receivers: Vec<_> = env.fields("receiver").collect();
+        assert_eq!(receivers, ["c1@grid", "c2@grid"]);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut raw = BytesMut::new();
+        raw.put_u32(0xdead_beef);
+        raw.put_u32(0);
+        assert!(Envelope::decode(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = Envelope::seal(&sample()).encode();
+        for cut in [0, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            let truncated = bytes.slice(..cut);
+            assert!(Envelope::decode(truncated).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut raw = BytesMut::from(&Envelope::seal(&sample()).encode()[..]);
+        raw.put_u8(0);
+        assert!(Envelope::decode(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn open_requires_performative_and_sender() {
+        let env = Envelope {
+            fields: vec![("receiver".to_owned(), "x".to_owned())],
+        };
+        assert!(env.open().is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        let env = Envelope::seal(&sample());
+        assert_eq!(env.encoded_len(), env.encode().len());
+    }
+}

@@ -1,0 +1,44 @@
+//! FIPA-ACL messaging for the `agentgrid` network-management system.
+//!
+//! This crate implements the agent-communication substrate the paper's
+//! architecture rests on: [ACL messages](AclMessage) with the standard FIPA
+//! [performatives](Performative), [agent identifiers](AgentId), a small
+//! typed [content language](Value) with an s-expression codec, the
+//! management [`ontology`] used between the collector, classifier,
+//! processor and interface grids, and typed state machines for the FIPA
+//! *request* and *contract-net* [interaction protocols](protocol).
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_acl::{AclMessage, AgentId, Performative};
+//!
+//! let root = AgentId::new("root@grid");
+//! let container = AgentId::new("container-1@grid");
+//! let msg = AclMessage::builder(Performative::Inform)
+//!     .sender(container.clone())
+//!     .receiver(root.clone())
+//!     .ontology("agentgrid-management")
+//!     .content_text("(ready)")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(msg.performative(), Performative::Inform);
+//! assert_eq!(msg.receivers(), [root]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent_id;
+mod content;
+mod envelope;
+mod message;
+pub mod ontology;
+mod performative;
+pub mod protocol;
+
+pub use agent_id::{AgentId, ParseAgentIdError};
+pub use content::{ParseValueError, Value};
+pub use envelope::{DecodeEnvelopeError, Envelope};
+pub use message::{AclMessage, AclMessageBuilder, BuildMessageError, ConversationId};
+pub use performative::{ParsePerformativeError, Performative};

@@ -1,0 +1,224 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The FIPA communicative acts (performatives) used in [`AclMessage`]s.
+///
+/// The full FIPA-ACL set is provided so the interaction protocols in
+/// [`crate::protocol`] can be expressed faithfully; the management grids
+/// predominantly use `Inform`, `Request`, `Cfp`, `Propose`,
+/// `AcceptProposal`, `RejectProposal`, `Failure` and `Subscribe`.
+///
+/// [`AclMessage`]: crate::AclMessage
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_acl::Performative;
+/// assert_eq!(Performative::AcceptProposal.to_string(), "accept-proposal");
+/// assert_eq!("cfp".parse::<Performative>().unwrap(), Performative::Cfp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Performative {
+    /// Accept a previously submitted proposal.
+    AcceptProposal,
+    /// Agree to perform a requested action.
+    Agree,
+    /// Cancel a previously requested action.
+    Cancel,
+    /// Call for proposals (opens a contract-net).
+    Cfp,
+    /// Confirm the truth of a proposition.
+    Confirm,
+    /// Inform that a proposition is false.
+    Disconfirm,
+    /// Action was attempted but failed.
+    Failure,
+    /// Inform that a proposition is true.
+    Inform,
+    /// Inform with an explicit `inform-if` embedding.
+    InformIf,
+    /// Inform of the object that corresponds to a descriptor.
+    InformRef,
+    /// Message was not understood.
+    NotUnderstood,
+    /// Ask another agent to forward a message.
+    Propagate,
+    /// Submit a proposal (contract-net bid).
+    Propose,
+    /// Ask another agent to add receivers.
+    Proxy,
+    /// Query whether a proposition is true.
+    QueryIf,
+    /// Query for the object matching a descriptor.
+    QueryRef,
+    /// Refuse to perform a requested action.
+    Refuse,
+    /// Reject a previously submitted proposal.
+    RejectProposal,
+    /// Request an action to be performed.
+    Request,
+    /// Request an action whenever a precondition becomes true.
+    RequestWhen,
+    /// Request an action each time a precondition becomes true.
+    RequestWhenever,
+    /// Subscribe to updates of a reference.
+    Subscribe,
+}
+
+impl Performative {
+    /// All performatives, in FIPA specification order.
+    pub const ALL: [Performative; 22] = [
+        Performative::AcceptProposal,
+        Performative::Agree,
+        Performative::Cancel,
+        Performative::Cfp,
+        Performative::Confirm,
+        Performative::Disconfirm,
+        Performative::Failure,
+        Performative::Inform,
+        Performative::InformIf,
+        Performative::InformRef,
+        Performative::NotUnderstood,
+        Performative::Propagate,
+        Performative::Propose,
+        Performative::Proxy,
+        Performative::QueryIf,
+        Performative::QueryRef,
+        Performative::Refuse,
+        Performative::RejectProposal,
+        Performative::Request,
+        Performative::RequestWhen,
+        Performative::RequestWhenever,
+        Performative::Subscribe,
+    ];
+
+    /// The FIPA wire name, e.g. `"accept-proposal"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Performative::AcceptProposal => "accept-proposal",
+            Performative::Agree => "agree",
+            Performative::Cancel => "cancel",
+            Performative::Cfp => "cfp",
+            Performative::Confirm => "confirm",
+            Performative::Disconfirm => "disconfirm",
+            Performative::Failure => "failure",
+            Performative::Inform => "inform",
+            Performative::InformIf => "inform-if",
+            Performative::InformRef => "inform-ref",
+            Performative::NotUnderstood => "not-understood",
+            Performative::Propagate => "propagate",
+            Performative::Propose => "propose",
+            Performative::Proxy => "proxy",
+            Performative::QueryIf => "query-if",
+            Performative::QueryRef => "query-ref",
+            Performative::Refuse => "refuse",
+            Performative::RejectProposal => "reject-proposal",
+            Performative::Request => "request",
+            Performative::RequestWhen => "request-when",
+            Performative::RequestWhenever => "request-whenever",
+            Performative::Subscribe => "subscribe",
+        }
+    }
+
+    /// Whether this act normally terminates a conversation.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            Performative::Failure
+                | Performative::Refuse
+                | Performative::NotUnderstood
+                | Performative::Cancel
+        )
+    }
+
+    /// Whether this act expects a reply in the standard protocols.
+    pub fn expects_reply(self) -> bool {
+        matches!(
+            self,
+            Performative::Request
+                | Performative::RequestWhen
+                | Performative::RequestWhenever
+                | Performative::Cfp
+                | Performative::Propose
+                | Performative::QueryIf
+                | Performative::QueryRef
+                | Performative::Subscribe
+        )
+    }
+}
+
+impl fmt::Display for Performative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing a [`Performative`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePerformativeError {
+    input: String,
+}
+
+impl ParsePerformativeError {
+    /// The rejected input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParsePerformativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown performative `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParsePerformativeError {}
+
+impl FromStr for Performative {
+    type Err = ParsePerformativeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Performative::ALL
+            .iter()
+            .copied()
+            .find(|p| p.as_str() == s)
+            .ok_or_else(|| ParsePerformativeError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_round_trip_through_strings() {
+        for p in Performative::ALL {
+            assert_eq!(p.as_str().parse::<Performative>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_rejected() {
+        let err = "shout".parse::<Performative>().unwrap_err();
+        assert_eq!(err.input(), "shout");
+    }
+
+    #[test]
+    fn all_has_no_duplicates() {
+        let mut names: Vec<_> = Performative::ALL.iter().map(|p| p.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Performative::ALL.len());
+    }
+
+    #[test]
+    fn terminal_and_reply_classification() {
+        assert!(Performative::Failure.is_terminal());
+        assert!(!Performative::Inform.is_terminal());
+        assert!(Performative::Cfp.expects_reply());
+        assert!(!Performative::Inform.expects_reply());
+    }
+}

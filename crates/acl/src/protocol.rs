@@ -1,0 +1,688 @@
+//! Typed state machines for the FIPA interaction protocols the grid uses.
+//!
+//! Two protocols appear in the paper: **fipa-request** (the classifier grid
+//! asking the processor grid to analyze a batch; collectors being told new
+//! goals) and **fipa-contract-net** (the processor-grid root negotiating
+//! which container takes an analysis task, §3.5). Both are implemented as
+//! explicit state machines that validate each step, so protocol violations
+//! are caught at the messaging layer instead of deep inside agent logic.
+//!
+//! # Examples
+//!
+//! A full contract-net round between a root and two bidders:
+//!
+//! ```
+//! use agentgrid_acl::protocol::{ContractNetInitiator, ContractNetOutcome};
+//! use agentgrid_acl::{AgentId, Value};
+//!
+//! let root = AgentId::new("root@grid");
+//! let a = AgentId::new("a@grid");
+//! let b = AgentId::new("b@grid");
+//!
+//! let mut cnet = ContractNetInitiator::new(
+//!     root,
+//!     [a.clone(), b.clone()],
+//!     Value::symbol("analyze-batch"),
+//! );
+//! let _cfps = cnet.call_for_proposals();
+//! cnet.handle_propose(&a, 2.0).unwrap();
+//! cnet.handle_propose(&b, 5.0).unwrap();
+//! let outcome = cnet.award().unwrap();
+//! match outcome {
+//!     ContractNetOutcome::Awarded { winner, .. } => assert_eq!(winner, b),
+//!     _ => panic!("expected an award"),
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{AclMessage, AgentId, ConversationId, Performative, Value};
+
+/// Protocol name for the FIPA request protocol.
+pub const FIPA_REQUEST: &str = "fipa-request";
+/// Protocol name for the FIPA contract-net protocol.
+pub const FIPA_CONTRACT_NET: &str = "fipa-contract-net";
+
+/// Error raised when a message violates the active protocol state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    state: &'static str,
+    detail: String,
+}
+
+impl ProtocolError {
+    fn new(state: &'static str, detail: impl Into<String>) -> Self {
+        ProtocolError {
+            state,
+            detail: detail.into(),
+        }
+    }
+
+    /// The protocol state the violation occurred in.
+    pub fn state(&self) -> &'static str {
+        self.state
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol violation in state `{}`: {}", self.state, self.detail)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------------------
+// fipa-request
+// ---------------------------------------------------------------------------
+
+/// State of a [`RequestInitiator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Request sent, awaiting `agree`/`refuse`.
+    Sent,
+    /// Participant agreed, awaiting the result (`inform`/`failure`).
+    Agreed,
+    /// Finished with an `inform` result.
+    Done,
+    /// Finished with `refuse` or `failure`.
+    Failed,
+}
+
+/// Initiator side of the FIPA request protocol.
+///
+/// Drives `request → (agree|refuse) → (inform|failure)`.
+#[derive(Debug, Clone)]
+pub struct RequestInitiator {
+    me: AgentId,
+    participant: AgentId,
+    conversation: ConversationId,
+    state: RequestState,
+    result: Option<Value>,
+}
+
+impl RequestInitiator {
+    /// Creates an initiator and returns it along with the opening
+    /// `request` message.
+    pub fn open(me: AgentId, participant: AgentId, action: Value) -> (Self, AclMessage) {
+        let conversation = ConversationId::fresh("req");
+        let msg = AclMessage::builder(Performative::Request)
+            .sender(me.clone())
+            .receiver(participant.clone())
+            .protocol(FIPA_REQUEST)
+            .conversation(conversation.clone())
+            .content(action)
+            .build()
+            .expect("sender and receiver are set");
+        (
+            RequestInitiator {
+                me,
+                participant,
+                conversation,
+                state: RequestState::Sent,
+                result: None,
+            },
+            msg,
+        )
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> RequestState {
+        self.state
+    }
+
+    /// The conversation id binding this exchange.
+    pub fn conversation(&self) -> &ConversationId {
+        &self.conversation
+    }
+
+    /// The result content of a completed request.
+    pub fn result(&self) -> Option<&Value> {
+        self.result.as_ref()
+    }
+
+    /// Feeds a reply from the participant into the state machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] for replies from the wrong agent or
+    /// conversation, or performatives illegal in the current state.
+    pub fn handle(&mut self, reply: &AclMessage) -> Result<RequestState, ProtocolError> {
+        let state_name = match self.state {
+            RequestState::Sent => "sent",
+            RequestState::Agreed => "agreed",
+            RequestState::Done => "done",
+            RequestState::Failed => "failed",
+        };
+        if reply.sender() != &self.participant {
+            return Err(ProtocolError::new(
+                state_name,
+                format!("reply from `{}`, expected `{}`", reply.sender(), self.participant),
+            ));
+        }
+        if reply.conversation_id() != Some(&self.conversation) {
+            return Err(ProtocolError::new(state_name, "wrong conversation"));
+        }
+        self.state = match (self.state, reply.performative()) {
+            (RequestState::Sent, Performative::Agree) => RequestState::Agreed,
+            (RequestState::Sent, Performative::Refuse) => RequestState::Failed,
+            // FIPA allows skipping the agree and informing directly.
+            (RequestState::Sent | RequestState::Agreed, Performative::Inform) => {
+                self.result = Some(reply.content().clone());
+                RequestState::Done
+            }
+            (RequestState::Sent | RequestState::Agreed, Performative::Failure) => {
+                RequestState::Failed
+            }
+            (state, p) => {
+                return Err(ProtocolError::new(
+                    state_name,
+                    format!("performative `{p}` illegal in {state:?}"),
+                ))
+            }
+        };
+        Ok(self.state)
+    }
+
+    /// The initiating agent.
+    pub fn initiator(&self) -> &AgentId {
+        &self.me
+    }
+}
+
+/// Participant side of the FIPA request protocol: builds the standard
+/// replies to a received `request`.
+#[derive(Debug, Clone)]
+pub struct RequestParticipant {
+    request: AclMessage,
+}
+
+impl RequestParticipant {
+    /// Accepts an incoming `request`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the message is not a `request`.
+    pub fn accept(request: AclMessage) -> Result<Self, ProtocolError> {
+        if request.performative() != Performative::Request {
+            return Err(ProtocolError::new(
+                "idle",
+                format!("expected request, got `{}`", request.performative()),
+            ));
+        }
+        Ok(RequestParticipant { request })
+    }
+
+    /// The action content of the request.
+    pub fn action(&self) -> &Value {
+        self.request.content()
+    }
+
+    /// Builds an `agree` reply.
+    pub fn agree(&self) -> AclMessage {
+        self.request.reply(Performative::Agree, Value::Nil)
+    }
+
+    /// Builds a `refuse` reply with a reason.
+    pub fn refuse(&self, reason: impl Into<String>) -> AclMessage {
+        self.request
+            .reply(Performative::Refuse, Value::from(reason.into()))
+    }
+
+    /// Builds the final `inform` result.
+    pub fn inform(&self, result: Value) -> AclMessage {
+        self.request.reply(Performative::Inform, result)
+    }
+
+    /// Builds a `failure` reply with a reason.
+    pub fn failure(&self, reason: impl Into<String>) -> AclMessage {
+        self.request
+            .reply(Performative::Failure, Value::from(reason.into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fipa-contract-net
+// ---------------------------------------------------------------------------
+
+/// State of a [`ContractNetInitiator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractNetState {
+    /// CFPs not yet sent.
+    Drafting,
+    /// CFPs sent, collecting bids.
+    Bidding,
+    /// Award decided.
+    Awarded,
+    /// No usable bid arrived.
+    Void,
+}
+
+/// Outcome of [`ContractNetInitiator::award`].
+// The variants intentionally differ in size: `Awarded` carries the
+// ready-to-send decision messages, which is the whole point of the API.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContractNetOutcome {
+    /// A bidder won; `accept`/`reject` messages are ready to send.
+    Awarded {
+        /// The winning bidder.
+        winner: AgentId,
+        /// Its bid value.
+        bid: f64,
+        /// `accept-proposal` for the winner.
+        accept: AclMessage,
+        /// `reject-proposal` for every loser.
+        rejects: Vec<AclMessage>,
+    },
+    /// Every participant refused or failed to bid.
+    NoBids,
+}
+
+/// Initiator (manager) side of the FIPA contract-net protocol.
+///
+/// The processor-grid root uses this to auction analysis tasks: it issues a
+/// `cfp` to candidate containers, collects `propose`/`refuse` replies and
+/// awards the task to the **highest** bid (bids encode suitability, e.g.
+/// idle capacity — see `agentgrid::balance`).
+#[derive(Debug, Clone)]
+pub struct ContractNetInitiator {
+    me: AgentId,
+    participants: Vec<AgentId>,
+    task: Value,
+    conversation: ConversationId,
+    state: ContractNetState,
+    bids: BTreeMap<AgentId, f64>,
+    refusals: Vec<AgentId>,
+}
+
+impl ContractNetInitiator {
+    /// Creates an initiator for `task` over the given participants.
+    pub fn new(
+        me: AgentId,
+        participants: impl IntoIterator<Item = AgentId>,
+        task: Value,
+    ) -> Self {
+        ContractNetInitiator {
+            me,
+            participants: participants.into_iter().collect(),
+            task,
+            conversation: ConversationId::fresh("cnet"),
+            state: ContractNetState::Drafting,
+            bids: BTreeMap::new(),
+            refusals: Vec::new(),
+        }
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> ContractNetState {
+        self.state
+    }
+
+    /// The conversation id binding this auction.
+    pub fn conversation(&self) -> &ConversationId {
+        &self.conversation
+    }
+
+    /// Builds the `cfp` messages (one per participant) and moves to
+    /// [`ContractNetState::Bidding`].
+    pub fn call_for_proposals(&mut self) -> Vec<AclMessage> {
+        self.state = ContractNetState::Bidding;
+        self.participants
+            .iter()
+            .map(|p| {
+                AclMessage::builder(Performative::Cfp)
+                    .sender(self.me.clone())
+                    .receiver(p.clone())
+                    .protocol(FIPA_CONTRACT_NET)
+                    .conversation(self.conversation.clone())
+                    .content(self.task.clone())
+                    .build()
+                    .expect("sender and receiver are set")
+            })
+            .collect()
+    }
+
+    /// Records a bid from a participant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the bidder was not invited, already
+    /// answered, or the auction is not collecting bids.
+    pub fn handle_propose(&mut self, bidder: &AgentId, bid: f64) -> Result<(), ProtocolError> {
+        self.ensure_bidding("propose")?;
+        self.ensure_invited_and_new(bidder)?;
+        self.bids.insert(bidder.clone(), bid);
+        Ok(())
+    }
+
+    /// Records a refusal from a participant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`handle_propose`](Self::handle_propose).
+    pub fn handle_refuse(&mut self, bidder: &AgentId) -> Result<(), ProtocolError> {
+        self.ensure_bidding("refuse")?;
+        self.ensure_invited_and_new(bidder)?;
+        self.refusals.push(bidder.clone());
+        Ok(())
+    }
+
+    fn ensure_bidding(&self, what: &str) -> Result<(), ProtocolError> {
+        if self.state != ContractNetState::Bidding {
+            return Err(ProtocolError::new(
+                "not-bidding",
+                format!("{what} received outside the bidding phase"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ensure_invited_and_new(&self, bidder: &AgentId) -> Result<(), ProtocolError> {
+        if !self.participants.contains(bidder) {
+            return Err(ProtocolError::new(
+                "bidding",
+                format!("`{bidder}` was not invited"),
+            ));
+        }
+        if self.bids.contains_key(bidder) || self.refusals.contains(bidder) {
+            return Err(ProtocolError::new(
+                "bidding",
+                format!("`{bidder}` already answered"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether every invited participant has answered.
+    pub fn all_answered(&self) -> bool {
+        self.bids.len() + self.refusals.len() == self.participants.len()
+    }
+
+    /// Closes bidding and awards to the highest bid (ties broken by agent
+    /// name, so the award is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if bidding never opened or an award was
+    /// already made.
+    pub fn award(&mut self) -> Result<ContractNetOutcome, ProtocolError> {
+        self.ensure_bidding("award")?;
+        let Some((winner, bid)) = self
+            .bids
+            .iter()
+            .max_by(|(a_id, a_bid), (b_id, b_bid)| {
+                a_bid
+                    .partial_cmp(b_bid)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // BTreeMap iterates in ascending name order; prefer the
+                    // *earlier* name on ties, so invert the id comparison.
+                    .then_with(|| b_id.cmp(a_id))
+            })
+            .map(|(id, bid)| (id.clone(), *bid))
+        else {
+            self.state = ContractNetState::Void;
+            return Ok(ContractNetOutcome::NoBids);
+        };
+        self.state = ContractNetState::Awarded;
+        let accept = self.decision_message(&winner, Performative::AcceptProposal);
+        let rejects = self
+            .bids
+            .keys()
+            .filter(|id| **id != winner)
+            .map(|id| self.decision_message(id, Performative::RejectProposal))
+            .collect();
+        Ok(ContractNetOutcome::Awarded {
+            winner,
+            bid,
+            accept,
+            rejects,
+        })
+    }
+
+    fn decision_message(&self, to: &AgentId, performative: Performative) -> AclMessage {
+        AclMessage::builder(performative)
+            .sender(self.me.clone())
+            .receiver(to.clone())
+            .protocol(FIPA_CONTRACT_NET)
+            .conversation(self.conversation.clone())
+            .content(self.task.clone())
+            .build()
+            .expect("sender and receiver are set")
+    }
+
+    /// Bids received so far, by agent.
+    pub fn bids(&self) -> &BTreeMap<AgentId, f64> {
+        &self.bids
+    }
+}
+
+/// Participant (bidder) side of the contract-net protocol: builds replies
+/// to a received `cfp`.
+#[derive(Debug, Clone)]
+pub struct ContractNetParticipant {
+    cfp: AclMessage,
+}
+
+impl ContractNetParticipant {
+    /// Accepts an incoming `cfp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the message is not a `cfp`.
+    pub fn accept(cfp: AclMessage) -> Result<Self, ProtocolError> {
+        if cfp.performative() != Performative::Cfp {
+            return Err(ProtocolError::new(
+                "idle",
+                format!("expected cfp, got `{}`", cfp.performative()),
+            ));
+        }
+        Ok(ContractNetParticipant { cfp })
+    }
+
+    /// The task being auctioned.
+    pub fn task(&self) -> &Value {
+        self.cfp.content()
+    }
+
+    /// Builds a `propose` bid.
+    pub fn propose(&self, bid: f64) -> AclMessage {
+        self.cfp.reply(Performative::Propose, Value::from(bid))
+    }
+
+    /// Builds a `refuse` reply.
+    pub fn refuse(&self, reason: impl Into<String>) -> AclMessage {
+        self.cfp
+            .reply(Performative::Refuse, Value::from(reason.into()))
+    }
+
+    /// Builds the final `inform` once the awarded work is done.
+    pub fn inform_done(&self, result: Value) -> AclMessage {
+        self.cfp.reply(Performative::Inform, result)
+    }
+
+    /// Builds a `failure` if the awarded work could not be completed.
+    pub fn failure(&self, reason: impl Into<String>) -> AclMessage {
+        self.cfp
+            .reply(Performative::Failure, Value::from(reason.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (AgentId, AgentId, AgentId) {
+        (
+            AgentId::new("root@g"),
+            AgentId::new("a@g"),
+            AgentId::new("b@g"),
+        )
+    }
+
+    #[test]
+    fn request_happy_path() {
+        let (me, other, _) = ids();
+        let (mut init, req) = RequestInitiator::open(me, other, Value::symbol("collect"));
+        assert_eq!(init.state(), RequestState::Sent);
+        assert_eq!(req.protocol(), Some(FIPA_REQUEST));
+
+        let part = RequestParticipant::accept(req).unwrap();
+        assert_eq!(part.action(), &Value::symbol("collect"));
+        init.handle(&part.agree()).unwrap();
+        assert_eq!(init.state(), RequestState::Agreed);
+        init.handle(&part.inform(Value::Int(7))).unwrap();
+        assert_eq!(init.state(), RequestState::Done);
+        assert_eq!(init.result().unwrap().as_int(), Some(7));
+    }
+
+    #[test]
+    fn request_refusal_terminates() {
+        let (me, other, _) = ids();
+        let (mut init, req) = RequestInitiator::open(me, other, Value::Nil);
+        let part = RequestParticipant::accept(req).unwrap();
+        init.handle(&part.refuse("busy")).unwrap();
+        assert_eq!(init.state(), RequestState::Failed);
+    }
+
+    #[test]
+    fn request_inform_without_agree_is_legal() {
+        let (me, other, _) = ids();
+        let (mut init, req) = RequestInitiator::open(me, other, Value::Nil);
+        let part = RequestParticipant::accept(req).unwrap();
+        init.handle(&part.inform(Value::Nil)).unwrap();
+        assert_eq!(init.state(), RequestState::Done);
+    }
+
+    #[test]
+    fn request_rejects_wrong_sender() {
+        let (me, other, intruder) = ids();
+        let (mut init, req) = RequestInitiator::open(me, other, Value::Nil);
+        let fake = AclMessage::builder(Performative::Agree)
+            .sender(intruder)
+            .receiver(req.sender().clone())
+            .conversation(init.conversation().clone())
+            .build()
+            .unwrap();
+        assert!(init.handle(&fake).is_err());
+    }
+
+    #[test]
+    fn request_rejects_wrong_conversation() {
+        let (me, other, _) = ids();
+        let (mut init, _req) = RequestInitiator::open(me.clone(), other.clone(), Value::Nil);
+        let off_thread = AclMessage::builder(Performative::Agree)
+            .sender(other)
+            .receiver(me)
+            .conversation(ConversationId::new("unrelated"))
+            .build()
+            .unwrap();
+        assert!(init.handle(&off_thread).is_err());
+    }
+
+    #[test]
+    fn participant_rejects_non_request() {
+        let (me, other, _) = ids();
+        let inform = AclMessage::builder(Performative::Inform)
+            .sender(me)
+            .receiver(other)
+            .build()
+            .unwrap();
+        assert!(RequestParticipant::accept(inform).is_err());
+    }
+
+    #[test]
+    fn contract_net_awards_highest_bid() {
+        let (me, a, b) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [a.clone(), b.clone()], Value::Nil);
+        let cfps = cnet.call_for_proposals();
+        assert_eq!(cfps.len(), 2);
+        cnet.handle_propose(&a, 1.0).unwrap();
+        cnet.handle_propose(&b, 3.0).unwrap();
+        assert!(cnet.all_answered());
+        match cnet.award().unwrap() {
+            ContractNetOutcome::Awarded {
+                winner,
+                bid,
+                accept,
+                rejects,
+            } => {
+                assert_eq!(winner, b);
+                assert_eq!(bid, 3.0);
+                assert_eq!(accept.receivers()[0], b);
+                assert_eq!(rejects.len(), 1);
+                assert_eq!(rejects[0].receivers()[0], a);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(cnet.state(), ContractNetState::Awarded);
+    }
+
+    #[test]
+    fn contract_net_tie_breaks_by_name() {
+        let (me, a, b) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [b.clone(), a.clone()], Value::Nil);
+        cnet.call_for_proposals();
+        cnet.handle_propose(&b, 2.0).unwrap();
+        cnet.handle_propose(&a, 2.0).unwrap();
+        match cnet.award().unwrap() {
+            ContractNetOutcome::Awarded { winner, .. } => assert_eq!(winner, a),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contract_net_no_bids_is_void() {
+        let (me, a, b) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [a.clone(), b.clone()], Value::Nil);
+        cnet.call_for_proposals();
+        cnet.handle_refuse(&a).unwrap();
+        cnet.handle_refuse(&b).unwrap();
+        assert_eq!(cnet.award().unwrap(), ContractNetOutcome::NoBids);
+        assert_eq!(cnet.state(), ContractNetState::Void);
+    }
+
+    #[test]
+    fn contract_net_rejects_uninvited_and_double_bids() {
+        let (me, a, b) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [a.clone()], Value::Nil);
+        cnet.call_for_proposals();
+        assert!(cnet.handle_propose(&b, 1.0).is_err());
+        cnet.handle_propose(&a, 1.0).unwrap();
+        assert!(cnet.handle_propose(&a, 2.0).is_err());
+        assert!(cnet.handle_refuse(&a).is_err());
+    }
+
+    #[test]
+    fn contract_net_rejects_bids_before_cfp_and_double_award() {
+        let (me, a, _) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [a.clone()], Value::Nil);
+        assert!(cnet.handle_propose(&a, 1.0).is_err());
+        cnet.call_for_proposals();
+        cnet.handle_propose(&a, 1.0).unwrap();
+        cnet.award().unwrap();
+        assert!(cnet.award().is_err());
+    }
+
+    #[test]
+    fn participant_builds_protocol_replies() {
+        let (me, a, _) = ids();
+        let mut cnet = ContractNetInitiator::new(me, [a.clone()], Value::symbol("t"));
+        let cfp = cnet.call_for_proposals().pop().unwrap();
+        let part = ContractNetParticipant::accept(cfp).unwrap();
+        assert_eq!(part.task(), &Value::symbol("t"));
+        let bid = part.propose(4.5);
+        assert_eq!(bid.performative(), Performative::Propose);
+        assert_eq!(bid.content().as_float(), Some(4.5));
+        assert_eq!(
+            part.refuse("no skill").performative(),
+            Performative::Refuse
+        );
+        assert_eq!(
+            part.inform_done(Value::Nil).performative(),
+            Performative::Inform
+        );
+        assert_eq!(part.failure("oom").performative(), Performative::Failure);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline management architectures the paper compares against (§4).
+//!
+//! * [`CentralizedManager`] — the classic single management station
+//!   (Fig. 6a): one process collects raw data from every device, parses,
+//!   stores and analyzes it all by itself;
+//! * [`MultiAgentSystem`] — the agent-based but *non-grid* architecture
+//!   of Fig. 5 / Fig. 6b: each site is a silo of collector agents, one
+//!   classifier and one site manager; no cross-site integration, no
+//!   workload distribution, no shared knowledge.
+//!
+//! Both facades expose the same `run(duration, tick)` shape as
+//! [`agentgrid::ManagementGrid`], so integration tests and benchmarks
+//! can compare the three architectures on identical scenarios; the
+//! *performance* comparison (Figure 6) additionally runs all three on
+//! the deterministic cost model via [`agentgrid::scenario`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centralized;
+mod multiagent;
+
+pub use centralized::{CentralizedManager, CentralizedReport};
+pub use multiagent::{MultiAgentSystem, SiteManagerAgent, SiteReport};

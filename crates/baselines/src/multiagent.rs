@@ -1,0 +1,318 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use agentgrid::grid::{
+    analyze_task, ClassifierAgent, CollectorAgent, CollectorInterface, DEFAULT_RULES,
+};
+use agentgrid_acl::ontology::{Alert, AnalysisTask};
+use agentgrid_acl::{AclMessage, Value};
+use agentgrid_net::{FaultInjector, Network, ScheduledFault};
+use agentgrid_platform::{Agent, AgentCtx, Platform};
+use agentgrid_rules::{parse_rules, KnowledgeBase};
+use agentgrid_store::ManagementStore;
+use parking_lot::Mutex;
+
+/// Shared per-site state: the silo's store and its alert sink.
+type SiteState = (Arc<Mutex<ManagementStore>>, Arc<Mutex<Vec<Alert>>>);
+
+/// Per-site counters of the multi-agent baseline.
+#[derive(Debug, Clone, Default)]
+pub struct SiteReport {
+    /// Records stored at this site.
+    pub records: usize,
+    /// Alerts raised at this site.
+    pub alerts: Vec<Alert>,
+    /// Analyses the site manager ran.
+    pub analyses: u64,
+}
+
+/// The manager agent of one site silo (Fig. 5's "MG"): receives the
+/// classifier's `data-ready` notifications and runs *every* analysis
+/// itself — the architecture's bottleneck and the reason it "does not
+/// scale well" (§4).
+pub struct SiteManagerAgent {
+    store: Arc<Mutex<ManagementStore>>,
+    kb: KnowledgeBase,
+    alerts: Arc<Mutex<Vec<Alert>>>,
+    /// Analyses executed.
+    pub analyses: u64,
+    ready_seen: u64,
+}
+
+impl fmt::Debug for SiteManagerAgent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteManagerAgent")
+            .field("analyses", &self.analyses)
+            .finish()
+    }
+}
+
+impl SiteManagerAgent {
+    /// Creates a site manager over the site's store and alert sink.
+    pub fn new(
+        store: Arc<Mutex<ManagementStore>>,
+        kb: KnowledgeBase,
+        alerts: Arc<Mutex<Vec<Alert>>>,
+    ) -> Self {
+        SiteManagerAgent {
+            store,
+            kb,
+            alerts,
+            analyses: 0,
+            ready_seen: 0,
+        }
+    }
+}
+
+impl Agent for SiteManagerAgent {
+    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+        // Reuses the classifier's data-ready wire format by inspecting
+        // the content map directly (the baseline has no broker).
+        if message.content().get("concept").and_then(Value::as_str) != Some("data-ready") {
+            return;
+        }
+        let Some(partitions) = message.content().get("partitions").and_then(Value::as_list)
+        else {
+            return;
+        };
+        self.ready_seen += 1;
+        let level = if self.ready_seen.is_multiple_of(2) { 2 } else { 1 };
+        let now = ctx.now_ms();
+        let store = self.store.lock();
+        for entry in partitions {
+            let Some(name) = entry.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let size = entry.get("size").and_then(Value::as_int).unwrap_or(0).max(0) as u64;
+            let task = AnalysisTask::new(
+                format!("site-t{}", self.analyses),
+                name,
+                name,
+                level,
+                size,
+            );
+            let (alerts, _) = analyze_task(&store, &self.kb, &task, now);
+            self.analyses += 1;
+            self.alerts.lock().extend(alerts);
+        }
+    }
+}
+
+/// The non-grid multi-agent architecture (Fig. 5): per-site silos of
+/// collector agents, one classifier and one [`SiteManagerAgent`].
+/// "Each network has a similar structure and there's no relation among
+/// different sites ... no kind of workload distribution."
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_baselines::MultiAgentSystem;
+/// use agentgrid_net::{Device, DeviceKind, Network};
+///
+/// let mut network = Network::new();
+/// network.add_device(Device::builder("s1", DeviceKind::Server).site("hq").seed(1).build());
+/// network.add_device(Device::builder("s2", DeviceKind::Server).site("branch").seed(2).build());
+///
+/// let mut mas = MultiAgentSystem::new(network, 2);
+/// let per_site = mas.run(3 * 60_000, 60_000);
+/// assert_eq!(per_site.len(), 2, "one silo per site, no integration");
+/// ```
+pub struct MultiAgentSystem {
+    platform: Platform,
+    network: Arc<Mutex<Network>>,
+    injector: FaultInjector,
+    /// Per-site shared state: (store, alerts).
+    sites: BTreeMap<String, SiteState>,
+    ticks: u64,
+}
+
+impl fmt::Debug for MultiAgentSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiAgentSystem")
+            .field("sites", &self.sites.len())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+impl MultiAgentSystem {
+    /// Builds the per-site silos: `collectors_per_site` collector agents
+    /// (the paper's Fig. 6b uses 2), one classifier, one manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `collectors_per_site` is zero or the default rules fail
+    /// to parse (a bug).
+    pub fn new(network: Network, collectors_per_site: usize) -> Self {
+        assert!(collectors_per_site > 0, "need at least one collector");
+        let kb = KnowledgeBase::from_rules(
+            parse_rules(DEFAULT_RULES).expect("default rules parse"),
+        );
+        let site_specs: Vec<(String, Vec<String>)> = network
+            .sites()
+            .map(|s| (s.name().to_owned(), s.device_names().to_vec()))
+            .collect();
+        let network = Arc::new(Mutex::new(network));
+        let mut platform = Platform::new("mas");
+        let mut sites = BTreeMap::new();
+
+        for (site, devices) in site_specs {
+            let container = format!("site-{site}");
+            platform.add_container(&container);
+            let store = Arc::new(Mutex::new(ManagementStore::default()));
+            let alerts: Arc<Mutex<Vec<Alert>>> = Arc::new(Mutex::new(Vec::new()));
+
+            let manager_id = platform
+                .spawn(
+                    &container,
+                    &format!("mg-{site}"),
+                    SiteManagerAgent::new(Arc::clone(&store), kb.clone(), Arc::clone(&alerts)),
+                )
+                .expect("container just added");
+            let classifier_id = platform
+                .spawn(
+                    &container,
+                    &format!("c-{site}"),
+                    ClassifierAgent::new(Arc::clone(&store), manager_id),
+                )
+                .expect("container just added");
+            for c in 0..collectors_per_site {
+                let assigned: Vec<String> = devices
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % collectors_per_site == c)
+                    .map(|(_, d)| d.clone())
+                    .collect();
+                if assigned.is_empty() {
+                    continue;
+                }
+                platform
+                    .spawn(
+                        &container,
+                        &format!("ac-{site}-{c}"),
+                        CollectorAgent::new(
+                            Arc::clone(&network),
+                            assigned,
+                            CollectorInterface::Snmp,
+                            60_000,
+                            classifier_id.clone(),
+                            site.clone(),
+                        ),
+                    )
+                    .expect("container just added");
+            }
+            sites.insert(site, (store, alerts));
+        }
+
+        MultiAgentSystem {
+            platform,
+            network,
+            injector: FaultInjector::default(),
+            sites,
+            ticks: 0,
+        }
+    }
+
+    /// Schedules a fault.
+    pub fn with_fault(mut self, fault: ScheduledFault) -> Self {
+        self.injector.push(fault);
+        self
+    }
+
+    /// Runs for `duration_ms` with the given tick and returns per-site
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_ms` is zero.
+    pub fn run(&mut self, duration_ms: u64, tick_ms: u64) -> BTreeMap<String, SiteReport> {
+        assert!(tick_ms > 0, "tick must be positive");
+        let steps = duration_ms / tick_ms;
+        for _ in 0..steps {
+            let now = self.ticks * tick_ms;
+            {
+                let mut network = self.network.lock();
+                // Apply scheduled faults before sampling, so a fault that
+                // clears at time T no longer taints the sample taken at T.
+                self.injector.apply(&mut network, now);
+                network.tick_all(now);
+            }
+            self.platform.run_until_idle(now);
+            self.ticks += 1;
+        }
+        self.sites
+            .iter()
+            .map(|(site, (store, alerts))| {
+                (
+                    site.clone(),
+                    SiteReport {
+                        records: store.lock().len(),
+                        alerts: alerts.lock().clone(),
+                        analyses: 0, // counted inside the agent; alerts are the output
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Messages delivered so far (traffic accounting).
+    pub fn messages_delivered(&self) -> u64 {
+        self.platform.delivered_count()
+    }
+
+    /// Site names, in order.
+    pub fn site_names(&self) -> impl Iterator<Item = &str> {
+        self.sites.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_net::{Device, DeviceKind, FaultKind};
+
+    fn two_site_network() -> Network {
+        let mut net = Network::new();
+        for (i, site) in [(0, "hq"), (1, "hq"), (2, "branch")] {
+            net.add_device(
+                Device::builder(format!("s{i}"), DeviceKind::Server)
+                    .site(site)
+                    .seed(i)
+                    .build(),
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn sites_are_isolated_silos() {
+        let mut mas = MultiAgentSystem::new(two_site_network(), 2);
+        let reports = mas.run(3 * 60_000, 60_000);
+        assert_eq!(reports.len(), 2);
+        assert!(reports["hq"].records > 0);
+        assert!(reports["branch"].records > 0);
+        // Silo isolation: hq's store only has hq devices.
+        // (Indirectly: record counts differ because device counts do.)
+        assert!(reports["hq"].records > reports["branch"].records);
+    }
+
+    #[test]
+    fn site_fault_alerts_only_within_its_silo() {
+        let mut mas = MultiAgentSystem::new(two_site_network(), 2)
+            .with_fault(ScheduledFault::from("s2", FaultKind::CpuRunaway, 60_000));
+        let reports = mas.run(5 * 60_000, 60_000);
+        assert!(reports["branch"]
+            .alerts
+            .iter()
+            .any(|a| a.device == "s2" && a.rule == "high-cpu"));
+        assert!(reports["hq"].alerts.iter().all(|a| a.device != "s2"));
+    }
+
+    #[test]
+    fn traffic_flows_through_the_platform() {
+        let mut mas = MultiAgentSystem::new(two_site_network(), 1);
+        mas.run(2 * 60_000, 60_000);
+        assert!(mas.messages_delivered() > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 1 benchmark: one pass of the traditional (centralized)
+//! management workflow over networks of increasing size — the cost the
+//! paper argues grows beyond one station's capacity.
+
+use agentgrid::grid::DEFAULT_RULES;
+use agentgrid::workflow;
+use agentgrid_bench::standard_network;
+use agentgrid_rules::{parse_rules, KnowledgeBase};
+use agentgrid_store::ManagementStore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_workflow_pass(c: &mut Criterion) {
+    let kb = KnowledgeBase::from_rules(parse_rules(DEFAULT_RULES).unwrap());
+    let mut group = c.benchmark_group("fig1_workflow_pass");
+    group.sample_size(30);
+    for devices in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, &devices| {
+                b.iter_batched(
+                    || {
+                        let mut network = standard_network(1, devices, 5);
+                        network.tick_all(60_000);
+                        (network, ManagementStore::default())
+                    },
+                    |(mut network, mut store)| {
+                        let (alerts, _) =
+                            workflow::run_pass(&mut network, &mut store, &kb, 60_000);
+                        black_box(alerts.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow_pass);
+criterion_main!(benches);

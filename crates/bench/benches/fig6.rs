@@ -1,0 +1,53 @@
+//! Figure 6 benchmark: simulate the three management architectures under
+//! the paper's workload (10 requests of each type, Table 1 costs) and, as
+//! the measured quantity, the wall-clock cost of evaluating each
+//! architecture. The *result series* (utilization tables) is printed by
+//! `repro -- fig6`; this bench guards the harness itself against
+//! regressions and reports the per-architecture makespans as throughput
+//! anchors.
+
+use agentgrid::scenario::{run_architecture, Architecture, Workload};
+use agentgrid::CostModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let costs = CostModel::table1();
+    let workload = Workload::paper();
+    let mut group = c.benchmark_group("fig6");
+    for architecture in Architecture::paper_configs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(architecture.label()),
+            &architecture,
+            |b, arch| {
+                b.iter(|| {
+                    let report = run_architecture(black_box(*arch), workload, &costs);
+                    black_box(report.makespan())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig6_large(c: &mut Criterion) {
+    let costs = CostModel::table1();
+    let workload = Workload::rounds(100);
+    let mut group = c.benchmark_group("fig6_100rounds");
+    group.sample_size(20);
+    for architecture in Architecture::paper_configs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(architecture.label()),
+            &architecture,
+            |b, arch| {
+                b.iter(|| {
+                    run_architecture(black_box(*arch), workload, &costs).peak_utilization()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6, bench_fig6_large);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Load-balancing ablation benchmark (extension Ext-2): brokering 1 000
+//! analysis tasks over a heterogeneous container pool under each policy.
+
+use agentgrid::balance::{
+    ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
+};
+use agentgrid::broker::Broker;
+use agentgrid::ontology::{AnalysisTask, ResourceProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn profiles() -> Vec<ResourceProfile> {
+    (0..8)
+        .map(|i| {
+            ResourceProfile::new(
+                format!("pg-{i}"),
+                1.0 + (i % 4) as f64,
+                1.0,
+                4096,
+                ["cpu", "disk", "memory", "interface"],
+            )
+        })
+        .collect()
+}
+
+fn tasks() -> Vec<AnalysisTask> {
+    (0..1000)
+        .map(|i| {
+            let skill = ["cpu", "disk", "memory", "interface"][i % 4];
+            AnalysisTask::new(format!("t{i}"), skill, skill, 1, 100 + (i as u64 % 400))
+        })
+        .collect()
+}
+
+fn bench_policy<P: LoadBalancer + Clone + 'static>(c: &mut Criterion, name: &str, policy: P) {
+    let profiles = profiles();
+    let tasks = tasks();
+    c.bench_function(&format!("lb_divide_1000/{name}"), |b| {
+        b.iter(|| {
+            let mut broker = Broker::new(policy.clone());
+            let division = broker.divide(tasks.iter().cloned(), profiles.clone());
+            black_box(division.assignments.len())
+        })
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    bench_policy(c, "knowledge-capacity-idle", KnowledgeCapacityIdle);
+    bench_policy(c, "round-robin", RoundRobin::default());
+    bench_policy(c, "least-loaded", LeastLoaded);
+    bench_policy(c, "contract-net", ContractNet);
+    // Random owns an RNG and is not Clone; construct per iteration.
+    let profiles = profiles();
+    let tasks = tasks();
+    c.bench_function("lb_divide_1000/random", |b| {
+        b.iter(|| {
+            let mut broker = Broker::new(Random::new(42));
+            black_box(broker.divide(tasks.iter().cloned(), profiles.clone()).assignments.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

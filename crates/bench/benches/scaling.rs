@@ -1,0 +1,25 @@
+//! Scaling benchmark (extension Ext-3): the agent-grid architecture with
+//! a growing analysis pool; the DES makespans printed by
+//! `repro -- scaling` are the figure, this guards the harness cost.
+
+use agentgrid_bench::grid_scaling_report;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_analyzers");
+    group.sample_size(20);
+    for analyzers in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(analyzers),
+            &analyzers,
+            |b, &analyzers| {
+                b.iter(|| black_box(grid_scaling_report(50, analyzers).makespan()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

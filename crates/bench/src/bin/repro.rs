@@ -1,0 +1,288 @@
+//! Regenerates every table and figure of the paper (plus the extension
+//! experiments from its future-work list).
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin repro -- all
+//! cargo run -p agentgrid-bench --bin repro -- table1 fig6 crossover
+//! ```
+
+use agentgrid::balance::{
+    ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
+};
+use agentgrid::broker::Broker;
+use agentgrid::grid::{ManagementGrid, DEFAULT_RULES};
+use agentgrid::mobility::Rebalancer;
+use agentgrid::ontology::{AnalysisTask, ResourceProfile};
+use agentgrid::workflow;
+use agentgrid::CostModel;
+use agentgrid_bench::{
+    fig6_reports, grid_scaling_report, mean_completions, standard_network, ALL_SKILLS,
+};
+use agentgrid_baselines::MultiAgentSystem;
+use agentgrid_net::{FaultKind, ScheduledFault};
+use agentgrid_rules::{parse_rules, KnowledgeBase};
+use agentgrid_store::ManagementStore;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "crossover", "lb",
+            "scaling", "mobility",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for experiment in wanted {
+        match experiment {
+            "table1" => table1(),
+            "fig1" => fig1(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "fig4" => fig4(),
+            "fig5" => fig5(),
+            "fig6" => fig6(),
+            "crossover" => crossover(),
+            "lb" => lb_ablation(),
+            "scaling" => scaling(),
+            "mobility" => mobility(),
+            other => eprintln!("unknown experiment `{other}` (try `all`)"),
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Table 1: relative times of management tasks.
+fn table1() {
+    banner("Table 1 — relative times of management tasks");
+    print!("{}", CostModel::table1().render());
+}
+
+/// Figure 1: the traditional management workflow, executed and traced.
+fn fig1() {
+    banner("Figure 1 — traditional network management workflow (executed)");
+    let mut network = standard_network(1, 4, 7);
+    network.tick_all(60_000);
+    let kb = KnowledgeBase::from_rules(parse_rules(DEFAULT_RULES).expect("rules parse"));
+    let mut store = ManagementStore::default();
+    let (alerts, trace) = workflow::run_pass(&mut network, &mut store, &kb, 60_000);
+    print!("{}", trace.render());
+    println!("management information produced: {} alerts", alerts.len());
+}
+
+/// Figure 2: the full agent-grid architecture, live, over two sites.
+fn fig2() {
+    banner("Figure 2 — agent-grid architecture, live run over two sites");
+    let mut grid = ManagementGrid::builder()
+        .network(standard_network(2, 4, 11))
+        .collectors_per_site(2)
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .analyzer("pg-2", 1.0, ALL_SKILLS)
+        .fault(ScheduledFault::from("site-0-dev2", FaultKind::CpuRunaway, 120_000))
+        .fault(ScheduledFault::from("site-1-dev0", FaultKind::LinkDown(2), 180_000))
+        .build();
+    let report = grid.run(10 * 60_000, 60_000);
+    print!("{}", report.render());
+}
+
+/// Figure 3: division of analysis tasks by knowledge/capacity/idleness.
+fn fig3() {
+    banner("Figure 3 — division of analysis tasks in the grid");
+    let profiles = vec![
+        // "Container A has computational capacity to analyze X"
+        ResourceProfile::new("container-a", 4.0, 1.0, 8192, ["x-analysis"]),
+        // "Container B has knowledge to analyze W"
+        ResourceProfile::new("container-b", 1.0, 1.0, 2048, ["w-analysis"]),
+        // "C replies, as it is idle, has capacity to process ... Y"
+        ResourceProfile::new("container-c", 1.0, 1.0, 2048, ["y-analysis", "x-analysis"]),
+    ];
+    let tasks = vec![
+        AnalysisTask::new("info-x", "x-analysis", "x", 1, 400),
+        AnalysisTask::new("info-y", "y-analysis", "y", 1, 200),
+        AnalysisTask::new("info-w", "w-analysis", "w", 1, 300),
+    ];
+    let mut broker = Broker::new(KnowledgeCapacityIdle);
+    let division = broker.divide(tasks, profiles);
+    print!("{}", division.trace());
+}
+
+/// Figure 4: container registration with the grid root's directory.
+fn fig4() {
+    banner("Figure 4 — container joins the grid and registers its profile");
+    let mut df = agentgrid_platform::DirectoryFacilitator::new();
+    let profile = ResourceProfile::new("container-1", 2.0, 1.5, 4096, ["cpu", "disk"]);
+    println!(
+        "container-1 -> root: register (cpu {:.1}, disk {:.1}, mem {} MB, skills {:?})",
+        profile.cpu_capacity, profile.disk_capacity, profile.memory_mb, profile.skills
+    );
+    df.register_container(profile);
+    println!("root records the profile in directory D1:");
+    for p in df.container_profiles() {
+        println!(
+            "  D1[{}] = capacity {:.1}, load {:.2}, skills {:?}",
+            p.container, p.cpu_capacity, p.load, p.skills
+        );
+    }
+    println!("root may now submit jobs to container-1 based on D1.");
+}
+
+/// Figure 5: the architecture without agent grids (per-site silos).
+fn fig5() {
+    banner("Figure 5 — architecture without agent grids (isolated sites)");
+    let mut mas = MultiAgentSystem::new(standard_network(2, 4, 13), 2)
+        .with_fault(ScheduledFault::from("site-0-dev2", FaultKind::CpuRunaway, 120_000));
+    let reports = mas.run(10 * 60_000, 60_000);
+    for (site, report) in &reports {
+        println!(
+            "site {site}: {} records stored locally, {} alerts (no cross-site sharing)",
+            report.records,
+            report.alerts.len()
+        );
+    }
+    println!("messages delivered: {}", mas.messages_delivered());
+}
+
+/// Figure 6: per-host resource utilization under the three architectures.
+fn fig6() {
+    banner("Figure 6 — compared performances of the three architectures");
+    println!("workload: 10 requests of each type (A, B, C); costs from Table 1\n");
+    for (label, report) in fig6_reports(10) {
+        println!("--- ({label}) ---");
+        println!("makespan: {} units", report.makespan());
+        print!("{}", report.utilization_table());
+        let (host, kind, busy) = report.bottleneck().expect("non-empty run");
+        println!("bottleneck: {host}/{kind} ({busy} busy units)");
+        println!("timeline (time, left to right):");
+        print!("{}", report.gantt(56));
+        println!();
+    }
+}
+
+/// Extension: where does the grid become advantageous? (paper §5,
+/// "determining more clearly the point at which ...").
+fn crossover() {
+    banner("Extension — crossover: mean completion time vs workload size");
+    println!(
+        "{:>7} {:>14} {:>14} {:>14}",
+        "rounds", "centralized", "multi-agent", "agent-grid"
+    );
+    for rounds in [1, 2, 3, 5, 8, 10, 20, 50, 100, 200] {
+        let [(_, cen), (_, mas), (_, grid)] = mean_completions(rounds);
+        println!("{rounds:>7} {cen:>14.1} {mas:>14.1} {grid:>14.1}");
+    }
+    // Locate the smallest workload where the grid's mean completion is
+    // strictly best.
+    let mut crossover = None;
+    for rounds in 1..=50 {
+        let [(_, cen), (_, mas), (_, grid)] = mean_completions(rounds);
+        if grid < mas && grid < cen {
+            crossover = Some(rounds);
+            break;
+        }
+    }
+    match crossover {
+        Some(rounds) => println!("\ngrid wins on mean completion from {rounds} round(s) on"),
+        None => println!("\nno crossover up to 50 rounds"),
+    }
+}
+
+/// Extension: load-balancing policy ablation on the live grid.
+fn lb_ablation() {
+    banner("Extension — load-balancing policy ablation (live grid)");
+    fn run_with(policy: impl LoadBalancer + 'static) -> (String, String) {
+        let name = policy.name().to_owned();
+        let mut grid = ManagementGrid::builder()
+            .network(standard_network(1, 6, 17))
+            .collectors_per_site(2)
+            .analyzer("pg-fast", 4.0, ALL_SKILLS)
+            .analyzer("pg-slow", 1.0, ALL_SKILLS)
+            .policy(policy)
+            .build();
+        let report = grid.run(10 * 60_000, 60_000);
+        let per = report.tasks_per_container();
+        let fast = per.get("pg-fast").copied().unwrap_or(0);
+        let slow = per.get("pg-slow").copied().unwrap_or(0);
+        (
+            name,
+            format!(
+                "pg-fast {fast:>3} tasks, pg-slow {slow:>3} tasks, unassigned {}",
+                report.unassigned
+            ),
+        )
+    }
+    for (name, line) in [
+        run_with(KnowledgeCapacityIdle),
+        run_with(ContractNet),
+        run_with(LeastLoaded),
+        run_with(RoundRobin::default()),
+        run_with(Random::new(42)),
+    ] {
+        println!("{name:<24} {line}");
+    }
+    println!("\n(knowledge-capacity-idle and contract-net route more work to the");
+    println!(" 4x-capacity container; round-robin/random split evenly.)");
+}
+
+/// Extension: grid scaling — makespan vs number of analysis hosts.
+fn scaling() {
+    banner("Extension — scaling: agent-grid makespan vs analysis hosts");
+    println!(
+        "{:>10} {:>10} {:>16}",
+        "analyzers", "makespan", "peak-utilization"
+    );
+    for analyzers in [1, 2, 4, 8, 16] {
+        let report = grid_scaling_report(50, analyzers);
+        println!(
+            "{analyzers:>10} {:>10} {:>15.1}%",
+            report.makespan(),
+            report.peak_utilization() * 100.0
+        );
+    }
+}
+
+/// Extension: mobility — migrating an analyzer to a spare container.
+fn mobility() {
+    banner("Extension — mobility: analyzer migration to spare capacity");
+    let mut grid = ManagementGrid::builder()
+        .network(standard_network(1, 6, 23))
+        .collectors_per_site(2)
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .build();
+    // A spare container joins the grid (profile registered, no agent).
+    grid.platform_mut().add_container("spare-1");
+    grid.platform_mut()
+        .df_mut()
+        .register_container(ResourceProfile::new("spare-1", 2.0, 1.0, 8192, ALL_SKILLS));
+    let before = grid.run(6 * 60_000, 60_000);
+    let load_before = grid
+        .platform_mut()
+        .df()
+        .container_profile("pg-1")
+        .map(|p| p.load)
+        .unwrap_or(0.0);
+    println!(
+        "after 6 min: pg-1 load {:.2}, {} tasks on pg-1",
+        load_before,
+        before.tasks_per_container().get("pg-1").copied().unwrap_or(0)
+    );
+    let rebalancer = Rebalancer {
+        high_watermark: load_before.clamp(0.01, 0.9),
+        low_watermark: 0.25,
+    };
+    let migrations = rebalancer.rebalance(grid.platform_mut());
+    for m in &migrations {
+        println!("migrated {} : {} -> {}", m.agent, m.from, m.to);
+    }
+    let after = grid.run(6 * 60_000, 60_000);
+    let per = after.tasks_per_container();
+    println!(
+        "after migration: spare-1 carries {} of {} total tasks",
+        per.get("spare-1").copied().unwrap_or(0),
+        after.assignments.len()
+    );
+}

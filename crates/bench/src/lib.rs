@@ -1,0 +1,138 @@
+//! Shared scenario builders for the benchmark harness and the `repro`
+//! binary that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use agentgrid::scenario::{run_architecture, Architecture, Workload};
+use agentgrid::CostModel;
+use agentgrid_des::{ResourceKind, SimReport};
+use agentgrid_net::{Device, DeviceKind, Network};
+
+/// All analysis skills the simulated metrics map to, plus correlation.
+pub const ALL_SKILLS: [&str; 8] = [
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
+];
+
+/// Builds a deterministic managed network: `sites` sites of
+/// `devices_per_site` devices (router + switch + servers), seeded.
+pub fn standard_network(sites: usize, devices_per_site: usize, seed: u64) -> Network {
+    let mut network = Network::new();
+    for s in 0..sites {
+        let site = format!("site-{s}");
+        for d in 0..devices_per_site {
+            let name = format!("{site}-dev{d}");
+            let kind = match d % 3 {
+                0 => DeviceKind::Router,
+                1 => DeviceKind::Switch,
+                _ => DeviceKind::Server,
+            };
+            network.add_device(
+                Device::builder(name, kind)
+                    .site(&site)
+                    .seed(seed.wrapping_add((s * 100 + d) as u64))
+                    .build(),
+            );
+        }
+    }
+    network
+}
+
+/// Runs the three Figure-6 configurations on the paper workload.
+pub fn fig6_reports(rounds: usize) -> [(String, SimReport); 3] {
+    let costs = CostModel::table1();
+    let workload = Workload::rounds(rounds);
+    Architecture::paper_configs().map(|arch| {
+        (
+            arch.label(),
+            run_architecture(arch, workload, &costs),
+        )
+    })
+}
+
+/// The peak utilization of each architecture at a given round count —
+/// the series behind the crossover experiment.
+pub fn peak_utilizations(rounds: usize) -> [(String, f64); 3] {
+    fig6_reports(rounds).map(|(label, report)| (label, report.peak_utilization()))
+}
+
+/// Mean job completion time of each architecture at a given round count.
+pub fn mean_completions(rounds: usize) -> [(String, f64); 3] {
+    fig6_reports(rounds).map(|(label, report)| {
+        (
+            label,
+            report.mean_completion().unwrap_or(0.0),
+        )
+    })
+}
+
+/// Runs the agent-grid architecture with a variable number of analyzer
+/// hosts (the scaling experiment).
+pub fn grid_scaling_report(rounds: usize, analyzers: usize) -> SimReport {
+    run_architecture(
+        Architecture::AgentGrid {
+            collectors: 3,
+            analyzers,
+        },
+        Workload::rounds(rounds),
+        &CostModel::table1(),
+    )
+}
+
+/// Sum of network busy time across all hosts of a report.
+pub fn total_net_busy(report: &SimReport) -> u64 {
+    report
+        .hosts()
+        .iter()
+        .map(|h| report.busy_time(h, ResourceKind::Net))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_network_is_deterministic_and_sized() {
+        let a = standard_network(2, 3, 42);
+        let b = standard_network(2, 3, 42);
+        assert_eq!(a.device_count(), 6);
+        assert_eq!(a.sites().count(), 2);
+        let name = a.devices().next().unwrap().name().to_owned();
+        assert_eq!(
+            a.device(&name).unwrap().mib().len(),
+            b.device(&name).unwrap().mib().len()
+        );
+    }
+
+    #[test]
+    fn fig6_reports_cover_three_architectures() {
+        let reports = fig6_reports(10);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].0, "centralized");
+        assert!(reports.iter().all(|(_, r)| r.makespan() > 0));
+    }
+
+    #[test]
+    fn peak_utilization_decreases_toward_the_grid() {
+        let [(_, cen), (_, mas), (_, grid)] = peak_utilizations(10);
+        assert!(grid < mas);
+        assert!(mas <= cen + 1e-9);
+    }
+
+    #[test]
+    fn scaling_adds_hosts() {
+        let two = grid_scaling_report(10, 2);
+        let four = grid_scaling_report(10, 4);
+        assert_eq!(two.hosts().len(), 6);
+        assert_eq!(four.hosts().len(), 8);
+        assert!(four.makespan() <= two.makespan());
+    }
+}

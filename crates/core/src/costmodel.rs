@@ -1,0 +1,284 @@
+//! The paper's cost model: Table 1, "Relative times of management tasks".
+//!
+//! Each management activity consumes relative amounts of CPU, network and
+//! disk time. The published table prints explicit numbers for `Request A`
+//! (CPU 10, Net 5), the three parses (CPU 15), the per-type inferences
+//! (CPU 20, Disk 5) and the cross inference `A×B×C` (CPU 40, Disk 8); the
+//! remaining cells (Request B/C, Storing) did not survive the text
+//! extraction of the paper and are filled with values consistent with the
+//! surrounding rows (requests differ by payload size → network cost;
+//! storing is disk-dominated). `EXPERIMENTS.md` documents this.
+
+use std::fmt;
+
+use agentgrid_des::ResourceKind;
+
+/// The three request types of the evaluation scenario (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RequestType {
+    /// Type A: e.g. processor usage.
+    A,
+    /// Type B: e.g. memory/process list.
+    B,
+    /// Type C: e.g. disk and interface status.
+    C,
+}
+
+impl RequestType {
+    /// All types in order.
+    pub const ALL: [RequestType; 3] = [RequestType::A, RequestType::B, RequestType::C];
+
+    /// Single-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestType::A => "A",
+            RequestType::B => "B",
+            RequestType::C => "C",
+        }
+    }
+}
+
+impl fmt::Display for RequestType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A management task with a row in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Poll a managed object set of the given type.
+    Request(RequestType),
+    /// Parse/normalize a reply of the given type.
+    Parse(RequestType),
+    /// Store classified data.
+    Storing,
+    /// Run the per-type inference rules.
+    Inference(RequestType),
+    /// Cross-correlate the three types (level-3 analysis).
+    InferenceCross,
+}
+
+impl TaskKind {
+    /// Every row of Table 1, in the paper's order.
+    pub const ALL: [TaskKind; 11] = [
+        TaskKind::Request(RequestType::A),
+        TaskKind::Request(RequestType::B),
+        TaskKind::Request(RequestType::C),
+        TaskKind::Parse(RequestType::A),
+        TaskKind::Parse(RequestType::B),
+        TaskKind::Parse(RequestType::C),
+        TaskKind::Storing,
+        TaskKind::Inference(RequestType::A),
+        TaskKind::Inference(RequestType::B),
+        TaskKind::Inference(RequestType::C),
+        TaskKind::InferenceCross,
+    ];
+
+    /// The row label as printed in the paper.
+    pub fn label(self) -> String {
+        match self {
+            TaskKind::Request(t) => format!("Request {t}"),
+            TaskKind::Parse(t) => format!("Parse {t}"),
+            TaskKind::Storing => "Storing".to_owned(),
+            TaskKind::Inference(t) => format!("Inference {t}"),
+            TaskKind::InferenceCross => "Inference AxBxC".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Relative resource consumption of one task (one Table 1 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskCost {
+    /// CPU time units.
+    pub cpu: u64,
+    /// Network time units.
+    pub net: u64,
+    /// Disk time units.
+    pub disk: u64,
+}
+
+impl TaskCost {
+    /// Creates a cost triple.
+    pub const fn new(cpu: u64, net: u64, disk: u64) -> Self {
+        TaskCost { cpu, net, disk }
+    }
+
+    /// The cost on one resource kind.
+    pub fn on(self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu,
+            ResourceKind::Net => self.net,
+            ResourceKind::Disk => self.disk,
+        }
+    }
+
+    /// Total units across resources.
+    pub fn total(self) -> u64 {
+        self.cpu + self.net + self.disk
+    }
+}
+
+/// The cost table (Table 1). Immutable by construction; use
+/// [`CostModel::with_cost`] to build ablated variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    costs: [(TaskKind, TaskCost); 11],
+    /// Factor applied to network transfer of *raw* (unparsed) data —
+    /// the paper's "data transmitted ... in raw format" penalty in the
+    /// centralized architecture.
+    raw_factor: u64,
+}
+
+impl CostModel {
+    /// The published Table 1 (with the documented fill-ins).
+    pub fn table1() -> Self {
+        CostModel {
+            costs: [
+                (TaskKind::Request(RequestType::A), TaskCost::new(10, 5, 0)),
+                (TaskKind::Request(RequestType::B), TaskCost::new(10, 10, 0)),
+                (TaskKind::Request(RequestType::C), TaskCost::new(10, 15, 0)),
+                (TaskKind::Parse(RequestType::A), TaskCost::new(15, 0, 0)),
+                (TaskKind::Parse(RequestType::B), TaskCost::new(15, 0, 0)),
+                (TaskKind::Parse(RequestType::C), TaskCost::new(15, 0, 0)),
+                (TaskKind::Storing, TaskCost::new(5, 0, 10)),
+                (TaskKind::Inference(RequestType::A), TaskCost::new(20, 0, 5)),
+                (TaskKind::Inference(RequestType::B), TaskCost::new(20, 0, 5)),
+                (TaskKind::Inference(RequestType::C), TaskCost::new(20, 0, 5)),
+                (TaskKind::InferenceCross, TaskCost::new(40, 0, 8)),
+            ],
+            raw_factor: 3,
+        }
+    }
+
+    /// The cost of one task.
+    ///
+    /// # Panics
+    ///
+    /// Never — every [`TaskKind`] has a row.
+    pub fn cost(&self, task: TaskKind) -> TaskCost {
+        self.costs
+            .iter()
+            .find(|(k, _)| *k == task)
+            .map(|(_, c)| *c)
+            .expect("every task kind has a cost row")
+    }
+
+    /// The raw-data network penalty factor.
+    pub fn raw_factor(&self) -> u64 {
+        self.raw_factor
+    }
+
+    /// Returns a copy with one task's cost replaced (for ablations).
+    pub fn with_cost(mut self, task: TaskKind, cost: TaskCost) -> Self {
+        for (k, c) in &mut self.costs {
+            if *k == task {
+                *c = cost;
+            }
+        }
+        self
+    }
+
+    /// Returns a copy with a different raw factor.
+    pub fn with_raw_factor(mut self, factor: u64) -> Self {
+        self.raw_factor = factor;
+        self
+    }
+
+    /// Iterates over the rows in table order.
+    pub fn rows(&self) -> impl Iterator<Item = (TaskKind, TaskCost)> + '_ {
+        self.costs.iter().copied()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<18} {:>5} {:>8} {:>5}\n", "Tasks", "CPU", "Network", "Disc");
+        for (kind, cost) in self.rows() {
+            let show = |v: u64| {
+                if v == 0 {
+                    String::new()
+                } else {
+                    v.to_string()
+                }
+            };
+            out.push_str(&format!(
+                "{:<18} {:>5} {:>8} {:>5}\n",
+                kind.label(),
+                show(cost.cpu),
+                show(cost.net),
+                show(cost.disk)
+            ));
+        }
+        out
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_published_cells() {
+        let m = CostModel::table1();
+        // Cells that are explicit in the paper text:
+        assert_eq!(m.cost(TaskKind::Request(RequestType::A)), TaskCost::new(10, 5, 0));
+        for t in RequestType::ALL {
+            assert_eq!(m.cost(TaskKind::Parse(t)).cpu, 15);
+            assert_eq!(m.cost(TaskKind::Inference(t)), TaskCost::new(20, 0, 5));
+        }
+        assert_eq!(m.cost(TaskKind::InferenceCross), TaskCost::new(40, 0, 8));
+    }
+
+    #[test]
+    fn all_rows_present_exactly_once() {
+        let m = CostModel::table1();
+        assert_eq!(m.rows().count(), TaskKind::ALL.len());
+        for kind in TaskKind::ALL {
+            let _ = m.cost(kind); // must not panic
+        }
+    }
+
+    #[test]
+    fn with_cost_overrides_one_row() {
+        let m = CostModel::table1().with_cost(TaskKind::Storing, TaskCost::new(1, 2, 3));
+        assert_eq!(m.cost(TaskKind::Storing), TaskCost::new(1, 2, 3));
+        assert_eq!(m.cost(TaskKind::InferenceCross).cpu, 40, "others untouched");
+    }
+
+    #[test]
+    fn cost_projection_and_total() {
+        let c = TaskCost::new(1, 2, 3);
+        assert_eq!(c.on(ResourceKind::Cpu), 1);
+        assert_eq!(c.on(ResourceKind::Net), 2);
+        assert_eq!(c.on(ResourceKind::Disk), 3);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn render_prints_labels_and_blanks_for_zero() {
+        let table = CostModel::table1().render();
+        assert!(table.contains("Inference AxBxC"));
+        assert!(table.contains("Request A"));
+        // Parse rows have no network/disk numbers.
+        let parse_line = table.lines().find(|l| l.starts_with("Parse A")).unwrap();
+        assert!(parse_line.contains("15"));
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(TaskKind::InferenceCross.label(), "Inference AxBxC");
+        assert_eq!(TaskKind::Request(RequestType::B).label(), "Request B");
+    }
+}

@@ -1,0 +1,378 @@
+use std::sync::Arc;
+
+use agentgrid_acl::ontology::{
+    Alert, AnalysisTask, FromContent, Severity, ToContent, MANAGEMENT_ONTOLOGY,
+};
+use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
+use agentgrid_platform::{Agent, AgentCtx};
+use agentgrid_rules::{parse_rules, Engine, Fact, KnowledgeBase, RuleSeverity};
+use agentgrid_store::ManagementStore;
+use parking_lot::Mutex;
+
+/// How much projected load one analysis task adds to a container, per
+/// 100 records, before capacity scaling.
+const LOAD_PER_100_RECORDS: f64 = 0.05;
+/// Load decay per tick while idle.
+const LOAD_DECAY: f64 = 0.02;
+
+/// A processor-grid analysis agent (paper §3.3).
+///
+/// Lives in an analyzer container, advertises its skills in the
+/// directory, and executes [`AnalysisTask`]s the root assigns:
+///
+/// * **level 1** — stateless: latest observations of the task's
+///   partition become facts; rules fire on them alone;
+/// * **level 2** — consolidation: adds `stat` facts (mean/max over the
+///   stored history) so rules can see trends;
+/// * **level 3** — correlation: loads the latest observations of *every*
+///   partition so cross-device rules can join facts.
+///
+/// Findings go to the interface agent as [`Alert`]s; a `done` report
+/// goes back to the root. The agent learns new rules sent by the
+/// interface grid (`learn-rule` messages).
+pub struct AnalyzerAgent {
+    store: Arc<Mutex<ManagementStore>>,
+    kb: KnowledgeBase,
+    interface: AgentId,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Findings emitted.
+    pub findings: u64,
+    /// Total rule-engine match attempts (CPU-cost proxy).
+    pub match_attempts: u64,
+}
+
+impl std::fmt::Debug for AnalyzerAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyzerAgent")
+            .field("rules", &self.kb.len())
+            .field("completed", &self.completed)
+            .field("findings", &self.findings)
+            .finish()
+    }
+}
+
+impl AnalyzerAgent {
+    /// Creates an analyzer with a knowledge base and an alert sink.
+    pub fn new(
+        store: Arc<Mutex<ManagementStore>>,
+        kb: KnowledgeBase,
+        interface: AgentId,
+    ) -> Self {
+        AnalyzerAgent {
+            store,
+            kb,
+            interface,
+            completed: 0,
+            findings: 0,
+            match_attempts: 0,
+        }
+    }
+
+    fn run_task(&mut self, task: &AnalysisTask, now: u64) -> Vec<Alert> {
+        let store = self.store.lock();
+        let (alerts, match_attempts) = analyze_task(&store, &self.kb, task, now);
+        self.match_attempts += match_attempts;
+        alerts
+    }
+
+    fn bump_load(&self, ctx: &mut AgentCtx<'_>, records: u64) {
+        let container = ctx.container().to_owned();
+        let df = ctx.df();
+        if let Some(profile) = df.container_profile(&container) {
+            let added = LOAD_PER_100_RECORDS * (records as f64 / 100.0) / profile.cpu_capacity;
+            let load = (profile.load + added).min(1.0);
+            df.update_load(&container, load);
+        }
+    }
+}
+
+/// Converts one stored series' latest point into engine facts.
+///
+/// Besides the generic `obs` fact, well-known metrics get extracted
+/// into typed facts (`cpu`, `mem`, `disk`, `procs`, `if_status`) so
+/// rules stay readable.
+pub fn facts_for(device: &str, metric: &str, value: f64) -> Vec<Fact> {
+        let mut facts = vec![Fact::new("obs")
+            .with("device", device)
+            .with("metric", metric)
+            .with("value", value)];
+        if metric.starts_with("cpu.load.") {
+            facts.push(Fact::new("cpu").with("device", device).with("value", value));
+        } else if metric == "storage.disk.used-pct" {
+            facts.push(Fact::new("disk").with("device", device).with("value", value));
+        } else if metric == "storage.ram.used-pct" {
+            facts.push(Fact::new("mem").with("device", device).with("value", value));
+        } else if metric == "processes.count" {
+            facts.push(Fact::new("procs").with("device", device).with("value", value));
+        } else if let Some(rest) = metric.strip_prefix("if.") {
+            if let Some((index, "oper-status")) = rest.split_once('.') {
+                if let Ok(index) = index.parse::<i64>() {
+                    facts.push(
+                        Fact::new("if_status")
+                            .with("device", device)
+                            .with("index", index)
+                            .with("value", value),
+                    );
+                }
+            }
+        }
+    facts
+}
+
+/// Runs one [`AnalysisTask`] against a store with a knowledge base —
+/// the multi-level analysis procedure of §3.3, shared by the grid's
+/// [`AnalyzerAgent`] and the non-grid baselines. Returns the alerts and
+/// the engine's match-attempt count (a CPU-cost proxy).
+pub fn analyze_task(
+    store: &ManagementStore,
+    kb: &KnowledgeBase,
+    task: &AnalysisTask,
+    now: u64,
+) -> (Vec<Alert>, u64) {
+    let mut engine = Engine::new(kb.clone());
+    let series: Vec<(String, String)> = if task.level >= 3 || task.partition == "*" {
+        store
+            .partitions()
+            .iter()
+            .flat_map(|p| store.by_partition(p))
+            .map(|(d, m)| (d.to_owned(), m.to_owned()))
+            .collect()
+    } else {
+        store
+            .by_partition(&task.partition)
+            .map(|(d, m)| (d.to_owned(), m.to_owned()))
+            .collect()
+    };
+    for (device, metric) in &series {
+        if let Some((_, value)) = store.latest(device, metric) {
+            engine.insert_all(facts_for(device, metric, value));
+        }
+        if task.level >= 2 {
+            if let Some(stats) = store.stats(device, metric, 0, u64::MAX) {
+                engine.insert(
+                    Fact::new("stat")
+                        .with("device", device.as_str())
+                        .with("metric", metric.as_str())
+                        .with("mean", stats.mean)
+                        .with("max", stats.max)
+                        .with("count", stats.count as i64),
+                );
+            }
+            if let Some(slope) = store.trend_per_min(device, metric, 0, u64::MAX) {
+                engine.insert(
+                    Fact::new("trend")
+                        .with("device", device.as_str())
+                        .with("metric", metric.as_str())
+                        .with("per-min", slope),
+                );
+            }
+        }
+    }
+    let outcome = engine.run();
+    let alerts = outcome
+        .findings
+        .into_iter()
+        .map(|f| {
+            Alert::new(
+                f.rule,
+                f.device,
+                match f.severity {
+                    RuleSeverity::Info => Severity::Info,
+                    RuleSeverity::Warning => Severity::Warning,
+                    RuleSeverity::Critical => Severity::Critical,
+                },
+                f.message,
+                now,
+            )
+        })
+        .collect();
+    (alerts, outcome.stats.match_attempts)
+}
+
+impl Agent for AnalyzerAgent {
+    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+        // Rule learning pushed from the interface grid.
+        if message.content().get("concept").and_then(Value::as_str) == Some("learn-rule") {
+            if let Some(text) = message.content().get("text").and_then(Value::as_str) {
+                if let Ok(rules) = parse_rules(text) {
+                    self.kb.extend(rules);
+                }
+            }
+            return;
+        }
+        let Ok(task) = AnalysisTask::from_content(message.content()) else {
+            return;
+        };
+        let now = ctx.now_ms();
+        let alerts = self.run_task(&task, now);
+        self.completed += 1;
+        self.findings += alerts.len() as u64;
+        self.bump_load(ctx, task.size);
+        for alert in &alerts {
+            let msg = AclMessage::builder(Performative::Inform)
+                .sender(ctx.self_id().clone())
+                .receiver(self.interface.clone())
+                .ontology(MANAGEMENT_ONTOLOGY)
+                .content(alert.to_content())
+                .build()
+                .expect("sender and receiver are set");
+            ctx.send(msg);
+        }
+        // Report completion to the root.
+        let done = Value::map([
+            ("concept", Value::symbol("done")),
+            ("task-id", Value::from(task.task_id.clone())),
+            ("findings", Value::Int(alerts.len() as i64)),
+            ("container", Value::from(ctx.container().to_owned())),
+        ]);
+        ctx.send(message.reply(Performative::Inform, done));
+    }
+
+    fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Idle decay of the advertised load.
+        let container = ctx.container().to_owned();
+        let df = ctx.df();
+        if let Some(profile) = df.container_profile(&container) {
+            let load = (profile.load - LOAD_DECAY).max(0.0);
+            df.update_load(&container, load);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DEFAULT_RULES;
+    use agentgrid_platform::DirectoryFacilitator;
+    use agentgrid_store::Record;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::from_rules(parse_rules(DEFAULT_RULES).unwrap())
+    }
+
+    fn analyzer_with_data(points: &[(&str, &str, f64)]) -> AnalyzerAgent {
+        let mut store = ManagementStore::default();
+        for (device, metric, value) in points {
+            store.insert(Record::new(*device, *metric, *value, 1000));
+        }
+        AnalyzerAgent::new(
+            Arc::new(Mutex::new(store)),
+            kb(),
+            AgentId::new("ig@g"),
+        )
+    }
+
+    fn task(partition: &str, level: u8) -> AnalysisTask {
+        AnalysisTask::new("t1", partition, partition, level, 100)
+    }
+
+    #[test]
+    fn level1_finds_cpu_overload_in_its_partition_only() {
+        let mut analyzer = analyzer_with_data(&[
+            ("r1", "cpu.load.1", 97.0),
+            ("r2", "storage.disk.used-pct", 99.0), // different partition
+        ]);
+        let alerts = analyzer.run_task(&task("cpu", 1), 0);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].rule, "high-cpu");
+        assert_eq!(alerts[0].device, "r1");
+    }
+
+    #[test]
+    fn level2_emits_sustained_pressure_from_stats() {
+        let mut store = ManagementStore::default();
+        for t in 0..5u64 {
+            store.insert(Record::new("r1", "cpu.load.1", 85.0, t * 60_000));
+        }
+        let mut analyzer = AnalyzerAgent::new(
+            Arc::new(Mutex::new(store)),
+            kb(),
+            AgentId::new("ig@g"),
+        );
+        let alerts = analyzer.run_task(&task("cpu", 2), 0);
+        assert!(alerts.iter().any(|a| a.rule == "sustained-cpu"));
+    }
+
+    #[test]
+    fn level3_correlates_across_devices() {
+        let mut analyzer = analyzer_with_data(&[
+            ("r1", "cpu.load.1", 95.0),
+            ("r2", "cpu.load.1", 96.0),
+        ]);
+        let alerts = analyzer.run_task(&task("*", 3), 0);
+        assert!(
+            alerts.iter().any(|a| a.rule == "correlated-cpu"),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn fact_extraction_types_well_known_metrics() {
+        let facts = facts_for("d", "if.2.oper-status", 2.0);
+        assert!(facts.iter().any(|f| f.kind() == "if_status"));
+        let facts = facts_for("d", "storage.ram.used-pct", 91.0);
+        assert!(facts.iter().any(|f| f.kind() == "mem"));
+        let facts = facts_for("d", "unknown.metric", 1.0);
+        assert_eq!(facts.len(), 1, "only the generic obs fact");
+    }
+
+    #[test]
+    fn learn_rule_message_extends_knowledge() {
+        let mut analyzer = analyzer_with_data(&[("r1", "processes.count", 3.0)]);
+        let before = analyzer.kb.len();
+        let id = AgentId::new("an@g");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        let mut ctx = AgentCtx::new(&id, "pg-1", 0, &mut outbox, &mut df);
+        let learn = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("ig@g"))
+            .receiver(id.clone())
+            .content(Value::map([
+                ("concept", Value::symbol("learn-rule")),
+                (
+                    "text",
+                    Value::from(
+                        r#"rule "few-procs" { when procs(device: ?d, value: ?v) if ?v < 10 then emit info ?d "only ?v processes" }"#,
+                    ),
+                ),
+            ]))
+            .build()
+            .unwrap();
+        analyzer.on_message(learn, &mut ctx);
+        assert_eq!(analyzer.kb.len(), before + 1);
+        // And the learned rule fires on the next task.
+        let alerts = analyzer.run_task(&task("process", 1), 0);
+        assert!(alerts.iter().any(|a| a.rule == "few-procs"));
+    }
+
+    #[test]
+    fn task_message_produces_alerts_and_done_reply() {
+        let mut analyzer = analyzer_with_data(&[("r1", "cpu.load.1", 99.0)]);
+        let analyzer_id = AgentId::new("an@g");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        df.register_container(agentgrid_acl::ontology::ResourceProfile::new(
+            "pg-1", 1.0, 1.0, 1024, ["cpu"],
+        ));
+        let mut ctx = AgentCtx::new(&analyzer_id, "pg-1", 7, &mut outbox, &mut df);
+        let request = AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("pg-root@g"))
+            .receiver(analyzer_id.clone())
+            .reply_with("task-t1")
+            .content(task("cpu", 1).to_content())
+            .build()
+            .unwrap();
+        analyzer.on_message(request, &mut ctx);
+        // One alert to the interface + one done reply to the root.
+        assert_eq!(outbox.len(), 2);
+        let alert = Alert::from_content(outbox[0].content()).unwrap();
+        assert_eq!(alert.rule, "high-cpu");
+        assert_eq!(alert.timestamp_ms, 7);
+        let done = &outbox[1];
+        assert_eq!(done.receivers()[0].name(), "pg-root@g");
+        assert_eq!(done.content().get("findings").unwrap().as_int(), Some(1));
+        // Load was bumped in the directory.
+        assert!(df.container_profile("pg-1").unwrap().load > 0.0);
+    }
+}

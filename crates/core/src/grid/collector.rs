@@ -1,0 +1,263 @@
+use std::sync::Arc;
+
+use agentgrid_acl::ontology::{CollectedBatch, Observation, ToContent, MANAGEMENT_ONTOLOGY};
+use agentgrid_acl::{AclMessage, AgentId, Performative};
+use agentgrid_net::{cli, oids, snmp, Network, Oid};
+use agentgrid_platform::{Agent, AgentCtx};
+use parking_lot::Mutex;
+
+/// Which management-protocol *interface* a collector uses (paper §3.1:
+/// "a collecting agent can have an SNMP interface or use a command line
+/// utility").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectorInterface {
+    /// Walk the device MIB over the SNMP-like protocol.
+    Snmp,
+    /// Run `show` commands and parse the textual reports.
+    Cli,
+}
+
+/// A collector-grid agent: polls its assigned devices every `period_ms`
+/// of simulated time, normalizes whatever its interface returns into
+/// [`Observation`]s (the common representation), performs the local
+/// pre-analysis the paper allows (derived `used-pct` metrics,
+/// reachability flags) and ships a [`CollectedBatch`] to the classifier.
+pub struct CollectorAgent {
+    network: Arc<Mutex<Network>>,
+    devices: Vec<String>,
+    interface: CollectorInterface,
+    period_ms: u64,
+    classifier: AgentId,
+    site: String,
+    next_poll_ms: u64,
+    batch_seq: u64,
+    /// Total observations shipped (inspection/testing).
+    pub collected: u64,
+}
+
+impl std::fmt::Debug for CollectorAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectorAgent")
+            .field("devices", &self.devices)
+            .field("interface", &self.interface)
+            .field("period_ms", &self.period_ms)
+            .field("collected", &self.collected)
+            .finish()
+    }
+}
+
+impl CollectorAgent {
+    /// Creates a collector for `devices`, shipping to `classifier`.
+    pub fn new(
+        network: Arc<Mutex<Network>>,
+        devices: Vec<String>,
+        interface: CollectorInterface,
+        period_ms: u64,
+        classifier: AgentId,
+        site: impl Into<String>,
+    ) -> Self {
+        CollectorAgent {
+            network,
+            devices,
+            interface,
+            period_ms,
+            classifier,
+            site: site.into(),
+            next_poll_ms: 0,
+            batch_seq: 0,
+            collected: 0,
+        }
+    }
+
+    fn poll_device_snmp(device: &mut agentgrid_net::Device, now: u64) -> Vec<Observation> {
+        let name = device.name().to_owned();
+        let mut out = Vec::new();
+        // CPU load per processor.
+        let cpu_root: Oid = Oid::from([1, 3, 6, 1, 2, 1, 25, 3, 3, 1, 2]);
+        if let Ok(rows) = snmp::walk(device, &cpu_root) {
+            for (oid, value) in rows {
+                if let (Some(index), Some(v)) = (oid.last(), value.as_f64()) {
+                    out.push(Observation::new(&name, format!("cpu.load.{index}"), v, now));
+                }
+            }
+        } else {
+            out.push(Observation::new(&name, "agent.reachable", 0.0, now));
+            return out;
+        }
+        // Interface table: status + octets.
+        if let Ok(rows) = snmp::walk(device, &oids::if_table()) {
+            for (oid, value) in rows {
+                let parts = oid.parts();
+                if parts.len() < 2 {
+                    continue;
+                }
+                let column = parts[parts.len() - 2];
+                let index = parts[parts.len() - 1];
+                let metric = match column {
+                    8 => format!("if.{index}.oper-status"),
+                    10 => format!("if.{index}.in-octets"),
+                    16 => format!("if.{index}.out-octets"),
+                    _ => continue,
+                };
+                if let Some(v) = value.as_f64() {
+                    out.push(Observation::new(&name, metric, v, now));
+                }
+            }
+        }
+        // Storage: raw values plus the derived used-pct (local
+        // pre-analysis, §3.1).
+        for (index, label) in [(oids::STORAGE_RAM, "ram"), (oids::STORAGE_DISK, "disk")] {
+            let size = snmp::get(device, &oids::hr_storage_size(index))
+                .ok()
+                .and_then(|v| v.as_f64());
+            let used = snmp::get(device, &oids::hr_storage_used(index))
+                .ok()
+                .and_then(|v| v.as_f64());
+            if let (Some(size), Some(used)) = (size, used) {
+                out.push(Observation::new(
+                    &name,
+                    format!("storage.{label}.used"),
+                    used,
+                    now,
+                ));
+                if size > 0.0 {
+                    out.push(Observation::new(
+                        &name,
+                        format!("storage.{label}.used-pct"),
+                        used / size * 100.0,
+                        now,
+                    ));
+                }
+            }
+        }
+        if let Ok(v) = snmp::get(device, &oids::hr_system_processes()) {
+            if let Some(v) = v.as_f64() {
+                out.push(Observation::new(&name, "processes.count", v, now));
+            }
+        }
+        out.push(Observation::new(&name, "agent.reachable", 1.0, now));
+        out
+    }
+
+    fn poll_device_cli(device: &agentgrid_net::Device, now: u64) -> Vec<Observation> {
+        let name = device.name().to_owned();
+        let mut out = Vec::new();
+        for command in cli::COMMANDS {
+            match cli::execute(device, command) {
+                Ok(report) => {
+                    for (metric, value) in cli::parse_report(&report) {
+                        out.push(Observation::new(&name, metric, value, now));
+                    }
+                }
+                Err(cli::CliError::Unreachable(_)) => {
+                    return vec![Observation::new(&name, "agent.reachable", 0.0, now)];
+                }
+                Err(cli::CliError::UnknownCommand(_)) => continue,
+                Err(_) => continue,
+            }
+        }
+        out.push(Observation::new(&name, "agent.reachable", 1.0, now));
+        out
+    }
+}
+
+impl Agent for CollectorAgent {
+    fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        let now = ctx.now_ms();
+        if now < self.next_poll_ms {
+            return;
+        }
+        self.next_poll_ms = now + self.period_ms;
+
+        let mut observations = Vec::new();
+        {
+            let mut network = self.network.lock();
+            for device_name in &self.devices {
+                let Some(device) = network.device_mut(device_name) else {
+                    continue;
+                };
+                let obs = match self.interface {
+                    CollectorInterface::Snmp => Self::poll_device_snmp(device, now),
+                    CollectorInterface::Cli => Self::poll_device_cli(device, now),
+                };
+                observations.extend(obs);
+            }
+        }
+        if observations.is_empty() {
+            return;
+        }
+        self.collected += observations.len() as u64;
+        self.batch_seq += 1;
+        let batch = CollectedBatch::new(
+            format!("{}-b{}", ctx.self_id().local_name(), self.batch_seq),
+            ctx.self_id().name(),
+            self.site.clone(),
+            observations,
+        );
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(ctx.self_id().clone())
+            .receiver(self.classifier.clone())
+            .ontology(MANAGEMENT_ONTOLOGY)
+            .content(batch.to_content())
+            .build()
+            .expect("sender and receiver are set");
+        ctx.send(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_net::{Device, DeviceKind, FaultKind};
+
+    fn network() -> Arc<Mutex<Network>> {
+        let mut net = Network::new();
+        net.add_device(
+            Device::builder("srv-1", DeviceKind::Server)
+                .site("hq")
+                .seed(1)
+                .build(),
+        );
+        net.tick_all(60_000);
+        Arc::new(Mutex::new(net))
+    }
+
+    #[test]
+    fn snmp_poll_produces_normalized_metrics() {
+        let net = network();
+        let mut guard = net.lock();
+        let device = guard.device_mut("srv-1").unwrap();
+        let obs = CollectorAgent::poll_device_snmp(device, 60_000);
+        let metrics: Vec<&str> = obs.iter().map(|o| o.metric.as_str()).collect();
+        assert!(metrics.contains(&"cpu.load.1"));
+        assert!(metrics.contains(&"if.1.in-octets"));
+        assert!(metrics.contains(&"storage.disk.used-pct"));
+        assert!(metrics.contains(&"processes.count"));
+        assert!(metrics.contains(&"agent.reachable"));
+    }
+
+    #[test]
+    fn cli_poll_produces_equivalent_metrics() {
+        let net = network();
+        let guard = net.lock();
+        let device = guard.device("srv-1").unwrap();
+        let obs = CollectorAgent::poll_device_cli(device, 60_000);
+        let metrics: Vec<&str> = obs.iter().map(|o| o.metric.as_str()).collect();
+        assert!(metrics.contains(&"cpu.load.1"));
+        assert!(metrics.contains(&"storage.disk.used-pct"));
+    }
+
+    #[test]
+    fn unreachable_device_yields_reachability_zero() {
+        let net = network();
+        let mut guard = net.lock();
+        let device = guard.device_mut("srv-1").unwrap();
+        device.inject(FaultKind::Unreachable);
+        let snmp_obs = CollectorAgent::poll_device_snmp(device, 0);
+        assert_eq!(snmp_obs.len(), 1);
+        assert_eq!(snmp_obs[0].metric, "agent.reachable");
+        assert_eq!(snmp_obs[0].value, 0.0);
+        let cli_obs = CollectorAgent::poll_device_cli(device, 0);
+        assert_eq!(cli_obs[0].value, 0.0);
+    }
+}

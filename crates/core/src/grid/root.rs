@@ -1,0 +1,354 @@
+use std::sync::Arc;
+
+use agentgrid_acl::ontology::{AnalysisTask, ToContent, MANAGEMENT_ONTOLOGY};
+use agentgrid_acl::{AclMessage, Performative, Value};
+use agentgrid_platform::{Agent, AgentCtx};
+use parking_lot::Mutex;
+
+use crate::balance::LoadBalancer;
+use crate::grid::classifier::parse_data_ready;
+
+/// How many `data-ready` notifications between level-3 correlation
+/// sweeps.
+const CORRELATION_EVERY: u64 = 3;
+/// Ticks a task may stay outstanding before the root checks whether its
+/// container died.
+const REASSIGN_AFTER_TICKS: u64 = 3;
+
+/// One outstanding task the root is waiting on.
+#[derive(Debug, Clone)]
+struct Pending {
+    task: AnalysisTask,
+    container: String,
+    ticks_outstanding: u64,
+}
+
+/// Counters the root maintains, shared out through
+/// [`ProcessorRootAgent::stats_handle`] so the grid facade can report on
+/// brokering after the agent has been spawned.
+#[derive(Debug, Default)]
+pub struct RootStats {
+    /// `(task id, container)` assignment log, in decision order.
+    pub assignments: Vec<(String, String)>,
+    /// Tasks that found no capable container.
+    pub unassigned: u64,
+    /// Tasks reassigned after a container death.
+    pub reassigned: u64,
+    /// `done` reports received.
+    pub completed: u64,
+}
+
+/// The processor-grid root: the broker of Fig. 3 as a live agent.
+///
+/// On a `data-ready` notification from the classifier it creates one
+/// [`AnalysisTask`] per fresh partition (level 1/2 alternating) plus a
+/// periodic level-3 correlation sweep, selects a container for each
+/// through its [`LoadBalancer`] against the directory's resource
+/// profiles, and requests the container's analyzer agent to run it.
+///
+/// **Fault tolerance**: tasks whose container disappears from the
+/// directory before reporting `done` are re-brokered to a surviving
+/// container.
+pub struct ProcessorRootAgent {
+    policy: Box<dyn LoadBalancer>,
+    task_seq: u64,
+    ready_seen: u64,
+    pending: Vec<Pending>,
+    stats: Arc<Mutex<RootStats>>,
+}
+
+impl std::fmt::Debug for ProcessorRootAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessorRootAgent")
+            .field("policy", &self.policy.name())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl ProcessorRootAgent {
+    /// Creates a root brokering with the given policy.
+    pub fn new(policy: Box<dyn LoadBalancer>) -> Self {
+        ProcessorRootAgent {
+            policy,
+            task_seq: 0,
+            ready_seen: 0,
+            pending: Vec::new(),
+            stats: Arc::new(Mutex::new(RootStats::default())),
+        }
+    }
+
+    /// A handle onto the root's statistics, valid after the agent is
+    /// spawned into a platform.
+    pub fn stats_handle(&self) -> Arc<Mutex<RootStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    fn assign_and_send(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
+        // Only containers that actually host an analysis agent are
+        // candidates; spare containers (profile but no agent yet) are
+        // skipped until mobility moves an analyzer in.
+        let df = ctx.df();
+        let profiles: Vec<_> = df
+            .container_profiles()
+            .filter(|p| df.providers_with("analysis", &p.container).next().is_some())
+            .cloned()
+            .collect();
+        match self.policy.select(&task, &profiles) {
+            Some(container) => {
+                // The analyzer registered itself under service "analysis"
+                // with its container name as a property (Fig. 4).
+                let analyzer = ctx
+                    .df()
+                    .providers_with("analysis", &container)
+                    .next()
+                    .cloned();
+                let Some(analyzer) = analyzer else {
+                    self.stats.lock().unassigned += 1;
+                    return;
+                };
+                // Project the added load so the next selection sees it.
+                if let Some(profile) = ctx.df().container_profile(&container) {
+                    let load =
+                        (profile.load + task.size as f64 / 2000.0 / profile.cpu_capacity).min(1.0);
+                    ctx.df().update_load(&container, load);
+                }
+                let request = AclMessage::builder(Performative::Request)
+                    .sender(ctx.self_id().clone())
+                    .receiver(analyzer)
+                    .ontology(MANAGEMENT_ONTOLOGY)
+                    .reply_with(format!("task-{}", task.task_id))
+                    .content(task.to_content())
+                    .build()
+                    .expect("sender and receiver are set");
+                ctx.send(request);
+                self.stats
+                    .lock()
+                    .assignments
+                    .push((task.task_id.clone(), container.clone()));
+                self.pending.push(Pending {
+                    task,
+                    container,
+                    ticks_outstanding: 0,
+                });
+            }
+            None => self.stats.lock().unassigned += 1,
+        }
+    }
+}
+
+impl Agent for ProcessorRootAgent {
+    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+        // Completion reports.
+        if message.content().get("concept").and_then(Value::as_str) == Some("done") {
+            if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
+                self.pending.retain(|p| p.task.task_id != task_id);
+                self.stats.lock().completed += 1;
+            }
+            return;
+        }
+        // Fresh-data notifications.
+        let Some((_site, partitions)) = parse_data_ready(message.content()) else {
+            return;
+        };
+        self.ready_seen += 1;
+        // Alternate level 1 and level 2 so consolidation happens on every
+        // other pass over a partition.
+        let level = if self.ready_seen.is_multiple_of(2) { 2 } else { 1 };
+        for (partition, size) in partitions {
+            self.task_seq += 1;
+            let task = AnalysisTask::new(
+                format!("t{}", self.task_seq),
+                partition.clone(),
+                partition,
+                level,
+                size,
+            );
+            self.assign_and_send(task, ctx);
+        }
+        if self.ready_seen.is_multiple_of(CORRELATION_EVERY) {
+            self.task_seq += 1;
+            let task =
+                AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
+            self.assign_and_send(task, ctx);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Reassign tasks whose container vanished (fault tolerance).
+        let mut orphans = Vec::new();
+        self.pending.retain_mut(|p| {
+            p.ticks_outstanding += 1;
+            let container_alive = ctx.df().container_profile(&p.container).is_some();
+            if p.ticks_outstanding >= REASSIGN_AFTER_TICKS && !container_alive {
+                orphans.push(p.task.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for task in orphans {
+            self.stats.lock().reassigned += 1;
+            self.assign_and_send(task, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::KnowledgeCapacityIdle;
+    use agentgrid_acl::ontology::{FromContent, ResourceProfile};
+    use agentgrid_acl::AgentId;
+    use agentgrid_platform::DirectoryFacilitator;
+    use std::collections::BTreeMap;
+
+    fn df_with_containers(names: &[&str]) -> DirectoryFacilitator {
+        let mut df = DirectoryFacilitator::new();
+        for name in names {
+            df.register_container(ResourceProfile::new(
+                *name,
+                1.0,
+                1.0,
+                1024,
+                ["cpu", "disk", "correlation"],
+            ));
+            df.register_service(
+                AgentId::new(format!("analyzer-{name}@g")),
+                "analysis",
+                [*name],
+            );
+        }
+        df
+    }
+
+    fn data_ready_msg(partitions: &[(&str, u64)]) -> AclMessage {
+        let mut map = BTreeMap::new();
+        for (p, s) in partitions {
+            map.insert((*p).to_owned(), *s);
+        }
+        let content = crate::grid::classifier::data_ready_content("hq", &map, 0);
+        AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("clg@g"))
+            .receiver(AgentId::new("pg-root@g"))
+            .content(content)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn data_ready_produces_one_task_per_partition() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1", "pg-2"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(data_ready_msg(&[("cpu", 10), ("disk", 5)]), &mut ctx);
+        let stats = stats.lock();
+        assert_eq!(stats.assignments.len(), 2);
+        assert_eq!(outbox.len(), 2);
+        // Projected load spread the two tasks over both containers.
+        let containers: Vec<&str> =
+            stats.assignments.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(containers.contains(&"pg-1") && containers.contains(&"pg-2"));
+    }
+
+    #[test]
+    fn every_third_notification_adds_a_correlation_sweep() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        for _ in 0..3 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        }
+        // 3 partition tasks + 1 correlation task.
+        assert_eq!(stats.lock().assignments.len(), 4);
+        let last = AnalysisTask::from_content(outbox.last().unwrap().content()).unwrap();
+        assert_eq!(last.level, 3);
+        assert_eq!(last.skill, "correlation");
+    }
+
+    #[test]
+    fn levels_alternate_between_notifications() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        for _ in 0..2 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        }
+        let levels: Vec<u8> = outbox
+            .iter()
+            .map(|m| AnalysisTask::from_content(m.content()).unwrap().level)
+            .collect();
+        assert_eq!(levels, [1, 2]);
+    }
+
+    #[test]
+    fn missing_skill_counts_unassigned() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(data_ready_msg(&[("memory", 1)]), &mut ctx);
+        assert_eq!(stats.lock().unassigned, 1);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn done_report_clears_pending() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        assert_eq!(root.pending.len(), 1);
+        let done = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("analyzer-pg-1@g"))
+            .receiver(id.clone())
+            .content(Value::map([
+                ("concept", Value::symbol("done")),
+                ("task-id", Value::from("t1")),
+                ("findings", Value::Int(0)),
+            ]))
+            .build()
+            .unwrap();
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(done, &mut ctx);
+        assert!(root.pending.is_empty());
+        assert_eq!(stats.lock().completed, 1);
+    }
+
+    #[test]
+    fn dead_container_triggers_reassignment() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1", "pg-2"]);
+        // Force assignment to pg-1 by overloading pg-2.
+        df.update_load("pg-2", 0.99);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        assert_eq!(stats.lock().assignments[0].1, "pg-1");
+        // pg-1 dies before reporting done.
+        df.deregister_container("pg-1");
+        df.update_load("pg-2", 0.0);
+        for _ in 0..REASSIGN_AFTER_TICKS {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_tick(&mut ctx);
+        }
+        let stats = stats.lock();
+        assert_eq!(stats.reassigned, 1);
+        assert_eq!(stats.assignments.last().unwrap().1, "pg-2");
+    }
+}

@@ -1,0 +1,577 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use agentgrid_acl::ontology::{Alert, ResourceProfile};
+use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
+use agentgrid_net::{FaultInjector, Network, ScheduledFault};
+use agentgrid_platform::Platform;
+use agentgrid_rules::{parse_rules, KnowledgeBase};
+use agentgrid_store::ManagementStore;
+use parking_lot::Mutex;
+
+use crate::balance::{KnowledgeCapacityIdle, LoadBalancer};
+use crate::grid::interface::AlertSink;
+use crate::grid::root::RootStats;
+use crate::grid::{
+    AnalyzerAgent, ClassifierAgent, CollectorAgent, CollectorInterface, InterfaceAgent,
+    ProcessorRootAgent, DEFAULT_RULES,
+};
+
+/// Configuration of one analyzer container.
+#[derive(Debug, Clone)]
+struct AnalyzerSpec {
+    name: String,
+    cpu_capacity: f64,
+    skills: Vec<String>,
+}
+
+/// Builder for [`ManagementGrid`] (see [`ManagementGrid::builder`]).
+pub struct GridBuilder {
+    network: Network,
+    poll_period_ms: u64,
+    collectors_per_site: usize,
+    analyzers: Vec<AnalyzerSpec>,
+    policy: Box<dyn LoadBalancer>,
+    rules: String,
+    faults: FaultInjector,
+}
+
+impl fmt::Debug for GridBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GridBuilder")
+            .field("poll_period_ms", &self.poll_period_ms)
+            .field("collectors_per_site", &self.collectors_per_site)
+            .field("analyzers", &self.analyzers.len())
+            .finish()
+    }
+}
+
+impl GridBuilder {
+    /// Sets the simulated network to manage (required).
+    pub fn network(mut self, network: Network) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the collectors' poll period in simulated milliseconds
+    /// (default 60 000).
+    pub fn poll_period_ms(mut self, period: u64) -> Self {
+        self.poll_period_ms = period;
+        self
+    }
+
+    /// Sets how many collector agents each site gets (default 1). They
+    /// split the site's devices and alternate SNMP/CLI interfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn collectors_per_site(mut self, collectors: usize) -> Self {
+        assert!(collectors > 0, "need at least one collector per site");
+        self.collectors_per_site = collectors;
+        self
+    }
+
+    /// Adds an analyzer container with a CPU capacity factor and the
+    /// analysis skills (partitions) it can process.
+    pub fn analyzer(
+        mut self,
+        name: impl Into<String>,
+        cpu_capacity: f64,
+        skills: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.analyzers.push(AnalyzerSpec {
+            name: name.into(),
+            cpu_capacity,
+            skills: skills.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Replaces the load-balancing policy (default
+    /// [`KnowledgeCapacityIdle`]).
+    pub fn policy(mut self, policy: impl LoadBalancer + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the analysis rules (default [`DEFAULT_RULES`]).
+    pub fn rules(mut self, rules: impl Into<String>) -> Self {
+        self.rules = rules.into();
+        self
+    }
+
+    /// Schedules a fault on the managed network.
+    pub fn fault(mut self, fault: ScheduledFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Builds and wires the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule text does not parse or no analyzer container
+    /// was configured.
+    pub fn build(self) -> ManagementGrid {
+        assert!(
+            !self.analyzers.is_empty(),
+            "configure at least one analyzer container"
+        );
+        let kb = KnowledgeBase::from_rules(
+            parse_rules(&self.rules).expect("analysis rules must parse"),
+        );
+
+        let network = Arc::new(Mutex::new(self.network));
+        let store = Arc::new(Mutex::new(ManagementStore::default()));
+        let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
+        let mut platform = Platform::new("grid");
+
+        // Interface grid.
+        platform.add_container("ig");
+        let interface_id = platform
+            .spawn("ig", "interface", InterfaceAgent::new(Arc::clone(&alerts)))
+            .expect("fresh platform");
+
+        // Processor grid root.
+        platform.add_container("pg-root-ct");
+        let root_agent = ProcessorRootAgent::new(self.policy);
+        let root_stats = root_agent.stats_handle();
+        let root_id = platform
+            .spawn("pg-root-ct", "pg-root", root_agent)
+            .expect("fresh platform");
+
+        // Analyzer containers.
+        for spec in &self.analyzers {
+            platform.add_container(&spec.name);
+            let analyzer = AnalyzerAgent::new(
+                Arc::clone(&store),
+                kb.clone(),
+                interface_id.clone(),
+            );
+            let analyzer_id = platform
+                .spawn(&spec.name, &format!("analyzer-{}", spec.name), analyzer)
+                .expect("container just added");
+            let mut profile = ResourceProfile::new(
+                &spec.name,
+                spec.cpu_capacity,
+                1.0,
+                4096,
+                spec.skills.iter().cloned(),
+            );
+            profile.load = 0.0;
+            platform.df_mut().register_container(profile);
+            platform
+                .df_mut()
+                .register_service(analyzer_id, "analysis", [spec.name.clone()]);
+        }
+
+        // Classifier grid.
+        platform.add_container("clg");
+        let classifier_id = platform
+            .spawn(
+                "clg",
+                "classifier",
+                ClassifierAgent::new(Arc::clone(&store), root_id.clone()),
+            )
+            .expect("fresh platform");
+
+        // Collector grid: one container per site; devices split among
+        // the site's collectors, interfaces alternating SNMP/CLI.
+        let sites: Vec<(String, Vec<String>)> = {
+            let net = network.lock();
+            net.sites()
+                .map(|s| (s.name().to_owned(), s.device_names().to_vec()))
+                .collect()
+        };
+        for (site, devices) in &sites {
+            let container = format!("cg-{site}");
+            platform.add_container(&container);
+            for c in 0..self.collectors_per_site {
+                let assigned: Vec<String> = devices
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % self.collectors_per_site == c)
+                    .map(|(_, d)| d.clone())
+                    .collect();
+                if assigned.is_empty() {
+                    continue;
+                }
+                let interface = if c % 2 == 0 {
+                    CollectorInterface::Snmp
+                } else {
+                    CollectorInterface::Cli
+                };
+                let collector = CollectorAgent::new(
+                    Arc::clone(&network),
+                    assigned,
+                    interface,
+                    self.poll_period_ms,
+                    classifier_id.clone(),
+                    site.clone(),
+                );
+                platform
+                    .spawn(&container, &format!("cg-{site}-{c}"), collector)
+                    .expect("container just added");
+            }
+        }
+
+        ManagementGrid {
+            platform,
+            network,
+            store,
+            alerts,
+            injector: self.faults,
+            root_stats,
+            interface_id,
+            ticks: 0,
+        }
+    }
+}
+
+/// Summary of one grid run — what the interface grid would render for
+/// the operator, plus internal accounting for tests and benchmarks.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Simulated duration covered.
+    pub duration_ms: u64,
+    /// Alerts raised, in order.
+    pub alerts: Vec<Alert>,
+    /// Points in the management store at the end.
+    pub records_stored: usize,
+    /// ACL messages delivered.
+    pub messages_delivered: u64,
+    /// Messages that could not be delivered.
+    pub dead_letters: usize,
+    /// `(task, container)` assignment log.
+    pub assignments: Vec<(String, String)>,
+    /// Tasks with no capable container.
+    pub unassigned: u64,
+    /// Tasks re-brokered after container death.
+    pub reassigned: u64,
+    /// Tasks completed.
+    pub tasks_completed: u64,
+}
+
+impl GridReport {
+    /// Tasks per container, for balance inspection.
+    pub fn tasks_per_container(&self) -> BTreeMap<&str, usize> {
+        let mut out = BTreeMap::new();
+        for (_, container) in &self.assignments {
+            *out.entry(container.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "grid run over {} ms: {} records stored, {} messages, {} tasks \
+             ({} completed, {} unassigned, {} reassigned), {} alerts\n",
+            self.duration_ms,
+            self.records_stored,
+            self.messages_delivered,
+            self.assignments.len(),
+            self.tasks_completed,
+            self.unassigned,
+            self.reassigned,
+            self.alerts.len(),
+        ));
+        for (container, tasks) in self.tasks_per_container() {
+            out.push_str(&format!("  {container}: {tasks} tasks\n"));
+        }
+        out.push_str(&InterfaceAgent::render_report(&self.alerts));
+        out
+    }
+}
+
+impl fmt::Display for GridReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The complete live management grid (paper Fig. 2): simulated network,
+/// platform, four agent grids and fault injection, behind one facade.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid::grid::ManagementGrid;
+/// use agentgrid_net::{Device, DeviceKind, Network};
+///
+/// let mut network = Network::new();
+/// network.add_device(Device::builder("srv-1", DeviceKind::Server).site("hq").seed(1).build());
+///
+/// let mut grid = ManagementGrid::builder()
+///     .network(network)
+///     .analyzer("pg-1", 1.0, ["cpu", "disk", "memory", "interface", "process", "system", "other", "correlation"])
+///     .build();
+/// let report = grid.run(5 * 60_000, 60_000);
+/// assert!(report.records_stored > 0);
+/// ```
+pub struct ManagementGrid {
+    platform: Platform,
+    network: Arc<Mutex<Network>>,
+    store: Arc<Mutex<ManagementStore>>,
+    alerts: AlertSink,
+    injector: FaultInjector,
+    root_stats: Arc<Mutex<RootStats>>,
+    interface_id: AgentId,
+    ticks: u64,
+}
+
+impl fmt::Debug for ManagementGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManagementGrid")
+            .field("containers", &self.platform.container_names().count())
+            .field("ticks", &self.ticks)
+            .finish()
+    }
+}
+
+impl ManagementGrid {
+    /// Starts building a grid with defaults: 60 s polls, one collector
+    /// per site, [`KnowledgeCapacityIdle`] balancing, [`DEFAULT_RULES`].
+    pub fn builder() -> GridBuilder {
+        GridBuilder {
+            network: Network::new(),
+            poll_period_ms: 60_000,
+            collectors_per_site: 1,
+            analyzers: Vec::new(),
+            policy: Box::new(KnowledgeCapacityIdle),
+            rules: DEFAULT_RULES.to_owned(),
+            faults: FaultInjector::default(),
+        }
+    }
+
+    /// Runs the grid from its current time for `duration_ms`, ticking
+    /// every `tick_ms`, and returns the cumulative report.
+    ///
+    /// Incremental runs continue where the previous one stopped; use the
+    /// same `tick_ms` across calls so simulated time advances uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_ms` is zero.
+    pub fn run(&mut self, duration_ms: u64, tick_ms: u64) -> GridReport {
+        assert!(tick_ms > 0, "tick must be positive");
+        let start = self.ticks * tick_ms;
+        let steps = duration_ms / tick_ms;
+        for _ in 0..steps {
+            let now = self.ticks * tick_ms;
+            {
+                let mut network = self.network.lock();
+                // Apply scheduled faults before sampling, so a fault that
+                // clears at time T no longer taints the sample taken at T.
+                self.injector.apply(&mut network, now);
+                network.tick_all(now);
+            }
+            self.platform.run_until_idle(now);
+            self.ticks += 1;
+        }
+        self.report(self.ticks * tick_ms - start)
+    }
+
+    fn report(&self, duration_ms: u64) -> GridReport {
+        let stats = self.root_stats.lock();
+        GridReport {
+            duration_ms,
+            alerts: self.alerts.lock().clone(),
+            records_stored: self.store.lock().len(),
+            messages_delivered: self.platform.delivered_count(),
+            dead_letters: self.platform.dead_letters().len(),
+            assignments: stats.assignments.clone(),
+            unassigned: stats.unassigned,
+            reassigned: stats.reassigned,
+            tasks_completed: stats.completed,
+        }
+    }
+
+    /// Posts user feedback: a new analysis rule in DSL text, distributed
+    /// by the interface grid to every analyzer (§3.4).
+    pub fn teach_rule(&mut self, rule_text: impl Into<String>) {
+        let msg = AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("operator"))
+            .receiver(self.interface_id.clone())
+            .content(Value::map([
+                ("concept", Value::symbol("learn-rule")),
+                ("text", Value::from(rule_text.into())),
+            ]))
+            .build()
+            .expect("sender and receiver are set");
+        self.platform.post(msg);
+    }
+
+    /// Kills an analyzer container mid-run (crash injection). Its
+    /// profile leaves the directory and outstanding tasks get
+    /// re-brokered by the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container does not exist.
+    pub fn crash_container(&mut self, name: &str) {
+        self.platform
+            .kill_container(name)
+            .expect("container exists");
+    }
+
+    /// Read access to the shared management store.
+    pub fn store(&self) -> Arc<Mutex<ManagementStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Read access to the managed network.
+    pub fn network(&self) -> Arc<Mutex<Network>> {
+        Arc::clone(&self.network)
+    }
+
+    /// The underlying platform (e.g. for migration experiments).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.alerts.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_acl::ontology::Severity;
+    use agentgrid_net::{Device, DeviceKind, FaultKind};
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+
+    fn small_network() -> Network {
+        let mut net = Network::new();
+        for i in 0..3 {
+            net.add_device(
+                Device::builder(format!("srv-{i}"), DeviceKind::Server)
+                    .site("hq")
+                    .seed(i)
+                    .build(),
+            );
+        }
+        net
+    }
+
+    #[test]
+    fn end_to_end_pipeline_stores_and_analyzes() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .build();
+        let report = grid.run(5 * 60_000, 60_000);
+        assert!(report.records_stored > 0, "collectors fed the store");
+        assert!(!report.assignments.is_empty(), "root brokered tasks");
+        assert_eq!(
+            report.tasks_completed,
+            report.assignments.len() as u64,
+            "every task reported done"
+        );
+        assert_eq!(report.dead_letters, 0);
+        assert_eq!(report.unassigned, 0);
+    }
+
+    #[test]
+    fn cpu_fault_produces_critical_alert() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .fault(ScheduledFault::from("srv-0", FaultKind::CpuRunaway, 60_000))
+            .build();
+        let report = grid.run(6 * 60_000, 60_000);
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| a.rule == "high-cpu" && a.device == "srv-0"
+                    && a.severity == Severity::Critical),
+            "alerts: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn tasks_spread_over_both_analyzers() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .build();
+        let report = grid.run(10 * 60_000, 60_000);
+        let per = report.tasks_per_container();
+        assert!(per.get("pg-1").copied().unwrap_or(0) > 0);
+        assert!(per.get("pg-2").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn container_crash_is_survived() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 4.0, ALL_SKILLS) // big capacity: wins first
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .build();
+        grid.run(3 * 60_000, 60_000);
+        grid.crash_container("pg-1");
+        let report = grid.run(5 * 60_000, 60_000);
+        // Work continues on pg-2 after the crash.
+        let after_crash: Vec<&str> = report
+            .assignments
+            .iter()
+            .rev()
+            .take(3)
+            .map(|(_, c)| c.as_str())
+            .collect();
+        assert!(after_crash.iter().all(|c| *c == "pg-2"), "{after_crash:?}");
+    }
+
+    #[test]
+    fn taught_rule_starts_firing() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .build();
+        grid.run(2 * 60_000, 60_000);
+        grid.teach_rule(
+            r#"rule "always-report-procs" salience 1 {
+                when procs(device: ?d, value: ?v)
+                if ?v > 0
+                then emit info ?d "process count ?v on ?d"
+            }"#,
+        );
+        let report = grid.run(4 * 60_000, 60_000);
+        assert!(
+            report.alerts.iter().any(|a| a.rule == "always-report-procs"),
+            "learned rule must fire"
+        );
+    }
+
+    #[test]
+    fn report_renders_summary() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .build();
+        let report = grid.run(3 * 60_000, 60_000);
+        let text = report.render();
+        assert!(text.contains("records stored"));
+        assert!(text.contains("pg-1"));
+    }
+}

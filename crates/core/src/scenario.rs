@@ -1,0 +1,404 @@
+//! The three Figure-6 architectures as discrete-event scenarios.
+//!
+//! §4.1 evaluates a scenario of *n* requests of each type through three
+//! management architectures and compares per-host CPU/network/disk
+//! utilization (Figure 6):
+//!
+//! * [`Architecture::Centralized`] — one manager does everything; raw
+//!   data crosses the network (6a);
+//! * [`Architecture::MultiAgent`] — two collector hosts parse locally
+//!   and forward condensed data, analysis stays centralized (6b);
+//! * [`Architecture::AgentGrid`] — three collectors, a storage host and
+//!   two inference hosts share the pipeline (6c).
+//!
+//! [`build_simulation`] translates a [`Workload`] into
+//! [`agentgrid_des`] jobs; the same [`CostModel`] drives all three, so
+//! differences in the report come purely from the architecture.
+
+use agentgrid_des::{Job, ResourceKind, SimReport, Simulation};
+
+use crate::costmodel::{CostModel, RequestType, TaskKind};
+
+/// Which management architecture to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Figure 6a: a single manager host.
+    Centralized,
+    /// Figure 6b: collector hosts + a central manager.
+    MultiAgent {
+        /// Number of collector hosts (the paper uses 2).
+        collectors: usize,
+    },
+    /// Figure 6c: collectors + storage host + inference hosts.
+    AgentGrid {
+        /// Number of collector hosts (the paper uses 3).
+        collectors: usize,
+        /// Number of inference hosts (the paper uses 2).
+        analyzers: usize,
+    },
+}
+
+impl Architecture {
+    /// The paper's three configurations.
+    pub fn paper_configs() -> [Architecture; 3] {
+        [
+            Architecture::Centralized,
+            Architecture::MultiAgent { collectors: 2 },
+            Architecture::AgentGrid {
+                collectors: 3,
+                analyzers: 2,
+            },
+        ]
+    }
+
+    /// Short name used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            Architecture::Centralized => "centralized".to_owned(),
+            Architecture::MultiAgent { collectors } => format!("multi-agent({collectors})"),
+            Architecture::AgentGrid {
+                collectors,
+                analyzers,
+            } => format!("agent-grid({collectors}+1+{analyzers})"),
+        }
+    }
+}
+
+/// The workload: how many requests of each type, and their arrival
+/// spacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Requests of each type (the paper runs 10).
+    pub rounds: usize,
+    /// Time units between successive rounds (0 = all at once).
+    pub inter_arrival: u64,
+}
+
+impl Workload {
+    /// The paper's scenario: 10 requests of each type, arriving together.
+    pub fn paper() -> Self {
+        Workload {
+            rounds: 10,
+            inter_arrival: 0,
+        }
+    }
+
+    /// A workload with the given number of rounds, arriving together.
+    pub fn rounds(rounds: usize) -> Self {
+        Workload {
+            rounds,
+            inter_arrival: 0,
+        }
+    }
+}
+
+/// Builds the DES for one architecture under one workload.
+///
+/// Returns the simulation ready to [`run`](Simulation::run); use
+/// [`run_architecture`] for the one-liner.
+pub fn build_simulation(
+    architecture: Architecture,
+    workload: Workload,
+    costs: &CostModel,
+) -> Simulation {
+    let mut sim = Simulation::new();
+    match architecture {
+        Architecture::Centralized => {
+            sim.add_host("manager");
+            for round in 0..workload.rounds {
+                let arrival = round as u64 * workload.inter_arrival;
+                for rtype in RequestType::ALL {
+                    sim.submit(centralized_job(round, rtype, arrival, costs));
+                }
+            }
+        }
+        Architecture::MultiAgent { collectors } => {
+            assert!(collectors > 0, "need at least one collector");
+            sim.add_host("manager");
+            for c in 0..collectors {
+                sim.add_host(format!("collector-{}", c + 1));
+            }
+            for round in 0..workload.rounds {
+                let arrival = round as u64 * workload.inter_arrival;
+                let collector = format!("collector-{}", (round % collectors) + 1);
+                for rtype in RequestType::ALL {
+                    sim.submit(multiagent_job(round, rtype, &collector, arrival, costs));
+                }
+            }
+        }
+        Architecture::AgentGrid {
+            collectors,
+            analyzers,
+        } => {
+            assert!(collectors > 0, "need at least one collector");
+            assert!(analyzers > 0, "need at least one analyzer");
+            sim.add_host("storage");
+            for c in 0..collectors {
+                sim.add_host(format!("collector-{}", c + 1));
+            }
+            for a in 0..analyzers {
+                sim.add_host(format!("inference-{}", a + 1));
+            }
+            let mut next_analyzer = 0usize;
+            for round in 0..workload.rounds {
+                let arrival = round as u64 * workload.inter_arrival;
+                let collector = format!("collector-{}", (round % collectors) + 1);
+                for rtype in RequestType::ALL {
+                    // Spread inference work round-robin over the analysis
+                    // hosts — the grid root's load balancing.
+                    let analyzer = format!("inference-{}", (next_analyzer % analyzers) + 1);
+                    next_analyzer += 1;
+                    sim.submit(grid_job(round, rtype, &collector, &analyzer, arrival, costs));
+                }
+            }
+        }
+    }
+    sim
+}
+
+/// Builds and runs one architecture, returning the report.
+pub fn run_architecture(
+    architecture: Architecture,
+    workload: Workload,
+    costs: &CostModel,
+) -> SimReport {
+    build_simulation(architecture, workload, costs).run()
+}
+
+fn job_name(architecture: &str, round: usize, rtype: RequestType) -> String {
+    format!("{architecture}-r{round}-{rtype}")
+}
+
+/// 6a: the manager issues the request, receives RAW data, parses, stores
+/// and infers — all on one host.
+fn centralized_job(round: usize, rtype: RequestType, arrival: u64, costs: &CostModel) -> Job {
+    let request = costs.cost(TaskKind::Request(rtype));
+    let parse = costs.cost(TaskKind::Parse(rtype));
+    let store = costs.cost(TaskKind::Storing);
+    let infer = costs.cost(TaskKind::Inference(rtype));
+    let mut job = Job::new(job_name("cen", round, rtype))
+        .arrive_at(arrival)
+        .stage("manager", ResourceKind::Cpu, request.cpu)
+        .stage("manager", ResourceKind::Net, request.net * costs.raw_factor())
+        .stage("manager", ResourceKind::Cpu, parse.cpu)
+        .stage("manager", ResourceKind::Cpu, store.cpu)
+        .stage("manager", ResourceKind::Disk, store.disk)
+        .stage("manager", ResourceKind::Cpu, infer.cpu)
+        .stage("manager", ResourceKind::Disk, infer.disk);
+    if rtype == RequestType::C {
+        // The round's cross-type inference runs after its last per-type
+        // inference (see EXPERIMENTS.md for this simplification).
+        let cross = costs.cost(TaskKind::InferenceCross);
+        job = job
+            .stage("manager", ResourceKind::Cpu, cross.cpu)
+            .stage("manager", ResourceKind::Disk, cross.disk);
+    }
+    job
+}
+
+/// 6b: a collector issues the request, receives raw data, parses locally
+/// and forwards *condensed* data; the manager stores and infers.
+fn multiagent_job(
+    round: usize,
+    rtype: RequestType,
+    collector: &str,
+    arrival: u64,
+    costs: &CostModel,
+) -> Job {
+    let request = costs.cost(TaskKind::Request(rtype));
+    let parse = costs.cost(TaskKind::Parse(rtype));
+    let store = costs.cost(TaskKind::Storing);
+    let infer = costs.cost(TaskKind::Inference(rtype));
+    let mut job = Job::new(job_name("mas", round, rtype))
+        .arrive_at(arrival)
+        .stage(collector, ResourceKind::Cpu, request.cpu)
+        .stage(collector, ResourceKind::Net, request.net * costs.raw_factor())
+        .stage(collector, ResourceKind::Cpu, parse.cpu)
+        // Parsed data is smaller: base network cost on both NICs.
+        .stage(collector, ResourceKind::Net, request.net)
+        .stage("manager", ResourceKind::Net, request.net)
+        .stage("manager", ResourceKind::Cpu, store.cpu)
+        .stage("manager", ResourceKind::Disk, store.disk)
+        .stage("manager", ResourceKind::Cpu, infer.cpu)
+        .stage("manager", ResourceKind::Disk, infer.disk);
+    if rtype == RequestType::C {
+        let cross = costs.cost(TaskKind::InferenceCross);
+        job = job
+            .stage("manager", ResourceKind::Cpu, cross.cpu)
+            .stage("manager", ResourceKind::Disk, cross.disk);
+    }
+    job
+}
+
+/// 6c: collector → storage host → inference host; every stage lands on a
+/// different machine.
+fn grid_job(
+    round: usize,
+    rtype: RequestType,
+    collector: &str,
+    analyzer: &str,
+    arrival: u64,
+    costs: &CostModel,
+) -> Job {
+    let request = costs.cost(TaskKind::Request(rtype));
+    let parse = costs.cost(TaskKind::Parse(rtype));
+    let store = costs.cost(TaskKind::Storing);
+    let infer = costs.cost(TaskKind::Inference(rtype));
+    let mut job = Job::new(job_name("grid", round, rtype))
+        .arrive_at(arrival)
+        .stage(collector, ResourceKind::Cpu, request.cpu)
+        .stage(collector, ResourceKind::Net, request.net * costs.raw_factor())
+        .stage(collector, ResourceKind::Cpu, parse.cpu)
+        .stage(collector, ResourceKind::Net, request.net)
+        .stage("storage", ResourceKind::Net, request.net)
+        .stage("storage", ResourceKind::Cpu, store.cpu)
+        .stage("storage", ResourceKind::Disk, store.disk)
+        // The analyzer fetches its partition from storage, then infers.
+        .stage(analyzer, ResourceKind::Net, request.net)
+        .stage(analyzer, ResourceKind::Cpu, infer.cpu)
+        .stage(analyzer, ResourceKind::Disk, infer.disk);
+    if rtype == RequestType::C {
+        let cross = costs.cost(TaskKind::InferenceCross);
+        job = job
+            .stage(analyzer, ResourceKind::Cpu, cross.cpu)
+            .stage(analyzer, ResourceKind::Disk, cross.disk);
+    }
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports() -> (SimReport, SimReport, SimReport) {
+        let costs = CostModel::table1();
+        let w = Workload::paper();
+        let [cen, mas, grid] = Architecture::paper_configs();
+        (
+            run_architecture(cen, w, &costs),
+            run_architecture(mas, w, &costs),
+            run_architecture(grid, w, &costs),
+        )
+    }
+
+    #[test]
+    fn centralized_manager_is_the_bottleneck() {
+        let (cen, _, _) = reports();
+        let (host, kind, _) = cen.bottleneck().unwrap();
+        assert_eq!(host, "manager");
+        assert_eq!(kind, ResourceKind::Cpu, "paper: the processor is the bottleneck");
+    }
+
+    #[test]
+    fn multiagent_reduces_manager_network_traffic() {
+        let (cen, mas, _) = reports();
+        let cen_net = cen.busy_time("manager", ResourceKind::Net);
+        let mas_net = mas.busy_time("manager", ResourceKind::Net);
+        assert!(
+            mas_net < cen_net,
+            "collectors parse locally → less traffic reaches the manager \
+             ({mas_net} vs {cen_net})"
+        );
+    }
+
+    #[test]
+    fn multiagent_analysis_still_centralized() {
+        let (_, mas, _) = reports();
+        let (host, kind, _) = mas.bottleneck().unwrap();
+        assert_eq!((host, kind), ("manager", ResourceKind::Cpu));
+        // Collectors bear the parse CPU.
+        assert!(mas.busy_time("collector-1", ResourceKind::Cpu) > 0);
+    }
+
+    #[test]
+    fn grid_spreads_load_and_lowers_peak_utilization() {
+        let (cen, mas, grid) = reports();
+        assert!(
+            grid.peak_utilization() < mas.peak_utilization(),
+            "grid {} vs mas {}",
+            grid.peak_utilization(),
+            mas.peak_utilization()
+        );
+        assert!(mas.peak_utilization() <= cen.peak_utilization() + 1e-9);
+        // No single grid host holds a majority of total busy time.
+        let grid_hosts = grid.hosts().len();
+        assert_eq!(grid_hosts, 6, "3 collectors + storage + 2 inference");
+    }
+
+    #[test]
+    fn grid_finishes_the_workload_faster() {
+        let (cen, mas, grid) = reports();
+        assert!(grid.makespan() < mas.makespan());
+        assert!(mas.makespan() < cen.makespan());
+    }
+
+    #[test]
+    fn per_round_work_is_conserved_across_architectures() {
+        // Total CPU demand is identical in 6a and 6b (same tasks, different
+        // placement); the grid adds no CPU work either.
+        let (cen, mas, grid) = reports();
+        let total = |r: &SimReport| -> u64 {
+            r.hosts()
+                .iter()
+                .map(|h| r.busy_time(h, ResourceKind::Cpu))
+                .sum()
+        };
+        assert_eq!(total(&cen), total(&mas));
+        assert_eq!(total(&mas), total(&grid));
+    }
+
+    #[test]
+    fn workload_scales_linearly_in_rounds() {
+        let costs = CostModel::table1();
+        let small = run_architecture(
+            Architecture::Centralized,
+            Workload::rounds(5),
+            &costs,
+        );
+        let large = run_architecture(
+            Architecture::Centralized,
+            Workload::rounds(10),
+            &costs,
+        );
+        assert_eq!(
+            large.busy_time("manager", ResourceKind::Cpu),
+            2 * small.busy_time("manager", ResourceKind::Cpu)
+        );
+    }
+
+    #[test]
+    fn inter_arrival_spreads_jobs_in_time() {
+        let costs = CostModel::table1();
+        let burst = run_architecture(
+            Architecture::Centralized,
+            Workload {
+                rounds: 5,
+                inter_arrival: 0,
+            },
+            &costs,
+        );
+        let paced = run_architecture(
+            Architecture::Centralized,
+            Workload {
+                rounds: 5,
+                inter_arrival: 1_000,
+            },
+            &costs,
+        );
+        assert!(paced.makespan() > burst.makespan());
+        assert!(paced.peak_utilization() < burst.peak_utilization());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Architecture::Centralized.label(), "centralized");
+        assert_eq!(
+            Architecture::AgentGrid {
+                collectors: 3,
+                analyzers: 2
+            }
+            .label(),
+            "agent-grid(3+1+2)"
+        );
+    }
+}

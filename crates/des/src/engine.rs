@@ -1,0 +1,448 @@
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use crate::report::{SimReport, TraceEntry};
+use crate::{Job, ResourceKind};
+
+/// A simulated host: one FIFO resource per [`ResourceKind`], with speed
+/// factors so the grid can be heterogeneous (a container's resource
+/// profile maps onto these).
+#[derive(Debug, Clone)]
+pub struct Host {
+    name: String,
+    cpu_speed: f64,
+    net_speed: f64,
+    disk_speed: f64,
+}
+
+impl Host {
+    /// Creates a host with unit speed on every resource.
+    pub fn new(name: impl Into<String>) -> Self {
+        Host {
+            name: name.into(),
+            cpu_speed: 1.0,
+            net_speed: 1.0,
+            disk_speed: 1.0,
+        }
+    }
+
+    /// Sets the CPU speed factor (2.0 halves CPU stage durations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive.
+    pub fn cpu_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.cpu_speed = speed;
+        self
+    }
+
+    /// Sets the network speed factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive.
+    pub fn net_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.net_speed = speed;
+        self
+    }
+
+    /// Sets the disk speed factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive.
+    pub fn disk_speed(mut self, speed: f64) -> Self {
+        assert!(speed > 0.0, "speed must be positive");
+        self.disk_speed = speed;
+        self
+    }
+
+    /// The host name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn speed(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu_speed,
+            ResourceKind::Net => self.net_speed,
+            ResourceKind::Disk => self.disk_speed,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResourceState {
+    busy: bool,
+    queue: VecDeque<usize>,
+    busy_time: u64,
+}
+
+#[derive(Debug)]
+struct JobState {
+    job: Job,
+    next_stage: usize,
+    completed_at: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A job arrives / becomes ready for its next stage.
+    JobReady(usize),
+    /// A job's current stage finishes on its resource.
+    StageDone(usize),
+}
+
+/// The discrete-event simulator.
+///
+/// Deterministic: ties in the event queue are broken by insertion order,
+/// so the same jobs always produce the same report.
+#[derive(Debug, Default)]
+pub struct Simulation {
+    hosts: BTreeMap<String, Host>,
+    jobs: Vec<JobState>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Simulation::default()
+    }
+
+    /// Adds a unit-speed host.
+    pub fn add_host(&mut self, name: impl Into<String>) -> &mut Self {
+        self.add_host_config(Host::new(name))
+    }
+
+    /// Adds a configured host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate host names.
+    pub fn add_host_config(&mut self, host: Host) -> &mut Self {
+        let previous = self.hosts.insert(host.name.clone(), host);
+        assert!(previous.is_none(), "duplicate host");
+        self
+    }
+
+    /// Host names, in order.
+    pub fn host_names(&self) -> impl Iterator<Item = &str> {
+        self.hosts.keys().map(String::as_str)
+    }
+
+    /// Submits a job for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job references a host that was not added.
+    pub fn submit(&mut self, job: Job) -> &mut Self {
+        for stage in job.stages() {
+            assert!(
+                self.hosts.contains_key(&stage.host),
+                "job `{}` references unknown host `{}`",
+                job.name(),
+                stage.host
+            );
+        }
+        self.jobs.push(JobState {
+            job,
+            next_stage: 0,
+            completed_at: None,
+        });
+        self
+    }
+
+    /// Submits many jobs.
+    pub fn submit_all(&mut self, jobs: impl IntoIterator<Item = Job>) -> &mut Self {
+        for job in jobs {
+            self.submit(job);
+        }
+        self
+    }
+
+    /// Runs every submitted job to completion and reports.
+    pub fn run(mut self) -> SimReport {
+        let mut resources: BTreeMap<(String, ResourceKind), ResourceState> = BTreeMap::new();
+        for name in self.hosts.keys() {
+            for kind in ResourceKind::ALL {
+                resources.insert((name.clone(), kind), ResourceState::default());
+            }
+        }
+
+        // Min-heap on (time, sequence) for deterministic tie-breaking.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, t: u64, seq: &mut u64, e: Event| {
+            heap.push(Reverse((t, *seq, e)));
+            *seq += 1;
+        };
+
+        for (index, state) in self.jobs.iter().enumerate() {
+            push(&mut heap, state.job.arrival(), &mut seq, Event::JobReady(index));
+        }
+
+        let mut trace: Vec<TraceEntry> = Vec::new();
+        let mut makespan = 0u64;
+
+        while let Some(Reverse((now, _, event))) = heap.pop() {
+            makespan = makespan.max(now);
+            match event {
+                Event::JobReady(index) => {
+                    self.dispatch(index, now, &mut resources, &mut heap, &mut seq, &mut trace);
+                }
+                Event::StageDone(index) => {
+                    // Free the resource this job was running on and start
+                    // the next queued job, if any.
+                    let stage_index = self.jobs[index].next_stage;
+                    let stage = &self.jobs[index].job.stages()[stage_index];
+                    let key = (stage.host.clone(), stage.kind);
+                    let resource = resources.get_mut(&key).expect("resource exists");
+                    resource.busy = false;
+                    if let Some(waiting) = resource.queue.pop_front() {
+                        self.start_stage(
+                            waiting,
+                            key.clone(),
+                            now,
+                            &mut resources,
+                            &mut heap,
+                            &mut seq,
+                            &mut trace,
+                        );
+                    }
+                    // Advance this job.
+                    self.jobs[index].next_stage += 1;
+                    if self.jobs[index].next_stage >= self.jobs[index].job.stages().len() {
+                        self.jobs[index].completed_at = Some(now);
+                    } else {
+                        push(&mut heap, now, &mut seq, Event::JobReady(index));
+                    }
+                }
+            }
+        }
+
+        let busy: BTreeMap<(String, ResourceKind), u64> = resources
+            .into_iter()
+            .map(|(key, state)| (key, state.busy_time))
+            .collect();
+        let completions: BTreeMap<String, u64> = self
+            .jobs
+            .iter()
+            .map(|s| {
+                (
+                    s.job.name().to_owned(),
+                    s.completed_at.expect("all jobs run to completion"),
+                )
+            })
+            .collect();
+        SimReport::new(makespan, busy, completions, trace)
+    }
+
+    /// Routes a ready job to its next stage's resource: starts it if the
+    /// resource is idle, queues it otherwise. Jobs whose next stage has
+    /// zero duration complete the stage immediately via a StageDone event.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        index: usize,
+        now: u64,
+        resources: &mut BTreeMap<(String, ResourceKind), ResourceState>,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+        seq: &mut u64,
+        trace: &mut Vec<TraceEntry>,
+    ) {
+        let state = &self.jobs[index];
+        if state.next_stage >= state.job.stages().len() {
+            // Job with no stages: completes on arrival.
+            self.jobs[index].completed_at = Some(now);
+            return;
+        }
+        let stage = &state.job.stages()[state.next_stage];
+        let key = (stage.host.clone(), stage.kind);
+        let resource = resources.get_mut(&key).expect("resource exists");
+        if resource.busy {
+            resource.queue.push_back(index);
+        } else {
+            self.start_stage(index, key, now, resources, heap, seq, trace);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_stage(
+        &self,
+        index: usize,
+        key: (String, ResourceKind),
+        now: u64,
+        resources: &mut BTreeMap<(String, ResourceKind), ResourceState>,
+        heap: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+        seq: &mut u64,
+        trace: &mut Vec<TraceEntry>,
+    ) {
+        let state = &self.jobs[index];
+        let stage = &state.job.stages()[state.next_stage];
+        let speed = self.hosts[&key.0].speed(key.1);
+        let duration = (stage.duration as f64 / speed).ceil() as u64;
+        let resource = resources.get_mut(&key).expect("resource exists");
+        resource.busy = true;
+        resource.busy_time += duration;
+        trace.push(TraceEntry {
+            job: state.job.name().to_owned(),
+            host: key.0.clone(),
+            kind: key.1,
+            start: now,
+            end: now + duration,
+        });
+        heap.push(Reverse((now + duration, *seq, Event::StageDone(index))));
+        *seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Job;
+
+    #[test]
+    fn single_job_runs_stages_sequentially() {
+        let mut sim = Simulation::new();
+        sim.add_host("a").add_host("b");
+        sim.submit(
+            Job::new("j")
+                .stage("a", ResourceKind::Cpu, 10)
+                .stage("b", ResourceKind::Net, 5)
+                .stage("b", ResourceKind::Disk, 20),
+        );
+        let report = sim.run();
+        assert_eq!(report.makespan(), 35);
+        assert_eq!(report.completion("j"), Some(35));
+        assert_eq!(report.busy_time("a", ResourceKind::Cpu), 10);
+        assert_eq!(report.busy_time("b", ResourceKind::Disk), 20);
+    }
+
+    #[test]
+    fn contending_jobs_queue_fifo() {
+        let mut sim = Simulation::new();
+        sim.add_host("m");
+        sim.submit(Job::new("j1").stage("m", ResourceKind::Cpu, 10));
+        sim.submit(Job::new("j2").stage("m", ResourceKind::Cpu, 10));
+        let report = sim.run();
+        assert_eq!(report.completion("j1"), Some(10));
+        assert_eq!(report.completion("j2"), Some(20), "queued behind j1");
+        assert_eq!(report.busy_time("m", ResourceKind::Cpu), 20);
+        assert_eq!(report.makespan(), 20);
+    }
+
+    #[test]
+    fn independent_resources_run_in_parallel() {
+        let mut sim = Simulation::new();
+        sim.add_host("a").add_host("b");
+        sim.submit(Job::new("j1").stage("a", ResourceKind::Cpu, 10));
+        sim.submit(Job::new("j2").stage("b", ResourceKind::Cpu, 10));
+        let report = sim.run();
+        assert_eq!(report.makespan(), 10, "different hosts overlap");
+    }
+
+    #[test]
+    fn cpu_and_disk_of_same_host_overlap() {
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(Job::new("j1").stage("a", ResourceKind::Cpu, 10));
+        sim.submit(Job::new("j2").stage("a", ResourceKind::Disk, 10));
+        assert_eq!(sim.run().makespan(), 10);
+    }
+
+    #[test]
+    fn arrival_times_delay_jobs() {
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(Job::new("late").arrive_at(100).stage("a", ResourceKind::Cpu, 5));
+        let report = sim.run();
+        assert_eq!(report.completion("late"), Some(105));
+    }
+
+    #[test]
+    fn speed_factor_scales_durations() {
+        let mut sim = Simulation::new();
+        sim.add_host_config(Host::new("fast").cpu_speed(2.0));
+        sim.submit(Job::new("j").stage("fast", ResourceKind::Cpu, 10));
+        let report = sim.run();
+        assert_eq!(report.makespan(), 5);
+        assert_eq!(report.busy_time("fast", ResourceKind::Cpu), 5);
+    }
+
+    #[test]
+    fn zero_duration_stage_completes_instantly() {
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(
+            Job::new("j")
+                .stage("a", ResourceKind::Cpu, 0)
+                .stage("a", ResourceKind::Disk, 3),
+        );
+        assert_eq!(sim.run().completion("j"), Some(3));
+    }
+
+    #[test]
+    fn job_with_no_stages_completes_on_arrival() {
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(Job::new("noop").arrive_at(7));
+        assert_eq!(sim.run().completion("noop"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown host")]
+    fn unknown_host_is_rejected_at_submit() {
+        let mut sim = Simulation::new();
+        sim.submit(Job::new("j").stage("ghost", ResourceKind::Cpu, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate host")]
+    fn duplicate_host_is_rejected() {
+        let mut sim = Simulation::new();
+        sim.add_host("a").add_host("a");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let build = || {
+            let mut sim = Simulation::new();
+            sim.add_host("m").add_host("c1").add_host("c2");
+            for i in 0..20 {
+                sim.submit(
+                    Job::new(format!("j{i}"))
+                        .arrive_at(i % 3)
+                        .stage(if i % 2 == 0 { "c1" } else { "c2" }, ResourceKind::Cpu, 7)
+                        .stage("m", ResourceKind::Net, 3)
+                        .stage("m", ResourceKind::Cpu, 9),
+                );
+            }
+            sim.run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(
+            a.busy_time("m", ResourceKind::Cpu),
+            b.busy_time("m", ResourceKind::Cpu)
+        );
+        assert_eq!(a.completion("j19"), b.completion("j19"));
+    }
+
+    #[test]
+    fn trace_records_every_stage() {
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(
+            Job::new("j")
+                .stage("a", ResourceKind::Cpu, 2)
+                .stage("a", ResourceKind::Disk, 3),
+        );
+        let report = sim.run();
+        assert_eq!(report.trace().len(), 2);
+        assert_eq!(report.trace()[0].kind, ResourceKind::Cpu);
+        assert!(report.trace()[0].end <= report.trace()[1].start);
+    }
+}

@@ -1,0 +1,157 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three resources every host owns, matching the paper's Table 1
+/// columns (CPU, Network, Disc).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ResourceKind {
+    /// Processor time.
+    Cpu,
+    /// Network interface time (send/receive occupancy).
+    Net,
+    /// Disk time.
+    Disk,
+}
+
+impl ResourceKind {
+    /// All kinds, in Table 1 column order.
+    pub const ALL: [ResourceKind; 3] = [ResourceKind::Cpu, ResourceKind::Net, ResourceKind::Disk];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Net => "net",
+            ResourceKind::Disk => "disk",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One step of a [`Job`]: occupy `kind` on `host` for `duration` time
+/// units (before the host's speed factor is applied).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Host whose resource is used.
+    pub host: String,
+    /// Which resource.
+    pub kind: ResourceKind,
+    /// Cost in relative time units (Table 1 numbers go here).
+    pub duration: u64,
+}
+
+/// A management activity: a pipeline of [`Stage`]s executed in order.
+///
+/// Stages of one job are strictly sequential (a reply cannot be parsed
+/// before it arrives); stages of *different* jobs contend on the FIFO
+/// resources, which is where the paper's bottlenecks come from.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_des::{Job, ResourceKind};
+/// let job = Job::new("request-B").arrive_at(100)
+///     .stage("collector-1", ResourceKind::Cpu, 15)
+///     .stage("manager", ResourceKind::Net, 10);
+/// assert_eq!(job.stages().len(), 2);
+/// assert_eq!(job.arrival(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    name: String,
+    arrival: u64,
+    stages: Vec<Stage>,
+}
+
+impl Job {
+    /// Creates a job arriving at time 0 with no stages.
+    pub fn new(name: impl Into<String>) -> Self {
+        Job {
+            name: name.into(),
+            arrival: 0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Sets the arrival (release) time.
+    pub fn arrive_at(mut self, t: u64) -> Self {
+        self.arrival = t;
+        self
+    }
+
+    /// Appends a stage. Zero-duration stages are legal and complete
+    /// instantly (useful for pure synchronization points).
+    pub fn stage(mut self, host: impl Into<String>, kind: ResourceKind, duration: u64) -> Self {
+        self.stages.push(Stage {
+            host: host.into(),
+            kind,
+            duration,
+        });
+        self
+    }
+
+    /// The job name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The release time.
+    pub fn arrival(&self) -> u64 {
+        self.arrival
+    }
+
+    /// The stages, in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total demanded time on `(host, kind)` across all stages —
+    /// the lower bound of that resource's busy time due to this job.
+    pub fn demand(&self, host: &str, kind: ResourceKind) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.host == host && s.kind == kind)
+            .map(|s| s.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_stages_in_order() {
+        let job = Job::new("j")
+            .stage("a", ResourceKind::Cpu, 1)
+            .stage("b", ResourceKind::Net, 2);
+        assert_eq!(job.stages()[0].host, "a");
+        assert_eq!(job.stages()[1].kind, ResourceKind::Net);
+    }
+
+    #[test]
+    fn demand_sums_matching_stages() {
+        let job = Job::new("j")
+            .stage("a", ResourceKind::Cpu, 5)
+            .stage("a", ResourceKind::Cpu, 7)
+            .stage("a", ResourceKind::Disk, 3)
+            .stage("b", ResourceKind::Cpu, 11);
+        assert_eq!(job.demand("a", ResourceKind::Cpu), 12);
+        assert_eq!(job.demand("a", ResourceKind::Disk), 3);
+        assert_eq!(job.demand("c", ResourceKind::Cpu), 0);
+    }
+
+    #[test]
+    fn kinds_have_stable_labels() {
+        assert_eq!(ResourceKind::Cpu.to_string(), "cpu");
+        assert_eq!(ResourceKind::ALL.len(), 3);
+    }
+}

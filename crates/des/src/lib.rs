@@ -1,0 +1,50 @@
+//! Discrete-event simulation kernel for the `agentgrid` evaluation.
+//!
+//! The paper's evaluation (§4.1, Table 1, Figure 6) assigns *relative
+//! times* to management tasks (requests, parses, stores, inferences) and
+//! compares how three architectures load each host's CPU, network and
+//! disk. This crate is the measurement substrate for that experiment:
+//!
+//! * a [`Simulation`] holds [`Host`]s, each with a CPU, NIC and disk
+//!   [`ResourceKind`] modelled as FIFO queues (with optional speed
+//!   factors for heterogeneous grids);
+//! * a [`Job`] is a pipeline of [`Stage`]s — each stage occupies one
+//!   resource of one host for a duration; jobs run concurrently and queue
+//!   when they contend;
+//! * [`Simulation::run`] executes the event queue deterministically and
+//!   returns a [`SimReport`] with per-resource busy time, utilization,
+//!   per-job completion times and the makespan.
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_des::{Job, ResourceKind, Simulation};
+//!
+//! let mut sim = Simulation::new();
+//! sim.add_host("manager");
+//! sim.add_host("device");
+//!
+//! // A poll: the device answers (CPU), the reply crosses the network,
+//! // the manager parses it (CPU) and stores it (disk).
+//! sim.submit(
+//!     Job::new("poll-1")
+//!         .stage("device", ResourceKind::Cpu, 10)
+//!         .stage("manager", ResourceKind::Net, 5)
+//!         .stage("manager", ResourceKind::Cpu, 15)
+//!         .stage("manager", ResourceKind::Disk, 10),
+//! );
+//! let report = sim.run();
+//! assert_eq!(report.makespan(), 40);
+//! assert_eq!(report.busy_time("manager", ResourceKind::Cpu), 15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod job;
+mod report;
+
+pub use engine::{Host, Simulation};
+pub use job::{Job, ResourceKind, Stage};
+pub use report::{SimReport, TraceEntry};

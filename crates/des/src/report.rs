@@ -1,0 +1,278 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ResourceKind;
+
+/// One resource occupancy interval, for timeline inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Job that held the resource.
+    pub job: String,
+    /// Host owning the resource.
+    pub host: String,
+    /// Which resource.
+    pub kind: ResourceKind,
+    /// Start time.
+    pub start: u64,
+    /// End time.
+    pub end: u64,
+}
+
+/// Result of a [`Simulation`](crate::Simulation) run.
+///
+/// This is what the Figure 6 harness reads: per-host, per-resource busy
+/// time and utilization, job completion times and the makespan.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    makespan: u64,
+    busy: BTreeMap<(String, ResourceKind), u64>,
+    completions: BTreeMap<String, u64>,
+    trace: Vec<TraceEntry>,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        makespan: u64,
+        busy: BTreeMap<(String, ResourceKind), u64>,
+        completions: BTreeMap<String, u64>,
+        trace: Vec<TraceEntry>,
+    ) -> Self {
+        SimReport {
+            makespan,
+            busy,
+            completions,
+            trace,
+        }
+    }
+
+    /// Time the last event happened.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Total busy time of `(host, kind)`; 0 for unknown pairs.
+    pub fn busy_time(&self, host: &str, kind: ResourceKind) -> u64 {
+        self.busy
+            .get(&(host.to_owned(), kind))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Utilization of `(host, kind)` in `[0, 1]`: busy time over
+    /// makespan. Zero when the makespan is zero.
+    pub fn utilization(&self, host: &str, kind: ResourceKind) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy_time(host, kind) as f64 / self.makespan as f64
+    }
+
+    /// Hosts that appear in the report, in name order.
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self.busy.keys().map(|(h, _)| h.as_str()).collect();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Completion time of a job, if it was submitted.
+    pub fn completion(&self, job: &str) -> Option<u64> {
+        self.completions.get(job).copied()
+    }
+
+    /// All job completions, by name.
+    pub fn completions(&self) -> &BTreeMap<String, u64> {
+        &self.completions
+    }
+
+    /// Mean completion time across all jobs (`None` when empty).
+    pub fn mean_completion(&self) -> Option<f64> {
+        if self.completions.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.completions.values().sum();
+        Some(sum as f64 / self.completions.len() as f64)
+    }
+
+    /// Highest utilization across all `(host, kind)` pairs — the system
+    /// bottleneck the paper's Figure 6 argues about.
+    pub fn peak_utilization(&self) -> f64 {
+        self.busy
+            .values()
+            .map(|b| {
+                if self.makespan == 0 {
+                    0.0
+                } else {
+                    *b as f64 / self.makespan as f64
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The `(host, kind)` with the highest busy time, if any work ran.
+    pub fn bottleneck(&self) -> Option<(&str, ResourceKind, u64)> {
+        self.busy
+            .iter()
+            .max_by_key(|(_, busy)| **busy)
+            .filter(|(_, busy)| **busy > 0)
+            .map(|((host, kind), busy)| (host.as_str(), *kind, *busy))
+    }
+
+    /// The stage timeline.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Renders a textual Gantt chart of the run: one row per
+    /// `(host, resource)`, time flowing left to right over `width`
+    /// character cells, `#` where the resource was busy. Useful for
+    /// eyeballing where queueing happens.
+    pub fn gantt(&self, width: usize) -> String {
+        if self.makespan == 0 || width == 0 {
+            return String::new();
+        }
+        let scale = self.makespan as f64 / width as f64;
+        let mut rows: std::collections::BTreeMap<(String, ResourceKind), Vec<bool>> =
+            std::collections::BTreeMap::new();
+        for entry in &self.trace {
+            let cells = rows
+                .entry((entry.host.clone(), entry.kind))
+                .or_insert_with(|| vec![false; width]);
+            let from = (entry.start as f64 / scale) as usize;
+            let to = ((entry.end as f64 / scale).ceil() as usize).min(width);
+            for cell in cells.iter_mut().take(to).skip(from) {
+                *cell = true;
+            }
+        }
+        let mut out = String::new();
+        for ((host, kind), cells) in rows {
+            out.push_str(&format!("{:<20} |", format!("{host}/{kind}")));
+            for busy in cells {
+                out.push(if busy { '#' } else { ' ' });
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Renders the per-host utilization table (rows = hosts, columns =
+    /// CPU/Net/Disk busy time and utilization) — the shape of Figure 6.
+    pub fn utilization_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}\n",
+            "host", "cpu", "net", "disk", "cpu%", "net%", "disk%"
+        ));
+        for host in self.hosts() {
+            let row: Vec<u64> = ResourceKind::ALL
+                .iter()
+                .map(|k| self.busy_time(host, *k))
+                .collect();
+            let pct: Vec<f64> = ResourceKind::ALL
+                .iter()
+                .map(|k| self.utilization(host, *k) * 100.0)
+                .collect();
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>10} {:>10} {:>7.1}% {:>7.1}% {:>7.1}%\n",
+                host, row[0], row[1], row[2], pct[0], pct[1], pct[2]
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "makespan: {}", self.makespan)?;
+        f.write_str(&self.utilization_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Job, Simulation};
+
+    fn report() -> SimReport {
+        let mut sim = Simulation::new();
+        sim.add_host("m").add_host("c");
+        sim.submit(
+            Job::new("j1")
+                .stage("c", ResourceKind::Cpu, 10)
+                .stage("m", ResourceKind::Net, 5)
+                .stage("m", ResourceKind::Cpu, 25),
+        );
+        sim.submit(Job::new("j2").stage("m", ResourceKind::Disk, 8));
+        sim.run()
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let r = report();
+        assert_eq!(r.makespan(), 40);
+        assert!((r.utilization("m", ResourceKind::Cpu) - 25.0 / 40.0).abs() < 1e-12);
+        assert_eq!(r.utilization("ghost", ResourceKind::Cpu), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_is_the_busiest_resource() {
+        let r = report();
+        let (host, kind, busy) = r.bottleneck().unwrap();
+        assert_eq!((host, kind, busy), ("m", ResourceKind::Cpu, 25));
+        assert!((r.peak_utilization() - 25.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hosts_lists_both() {
+        assert_eq!(report().hosts(), ["c", "m"]);
+    }
+
+    #[test]
+    fn mean_completion_averages_jobs() {
+        let r = report();
+        let mean = r.mean_completion().unwrap();
+        assert_eq!(mean, (40 + 8) as f64 / 2.0);
+    }
+
+    #[test]
+    fn table_renders_all_hosts() {
+        let table = report().utilization_table();
+        assert!(table.contains("m"));
+        assert!(table.contains("c"));
+        assert!(table.lines().count() == 3);
+    }
+
+    #[test]
+    fn gantt_marks_busy_cells_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.add_host("m");
+        sim.submit(Job::new("j1").stage("m", ResourceKind::Cpu, 10));
+        sim.submit(Job::new("j2").stage("m", ResourceKind::Disk, 5));
+        let r = sim.run();
+        let gantt = r.gantt(20);
+        let cpu_row = gantt.lines().find(|l| l.starts_with("m/cpu")).unwrap();
+        let disk_row = gantt.lines().find(|l| l.starts_with("m/disk")).unwrap();
+        // CPU busy the whole run; disk only the first half.
+        assert_eq!(cpu_row.matches('#').count(), 20);
+        assert_eq!(disk_row.matches('#').count(), 10);
+    }
+
+    #[test]
+    fn gantt_of_empty_run_is_empty() {
+        let r = Simulation::new().run();
+        assert!(r.gantt(40).is_empty());
+        let mut sim = Simulation::new();
+        sim.add_host("a");
+        sim.submit(Job::new("j").stage("a", ResourceKind::Cpu, 3));
+        assert!(sim.run().gantt(0).is_empty());
+    }
+
+    #[test]
+    fn empty_simulation_reports_zero() {
+        let sim = Simulation::new();
+        let r = sim.run();
+        assert_eq!(r.makespan(), 0);
+        assert_eq!(r.peak_utilization(), 0.0);
+        assert!(r.mean_completion().is_none());
+        assert!(r.bottleneck().is_none());
+    }
+}

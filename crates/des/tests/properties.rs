@@ -1,0 +1,119 @@
+//! Property-based tests for the discrete-event simulator.
+
+use agentgrid_des::{Job, ResourceKind, Simulation};
+use proptest::prelude::*;
+
+const HOSTS: [&str; 3] = ["h0", "h1", "h2"];
+
+fn job_strategy(index: usize) -> impl Strategy<Value = Job> {
+    (
+        0u64..50,
+        prop::collection::vec((0usize..3, 0usize..3, 0u64..30), 1..6),
+    )
+        .prop_map(move |(arrival, stages)| {
+            let mut job = Job::new(format!("j{index}")).arrive_at(arrival);
+            for (host, kind, duration) in stages {
+                job = job.stage(HOSTS[host], ResourceKind::ALL[kind], duration);
+            }
+            job
+        })
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(0u8..1, 1..15).prop_flat_map(|v| {
+        let n = v.len();
+        (0..n).map(job_strategy).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Work conservation: each resource's busy time equals the total
+    /// demand placed on it (unit speeds, no work is lost or invented).
+    #[test]
+    fn busy_time_equals_demand(jobs in jobs_strategy()) {
+        let mut sim = Simulation::new();
+        for h in HOSTS {
+            sim.add_host(h);
+        }
+        sim.submit_all(jobs.clone());
+        let report = sim.run();
+        for host in HOSTS {
+            for kind in ResourceKind::ALL {
+                let demand: u64 = jobs.iter().map(|j| j.demand(host, kind)).sum();
+                prop_assert_eq!(report.busy_time(host, kind), demand);
+            }
+        }
+    }
+
+    /// Utilization is always within [0, 1], and every job completes no
+    /// earlier than its arrival plus its own total work.
+    #[test]
+    fn utilization_bounded_and_completions_sane(jobs in jobs_strategy()) {
+        let mut sim = Simulation::new();
+        for h in HOSTS {
+            sim.add_host(h);
+        }
+        sim.submit_all(jobs.clone());
+        let report = sim.run();
+        for host in HOSTS {
+            for kind in ResourceKind::ALL {
+                let u = report.utilization(host, kind);
+                prop_assert!((0.0..=1.0).contains(&u), "{u}");
+            }
+        }
+        for job in &jobs {
+            let own_work: u64 = job.stages().iter().map(|s| s.duration).sum();
+            let done = report.completion(job.name()).expect("job completed");
+            prop_assert!(done >= job.arrival() + own_work);
+        }
+    }
+
+    /// The makespan is at least the critical path of any single job and
+    /// at most the total serialized work plus the latest arrival.
+    #[test]
+    fn makespan_bounds(jobs in jobs_strategy()) {
+        let mut sim = Simulation::new();
+        for h in HOSTS {
+            sim.add_host(h);
+        }
+        sim.submit_all(jobs.clone());
+        let report = sim.run();
+        let total_work: u64 = jobs
+            .iter()
+            .flat_map(|j| j.stages())
+            .map(|s| s.duration)
+            .sum();
+        let max_arrival = jobs.iter().map(Job::arrival).max().unwrap_or(0);
+        prop_assert!(report.makespan() <= max_arrival + total_work);
+        for job in &jobs {
+            let own: u64 = job.stages().iter().map(|s| s.duration).sum();
+            prop_assert!(report.makespan() >= own);
+        }
+    }
+
+    /// Trace intervals on one resource never overlap (mutual exclusion).
+    #[test]
+    fn trace_intervals_do_not_overlap(jobs in jobs_strategy()) {
+        let mut sim = Simulation::new();
+        for h in HOSTS {
+            sim.add_host(h);
+        }
+        sim.submit_all(jobs);
+        let report = sim.run();
+        for host in HOSTS {
+            for kind in ResourceKind::ALL {
+                let mut intervals: Vec<(u64, u64)> = report
+                    .trace()
+                    .iter()
+                    .filter(|e| e.host == host && e.kind == kind && e.start != e.end)
+                    .map(|e| (e.start, e.end))
+                    .collect();
+                intervals.sort_unstable();
+                prop_assert!(
+                    intervals.windows(2).all(|w| w[0].1 <= w[1].0),
+                    "overlap on {host}/{kind}: {intervals:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A `show`-style command-line interface on the simulated devices.
+//!
+//! The paper notes a collector agent may use "a command line utility"
+//! instead of SNMP (§3.1). This module is that second interface: textual
+//! commands against a device producing textual reports that the collector
+//! must parse — a deliberately different code path from the typed SNMP
+//! one, so the "heterogeneous formats → common representation" step in
+//! the collector grid is real.
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_net::{cli, Device, DeviceKind};
+//!
+//! let mut dev = Device::builder("srv-1", DeviceKind::Server).seed(5).build();
+//! dev.tick(60_000);
+//! let report = cli::execute(&dev, "show cpu")?;
+//! let values = cli::parse_report(&report);
+//! assert!(values.iter().any(|(key, _)| key == "cpu.load.1"));
+//! # Ok::<(), cli::CliError>(())
+//! ```
+
+use std::fmt;
+
+use crate::{oids, Device, MibValue};
+
+/// Error returned by [`execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command is not recognized.
+    UnknownCommand(String),
+    /// The device is not answering.
+    Unreachable(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(cmd) => write!(f, "unknown command `{cmd}`"),
+            CliError::Unreachable(device) => write!(f, "device `{device}` unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Executes a `show` command against a device, returning a textual
+/// report.
+///
+/// Supported commands: `show system`, `show cpu`, `show interfaces`,
+/// `show storage`, `show processes`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Unreachable`] if the device is down and
+/// [`CliError::UnknownCommand`] for anything it does not understand.
+pub fn execute(device: &Device, command: &str) -> Result<String, CliError> {
+    if !device.is_reachable() {
+        return Err(CliError::Unreachable(device.name().to_owned()));
+    }
+    let normalized = command.trim().to_ascii_lowercase();
+    match normalized.as_str() {
+        "show system" => Ok(show_system(device)),
+        "show cpu" => Ok(show_cpu(device)),
+        "show interfaces" => Ok(show_interfaces(device)),
+        "show storage" => Ok(show_storage(device)),
+        "show processes" => Ok(show_processes(device)),
+        _ => Err(CliError::UnknownCommand(command.trim().to_owned())),
+    }
+}
+
+/// The commands [`execute`] understands, for collectors that iterate
+/// over all of them.
+pub const COMMANDS: [&str; 5] = [
+    "show system",
+    "show cpu",
+    "show interfaces",
+    "show storage",
+    "show processes",
+];
+
+fn gauge(device: &Device, oid: &crate::Oid) -> f64 {
+    device.mib().get(oid).and_then(MibValue::as_f64).unwrap_or(0.0)
+}
+
+fn show_system(device: &Device) -> String {
+    let descr = device
+        .mib()
+        .get(&oids::sys_descr())
+        .and_then(MibValue::as_str)
+        .unwrap_or("?");
+    let uptime = gauge(device, &oids::sys_uptime());
+    format!(
+        "! {name} system report\nsystem.descr = {descr}\nsystem.uptime-ticks = {uptime}\n",
+        name = device.name(),
+    )
+}
+
+fn show_cpu(device: &Device) -> String {
+    let mut out = format!("! {} cpu report\n", device.name());
+    let mut cpu = 1;
+    loop {
+        let oid = oids::hr_processor_load(cpu);
+        match device.mib().get(&oid) {
+            Some(value) => {
+                let load = value.as_f64().unwrap_or(0.0);
+                out.push_str(&format!("cpu.load.{cpu} = {load}\n"));
+                cpu += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+fn show_interfaces(device: &Device) -> String {
+    let mut out = format!("! {} interface report\n", device.name());
+    for index in 1..=device.interface_count() {
+        let status = gauge(device, &oids::if_oper_status(index));
+        let rx = gauge(device, &oids::if_in_octets(index));
+        let tx = gauge(device, &oids::if_out_octets(index));
+        out.push_str(&format!("if.{index}.oper-status = {status}\n"));
+        out.push_str(&format!("if.{index}.in-octets = {rx}\n"));
+        out.push_str(&format!("if.{index}.out-octets = {tx}\n"));
+    }
+    out
+}
+
+fn show_storage(device: &Device) -> String {
+    let mut out = format!("! {} storage report\n", device.name());
+    for (index, label) in [(oids::STORAGE_RAM, "ram"), (oids::STORAGE_DISK, "disk")] {
+        let size = gauge(device, &oids::hr_storage_size(index));
+        let used = gauge(device, &oids::hr_storage_used(index));
+        let pct = if size > 0.0 { used / size * 100.0 } else { 0.0 };
+        out.push_str(&format!("storage.{label}.size = {size}\n"));
+        out.push_str(&format!("storage.{label}.used = {used}\n"));
+        out.push_str(&format!("storage.{label}.used-pct = {pct:.2}\n"));
+    }
+    out
+}
+
+fn show_processes(device: &Device) -> String {
+    let count = gauge(device, &oids::hr_system_processes());
+    format!(
+        "! {name} process report\nprocesses.count = {count}\n",
+        name = device.name(),
+    )
+}
+
+/// Parses a CLI report back into `(key, value)` pairs.
+///
+/// Comment lines (starting with `!`) and non-numeric values are skipped —
+/// the collector only forwards numeric observations.
+pub fn parse_report(report: &str) -> Vec<(String, f64)> {
+    report
+        .lines()
+        .filter(|line| !line.trim_start().starts_with('!'))
+        .filter_map(|line| {
+            let (key, value) = line.split_once('=')?;
+            let value: f64 = value.trim().parse().ok()?;
+            Some((key.trim().to_owned(), value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceKind, FaultKind};
+
+    fn device() -> Device {
+        let mut d = Device::builder("srv", DeviceKind::Server)
+            .cpus(2)
+            .seed(13)
+            .build();
+        d.tick(60_000);
+        d
+    }
+
+    #[test]
+    fn show_cpu_lists_every_cpu() {
+        let report = execute(&device(), "show cpu").unwrap();
+        let values = parse_report(&report);
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].0, "cpu.load.1");
+        assert_eq!(values[1].0, "cpu.load.2");
+    }
+
+    #[test]
+    fn show_interfaces_reports_three_keys_per_interface() {
+        let dev = device();
+        let values = parse_report(&execute(&dev, "show interfaces").unwrap());
+        assert_eq!(values.len(), 3 * dev.interface_count() as usize);
+    }
+
+    #[test]
+    fn show_storage_reports_percentages() {
+        let values = parse_report(&execute(&device(), "show storage").unwrap());
+        let pct = values
+            .iter()
+            .find(|(k, _)| k == "storage.disk.used-pct")
+            .unwrap()
+            .1;
+        assert!((0.0..=100.0).contains(&pct));
+    }
+
+    #[test]
+    fn show_processes_reports_count() {
+        let values = parse_report(&execute(&device(), "show processes").unwrap());
+        assert_eq!(values.len(), 1);
+        assert!(values[0].1 >= 20.0);
+    }
+
+    #[test]
+    fn commands_are_case_and_space_insensitive() {
+        let dev = device();
+        assert!(execute(&dev, "  SHOW CPU  ").is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert_eq!(
+            execute(&device(), "reload"),
+            Err(CliError::UnknownCommand("reload".into()))
+        );
+    }
+
+    #[test]
+    fn unreachable_device_errors() {
+        let mut dev = device();
+        dev.inject(FaultKind::Unreachable);
+        assert_eq!(
+            execute(&dev, "show cpu"),
+            Err(CliError::Unreachable("srv".into()))
+        );
+    }
+
+    #[test]
+    fn parse_report_skips_comments_and_garbage() {
+        let parsed = parse_report("! comment\nkey = 1.5\nbad line\ntext = hello\n");
+        assert_eq!(parsed, vec![("key".to_owned(), 1.5)]);
+    }
+
+    #[test]
+    fn all_advertised_commands_work() {
+        let dev = device();
+        for cmd in COMMANDS {
+            assert!(execute(&dev, cmd).is_ok(), "{cmd}");
+        }
+    }
+}

@@ -1,0 +1,610 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::fault::FaultKind;
+use crate::metrics::{CounterGen, MetricGen, Ramp, RandomWalk};
+use crate::{oids, MibTree, MibValue, Oid};
+
+/// The class of a managed device, which determines its default MIB shape
+/// and traffic profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A router: many interfaces, heavy traffic counters.
+    Router,
+    /// A switch: many interfaces, moderate traffic.
+    Switch,
+    /// A server: few interfaces, host resources dominate.
+    Server,
+}
+
+impl DeviceKind {
+    /// Human-readable description used for `sysDescr`.
+    pub fn descr(self) -> &'static str {
+        match self {
+            DeviceKind::Router => "agentgrid simulated router",
+            DeviceKind::Switch => "agentgrid simulated switch",
+            DeviceKind::Server => "agentgrid simulated server",
+        }
+    }
+
+    fn default_interfaces(self) -> u32 {
+        match self {
+            DeviceKind::Router => 4,
+            DeviceKind::Switch => 8,
+            DeviceKind::Server => 1,
+        }
+    }
+
+    fn traffic_rate(self) -> f64 {
+        match self {
+            DeviceKind::Router => 2_000_000.0,
+            DeviceKind::Switch => 800_000.0,
+            DeviceKind::Server => 200_000.0,
+        }
+    }
+}
+
+/// What a dynamic MIB object semantically is — used to apply faults to
+/// the right objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricRole {
+    CpuLoad(u32),
+    IfInOctets(u32),
+    IfOutOctets(u32),
+    StorageUsed(u32),
+    ProcessCount,
+}
+
+#[derive(Debug)]
+struct Dynamic {
+    oid: Oid,
+    role: MetricRole,
+    gen: Box<dyn MetricGen>,
+}
+
+/// One simulated managed device.
+///
+/// A device owns a [`MibTree`]; calling [`tick`](Device::tick) advances
+/// simulated time, re-sampling every dynamic object (CPU load, interface
+/// counters, storage, process count) and applying any active
+/// [`FaultKind`]s. Management access goes through [`crate::snmp`] or
+/// [`crate::cli`].
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::{Device, DeviceKind, FaultKind, oids};
+///
+/// let mut dev = Device::builder("srv-1", DeviceKind::Server).seed(1).build();
+/// dev.tick(60_000);
+/// dev.inject(FaultKind::CpuRunaway);
+/// dev.tick(120_000);
+/// let load = dev.mib().get(&oids::hr_processor_load(1)).unwrap();
+/// assert!(load.as_f64().unwrap() >= 95.0);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    name: String,
+    kind: DeviceKind,
+    site: String,
+    mib: MibTree,
+    dynamics: Vec<Dynamic>,
+    rng: StdRng,
+    faults: Vec<FaultKind>,
+    fault_ramps: Vec<(u32, Ramp)>,
+    interfaces: u32,
+    disk_units: u64,
+    ram_units: u64,
+    now_ms: u64,
+}
+
+impl Device {
+    /// Starts building a device.
+    pub fn builder(name: impl Into<String>, kind: DeviceKind) -> DeviceBuilder {
+        DeviceBuilder {
+            name: name.into(),
+            kind,
+            site: "default".to_owned(),
+            interfaces: None,
+            cpus: 1,
+            ram_units: 8_192,
+            disk_units: 500_000,
+            seed: 0,
+        }
+    }
+
+    /// The device name (also `sysName`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device class.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The site the device belongs to.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Read access to the MIB.
+    pub fn mib(&self) -> &MibTree {
+        &self.mib
+    }
+
+    /// Mutable access to the MIB (used by `snmp::serve` for `Set`).
+    pub(crate) fn mib_mut(&mut self) -> &mut MibTree {
+        &mut self.mib
+    }
+
+    /// Number of network interfaces.
+    pub fn interface_count(&self) -> u32 {
+        self.interfaces
+    }
+
+    /// Whether the device currently answers management requests.
+    pub fn is_reachable(&self) -> bool {
+        !self.faults.contains(&FaultKind::Unreachable)
+    }
+
+    /// Currently active faults.
+    pub fn active_faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// Last simulated time the device was ticked to, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Activates a fault. Injecting an already-active fault is a no-op.
+    pub fn inject(&mut self, fault: FaultKind) {
+        if self.faults.contains(&fault) {
+            return;
+        }
+        match fault {
+            FaultKind::DiskFilling => {
+                let used = self.storage_used(oids::STORAGE_DISK);
+                // Fill ~2% of the disk per minute until full.
+                let slope = self.disk_units as f64 * 0.02 / 60.0;
+                self.fault_ramps.push((
+                    oids::STORAGE_DISK,
+                    Ramp::new(used, slope, self.disk_units as f64).with_origin(self.now_ms),
+                ));
+            }
+            FaultKind::MemoryLeak => {
+                let used = self.storage_used(oids::STORAGE_RAM);
+                let slope = self.ram_units as f64 * 0.05 / 60.0;
+                self.fault_ramps.push((
+                    oids::STORAGE_RAM,
+                    Ramp::new(used, slope, self.ram_units as f64).with_origin(self.now_ms),
+                ));
+            }
+            _ => {}
+        }
+        self.faults.push(fault);
+    }
+
+    /// Clears a fault. Clearing an inactive fault is a no-op.
+    pub fn clear(&mut self, fault: FaultKind) {
+        self.faults.retain(|f| *f != fault);
+        match fault {
+            FaultKind::DiskFilling => self.fault_ramps.retain(|(i, _)| *i != oids::STORAGE_DISK),
+            FaultKind::MemoryLeak => self.fault_ramps.retain(|(i, _)| *i != oids::STORAGE_RAM),
+            _ => {}
+        }
+    }
+
+    fn storage_used(&self, index: u32) -> f64 {
+        self.mib
+            .get(&oids::hr_storage_used(index))
+            .and_then(MibValue::as_f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Advances the device to absolute simulated time `t_ms`, re-sampling
+    /// every dynamic MIB object and applying active faults.
+    pub fn tick(&mut self, t_ms: u64) {
+        self.now_ms = t_ms;
+        self.mib
+            .set(oids::sys_uptime(), MibValue::TimeTicks(t_ms / 10));
+
+        let cpu_runaway = self.faults.contains(&FaultKind::CpuRunaway);
+        let downed_links: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultKind::LinkDown(index) => Some(*index),
+                _ => None,
+            })
+            .collect();
+
+        for dynamic in &mut self.dynamics {
+            let value = match dynamic.role {
+                MetricRole::CpuLoad(_) => {
+                    let base = dynamic.gen.sample(t_ms, &mut self.rng);
+                    if cpu_runaway {
+                        self.rng.random_range(95.0..=100.0)
+                    } else {
+                        base
+                    }
+                }
+                MetricRole::IfInOctets(index) | MetricRole::IfOutOctets(index) => {
+                    if downed_links.contains(&index) {
+                        // A downed link stops counting: keep the old value
+                        // (the generator is intentionally not sampled, so
+                        // it does not accumulate while down).
+                        self.mib
+                            .get(&dynamic.oid)
+                            .and_then(MibValue::as_f64)
+                            .unwrap_or(0.0)
+                    } else {
+                        dynamic.gen.sample(t_ms, &mut self.rng)
+                    }
+                }
+                MetricRole::StorageUsed(index) => {
+                    let base = dynamic.gen.sample(t_ms, &mut self.rng);
+                    match self.fault_ramps.iter_mut().find(|(i, _)| *i == index) {
+                        Some((_, ramp)) => ramp.sample(t_ms, &mut self.rng).max(base),
+                        None => base,
+                    }
+                }
+                MetricRole::ProcessCount => dynamic.gen.sample(t_ms, &mut self.rng),
+            };
+            let mib_value = match dynamic.role {
+                MetricRole::CpuLoad(_) => MibValue::Gauge(value.round().max(0.0) as u64),
+                MetricRole::IfInOctets(_) | MetricRole::IfOutOctets(_) => {
+                    MibValue::Counter(value.max(0.0) as u64)
+                }
+                MetricRole::StorageUsed(_) => MibValue::Gauge(value.round().max(0.0) as u64),
+                MetricRole::ProcessCount => MibValue::Gauge(value.round().max(0.0) as u64),
+            };
+            self.mib.set(dynamic.oid.clone(), mib_value);
+        }
+
+        // Interface oper status reflects link faults directly.
+        for index in 1..=self.interfaces {
+            let status = if downed_links.contains(&index) { 2 } else { 1 };
+            self.mib
+                .set(oids::if_oper_status(index), MibValue::Int(status));
+        }
+    }
+
+    /// Total size of a storage area in units, if it exists.
+    pub fn storage_size(&self, index: u32) -> Option<u64> {
+        match self.mib.get(&oids::hr_storage_size(index)) {
+            Some(MibValue::Gauge(size)) => Some(*size),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for [`Device`] (see [`Device::builder`]).
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    name: String,
+    kind: DeviceKind,
+    site: String,
+    interfaces: Option<u32>,
+    cpus: u32,
+    ram_units: u64,
+    disk_units: u64,
+    seed: u64,
+}
+
+impl DeviceBuilder {
+    /// Sets the site name.
+    pub fn site(mut self, site: impl Into<String>) -> Self {
+        self.site = site.into();
+        self
+    }
+
+    /// Sets the number of network interfaces.
+    pub fn interfaces(mut self, interfaces: u32) -> Self {
+        self.interfaces = Some(interfaces);
+        self
+    }
+
+    /// Sets the number of CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn cpus(mut self, cpus: u32) -> Self {
+        assert!(cpus > 0, "a device needs at least one cpu");
+        self.cpus = cpus;
+        self
+    }
+
+    /// Sets RAM size in allocation units (megabytes).
+    pub fn ram_units(mut self, units: u64) -> Self {
+        self.ram_units = units;
+        self
+    }
+
+    /// Sets disk size in allocation units (megabytes).
+    pub fn disk_units(mut self, units: u64) -> Self {
+        self.disk_units = units;
+        self
+    }
+
+    /// Seeds the device's random generator (deterministic scenarios).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the device with its MIB populated at simulated time 0.
+    pub fn build(self) -> Device {
+        let interfaces = self.interfaces.unwrap_or(self.kind.default_interfaces());
+        // Derive the per-device stream from the seed AND the name so two
+        // devices with the same seed still differ.
+        let name_salt: u64 = self
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ name_salt);
+
+        let mut mib = MibTree::new();
+        mib.set(oids::sys_descr(), MibValue::Str(self.kind.descr().into()));
+        mib.set(oids::sys_name(), MibValue::Str(self.name.clone()));
+        mib.set(oids::sys_uptime(), MibValue::TimeTicks(0));
+        mib.set(
+            oids::hr_storage_size(oids::STORAGE_RAM),
+            MibValue::Gauge(self.ram_units),
+        );
+        mib.set(
+            oids::hr_storage_size(oids::STORAGE_DISK),
+            MibValue::Gauge(self.disk_units),
+        );
+
+        let mut dynamics: Vec<Dynamic> = Vec::new();
+        for cpu in 1..=self.cpus {
+            let start = rng.random_range(10.0..40.0);
+            dynamics.push(Dynamic {
+                oid: oids::hr_processor_load(cpu),
+                role: MetricRole::CpuLoad(cpu),
+                gen: Box::new(RandomWalk::new(start, 8.0, 0.0, 100.0)),
+            });
+        }
+        for index in 1..=interfaces {
+            let rate = self.kind.traffic_rate() * rng.random_range(0.5..1.5);
+            dynamics.push(Dynamic {
+                oid: oids::if_in_octets(index),
+                role: MetricRole::IfInOctets(index),
+                gen: Box::new(CounterGen::new(rate, 0.3)),
+            });
+            dynamics.push(Dynamic {
+                oid: oids::if_out_octets(index),
+                role: MetricRole::IfOutOctets(index),
+                gen: Box::new(CounterGen::new(rate * 0.8, 0.3)),
+            });
+            mib.set(oids::if_oper_status(index), MibValue::Int(1));
+        }
+        let ram_start = self.ram_units as f64 * rng.random_range(0.3..0.6);
+        dynamics.push(Dynamic {
+            oid: oids::hr_storage_used(oids::STORAGE_RAM),
+            role: MetricRole::StorageUsed(oids::STORAGE_RAM),
+            gen: Box::new(RandomWalk::new(
+                ram_start,
+                self.ram_units as f64 * 0.02,
+                0.0,
+                self.ram_units as f64,
+            )),
+        });
+        let disk_start = self.disk_units as f64 * rng.random_range(0.3..0.6);
+        dynamics.push(Dynamic {
+            oid: oids::hr_storage_used(oids::STORAGE_DISK),
+            role: MetricRole::StorageUsed(oids::STORAGE_DISK),
+            gen: Box::new(RandomWalk::new(
+                disk_start,
+                self.disk_units as f64 * 0.005,
+                0.0,
+                self.disk_units as f64,
+            )),
+        });
+        dynamics.push(Dynamic {
+            oid: oids::hr_system_processes(),
+            role: MetricRole::ProcessCount,
+            gen: Box::new(RandomWalk::new(
+                rng.random_range(80.0..200.0),
+                6.0,
+                20.0,
+                500.0,
+            )),
+        });
+
+        let mut device = Device {
+            name: self.name,
+            kind: self.kind,
+            site: self.site,
+            mib,
+            dynamics,
+            rng,
+            faults: Vec::new(),
+            fault_ramps: Vec::new(),
+            interfaces,
+            disk_units: self.disk_units,
+            ram_units: self.ram_units,
+            now_ms: 0,
+        };
+        device.tick(0);
+        device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(seed: u64) -> Device {
+        Device::builder("srv", DeviceKind::Server).seed(seed).build()
+    }
+
+    #[test]
+    fn build_populates_standard_objects() {
+        let dev = server(1);
+        assert_eq!(
+            dev.mib().get(&oids::sys_name()).unwrap().as_str(),
+            Some("srv")
+        );
+        assert!(dev.mib().get(&oids::hr_processor_load(1)).is_some());
+        assert!(dev.mib().get(&oids::if_in_octets(1)).is_some());
+        assert!(dev.mib().get(&oids::hr_system_processes()).is_some());
+        assert_eq!(dev.storage_size(oids::STORAGE_DISK), Some(500_000));
+    }
+
+    #[test]
+    fn kinds_set_interface_defaults() {
+        let router = Device::builder("r", DeviceKind::Router).build();
+        let switch = Device::builder("s", DeviceKind::Switch).build();
+        assert_eq!(router.interface_count(), 4);
+        assert_eq!(switch.interface_count(), 8);
+        assert!(switch.mib().get(&oids::if_oper_status(8)).is_some());
+    }
+
+    #[test]
+    fn tick_advances_uptime_and_counters() {
+        let mut dev = server(2);
+        let c0 = dev
+            .mib()
+            .get(&oids::if_in_octets(1))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        dev.tick(60_000);
+        let c1 = dev
+            .mib()
+            .get(&oids::if_in_octets(1))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(c1 > c0, "traffic counter must advance");
+        assert_eq!(
+            dev.mib().get(&oids::sys_uptime()),
+            Some(&MibValue::TimeTicks(6_000))
+        );
+    }
+
+    #[test]
+    fn cpu_runaway_pins_load_high() {
+        let mut dev = server(3);
+        dev.inject(FaultKind::CpuRunaway);
+        dev.tick(60_000);
+        let load = dev
+            .mib()
+            .get(&oids::hr_processor_load(1))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(load >= 95.0);
+        dev.clear(FaultKind::CpuRunaway);
+        assert!(dev.active_faults().is_empty());
+    }
+
+    #[test]
+    fn link_down_flips_status_and_freezes_counter() {
+        let mut dev = Device::builder("r", DeviceKind::Router).seed(4).build();
+        dev.tick(60_000);
+        dev.inject(FaultKind::LinkDown(2));
+        dev.tick(120_000);
+        assert_eq!(
+            dev.mib().get(&oids::if_oper_status(2)),
+            Some(&MibValue::Int(2))
+        );
+        let frozen = dev
+            .mib()
+            .get(&oids::if_in_octets(2))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        dev.tick(180_000);
+        let still = dev
+            .mib()
+            .get(&oids::if_in_octets(2))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(frozen, still, "downed link must not count traffic");
+        // Other links keep working.
+        assert_eq!(
+            dev.mib().get(&oids::if_oper_status(1)),
+            Some(&MibValue::Int(1))
+        );
+    }
+
+    #[test]
+    fn disk_filling_ramps_to_capacity() {
+        let mut dev = server(5);
+        dev.tick(0);
+        dev.inject(FaultKind::DiskFilling);
+        // 2%/min fill rate: after 100 minutes the disk must be full.
+        dev.tick(100 * 60_000);
+        let used = dev
+            .mib()
+            .get(&oids::hr_storage_used(oids::STORAGE_DISK))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(used >= 499_000.0, "disk used = {used}");
+    }
+
+    #[test]
+    fn memory_leak_grows_ram_use() {
+        let mut dev = server(6);
+        dev.tick(0);
+        let before = dev
+            .mib()
+            .get(&oids::hr_storage_used(oids::STORAGE_RAM))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        dev.inject(FaultKind::MemoryLeak);
+        dev.tick(30 * 60_000);
+        let after = dev
+            .mib()
+            .get(&oids::hr_storage_used(oids::STORAGE_RAM))
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn unreachable_fault_controls_reachability() {
+        let mut dev = server(7);
+        assert!(dev.is_reachable());
+        dev.inject(FaultKind::Unreachable);
+        assert!(!dev.is_reachable());
+        dev.clear(FaultKind::Unreachable);
+        assert!(dev.is_reachable());
+    }
+
+    #[test]
+    fn double_injection_is_idempotent() {
+        let mut dev = server(8);
+        dev.inject(FaultKind::CpuRunaway);
+        dev.inject(FaultKind::CpuRunaway);
+        assert_eq!(dev.active_faults().len(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_behaviour_different_names_differ() {
+        let run = |name: &str| {
+            let mut d = Device::builder(name, DeviceKind::Server).seed(9).build();
+            d.tick(60_000);
+            d.mib()
+                .get(&oids::hr_processor_load(1))
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(run("a"), run("a"));
+        // Extremely unlikely to collide if the name salts the stream.
+        assert_ne!(
+            (run("a"), run("b"), run("c")),
+            (run("b"), run("c"), run("a"))
+        );
+    }
+}

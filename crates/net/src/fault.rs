@@ -1,0 +1,203 @@
+//! Fault injection for the simulated network.
+//!
+//! The analysis rules of the processor grid exist to find problems; this
+//! module plants them. Faults can be injected directly on a
+//! [`Device`](crate::Device) or scheduled over simulated time with a
+//! [`FaultInjector`] driving a whole [`Network`].
+
+use std::fmt;
+
+use crate::Network;
+
+/// A fault a device can suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// CPU pinned at 95–100 %.
+    CpuRunaway,
+    /// The given interface goes operationally down.
+    LinkDown(u32),
+    /// Disk usage ramps toward capacity (~2 %/min).
+    DiskFilling,
+    /// RAM usage ramps toward capacity (~5 %/min).
+    MemoryLeak,
+    /// The device stops answering management requests.
+    Unreachable,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::CpuRunaway => f.write_str("cpu-runaway"),
+            FaultKind::LinkDown(index) => write!(f, "link-down({index})"),
+            FaultKind::DiskFilling => f.write_str("disk-filling"),
+            FaultKind::MemoryLeak => f.write_str("memory-leak"),
+            FaultKind::Unreachable => f.write_str("unreachable"),
+        }
+    }
+}
+
+/// A fault scheduled on a device for a window of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Target device name.
+    pub device: String,
+    /// The fault to apply.
+    pub fault: FaultKind,
+    /// When the fault starts (ms).
+    pub start_ms: u64,
+    /// When it clears; `None` means it persists forever.
+    pub end_ms: Option<u64>,
+}
+
+impl ScheduledFault {
+    /// Creates a persistent fault starting at `start_ms`.
+    pub fn from(device: impl Into<String>, fault: FaultKind, start_ms: u64) -> Self {
+        ScheduledFault {
+            device: device.into(),
+            fault,
+            start_ms,
+            end_ms: None,
+        }
+    }
+
+    /// Restricts the fault to end at `end_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_ms <= start_ms`.
+    pub fn until(mut self, end_ms: u64) -> Self {
+        assert!(end_ms > self.start_ms, "fault must end after it starts");
+        self.end_ms = Some(end_ms);
+        self
+    }
+
+    /// Whether the fault should be active at time `t_ms`.
+    pub fn active_at(&self, t_ms: u64) -> bool {
+        t_ms >= self.start_ms && self.end_ms.is_none_or(|end| t_ms < end)
+    }
+}
+
+/// Applies a schedule of faults to a [`Network`] as time advances.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::{Device, DeviceKind, FaultInjector, FaultKind, Network, ScheduledFault};
+///
+/// let mut net = Network::new();
+/// net.add_device(Device::builder("r1", DeviceKind::Router).site("s1").build());
+/// let mut injector = FaultInjector::new([
+///     ScheduledFault::from("r1", FaultKind::CpuRunaway, 60_000).until(120_000),
+/// ]);
+///
+/// injector.apply(&mut net, 60_000);
+/// assert_eq!(net.device("r1").unwrap().active_faults().len(), 1);
+/// injector.apply(&mut net, 120_000);
+/// assert!(net.device("r1").unwrap().active_faults().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    schedule: Vec<ScheduledFault>,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a schedule.
+    pub fn new(schedule: impl IntoIterator<Item = ScheduledFault>) -> Self {
+        FaultInjector {
+            schedule: schedule.into_iter().collect(),
+        }
+    }
+
+    /// Adds a fault to the schedule.
+    pub fn push(&mut self, fault: ScheduledFault) {
+        self.schedule.push(fault);
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &[ScheduledFault] {
+        &self.schedule
+    }
+
+    /// Injects/clears faults on `network` so each device's active set
+    /// matches the schedule at time `t_ms`. Unknown device names are
+    /// ignored (they may belong to a different site's network).
+    pub fn apply(&mut self, network: &mut Network, t_ms: u64) {
+        for entry in &self.schedule {
+            let Some(device) = network.device_mut(&entry.device) else {
+                continue;
+            };
+            let should_be_active = entry.active_at(t_ms);
+            let is_active = device.active_faults().contains(&entry.fault);
+            if should_be_active && !is_active {
+                device.inject(entry.fault);
+            } else if !should_be_active && is_active {
+                device.clear(entry.fault);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceKind};
+
+    #[test]
+    fn active_window_is_half_open() {
+        let f = ScheduledFault::from("d", FaultKind::MemoryLeak, 100).until(200);
+        assert!(!f.active_at(99));
+        assert!(f.active_at(100));
+        assert!(f.active_at(199));
+        assert!(!f.active_at(200));
+    }
+
+    #[test]
+    fn persistent_fault_never_ends() {
+        let f = ScheduledFault::from("d", FaultKind::DiskFilling, 5);
+        assert!(f.active_at(u64::MAX));
+        assert!(!f.active_at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault must end after it starts")]
+    fn until_rejects_inverted_window() {
+        let _ = ScheduledFault::from("d", FaultKind::CpuRunaway, 100).until(100);
+    }
+
+    #[test]
+    fn injector_applies_and_clears() {
+        let mut net = Network::new();
+        net.add_device(Device::builder("a", DeviceKind::Server).site("s").build());
+        net.add_device(Device::builder("b", DeviceKind::Server).site("s").build());
+        let mut injector = FaultInjector::new([
+            ScheduledFault::from("a", FaultKind::CpuRunaway, 10).until(20),
+            ScheduledFault::from("b", FaultKind::Unreachable, 15),
+        ]);
+
+        injector.apply(&mut net, 0);
+        assert!(net.device("a").unwrap().active_faults().is_empty());
+
+        injector.apply(&mut net, 12);
+        assert_eq!(
+            net.device("a").unwrap().active_faults(),
+            [FaultKind::CpuRunaway]
+        );
+        assert!(net.device("b").unwrap().is_reachable());
+
+        injector.apply(&mut net, 17);
+        assert!(!net.device("b").unwrap().is_reachable());
+
+        injector.apply(&mut net, 25);
+        assert!(net.device("a").unwrap().active_faults().is_empty());
+        assert!(!net.device("b").unwrap().is_reachable(), "persistent fault stays");
+    }
+
+    #[test]
+    fn injector_ignores_unknown_devices() {
+        let mut net = Network::new();
+        let mut injector =
+            FaultInjector::new([ScheduledFault::from("ghost", FaultKind::CpuRunaway, 0)]);
+        injector.apply(&mut net, 10); // must not panic
+    }
+}

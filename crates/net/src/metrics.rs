@@ -1,0 +1,291 @@
+//! Metric generators driving the simulated devices.
+//!
+//! Each dynamic MIB object is backed by a [`MetricGen`] that produces the
+//! next sample as simulated time advances. Generators are deterministic
+//! given a seed, so scenarios and benchmarks are reproducible.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A source of metric samples over simulated time.
+///
+/// `t_ms` is the absolute simulated time in milliseconds; implementations
+/// may keep internal state (e.g. counters accumulate).
+pub trait MetricGen: Send + std::fmt::Debug {
+    /// Produces the value at simulated time `t_ms`.
+    fn sample(&mut self, t_ms: u64, rng: &mut StdRng) -> f64;
+}
+
+/// A constant value.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::metrics::{Constant, MetricGen};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(Constant(7.0).sample(0, &mut rng), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl MetricGen for Constant {
+    fn sample(&mut self, _t_ms: u64, _rng: &mut StdRng) -> f64 {
+        self.0
+    }
+}
+
+/// A bounded random walk: each sample moves by at most `step` from the
+/// previous one and is clamped to `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    value: f64,
+    step: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RandomWalk {
+    /// Creates a walk starting at `start`, moving at most `step` per
+    /// sample, clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `step < 0`.
+    pub fn new(start: f64, step: f64, min: f64, max: f64) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        assert!(step >= 0.0, "step must be non-negative");
+        RandomWalk {
+            value: start.clamp(min, max),
+            step,
+            min,
+            max,
+        }
+    }
+}
+
+impl MetricGen for RandomWalk {
+    fn sample(&mut self, _t_ms: u64, rng: &mut StdRng) -> f64 {
+        let delta = rng.random_range(-self.step..=self.step);
+        self.value = (self.value + delta).clamp(self.min, self.max);
+        self.value
+    }
+}
+
+/// A daily sinusoidal pattern with noise — models business-hours load.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    /// Midpoint of the oscillation.
+    pub base: f64,
+    /// Peak deviation from the midpoint.
+    pub amplitude: f64,
+    /// Uniform noise added on top (± this value).
+    pub noise: f64,
+    /// Period of one "day" in simulated milliseconds.
+    pub period_ms: u64,
+}
+
+impl MetricGen for Diurnal {
+    fn sample(&mut self, t_ms: u64, rng: &mut StdRng) -> f64 {
+        let phase = (t_ms % self.period_ms) as f64 / self.period_ms as f64;
+        let wave = (phase * std::f64::consts::TAU).sin();
+        let noise = if self.noise > 0.0 {
+            rng.random_range(-self.noise..=self.noise)
+        } else {
+            0.0
+        };
+        (self.base + self.amplitude * wave + noise).max(0.0)
+    }
+}
+
+/// A monotonically increasing counter: accumulates a per-second rate
+/// (with jitter), like `ifInOctets`.
+#[derive(Debug, Clone)]
+pub struct CounterGen {
+    total: f64,
+    rate_per_sec: f64,
+    jitter: f64,
+    last_t_ms: Option<u64>,
+}
+
+impl CounterGen {
+    /// Creates a counter accumulating `rate_per_sec` units per simulated
+    /// second, with multiplicative jitter in `[1-jitter, 1+jitter]`.
+    pub fn new(rate_per_sec: f64, jitter: f64) -> Self {
+        CounterGen {
+            total: 0.0,
+            rate_per_sec,
+            jitter: jitter.clamp(0.0, 1.0),
+            last_t_ms: None,
+        }
+    }
+}
+
+impl MetricGen for CounterGen {
+    fn sample(&mut self, t_ms: u64, rng: &mut StdRng) -> f64 {
+        let elapsed_ms = match self.last_t_ms {
+            Some(last) => t_ms.saturating_sub(last),
+            None => 0,
+        };
+        self.last_t_ms = Some(t_ms);
+        let factor = if self.jitter > 0.0 {
+            rng.random_range(1.0 - self.jitter..=1.0 + self.jitter)
+        } else {
+            1.0
+        };
+        self.total += self.rate_per_sec * factor * (elapsed_ms as f64 / 1000.0);
+        self.total
+    }
+}
+
+/// A linear ramp, used by fault injection (disk filling, memory leak):
+/// grows from `start` by `slope_per_sec` until `cap`.
+#[derive(Debug, Clone)]
+pub struct Ramp {
+    start: f64,
+    slope_per_sec: f64,
+    cap: f64,
+    t0_ms: Option<u64>,
+}
+
+impl Ramp {
+    /// Creates a ramp. Growth is measured from the first sample's time.
+    pub fn new(start: f64, slope_per_sec: f64, cap: f64) -> Self {
+        Ramp {
+            start,
+            slope_per_sec,
+            cap,
+            t0_ms: None,
+        }
+    }
+
+    /// Anchors the ramp's origin at an explicit simulated time instead of
+    /// the first sample (used when a fault is injected *between* samples).
+    pub fn with_origin(mut self, t0_ms: u64) -> Self {
+        self.t0_ms = Some(t0_ms);
+        self
+    }
+}
+
+impl MetricGen for Ramp {
+    fn sample(&mut self, t_ms: u64, _rng: &mut StdRng) -> f64 {
+        let t0 = *self.t0_ms.get_or_insert(t_ms);
+        let elapsed_sec = t_ms.saturating_sub(t0) as f64 / 1000.0;
+        (self.start + self.slope_per_sec * elapsed_sec).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut g = Constant(3.5);
+        let mut r = rng();
+        assert_eq!(g.sample(0, &mut r), 3.5);
+        assert_eq!(g.sample(1_000_000, &mut r), 3.5);
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut g = RandomWalk::new(50.0, 10.0, 0.0, 100.0);
+        let mut r = rng();
+        for t in 0..1000 {
+            let v = g.sample(t * 1000, &mut r);
+            assert!((0.0..=100.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn random_walk_moves_at_most_step() {
+        let mut g = RandomWalk::new(50.0, 2.0, 0.0, 100.0);
+        let mut r = rng();
+        let mut prev = 50.0;
+        for t in 0..100 {
+            let v = g.sample(t, &mut r);
+            assert!((v - prev).abs() <= 2.0 + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn random_walk_rejects_inverted_bounds() {
+        RandomWalk::new(0.0, 1.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_base() {
+        let mut g = Diurnal {
+            base: 50.0,
+            amplitude: 20.0,
+            noise: 0.0,
+            period_ms: 1000,
+        };
+        let mut r = rng();
+        let quarter = g.sample(250, &mut r); // sin(π/2) = 1 → peak
+        let three_quarter = g.sample(750, &mut r); // sin(3π/2) = -1 → trough
+        assert!((quarter - 70.0).abs() < 1e-6);
+        assert!((three_quarter - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diurnal_never_negative() {
+        let mut g = Diurnal {
+            base: 1.0,
+            amplitude: 50.0,
+            noise: 5.0,
+            period_ms: 100,
+        };
+        let mut r = rng();
+        for t in 0..200 {
+            assert!(g.sample(t, &mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn counter_is_monotone_in_time() {
+        let mut g = CounterGen::new(100.0, 0.3);
+        let mut r = rng();
+        let mut prev = g.sample(0, &mut r);
+        for t in 1..50 {
+            let v = g.sample(t * 1000, &mut r);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn counter_rate_is_approximately_honoured() {
+        let mut g = CounterGen::new(100.0, 0.0);
+        let mut r = rng();
+        g.sample(0, &mut r);
+        let v = g.sample(10_000, &mut r);
+        assert!((v - 1000.0).abs() < 1e-6, "{v}");
+    }
+
+    #[test]
+    fn ramp_grows_then_caps() {
+        let mut g = Ramp::new(10.0, 5.0, 30.0);
+        let mut r = rng();
+        assert_eq!(g.sample(1_000, &mut r), 10.0); // t0 anchored here
+        assert_eq!(g.sample(3_000, &mut r), 20.0);
+        assert_eq!(g.sample(60_000, &mut r), 30.0); // capped
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let run = || {
+            let mut g = RandomWalk::new(50.0, 5.0, 0.0, 100.0);
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|t| g.sample(t, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,214 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Oid;
+
+/// A value stored at a MIB leaf.
+///
+/// The variants mirror the SMI base types collectors actually see:
+/// integers, monotonically increasing counters, gauges and octet strings.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::MibValue;
+/// assert_eq!(MibValue::Gauge(42).as_f64(), Some(42.0));
+/// assert_eq!(MibValue::Str("up".into()).as_f64(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MibValue {
+    /// A signed integer (e.g. `ifOperStatus`).
+    Int(i64),
+    /// A monotonically increasing counter (e.g. `ifInOctets`).
+    Counter(u64),
+    /// A gauge that can rise and fall (e.g. `hrProcessorLoad`).
+    Gauge(u64),
+    /// Hundredths of a second since the device booted.
+    TimeTicks(u64),
+    /// An octet string (e.g. `sysDescr`).
+    Str(String),
+}
+
+impl MibValue {
+    /// Numeric view of the value, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MibValue::Int(x) => Some(*x as f64),
+            MibValue::Counter(x) | MibValue::Gauge(x) | MibValue::TimeTicks(x) => {
+                Some(*x as f64)
+            }
+            MibValue::Str(_) => None,
+        }
+    }
+
+    /// String view of the value, if it is an octet string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MibValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MibValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MibValue::Int(x) => write!(f, "INTEGER: {x}"),
+            MibValue::Counter(x) => write!(f, "Counter: {x}"),
+            MibValue::Gauge(x) => write!(f, "Gauge: {x}"),
+            MibValue::TimeTicks(x) => write!(f, "TimeTicks: {x}"),
+            MibValue::Str(s) => write!(f, "STRING: {s}"),
+        }
+    }
+}
+
+/// An ordered tree of MIB objects, keyed by [`Oid`].
+///
+/// `BTreeMap` ordering gives `get_next` the exact lexicographic traversal
+/// SNMP mandates.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::{MibTree, MibValue, Oid};
+///
+/// let mut mib = MibTree::new();
+/// mib.set(Oid::from([1, 1]), MibValue::Int(1));
+/// mib.set(Oid::from([1, 2]), MibValue::Int(2));
+/// let (next, v) = mib.get_next(&Oid::from([1, 1])).unwrap();
+/// assert_eq!(next, &Oid::from([1, 2]));
+/// assert_eq!(v, &MibValue::Int(2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MibTree {
+    objects: BTreeMap<Oid, MibValue>,
+}
+
+impl MibTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        MibTree::default()
+    }
+
+    /// Reads the value at exactly `oid`.
+    pub fn get(&self, oid: &Oid) -> Option<&MibValue> {
+        self.objects.get(oid)
+    }
+
+    /// Writes (creates or replaces) the value at `oid`.
+    pub fn set(&mut self, oid: Oid, value: MibValue) {
+        self.objects.insert(oid, value);
+    }
+
+    /// Removes the value at `oid`, returning it if present.
+    pub fn remove(&mut self, oid: &Oid) -> Option<MibValue> {
+        self.objects.remove(oid)
+    }
+
+    /// The first object *strictly after* `oid` in lexicographic order —
+    /// SNMP `GetNext`.
+    pub fn get_next(&self, oid: &Oid) -> Option<(&Oid, &MibValue)> {
+        use std::ops::Bound;
+        self.objects
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .next()
+    }
+
+    /// All objects under `prefix` in order — one SNMP walk.
+    pub fn walk<'a>(&'a self, prefix: &'a Oid) -> impl Iterator<Item = (&'a Oid, &'a MibValue)> + 'a {
+        self.objects
+            .range(prefix.clone()..)
+            .take_while(move |(oid, _)| oid.starts_with(prefix))
+    }
+
+    /// Iterates over every object in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Oid, &MibValue)> {
+        self.objects.iter()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+impl Extend<(Oid, MibValue)> for MibTree {
+    fn extend<T: IntoIterator<Item = (Oid, MibValue)>>(&mut self, iter: T) {
+        self.objects.extend(iter);
+    }
+}
+
+impl FromIterator<(Oid, MibValue)> for MibTree {
+    fn from_iter<T: IntoIterator<Item = (Oid, MibValue)>>(iter: T) -> Self {
+        MibTree {
+            objects: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> MibTree {
+        [
+            (Oid::from([1, 1, 0]), MibValue::Str("descr".into())),
+            (Oid::from([1, 2, 1, 1]), MibValue::Int(1)),
+            (Oid::from([1, 2, 1, 2]), MibValue::Int(2)),
+            (Oid::from([1, 3, 0]), MibValue::Counter(99)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn get_exact() {
+        let mib = tree();
+        assert_eq!(mib.get(&Oid::from([1, 3, 0])), Some(&MibValue::Counter(99)));
+        assert_eq!(mib.get(&Oid::from([9])), None);
+    }
+
+    #[test]
+    fn get_next_is_strictly_after() {
+        let mib = tree();
+        let (oid, _) = mib.get_next(&Oid::from([1, 1, 0])).unwrap();
+        assert_eq!(oid, &Oid::from([1, 2, 1, 1]));
+        // From a non-existent OID, the next existing one is returned.
+        let (oid, _) = mib.get_next(&Oid::from([1, 2])).unwrap();
+        assert_eq!(oid, &Oid::from([1, 2, 1, 1]));
+        // Past the end there is nothing.
+        assert!(mib.get_next(&Oid::from([1, 3, 0])).is_none());
+    }
+
+    #[test]
+    fn walk_covers_exactly_the_subtree() {
+        let mib = tree();
+        let rows: Vec<_> = mib.walk(&Oid::from([1, 2])).map(|(o, _)| o.clone()).collect();
+        assert_eq!(rows, vec![Oid::from([1, 2, 1, 1]), Oid::from([1, 2, 1, 2])]);
+        assert_eq!(mib.walk(&Oid::from([1])).count(), 4);
+        assert_eq!(mib.walk(&Oid::from([2])).count(), 0);
+    }
+
+    #[test]
+    fn set_replaces_and_remove_deletes() {
+        let mut mib = tree();
+        mib.set(Oid::from([1, 3, 0]), MibValue::Counter(100));
+        assert_eq!(mib.get(&Oid::from([1, 3, 0])), Some(&MibValue::Counter(100)));
+        assert_eq!(mib.remove(&Oid::from([1, 3, 0])), Some(MibValue::Counter(100)));
+        assert_eq!(mib.len(), 3);
+    }
+
+    #[test]
+    fn value_display_formats() {
+        assert_eq!(MibValue::Int(-1).to_string(), "INTEGER: -1");
+        assert_eq!(MibValue::Str("x".into()).to_string(), "STRING: x");
+        assert_eq!(MibValue::Gauge(5).to_string(), "Gauge: 5");
+    }
+}

@@ -1,0 +1,167 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An SNMP object identifier: a sequence of numeric sub-identifiers.
+///
+/// Ordering is lexicographic over the sub-identifier sequence, which is
+/// exactly the order `GetNext` traverses a MIB in.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::Oid;
+///
+/// let sys_descr: Oid = "1.3.6.1.2.1.1.1.0".parse()?;
+/// assert_eq!(sys_descr.to_string(), "1.3.6.1.2.1.1.1.0");
+/// assert!(sys_descr.starts_with(&"1.3.6.1.2.1.1".parse()?));
+/// # Ok::<(), agentgrid_net::ParseOidError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Oid(Vec<u32>);
+
+impl Oid {
+    /// Creates an OID from sub-identifiers.
+    pub fn new(parts: impl Into<Vec<u32>>) -> Self {
+        Oid(parts.into())
+    }
+
+    /// The sub-identifiers.
+    pub fn parts(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of sub-identifiers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the OID has no sub-identifiers (the MIB root).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a new OID with `index` appended — how table columns get
+    /// their row instances.
+    pub fn child(&self, index: u32) -> Oid {
+        let mut parts = self.0.clone();
+        parts.push(index);
+        Oid(parts)
+    }
+
+    /// Returns a new OID with all of `suffix` appended.
+    pub fn extend(&self, suffix: impl IntoIterator<Item = u32>) -> Oid {
+        let mut parts = self.0.clone();
+        parts.extend(suffix);
+        Oid(parts)
+    }
+
+    /// Whether `prefix` is a (non-strict) prefix of this OID.
+    pub fn starts_with(&self, prefix: &Oid) -> bool {
+        self.0.starts_with(&prefix.0)
+    }
+
+    /// The last sub-identifier, if any (typically a table row index).
+    pub fn last(&self) -> Option<u32> {
+        self.0.last().copied()
+    }
+}
+
+impl From<&[u32]> for Oid {
+    fn from(parts: &[u32]) -> Self {
+        Oid(parts.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Oid {
+    fn from(parts: [u32; N]) -> Self {
+        Oid(parts.to_vec())
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing an [`Oid`] from dotted-decimal text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOidError {
+    input: String,
+}
+
+impl fmt::Display for ParseOidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid oid `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseOidError {}
+
+impl FromStr for Oid {
+    type Err = ParseOidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseOidError { input: s.to_owned() });
+        }
+        s.split('.')
+            .map(|part| part.parse::<u32>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(Oid)
+            .map_err(|_| ParseOidError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let oid: Oid = "1.3.6.1.2.1".parse().unwrap();
+        assert_eq!(oid.parts(), &[1, 3, 6, 1, 2, 1]);
+        assert_eq!(oid.to_string(), "1.3.6.1.2.1");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "1..2", "a.b", "1.2.", ".1.2", "1.-2"] {
+            assert!(bad.parse::<Oid>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Oid = "1.3.6".parse().unwrap();
+        let b: Oid = "1.3.6.1".parse().unwrap();
+        let c: Oid = "1.3.7".parse().unwrap();
+        assert!(a < b, "prefix sorts before extension");
+        assert!(b < c, "sibling subtree sorts after");
+    }
+
+    #[test]
+    fn child_and_extend() {
+        let base: Oid = "1.2".parse().unwrap();
+        assert_eq!(base.child(5).to_string(), "1.2.5");
+        assert_eq!(base.extend([3, 4]).to_string(), "1.2.3.4");
+        assert_eq!(base.child(5).last(), Some(5));
+    }
+
+    #[test]
+    fn starts_with_is_prefix_relation() {
+        let base: Oid = "1.2.3".parse().unwrap();
+        assert!(base.starts_with(&"1.2".parse().unwrap()));
+        assert!(base.starts_with(&base));
+        assert!(!base.starts_with(&"1.2.4".parse().unwrap()));
+        assert!(!"1.2".parse::<Oid>().unwrap().starts_with(&base));
+    }
+}

@@ -1,0 +1,111 @@
+//! Well-known object identifiers used by the simulated devices.
+//!
+//! A pragmatic subset of MIB-2 (`system`, `interfaces`) and the
+//! Host-Resources MIB — the objects the paper's motivating example
+//! collects: "processor usage, memory availability, available disk space
+//! and the list of processes" (§4.1).
+
+use crate::Oid;
+
+/// `sysDescr.0` — device description string.
+pub fn sys_descr() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 1, 1, 0])
+}
+
+/// `sysUpTime.0` — time since boot, in hundredths of a second.
+pub fn sys_uptime() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 1, 3, 0])
+}
+
+/// `sysName.0` — administratively assigned name.
+pub fn sys_name() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 1, 5, 0])
+}
+
+/// Root of the interfaces table (`ifTable`).
+pub fn if_table() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 2, 2, 1])
+}
+
+/// `ifOperStatus.<index>` — 1 = up, 2 = down.
+pub fn if_oper_status(index: u32) -> Oid {
+    if_table().extend([8, index])
+}
+
+/// `ifInOctets.<index>` — received byte counter.
+pub fn if_in_octets(index: u32) -> Oid {
+    if_table().extend([10, index])
+}
+
+/// `ifOutOctets.<index>` — transmitted byte counter.
+pub fn if_out_octets(index: u32) -> Oid {
+    if_table().extend([16, index])
+}
+
+/// `hrSystemProcesses.0` — number of running processes.
+pub fn hr_system_processes() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 25, 1, 6, 0])
+}
+
+/// Root of the host-resources storage table.
+pub fn hr_storage_table() -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 25, 2, 3, 1])
+}
+
+/// `hrStorageSize.<index>` — total size of a storage area, in units.
+pub fn hr_storage_size(index: u32) -> Oid {
+    hr_storage_table().extend([5, index])
+}
+
+/// `hrStorageUsed.<index>` — used space of a storage area, in units.
+pub fn hr_storage_used(index: u32) -> Oid {
+    hr_storage_table().extend([6, index])
+}
+
+/// `hrProcessorLoad.<index>` — average CPU load percentage over the last
+/// minute.
+pub fn hr_processor_load(index: u32) -> Oid {
+    Oid::from([1, 3, 6, 1, 2, 1, 25, 3, 3, 1, 2]).child(index)
+}
+
+/// Storage index conventionally used for RAM on the simulated servers.
+pub const STORAGE_RAM: u32 = 1;
+/// Storage index conventionally used for the main disk.
+pub const STORAGE_DISK: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oids_are_under_mib2_or_host_resources() {
+        let mib2: Oid = Oid::from([1, 3, 6, 1, 2, 1]);
+        for oid in [
+            sys_descr(),
+            sys_uptime(),
+            sys_name(),
+            if_oper_status(1),
+            if_in_octets(3),
+            if_out_octets(3),
+            hr_system_processes(),
+            hr_storage_size(1),
+            hr_storage_used(2),
+            hr_processor_load(1),
+        ] {
+            assert!(oid.starts_with(&mib2), "{oid}");
+        }
+    }
+
+    #[test]
+    fn table_instances_carry_their_index() {
+        assert_eq!(if_in_octets(7).last(), Some(7));
+        assert_eq!(hr_processor_load(2).last(), Some(2));
+        assert_ne!(if_in_octets(1), if_out_octets(1));
+    }
+
+    #[test]
+    fn storage_columns_share_the_table_prefix() {
+        assert!(hr_storage_size(1).starts_with(&hr_storage_table()));
+        assert!(hr_storage_used(1).starts_with(&hr_storage_table()));
+    }
+}

@@ -1,0 +1,303 @@
+//! The SNMP-like management protocol served by simulated devices.
+//!
+//! This is the collector grid's primary *interface* (paper §3.1). The
+//! protocol mirrors SNMPv2c semantics — `Get`, `GetNext`, `GetBulk`,
+//! `Set` — over the in-process device model instead of UDP, so the same
+//! collector code path (poll OIDs on a schedule, walk tables, handle
+//! unreachable devices) is exercised without a real network stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_net::{snmp, Device, DeviceKind, oids};
+//!
+//! let mut dev = Device::builder("r1", DeviceKind::Router).seed(3).build();
+//! dev.tick(60_000);
+//! let rows = snmp::walk(&mut dev, &oids::if_table())?;
+//! assert!(!rows.is_empty());
+//! # Ok::<(), agentgrid_net::snmp::SnmpError>(())
+//! ```
+
+use std::fmt;
+
+use crate::{oids, Device, MibValue, Oid};
+
+/// A management request to one device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnmpRequest {
+    /// Read one object.
+    Get(Oid),
+    /// Read the lexicographically next object.
+    GetNext(Oid),
+    /// Read up to `max_repetitions` objects after `start`.
+    GetBulk {
+        /// Exclusive lower bound of the read.
+        start: Oid,
+        /// Maximum number of objects to return.
+        max_repetitions: usize,
+    },
+    /// Write one object (only writable objects accept this).
+    Set(Oid, MibValue),
+}
+
+/// A successful reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnmpResponse {
+    /// Reply to `Get`/`GetNext`: the object's OID and value.
+    Value(Oid, MibValue),
+    /// Reply to `GetBulk`: consecutive objects in order.
+    Rows(Vec<(Oid, MibValue)>),
+    /// Reply to `Set`.
+    Done,
+}
+
+/// A protocol error.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnmpError {
+    /// The device is not answering (fault-injected or powered off).
+    Unreachable {
+        /// The unresponsive device.
+        device: String,
+    },
+    /// No object exists at (or, for `GetNext`, after) the OID.
+    NoSuchObject(Oid),
+    /// The object exists but rejects writes.
+    NotWritable(Oid),
+}
+
+impl fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnmpError::Unreachable { device } => write!(f, "device `{device}` unreachable"),
+            SnmpError::NoSuchObject(oid) => write!(f, "no such object `{oid}`"),
+            SnmpError::NotWritable(oid) => write!(f, "object `{oid}` is not writable"),
+        }
+    }
+}
+
+impl std::error::Error for SnmpError {}
+
+/// Whether an object accepts `Set` (only `sysName` in this MIB subset,
+/// mirroring how little of MIB-2 is actually writable).
+fn is_writable(oid: &Oid) -> bool {
+    *oid == oids::sys_name()
+}
+
+/// Serves one request against a device, honouring reachability.
+///
+/// # Errors
+///
+/// Returns [`SnmpError::Unreachable`] when the device has the
+/// `Unreachable` fault active, [`SnmpError::NoSuchObject`] for reads that
+/// miss, and [`SnmpError::NotWritable`] for writes to read-only objects.
+pub fn serve(device: &mut Device, request: &SnmpRequest) -> Result<SnmpResponse, SnmpError> {
+    if !device.is_reachable() {
+        return Err(SnmpError::Unreachable {
+            device: device.name().to_owned(),
+        });
+    }
+    match request {
+        SnmpRequest::Get(oid) => device
+            .mib()
+            .get(oid)
+            .map(|v| SnmpResponse::Value(oid.clone(), v.clone()))
+            .ok_or_else(|| SnmpError::NoSuchObject(oid.clone())),
+        SnmpRequest::GetNext(oid) => device
+            .mib()
+            .get_next(oid)
+            .map(|(o, v)| SnmpResponse::Value(o.clone(), v.clone()))
+            .ok_or_else(|| SnmpError::NoSuchObject(oid.clone())),
+        SnmpRequest::GetBulk {
+            start,
+            max_repetitions,
+        } => {
+            let mut rows = Vec::new();
+            let mut cursor = start.clone();
+            for _ in 0..*max_repetitions {
+                match device.mib().get_next(&cursor) {
+                    Some((oid, value)) => {
+                        rows.push((oid.clone(), value.clone()));
+                        cursor = oid.clone();
+                    }
+                    None => break,
+                }
+            }
+            Ok(SnmpResponse::Rows(rows))
+        }
+        SnmpRequest::Set(oid, value) => {
+            if device.mib().get(oid).is_none() {
+                return Err(SnmpError::NoSuchObject(oid.clone()));
+            }
+            if !is_writable(oid) {
+                return Err(SnmpError::NotWritable(oid.clone()));
+            }
+            device.mib_mut().set(oid.clone(), value.clone());
+            Ok(SnmpResponse::Done)
+        }
+    }
+}
+
+/// Client helper: reads one object.
+///
+/// # Errors
+///
+/// Propagates [`SnmpError`] from [`serve`].
+pub fn get(device: &mut Device, oid: &Oid) -> Result<MibValue, SnmpError> {
+    match serve(device, &SnmpRequest::Get(oid.clone()))? {
+        SnmpResponse::Value(_, value) => Ok(value),
+        other => unreachable!("Get always answers Value, got {other:?}"),
+    }
+}
+
+/// Client helper: walks an entire subtree with repeated `GetNext` —
+/// exactly what an SNMP collector does with a table.
+///
+/// # Errors
+///
+/// Propagates [`SnmpError::Unreachable`]; an empty subtree yields an
+/// empty vector, not an error.
+pub fn walk(device: &mut Device, prefix: &Oid) -> Result<Vec<(Oid, MibValue)>, SnmpError> {
+    let mut rows = Vec::new();
+    let mut cursor = prefix.clone();
+    loop {
+        match serve(device, &SnmpRequest::GetNext(cursor.clone())) {
+            Ok(SnmpResponse::Value(oid, value)) => {
+                if !oid.starts_with(prefix) {
+                    break;
+                }
+                cursor = oid.clone();
+                rows.push((oid, value));
+            }
+            Ok(other) => unreachable!("GetNext always answers Value, got {other:?}"),
+            Err(SnmpError::NoSuchObject(_)) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceKind, FaultKind};
+
+    fn device() -> Device {
+        let mut d = Device::builder("r1", DeviceKind::Router).seed(11).build();
+        d.tick(60_000);
+        d
+    }
+
+    #[test]
+    fn get_reads_exact_object() {
+        let mut dev = device();
+        let value = get(&mut dev, &oids::sys_name()).unwrap();
+        assert_eq!(value.as_str(), Some("r1"));
+    }
+
+    #[test]
+    fn get_missing_is_no_such_object() {
+        let mut dev = device();
+        let missing = Oid::from([9, 9, 9]);
+        assert_eq!(
+            get(&mut dev, &missing),
+            Err(SnmpError::NoSuchObject(missing))
+        );
+    }
+
+    #[test]
+    fn get_next_traverses_in_order() {
+        let mut dev = device();
+        let SnmpResponse::Value(first, _) =
+            serve(&mut dev, &SnmpRequest::GetNext(Oid::from([1]))).unwrap()
+        else {
+            panic!("expected value");
+        };
+        let SnmpResponse::Value(second, _) =
+            serve(&mut dev, &SnmpRequest::GetNext(first.clone())).unwrap()
+        else {
+            panic!("expected value");
+        };
+        assert!(first < second);
+    }
+
+    #[test]
+    fn get_bulk_returns_up_to_n_rows() {
+        let mut dev = device();
+        let SnmpResponse::Rows(rows) = serve(
+            &mut dev,
+            &SnmpRequest::GetBulk {
+                start: Oid::from([1]),
+                max_repetitions: 5,
+            },
+        )
+        .unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn walk_covers_the_interface_table_exactly() {
+        let mut dev = device();
+        let rows = walk(&mut dev, &oids::if_table()).unwrap();
+        // 4 interfaces × 3 columns (operStatus, inOctets, outOctets).
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|(oid, _)| oid.starts_with(&oids::if_table())));
+    }
+
+    #[test]
+    fn walk_empty_subtree_is_empty() {
+        let mut dev = device();
+        assert!(walk(&mut dev, &Oid::from([2])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_writes_writable_objects_only() {
+        let mut dev = device();
+        let ok = serve(
+            &mut dev,
+            &SnmpRequest::Set(oids::sys_name(), MibValue::Str("renamed".into())),
+        );
+        assert_eq!(ok, Ok(SnmpResponse::Done));
+        assert_eq!(get(&mut dev, &oids::sys_name()).unwrap().as_str(), Some("renamed"));
+
+        let err = serve(
+            &mut dev,
+            &SnmpRequest::Set(oids::sys_uptime(), MibValue::TimeTicks(0)),
+        );
+        assert_eq!(err, Err(SnmpError::NotWritable(oids::sys_uptime())));
+
+        let missing = Oid::from([9]);
+        let err = serve(
+            &mut dev,
+            &SnmpRequest::Set(missing.clone(), MibValue::Int(0)),
+        );
+        assert_eq!(err, Err(SnmpError::NoSuchObject(missing)));
+    }
+
+    #[test]
+    fn unreachable_device_rejects_everything() {
+        let mut dev = device();
+        dev.inject(FaultKind::Unreachable);
+        for request in [
+            SnmpRequest::Get(oids::sys_name()),
+            SnmpRequest::GetNext(Oid::from([1])),
+            SnmpRequest::GetBulk {
+                start: Oid::from([1]),
+                max_repetitions: 3,
+            },
+            SnmpRequest::Set(oids::sys_name(), MibValue::Str("x".into())),
+        ] {
+            assert!(matches!(
+                serve(&mut dev, &request),
+                Err(SnmpError::Unreachable { .. })
+            ));
+        }
+        assert!(matches!(
+            walk(&mut dev, &oids::if_table()),
+            Err(SnmpError::Unreachable { .. })
+        ));
+    }
+}

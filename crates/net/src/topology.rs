@@ -1,0 +1,228 @@
+use std::collections::BTreeMap;
+
+use crate::Device;
+
+/// A link between two devices (or two sites) with a latency budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint (device or site name).
+    pub a: String,
+    /// The other endpoint.
+    pub b: String,
+    /// One-way latency in milliseconds.
+    pub latency_ms: u64,
+    /// Nominal bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(
+        a: impl Into<String>,
+        b: impl Into<String>,
+        latency_ms: u64,
+        bandwidth_bps: u64,
+    ) -> Self {
+        Link {
+            a: a.into(),
+            b: b.into(),
+            latency_ms,
+            bandwidth_bps,
+        }
+    }
+
+    /// Whether the link touches `endpoint`.
+    pub fn touches(&self, endpoint: &str) -> bool {
+        self.a == endpoint || self.b == endpoint
+    }
+}
+
+/// A management site: a named group of devices (the paper's "Site I",
+/// "Site II" in Fig. 2).
+#[derive(Debug, Default)]
+pub struct Site {
+    name: String,
+    devices: Vec<String>,
+}
+
+impl Site {
+    /// The site name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Names of the devices at this site.
+    pub fn device_names(&self) -> &[String] {
+        &self.devices
+    }
+}
+
+/// The whole managed network: devices grouped into sites, plus links.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_net::{Device, DeviceKind, Network};
+///
+/// let mut net = Network::new();
+/// net.add_device(Device::builder("r1", DeviceKind::Router).site("hq").build());
+/// net.add_device(Device::builder("sw1", DeviceKind::Switch).site("hq").build());
+/// net.add_device(Device::builder("srv1", DeviceKind::Server).site("branch").build());
+///
+/// assert_eq!(net.device_count(), 3);
+/// assert_eq!(net.sites().count(), 2);
+/// net.tick_all(60_000);
+/// assert_eq!(net.device("r1").unwrap().now_ms(), 60_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    devices: BTreeMap<String, Device>,
+    sites: BTreeMap<String, Site>,
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a device, registering its site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device with the same name already exists.
+    pub fn add_device(&mut self, device: Device) {
+        let name = device.name().to_owned();
+        assert!(
+            !self.devices.contains_key(&name),
+            "duplicate device name `{name}`"
+        );
+        let site = self
+            .sites
+            .entry(device.site().to_owned())
+            .or_insert_with(|| Site {
+                name: device.site().to_owned(),
+                devices: Vec::new(),
+            });
+        site.devices.push(name.clone());
+        self.devices.insert(name, device);
+    }
+
+    /// Adds a link.
+    pub fn add_link(&mut self, link: Link) {
+        self.links.push(link);
+    }
+
+    /// Looks up a device.
+    pub fn device(&self, name: &str) -> Option<&Device> {
+        self.devices.get(name)
+    }
+
+    /// Looks up a device mutably (for ticking, SNMP serving, faults).
+    pub fn device_mut(&mut self, name: &str) -> Option<&mut Device> {
+        self.devices.get_mut(name)
+    }
+
+    /// Iterates over devices in name order.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+
+    /// Iterates over devices mutably.
+    pub fn devices_mut(&mut self) -> impl Iterator<Item = &mut Device> {
+        self.devices.values_mut()
+    }
+
+    /// Iterates over sites in name order.
+    pub fn sites(&self) -> impl Iterator<Item = &Site> {
+        self.sites.values()
+    }
+
+    /// Looks up a site.
+    pub fn site(&self, name: &str) -> Option<&Site> {
+        self.sites.get(name)
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Advances every device to simulated time `t_ms`.
+    pub fn tick_all(&mut self, t_ms: u64) {
+        for device in self.devices.values_mut() {
+            device.tick(t_ms);
+        }
+    }
+
+    /// Latency between two endpoints, if a direct link exists.
+    pub fn latency_between(&self, a: &str, b: &str) -> Option<u64> {
+        self.links
+            .iter()
+            .find(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+            .map(|l| l.latency_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceKind;
+
+    fn network() -> Network {
+        let mut net = Network::new();
+        net.add_device(Device::builder("r1", DeviceKind::Router).site("hq").build());
+        net.add_device(Device::builder("s1", DeviceKind::Server).site("hq").build());
+        net.add_device(
+            Device::builder("s2", DeviceKind::Server)
+                .site("branch")
+                .build(),
+        );
+        net.add_link(Link::new("hq", "branch", 35, 10_000_000));
+        net
+    }
+
+    #[test]
+    fn sites_collect_their_devices() {
+        let net = network();
+        assert_eq!(net.site("hq").unwrap().device_names(), ["r1", "s1"]);
+        assert_eq!(net.site("branch").unwrap().device_names(), ["s2"]);
+        assert_eq!(net.sites().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device name")]
+    fn duplicate_names_are_rejected() {
+        let mut net = network();
+        net.add_device(Device::builder("r1", DeviceKind::Router).build());
+    }
+
+    #[test]
+    fn tick_all_advances_every_device() {
+        let mut net = network();
+        net.tick_all(30_000);
+        assert!(net.devices().all(|d| d.now_ms() == 30_000));
+    }
+
+    #[test]
+    fn latency_lookup_is_symmetric() {
+        let net = network();
+        assert_eq!(net.latency_between("hq", "branch"), Some(35));
+        assert_eq!(net.latency_between("branch", "hq"), Some(35));
+        assert_eq!(net.latency_between("hq", "nowhere"), None);
+    }
+
+    #[test]
+    fn links_touch_their_endpoints() {
+        let link = Link::new("a", "b", 1, 2);
+        assert!(link.touches("a"));
+        assert!(link.touches("b"));
+        assert!(!link.touches("c"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the simulated network.
+
+use agentgrid_net::{snmp, Device, DeviceKind, MibTree, MibValue, Oid};
+use proptest::prelude::*;
+
+fn oid_strategy() -> impl Strategy<Value = Oid> {
+    prop::collection::vec(0u32..20, 1..6).prop_map(Oid::new)
+}
+
+proptest! {
+    /// OID display/parse round-trips.
+    #[test]
+    fn oid_round_trips(oid in oid_strategy()) {
+        let parsed: Oid = oid.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, oid);
+    }
+
+    /// `get_next` starting before every OID visits each object exactly
+    /// once, in strictly ascending order — the SNMP walk invariant.
+    #[test]
+    fn get_next_chain_enumerates_in_order(
+        oids in prop::collection::btree_set(oid_strategy(), 1..40),
+    ) {
+        let mib: MibTree = oids
+            .iter()
+            .map(|o| (o.clone(), MibValue::Int(1)))
+            .collect();
+        let mut seen = Vec::new();
+        let mut cursor = Oid::new(vec![0]);
+        // Start strictly below everything (no OID here begins with 0
+        // because... it could! Use the empty OID's successor instead).
+        cursor = Oid::default();
+        while let Some((next, _)) = mib.get_next(&cursor) {
+            seen.push(next.clone());
+            cursor = next.clone();
+        }
+        let expected: Vec<Oid> = oids.into_iter().collect();
+        prop_assert_eq!(&seen, &expected);
+        prop_assert!(seen.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// A walk over any prefix returns exactly the objects under that
+    /// prefix, in order.
+    #[test]
+    fn walk_equals_filtered_scan(
+        oids in prop::collection::btree_set(oid_strategy(), 0..40),
+        prefix in oid_strategy(),
+    ) {
+        let mib: MibTree = oids
+            .iter()
+            .map(|o| (o.clone(), MibValue::Int(0)))
+            .collect();
+        let walked: Vec<Oid> = mib.walk(&prefix).map(|(o, _)| o.clone()).collect();
+        let scanned: Vec<Oid> = mib
+            .iter()
+            .filter(|(o, _)| o.starts_with(&prefix))
+            .map(|(o, _)| o.clone())
+            .collect();
+        prop_assert_eq!(walked, scanned);
+    }
+
+    /// Interface byte counters never decrease as time advances, whatever
+    /// the tick cadence.
+    #[test]
+    fn if_counters_are_monotone(
+        seed in 0u64..1000,
+        steps in prop::collection::vec(1u64..120_000, 1..30),
+    ) {
+        let mut dev = Device::builder("d", DeviceKind::Router).seed(seed).build();
+        let oid = agentgrid_net::oids::if_in_octets(1);
+        let mut t = 0u64;
+        let mut prev = dev.mib().get(&oid).unwrap().as_f64().unwrap();
+        for step in steps {
+            t += step;
+            dev.tick(t);
+            let v = dev.mib().get(&oid).unwrap().as_f64().unwrap();
+            prop_assert!(v >= prev, "counter went backwards: {} -> {}", prev, v);
+            prev = v;
+        }
+    }
+
+    /// CPU load always stays within gauge bounds under any tick cadence.
+    #[test]
+    fn cpu_load_stays_in_percentage_range(
+        seed in 0u64..1000,
+        ticks in prop::collection::vec(1u64..600_000, 1..30),
+    ) {
+        let mut dev = Device::builder("d", DeviceKind::Server).seed(seed).build();
+        let oid = agentgrid_net::oids::hr_processor_load(1);
+        let mut t = 0u64;
+        for step in ticks {
+            t += step;
+            dev.tick(t);
+            let v = dev.mib().get(&oid).unwrap().as_f64().unwrap();
+            prop_assert!((0.0..=100.0).contains(&v), "{v}");
+        }
+    }
+
+    /// An SNMP walk from the root returns the whole MIB of a live device.
+    #[test]
+    fn snmp_walk_root_sees_everything(seed in 0u64..200) {
+        let mut dev = Device::builder("d", DeviceKind::Switch).seed(seed).build();
+        dev.tick(60_000);
+        let total = dev.mib().len();
+        let rows = snmp::walk(&mut dev, &Oid::new(vec![1])).unwrap();
+        prop_assert_eq!(rows.len(), total);
+    }
+}

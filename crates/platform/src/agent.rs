@@ -1,0 +1,144 @@
+use agentgrid_acl::{AclMessage, AgentId};
+
+use crate::DirectoryFacilitator;
+
+/// Lifecycle state of an agent, managed by the platform's AMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AgentState {
+    /// Receiving messages and ticks.
+    #[default]
+    Active,
+    /// Mailbox accumulates but the agent is not scheduled.
+    Suspended,
+    /// Removed; messages to it dead-letter.
+    Dead,
+}
+
+/// Execution context handed to an agent during its callbacks.
+///
+/// This is the agent's only window to the outside: sending messages,
+/// reading the simulated clock, knowing its own identity, and querying
+/// the directory facilitator.
+#[derive(Debug)]
+pub struct AgentCtx<'a> {
+    self_id: &'a AgentId,
+    container: &'a str,
+    now_ms: u64,
+    outbox: &'a mut Vec<AclMessage>,
+    df: &'a mut DirectoryFacilitator,
+}
+
+impl<'a> AgentCtx<'a> {
+    /// Builds a context directly — exposed so downstream crates can
+    /// unit-test their [`Agent`] implementations without a full
+    /// [`Platform`](crate::Platform).
+    pub fn new(
+        self_id: &'a AgentId,
+        container: &'a str,
+        now_ms: u64,
+        outbox: &'a mut Vec<AclMessage>,
+        df: &'a mut DirectoryFacilitator,
+    ) -> Self {
+        AgentCtx {
+            self_id,
+            container,
+            now_ms,
+            outbox,
+            df,
+        }
+    }
+
+    /// This agent's identifier.
+    pub fn self_id(&self) -> &AgentId {
+        self.self_id
+    }
+
+    /// Name of the container currently hosting this agent (changes after
+    /// migration).
+    pub fn container(&self) -> &str {
+        self.container
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Queues a message for routing at the end of the current step.
+    pub fn send(&mut self, message: AclMessage) {
+        self.outbox.push(message);
+    }
+
+    /// Read/write access to the directory facilitator.
+    pub fn df(&mut self) -> &mut DirectoryFacilitator {
+        self.df
+    }
+}
+
+/// A platform agent.
+///
+/// All methods have do-nothing defaults, so trivial agents implement only
+/// what they need. State lives in the implementing struct and moves with
+/// the agent on migration.
+pub trait Agent: Send {
+    /// Called once when the agent is spawned (and NOT again after
+    /// migration — migration preserves state, not lifecycle).
+    fn setup(&mut self, ctx: &mut AgentCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each message delivered to this agent.
+    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+        let _ = (message, ctx);
+    }
+
+    /// Called once per platform step after message delivery.
+    fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl Agent for Noop {}
+
+    #[test]
+    fn default_callbacks_do_nothing() {
+        // Compile-time check that all defaults exist; exercise them too.
+        let mut agent = Noop;
+        let id = AgentId::new("n@c");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        let mut ctx = AgentCtx::new(&id, "c", 5, &mut outbox, &mut df);
+        agent.setup(&mut ctx);
+        agent.on_tick(&mut ctx);
+        assert_eq!(ctx.now_ms(), 5);
+        assert_eq!(ctx.self_id().name(), "n@c");
+        assert_eq!(ctx.container(), "c");
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn ctx_send_queues_to_outbox() {
+        use agentgrid_acl::Performative;
+        let id = AgentId::new("a");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        let mut ctx = AgentCtx::new(&id, "c", 0, &mut outbox, &mut df);
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(id.clone())
+            .receiver(AgentId::new("b"))
+            .build()
+            .unwrap();
+        ctx.send(msg);
+        assert_eq!(outbox.len(), 1);
+    }
+
+    #[test]
+    fn agent_state_defaults_active() {
+        assert_eq!(AgentState::default(), AgentState::Active);
+    }
+}

@@ -1,0 +1,93 @@
+use std::collections::{BTreeMap, VecDeque};
+
+use agentgrid_acl::{AclMessage, AgentId};
+
+use crate::agent::{Agent, AgentState};
+use crate::DirectoryFacilitator;
+
+pub(crate) struct AgentSlot {
+    pub(crate) agent: Box<dyn Agent>,
+    pub(crate) state: AgentState,
+    pub(crate) mailbox: VecDeque<AclMessage>,
+}
+
+impl std::fmt::Debug for AgentSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentSlot")
+            .field("state", &self.state)
+            .field("mailbox_len", &self.mailbox.len())
+            .finish()
+    }
+}
+
+/// A container: a named group of agents running on one (real or modelled)
+/// machine — the paper's unit of grid membership.
+///
+/// Containers are created and driven through the
+/// [`Platform`](crate::Platform); this type exposes inspection:
+///
+/// ```
+/// use agentgrid_platform::{Agent, Platform};
+///
+/// struct Noop;
+/// impl Agent for Noop {}
+///
+/// let mut platform = Platform::new("grid");
+/// platform.add_container("pg-1");
+/// platform.spawn("pg-1", "analyzer", Noop).unwrap();
+/// let container = platform.container("pg-1").unwrap();
+/// assert_eq!(container.agent_count(), 1);
+/// assert!(container.hosts(&"analyzer@grid".into()));
+/// ```
+#[derive(Debug, Default)]
+pub struct Container {
+    pub(crate) agents: BTreeMap<AgentId, AgentSlot>,
+}
+
+impl Container {
+    pub(crate) fn new() -> Self {
+        Container::default()
+    }
+
+    /// Number of agents (any state) in this container.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Whether the container hosts the agent.
+    pub fn hosts(&self, id: &AgentId) -> bool {
+        self.agents.contains_key(id)
+    }
+
+    /// Ids of hosted agents, in name order.
+    pub fn agent_ids(&self) -> impl Iterator<Item = &AgentId> {
+        self.agents.keys()
+    }
+
+    /// Messages queued but not yet delivered to this container's agents.
+    pub fn pending_messages(&self) -> usize {
+        self.agents.values().map(|s| s.mailbox.len()).sum()
+    }
+
+    pub(crate) fn tick_agents(
+        &mut self,
+        container_name: &str,
+        now_ms: u64,
+        outbox: &mut Vec<AclMessage>,
+        df: &mut DirectoryFacilitator,
+    ) {
+        for (id, slot) in self.agents.iter_mut() {
+            if slot.state != AgentState::Active {
+                continue;
+            }
+            // Deliver the mailbox first, then tick.
+            while let Some(message) = slot.mailbox.pop_front() {
+                let mut ctx =
+                    crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
+                slot.agent.on_message(message, &mut ctx);
+            }
+            let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
+            slot.agent.on_tick(&mut ctx);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+use std::collections::BTreeMap;
+
+use agentgrid_acl::ontology::ResourceProfile;
+use agentgrid_acl::AgentId;
+
+/// One service registration in the directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceEntry {
+    /// The providing agent.
+    pub provider: AgentId,
+    /// Service type (e.g. `"analysis"`, `"collection"`).
+    pub service: String,
+    /// Free-form properties (e.g. the skills offered).
+    pub properties: Vec<String>,
+}
+
+/// The FIPA Directory Facilitator: yellow pages plus the grid root's
+/// container directory (the paper's "D1", Fig. 4).
+///
+/// Two registries live here:
+///
+/// * **services** — agents advertising capabilities, searchable by
+///   service type and property;
+/// * **container profiles** — one [`ResourceProfile`] per container,
+///   registered when the container joins the grid and refreshed as its
+///   load changes. Load balancing reads these.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_acl::AgentId;
+/// use agentgrid_platform::{DirectoryFacilitator, ResourceProfile};
+///
+/// let mut df = DirectoryFacilitator::new();
+/// df.register_service(AgentId::new("an-1@pg"), "analysis", ["cpu", "disk"]);
+/// let hits = df.search("analysis");
+/// assert_eq!(hits.len(), 1);
+/// assert!(df.providers_with("analysis", "disk").count() == 1);
+///
+/// df.register_container(ResourceProfile::new("pg-1", 2.0, 1.0, 4096, ["cpu"]));
+/// assert_eq!(df.container_profiles().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryFacilitator {
+    services: Vec<ServiceEntry>,
+    containers: BTreeMap<String, ResourceProfile>,
+}
+
+impl DirectoryFacilitator {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        DirectoryFacilitator::default()
+    }
+
+    /// Registers (or re-registers) a service for an agent. An agent may
+    /// offer many services; re-registering the same `(provider, service)`
+    /// replaces its properties.
+    pub fn register_service(
+        &mut self,
+        provider: AgentId,
+        service: impl Into<String>,
+        properties: impl IntoIterator<Item = impl Into<String>>,
+    ) {
+        let service = service.into();
+        let properties: Vec<String> = properties.into_iter().map(Into::into).collect();
+        if let Some(existing) = self
+            .services
+            .iter_mut()
+            .find(|e| e.provider == provider && e.service == service)
+        {
+            existing.properties = properties;
+        } else {
+            self.services.push(ServiceEntry {
+                provider,
+                service,
+                properties,
+            });
+        }
+    }
+
+    /// Removes every registration of an agent (deregistration on death
+    /// or migration).
+    pub fn deregister(&mut self, provider: &AgentId) {
+        self.services.retain(|e| &e.provider != provider);
+    }
+
+    /// All entries for a service type, in registration order.
+    pub fn search(&self, service: &str) -> Vec<&ServiceEntry> {
+        self.services
+            .iter()
+            .filter(|e| e.service == service)
+            .collect()
+    }
+
+    /// Providers of `service` that also declare `property`.
+    pub fn providers_with<'a>(
+        &'a self,
+        service: &'a str,
+        property: &'a str,
+    ) -> impl Iterator<Item = &'a AgentId> + 'a {
+        self.services
+            .iter()
+            .filter(move |e| e.service == service && e.properties.iter().any(|p| p == property))
+            .map(|e| &e.provider)
+    }
+
+    /// Registers (or refreshes) a container's resource profile — the
+    /// Fig. 4 interaction: "when a container is added to the grid, it
+    /// will inform the profile of the resource on which it is running".
+    pub fn register_container(&mut self, profile: ResourceProfile) {
+        self.containers.insert(profile.container.clone(), profile);
+    }
+
+    /// Removes a container's profile (container left or died).
+    pub fn deregister_container(&mut self, container: &str) -> Option<ResourceProfile> {
+        self.containers.remove(container)
+    }
+
+    /// Updates only the load figure of a registered container. Returns
+    /// `false` if the container is unknown.
+    pub fn update_load(&mut self, container: &str, load: f64) -> bool {
+        match self.containers.get_mut(container) {
+            Some(profile) => {
+                profile.load = load;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A container's profile.
+    pub fn container_profile(&self, container: &str) -> Option<&ResourceProfile> {
+        self.containers.get(container)
+    }
+
+    /// All container profiles, in container-name order.
+    pub fn container_profiles(&self) -> impl Iterator<Item = &ResourceProfile> {
+        self.containers.values()
+    }
+
+    /// Containers declaring a skill, in name order.
+    pub fn containers_with_skill<'a>(
+        &'a self,
+        skill: &'a str,
+    ) -> impl Iterator<Item = &'a ResourceProfile> + 'a {
+        self.containers.values().filter(move |p| p.has_skill(skill))
+    }
+
+    /// Number of service registrations.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_search_services() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_service(AgentId::new("a"), "analysis", ["cpu"]);
+        df.register_service(AgentId::new("b"), "analysis", ["disk"]);
+        df.register_service(AgentId::new("c"), "collection", ["snmp"]);
+        assert_eq!(df.search("analysis").len(), 2);
+        assert_eq!(df.search("collection").len(), 1);
+        assert_eq!(df.search("nothing").len(), 0);
+    }
+
+    #[test]
+    fn reregistration_replaces_properties() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_service(AgentId::new("a"), "analysis", ["cpu"]);
+        df.register_service(AgentId::new("a"), "analysis", ["disk"]);
+        assert_eq!(df.service_count(), 1);
+        assert_eq!(df.search("analysis")[0].properties, ["disk"]);
+    }
+
+    #[test]
+    fn providers_with_filters_by_property() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_service(AgentId::new("a"), "analysis", ["cpu", "correlate"]);
+        df.register_service(AgentId::new("b"), "analysis", ["disk"]);
+        let hits: Vec<_> = df.providers_with("analysis", "correlate").collect();
+        assert_eq!(hits, [&AgentId::new("a")]);
+    }
+
+    #[test]
+    fn deregister_removes_all_entries_of_agent() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_service(AgentId::new("a"), "x", ["1"]);
+        df.register_service(AgentId::new("a"), "y", ["2"]);
+        df.register_service(AgentId::new("b"), "x", ["3"]);
+        df.deregister(&AgentId::new("a"));
+        assert_eq!(df.service_count(), 1);
+        assert_eq!(df.search("x").len(), 1);
+    }
+
+    #[test]
+    fn container_registry_tracks_profiles_and_load() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_container(ResourceProfile::new("c1", 1.0, 1.0, 1024, ["cpu"]));
+        df.register_container(ResourceProfile::new("c2", 2.0, 1.0, 2048, ["disk"]));
+        assert!(df.update_load("c1", 0.8));
+        assert!(!df.update_load("ghost", 0.1));
+        assert_eq!(df.container_profile("c1").unwrap().load, 0.8);
+        let with_disk: Vec<_> = df.containers_with_skill("disk").collect();
+        assert_eq!(with_disk.len(), 1);
+        assert_eq!(with_disk[0].container, "c2");
+    }
+
+    #[test]
+    fn deregister_container_removes_profile() {
+        let mut df = DirectoryFacilitator::new();
+        df.register_container(ResourceProfile::new("c1", 1.0, 1.0, 1, ["x"]));
+        assert!(df.deregister_container("c1").is_some());
+        assert!(df.deregister_container("c1").is_none());
+        assert_eq!(df.container_profiles().count(), 0);
+    }
+}

@@ -1,0 +1,562 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use agentgrid_acl::{AclMessage, AgentId};
+
+use crate::agent::{Agent, AgentState};
+use crate::container::{AgentSlot, Container};
+use crate::DirectoryFacilitator;
+
+/// Errors raised by [`Platform`] management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The named container does not exist.
+    NoSuchContainer(String),
+    /// The agent does not exist (or is dead).
+    NoSuchAgent(AgentId),
+    /// An agent with that name already exists.
+    DuplicateAgent(AgentId),
+    /// A container with that name already exists.
+    DuplicateContainer(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoSuchContainer(name) => write!(f, "no container `{name}`"),
+            PlatformError::NoSuchAgent(id) => write!(f, "no agent `{id}`"),
+            PlatformError::DuplicateAgent(id) => write!(f, "agent `{id}` already exists"),
+            PlatformError::DuplicateContainer(name) => {
+                write!(f, "container `{name}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Transport fault injection, for resilience tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportFault {
+    /// Deliver everything (default).
+    None,
+    /// Silently drop messages addressed to this agent.
+    DropTo(AgentId),
+    /// Silently drop messages sent by this agent.
+    DropFrom(AgentId),
+}
+
+/// The agent platform: containers, message transport, AMS and DF.
+///
+/// Stepping model: [`step`](Platform::step) routes all messages queued in
+/// the previous step into mailboxes, then lets every active agent consume
+/// its mailbox and take a tick, collecting newly sent messages for the
+/// next step. Everything iterates in name order → fully deterministic.
+///
+/// See the [crate-level example](crate) for an end-to-end exchange.
+#[derive(Debug)]
+pub struct Platform {
+    name: String,
+    containers: BTreeMap<String, Container>,
+    df: DirectoryFacilitator,
+    in_flight: Vec<AclMessage>,
+    dead_letters: Vec<AclMessage>,
+    fault: TransportFault,
+    now_ms: u64,
+    delivered: u64,
+}
+
+impl Platform {
+    /// Creates a platform with the given name (the `@platform` suffix of
+    /// agent ids).
+    pub fn new(name: impl Into<String>) -> Self {
+        Platform {
+            name: name.into(),
+            containers: BTreeMap::new(),
+            df: DirectoryFacilitator::new(),
+            in_flight: Vec::new(),
+            dead_letters: Vec::new(),
+            fault: TransportFault::None,
+            now_ms: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an empty container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container already exists (configuration bug).
+    pub fn add_container(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.containers
+                .insert(name.clone(), Container::new())
+                .is_none(),
+            "container `{name}` already exists"
+        );
+        self
+    }
+
+    /// Removes a container abruptly ("crash"): its agents die, their
+    /// directory entries are removed, and queued messages to them
+    /// dead-letter. Returns the ids of the killed agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchContainer`] if absent.
+    pub fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        let container = self
+            .containers
+            .remove(name)
+            .ok_or_else(|| PlatformError::NoSuchContainer(name.to_owned()))?;
+        let ids: Vec<AgentId> = container.agents.keys().cloned().collect();
+        for id in &ids {
+            self.df.deregister(id);
+        }
+        self.df.deregister_container(name);
+        Ok(ids)
+    }
+
+    /// Spawns an agent into a container under `local_name`; its full id
+    /// becomes `local_name@platform`. The agent's `setup` runs
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchContainer`] or
+    /// [`PlatformError::DuplicateAgent`].
+    pub fn spawn(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError> {
+        let id = AgentId::with_platform(local_name, &self.name);
+        if self.find_agent(&id).is_some() {
+            return Err(PlatformError::DuplicateAgent(id));
+        }
+        let holder = self
+            .containers
+            .get_mut(container)
+            .ok_or_else(|| PlatformError::NoSuchContainer(container.to_owned()))?;
+        let mut slot = AgentSlot {
+            agent: Box::new(agent),
+            state: AgentState::Active,
+            mailbox: Default::default(),
+        };
+        let mut outbox = Vec::new();
+        {
+            let mut ctx =
+                crate::agent::AgentCtx::new(&id, container, self.now_ms, &mut outbox, &mut self.df);
+            slot.agent.setup(&mut ctx);
+        }
+        holder.agents.insert(id.clone(), slot);
+        self.in_flight.extend(outbox);
+        Ok(id)
+    }
+
+    /// The container hosting an agent, if alive.
+    pub fn find_agent(&self, id: &AgentId) -> Option<&str> {
+        self.containers
+            .iter()
+            .find(|(_, c)| c.hosts(id))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Read access to a container.
+    pub fn container(&self, name: &str) -> Option<&Container> {
+        self.containers.get(name)
+    }
+
+    /// Container names, in order.
+    pub fn container_names(&self) -> impl Iterator<Item = &str> {
+        self.containers.keys().map(String::as_str)
+    }
+
+    /// Read access to the directory facilitator.
+    pub fn df(&self) -> &DirectoryFacilitator {
+        &self.df
+    }
+
+    /// Write access to the directory facilitator (registration from
+    /// outside agent context, e.g. scenario setup).
+    pub fn df_mut(&mut self) -> &mut DirectoryFacilitator {
+        &mut self.df
+    }
+
+    /// Injects (or clears) a transport fault.
+    pub fn set_fault(&mut self, fault: TransportFault) {
+        self.fault = fault;
+    }
+
+    /// Messages that could not be delivered (unknown/dead receivers).
+    pub fn dead_letters(&self) -> &[AclMessage] {
+        &self.dead_letters
+    }
+
+    /// Total messages delivered so far (traffic accounting).
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Sends a message from outside any agent (e.g. the user interface
+    /// pushing feedback in). Routed on the next step.
+    pub fn post(&mut self, message: AclMessage) {
+        self.in_flight.push(message);
+    }
+
+    /// Suspends an agent (mailbox accumulates, no scheduling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchAgent`] if absent.
+    pub fn suspend(&mut self, id: &AgentId) -> Result<(), PlatformError> {
+        self.set_state(id, AgentState::Suspended)
+    }
+
+    /// Resumes a suspended agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchAgent`] if absent.
+    pub fn resume(&mut self, id: &AgentId) -> Result<(), PlatformError> {
+        self.set_state(id, AgentState::Active)
+    }
+
+    fn set_state(&mut self, id: &AgentId, state: AgentState) -> Result<(), PlatformError> {
+        for container in self.containers.values_mut() {
+            if let Some(slot) = container.agents.get_mut(id) {
+                slot.state = state;
+                return Ok(());
+            }
+        }
+        Err(PlatformError::NoSuchAgent(id.clone()))
+    }
+
+    /// Kills an agent: removed from its container and the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchAgent`] if absent.
+    pub fn kill(&mut self, id: &AgentId) -> Result<(), PlatformError> {
+        for container in self.containers.values_mut() {
+            if container.agents.remove(id).is_some() {
+                self.df.deregister(id);
+                return Ok(());
+            }
+        }
+        Err(PlatformError::NoSuchAgent(id.clone()))
+    }
+
+    /// **Mobility**: moves a live agent — with its state and pending
+    /// mailbox — to another container (the paper's migration of analysis
+    /// activities). `setup` is *not* re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchAgent`] or
+    /// [`PlatformError::NoSuchContainer`].
+    pub fn migrate(&mut self, id: &AgentId, to_container: &str) -> Result<(), PlatformError> {
+        if !self.containers.contains_key(to_container) {
+            return Err(PlatformError::NoSuchContainer(to_container.to_owned()));
+        }
+        let slot = self
+            .containers
+            .values_mut()
+            .find_map(|c| c.agents.remove(id))
+            .ok_or_else(|| PlatformError::NoSuchAgent(id.clone()))?;
+        self.containers
+            .get_mut(to_container)
+            .expect("checked above")
+            .agents
+            .insert(id.clone(), slot);
+        Ok(())
+    }
+
+    /// Runs one step at simulated time `now_ms`: route queued messages,
+    /// then let every active agent consume its mailbox and tick. Returns
+    /// the number of messages routed this step.
+    pub fn step(&mut self, now_ms: u64) -> usize {
+        self.now_ms = now_ms;
+        let to_route = std::mem::take(&mut self.in_flight);
+        let routed = to_route.len();
+        for message in to_route {
+            self.route(message);
+        }
+        let mut outbox = Vec::new();
+        for (name, container) in self.containers.iter_mut() {
+            container.tick_agents(name, now_ms, &mut outbox, &mut self.df);
+        }
+        self.in_flight.extend(outbox);
+        routed
+    }
+
+    /// Steps repeatedly at the same timestamp until no messages are in
+    /// flight (a quiescent exchange). Returns the number of steps taken.
+    /// Stops after 10 000 steps as a runaway safety net.
+    pub fn run_until_idle(&mut self, now_ms: u64) -> usize {
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            self.step(now_ms);
+            if self.in_flight.is_empty() || steps >= 10_000 {
+                return steps;
+            }
+        }
+    }
+
+    fn route(&mut self, message: AclMessage) {
+        if let TransportFault::DropFrom(from) = &self.fault {
+            if message.sender() == from {
+                return;
+            }
+        }
+        for receiver in message.receivers().to_vec() {
+            if let TransportFault::DropTo(to) = &self.fault {
+                if &receiver == to {
+                    continue;
+                }
+            }
+            let slot = self
+                .containers
+                .values_mut()
+                .find_map(|c| c.agents.get_mut(&receiver));
+            match slot {
+                Some(slot) if slot.state != AgentState::Dead => {
+                    slot.mailbox.push_back(message.clone());
+                    self.delivered += 1;
+                }
+                _ => self.dead_letters.push(message.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgentCtx;
+    use agentgrid_acl::{Performative, Value};
+
+    /// Counts messages; replies to `ping` with `pong`.
+    struct Ponger {
+        received: u64,
+    }
+
+    impl Agent for Ponger {
+        fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+            self.received += 1;
+            if message.content() == &Value::symbol("ping") {
+                ctx.send(message.reply(Performative::Inform, Value::symbol("pong")));
+            }
+        }
+    }
+
+    /// Sends `count` pings to `target` on setup; counts pongs.
+    struct Pinger {
+        target: AgentId,
+        count: usize,
+        pongs: u64,
+    }
+
+    impl Agent for Pinger {
+        fn setup(&mut self, ctx: &mut AgentCtx<'_>) {
+            for _ in 0..self.count {
+                let msg = AclMessage::builder(Performative::Request)
+                    .sender(ctx.self_id().clone())
+                    .receiver(self.target.clone())
+                    .content(Value::symbol("ping"))
+                    .build()
+                    .unwrap();
+                ctx.send(msg);
+            }
+        }
+        fn on_message(&mut self, _message: AclMessage, _ctx: &mut AgentCtx<'_>) {
+            self.pongs += 1;
+        }
+    }
+
+    fn two_agent_platform(pings: usize) -> (Platform, AgentId, AgentId) {
+        let mut p = Platform::new("t");
+        p.add_container("c1").add_container("c2");
+        let ponger = p.spawn("c2", "ponger", Ponger { received: 0 }).unwrap();
+        let pinger = p
+            .spawn(
+                "c1",
+                "pinger",
+                Pinger {
+                    target: ponger.clone(),
+                    count: pings,
+                    pongs: 0,
+                },
+            )
+            .unwrap();
+        (p, pinger, ponger)
+    }
+
+    #[test]
+    fn messages_round_trip_between_containers() {
+        let (mut p, _, _) = two_agent_platform(3);
+        let steps = p.run_until_idle(0);
+        assert!(steps >= 2, "ping and pong need separate steps");
+        // 3 pings delivered + 3 pongs delivered.
+        assert_eq!(p.delivered_count(), 6);
+        assert!(p.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn unknown_receiver_dead_letters() {
+        let mut p = Platform::new("t");
+        p.add_container("c1");
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("outside"))
+            .receiver(AgentId::new("ghost@t"))
+            .build()
+            .unwrap();
+        p.post(msg);
+        p.step(0);
+        assert_eq!(p.dead_letters().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_agent_and_missing_container_error() {
+        let mut p = Platform::new("t");
+        p.add_container("c1");
+        p.spawn("c1", "a", Ponger { received: 0 }).unwrap();
+        assert!(matches!(
+            p.spawn("c1", "a", Ponger { received: 0 }),
+            Err(PlatformError::DuplicateAgent(_))
+        ));
+        assert!(matches!(
+            p.spawn("nope", "b", Ponger { received: 0 }),
+            Err(PlatformError::NoSuchContainer(_))
+        ));
+    }
+
+    #[test]
+    fn suspend_holds_mail_until_resume() {
+        let (mut p, _pinger, ponger) = two_agent_platform(2);
+        p.suspend(&ponger).unwrap();
+        p.step(0); // pings routed into the suspended mailbox
+        p.step(0);
+        let c2 = p.container("c2").unwrap();
+        assert_eq!(c2.pending_messages(), 2);
+        p.resume(&ponger).unwrap();
+        p.run_until_idle(0);
+        assert_eq!(p.container("c2").unwrap().pending_messages(), 0);
+    }
+
+    #[test]
+    fn kill_agent_dead_letters_future_mail() {
+        let (mut p, _, ponger) = two_agent_platform(1);
+        p.kill(&ponger).unwrap();
+        p.run_until_idle(0);
+        assert_eq!(p.dead_letters().len(), 1);
+        assert!(p.find_agent(&ponger).is_none());
+    }
+
+    #[test]
+    fn kill_container_reports_agents_and_cleans_df() {
+        let (mut p, _, ponger) = two_agent_platform(1);
+        p.df_mut()
+            .register_service(ponger.clone(), "analysis", ["x"]);
+        let killed = p.kill_container("c2").unwrap();
+        assert_eq!(killed, vec![ponger]);
+        assert_eq!(p.df().service_count(), 0);
+        assert!(p.container("c2").is_none());
+    }
+
+    #[test]
+    fn migration_preserves_agent_state_and_mail_flow() {
+        let (mut p, pinger, ponger) = two_agent_platform(1);
+        p.run_until_idle(0);
+        // Move the ponger to c1 and ping again via post().
+        p.migrate(&ponger, "c1").unwrap();
+        assert_eq!(p.find_agent(&ponger), Some("c1"));
+        let msg = AclMessage::builder(Performative::Request)
+            .sender(pinger.clone())
+            .receiver(ponger.clone())
+            .content(Value::symbol("ping"))
+            .build()
+            .unwrap();
+        p.post(msg);
+        p.run_until_idle(1);
+        // 1 ping + 1 pong before migration, 1 ping + 1 pong after.
+        assert_eq!(p.delivered_count(), 4);
+    }
+
+    #[test]
+    fn migrate_errors_are_reported() {
+        let (mut p, _, ponger) = two_agent_platform(1);
+        assert!(matches!(
+            p.migrate(&ponger, "nope"),
+            Err(PlatformError::NoSuchContainer(_))
+        ));
+        assert!(matches!(
+            p.migrate(&AgentId::new("ghost@t"), "c1"),
+            Err(PlatformError::NoSuchAgent(_))
+        ));
+    }
+
+    #[test]
+    fn drop_to_fault_suppresses_delivery() {
+        let (mut p, _, ponger) = two_agent_platform(2);
+        p.set_fault(TransportFault::DropTo(ponger.clone()));
+        p.run_until_idle(0);
+        assert_eq!(p.delivered_count(), 0);
+        assert!(p.dead_letters().is_empty(), "drops are silent, not dead-lettered");
+        p.set_fault(TransportFault::None);
+    }
+
+    #[test]
+    fn drop_from_fault_suppresses_sender() {
+        let (mut p, pinger, _) = two_agent_platform(2);
+        p.set_fault(TransportFault::DropFrom(pinger.clone()));
+        p.run_until_idle(0);
+        assert_eq!(p.delivered_count(), 0);
+    }
+
+    #[test]
+    fn spawn_runs_setup_immediately() {
+        let mut p = Platform::new("t");
+        p.add_container("c1");
+        // A pinger's setup queues messages even before any step.
+        p.spawn(
+            "c1",
+            "pinger",
+            Pinger {
+                target: AgentId::new("nobody@t"),
+                count: 2,
+                pongs: 0,
+            },
+        )
+        .unwrap();
+        p.step(0);
+        assert_eq!(p.dead_letters().len(), 2);
+    }
+
+    #[test]
+    fn multicast_reaches_every_receiver() {
+        let mut p = Platform::new("t");
+        p.add_container("c");
+        p.spawn("c", "a", Ponger { received: 0 }).unwrap();
+        p.spawn("c", "b", Ponger { received: 0 }).unwrap();
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("outside"))
+            .receiver(AgentId::new("a@t"))
+            .receiver(AgentId::new("b@t"))
+            .build()
+            .unwrap();
+        p.post(msg);
+        p.step(0);
+        assert_eq!(p.delivered_count(), 2);
+    }
+}

@@ -1,0 +1,500 @@
+//! A threaded runtime for agent containers.
+//!
+//! The default [`Platform`](crate::Platform) steps containers
+//! deterministically — ideal for tests and reproducible experiments. This
+//! module provides the deployment-shaped alternative: **one OS thread per
+//! container**, crossbeam channels as the message transport, and a shared
+//! directory behind a lock. Agent code is identical — anything
+//! implementing [`Agent`] runs unmodified on either runtime.
+//!
+//! Delivery order between containers is nondeterministic (as it would be
+//! across real machines); per-sender/per-receiver FIFO order is
+//! preserved by the channels.
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
+//! use agentgrid_platform::threaded::ThreadedPlatform;
+//! use agentgrid_platform::{Agent, AgentCtx};
+//!
+//! struct Echo;
+//! impl Agent for Echo {
+//!     fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+//!         ctx.send(msg.reply(Performative::Inform, Value::symbol("pong")));
+//!     }
+//! }
+//!
+//! let mut platform = ThreadedPlatform::new("rt");
+//! platform.add_container("c1");
+//! platform.spawn("c1", "echo", Echo).unwrap();
+//! let mut handle = platform.start();
+//!
+//! let ping = AclMessage::builder(Performative::Request)
+//!     .sender(AgentId::new("outside"))
+//!     .receiver(AgentId::with_platform("echo", "rt"))
+//!     .build()
+//!     .unwrap();
+//! handle.post(ping);
+//! handle.wait_idle();
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.delivered, 1);
+//! assert_eq!(stats.dead_letters.len(), 1); // the pong to "outside"
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use agentgrid_acl::{AclMessage, AgentId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::agent::{Agent, AgentCtx};
+use crate::{DirectoryFacilitator, PlatformError};
+
+/// The agents registered to one container before the threads start.
+type AgentRoster = Vec<(AgentId, Box<dyn Agent>)>;
+
+// `Deliver` dwarfs `Stop`, but `Stop` is sent exactly once per thread.
+#[allow(clippy::large_enum_variant)]
+enum ContainerMsg {
+    Deliver(AclMessage),
+    Stop,
+}
+
+struct SharedState {
+    /// Shared yellow pages / container directory.
+    df: Mutex<DirectoryFacilitator>,
+    /// Messages enqueued but not yet fully processed (quiescence gauge).
+    in_flight: AtomicI64,
+    /// Delivered-message counter.
+    delivered: AtomicU64,
+    /// Simulated clock read by agents through `AgentCtx::now_ms`.
+    clock_ms: AtomicU64,
+    /// Undeliverable messages.
+    dead_letters: Mutex<Vec<AclMessage>>,
+}
+
+/// Final statistics returned by [`RunningPlatform::shutdown`].
+#[derive(Debug)]
+pub struct RunStats {
+    /// Messages delivered to agents.
+    pub delivered: u64,
+    /// Messages whose receiver did not exist.
+    pub dead_letters: Vec<AclMessage>,
+}
+
+/// A threaded platform under construction (agents are spawned before the
+/// threads start).
+pub struct ThreadedPlatform {
+    name: String,
+    containers: BTreeMap<String, AgentRoster>,
+}
+
+impl std::fmt::Debug for ThreadedPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedPlatform")
+            .field("name", &self.name)
+            .field("containers", &self.containers.len())
+            .finish()
+    }
+}
+
+impl ThreadedPlatform {
+    /// Creates a platform with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ThreadedPlatform {
+            name: name.into(),
+            containers: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a container.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate container names.
+    pub fn add_container(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.containers.insert(name.clone(), Vec::new()).is_none(),
+            "container `{name}` already exists"
+        );
+        self
+    }
+
+    /// Registers an agent to run in `container` (threads start later).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for unknown containers or duplicate
+    /// agent names.
+    pub fn spawn(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError> {
+        let id = AgentId::with_platform(local_name, &self.name);
+        if self
+            .containers
+            .values()
+            .flatten()
+            .any(|(existing, _)| existing == &id)
+        {
+            return Err(PlatformError::DuplicateAgent(id));
+        }
+        let slot = self
+            .containers
+            .get_mut(container)
+            .ok_or_else(|| PlatformError::NoSuchContainer(container.to_owned()))?;
+        slot.push((id.clone(), Box::new(agent)));
+        Ok(id)
+    }
+
+    /// Starts one thread per container plus a router thread, runs every
+    /// agent's `setup`, and returns the running handle.
+    pub fn start(self) -> RunningPlatform {
+        let shared = Arc::new(SharedState {
+            df: Mutex::new(DirectoryFacilitator::new()),
+            in_flight: AtomicI64::new(0),
+            delivered: AtomicU64::new(0),
+            clock_ms: AtomicU64::new(0),
+            dead_letters: Mutex::new(Vec::new()),
+        });
+
+        // Router: one inbox; knows which container channel owns each id.
+        let (router_tx, router_rx) = unbounded::<AclMessage>();
+        let mut container_txs: BTreeMap<String, Sender<ContainerMsg>> = BTreeMap::new();
+        let mut residents: BTreeMap<AgentId, String> = BTreeMap::new();
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+
+        for (container_name, agents) in self.containers {
+            let (tx, rx) = unbounded::<ContainerMsg>();
+            container_txs.insert(container_name.clone(), tx);
+            for (id, _) in &agents {
+                residents.insert(id.clone(), container_name.clone());
+            }
+            threads.push(spawn_container_thread(
+                container_name,
+                agents,
+                rx,
+                router_tx.clone(),
+                Arc::clone(&shared),
+            ));
+        }
+
+        // Router thread: moves messages from the shared inbox to the
+        // owning container, dead-lettering unknown receivers.
+        let router_shared = Arc::clone(&shared);
+        let router_containers = container_txs.clone();
+        let router = std::thread::spawn(move || {
+            // Exits when every sender (containers + the handle) is gone.
+            while let Ok(message) = router_rx.recv() {
+                for receiver in message.receivers() {
+                    match residents.get(receiver) {
+                        Some(container) => {
+                            router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            let _ = router_containers[container]
+                                .send(ContainerMsg::Deliver(message.clone()));
+                        }
+                        None => router_shared.dead_letters.lock().push(message.clone()),
+                    }
+                }
+                // The router finished handling this inbox entry.
+                router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        });
+
+        RunningPlatform {
+            shared,
+            router_tx,
+            container_txs,
+            threads,
+            router: Some(router),
+        }
+    }
+}
+
+fn spawn_container_thread(
+    container_name: String,
+    mut agents: AgentRoster,
+    rx: Receiver<ContainerMsg>,
+    router_tx: Sender<AclMessage>,
+    shared: Arc<SharedState>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Setup phase.
+        let mut outbox = Vec::new();
+        for (id, agent) in agents.iter_mut() {
+            let now = shared.clock_ms.load(Ordering::SeqCst);
+            let mut df = shared.df.lock();
+            let mut ctx = AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
+            agent.setup(&mut ctx);
+        }
+        flush(&mut outbox, &router_tx, &shared);
+
+        loop {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(ContainerMsg::Deliver(message)) => {
+                    let now = shared.clock_ms.load(Ordering::SeqCst);
+                    for receiver in message.receivers().to_vec() {
+                        if let Some((id, agent)) =
+                            agents.iter_mut().find(|(id, _)| *id == receiver)
+                        {
+                            let mut df = shared.df.lock();
+                            let mut ctx =
+                                AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
+                            agent.on_message(message.clone(), &mut ctx);
+                            shared.delivered.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    flush(&mut outbox, &router_tx, &shared);
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(ContainerMsg::Stop) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    // Idle: give agents their tick.
+                    let now = shared.clock_ms.load(Ordering::SeqCst);
+                    for (id, agent) in agents.iter_mut() {
+                        let mut df = shared.df.lock();
+                        let mut ctx =
+                            AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
+                        agent.on_tick(&mut ctx);
+                    }
+                    flush(&mut outbox, &router_tx, &shared);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    })
+}
+
+fn flush(outbox: &mut Vec<AclMessage>, router_tx: &Sender<AclMessage>, shared: &SharedState) {
+    for message in outbox.drain(..) {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = router_tx.send(message);
+    }
+}
+
+/// Handle to a started [`ThreadedPlatform`].
+pub struct RunningPlatform {
+    shared: Arc<SharedState>,
+    router_tx: Sender<AclMessage>,
+    container_txs: BTreeMap<String, Sender<ContainerMsg>>,
+    threads: Vec<JoinHandle<()>>,
+    router: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RunningPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningPlatform")
+            .field("containers", &self.container_txs.len())
+            .field("in_flight", &self.shared.in_flight.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl RunningPlatform {
+    /// Sends a message into the platform from outside.
+    pub fn post(&mut self, message: AclMessage) {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = self.router_tx.send(message);
+    }
+
+    /// Advances the shared simulated clock (agents read it on their next
+    /// callback).
+    pub fn advance_clock(&self, now_ms: u64) {
+        self.shared.clock_ms.store(now_ms, Ordering::SeqCst);
+    }
+
+    /// Locked access to the shared directory.
+    pub fn with_df<R>(&self, f: impl FnOnce(&mut DirectoryFacilitator) -> R) -> R {
+        f(&mut self.shared.df.lock())
+    }
+
+    /// Blocks until no message is queued or being processed anywhere.
+    /// Returns `false` on a 5-second timeout (deadlock guard).
+    pub fn wait_idle(&self) -> bool {
+        for _ in 0..500 {
+            if self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.shared.delivered.load(Ordering::SeqCst)
+    }
+
+    /// Stops every thread and returns the run statistics.
+    pub fn shutdown(mut self) -> RunStats {
+        for tx in self.container_txs.values() {
+            let _ = tx.send(ContainerMsg::Stop);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // With the containers joined, dropping our sender leaves the
+        // router without producers; its `recv` errors and it exits.
+        if let Some(router) = self.router.take() {
+            drop(self.router_tx);
+            let _ = router.join();
+        }
+        RunStats {
+            delivered: self.shared.delivered.load(Ordering::SeqCst),
+            dead_letters: std::mem::take(&mut self.shared.dead_letters.lock()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_acl::{Performative, Value};
+    use std::sync::atomic::AtomicUsize;
+
+    /// Replies `pong` to every message and counts deliveries globally.
+    struct Ponger {
+        hits: Arc<AtomicUsize>,
+    }
+
+    impl Agent for Ponger {
+        fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            ctx.send(msg.reply(Performative::Inform, Value::symbol("pong")));
+        }
+    }
+
+    /// Forwards each received *request* to a target; replies coming back
+    /// are absorbed (otherwise forwarder and ponger would loop forever).
+    struct Forwarder {
+        target: AgentId,
+    }
+
+    impl Agent for Forwarder {
+        fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+            if msg.performative() != Performative::Request {
+                return;
+            }
+            let forward = AclMessage::builder(Performative::Request)
+                .sender(ctx.self_id().clone())
+                .receiver(self.target.clone())
+                .content(msg.content().clone())
+                .build()
+                .unwrap();
+            ctx.send(forward);
+        }
+    }
+
+    fn ping(to: AgentId) -> AclMessage {
+        AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("test-driver"))
+            .receiver(to)
+            .content(Value::symbol("ping"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn messages_cross_container_threads() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a").add_container("b");
+        let ponger = platform
+            .spawn("b", "ponger", Ponger { hits: Arc::clone(&hits) })
+            .unwrap();
+        platform
+            .spawn("a", "fwd", Forwarder { target: ponger.clone() })
+            .unwrap();
+        let mut handle = platform.start();
+        for _ in 0..10 {
+            handle.post(ping(AgentId::with_platform("fwd", "rt")));
+        }
+        assert!(handle.wait_idle(), "must quiesce");
+        let stats = handle.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+        // 10 to fwd + 10 to ponger + 10 pong replies back to fwd.
+        assert_eq!(stats.delivered, 30);
+        assert!(stats.dead_letters.is_empty());
+    }
+
+    #[test]
+    fn unknown_receiver_dead_letters() {
+        let platform = {
+            let mut p = ThreadedPlatform::new("rt");
+            p.add_container("a");
+            p
+        };
+        let mut handle = platform.start();
+        handle.post(ping(AgentId::new("ghost@rt")));
+        assert!(handle.wait_idle());
+        let stats = handle.shutdown();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dead_letters.len(), 1);
+    }
+
+    #[test]
+    fn clock_is_visible_to_agents() {
+        struct ClockReader {
+            seen: Arc<AtomicUsize>,
+        }
+        impl Agent for ClockReader {
+            fn on_message(&mut self, _msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+                self.seen.store(ctx.now_ms() as usize, Ordering::SeqCst);
+            }
+        }
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        let id = platform
+            .spawn("a", "reader", ClockReader { seen: Arc::clone(&seen) })
+            .unwrap();
+        let mut handle = platform.start();
+        handle.advance_clock(12_345);
+        handle.post(ping(id));
+        assert!(handle.wait_idle());
+        handle.shutdown();
+        assert_eq!(seen.load(Ordering::SeqCst), 12_345);
+    }
+
+    #[test]
+    fn df_is_shared_across_threads() {
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        struct Registrar;
+        impl Agent for Registrar {
+            fn setup(&mut self, ctx: &mut AgentCtx<'_>) {
+                let id = ctx.self_id().clone();
+                ctx.df().register_service(id, "analysis", ["cpu"]);
+            }
+        }
+        platform.spawn("a", "reg", Registrar).unwrap();
+        let handle = platform.start();
+        assert!(handle.wait_idle());
+        let count = handle.with_df(|df| df.service_count());
+        assert_eq!(count, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn duplicate_and_missing_errors_before_start() {
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        platform.spawn("a", "x", Ponger { hits: Arc::new(AtomicUsize::new(0)) }).unwrap();
+        assert!(matches!(
+            platform.spawn("a", "x", Ponger { hits: Arc::new(AtomicUsize::new(0)) }),
+            Err(PlatformError::DuplicateAgent(_))
+        ));
+        assert!(matches!(
+            platform.spawn("nope", "y", Ponger { hits: Arc::new(AtomicUsize::new(0)) }),
+            Err(PlatformError::NoSuchContainer(_))
+        ));
+    }
+}

@@ -1,0 +1,478 @@
+use std::collections::BTreeSet;
+
+use crate::{Bindings, Effect, Fact, FactId, Finding, KnowledgeBase, Rule, WorkingMemory};
+
+/// Statistics of one [`Engine::run`], used by the grid for cost
+/// accounting (an analysis task's CPU cost is proportional to the work
+/// the engine did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Recognize-act cycles executed.
+    pub cycles: u64,
+    /// Activations fired.
+    pub fired: u64,
+    /// Facts asserted by effects.
+    pub asserted: u64,
+    /// Facts retracted by effects.
+    pub retracted: u64,
+    /// Pattern-match attempts (join work), a proxy for CPU cost.
+    pub match_attempts: u64,
+}
+
+/// Result of a forward-chaining run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// Findings emitted by fired rules, in firing order.
+    pub findings: Vec<Finding>,
+    /// Execution statistics.
+    pub stats: RunStats,
+    /// Whether the run stopped because it hit the cycle limit instead of
+    /// reaching quiescence.
+    pub truncated: bool,
+}
+
+/// One fireable (rule, fact-tuple) combination.
+#[derive(Debug, Clone)]
+struct Activation {
+    rule_index: usize,
+    fact_ids: Vec<FactId>,
+    bindings: Bindings,
+    salience: i32,
+    /// Highest fact id in the tuple — recency for conflict resolution.
+    recency: FactId,
+}
+
+/// Forward-chaining inference engine.
+///
+/// The engine owns a [`WorkingMemory`] and a [`KnowledgeBase`] and runs
+/// the classic recognize–act cycle: compute the conflict set (all
+/// activations not yet fired), pick the best by salience then recency,
+/// fire it, apply its effects, repeat until quiescence.
+///
+/// **Refraction**: an activation is identified by `(rule, fact ids)`; once
+/// fired it never fires again, even across separate [`run`](Engine::run)
+/// calls, unless one of its facts was retracted and re-asserted (new ids).
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_rules::{Engine, Fact, KnowledgeBase, parse_rules};
+///
+/// let kb = KnowledgeBase::from_rules(parse_rules(r#"
+///     rule "chain" {
+///         when seed(n: ?n)
+///         then assert grown(n: ?n)
+///     }
+///     rule "harvest" {
+///         when grown(n: ?n)
+///         then emit info "field" "grew ?n"
+///     }
+/// "#)?);
+/// let mut engine = Engine::new(kb);
+/// engine.insert(Fact::new("seed").with("n", 1.0));
+/// let out = engine.run();
+/// assert_eq!(out.findings.len(), 1);
+/// assert_eq!(out.findings[0].message, "grew 1");
+/// # Ok::<(), agentgrid_rules::ParseRuleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    kb: KnowledgeBase,
+    wm: WorkingMemory,
+    fired: BTreeSet<(String, Vec<FactId>)>,
+    max_cycles: u64,
+}
+
+impl Engine {
+    /// Creates an engine over a knowledge base with an empty working
+    /// memory and the default cycle limit (10 000).
+    pub fn new(kb: KnowledgeBase) -> Self {
+        Engine {
+            kb,
+            wm: WorkingMemory::new(),
+            fired: BTreeSet::new(),
+            max_cycles: 10_000,
+        }
+    }
+
+    /// Replaces the cycle limit (a safety net against runaway rule sets).
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Inserts a fact.
+    pub fn insert(&mut self, fact: Fact) -> FactId {
+        self.wm.insert(fact)
+    }
+
+    /// Inserts many facts.
+    pub fn insert_all(&mut self, facts: impl IntoIterator<Item = Fact>) {
+        for fact in facts {
+            self.wm.insert(fact);
+        }
+    }
+
+    /// Read access to the working memory.
+    pub fn memory(&self) -> &WorkingMemory {
+        &self.wm
+    }
+
+    /// Read access to the knowledge base.
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Mutable access to the knowledge base (to learn rules at runtime).
+    pub fn knowledge_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+
+    /// Clears the working memory and refraction history (e.g. between
+    /// analysis batches).
+    pub fn reset(&mut self) {
+        self.wm = WorkingMemory::new();
+        self.fired.clear();
+    }
+
+    /// Runs recognize–act cycles until quiescence or the cycle limit.
+    pub fn run(&mut self) -> RunOutcome {
+        let mut outcome = RunOutcome::default();
+        loop {
+            if outcome.stats.cycles >= self.max_cycles {
+                outcome.truncated = true;
+                break;
+            }
+            let Some(activation) = self.best_activation(&mut outcome.stats) else {
+                break;
+            };
+            outcome.stats.cycles += 1;
+            self.fire(activation, &mut outcome);
+        }
+        outcome
+    }
+
+    /// Computes the conflict set and returns the activation with the
+    /// highest salience, breaking ties by recency then rule order.
+    fn best_activation(&self, stats: &mut RunStats) -> Option<Activation> {
+        let mut best: Option<Activation> = None;
+        for (rule_index, rule) in self.kb.iter().enumerate() {
+            for (fact_ids, bindings) in self.match_rule(rule, stats) {
+                let key = (rule.name().to_owned(), fact_ids.clone());
+                if self.fired.contains(&key) {
+                    continue;
+                }
+                if !rule.guards_pass(&bindings) {
+                    continue;
+                }
+                let recency = fact_ids.iter().copied().max().unwrap_or(FactId(0));
+                let candidate = Activation {
+                    rule_index,
+                    fact_ids,
+                    bindings,
+                    salience: rule.salience_value(),
+                    recency,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(current) => {
+                        (candidate.salience, candidate.recency, {
+                            // Lower rule index wins the final tie, so invert.
+                            usize::MAX - candidate.rule_index
+                        }) > (current.salience, current.recency, usize::MAX - current.rule_index)
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best
+    }
+
+    /// Joins the rule's patterns left-to-right, producing every consistent
+    /// `(fact tuple, bindings)` combination.
+    fn match_rule(&self, rule: &Rule, stats: &mut RunStats) -> Vec<(Vec<FactId>, Bindings)> {
+        let mut partial: Vec<(Vec<FactId>, Bindings)> = vec![(Vec::new(), Bindings::new())];
+        for pattern in rule.patterns() {
+            let mut next = Vec::new();
+            for (ids, bindings) in &partial {
+                for (id, extended) in pattern.match_all(&self.wm, bindings) {
+                    stats.match_attempts += 1;
+                    // A fact may not satisfy two patterns of the same rule
+                    // instance (set semantics for the tuple).
+                    if ids.contains(&id) {
+                        continue;
+                    }
+                    let mut tuple = ids.clone();
+                    tuple.push(id);
+                    next.push((tuple, extended));
+                }
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        if rule.patterns().is_empty() {
+            // A rule with no patterns matches once on empty tuple.
+            return partial;
+        }
+        partial
+    }
+
+    fn fire(&mut self, activation: Activation, outcome: &mut RunOutcome) {
+        let rule = self
+            .kb
+            .iter()
+            .nth(activation.rule_index)
+            .expect("activation refers to an existing rule")
+            .clone();
+        self.fired
+            .insert((rule.name().to_owned(), activation.fact_ids.clone()));
+        outcome.stats.fired += 1;
+
+        for effect in rule.effects() {
+            match effect {
+                Effect::Assert { .. } => {
+                    if let Some(fact) = effect.instantiate(&activation.bindings) {
+                        self.wm.insert(fact);
+                        outcome.stats.asserted += 1;
+                    }
+                }
+                Effect::Retract(pattern_index) => {
+                    if let Some(id) = activation.fact_ids.get(*pattern_index) {
+                        if self.wm.retract(*id).is_some() {
+                            outcome.stats.retracted += 1;
+                        }
+                    }
+                }
+                Effect::Emit {
+                    severity,
+                    device,
+                    message,
+                } => {
+                    let device_text = device
+                        .resolve(&activation.bindings)
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "unknown".to_owned());
+                    outcome.findings.push(Finding {
+                        rule: rule.name().to_owned(),
+                        device: device_text,
+                        severity: *severity,
+                        message: activation.bindings.substitute(message),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldPattern, Guard, GuardOp, Operand, Pattern, RuleSeverity, Term};
+
+    fn emit_rule(name: &str, salience: i32, kind: &str) -> Rule {
+        Rule::new(name)
+            .salience(salience)
+            .when(Pattern::new(kind).field("device", FieldPattern::Var("d".into())))
+            .then(Effect::Emit {
+                severity: RuleSeverity::Info,
+                device: Operand::Var("d".into()),
+                message: format!("{name} fired"),
+            })
+    }
+
+    #[test]
+    fn fires_once_per_fact_tuple() {
+        let kb = KnowledgeBase::from_rules([emit_rule("r", 0, "obs")]);
+        let mut engine = Engine::new(kb);
+        engine.insert(Fact::new("obs").with("device", "a"));
+        assert_eq!(engine.run().findings.len(), 1);
+        // Re-running without new facts fires nothing (refraction).
+        assert_eq!(engine.run().findings.len(), 0);
+        // A new fact re-activates the rule once.
+        engine.insert(Fact::new("obs").with("device", "b"));
+        assert_eq!(engine.run().findings.len(), 1);
+    }
+
+    #[test]
+    fn salience_orders_firing() {
+        let kb = KnowledgeBase::from_rules([
+            emit_rule("low", 1, "obs"),
+            emit_rule("high", 10, "obs"),
+        ]);
+        let mut engine = Engine::new(kb);
+        engine.insert(Fact::new("obs").with("device", "a"));
+        let out = engine.run();
+        assert_eq!(out.findings[0].rule, "high");
+        assert_eq!(out.findings[1].rule, "low");
+    }
+
+    #[test]
+    fn chained_assertion_triggers_downstream_rule() {
+        let r1 = Rule::new("producer")
+            .when(Pattern::new("obs").field("device", FieldPattern::Var("d".into())))
+            .then(Effect::Assert {
+                kind: "problem".into(),
+                fields: vec![("device".into(), Operand::Var("d".into()))],
+            });
+        let r2 = emit_rule("consumer", 0, "problem");
+        let mut engine = Engine::new(KnowledgeBase::from_rules([r1, r2]));
+        engine.insert(Fact::new("obs").with("device", "x"));
+        let out = engine.run();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "consumer");
+        assert_eq!(out.stats.asserted, 1);
+        assert_eq!(engine.memory().of_kind("problem").count(), 1);
+    }
+
+    #[test]
+    fn retraction_removes_fact() {
+        let rule = Rule::new("consume")
+            .when(Pattern::new("token"))
+            .then(Effect::Retract(0));
+        let mut engine = Engine::new(KnowledgeBase::from_rules([rule]));
+        engine.insert(Fact::new("token"));
+        engine.insert(Fact::new("token"));
+        let out = engine.run();
+        assert_eq!(out.stats.retracted, 2);
+        assert!(engine.memory().is_empty());
+    }
+
+    #[test]
+    fn guards_block_activation() {
+        let rule = Rule::new("threshold")
+            .when(Pattern::new("obs").field("value", FieldPattern::Var("v".into())))
+            .guard(Guard::new(
+                Operand::Var("v".into()),
+                GuardOp::Gt,
+                Operand::Const(Term::from(50.0)),
+            ))
+            .then(Effect::Emit {
+                severity: RuleSeverity::Warning,
+                device: Operand::Const(Term::from("d")),
+                message: "over".into(),
+            });
+        let mut engine = Engine::new(KnowledgeBase::from_rules([rule]));
+        engine.insert(Fact::new("obs").with("value", 10.0));
+        engine.insert(Fact::new("obs").with("value", 90.0));
+        let out = engine.run();
+        assert_eq!(out.findings.len(), 1);
+    }
+
+    #[test]
+    fn multi_pattern_join_binds_across_facts() {
+        // Correlate: same device reports high cpu AND low memory.
+        let rule = Rule::new("correlated")
+            .when(
+                Pattern::new("cpu")
+                    .field("device", FieldPattern::Var("d".into()))
+                    .field("value", FieldPattern::Var("c".into())),
+            )
+            .when(
+                Pattern::new("mem")
+                    .field("device", FieldPattern::Var("d".into()))
+                    .field("value", FieldPattern::Var("m".into())),
+            )
+            .guard(Guard::new(
+                Operand::Var("c".into()),
+                GuardOp::Gt,
+                Operand::Const(Term::from(90.0)),
+            ))
+            .guard(Guard::new(
+                Operand::Var("m".into()),
+                GuardOp::Lt,
+                Operand::Const(Term::from(100.0)),
+            ))
+            .then(Effect::Emit {
+                severity: RuleSeverity::Critical,
+                device: Operand::Var("d".into()),
+                message: "cpu ?c / mem ?m".into(),
+            });
+        let mut engine = Engine::new(KnowledgeBase::from_rules([rule]));
+        engine.insert(Fact::new("cpu").with("device", "a").with("value", 95.0));
+        engine.insert(Fact::new("mem").with("device", "a").with("value", 50.0));
+        // Device b has high cpu but plentiful memory: must not fire.
+        engine.insert(Fact::new("cpu").with("device", "b").with("value", 95.0));
+        engine.insert(Fact::new("mem").with("device", "b").with("value", 900.0));
+        let out = engine.run();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].device, "a");
+        assert_eq!(out.findings[0].message, "cpu 95 / mem 50");
+    }
+
+    #[test]
+    fn same_fact_cannot_fill_two_patterns() {
+        let rule = Rule::new("pair")
+            .when(Pattern::new("x"))
+            .when(Pattern::new("x"))
+            .then(Effect::Emit {
+                severity: RuleSeverity::Info,
+                device: Operand::Const(Term::from("-")),
+                message: "pair".into(),
+            });
+        let mut engine = Engine::new(KnowledgeBase::from_rules([rule]));
+        engine.insert(Fact::new("x"));
+        // Only one x: no (a,a) tuple allowed → no firing.
+        assert_eq!(engine.run().findings.len(), 0);
+        engine.insert(Fact::new("x"));
+        // Two x facts: (a,b) and (b,a) are distinct tuples.
+        assert_eq!(engine.run().findings.len(), 2);
+    }
+
+    #[test]
+    fn cycle_limit_stops_runaway_rules() {
+        // Rule asserts its own trigger forever.
+        let rule = Rule::new("loop")
+            .when(Pattern::new("t").field("n", FieldPattern::Var("n".into())))
+            .then(Effect::Assert {
+                kind: "t".into(),
+                fields: vec![("n".into(), Operand::Var("n".into()))],
+            });
+        let mut engine = Engine::new(KnowledgeBase::from_rules([rule])).with_max_cycles(25);
+        engine.insert(Fact::new("t").with("n", 0.0));
+        let out = engine.run();
+        assert!(out.truncated);
+        assert_eq!(out.stats.cycles, 25);
+    }
+
+    #[test]
+    fn reset_clears_memory_and_refraction() {
+        let kb = KnowledgeBase::from_rules([emit_rule("r", 0, "obs")]);
+        let mut engine = Engine::new(kb);
+        engine.insert(Fact::new("obs").with("device", "a"));
+        engine.run();
+        engine.reset();
+        assert!(engine.memory().is_empty());
+        engine.insert(Fact::new("obs").with("device", "a"));
+        assert_eq!(engine.run().findings.len(), 1);
+    }
+
+    #[test]
+    fn recency_breaks_salience_ties() {
+        let kb = KnowledgeBase::from_rules([
+            emit_rule("first", 0, "obs"),
+            emit_rule("second", 0, "alarm"),
+        ]);
+        let mut engine = Engine::new(kb);
+        engine.insert(Fact::new("obs").with("device", "a"));
+        engine.insert(Fact::new("alarm").with("device", "b"));
+        let out = engine.run();
+        // alarm fact is more recent → its rule fires first.
+        assert_eq!(out.findings[0].rule, "second");
+    }
+
+    #[test]
+    fn stats_count_match_attempts() {
+        let kb = KnowledgeBase::from_rules([emit_rule("r", 0, "obs")]);
+        let mut engine = Engine::new(kb);
+        for i in 0..10 {
+            engine.insert(Fact::new("obs").with("device", format!("d{i}")));
+        }
+        let out = engine.run();
+        assert!(out.stats.match_attempts >= 10);
+        assert_eq!(out.stats.fired, 10);
+    }
+}

@@ -1,0 +1,327 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A field value inside a [`Fact`].
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_rules::Term;
+/// assert!(Term::from(3.0) > Term::from(2.5));
+/// assert_eq!(Term::from("up").as_str(), Some("up"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// A numeric value (all numbers are `f64`).
+    Num(f64),
+    /// A string value.
+    Str(String),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Term {
+    /// Returns the number if this is a `Num`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Term::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Term::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Term::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Term {
+    /// Numbers order numerically, strings lexicographically, booleans
+    /// false-before-true; mixed kinds are unordered.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Term::Num(a), Term::Num(b)) => a.partial_cmp(b),
+            (Term::Str(a), Term::Str(b)) => Some(a.cmp(b)),
+            (Term::Bool(a), Term::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Num(x) => write!(f, "{x}"),
+            Term::Str(s) => write!(f, "{s}"),
+            Term::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for Term {
+    fn from(x: f64) -> Self {
+        Term::Num(x)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(x: i64) -> Self {
+        Term::Num(x as f64)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Term {
+    fn from(s: String) -> Self {
+        Term::Str(s)
+    }
+}
+
+impl From<bool> for Term {
+    fn from(b: bool) -> Self {
+        Term::Bool(b)
+    }
+}
+
+/// Identifier of a fact inside a [`WorkingMemory`].
+///
+/// Ids are assigned in insertion order, which the engine uses as recency
+/// for conflict resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FactId(pub(crate) u64);
+
+impl FactId {
+    /// The raw id value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A typed tuple in working memory: a *kind* plus named fields.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_rules::Fact;
+/// let f = Fact::new("obs")
+///     .with("device", "sw-1")
+///     .with("value", 42.0);
+/// assert_eq!(f.kind(), "obs");
+/// assert_eq!(f.field("value").unwrap().as_num(), Some(42.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fact {
+    kind: String,
+    fields: BTreeMap<String, Term>,
+}
+
+impl Fact {
+    /// Creates an empty fact of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Fact {
+            kind: kind.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Adds or replaces a field (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Term>) -> Self {
+        self.fields.insert(name.into(), value.into());
+        self
+    }
+
+    /// The fact kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Looks up a field.
+    pub fn field(&self, name: &str) -> Option<&Term> {
+        self.fields.get(name)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the fact has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.kind)?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The fact store the engine reasons over.
+///
+/// Facts are never mutated in place: rules assert new facts and retract
+/// old ones, which keeps activation bookkeeping sound.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_rules::{Fact, WorkingMemory};
+/// let mut wm = WorkingMemory::new();
+/// let id = wm.insert(Fact::new("obs").with("value", 1.0));
+/// assert_eq!(wm.len(), 1);
+/// wm.retract(id);
+/// assert!(wm.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WorkingMemory {
+    facts: BTreeMap<FactId, Fact>,
+    next_id: u64,
+}
+
+impl WorkingMemory {
+    /// Creates an empty working memory.
+    pub fn new() -> Self {
+        WorkingMemory::default()
+    }
+
+    /// Inserts a fact, returning its id.
+    pub fn insert(&mut self, fact: Fact) -> FactId {
+        let id = FactId(self.next_id);
+        self.next_id += 1;
+        self.facts.insert(id, fact);
+        id
+    }
+
+    /// Removes a fact. Returns the fact if it was present.
+    pub fn retract(&mut self, id: FactId) -> Option<Fact> {
+        self.facts.remove(&id)
+    }
+
+    /// Looks up a fact by id.
+    pub fn get(&self, id: FactId) -> Option<&Fact> {
+        self.facts.get(&id)
+    }
+
+    /// Iterates over `(id, fact)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts.iter().map(|(id, f)| (*id, f))
+    }
+
+    /// Iterates over the facts of one kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = (FactId, &'a Fact)> + 'a {
+        self.iter().filter(move |(_, f)| f.kind() == kind)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_conversions_and_accessors() {
+        assert_eq!(Term::from(2i64).as_num(), Some(2.0));
+        assert_eq!(Term::from("x").as_str(), Some("x"));
+        assert_eq!(Term::from(true).as_bool(), Some(true));
+        assert_eq!(Term::from(1.0).as_str(), None);
+    }
+
+    #[test]
+    fn term_ordering_within_kind_only() {
+        assert!(Term::from(1.0) < Term::from(2.0));
+        assert!(Term::from("a") < Term::from("b"));
+        assert!(Term::from(false) < Term::from(true));
+        assert_eq!(Term::from(1.0).partial_cmp(&Term::from("a")), None);
+    }
+
+    #[test]
+    fn fact_builder_and_display() {
+        let f = Fact::new("obs").with("b", 2.0).with("a", "x");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.to_string(), "obs(a: x, b: 2)");
+    }
+
+    #[test]
+    fn memory_assigns_monotonic_ids() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.insert(Fact::new("x"));
+        let b = wm.insert(Fact::new("y"));
+        assert!(a < b);
+        assert_eq!(wm.get(a).unwrap().kind(), "x");
+    }
+
+    #[test]
+    fn retract_removes_and_returns() {
+        let mut wm = WorkingMemory::new();
+        let id = wm.insert(Fact::new("x"));
+        assert_eq!(wm.retract(id).unwrap().kind(), "x");
+        assert!(wm.retract(id).is_none());
+        assert!(wm.is_empty());
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(Fact::new("a"));
+        wm.insert(Fact::new("b"));
+        wm.insert(Fact::new("a"));
+        assert_eq!(wm.of_kind("a").count(), 2);
+        assert_eq!(wm.of_kind("c").count(), 0);
+    }
+
+    #[test]
+    fn ids_are_not_reused_after_retract() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.insert(Fact::new("x"));
+        wm.retract(a);
+        let b = wm.insert(Fact::new("y"));
+        assert_ne!(a, b);
+    }
+}

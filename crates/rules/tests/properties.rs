@@ -1,0 +1,126 @@
+//! Property-based tests for the rule engine.
+
+use agentgrid_rules::{
+    parse_rules, Bindings, Engine, Fact, Guard, GuardOp, KnowledgeBase, Operand, Term,
+};
+use proptest::prelude::*;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::num::f64::NORMAL.prop_map(Term::Num),
+        "[a-z]{0,8}".prop_map(Term::Str),
+        any::<bool>().prop_map(Term::Bool),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = GuardOp> {
+    prop_oneof![
+        Just(GuardOp::Lt),
+        Just(GuardOp::Le),
+        Just(GuardOp::Gt),
+        Just(GuardOp::Ge),
+        Just(GuardOp::Eq),
+        Just(GuardOp::Ne),
+    ]
+}
+
+proptest! {
+    /// Guards never panic, for any operand/operator combination, and
+    /// `Eq`/`Ne` are complementary on resolvable operands.
+    #[test]
+    fn guard_eval_is_total_and_eq_ne_complement(
+        l in term_strategy(),
+        r in term_strategy(),
+        op in op_strategy(),
+    ) {
+        let g = Guard::new(Operand::Const(l.clone()), op, Operand::Const(r.clone()));
+        let _ = g.eval(&Bindings::new());
+
+        let eq = Guard::new(Operand::Const(l.clone()), GuardOp::Eq, Operand::Const(r.clone()));
+        let ne = Guard::new(Operand::Const(l), GuardOp::Ne, Operand::Const(r));
+        prop_assert_ne!(eq.eval(&Bindings::new()), ne.eval(&Bindings::new()));
+    }
+
+    /// A threshold rule fires exactly for the observations above the
+    /// threshold, once each — regardless of insertion order.
+    #[test]
+    fn threshold_rule_fires_exactly_on_exceeding_values(
+        threshold in 0.0f64..100.0,
+        values in prop::collection::vec(0.0f64..100.0, 0..40),
+    ) {
+        let text = format!(
+            r#"rule "t" {{
+                when obs(device: ?d, value: ?v)
+                if ?v > {threshold}
+                then emit warning ?d "over"
+            }}"#
+        );
+        let kb = KnowledgeBase::from_rules(parse_rules(&text).unwrap());
+        let mut engine = Engine::new(kb);
+        for (i, v) in values.iter().enumerate() {
+            engine.insert(Fact::new("obs").with("device", format!("d{i}")).with("value", *v));
+        }
+        let out = engine.run();
+        let expected = values.iter().filter(|v| **v > threshold).count();
+        prop_assert_eq!(out.findings.len(), expected);
+        prop_assert!(!out.truncated);
+    }
+
+    /// Refraction: a second run with unchanged memory fires nothing.
+    #[test]
+    fn second_run_is_quiescent(values in prop::collection::vec(0.0f64..100.0, 0..20)) {
+        let kb = KnowledgeBase::from_rules(parse_rules(
+            r#"rule "any" { when obs(value: ?v) then emit info "x" "seen ?v" }"#,
+        ).unwrap());
+        let mut engine = Engine::new(kb);
+        for v in &values {
+            engine.insert(Fact::new("obs").with("value", *v));
+        }
+        let first = engine.run();
+        prop_assert_eq!(first.findings.len(), values.len());
+        let second = engine.run();
+        prop_assert_eq!(second.findings.len(), 0);
+        prop_assert_eq!(second.stats.fired, 0);
+    }
+
+    /// Without retract effects, working memory only grows during a run
+    /// (monotonicity of pure forward chaining).
+    #[test]
+    fn memory_grows_monotonically_without_retraction(
+        n in 0usize..20,
+    ) {
+        let kb = KnowledgeBase::from_rules(parse_rules(
+            r#"rule "derive" { when obs(value: ?v) then assert derived(value: ?v) }"#,
+        ).unwrap());
+        let mut engine = Engine::new(kb);
+        for i in 0..n {
+            engine.insert(Fact::new("obs").with("value", i as f64));
+        }
+        let before = engine.memory().len();
+        let out = engine.run();
+        prop_assert!(engine.memory().len() >= before);
+        prop_assert_eq!(engine.memory().len(), before + out.stats.asserted as usize);
+    }
+
+    /// The DSL round-trips structurally: parsing equivalent text twice
+    /// gives equal rules.
+    #[test]
+    fn parsing_is_deterministic(
+        name in "[a-z][a-z-]{0,10}",
+        salience in -100i32..100,
+        threshold in -1000.0f64..1000.0,
+    ) {
+        let text = format!(
+            r#"rule "{name}" salience {salience} {{
+                when m(v: ?v)
+                if ?v >= {threshold}
+                then emit info ?v "msg"
+            }}"#
+        );
+        let a = parse_rules(&text).unwrap();
+        let b = parse_rules(&text).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a[0].name(), name.as_str());
+        prop_assert_eq!(a[0].salience_value(), salience);
+    }
+}

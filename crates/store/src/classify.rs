@@ -1,0 +1,135 @@
+use crate::Record;
+
+/// Maps records to named partitions ("data-clustering", paper §3.2).
+///
+/// The classifier grid must organize data "in a way that facilitates its
+/// distribution and analysis": partitions are the unit the processor-grid
+/// root later hands to containers (a container with `disk` knowledge gets
+/// the `disk` partition, Fig. 3). Classification is by longest matching
+/// metric prefix.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_store::{Classifier, Record};
+///
+/// let c = Classifier::standard();
+/// assert_eq!(c.partition_of("cpu.load.1"), "cpu");
+/// assert_eq!(c.partition_of("storage.disk.used-pct"), "disk");
+/// assert_eq!(c.partition_of("something.odd"), "other");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    /// `(metric prefix, partition name)`, matched longest-prefix-first.
+    rules: Vec<(String, String)>,
+    fallback: String,
+}
+
+impl Classifier {
+    /// Creates a classifier with no rules: everything lands in
+    /// `fallback`.
+    pub fn new(fallback: impl Into<String>) -> Self {
+        Classifier {
+            rules: Vec::new(),
+            fallback: fallback.into(),
+        }
+    }
+
+    /// The standard rule set for the simulated network's metrics.
+    pub fn standard() -> Self {
+        let mut c = Classifier::new("other");
+        c.add_rule("cpu.", "cpu");
+        c.add_rule("storage.ram", "memory");
+        c.add_rule("storage.disk", "disk");
+        c.add_rule("if.", "interface");
+        c.add_rule("processes.", "process");
+        c.add_rule("system.", "system");
+        c
+    }
+
+    /// Adds a prefix rule. Longer prefixes win over shorter ones.
+    pub fn add_rule(&mut self, prefix: impl Into<String>, partition: impl Into<String>) {
+        self.rules.push((prefix.into(), partition.into()));
+        // Longest-prefix-first so more specific rules shadow general ones.
+        self.rules.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+    }
+
+    /// The partition a metric belongs to.
+    pub fn partition_of(&self, metric: &str) -> &str {
+        self.rules
+            .iter()
+            .find(|(prefix, _)| metric.starts_with(prefix.as_str()))
+            .map(|(_, partition)| partition.as_str())
+            .unwrap_or(&self.fallback)
+    }
+
+    /// The partition of a record.
+    pub fn classify(&self, record: &Record) -> &str {
+        self.partition_of(&record.metric)
+    }
+
+    /// All partitions this classifier can produce (sorted, including the
+    /// fallback).
+    pub fn known_partitions(&self) -> Vec<&str> {
+        let mut p: Vec<&str> = self.rules.iter().map(|(_, v)| v.as_str()).collect();
+        p.push(&self.fallback);
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+}
+
+impl Default for Classifier {
+    fn default() -> Self {
+        Classifier::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_simulated_metrics() {
+        let c = Classifier::standard();
+        assert_eq!(c.partition_of("cpu.load.2"), "cpu");
+        assert_eq!(c.partition_of("storage.ram.used"), "memory");
+        assert_eq!(c.partition_of("storage.disk.used-pct"), "disk");
+        assert_eq!(c.partition_of("if.3.oper-status"), "interface");
+        assert_eq!(c.partition_of("processes.count"), "process");
+        assert_eq!(c.partition_of("system.uptime-ticks"), "system");
+    }
+
+    #[test]
+    fn fallback_catches_unknown_metrics() {
+        let c = Classifier::standard();
+        assert_eq!(c.partition_of("mystery"), "other");
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut c = Classifier::new("other");
+        c.add_rule("a.", "general");
+        c.add_rule("a.b.", "specific");
+        assert_eq!(c.partition_of("a.b.c"), "specific");
+        assert_eq!(c.partition_of("a.x"), "general");
+    }
+
+    #[test]
+    fn known_partitions_are_sorted_and_unique() {
+        let c = Classifier::standard();
+        let p = c.known_partitions();
+        assert!(p.contains(&"cpu") && p.contains(&"other"));
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(p, sorted);
+    }
+
+    #[test]
+    fn classify_uses_record_metric() {
+        let c = Classifier::standard();
+        let r = Record::new("d", "cpu.load.1", 1.0, 0);
+        assert_eq!(c.classify(&r), "cpu");
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One stored observation: the classifier grid's unit of data.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_store::Record;
+/// let r = Record::new("srv-1", "storage.disk.used-pct", 83.0, 120_000).with_site("hq");
+/// assert_eq!(r.device, "srv-1");
+/// assert_eq!(r.site, "hq");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Device the value came from.
+    pub device: String,
+    /// Metric name (dot-separated).
+    pub metric: String,
+    /// Observed value.
+    pub value: f64,
+    /// Collection timestamp, milliseconds since scenario start.
+    pub timestamp_ms: u64,
+    /// Site the device belongs to (defaults to `"default"`).
+    pub site: String,
+}
+
+impl Record {
+    /// Creates a record on the default site.
+    pub fn new(
+        device: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+        timestamp_ms: u64,
+    ) -> Self {
+        Record {
+            device: device.into(),
+            metric: metric.into(),
+            value,
+            timestamp_ms,
+            site: "default".to_owned(),
+        }
+    }
+
+    /// Sets the site (builder style).
+    pub fn with_site(mut self, site: impl Into<String>) -> Self {
+        self.site = site.into();
+        self
+    }
+
+    /// The series this record belongs to: `(device, metric)`.
+    pub fn series_key(&self) -> (&str, &str) {
+        (&self.device, &self.metric)
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ms] {}/{} {} = {}",
+            self.timestamp_ms, self.site, self.device, self.metric, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_site() {
+        let r = Record::new("d", "m", 1.0, 2).with_site("s");
+        assert_eq!(r.site, "s");
+        assert_eq!(Record::new("d", "m", 1.0, 2).site, "default");
+    }
+
+    #[test]
+    fn series_key_pairs_device_and_metric() {
+        let r = Record::new("d", "m", 1.0, 2);
+        assert_eq!(r.series_key(), ("d", "m"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Record::new("d", "m", 1.5, 2).with_site("s");
+        assert_eq!(r.to_string(), "[2 ms] s/d m = 1.5");
+    }
+}

@@ -1,0 +1,271 @@
+use std::fmt;
+
+use crate::{ManagementStore, Record, SeriesStats};
+
+/// Error raised by [`ReplicatedStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicaError {
+    /// Every replica is marked failed.
+    AllReplicasDown,
+    /// The replica index does not exist.
+    NoSuchReplica(usize),
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::AllReplicasDown => f.write_str("all replicas are down"),
+            ReplicaError::NoSuchReplica(index) => write!(f, "no replica #{index}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// N-way replicated [`ManagementStore`] with primary failover.
+///
+/// Writes go to every live replica; reads go to the lowest-numbered live
+/// replica. A replica marked failed stops receiving writes; when it is
+/// marked recovered it is resynchronized from a live peer, restoring the
+/// invariant that all live replicas hold the same data.
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_store::{Record, ReplicatedStore};
+///
+/// let mut store = ReplicatedStore::new(3);
+/// store.insert(Record::new("d", "cpu.load.1", 10.0, 0))?;
+/// store.fail(0)?;
+/// store.insert(Record::new("d", "cpu.load.1", 20.0, 60_000))?;
+/// // Reads fail over to replica 1, which has both points.
+/// assert_eq!(store.read()?.len(), 2);
+/// store.recover(0)?;
+/// assert_eq!(store.replica(0)?.len(), 2); // resynced
+/// # Ok::<(), agentgrid_store::ReplicaError>(())
+/// ```
+#[derive(Debug)]
+pub struct ReplicatedStore {
+    replicas: Vec<ManagementStore>,
+    alive: Vec<bool>,
+}
+
+impl ReplicatedStore {
+    /// Creates `n` empty replicas with the standard classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one replica");
+        ReplicatedStore {
+            replicas: (0..n).map(|_| ManagementStore::default()).collect(),
+            alive: vec![true; n],
+        }
+    }
+
+    /// Number of replicas (live or not).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of live replicas.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Writes a record to every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::AllReplicasDown`] if no replica is live
+    /// (the write is lost and the caller should raise an alert).
+    pub fn insert(&mut self, record: Record) -> Result<(), ReplicaError> {
+        if self.live_count() == 0 {
+            return Err(ReplicaError::AllReplicasDown);
+        }
+        for (store, alive) in self.replicas.iter_mut().zip(&self.alive) {
+            if *alive {
+                store.insert(record.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Read access to the current primary (lowest-numbered live replica).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::AllReplicasDown`] if no replica is live.
+    pub fn read(&self) -> Result<&ManagementStore, ReplicaError> {
+        self.replicas
+            .iter()
+            .zip(&self.alive)
+            .find(|(_, alive)| **alive)
+            .map(|(store, _)| store)
+            .ok_or(ReplicaError::AllReplicasDown)
+    }
+
+    /// Direct access to one replica (live or not), for tests and audits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::NoSuchReplica`] for an out-of-range index.
+    pub fn replica(&self, index: usize) -> Result<&ManagementStore, ReplicaError> {
+        self.replicas
+            .get(index)
+            .ok_or(ReplicaError::NoSuchReplica(index))
+    }
+
+    /// Marks a replica failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::NoSuchReplica`] for an out-of-range index.
+    pub fn fail(&mut self, index: usize) -> Result<(), ReplicaError> {
+        match self.alive.get_mut(index) {
+            Some(flag) => {
+                *flag = false;
+                Ok(())
+            }
+            None => Err(ReplicaError::NoSuchReplica(index)),
+        }
+    }
+
+    /// Marks a replica recovered, resynchronizing it from the current
+    /// primary (if any other replica is live).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::NoSuchReplica`] for an out-of-range index.
+    pub fn recover(&mut self, index: usize) -> Result<(), ReplicaError> {
+        if index >= self.replicas.len() {
+            return Err(ReplicaError::NoSuchReplica(index));
+        }
+        // Resync from the first other live replica, if one exists.
+        let source = self
+            .replicas
+            .iter()
+            .zip(&self.alive)
+            .enumerate()
+            .find(|(i, (_, alive))| *i != index && **alive)
+            .map(|(_, (store, _))| store.clone());
+        if let Some(source) = source {
+            self.replicas[index] = source;
+        }
+        self.alive[index] = true;
+        Ok(())
+    }
+
+    /// Whether all live replicas agree on the number of stored points
+    /// (cheap consistency probe used by integration tests).
+    pub fn is_consistent(&self) -> bool {
+        let mut lens = self
+            .replicas
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, alive)| **alive)
+            .map(|(store, _)| store.len());
+        match lens.next() {
+            None => true,
+            Some(first) => lens.all(|l| l == first),
+        }
+    }
+
+    /// Convenience: stats from the primary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplicaError::AllReplicasDown`] if no replica is live.
+    pub fn stats(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> Result<Option<SeriesStats>, ReplicaError> {
+        Ok(self.read()?.stats(device, metric, from_ms, to_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: u64) -> Record {
+        Record::new("d", "cpu.load.1", t as f64, t)
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one replica")]
+    fn zero_replicas_rejected() {
+        ReplicatedStore::new(0);
+    }
+
+    #[test]
+    fn writes_reach_all_live_replicas() {
+        let mut store = ReplicatedStore::new(3);
+        store.insert(record(0)).unwrap();
+        for i in 0..3 {
+            assert_eq!(store.replica(i).unwrap().len(), 1);
+        }
+        assert!(store.is_consistent());
+    }
+
+    #[test]
+    fn failed_replica_misses_writes_until_recovered() {
+        let mut store = ReplicatedStore::new(2);
+        store.insert(record(0)).unwrap();
+        store.fail(1).unwrap();
+        store.insert(record(1)).unwrap();
+        assert_eq!(store.replica(0).unwrap().len(), 2);
+        assert_eq!(store.replica(1).unwrap().len(), 1, "missed while down");
+        store.recover(1).unwrap();
+        assert_eq!(store.replica(1).unwrap().len(), 2, "resynced");
+        assert!(store.is_consistent());
+    }
+
+    #[test]
+    fn reads_fail_over_to_next_live_replica() {
+        let mut store = ReplicatedStore::new(2);
+        store.insert(record(0)).unwrap();
+        store.fail(0).unwrap();
+        assert_eq!(store.read().unwrap().len(), 1);
+        assert_eq!(store.live_count(), 1);
+    }
+
+    #[test]
+    fn all_down_rejects_reads_and_writes() {
+        let mut store = ReplicatedStore::new(1);
+        store.fail(0).unwrap();
+        assert_eq!(store.insert(record(0)), Err(ReplicaError::AllReplicasDown));
+        assert!(matches!(store.read(), Err(ReplicaError::AllReplicasDown)));
+    }
+
+    #[test]
+    fn recover_without_live_peer_keeps_old_data() {
+        let mut store = ReplicatedStore::new(1);
+        store.insert(record(0)).unwrap();
+        store.fail(0).unwrap();
+        store.recover(0).unwrap();
+        assert_eq!(store.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_indexes_error() {
+        let mut store = ReplicatedStore::new(1);
+        assert_eq!(store.fail(5), Err(ReplicaError::NoSuchReplica(5)));
+        assert_eq!(store.recover(7), Err(ReplicaError::NoSuchReplica(7)));
+        assert!(store.replica(9).is_err());
+    }
+
+    #[test]
+    fn stats_read_from_primary() {
+        let mut store = ReplicatedStore::new(2);
+        store.insert(record(0)).unwrap();
+        store.insert(record(60_000)).unwrap();
+        let stats = store.stats("d", "cpu.load.1", 0, u64::MAX).unwrap().unwrap();
+        assert_eq!(stats.count, 2);
+    }
+}

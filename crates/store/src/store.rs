@@ -1,0 +1,387 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Classifier, Record};
+
+/// Aggregate statistics over one series range (used by level-2
+/// "consolidation" analyses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Number of points.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Latest value in the range.
+    pub last: f64,
+}
+
+/// The classifier grid's indexed time-series store.
+///
+/// Inserting a [`Record`] files it under its `(device, metric)` series,
+/// updates the per-device / per-metric / per-partition indexes, and tags
+/// it with the partition assigned by the [`Classifier`]. Everything is
+/// retrievable without scanning: the paper's "easy-to-retrieve form".
+///
+/// # Examples
+///
+/// ```
+/// use agentgrid_store::{Classifier, ManagementStore, Record};
+///
+/// let mut store = ManagementStore::new(Classifier::standard());
+/// for t in 0..5u64 {
+///     store.insert(Record::new("r1", "cpu.load.1", 50.0 + t as f64, t * 60_000));
+/// }
+/// let stats = store.stats("r1", "cpu.load.1", 0, u64::MAX).unwrap();
+/// assert_eq!(stats.count, 5);
+/// assert_eq!(stats.last, 54.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ManagementStore {
+    classifier: Classifier,
+    /// (device, metric) → timestamp → value.
+    series: BTreeMap<(String, String), BTreeMap<u64, f64>>,
+    /// device → metrics observed on it.
+    device_index: BTreeMap<String, BTreeSet<String>>,
+    /// partition → (device, metric) keys in it.
+    partition_index: BTreeMap<String, BTreeSet<(String, String)>>,
+    /// site → devices seen at it.
+    site_index: BTreeMap<String, BTreeSet<String>>,
+    len: usize,
+}
+
+impl ManagementStore {
+    /// Creates an empty store with the given classifier.
+    pub fn new(classifier: Classifier) -> Self {
+        ManagementStore {
+            classifier,
+            series: BTreeMap::new(),
+            device_index: BTreeMap::new(),
+            partition_index: BTreeMap::new(),
+            site_index: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The classifier in use.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Inserts one record. Re-inserting the same `(device, metric,
+    /// timestamp)` replaces the value (idempotent collection retries).
+    pub fn insert(&mut self, record: Record) {
+        let partition = self.classifier.classify(&record).to_owned();
+        let key = (record.device.clone(), record.metric.clone());
+        let points = self.series.entry(key.clone()).or_default();
+        if points.insert(record.timestamp_ms, record.value).is_none() {
+            self.len += 1;
+        }
+        self.device_index
+            .entry(record.device.clone())
+            .or_default()
+            .insert(record.metric.clone());
+        self.partition_index.entry(partition).or_default().insert(key);
+        self.site_index
+            .entry(record.site)
+            .or_default()
+            .insert(record.device);
+    }
+
+    /// Inserts many records.
+    pub fn insert_all(&mut self, records: impl IntoIterator<Item = Record>) {
+        for r in records {
+            self.insert(r);
+        }
+    }
+
+    /// Total number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All devices seen, in name order.
+    pub fn devices(&self) -> impl Iterator<Item = &str> {
+        self.device_index.keys().map(String::as_str)
+    }
+
+    /// Metrics observed on one device.
+    pub fn metrics_of(&self, device: &str) -> impl Iterator<Item = &str> {
+        self.device_index
+            .get(device)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// Devices seen at a site.
+    pub fn devices_at(&self, site: &str) -> impl Iterator<Item = &str> {
+        self.site_index
+            .get(site)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    /// Non-empty partitions, in name order.
+    pub fn partitions(&self) -> Vec<&str> {
+        self.partition_index
+            .iter()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(p, _)| p.as_str())
+            .collect()
+    }
+
+    /// Series keys `(device, metric)` in a partition.
+    pub fn by_partition<'a>(
+        &'a self,
+        partition: &str,
+    ) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        self.partition_index
+            .get(partition)
+            .into_iter()
+            .flatten()
+            .map(|(d, m)| (d.as_str(), m.as_str()))
+    }
+
+    /// Points of one series in `[from_ms, to_ms)`, in time order.
+    pub fn range(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.series
+            .get(&(device.to_owned(), metric.to_owned()))
+            .into_iter()
+            .flat_map(move |points| points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)))
+    }
+
+    /// Latest point of a series, if any.
+    pub fn latest(&self, device: &str, metric: &str) -> Option<(u64, f64)> {
+        self.series
+            .get(&(device.to_owned(), metric.to_owned()))?
+            .iter()
+            .next_back()
+            .map(|(t, v)| (*t, *v))
+    }
+
+    /// Aggregate statistics over `[from_ms, to_ms)`; `None` when the
+    /// range holds no points.
+    pub fn stats(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> Option<SeriesStats> {
+        let mut count = 0usize;
+        let (mut min, mut max, mut sum, mut last) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
+        for (_, v) in self.range(device, metric, from_ms, to_ms) {
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            last = v;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(SeriesStats {
+            count,
+            min,
+            max,
+            mean: sum / count as f64,
+            last,
+        })
+    }
+
+    /// Least-squares slope of a series over `[from_ms, to_ms)`, in value
+    /// units **per minute** — the level-2 trend estimate behind "disk is
+    /// filling" style rules. `None` with fewer than two points or zero
+    /// time spread.
+    pub fn trend_per_min(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> Option<f64> {
+        let points: Vec<(u64, f64)> = self.range(device, metric, from_ms, to_ms).collect();
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let t0 = points[0].0;
+        // Work in minutes relative to the first point for conditioning.
+        let xs = points
+            .iter()
+            .map(|(t, _)| (t - t0) as f64 / 60_000.0)
+            .collect::<Vec<_>>();
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = points.iter().map(|(_, v)| v).sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (x, (_, y)) in xs.iter().zip(&points) {
+            num += (x - mean_x) * (y - mean_y);
+            den += (x - mean_x) * (x - mean_x);
+        }
+        if den == 0.0 {
+            return None;
+        }
+        Some(num / den)
+    }
+
+    /// Drops every point older than `horizon_ms`, returning how many were
+    /// removed. Series and index entries that become empty are kept (the
+    /// devices still exist; only their history aged out).
+    pub fn prune_before(&mut self, horizon_ms: u64) -> usize {
+        let mut removed = 0;
+        for points in self.series.values_mut() {
+            let keep = points.split_off(&horizon_ms);
+            removed += points.len();
+            *points = keep;
+        }
+        self.len -= removed;
+        removed
+    }
+}
+
+impl Default for ManagementStore {
+    fn default() -> Self {
+        ManagementStore::new(Classifier::standard())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ManagementStore {
+        let mut store = ManagementStore::default();
+        store.insert_all([
+            Record::new("r1", "cpu.load.1", 40.0, 0).with_site("hq"),
+            Record::new("r1", "cpu.load.1", 60.0, 60_000).with_site("hq"),
+            Record::new("r1", "if.1.in-octets", 100.0, 0).with_site("hq"),
+            Record::new("s1", "storage.disk.used-pct", 70.0, 0).with_site("branch"),
+        ]);
+        store
+    }
+
+    #[test]
+    fn insert_updates_all_indexes() {
+        let store = sample_store();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.devices().collect::<Vec<_>>(), ["r1", "s1"]);
+        assert_eq!(
+            store.metrics_of("r1").collect::<Vec<_>>(),
+            ["cpu.load.1", "if.1.in-octets"]
+        );
+        assert_eq!(store.devices_at("branch").collect::<Vec<_>>(), ["s1"]);
+        assert_eq!(store.partitions(), ["cpu", "disk", "interface"]);
+        assert_eq!(
+            store.by_partition("disk").collect::<Vec<_>>(),
+            [("s1", "storage.disk.used-pct")]
+        );
+    }
+
+    #[test]
+    fn duplicate_timestamp_replaces_value() {
+        let mut store = sample_store();
+        store.insert(Record::new("r1", "cpu.load.1", 99.0, 0));
+        assert_eq!(store.len(), 4, "count unchanged");
+        assert_eq!(store.range("r1", "cpu.load.1", 0, 1).next(), Some((0, 99.0)));
+    }
+
+    #[test]
+    fn range_is_half_open_and_ordered() {
+        let store = sample_store();
+        let points: Vec<_> = store.range("r1", "cpu.load.1", 0, 60_000).collect();
+        assert_eq!(points, [(0, 40.0)]);
+        let all: Vec<_> = store.range("r1", "cpu.load.1", 0, u64::MAX).collect();
+        assert_eq!(all, [(0, 40.0), (60_000, 60.0)]);
+    }
+
+    #[test]
+    fn latest_returns_newest_point() {
+        let store = sample_store();
+        assert_eq!(store.latest("r1", "cpu.load.1"), Some((60_000, 60.0)));
+        assert_eq!(store.latest("r1", "nope"), None);
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let store = sample_store();
+        let s = store.stats("r1", "cpu.load.1", 0, u64::MAX).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 40.0);
+        assert_eq!(s.max, 60.0);
+        assert_eq!(s.mean, 50.0);
+        assert_eq!(s.last, 60.0);
+        assert!(store.stats("r1", "cpu.load.1", 1, 2).is_none());
+    }
+
+    #[test]
+    fn prune_removes_old_points_only() {
+        let mut store = sample_store();
+        let removed = store.prune_before(30_000);
+        assert_eq!(removed, 3);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.latest("r1", "cpu.load.1"), Some((60_000, 60.0)));
+        assert_eq!(store.latest("s1", "storage.disk.used-pct"), None);
+    }
+
+    #[test]
+    fn trend_recovers_a_linear_ramp() {
+        let mut store = ManagementStore::default();
+        // 2 units per minute, sampled every 30 s.
+        for i in 0..10u64 {
+            store.insert(Record::new("d", "storage.disk.used", i as f64, i * 30_000));
+        }
+        let slope = store.trend_per_min("d", "storage.disk.used", 0, u64::MAX).unwrap();
+        assert!((slope - 2.0).abs() < 1e-9, "{slope}");
+    }
+
+    #[test]
+    fn trend_is_zero_for_flat_series_and_none_when_underdetermined() {
+        let mut store = ManagementStore::default();
+        store.insert(Record::new("d", "m", 5.0, 0));
+        assert_eq!(store.trend_per_min("d", "m", 0, u64::MAX), None);
+        store.insert(Record::new("d", "m", 5.0, 60_000));
+        let slope = store.trend_per_min("d", "m", 0, u64::MAX).unwrap();
+        assert!(slope.abs() < 1e-12);
+        assert_eq!(store.trend_per_min("ghost", "m", 0, u64::MAX), None);
+    }
+
+    #[test]
+    fn trend_respects_the_window() {
+        let mut store = ManagementStore::default();
+        // Rising then flat: windowed trends differ.
+        for i in 0..5u64 {
+            store.insert(Record::new("d", "m", i as f64, i * 60_000));
+        }
+        for i in 5..10u64 {
+            store.insert(Record::new("d", "m", 4.0, i * 60_000));
+        }
+        let early = store.trend_per_min("d", "m", 0, 5 * 60_000).unwrap();
+        let late = store.trend_per_min("d", "m", 5 * 60_000, u64::MAX).unwrap();
+        assert!(early > 0.9);
+        assert!(late.abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_behaves() {
+        let store = ManagementStore::default();
+        assert!(store.is_empty());
+        assert_eq!(store.partitions().len(), 0);
+        assert_eq!(store.range("d", "m", 0, 10).count(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the management store.
+
+use agentgrid_store::{Classifier, ManagementStore, Record, ReplicatedStore};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        0u8..5,
+        prop_oneof![
+            Just("cpu.load.1"),
+            Just("storage.disk.used-pct"),
+            Just("storage.ram.used"),
+            Just("if.1.in-octets"),
+            Just("processes.count"),
+            Just("weird.metric"),
+        ],
+        -1000.0f64..1000.0,
+        0u64..100_000,
+        0u8..3,
+    )
+        .prop_map(|(dev, metric, value, ts, site)| {
+            Record::new(format!("d{dev}"), metric, value, ts)
+                .with_site(format!("s{site}"))
+        })
+}
+
+proptest! {
+    /// The partition index agrees with classifying each series key
+    /// directly, for any insertion sequence.
+    #[test]
+    fn partition_index_is_consistent(records in prop::collection::vec(record_strategy(), 0..60)) {
+        let mut store = ManagementStore::default();
+        store.insert_all(records.clone());
+        let classifier = Classifier::standard();
+        for partition in store.partitions() {
+            for (_, metric) in store.by_partition(partition) {
+                prop_assert_eq!(classifier.partition_of(metric), partition);
+            }
+        }
+        // Every inserted record's series appears in exactly one partition.
+        for r in &records {
+            let hits = store
+                .partitions()
+                .iter()
+                .filter(|p| {
+                    store
+                        .by_partition(p)
+                        .any(|(d, m)| d == r.device && m == r.metric)
+                })
+                .count();
+            prop_assert_eq!(hits, 1);
+        }
+    }
+
+    /// `len` equals the number of distinct `(device, metric, timestamp)`
+    /// triples inserted.
+    #[test]
+    fn len_counts_distinct_points(records in prop::collection::vec(record_strategy(), 0..60)) {
+        let mut store = ManagementStore::default();
+        store.insert_all(records.clone());
+        let distinct: std::collections::BTreeSet<_> = records
+            .iter()
+            .map(|r| (r.device.clone(), r.metric.clone(), r.timestamp_ms))
+            .collect();
+        prop_assert_eq!(store.len(), distinct.len());
+    }
+
+    /// Range queries return points in strictly increasing time order and
+    /// only inside the half-open window.
+    #[test]
+    fn range_is_ordered_and_windowed(
+        records in prop::collection::vec(record_strategy(), 0..60),
+        from in 0u64..100_000,
+        width in 0u64..100_000,
+    ) {
+        let mut store = ManagementStore::default();
+        store.insert_all(records);
+        let to = from.saturating_add(width);
+        for device in store.devices().map(str::to_owned).collect::<Vec<_>>() {
+            for metric in store.metrics_of(&device).map(str::to_owned).collect::<Vec<_>>() {
+                let points: Vec<_> = store.range(&device, &metric, from, to).collect();
+                prop_assert!(points.windows(2).all(|w| w[0].0 < w[1].0));
+                prop_assert!(points.iter().all(|(t, _)| (from..to).contains(t)));
+            }
+        }
+    }
+
+    /// Pruning then counting equals filtering by the horizon.
+    #[test]
+    fn prune_keeps_exactly_recent_points(
+        records in prop::collection::vec(record_strategy(), 0..60),
+        horizon in 0u64..120_000,
+    ) {
+        let mut store = ManagementStore::default();
+        store.insert_all(records);
+        let before = store.len();
+        let removed = store.prune_before(horizon);
+        prop_assert_eq!(store.len() + removed, before);
+        for device in store.devices().map(str::to_owned).collect::<Vec<_>>() {
+            for metric in store.metrics_of(&device).map(str::to_owned).collect::<Vec<_>>() {
+                prop_assert!(store
+                    .range(&device, &metric, 0, horizon)
+                    .next()
+                    .is_none());
+            }
+        }
+    }
+
+    /// Replication invariant: after any sequence of writes, failures and
+    /// recoveries (with at least one live replica at all times), all live
+    /// replicas are consistent.
+    #[test]
+    fn replicas_stay_consistent(
+        ops in prop::collection::vec((0u8..4, 0u64..100_000), 1..40),
+    ) {
+        let mut store = ReplicatedStore::new(3);
+        for (op, t) in ops {
+            match op {
+                0 | 1 => {
+                    let _ = store.insert(Record::new("d", "m", t as f64, t));
+                }
+                2 => {
+                    // Fail a replica but never the last live one.
+                    let target = (t % 3) as usize;
+                    if store.live_count() > 1 {
+                        store.fail(target).unwrap();
+                    }
+                }
+                _ => {
+                    let target = (t % 3) as usize;
+                    store.recover(target).unwrap();
+                }
+            }
+            prop_assert!(store.is_consistent());
+        }
+    }
+}

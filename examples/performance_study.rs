@@ -1,0 +1,84 @@
+//! Performance study: programmatic access to the paper's evaluation —
+//! run the three architectures of Figure 6 on the Table 1 cost model,
+//! sweep the workload to find the crossover point, and test a what-if
+//! (cheaper parsing) through a cost-model ablation.
+//!
+//! ```text
+//! cargo run --example performance_study
+//! ```
+
+use agentgrid_suite::core::costmodel::{TaskCost, TaskKind};
+use agentgrid_suite::core::scenario::run_architecture;
+use agentgrid_suite::core::RequestType;
+use agentgrid_suite::des::ResourceKind;
+use agentgrid_suite::{Architecture, CostModel, Workload};
+
+fn main() {
+    let costs = CostModel::table1();
+
+    // --- Figure 6: the paper's scenario -------------------------------
+    println!("Figure 6 scenario: 10 requests of each type\n");
+    for architecture in Architecture::paper_configs() {
+        let report = run_architecture(architecture, Workload::paper(), &costs);
+        println!("{:<22} makespan {:>5}", architecture.label(), report.makespan());
+        for host in report.hosts() {
+            println!(
+                "    {:<14} cpu {:>5.1}%  net {:>5.1}%  disk {:>5.1}%",
+                host,
+                report.utilization(host, ResourceKind::Cpu) * 100.0,
+                report.utilization(host, ResourceKind::Net) * 100.0,
+                report.utilization(host, ResourceKind::Disk) * 100.0,
+            );
+        }
+    }
+
+    // --- Crossover sweep ----------------------------------------------
+    println!("\nCrossover: grid vs centralized mean completion time");
+    let mut crossover = None;
+    for rounds in 1..=20 {
+        let workload = Workload::rounds(rounds);
+        let cen = run_architecture(Architecture::Centralized, workload, &costs)
+            .mean_completion()
+            .unwrap_or(0.0);
+        let grid = run_architecture(
+            Architecture::AgentGrid { collectors: 3, analyzers: 2 },
+            workload,
+            &costs,
+        )
+        .mean_completion()
+        .unwrap_or(0.0);
+        if grid < cen && crossover.is_none() {
+            crossover = Some(rounds);
+        }
+        if rounds <= 5 || rounds % 5 == 0 {
+            println!("  rounds {rounds:>3}: centralized {cen:>8.1}  grid {grid:>8.1}");
+        }
+    }
+    println!(
+        "  -> grid becomes advantageous at {} round(s)",
+        crossover.map_or("never".to_owned(), |r| r.to_string())
+    );
+
+    // --- What-if: hardware-accelerated parsing -------------------------
+    // The paper attributes much of the collector win to local parsing;
+    // what if parsing were five times cheaper?
+    let cheap_parse = CostModel::table1()
+        .with_cost(TaskKind::Parse(RequestType::A), TaskCost::new(3, 0, 0))
+        .with_cost(TaskKind::Parse(RequestType::B), TaskCost::new(3, 0, 0))
+        .with_cost(TaskKind::Parse(RequestType::C), TaskCost::new(3, 0, 0));
+    println!("\nAblation: parse cost 15 -> 3 units (e.g. binary telemetry)");
+    for (label, model) in [("table-1 costs", &costs), ("cheap parsing", &cheap_parse)] {
+        let cen = run_architecture(Architecture::Centralized, Workload::paper(), model);
+        let grid = run_architecture(
+            Architecture::AgentGrid { collectors: 3, analyzers: 2 },
+            Workload::paper(),
+            model,
+        );
+        println!(
+            "  {label:<14} centralized makespan {:>5}, grid makespan {:>5}, speedup {:.2}x",
+            cen.makespan(),
+            grid.makespan(),
+            cen.makespan() as f64 / grid.makespan() as f64
+        );
+    }
+}

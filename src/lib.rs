@@ -1,0 +1,25 @@
+//! Umbrella crate for the `agentgrid` workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use agentgrid_suite::acl::{AgentId, Performative};
+//! let id = AgentId::new("root@grid");
+//! assert_eq!(id.platform(), Some("grid"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use agentgrid as core;
+pub use agentgrid_acl as acl;
+pub use agentgrid_baselines as baselines;
+pub use agentgrid_des as des;
+pub use agentgrid_net as net;
+pub use agentgrid_platform as platform;
+pub use agentgrid_rules as rules;
+pub use agentgrid_store as store;
+
+// The headline types, at the top for convenience.
+pub use agentgrid::grid::{GridReport, ManagementGrid};
+pub use agentgrid::{Architecture, CostModel, Workload};

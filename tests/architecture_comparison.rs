@@ -1,0 +1,159 @@
+//! Integration tests asserting the paper's comparative claims (§4,
+//! Figure 6) hold in the reproduction — both on the deterministic cost
+//! model and between the live implementations.
+
+use agentgrid_suite::core::scenario::run_architecture;
+use agentgrid_suite::des::ResourceKind;
+use agentgrid_suite::{Architecture, CostModel, Workload};
+
+fn reports(rounds: usize) -> [agentgrid_suite::des::SimReport; 3] {
+    let costs = CostModel::table1();
+    Architecture::paper_configs()
+        .map(|arch| run_architecture(arch, Workload::rounds(rounds), &costs))
+}
+
+#[test]
+fn fig6a_centralized_manager_cpu_is_saturated() {
+    let [cen, _, _] = reports(10);
+    assert!(
+        cen.utilization("manager", ResourceKind::Cpu) > 0.95,
+        "the paper: 'its processor becomes the bottleneck'"
+    );
+    let (host, kind, _) = cen.bottleneck().unwrap();
+    assert_eq!((host, kind), ("manager", ResourceKind::Cpu));
+}
+
+#[test]
+fn fig6a_centralized_has_highest_manager_network_use() {
+    let [cen, mas, _] = reports(10);
+    assert!(
+        cen.busy_time("manager", ResourceKind::Net)
+            > 2 * mas.busy_time("manager", ResourceKind::Net),
+        "raw-format transmission must dominate the centralized manager's NIC"
+    );
+}
+
+#[test]
+fn fig6b_multiagent_keeps_centralized_analysis_bottleneck() {
+    let [_, mas, _] = reports(10);
+    let (host, kind, _) = mas.bottleneck().unwrap();
+    assert_eq!(
+        (host, kind),
+        ("manager", ResourceKind::Cpu),
+        "the paper: 'keeps a centralized data analysis structure, which, again, is the system bottleneck'"
+    );
+}
+
+#[test]
+fn fig6c_grid_has_lowest_peak_utilization_and_makespan() {
+    let [cen, mas, grid] = reports(10);
+    assert!(grid.peak_utilization() < mas.peak_utilization());
+    assert!(mas.peak_utilization() <= cen.peak_utilization() + 1e-9);
+    assert!(grid.makespan() < mas.makespan());
+    assert!(mas.makespan() < cen.makespan());
+}
+
+#[test]
+fn fig6c_no_grid_host_dominates() {
+    let [_, _, grid] = reports(10);
+    let total_cpu: u64 = grid
+        .hosts()
+        .iter()
+        .map(|h| grid.busy_time(h, ResourceKind::Cpu))
+        .sum();
+    for host in grid.hosts() {
+        assert!(
+            grid.busy_time(host, ResourceKind::Cpu) * 2 < total_cpu + 1,
+            "no single grid host may carry half the CPU work ({host})"
+        );
+    }
+}
+
+#[test]
+fn crossover_exists_and_is_small() {
+    // The paper: grids pay off "when the volume of information ... is
+    // relatively large"; traditional approaches win in "less busy
+    // environments". Both halves must hold.
+    let costs = CostModel::table1();
+    let mean = |arch, rounds| {
+        run_architecture(arch, Workload::rounds(rounds), &costs)
+            .mean_completion()
+            .unwrap()
+    };
+    let grid_arch = Architecture::AgentGrid {
+        collectors: 3,
+        analyzers: 2,
+    };
+    // Tiny workload: centralized is better (no distribution overhead).
+    assert!(
+        mean(Architecture::Centralized, 1) < mean(grid_arch, 1),
+        "at 1 round the centralized manager must win"
+    );
+    // Paper-scale workload: the grid must win clearly.
+    assert!(
+        mean(grid_arch, 10) * 2.0 < mean(Architecture::Centralized, 10),
+        "at 10 rounds the grid must be at least 2x better"
+    );
+}
+
+#[test]
+fn scaling_adding_analyzers_never_hurts() {
+    let costs = CostModel::table1();
+    let mut previous = u64::MAX;
+    for analyzers in [1usize, 2, 4, 8] {
+        let report = run_architecture(
+            Architecture::AgentGrid {
+                collectors: 3,
+                analyzers,
+            },
+            Workload::rounds(50),
+            &costs,
+        );
+        assert!(
+            report.makespan() <= previous,
+            "makespan must be non-increasing in analyzer count"
+        );
+        previous = report.makespan();
+    }
+}
+
+#[test]
+fn raw_factor_drives_the_centralized_network_penalty() {
+    // Ablation: with raw_factor = 1 (pre-parsed data on the wire), the
+    // centralized network advantage of collectors disappears.
+    let workload = Workload::paper();
+    let with_penalty = run_architecture(
+        Architecture::Centralized,
+        workload,
+        &CostModel::table1(),
+    );
+    let without_penalty = run_architecture(
+        Architecture::Centralized,
+        workload,
+        &CostModel::table1().with_raw_factor(1),
+    );
+    assert_eq!(
+        with_penalty.busy_time("manager", ResourceKind::Net),
+        3 * without_penalty.busy_time("manager", ResourceKind::Net)
+    );
+}
+
+#[test]
+fn workload_pacing_reduces_contention_not_work() {
+    let costs = CostModel::table1();
+    let burst = run_architecture(Architecture::Centralized, Workload::rounds(10), &costs);
+    let paced = run_architecture(
+        Architecture::Centralized,
+        Workload {
+            rounds: 10,
+            inter_arrival: 500,
+        },
+        &costs,
+    );
+    assert_eq!(
+        burst.busy_time("manager", ResourceKind::Cpu),
+        paced.busy_time("manager", ResourceKind::Cpu),
+        "same total work"
+    );
+    assert!(paced.peak_utilization() < burst.peak_utilization());
+}

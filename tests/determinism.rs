@@ -1,0 +1,107 @@
+//! Reproducibility and end-to-end robustness properties of the whole
+//! system.
+
+use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFault};
+use agentgrid_suite::ManagementGrid;
+use proptest::prelude::*;
+
+const ALL_SKILLS: [&str; 8] = [
+    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+];
+
+fn network(devices: usize, seed: u64) -> Network {
+    let mut net = Network::new();
+    for d in 0..devices {
+        let kind = match d % 3 {
+            0 => DeviceKind::Router,
+            1 => DeviceKind::Switch,
+            _ => DeviceKind::Server,
+        };
+        net.add_device(
+            Device::builder(format!("dev-{d}"), kind)
+                .site("hq")
+                .seed(seed + d as u64)
+                .build(),
+        );
+    }
+    net
+}
+
+fn run_once(seed: u64, minutes: u64) -> agentgrid_suite::GridReport {
+    let mut grid = ManagementGrid::builder()
+        .network(network(4, seed))
+        .collectors_per_site(2)
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .analyzer("pg-2", 2.0, ALL_SKILLS)
+        .fault(ScheduledFault::from("dev-2", FaultKind::CpuRunaway, 2 * 60_000))
+        .build();
+    grid.run(minutes * 60_000, 60_000)
+}
+
+#[test]
+fn identical_configurations_produce_identical_runs() {
+    let a = run_once(33, 8);
+    let b = run_once(33, 8);
+    assert_eq!(a.records_stored, b.records_stored);
+    assert_eq!(a.messages_delivered, b.messages_delivered);
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.alerts.len(), b.alerts.len());
+    for (x, y) in a.alerts.iter().zip(&b.alerts) {
+        assert_eq!(x, y, "alert streams must match exactly");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_telemetry() {
+    let a = run_once(1, 5);
+    let b = run_once(2, 5);
+    // Structure matches (same topology) but the sampled values differ,
+    // which shows the seed actually drives the generators.
+    assert_eq!(a.records_stored, b.records_stored);
+    assert_ne!(
+        a.alerts, b.alerts,
+        "different metric streams should alert differently (statistically certain)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever fault schedule is thrown at it, the grid never loses
+    /// messages, never leaves a task unfinished, and keeps storing data.
+    #[test]
+    fn grid_is_robust_to_arbitrary_fault_schedules(
+        seed in 0u64..1000,
+        faults in prop::collection::vec(
+            (0usize..4, 0u8..5, 1u64..10, 0u64..8),
+            0..6,
+        ),
+    ) {
+        let mut builder = ManagementGrid::builder()
+            .network(network(4, seed))
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS);
+        for (device, kind, start_min, duration_min) in faults {
+            let fault = match kind {
+                0 => FaultKind::CpuRunaway,
+                1 => FaultKind::LinkDown(1),
+                2 => FaultKind::DiskFilling,
+                3 => FaultKind::MemoryLeak,
+                _ => FaultKind::Unreachable,
+            };
+            let mut scheduled =
+                ScheduledFault::from(format!("dev-{device}"), fault, start_min * 60_000);
+            if duration_min > 0 {
+                scheduled = scheduled.until((start_min + duration_min) * 60_000);
+            }
+            builder = builder.fault(scheduled);
+        }
+        let mut grid = builder.build();
+        let report = grid.run(12 * 60_000, 60_000);
+        prop_assert_eq!(report.dead_letters, 0);
+        prop_assert_eq!(report.unassigned, 0);
+        prop_assert_eq!(report.tasks_completed, report.assignments.len() as u64);
+        prop_assert!(report.records_stored > 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for failure injection: dying containers, lossy
+//! transports, unreachable devices, storage replica failures.
+
+use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFault};
+use agentgrid_suite::platform::TransportFault;
+use agentgrid_suite::store::{Record, ReplicatedStore};
+use agentgrid_suite::ManagementGrid;
+
+const ALL_SKILLS: [&str; 8] = [
+    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+];
+
+fn network(devices: usize, seed: u64) -> Network {
+    let mut net = Network::new();
+    for d in 0..devices {
+        net.add_device(
+            Device::builder(format!("dev-{d}"), DeviceKind::Server)
+                .site("hq")
+                .seed(seed + d as u64)
+                .build(),
+        );
+    }
+    net
+}
+
+#[test]
+fn analyzer_container_crash_does_not_stop_the_grid() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(4, 5))
+        .analyzer("pg-1", 4.0, ALL_SKILLS)
+        .analyzer("pg-2", 1.0, ALL_SKILLS)
+        .build();
+    let before = grid.run(3 * 60_000, 60_000);
+    assert!(before.tasks_per_container().contains_key("pg-1"));
+
+    grid.crash_container("pg-1");
+    let after = grid.run(5 * 60_000, 60_000);
+
+    // New work flows to the survivor.
+    let new_assignments = &after.assignments[before.assignments.len()..];
+    assert!(!new_assignments.is_empty(), "brokering must continue");
+    assert!(
+        new_assignments.iter().all(|(_, c)| c == "pg-2"),
+        "all new tasks must land on the surviving container"
+    );
+    // Alerts keep coming from the survivor.
+    assert!(after.records_stored > before.records_stored);
+}
+
+#[test]
+fn unreachable_device_keeps_the_rest_of_the_fleet_monitored() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(3, 11))
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .fault(ScheduledFault::from("dev-0", FaultKind::Unreachable, 60_000))
+        .build();
+    let report = grid.run(5 * 60_000, 60_000);
+    // The outage is reported...
+    assert!(report
+        .alerts
+        .iter()
+        .any(|a| a.rule == "device-unreachable" && a.device == "dev-0"));
+    // ...and other devices' data still arrives.
+    let store = grid.store();
+    let store = store.lock();
+    assert!(store.latest("dev-1", "cpu.load.1").is_some());
+    assert!(store.latest("dev-2", "cpu.load.1").is_some());
+}
+
+#[test]
+fn fault_clearing_stops_new_alerts() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(2, 13))
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .fault(
+            ScheduledFault::from("dev-0", FaultKind::CpuRunaway, 60_000).until(4 * 60_000),
+        )
+        .build();
+    grid.run(4 * 60_000, 60_000);
+    let during = grid.alerts().len();
+    assert!(during > 0, "fault window must alert");
+    // Several healthy minutes later, no *new* high-cpu alerts appear.
+    grid.run(5 * 60_000, 60_000);
+    let after = grid.alerts();
+    let new_high_cpu = after[during..]
+        .iter()
+        .filter(|a| a.rule == "high-cpu")
+        .count();
+    assert_eq!(new_high_cpu, 0, "cleared fault must stop alerting");
+}
+
+#[test]
+fn transport_drops_to_classifier_starve_analysis_but_not_collection() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(2, 17))
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .build();
+    let classifier = agentgrid_suite::acl::AgentId::with_platform("classifier", "grid");
+    grid.platform_mut()
+        .set_fault(TransportFault::DropTo(classifier));
+    let report = grid.run(3 * 60_000, 60_000);
+    assert_eq!(report.records_stored, 0, "no batch reaches the classifier");
+    assert!(report.assignments.is_empty(), "no data-ready → no tasks");
+
+    // Healing the transport restores the pipeline.
+    grid.platform_mut().set_fault(TransportFault::None);
+    let healed = grid.run(3 * 60_000, 60_000);
+    assert!(healed.records_stored > 0);
+    assert!(!healed.assignments.is_empty());
+}
+
+#[test]
+fn replicated_store_survives_rolling_failures() {
+    let mut store = ReplicatedStore::new(3);
+    for t in 0..100u64 {
+        // Roll a failure across replicas every 10 writes.
+        if t % 10 == 0 {
+            let victim = ((t / 10) % 3) as usize;
+            if store.live_count() > 1 {
+                store.fail(victim).unwrap();
+            }
+            let recovered = ((t / 10 + 1) % 3) as usize;
+            store.recover(recovered).unwrap();
+        }
+        store
+            .insert(Record::new("d", "cpu.load.1", t as f64, t * 1000))
+            .unwrap();
+        assert!(store.is_consistent(), "live replicas must agree at t={t}");
+    }
+    assert_eq!(store.read().unwrap().len(), 100);
+}

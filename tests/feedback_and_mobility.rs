@@ -1,0 +1,134 @@
+//! Integration tests for the interface grid's feedback channel (rule
+//! learning at runtime) and mobility-driven rebalancing.
+
+use agentgrid_suite::core::mobility::Rebalancer;
+use agentgrid_suite::core::ontology::ResourceProfile;
+use agentgrid_suite::net::{Device, DeviceKind, Network};
+use agentgrid_suite::ManagementGrid;
+
+const ALL_SKILLS: [&str; 8] = [
+    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+];
+
+fn network(devices: usize, seed: u64) -> Network {
+    let mut net = Network::new();
+    for d in 0..devices {
+        net.add_device(
+            Device::builder(format!("dev-{d}"), DeviceKind::Server)
+                .site("hq")
+                .seed(seed + d as u64)
+                .build(),
+        );
+    }
+    net
+}
+
+#[test]
+fn taught_rules_fire_and_replace_by_name() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(2, 7))
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .build();
+    grid.run(2 * 60_000, 60_000);
+
+    // Teach a very chatty rule.
+    grid.teach_rule(
+        r#"rule "ops-note" { when procs(device: ?d, value: ?v) if ?v > 0 then emit info ?d "procs ?v" }"#,
+    );
+    let with_rule = grid.run(3 * 60_000, 60_000);
+    let fired = with_rule.alerts.iter().filter(|a| a.rule == "ops-note").count();
+    assert!(fired > 0, "taught rule must fire");
+
+    // Re-teach the same rule name with an impossible guard: it must
+    // *replace* the old body, silencing it.
+    grid.teach_rule(
+        r#"rule "ops-note" { when procs(device: ?d, value: ?v) if ?v < 0 then emit info ?d "never" }"#,
+    );
+    let alerts_before = grid.alerts().len();
+    grid.run(3 * 60_000, 60_000);
+    let new_notes = grid.alerts()[alerts_before..]
+        .iter()
+        .filter(|a| a.rule == "ops-note")
+        .count();
+    assert_eq!(new_notes, 0, "replaced rule must stop firing");
+}
+
+#[test]
+fn malformed_taught_rule_is_ignored_gracefully() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(1, 9))
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .build();
+    grid.teach_rule("rule \"broken { this is not the dsl");
+    // The grid keeps running and default rules still work.
+    let report = grid.run(3 * 60_000, 60_000);
+    assert!(report.records_stored > 0);
+    assert_eq!(report.dead_letters, 0);
+}
+
+#[test]
+fn rebalancer_moves_analyzer_to_spare_and_work_follows() {
+    let mut grid = ManagementGrid::builder()
+        .network(network(4, 21))
+        .collectors_per_site(2)
+        .analyzer("pg-1", 1.0, ALL_SKILLS)
+        .build();
+    // A spare (faster) container joins with a profile but no agent.
+    grid.platform_mut().add_container("spare");
+    grid.platform_mut()
+        .df_mut()
+        .register_container(ResourceProfile::new("spare", 4.0, 1.0, 8192, ALL_SKILLS));
+
+    let before = grid.run(4 * 60_000, 60_000);
+    assert!(
+        !before.tasks_per_container().contains_key("spare"),
+        "no analyzer on the spare yet → no tasks may go there"
+    );
+
+    // Force a migration regardless of current load figures.
+    let rebalancer = Rebalancer {
+        high_watermark: 0.0,
+        low_watermark: 1.0,
+    };
+    let migrations = rebalancer.rebalance(grid.platform_mut());
+    assert_eq!(migrations.len(), 1);
+    assert_eq!(migrations[0].from, "pg-1");
+    assert_eq!(migrations[0].to, "spare");
+
+    let after = grid.run(4 * 60_000, 60_000);
+    let new_assignments = &after.assignments[before.assignments.len()..];
+    assert!(!new_assignments.is_empty());
+    assert!(
+        new_assignments.iter().all(|(_, c)| c == "spare"),
+        "after migration all work must flow to the spare: {new_assignments:?}"
+    );
+    assert_eq!(after.unassigned, 0);
+    assert_eq!(after.dead_letters, 0, "migration must not lose messages");
+}
+
+#[test]
+fn knowledge_base_merge_shares_rules_across_sites() {
+    use agentgrid_suite::rules::{parse_rules, KnowledgeBase};
+    // The paper's "shared knowledge" advantage: merging two sites' rule
+    // bases yields the union, with name collisions resolved by the
+    // newest version.
+    let mut site_a = KnowledgeBase::from_rules(
+        parse_rules(
+            r#"rule "common" salience 1 { when x(v: ?v) }
+               rule "a-only" { when y(v: ?v) }"#,
+        )
+        .unwrap(),
+    );
+    let site_b = KnowledgeBase::from_rules(
+        parse_rules(
+            r#"rule "common" salience 9 { when x(v: ?v) }
+               rule "b-only" { when z(v: ?v) }"#,
+        )
+        .unwrap(),
+    );
+    site_a.absorb(site_b);
+    assert_eq!(site_a.len(), 3);
+    assert_eq!(site_a.get("common").unwrap().salience_value(), 9);
+    assert!(site_a.get("a-only").is_some());
+    assert!(site_a.get("b-only").is_some());
+}
