@@ -152,8 +152,6 @@ fn is_valid_symbol(s: &str) -> bool {
             .all(|c| !c.is_whitespace() && !matches!(c, '(' | ')' | '"' | '\\'))
 }
 
-
-
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)
@@ -499,15 +497,21 @@ mod tests {
     fn map_symbol_prefix_is_not_a_map() {
         // `mapper` begins with "map" but must parse as a symbol in a list.
         let v = "(mapper 1)".parse::<Value>().unwrap();
-        assert_eq!(
-            v,
-            Value::list([Value::symbol("mapper"), Value::Int(1)])
-        );
+        assert_eq!(v, Value::list([Value::symbol("mapper"), Value::Int(1)]));
     }
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "(", "(a", "\"oops", ") ", "(map :k)", "1 2", "(map k 1)"] {
+        for bad in [
+            "",
+            "(",
+            "(a",
+            "\"oops",
+            ") ",
+            "(map :k)",
+            "1 2",
+            "(map k 1)",
+        ] {
             assert!(bad.parse::<Value>().is_err(), "{bad:?} should fail");
         }
     }

@@ -37,7 +37,10 @@ impl Envelope {
     /// Wraps a message into an envelope.
     pub fn seal(message: &AclMessage) -> Envelope {
         let mut fields = vec![
-            ("performative".to_owned(), message.performative().to_string()),
+            (
+                "performative".to_owned(),
+                message.performative().to_string(),
+            ),
             ("sender".to_owned(), message.sender().to_string()),
             ("language".to_owned(), message.language().to_owned()),
             ("content".to_owned(), message.content().to_string()),
@@ -107,9 +110,7 @@ impl Envelope {
         }
         let magic = buf.get_u32();
         if magic != MAGIC {
-            return Err(DecodeEnvelopeError::new(format!(
-                "bad magic 0x{magic:08x}"
-            )));
+            return Err(DecodeEnvelopeError::new(format!("bad magic 0x{magic:08x}")));
         }
         let n = buf.get_u32() as usize;
         let mut fields = Vec::with_capacity(n);

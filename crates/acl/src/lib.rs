@@ -40,5 +40,7 @@ pub mod protocol;
 pub use agent_id::{AgentId, ParseAgentIdError};
 pub use content::{ParseValueError, Value};
 pub use envelope::{DecodeEnvelopeError, Envelope};
-pub use message::{AclMessage, AclMessageBuilder, BuildMessageError, ConversationId};
+pub use message::{
+    AclMessage, AclMessageBuilder, BuildMessageError, ConversationId, SharedMessage,
+};
 pub use performative::{ParsePerformativeError, Performative};

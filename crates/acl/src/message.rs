@@ -1,9 +1,34 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::{AgentId, Performative, Value};
+
+/// A reference-counted [`AclMessage`].
+///
+/// Runtimes move messages around as `Arc`s so that multicast fan-out and
+/// dead-letter capture are pointer bumps instead of deep clones of the
+/// content tree. `Arc<T>` implements `From<T>`, so any API accepting
+/// `impl Into<SharedMessage>` also accepts a plain [`AclMessage`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use agentgrid_acl::{AclMessage, AgentId, Performative, SharedMessage};
+///
+/// let msg = AclMessage::builder(Performative::Inform)
+///     .sender(AgentId::new("a@p"))
+///     .receiver(AgentId::new("b@p"))
+///     .build()?;
+/// let shared: SharedMessage = msg.into_shared();
+/// let copy = Arc::clone(&shared); // fan-out: no deep clone
+/// assert!(Arc::ptr_eq(&shared, &copy));
+/// # Ok::<(), agentgrid_acl::BuildMessageError>(())
+/// ```
+pub type SharedMessage = Arc<AclMessage>;
 
 /// Identifier tying the messages of one conversation together.
 ///
@@ -198,6 +223,14 @@ impl AclMessage {
     /// header fields plus the node count of the content tree.
     pub fn cost_weight(&self) -> usize {
         8 + self.content.node_count()
+    }
+
+    /// Wraps this message in an [`Arc`] for zero-copy routing.
+    ///
+    /// Equivalent to `Arc::new(self)`; reads better at call sites that
+    /// hand a freshly built message to a runtime.
+    pub fn into_shared(self) -> SharedMessage {
+        Arc::new(self)
     }
 }
 
@@ -421,6 +454,17 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn shared_message_fan_out_shares_one_allocation() {
+        let msg = base().content(Value::Int(7)).build().unwrap();
+        let shared = msg.into_shared();
+        let copies: Vec<SharedMessage> = (0..8).map(|_| Arc::clone(&shared)).collect();
+        assert!(copies.iter().all(|c| Arc::ptr_eq(c, &shared)));
+        // Replying through the Arc still works ergonomically.
+        let reply = shared.reply(Performative::Agree, Value::Nil);
+        assert_eq!(reply.receivers()[0].name(), "a@p");
     }
 
     #[test]

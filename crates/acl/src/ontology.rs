@@ -166,10 +166,7 @@ fn check_concept(value: &Value, concept: &'static str) -> Result<(), OntologyErr
         .and_then(Value::as_str)
         .ok_or_else(|| OntologyError::new(concept, "missing :concept tag"))?;
     if tag != concept {
-        return Err(OntologyError::new(
-            concept,
-            format!("value is a `{tag}`"),
-        ));
+        return Err(OntologyError::new(concept, format!("value is a `{tag}`")));
     }
     Ok(())
 }
@@ -425,12 +422,7 @@ impl FromContent for Alert {
             Some("info") => Severity::Info,
             Some("warning") => Severity::Warning,
             Some("critical") => Severity::Critical,
-            other => {
-                return Err(OntologyError::new(
-                    C,
-                    format!("unknown severity {other:?}"),
-                ))
-            }
+            other => return Err(OntologyError::new(C, format!("unknown severity {other:?}"))),
         };
         Ok(Alert {
             rule: req_str(value, "rule", C)?,
@@ -495,8 +487,8 @@ impl FromContent for AnalysisTask {
         const C: &str = "analysis-task";
         check_concept(value, C)?;
         let level = req_u64(value, "level", C)?;
-        let level = u8::try_from(level)
-            .map_err(|_| OntologyError::new(C, ":level out of range"))?;
+        let level =
+            u8::try_from(level).map_err(|_| OntologyError::new(C, ":level out of range"))?;
         Ok(AnalysisTask {
             task_id: req_str(value, "task-id", C)?,
             skill: req_str(value, "skill", C)?,

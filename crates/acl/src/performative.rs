@@ -185,7 +185,9 @@ impl FromStr for Performative {
             .iter()
             .copied()
             .find(|p| p.as_str() == s)
-            .ok_or_else(|| ParsePerformativeError { input: s.to_owned() })
+            .ok_or_else(|| ParsePerformativeError {
+                input: s.to_owned(),
+            })
     }
 }
 

@@ -67,7 +67,11 @@ impl ProtocolError {
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "protocol violation in state `{}`: {}", self.state, self.detail)
+        write!(
+            f,
+            "protocol violation in state `{}`: {}",
+            self.state, self.detail
+        )
     }
 }
 
@@ -158,7 +162,11 @@ impl RequestInitiator {
         if reply.sender() != &self.participant {
             return Err(ProtocolError::new(
                 state_name,
-                format!("reply from `{}`, expected `{}`", reply.sender(), self.participant),
+                format!(
+                    "reply from `{}`, expected `{}`",
+                    reply.sender(),
+                    self.participant
+                ),
             ));
         }
         if reply.conversation_id() != Some(&self.conversation) {
@@ -299,11 +307,7 @@ pub struct ContractNetInitiator {
 
 impl ContractNetInitiator {
     /// Creates an initiator for `task` over the given participants.
-    pub fn new(
-        me: AgentId,
-        participants: impl IntoIterator<Item = AgentId>,
-        task: Value,
-    ) -> Self {
+    pub fn new(me: AgentId, participants: impl IntoIterator<Item = AgentId>, task: Value) -> Self {
         ContractNetInitiator {
             me,
             participants: participants.into_iter().collect(),
@@ -675,10 +679,7 @@ mod tests {
         let bid = part.propose(4.5);
         assert_eq!(bid.performative(), Performative::Propose);
         assert_eq!(bid.content().as_float(), Some(4.5));
-        assert_eq!(
-            part.refuse("no skill").performative(),
-            Performative::Refuse
-        );
+        assert_eq!(part.refuse("no skill").performative(), Performative::Refuse);
         assert_eq!(
             part.inform_done(Value::Nil).performative(),
             Performative::Inform

@@ -18,8 +18,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            prop::collection::btree_map("[a-z][a-z0-9-]{0,8}", inner, 0..5)
-                .prop_map(Value::Map),
+            prop::collection::btree_map("[a-z][a-z0-9-]{0,8}", inner, 0..5).prop_map(Value::Map),
         ]
     })
 }

@@ -78,9 +78,7 @@ impl CentralizedManager {
         CentralizedManager {
             network,
             store: ManagementStore::default(),
-            kb: KnowledgeBase::from_rules(
-                parse_rules(DEFAULT_RULES).expect("default rules parse"),
-            ),
+            kb: KnowledgeBase::from_rules(parse_rules(DEFAULT_RULES).expect("default rules parse")),
             injector: FaultInjector::default(),
             alerts: Vec::new(),
             passes: 0,
@@ -173,8 +171,11 @@ mod tests {
 
     #[test]
     fn detects_injected_cpu_fault() {
-        let mut manager = CentralizedManager::new(network())
-            .with_fault(ScheduledFault::from("s0", FaultKind::CpuRunaway, 60_000));
+        let mut manager = CentralizedManager::new(network()).with_fault(ScheduledFault::from(
+            "s0",
+            FaultKind::CpuRunaway,
+            60_000,
+        ));
         let report = manager.run(5 * 60_000, 60_000);
         assert!(report
             .alerts

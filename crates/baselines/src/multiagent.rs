@@ -66,32 +66,34 @@ impl SiteManagerAgent {
 }
 
 impl Agent for SiteManagerAgent {
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         // Reuses the classifier's data-ready wire format by inspecting
         // the content map directly (the baseline has no broker).
         if message.content().get("concept").and_then(Value::as_str) != Some("data-ready") {
             return;
         }
-        let Some(partitions) = message.content().get("partitions").and_then(Value::as_list)
-        else {
+        let Some(partitions) = message.content().get("partitions").and_then(Value::as_list) else {
             return;
         };
         self.ready_seen += 1;
-        let level = if self.ready_seen.is_multiple_of(2) { 2 } else { 1 };
+        let level = if self.ready_seen.is_multiple_of(2) {
+            2
+        } else {
+            1
+        };
         let now = ctx.now_ms();
         let store = self.store.lock();
         for entry in partitions {
             let Some(name) = entry.get("name").and_then(Value::as_str) else {
                 continue;
             };
-            let size = entry.get("size").and_then(Value::as_int).unwrap_or(0).max(0) as u64;
-            let task = AnalysisTask::new(
-                format!("site-t{}", self.analyses),
-                name,
-                name,
-                level,
-                size,
-            );
+            let size = entry
+                .get("size")
+                .and_then(Value::as_int)
+                .unwrap_or(0)
+                .max(0) as u64;
+            let task =
+                AnalysisTask::new(format!("site-t{}", self.analyses), name, name, level, size);
             let (alerts, _) = analyze_task(&store, &self.kb, &task, now);
             self.analyses += 1;
             self.alerts.lock().extend(alerts);
@@ -146,9 +148,8 @@ impl MultiAgentSystem {
     /// to parse (a bug).
     pub fn new(network: Network, collectors_per_site: usize) -> Self {
         assert!(collectors_per_site > 0, "need at least one collector");
-        let kb = KnowledgeBase::from_rules(
-            parse_rules(DEFAULT_RULES).expect("default rules parse"),
-        );
+        let kb =
+            KnowledgeBase::from_rules(parse_rules(DEFAULT_RULES).expect("default rules parse"));
         let site_specs: Vec<(String, Vec<String>)> = network
             .sites()
             .map(|s| (s.name().to_owned(), s.device_names().to_vec()))

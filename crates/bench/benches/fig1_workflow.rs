@@ -26,8 +26,7 @@ fn bench_workflow_pass(c: &mut Criterion) {
                         (network, ManagementStore::default())
                     },
                     |(mut network, mut store)| {
-                        let (alerts, _) =
-                            workflow::run_pass(&mut network, &mut store, &kb, 60_000);
+                        let (alerts, _) = workflow::run_pass(&mut network, &mut store, &kb, 60_000);
                         black_box(alerts.len())
                     },
                     criterion::BatchSize::SmallInput,

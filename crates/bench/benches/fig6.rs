@@ -40,9 +40,7 @@ fn bench_fig6_large(c: &mut Criterion) {
             BenchmarkId::from_parameter(architecture.label()),
             &architecture,
             |b, arch| {
-                b.iter(|| {
-                    run_architecture(black_box(*arch), workload, &costs).peak_utilization()
-                })
+                b.iter(|| run_architecture(black_box(*arch), workload, &costs).peak_utilization())
             },
         );
     }

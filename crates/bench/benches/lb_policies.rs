@@ -55,7 +55,12 @@ fn bench_policies(c: &mut Criterion) {
     c.bench_function("lb_divide_1000/random", |b| {
         b.iter(|| {
             let mut broker = Broker::new(Random::new(42));
-            black_box(broker.divide(tasks.iter().cloned(), profiles.clone()).assignments.len())
+            black_box(
+                broker
+                    .divide(tasks.iter().cloned(), profiles.clone())
+                    .assignments
+                    .len(),
+            )
         })
     });
 }

@@ -4,8 +4,8 @@
 //! identical network — the live-system counterpart of Figure 6.
 
 use agentgrid::grid::ManagementGrid;
-use agentgrid_bench::{standard_network, ALL_SKILLS};
 use agentgrid_baselines::{CentralizedManager, MultiAgentSystem};
+use agentgrid_bench::{standard_network, ALL_SKILLS};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -13,9 +13,7 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(analyzers),
             &analyzers,
-            |b, &analyzers| {
-                b.iter(|| black_box(grid_scaling_report(50, analyzers).makespan()))
-            },
+            |b, &analyzers| b.iter(|| black_box(grid_scaling_report(50, analyzers).makespan())),
         );
     }
     group.finish();

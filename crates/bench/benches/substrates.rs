@@ -22,7 +22,10 @@ fn bench_snmp_walk(c: &mut Criterion) {
 }
 
 fn bench_cli_poll(c: &mut Criterion) {
-    let mut device = Device::builder("bench", DeviceKind::Server).cpus(4).seed(2).build();
+    let mut device = Device::builder("bench", DeviceKind::Server)
+        .cpus(4)
+        .seed(2)
+        .build();
     device.tick(60_000);
     c.bench_function("cli_poll_all_commands", |b| {
         b.iter(|| {
@@ -91,9 +94,7 @@ fn bench_store_insert(c: &mut Criterion) {
 }
 
 fn bench_rule_engine(c: &mut Criterion) {
-    let kb = KnowledgeBase::from_rules(
-        parse_rules(agentgrid::grid::DEFAULT_RULES).unwrap(),
-    );
+    let kb = KnowledgeBase::from_rules(parse_rules(agentgrid::grid::DEFAULT_RULES).unwrap());
     let mut group = c.benchmark_group("rule_engine_run");
     // The default rule set contains a two-pattern correlation rule, so the
     // naive engine's cost grows quadratically in the hot-fact count (see

@@ -15,10 +15,10 @@ use agentgrid::mobility::Rebalancer;
 use agentgrid::ontology::{AnalysisTask, ResourceProfile};
 use agentgrid::workflow;
 use agentgrid::CostModel;
+use agentgrid_baselines::MultiAgentSystem;
 use agentgrid_bench::{
     fig6_reports, grid_scaling_report, mean_completions, standard_network, ALL_SKILLS,
 };
-use agentgrid_baselines::MultiAgentSystem;
 use agentgrid_net::{FaultKind, ScheduledFault};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
@@ -27,8 +27,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "crossover", "lb",
-            "scaling", "mobility",
+            "table1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "crossover",
+            "lb",
+            "scaling",
+            "mobility",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -83,8 +92,16 @@ fn fig2() {
         .collectors_per_site(2)
         .analyzer("pg-1", 1.0, ALL_SKILLS)
         .analyzer("pg-2", 1.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("site-0-dev2", FaultKind::CpuRunaway, 120_000))
-        .fault(ScheduledFault::from("site-1-dev0", FaultKind::LinkDown(2), 180_000))
+        .fault(ScheduledFault::from(
+            "site-0-dev2",
+            FaultKind::CpuRunaway,
+            120_000,
+        ))
+        .fault(ScheduledFault::from(
+            "site-1-dev0",
+            FaultKind::LinkDown(2),
+            180_000,
+        ))
         .build();
     let report = grid.run(10 * 60_000, 60_000);
     print!("{}", report.render());
@@ -134,8 +151,9 @@ fn fig4() {
 /// Figure 5: the architecture without agent grids (per-site silos).
 fn fig5() {
     banner("Figure 5 — architecture without agent grids (isolated sites)");
-    let mut mas = MultiAgentSystem::new(standard_network(2, 4, 13), 2)
-        .with_fault(ScheduledFault::from("site-0-dev2", FaultKind::CpuRunaway, 120_000));
+    let mut mas = MultiAgentSystem::new(standard_network(2, 4, 13), 2).with_fault(
+        ScheduledFault::from("site-0-dev2", FaultKind::CpuRunaway, 120_000),
+    );
     let reports = mas.run(10 * 60_000, 60_000);
     for (site, report) in &reports {
         println!(
@@ -268,7 +286,11 @@ fn mobility() {
     println!(
         "after 6 min: pg-1 load {:.2}, {} tasks on pg-1",
         load_before,
-        before.tasks_per_container().get("pg-1").copied().unwrap_or(0)
+        before
+            .tasks_per_container()
+            .get("pg-1")
+            .copied()
+            .unwrap_or(0)
     );
     let rebalancer = Rebalancer {
         high_watermark: load_before.clamp(0.01, 0.9),

@@ -49,12 +49,8 @@ pub fn standard_network(sites: usize, devices_per_site: usize, seed: u64) -> Net
 pub fn fig6_reports(rounds: usize) -> [(String, SimReport); 3] {
     let costs = CostModel::table1();
     let workload = Workload::rounds(rounds);
-    Architecture::paper_configs().map(|arch| {
-        (
-            arch.label(),
-            run_architecture(arch, workload, &costs),
-        )
-    })
+    Architecture::paper_configs()
+        .map(|arch| (arch.label(), run_architecture(arch, workload, &costs)))
 }
 
 /// The peak utilization of each architecture at a given round count —
@@ -65,12 +61,7 @@ pub fn peak_utilizations(rounds: usize) -> [(String, f64); 3] {
 
 /// Mean job completion time of each architecture at a given round count.
 pub fn mean_completions(rounds: usize) -> [(String, f64); 3] {
-    fig6_reports(rounds).map(|(label, report)| {
-        (
-            label,
-            report.mean_completion().unwrap_or(0.0),
-        )
-    })
+    fig6_reports(rounds).map(|(label, report)| (label, report.mean_completion().unwrap_or(0.0)))
 }
 
 /// Runs the agent-grid architecture with a variable number of analyzer

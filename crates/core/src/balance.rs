@@ -216,7 +216,7 @@ mod tests {
     fn kci_prefers_headroom_over_raw_capacity() {
         let mut policy = KnowledgeCapacityIdle;
         let candidates = [
-            profile("big-busy", 4.0, 0.9, &["cpu"]), // headroom 0.4
+            profile("big-busy", 4.0, 0.9, &["cpu"]),   // headroom 0.4
             profile("small-idle", 1.0, 0.0, &["cpu"]), // headroom 1.0
         ];
         assert_eq!(
@@ -232,7 +232,10 @@ mod tests {
             profile("b", 1.0, 0.0, &["cpu"]),
             profile("a", 1.0, 0.0, &["cpu"]),
         ];
-        assert_eq!(policy.select(&task("cpu"), &candidates), Some("a".to_owned()));
+        assert_eq!(
+            policy.select(&task("cpu"), &candidates),
+            Some("a".to_owned())
+        );
     }
 
     #[test]

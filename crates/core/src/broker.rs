@@ -116,7 +116,9 @@ pub struct Broker<P> {
 
 impl<P: fmt::Debug> fmt::Debug for Broker<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Broker").field("policy", &self.policy).finish()
+        f.debug_struct("Broker")
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
@@ -194,10 +196,7 @@ mod tests {
     #[test]
     fn trace_mentions_every_task() {
         let mut broker = Broker::new(RoundRobin::default());
-        let division = broker.divide(
-            [task("t1", "cpu", 1), task("t2", "nothing", 1)],
-            profiles(),
-        );
+        let division = broker.divide([task("t1", "cpu", 1), task("t2", "nothing", 1)], profiles());
         let trace = division.trace();
         assert!(trace.contains("task t1"));
         assert!(trace.contains("UNASSIGNED"));

@@ -198,7 +198,10 @@ impl CostModel {
 
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = format!("{:<18} {:>5} {:>8} {:>5}\n", "Tasks", "CPU", "Network", "Disc");
+        let mut out = format!(
+            "{:<18} {:>5} {:>8} {:>5}\n",
+            "Tasks", "CPU", "Network", "Disc"
+        );
         for (kind, cost) in self.rows() {
             let show = |v: u64| {
                 if v == 0 {
@@ -233,7 +236,10 @@ mod tests {
     fn table1_matches_published_cells() {
         let m = CostModel::table1();
         // Cells that are explicit in the paper text:
-        assert_eq!(m.cost(TaskKind::Request(RequestType::A)), TaskCost::new(10, 5, 0));
+        assert_eq!(
+            m.cost(TaskKind::Request(RequestType::A)),
+            TaskCost::new(10, 5, 0)
+        );
         for t in RequestType::ALL {
             assert_eq!(m.cost(TaskKind::Parse(t)).cpu, 15);
             assert_eq!(m.cost(TaskKind::Inference(t)), TaskCost::new(20, 0, 5));

@@ -54,11 +54,7 @@ impl std::fmt::Debug for AnalyzerAgent {
 
 impl AnalyzerAgent {
     /// Creates an analyzer with a knowledge base and an alert sink.
-    pub fn new(
-        store: Arc<Mutex<ManagementStore>>,
-        kb: KnowledgeBase,
-        interface: AgentId,
-    ) -> Self {
+    pub fn new(store: Arc<Mutex<ManagementStore>>, kb: KnowledgeBase, interface: AgentId) -> Self {
         AnalyzerAgent {
             store,
             kb,
@@ -93,30 +89,38 @@ impl AnalyzerAgent {
 /// into typed facts (`cpu`, `mem`, `disk`, `procs`, `if_status`) so
 /// rules stay readable.
 pub fn facts_for(device: &str, metric: &str, value: f64) -> Vec<Fact> {
-        let mut facts = vec![Fact::new("obs")
-            .with("device", device)
-            .with("metric", metric)
-            .with("value", value)];
-        if metric.starts_with("cpu.load.") {
-            facts.push(Fact::new("cpu").with("device", device).with("value", value));
-        } else if metric == "storage.disk.used-pct" {
-            facts.push(Fact::new("disk").with("device", device).with("value", value));
-        } else if metric == "storage.ram.used-pct" {
-            facts.push(Fact::new("mem").with("device", device).with("value", value));
-        } else if metric == "processes.count" {
-            facts.push(Fact::new("procs").with("device", device).with("value", value));
-        } else if let Some(rest) = metric.strip_prefix("if.") {
-            if let Some((index, "oper-status")) = rest.split_once('.') {
-                if let Ok(index) = index.parse::<i64>() {
-                    facts.push(
-                        Fact::new("if_status")
-                            .with("device", device)
-                            .with("index", index)
-                            .with("value", value),
-                    );
-                }
+    let mut facts = vec![Fact::new("obs")
+        .with("device", device)
+        .with("metric", metric)
+        .with("value", value)];
+    if metric.starts_with("cpu.load.") {
+        facts.push(Fact::new("cpu").with("device", device).with("value", value));
+    } else if metric == "storage.disk.used-pct" {
+        facts.push(
+            Fact::new("disk")
+                .with("device", device)
+                .with("value", value),
+        );
+    } else if metric == "storage.ram.used-pct" {
+        facts.push(Fact::new("mem").with("device", device).with("value", value));
+    } else if metric == "processes.count" {
+        facts.push(
+            Fact::new("procs")
+                .with("device", device)
+                .with("value", value),
+        );
+    } else if let Some(rest) = metric.strip_prefix("if.") {
+        if let Some((index, "oper-status")) = rest.split_once('.') {
+            if let Ok(index) = index.parse::<i64>() {
+                facts.push(
+                    Fact::new("if_status")
+                        .with("device", device)
+                        .with("index", index)
+                        .with("value", value),
+                );
             }
         }
+    }
     facts
 }
 
@@ -191,7 +195,7 @@ pub fn analyze_task(
 }
 
 impl Agent for AnalyzerAgent {
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         // Rule learning pushed from the interface grid.
         if message.content().get("concept").and_then(Value::as_str) == Some("learn-rule") {
             if let Some(text) = message.content().get("text").and_then(Value::as_str) {
@@ -256,11 +260,7 @@ mod tests {
         for (device, metric, value) in points {
             store.insert(Record::new(*device, *metric, *value, 1000));
         }
-        AnalyzerAgent::new(
-            Arc::new(Mutex::new(store)),
-            kb(),
-            AgentId::new("ig@g"),
-        )
+        AnalyzerAgent::new(Arc::new(Mutex::new(store)), kb(), AgentId::new("ig@g"))
     }
 
     fn task(partition: &str, level: u8) -> AnalysisTask {
@@ -285,21 +285,16 @@ mod tests {
         for t in 0..5u64 {
             store.insert(Record::new("r1", "cpu.load.1", 85.0, t * 60_000));
         }
-        let mut analyzer = AnalyzerAgent::new(
-            Arc::new(Mutex::new(store)),
-            kb(),
-            AgentId::new("ig@g"),
-        );
+        let mut analyzer =
+            AnalyzerAgent::new(Arc::new(Mutex::new(store)), kb(), AgentId::new("ig@g"));
         let alerts = analyzer.run_task(&task("cpu", 2), 0);
         assert!(alerts.iter().any(|a| a.rule == "sustained-cpu"));
     }
 
     #[test]
     fn level3_correlates_across_devices() {
-        let mut analyzer = analyzer_with_data(&[
-            ("r1", "cpu.load.1", 95.0),
-            ("r2", "cpu.load.1", 96.0),
-        ]);
+        let mut analyzer =
+            analyzer_with_data(&[("r1", "cpu.load.1", 95.0), ("r2", "cpu.load.1", 96.0)]);
         let alerts = analyzer.run_task(&task("*", 3), 0);
         assert!(
             alerts.iter().any(|a| a.rule == "correlated-cpu"),
@@ -339,7 +334,7 @@ mod tests {
             ]))
             .build()
             .unwrap();
-        analyzer.on_message(learn, &mut ctx);
+        analyzer.on_message(&learn, &mut ctx);
         assert_eq!(analyzer.kb.len(), before + 1);
         // And the learned rule fires on the next task.
         let alerts = analyzer.run_task(&task("process", 1), 0);
@@ -353,7 +348,11 @@ mod tests {
         let mut outbox = Vec::new();
         let mut df = DirectoryFacilitator::new();
         df.register_container(agentgrid_acl::ontology::ResourceProfile::new(
-            "pg-1", 1.0, 1.0, 1024, ["cpu"],
+            "pg-1",
+            1.0,
+            1.0,
+            1024,
+            ["cpu"],
         ));
         let mut ctx = AgentCtx::new(&analyzer_id, "pg-1", 7, &mut outbox, &mut df);
         let request = AclMessage::builder(Performative::Request)
@@ -363,7 +362,7 @@ mod tests {
             .content(task("cpu", 1).to_content())
             .build()
             .unwrap();
-        analyzer.on_message(request, &mut ctx);
+        analyzer.on_message(&request, &mut ctx);
         // One alert to the interface + one done reply to the root.
         assert_eq!(outbox.len(), 2);
         let alert = Alert::from_content(outbox[0].content()).unwrap();

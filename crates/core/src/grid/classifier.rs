@@ -46,7 +46,6 @@ impl ClassifierAgent {
             rejects: 0,
         }
     }
-
 }
 
 /// Builds the `data-ready` notification content (also used by tests of
@@ -73,7 +72,7 @@ pub(crate) fn data_ready_content(
 }
 
 impl Agent for ClassifierAgent {
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         let Ok(batch) = CollectedBatch::from_content(message.content()) else {
             self.rejects += 1;
             return;
@@ -185,8 +184,7 @@ mod tests {
         // The notification went to the (nonexistent) root → dead letter
         // carrying a data-ready payload.
         assert_eq!(platform.dead_letters().len(), 1);
-        let (site, partitions) =
-            parse_data_ready(platform.dead_letters()[0].content()).unwrap();
+        let (site, partitions) = parse_data_ready(platform.dead_letters()[0].content()).unwrap();
         assert_eq!(site, "hq");
         assert_eq!(partitions.len(), 2);
     }
@@ -205,7 +203,7 @@ mod tests {
             .content(Value::symbol("garbage"))
             .build()
             .unwrap();
-        agent.on_message(bad, &mut ctx);
+        agent.on_message(&bad, &mut ctx);
         assert_eq!(agent.rejects, 1);
         assert!(store.lock().is_empty());
         assert!(outbox.is_empty());

@@ -100,7 +100,7 @@ impl InterfaceAgent {
 }
 
 impl Agent for InterfaceAgent {
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         // User feedback: distribute a new rule to every analyzer.
         if message.content().get("concept").and_then(Value::as_str) == Some("learn-rule") {
             let analyzers: Vec<AgentId> = ctx
@@ -139,7 +139,11 @@ mod tests {
     use agentgrid_acl::ontology::ToContent;
     use agentgrid_platform::DirectoryFacilitator;
 
-    fn ctx_bundle() -> (AgentId, Vec<AclMessage>, DirectoryFacilitator) {
+    fn ctx_bundle() -> (
+        AgentId,
+        Vec<agentgrid_acl::SharedMessage>,
+        DirectoryFacilitator,
+    ) {
         (
             AgentId::new("ig@g"),
             Vec::new(),
@@ -162,7 +166,7 @@ mod tests {
                     .build()
                     .unwrap();
                 let mut ctx = AgentCtx::new(&id, "ig", 0, &mut outbox, &mut df);
-                agent.on_message(msg, &mut ctx);
+                agent.on_message(&msg, &mut ctx);
             }
         }
         assert_eq!(sink.lock().len(), 3);
@@ -186,7 +190,7 @@ mod tests {
             .build()
             .unwrap();
         let mut ctx = AgentCtx::new(&id, "ig", 0, &mut outbox, &mut df);
-        agent.on_message(feedback, &mut ctx);
+        agent.on_message(&feedback, &mut ctx);
         assert_eq!(outbox.len(), 2);
         assert_eq!(agent.rules_distributed, 2);
         assert!(outbox
@@ -242,7 +246,7 @@ mod tests {
             .build()
             .unwrap();
         let mut ctx = AgentCtx::new(&id, "ig", 0, &mut outbox, &mut df);
-        agent.on_message(junk, &mut ctx);
+        agent.on_message(&junk, &mut ctx);
         assert!(sink.lock().is_empty());
         assert!(outbox.is_empty());
     }

@@ -138,7 +138,7 @@ impl ProcessorRootAgent {
 }
 
 impl Agent for ProcessorRootAgent {
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         // Completion reports.
         if message.content().get("concept").and_then(Value::as_str) == Some("done") {
             if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
@@ -154,7 +154,11 @@ impl Agent for ProcessorRootAgent {
         self.ready_seen += 1;
         // Alternate level 1 and level 2 so consolidation happens on every
         // other pass over a partition.
-        let level = if self.ready_seen.is_multiple_of(2) { 2 } else { 1 };
+        let level = if self.ready_seen.is_multiple_of(2) {
+            2
+        } else {
+            1
+        };
         for (partition, size) in partitions {
             self.task_seq += 1;
             let task = AnalysisTask::new(
@@ -168,8 +172,7 @@ impl Agent for ProcessorRootAgent {
         }
         if self.ready_seen.is_multiple_of(CORRELATION_EVERY) {
             self.task_seq += 1;
-            let task =
-                AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
+            let task = AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
             self.assign_and_send(task, ctx);
         }
     }
@@ -244,13 +247,12 @@ mod tests {
         let mut outbox = Vec::new();
         let mut df = df_with_containers(&["pg-1", "pg-2"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-        root.on_message(data_ready_msg(&[("cpu", 10), ("disk", 5)]), &mut ctx);
+        root.on_message(&data_ready_msg(&[("cpu", 10), ("disk", 5)]), &mut ctx);
         let stats = stats.lock();
         assert_eq!(stats.assignments.len(), 2);
         assert_eq!(outbox.len(), 2);
         // Projected load spread the two tasks over both containers.
-        let containers: Vec<&str> =
-            stats.assignments.iter().map(|(_, c)| c.as_str()).collect();
+        let containers: Vec<&str> = stats.assignments.iter().map(|(_, c)| c.as_str()).collect();
         assert!(containers.contains(&"pg-1") && containers.contains(&"pg-2"));
     }
 
@@ -263,7 +265,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1"]);
         for _ in 0..3 {
             let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-            root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+            root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
         }
         // 3 partition tasks + 1 correlation task.
         assert_eq!(stats.lock().assignments.len(), 4);
@@ -280,7 +282,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1"]);
         for _ in 0..2 {
             let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-            root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+            root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
         }
         let levels: Vec<u8> = outbox
             .iter()
@@ -297,7 +299,7 @@ mod tests {
         let mut outbox = Vec::new();
         let mut df = df_with_containers(&["pg-1"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-        root.on_message(data_ready_msg(&[("memory", 1)]), &mut ctx);
+        root.on_message(&data_ready_msg(&[("memory", 1)]), &mut ctx);
         assert_eq!(stats.lock().unassigned, 1);
         assert!(outbox.is_empty());
     }
@@ -310,7 +312,7 @@ mod tests {
         let mut outbox = Vec::new();
         let mut df = df_with_containers(&["pg-1"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-        root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
         assert_eq!(root.pending.len(), 1);
         let done = AclMessage::builder(Performative::Inform)
             .sender(AgentId::new("analyzer-pg-1@g"))
@@ -323,7 +325,7 @@ mod tests {
             .build()
             .unwrap();
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-        root.on_message(done, &mut ctx);
+        root.on_message(&done, &mut ctx);
         assert!(root.pending.is_empty());
         assert_eq!(stats.lock().completed, 1);
     }
@@ -338,7 +340,7 @@ mod tests {
         // Force assignment to pg-1 by overloading pg-2.
         df.update_load("pg-2", 0.99);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
-        root.on_message(data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
         assert_eq!(stats.lock().assignments[0].1, "pg-1");
         // pg-1 dies before reporting done.
         df.deregister_container("pg-1");

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use agentgrid_acl::ontology::{Alert, ResourceProfile};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_net::{FaultInjector, Network, ScheduledFault};
-use agentgrid_platform::Platform;
+use agentgrid_platform::{Platform, Runtime, ThreadedRuntime};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
 use parking_lot::Mutex;
@@ -108,30 +108,53 @@ impl GridBuilder {
         self
     }
 
-    /// Builds and wires the grid.
+    /// Builds and wires the grid on the deterministic stepper (the
+    /// default runtime: reproducible runs, ideal for tests and
+    /// experiments).
     ///
     /// # Panics
     ///
     /// Panics if the rule text does not parse or no analyzer container
     /// was configured.
     pub fn build(self) -> ManagementGrid {
+        self.build_on::<Platform>()
+    }
+
+    /// Builds and wires the grid on the threaded runtime: one OS thread
+    /// per container, nondeterministic cross-container ordering — the
+    /// deployment-shaped execution model.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_threaded(self) -> ManagementGrid<ThreadedRuntime> {
+        self.build_on::<ThreadedRuntime>()
+    }
+
+    /// Builds and wires the grid on any [`Runtime`]. The wiring — and
+    /// all agent code — is identical across runtimes; only the execution
+    /// model differs.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_on<R: Runtime>(self) -> ManagementGrid<R> {
         assert!(
             !self.analyzers.is_empty(),
             "configure at least one analyzer container"
         );
-        let kb = KnowledgeBase::from_rules(
-            parse_rules(&self.rules).expect("analysis rules must parse"),
-        );
+        let kb =
+            KnowledgeBase::from_rules(parse_rules(&self.rules).expect("analysis rules must parse"));
 
         let network = Arc::new(Mutex::new(self.network));
         let store = Arc::new(Mutex::new(ManagementStore::default()));
         let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
-        let mut platform = Platform::new("grid");
+        let mut platform = R::create("grid");
 
         // Interface grid.
         platform.add_container("ig");
         let interface_id = platform
-            .spawn("ig", "interface", InterfaceAgent::new(Arc::clone(&alerts)))
+            .spawn_agent("ig", "interface", InterfaceAgent::new(Arc::clone(&alerts)))
             .expect("fresh platform");
 
         // Processor grid root.
@@ -139,19 +162,15 @@ impl GridBuilder {
         let root_agent = ProcessorRootAgent::new(self.policy);
         let root_stats = root_agent.stats_handle();
         let root_id = platform
-            .spawn("pg-root-ct", "pg-root", root_agent)
+            .spawn_agent("pg-root-ct", "pg-root", root_agent)
             .expect("fresh platform");
 
         // Analyzer containers.
         for spec in &self.analyzers {
             platform.add_container(&spec.name);
-            let analyzer = AnalyzerAgent::new(
-                Arc::clone(&store),
-                kb.clone(),
-                interface_id.clone(),
-            );
+            let analyzer = AnalyzerAgent::new(Arc::clone(&store), kb.clone(), interface_id.clone());
             let analyzer_id = platform
-                .spawn(&spec.name, &format!("analyzer-{}", spec.name), analyzer)
+                .spawn_agent(&spec.name, &format!("analyzer-{}", spec.name), analyzer)
                 .expect("container just added");
             let mut profile = ResourceProfile::new(
                 &spec.name,
@@ -161,16 +180,16 @@ impl GridBuilder {
                 spec.skills.iter().cloned(),
             );
             profile.load = 0.0;
-            platform.df_mut().register_container(profile);
-            platform
-                .df_mut()
-                .register_service(analyzer_id, "analysis", [spec.name.clone()]);
+            platform.with_df(|df| {
+                df.register_container(profile);
+                df.register_service(analyzer_id, "analysis", [spec.name.clone()]);
+            });
         }
 
         // Classifier grid.
         platform.add_container("clg");
         let classifier_id = platform
-            .spawn(
+            .spawn_agent(
                 "clg",
                 "classifier",
                 ClassifierAgent::new(Arc::clone(&store), root_id.clone()),
@@ -212,7 +231,7 @@ impl GridBuilder {
                     site.clone(),
                 );
                 platform
-                    .spawn(&container, &format!("cg-{site}-{c}"), collector)
+                    .spawn_agent(&container, &format!("cg-{site}-{c}"), collector)
                     .expect("container just added");
             }
         }
@@ -312,8 +331,8 @@ impl fmt::Display for GridReport {
 /// let report = grid.run(5 * 60_000, 60_000);
 /// assert!(report.records_stored > 0);
 /// ```
-pub struct ManagementGrid {
-    platform: Platform,
+pub struct ManagementGrid<R: Runtime = Platform> {
+    platform: R,
     network: Arc<Mutex<Network>>,
     store: Arc<Mutex<ManagementStore>>,
     alerts: AlertSink,
@@ -323,10 +342,10 @@ pub struct ManagementGrid {
     ticks: u64,
 }
 
-impl fmt::Debug for ManagementGrid {
+impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ManagementGrid")
-            .field("containers", &self.platform.container_names().count())
+            .field("containers", &self.platform.container_count())
             .field("ticks", &self.ticks)
             .finish()
     }
@@ -335,6 +354,8 @@ impl fmt::Debug for ManagementGrid {
 impl ManagementGrid {
     /// Starts building a grid with defaults: 60 s polls, one collector
     /// per site, [`KnowledgeCapacityIdle`] balancing, [`DEFAULT_RULES`].
+    /// Finish with [`GridBuilder::build`] (deterministic),
+    /// [`GridBuilder::build_threaded`] or [`GridBuilder::build_on`].
     pub fn builder() -> GridBuilder {
         GridBuilder {
             network: Network::new(),
@@ -346,7 +367,9 @@ impl ManagementGrid {
             faults: FaultInjector::default(),
         }
     }
+}
 
+impl<R: Runtime> ManagementGrid<R> {
     /// Runs the grid from its current time for `duration_ms`, ticking
     /// every `tick_ms`, and returns the cumulative report.
     ///
@@ -382,7 +405,7 @@ impl ManagementGrid {
             alerts: self.alerts.lock().clone(),
             records_stored: self.store.lock().len(),
             messages_delivered: self.platform.delivered_count(),
-            dead_letters: self.platform.dead_letters().len(),
+            dead_letters: self.platform.dead_letter_count(),
             assignments: stats.assignments.clone(),
             unassigned: stats.unassigned,
             reassigned: stats.reassigned,
@@ -428,8 +451,8 @@ impl ManagementGrid {
         Arc::clone(&self.network)
     }
 
-    /// The underlying platform (e.g. for migration experiments).
-    pub fn platform_mut(&mut self) -> &mut Platform {
+    /// The underlying runtime (e.g. for migration experiments).
+    pub fn platform_mut(&mut self) -> &mut R {
         &mut self.platform
     }
 
@@ -497,11 +520,9 @@ mod tests {
             .build();
         let report = grid.run(6 * 60_000, 60_000);
         assert!(
-            report
-                .alerts
-                .iter()
-                .any(|a| a.rule == "high-cpu" && a.device == "srv-0"
-                    && a.severity == Severity::Critical),
+            report.alerts.iter().any(|a| a.rule == "high-cpu"
+                && a.device == "srv-0"
+                && a.severity == Severity::Critical),
             "alerts: {:?}",
             report.alerts
         );
@@ -558,7 +579,10 @@ mod tests {
         );
         let report = grid.run(4 * 60_000, 60_000);
         assert!(
-            report.alerts.iter().any(|a| a.rule == "always-report-procs"),
+            report
+                .alerts
+                .iter()
+                .any(|a| a.rule == "always-report-procs"),
             "learned rule must fire"
         );
     }

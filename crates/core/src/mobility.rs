@@ -93,11 +93,7 @@ impl Rebalancer {
                 .unwrap_or(0.0);
             platform.df_mut().update_load(&to, old_load.min(0.5));
             platform.df_mut().update_load(&from, 0.0);
-            migrations.push(Migration {
-                agent,
-                from,
-                to,
-            });
+            migrations.push(Migration { agent, from, to });
         }
         migrations
     }
@@ -132,11 +128,14 @@ mod tests {
         let (mut p, agent) = platform_with_loads(0.9, 0.0);
         let migrations = Rebalancer::default().rebalance(&mut p);
         assert_eq!(migrations.len(), 1);
-        assert_eq!(migrations[0], Migration {
-            agent: agent.clone(),
-            from: "busy".to_owned(),
-            to: "spare".to_owned(),
-        });
+        assert_eq!(
+            migrations[0],
+            Migration {
+                agent: agent.clone(),
+                from: "busy".to_owned(),
+                to: "spare".to_owned(),
+            }
+        );
         assert_eq!(p.find_agent(&agent), Some("spare"));
         // Service re-registered under the new container.
         assert_eq!(

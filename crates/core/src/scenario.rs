@@ -148,7 +148,9 @@ pub fn build_simulation(
                     // hosts — the grid root's load balancing.
                     let analyzer = format!("inference-{}", (next_analyzer % analyzers) + 1);
                     next_analyzer += 1;
-                    sim.submit(grid_job(round, rtype, &collector, &analyzer, arrival, costs));
+                    sim.submit(grid_job(
+                        round, rtype, &collector, &analyzer, arrival, costs,
+                    ));
                 }
             }
         }
@@ -179,7 +181,11 @@ fn centralized_job(round: usize, rtype: RequestType, arrival: u64, costs: &CostM
     let mut job = Job::new(job_name("cen", round, rtype))
         .arrive_at(arrival)
         .stage("manager", ResourceKind::Cpu, request.cpu)
-        .stage("manager", ResourceKind::Net, request.net * costs.raw_factor())
+        .stage(
+            "manager",
+            ResourceKind::Net,
+            request.net * costs.raw_factor(),
+        )
         .stage("manager", ResourceKind::Cpu, parse.cpu)
         .stage("manager", ResourceKind::Cpu, store.cpu)
         .stage("manager", ResourceKind::Disk, store.disk)
@@ -189,9 +195,11 @@ fn centralized_job(round: usize, rtype: RequestType, arrival: u64, costs: &CostM
         // The round's cross-type inference runs after its last per-type
         // inference (see EXPERIMENTS.md for this simplification).
         let cross = costs.cost(TaskKind::InferenceCross);
-        job = job
-            .stage("manager", ResourceKind::Cpu, cross.cpu)
-            .stage("manager", ResourceKind::Disk, cross.disk);
+        job = job.stage("manager", ResourceKind::Cpu, cross.cpu).stage(
+            "manager",
+            ResourceKind::Disk,
+            cross.disk,
+        );
     }
     job
 }
@@ -212,7 +220,11 @@ fn multiagent_job(
     let mut job = Job::new(job_name("mas", round, rtype))
         .arrive_at(arrival)
         .stage(collector, ResourceKind::Cpu, request.cpu)
-        .stage(collector, ResourceKind::Net, request.net * costs.raw_factor())
+        .stage(
+            collector,
+            ResourceKind::Net,
+            request.net * costs.raw_factor(),
+        )
         .stage(collector, ResourceKind::Cpu, parse.cpu)
         // Parsed data is smaller: base network cost on both NICs.
         .stage(collector, ResourceKind::Net, request.net)
@@ -223,9 +235,11 @@ fn multiagent_job(
         .stage("manager", ResourceKind::Disk, infer.disk);
     if rtype == RequestType::C {
         let cross = costs.cost(TaskKind::InferenceCross);
-        job = job
-            .stage("manager", ResourceKind::Cpu, cross.cpu)
-            .stage("manager", ResourceKind::Disk, cross.disk);
+        job = job.stage("manager", ResourceKind::Cpu, cross.cpu).stage(
+            "manager",
+            ResourceKind::Disk,
+            cross.disk,
+        );
     }
     job
 }
@@ -247,7 +261,11 @@ fn grid_job(
     let mut job = Job::new(job_name("grid", round, rtype))
         .arrive_at(arrival)
         .stage(collector, ResourceKind::Cpu, request.cpu)
-        .stage(collector, ResourceKind::Net, request.net * costs.raw_factor())
+        .stage(
+            collector,
+            ResourceKind::Net,
+            request.net * costs.raw_factor(),
+        )
         .stage(collector, ResourceKind::Cpu, parse.cpu)
         .stage(collector, ResourceKind::Net, request.net)
         .stage("storage", ResourceKind::Net, request.net)
@@ -259,9 +277,11 @@ fn grid_job(
         .stage(analyzer, ResourceKind::Disk, infer.disk);
     if rtype == RequestType::C {
         let cross = costs.cost(TaskKind::InferenceCross);
-        job = job
-            .stage(analyzer, ResourceKind::Cpu, cross.cpu)
-            .stage(analyzer, ResourceKind::Disk, cross.disk);
+        job = job.stage(analyzer, ResourceKind::Cpu, cross.cpu).stage(
+            analyzer,
+            ResourceKind::Disk,
+            cross.disk,
+        );
     }
     job
 }
@@ -286,7 +306,11 @@ mod tests {
         let (cen, _, _) = reports();
         let (host, kind, _) = cen.bottleneck().unwrap();
         assert_eq!(host, "manager");
-        assert_eq!(kind, ResourceKind::Cpu, "paper: the processor is the bottleneck");
+        assert_eq!(
+            kind,
+            ResourceKind::Cpu,
+            "paper: the processor is the bottleneck"
+        );
     }
 
     #[test]
@@ -350,16 +374,8 @@ mod tests {
     #[test]
     fn workload_scales_linearly_in_rounds() {
         let costs = CostModel::table1();
-        let small = run_architecture(
-            Architecture::Centralized,
-            Workload::rounds(5),
-            &costs,
-        );
-        let large = run_architecture(
-            Architecture::Centralized,
-            Workload::rounds(10),
-            &costs,
-        );
+        let small = run_architecture(Architecture::Centralized, Workload::rounds(5), &costs);
+        let large = run_architecture(Architecture::Centralized, Workload::rounds(10), &costs);
         assert_eq!(
             large.busy_time("manager", ResourceKind::Cpu),
             2 * small.busy_time("manager", ResourceKind::Cpu)

@@ -47,7 +47,10 @@ impl WorkflowTrace {
             if i > 0 {
                 out.push_str(" -> ");
             }
-            out.push_str(&format!("{} ({} in, {} out)", s.stage, s.items_in, s.items_out));
+            out.push_str(&format!(
+                "{} ({} in, {} out)",
+                s.stage, s.items_in, s.items_out
+            ));
         }
         out.push('\n');
         out
@@ -87,7 +90,10 @@ pub fn run_pass(
                 let device = network.device_mut(name).expect("device exists");
                 for (metric, oid) in [
                     ("cpu.load.1", agentgrid_net::oids::hr_processor_load(1)),
-                    ("processes.count", agentgrid_net::oids::hr_system_processes()),
+                    (
+                        "processes.count",
+                        agentgrid_net::oids::hr_system_processes(),
+                    ),
                 ] {
                     if let Ok(value) = snmp::get(device, &oid) {
                         if let Some(v) = value.as_f64() {
@@ -130,7 +136,9 @@ pub fn run_pass(
                 );
                 if metric.starts_with("cpu.load.") {
                     engine.insert(
-                        Fact::new("cpu").with("device", device.as_str()).with("value", value),
+                        Fact::new("cpu")
+                            .with("device", device.as_str())
+                            .with("value", value),
                     );
                 }
                 fact_count += 1;
@@ -201,7 +209,7 @@ mod tests {
             ["Collecting", "Analysis", "Consolidated", "Presentation"]
         );
         assert!(trace.stages[0].items_out > 0, "collected something");
-        assert!(store.len() > 0, "consolidated into the store");
+        assert!(!store.is_empty(), "consolidated into the store");
     }
 
     #[test]
@@ -211,7 +219,9 @@ mod tests {
         net.tick_all(120_000);
         let mut store = ManagementStore::default();
         let (alerts, _) = run_pass(&mut net, &mut store, &kb(), 120_000);
-        assert!(alerts.iter().any(|a| a.device == "s1" && a.rule == "high-cpu"));
+        assert!(alerts
+            .iter()
+            .any(|a| a.device == "s1" && a.rule == "high-cpu"));
     }
 
     #[test]

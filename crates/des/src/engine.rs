@@ -180,7 +180,12 @@ impl Simulation {
         };
 
         for (index, state) in self.jobs.iter().enumerate() {
-            push(&mut heap, state.job.arrival(), &mut seq, Event::JobReady(index));
+            push(
+                &mut heap,
+                state.job.arrival(),
+                &mut seq,
+                Event::JobReady(index),
+            );
         }
 
         let mut trace: Vec<TraceEntry> = Vec::new();
@@ -356,7 +361,11 @@ mod tests {
     fn arrival_times_delay_jobs() {
         let mut sim = Simulation::new();
         sim.add_host("a");
-        sim.submit(Job::new("late").arrive_at(100).stage("a", ResourceKind::Cpu, 5));
+        sim.submit(
+            Job::new("late")
+                .arrive_at(100)
+                .stage("a", ResourceKind::Cpu, 5),
+        );
         let report = sim.run();
         assert_eq!(report.completion("late"), Some(105));
     }
@@ -375,11 +384,11 @@ mod tests {
     fn zero_duration_stage_completes_instantly() {
         let mut sim = Simulation::new();
         sim.add_host("a");
-        sim.submit(
-            Job::new("j")
-                .stage("a", ResourceKind::Cpu, 0)
-                .stage("a", ResourceKind::Disk, 3),
-        );
+        sim.submit(Job::new("j").stage("a", ResourceKind::Cpu, 0).stage(
+            "a",
+            ResourceKind::Disk,
+            3,
+        ));
         assert_eq!(sim.run().completion("j"), Some(3));
     }
 
@@ -435,11 +444,11 @@ mod tests {
     fn trace_records_every_stage() {
         let mut sim = Simulation::new();
         sim.add_host("a");
-        sim.submit(
-            Job::new("j")
-                .stage("a", ResourceKind::Cpu, 2)
-                .stage("a", ResourceKind::Disk, 3),
-        );
+        sim.submit(Job::new("j").stage("a", ResourceKind::Cpu, 2).stage(
+            "a",
+            ResourceKind::Disk,
+            3,
+        ));
         let report = sim.run();
         assert_eq!(report.trace().len(), 2);
         assert_eq!(report.trace()[0].kind, ResourceKind::Cpu);

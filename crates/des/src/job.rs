@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// The three resources every host owns, matching the paper's Table 1
 /// columns (CPU, Network, Disc).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ResourceKind {
     /// Processor time.
     Cpu,

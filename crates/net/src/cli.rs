@@ -81,7 +81,11 @@ pub const COMMANDS: [&str; 5] = [
 ];
 
 fn gauge(device: &Device, oid: &crate::Oid) -> f64 {
-    device.mib().get(oid).and_then(MibValue::as_f64).unwrap_or(0.0)
+    device
+        .mib()
+        .get(oid)
+        .and_then(MibValue::as_f64)
+        .unwrap_or(0.0)
 }
 
 fn show_system(device: &Device) -> String {

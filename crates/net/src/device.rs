@@ -439,7 +439,9 @@ mod tests {
     use super::*;
 
     fn server(seed: u64) -> Device {
-        Device::builder("srv", DeviceKind::Server).seed(seed).build()
+        Device::builder("srv", DeviceKind::Server)
+            .seed(seed)
+            .build()
     }
 
     #[test]

@@ -190,7 +190,10 @@ mod tests {
 
         injector.apply(&mut net, 25);
         assert!(net.device("a").unwrap().active_faults().is_empty());
-        assert!(!net.device("b").unwrap().is_reachable(), "persistent fault stays");
+        assert!(
+            !net.device("b").unwrap().is_reachable(),
+            "persistent fault stays"
+        );
     }
 
     #[test]

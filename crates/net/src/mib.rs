@@ -36,9 +36,7 @@ impl MibValue {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             MibValue::Int(x) => Some(*x as f64),
-            MibValue::Counter(x) | MibValue::Gauge(x) | MibValue::TimeTicks(x) => {
-                Some(*x as f64)
-            }
+            MibValue::Counter(x) | MibValue::Gauge(x) | MibValue::TimeTicks(x) => Some(*x as f64),
             MibValue::Str(_) => None,
         }
     }
@@ -117,7 +115,10 @@ impl MibTree {
     }
 
     /// All objects under `prefix` in order — one SNMP walk.
-    pub fn walk<'a>(&'a self, prefix: &'a Oid) -> impl Iterator<Item = (&'a Oid, &'a MibValue)> + 'a {
+    pub fn walk<'a>(
+        &'a self,
+        prefix: &'a Oid,
+    ) -> impl Iterator<Item = (&'a Oid, &'a MibValue)> + 'a {
         self.objects
             .range(prefix.clone()..)
             .take_while(move |(oid, _)| oid.starts_with(prefix))
@@ -190,7 +191,10 @@ mod tests {
     #[test]
     fn walk_covers_exactly_the_subtree() {
         let mib = tree();
-        let rows: Vec<_> = mib.walk(&Oid::from([1, 2])).map(|(o, _)| o.clone()).collect();
+        let rows: Vec<_> = mib
+            .walk(&Oid::from([1, 2]))
+            .map(|(o, _)| o.clone())
+            .collect();
         assert_eq!(rows, vec![Oid::from([1, 2, 1, 1]), Oid::from([1, 2, 1, 2])]);
         assert_eq!(mib.walk(&Oid::from([1])).count(), 4);
         assert_eq!(mib.walk(&Oid::from([2])).count(), 0);
@@ -200,8 +204,14 @@ mod tests {
     fn set_replaces_and_remove_deletes() {
         let mut mib = tree();
         mib.set(Oid::from([1, 3, 0]), MibValue::Counter(100));
-        assert_eq!(mib.get(&Oid::from([1, 3, 0])), Some(&MibValue::Counter(100)));
-        assert_eq!(mib.remove(&Oid::from([1, 3, 0])), Some(MibValue::Counter(100)));
+        assert_eq!(
+            mib.get(&Oid::from([1, 3, 0])),
+            Some(&MibValue::Counter(100))
+        );
+        assert_eq!(
+            mib.remove(&Oid::from([1, 3, 0])),
+            Some(MibValue::Counter(100))
+        );
         assert_eq!(mib.len(), 3);
     }
 

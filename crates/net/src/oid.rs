@@ -111,13 +111,17 @@ impl FromStr for Oid {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.is_empty() {
-            return Err(ParseOidError { input: s.to_owned() });
+            return Err(ParseOidError {
+                input: s.to_owned(),
+            });
         }
         s.split('.')
             .map(|part| part.parse::<u32>())
             .collect::<Result<Vec<_>, _>>()
             .map(Oid)
-            .map_err(|_| ParseOidError { input: s.to_owned() })
+            .map_err(|_| ParseOidError {
+                input: s.to_owned(),
+            })
     }
 }
 

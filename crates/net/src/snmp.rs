@@ -244,7 +244,9 @@ mod tests {
         let rows = walk(&mut dev, &oids::if_table()).unwrap();
         // 4 interfaces × 3 columns (operStatus, inOctets, outOctets).
         assert_eq!(rows.len(), 12);
-        assert!(rows.iter().all(|(oid, _)| oid.starts_with(&oids::if_table())));
+        assert!(rows
+            .iter()
+            .all(|(oid, _)| oid.starts_with(&oids::if_table())));
     }
 
     #[test]
@@ -261,7 +263,10 @@ mod tests {
             &SnmpRequest::Set(oids::sys_name(), MibValue::Str("renamed".into())),
         );
         assert_eq!(ok, Ok(SnmpResponse::Done));
-        assert_eq!(get(&mut dev, &oids::sys_name()).unwrap().as_str(), Some("renamed"));
+        assert_eq!(
+            get(&mut dev, &oids::sys_name()).unwrap().as_str(),
+            Some("renamed")
+        );
 
         let err = serve(
             &mut dev,

@@ -26,10 +26,9 @@ proptest! {
             .map(|o| (o.clone(), MibValue::Int(1)))
             .collect();
         let mut seen = Vec::new();
-        let mut cursor = Oid::new(vec![0]);
-        // Start strictly below everything (no OID here begins with 0
-        // because... it could! Use the empty OID's successor instead).
-        cursor = Oid::default();
+        // Start strictly below everything: the empty OID precedes
+        // every real one.
+        let mut cursor = Oid::default();
         while let Some((next, _)) = mib.get_next(&cursor) {
             seen.push(next.clone());
             cursor = next.clone();

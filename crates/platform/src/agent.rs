@@ -1,4 +1,4 @@
-use agentgrid_acl::{AclMessage, AgentId};
+use agentgrid_acl::{AclMessage, AgentId, SharedMessage};
 
 use crate::DirectoryFacilitator;
 
@@ -24,7 +24,7 @@ pub struct AgentCtx<'a> {
     self_id: &'a AgentId,
     container: &'a str,
     now_ms: u64,
-    outbox: &'a mut Vec<AclMessage>,
+    outbox: &'a mut Vec<SharedMessage>,
     df: &'a mut DirectoryFacilitator,
 }
 
@@ -36,7 +36,7 @@ impl<'a> AgentCtx<'a> {
         self_id: &'a AgentId,
         container: &'a str,
         now_ms: u64,
-        outbox: &'a mut Vec<AclMessage>,
+        outbox: &'a mut Vec<SharedMessage>,
         df: &'a mut DirectoryFacilitator,
     ) -> Self {
         AgentCtx {
@@ -65,8 +65,12 @@ impl<'a> AgentCtx<'a> {
     }
 
     /// Queues a message for routing at the end of the current step.
-    pub fn send(&mut self, message: AclMessage) {
-        self.outbox.push(message);
+    ///
+    /// Accepts either a plain [`AclMessage`] or an already-shared
+    /// [`SharedMessage`]; forwarding a received message is a pointer
+    /// bump, never a deep clone.
+    pub fn send(&mut self, message: impl Into<SharedMessage>) {
+        self.outbox.push(message.into());
     }
 
     /// Read/write access to the directory facilitator.
@@ -88,7 +92,11 @@ pub trait Agent: Send {
     }
 
     /// Called for each message delivered to this agent.
-    fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+    ///
+    /// The message is borrowed: runtimes share one allocation across all
+    /// receivers of a multicast. Clone individual fields if the agent
+    /// needs to keep them past the callback.
+    fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
         let _ = (message, ctx);
     }
 

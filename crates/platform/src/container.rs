@@ -1,6 +1,6 @@
 use std::collections::{BTreeMap, VecDeque};
 
-use agentgrid_acl::{AclMessage, AgentId};
+use agentgrid_acl::{AgentId, SharedMessage};
 
 use crate::agent::{Agent, AgentState};
 use crate::DirectoryFacilitator;
@@ -8,7 +8,7 @@ use crate::DirectoryFacilitator;
 pub(crate) struct AgentSlot {
     pub(crate) agent: Box<dyn Agent>,
     pub(crate) state: AgentState,
-    pub(crate) mailbox: VecDeque<AclMessage>,
+    pub(crate) mailbox: VecDeque<SharedMessage>,
 }
 
 impl std::fmt::Debug for AgentSlot {
@@ -73,7 +73,7 @@ impl Container {
         &mut self,
         container_name: &str,
         now_ms: u64,
-        outbox: &mut Vec<AclMessage>,
+        outbox: &mut Vec<SharedMessage>,
         df: &mut DirectoryFacilitator,
     ) {
         for (id, slot) in self.agents.iter_mut() {
@@ -82,9 +82,8 @@ impl Container {
             }
             // Deliver the mailbox first, then tick.
             while let Some(message) = slot.mailbox.pop_front() {
-                let mut ctx =
-                    crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
-                slot.agent.on_message(message, &mut ctx);
+                let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
+                slot.agent.on_message(&message, &mut ctx);
             }
             let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
             slot.agent.on_tick(&mut ctx);

@@ -23,7 +23,9 @@
 //! order. Determinism makes grid behaviour reproducible in tests and
 //! benchmarks; the wall-clock performance dimension is measured
 //! separately on `agentgrid-des`. For a deployment-shaped runtime with
-//! one OS thread per container see [`threaded`].
+//! one OS thread per container see [`threaded`], and for driver code
+//! that should run on either execution model, the [`runtime::Runtime`]
+//! trait.
 //!
 //! # Examples
 //!
@@ -33,7 +35,7 @@
 //!
 //! struct Echo;
 //! impl Agent for Echo {
-//!     fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+//!     fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
 //!         ctx.send(msg.reply(Performative::Inform, Value::symbol("echoed")));
 //!     }
 //! }
@@ -48,7 +50,7 @@
 //!             .unwrap();
 //!         ctx.send(msg);
 //!     }
-//!     fn on_message(&mut self, _msg: AclMessage, _ctx: &mut AgentCtx<'_>) {
+//!     fn on_message(&mut self, _msg: &AclMessage, _ctx: &mut AgentCtx<'_>) {
 //!         self.heard = true;
 //!     }
 //! }
@@ -67,6 +69,7 @@ mod agent;
 mod container;
 mod df;
 mod platform;
+pub mod runtime;
 pub mod threaded;
 
 pub use agent::{Agent, AgentCtx, AgentState};
@@ -74,7 +77,8 @@ pub use agentgrid_acl::ontology::ResourceProfile;
 pub use container::Container;
 pub use df::{DirectoryFacilitator, ServiceEntry};
 pub use platform::{Platform, PlatformError, TransportFault};
+pub use runtime::{Runtime, ThreadedRuntime};
 
 // Re-exported so platform users need not depend on the acl crate
 // explicitly for the common types.
-pub use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
+pub use agentgrid_acl::{AclMessage, AgentId, Performative, SharedMessage, Value};

@@ -1,7 +1,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use agentgrid_acl::{AclMessage, AgentId};
+use agentgrid_acl::{AgentId, SharedMessage};
 
 use crate::agent::{Agent, AgentState};
 use crate::container::{AgentSlot, Container};
@@ -19,6 +19,8 @@ pub enum PlatformError {
     DuplicateAgent(AgentId),
     /// A container with that name already exists.
     DuplicateContainer(String),
+    /// The operation is not supported by this runtime.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for PlatformError {
@@ -29,6 +31,9 @@ impl fmt::Display for PlatformError {
             PlatformError::DuplicateAgent(id) => write!(f, "agent `{id}` already exists"),
             PlatformError::DuplicateContainer(name) => {
                 write!(f, "container `{name}` already exists")
+            }
+            PlatformError::Unsupported(what) => {
+                write!(f, "operation not supported by this runtime: {what}")
             }
         }
     }
@@ -61,8 +66,8 @@ pub struct Platform {
     name: String,
     containers: BTreeMap<String, Container>,
     df: DirectoryFacilitator,
-    in_flight: Vec<AclMessage>,
-    dead_letters: Vec<AclMessage>,
+    in_flight: Vec<SharedMessage>,
+    dead_letters: Vec<SharedMessage>,
     fault: TransportFault,
     now_ms: u64,
     delivered: u64,
@@ -198,7 +203,9 @@ impl Platform {
     }
 
     /// Messages that could not be delivered (unknown/dead receivers).
-    pub fn dead_letters(&self) -> &[AclMessage] {
+    /// A multicast with several unreachable receivers appears once per
+    /// unreachable receiver, all entries sharing one allocation.
+    pub fn dead_letters(&self) -> &[SharedMessage] {
         &self.dead_letters
     }
 
@@ -208,9 +215,11 @@ impl Platform {
     }
 
     /// Sends a message from outside any agent (e.g. the user interface
-    /// pushing feedback in). Routed on the next step.
-    pub fn post(&mut self, message: AclMessage) {
-        self.in_flight.push(message);
+    /// pushing feedback in). Routed on the next step. Accepts a plain
+    /// [`AclMessage`](agentgrid_acl::AclMessage) or a
+    /// [`SharedMessage`].
+    pub fn post(&mut self, message: impl Into<SharedMessage>) {
+        self.in_flight.push(message.into());
     }
 
     /// Suspends an agent (mailbox accumulates, no scheduling).
@@ -313,12 +322,14 @@ impl Platform {
         }
     }
 
-    fn route(&mut self, message: AclMessage) {
+    fn route(&mut self, message: SharedMessage) {
         if let TransportFault::DropFrom(from) = &self.fault {
             if message.sender() == from {
                 return;
             }
         }
+        // Fan-out is N `Arc::clone`s of one shared allocation; the
+        // message content is never deep-cloned per receiver.
         for receiver in message.receivers().to_vec() {
             if let TransportFault::DropTo(to) = &self.fault {
                 if &receiver == to {
@@ -331,10 +342,10 @@ impl Platform {
                 .find_map(|c| c.agents.get_mut(&receiver));
             match slot {
                 Some(slot) if slot.state != AgentState::Dead => {
-                    slot.mailbox.push_back(message.clone());
+                    slot.mailbox.push_back(SharedMessage::clone(&message));
                     self.delivered += 1;
                 }
-                _ => self.dead_letters.push(message.clone()),
+                _ => self.dead_letters.push(SharedMessage::clone(&message)),
             }
         }
     }
@@ -344,7 +355,7 @@ impl Platform {
 mod tests {
     use super::*;
     use crate::AgentCtx;
-    use agentgrid_acl::{Performative, Value};
+    use agentgrid_acl::{AclMessage, Performative, Value};
 
     /// Counts messages; replies to `ping` with `pong`.
     struct Ponger {
@@ -352,7 +363,7 @@ mod tests {
     }
 
     impl Agent for Ponger {
-        fn on_message(&mut self, message: AclMessage, ctx: &mut AgentCtx<'_>) {
+        fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
             self.received += 1;
             if message.content() == &Value::symbol("ping") {
                 ctx.send(message.reply(Performative::Inform, Value::symbol("pong")));
@@ -379,7 +390,7 @@ mod tests {
                 ctx.send(msg);
             }
         }
-        fn on_message(&mut self, _message: AclMessage, _ctx: &mut AgentCtx<'_>) {
+        fn on_message(&mut self, _message: &AclMessage, _ctx: &mut AgentCtx<'_>) {
             self.pongs += 1;
         }
     }
@@ -512,7 +523,10 @@ mod tests {
         p.set_fault(TransportFault::DropTo(ponger.clone()));
         p.run_until_idle(0);
         assert_eq!(p.delivered_count(), 0);
-        assert!(p.dead_letters().is_empty(), "drops are silent, not dead-lettered");
+        assert!(
+            p.dead_letters().is_empty(),
+            "drops are silent, not dead-lettered"
+        );
         p.set_fault(TransportFault::None);
     }
 
@@ -541,6 +555,25 @@ mod tests {
         .unwrap();
         p.step(0);
         assert_eq!(p.dead_letters().len(), 2);
+    }
+
+    #[test]
+    fn fan_out_shares_one_allocation() {
+        let mut p = Platform::new("t");
+        p.add_container("c");
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("outside"))
+            .receiver(AgentId::new("ghost1@t"))
+            .receiver(AgentId::new("ghost2@t"))
+            .build()
+            .unwrap();
+        p.post(msg);
+        p.step(0);
+        // Both dead-letter entries point at the same allocation: routing
+        // multicasts by bumping the refcount, not by deep-cloning.
+        let letters = p.dead_letters();
+        assert_eq!(letters.len(), 2);
+        assert!(std::sync::Arc::ptr_eq(&letters[0], &letters[1]));
     }
 
     #[test]

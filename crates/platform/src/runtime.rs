@@ -1,0 +1,427 @@
+//! The [`Runtime`] abstraction: one wiring, two execution models.
+//!
+//! Everything above the platform layer (the management grids, baselines,
+//! benchmarks) builds scenarios out of the same four verbs — create
+//! containers, spawn agents, register directory entries, post messages —
+//! and then drives the system to quiescence at successive simulated
+//! times. [`Runtime`] captures exactly that surface, so scenario code
+//! written once runs on either execution model:
+//!
+//! * [`Platform`] — the deterministic single-threaded stepper; name-order
+//!   iteration makes runs exactly reproducible.
+//! * [`ThreadedRuntime`] — one OS thread per container over
+//!   [`ThreadedPlatform`]; deployment-shaped, nondeterministic
+//!   cross-container ordering, per-channel FIFO preserved.
+//!
+//! Agent code ([`Agent`] impls) is identical on both; only the driver
+//! changes. Delivery guarantees shared by both runtimes:
+//!
+//! * every reachable receiver of a multicast gets the message **exactly
+//!   once**, and all receivers observe the **same shared allocation**
+//!   ([`SharedMessage`]) — fan-out never deep-clones content;
+//! * each unreachable receiver produces exactly one dead letter;
+//! * messages between one (sender, receiver) pair stay in order.
+//!
+//! # Examples
+//!
+//! ```
+//! use agentgrid_platform::runtime::{Runtime, ThreadedRuntime};
+//! use agentgrid_platform::{Agent, Platform};
+//!
+//! struct Noop;
+//! impl Agent for Noop {}
+//!
+//! fn build<R: Runtime>() -> R {
+//!     let mut rt = R::create("grid");
+//!     rt.add_container("c1");
+//!     rt.spawn_agent("c1", "a", Noop).unwrap();
+//!     rt
+//! }
+//!
+//! let mut deterministic: Platform = build();
+//! deterministic.run_until_idle(0);
+//! let mut threaded: ThreadedRuntime = build();
+//! Runtime::run_until_idle(&mut threaded, 0);
+//! ```
+
+use agentgrid_acl::{AgentId, SharedMessage};
+
+use crate::agent::Agent;
+use crate::threaded::{RunStats, RunningPlatform, ThreadedPlatform};
+use crate::{DirectoryFacilitator, Platform, PlatformError};
+
+/// Common driver surface of the deterministic and threaded runtimes.
+///
+/// See the [module docs](self) for the contract. The trait is not object
+/// safe (it has constructor and generic methods); use it as a static
+/// bound: `fn scenario<R: Runtime>(rt: &mut R)`.
+pub trait Runtime {
+    /// Creates an empty runtime; `name` becomes the `@platform` suffix
+    /// of spawned agent ids.
+    fn create(name: &str) -> Self
+    where
+        Self: Sized;
+
+    /// Adds an empty container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container already exists, or (threaded) if the
+    /// runtime has already started executing.
+    fn add_container(&mut self, name: &str);
+
+    /// Spawns an agent into a container under `local_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for unknown containers, duplicate agent
+    /// names, or (threaded) spawning after execution has started.
+    fn spawn_agent(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError>
+    where
+        Self: Sized;
+
+    /// Runs `f` with exclusive access to the directory facilitator.
+    fn with_df<T>(&mut self, f: impl FnOnce(&mut DirectoryFacilitator) -> T) -> T
+    where
+        Self: Sized;
+
+    /// Sends a message from outside any agent.
+    fn post(&mut self, message: impl Into<SharedMessage>)
+    where
+        Self: Sized;
+
+    /// Advances the clock to `now_ms` and drives the runtime until no
+    /// message is queued or being processed. Returns how many
+    /// delivery/tick rounds it took.
+    fn run_until_idle(&mut self, now_ms: u64) -> usize;
+
+    /// Total messages delivered to agents so far.
+    fn delivered_count(&self) -> u64;
+
+    /// Messages that could not be delivered so far (one per unreachable
+    /// receiver).
+    fn dead_letter_count(&self) -> usize;
+
+    /// Number of containers.
+    fn container_count(&self) -> usize;
+
+    /// Removes a container abruptly ("crash"), if the runtime supports
+    /// it. Returns the killed agents' ids.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NoSuchContainer`] if absent, or
+    /// [`PlatformError::Unsupported`] on runtimes whose containers own
+    /// OS resources that cannot be revoked mid-run
+    /// ([`ThreadedRuntime`]).
+    fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError>;
+}
+
+impl Runtime for Platform {
+    fn create(name: &str) -> Self {
+        Platform::new(name)
+    }
+
+    fn add_container(&mut self, name: &str) {
+        Platform::add_container(self, name);
+    }
+
+    fn spawn_agent(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError> {
+        self.spawn(container, local_name, agent)
+    }
+
+    fn with_df<T>(&mut self, f: impl FnOnce(&mut DirectoryFacilitator) -> T) -> T {
+        f(self.df_mut())
+    }
+
+    fn post(&mut self, message: impl Into<SharedMessage>) {
+        Platform::post(self, message);
+    }
+
+    fn run_until_idle(&mut self, now_ms: u64) -> usize {
+        Platform::run_until_idle(self, now_ms)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        Platform::delivered_count(self)
+    }
+
+    fn dead_letter_count(&self) -> usize {
+        self.dead_letters().len()
+    }
+
+    fn container_count(&self) -> usize {
+        self.container_names().count()
+    }
+
+    fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        Platform::kill_container(self, name)
+    }
+}
+
+enum ThreadedState {
+    /// Containers and agents are still being registered.
+    Building(ThreadedPlatform),
+    /// Threads are running.
+    Running(RunningPlatform),
+    /// Transient marker while ownership moves from building to running;
+    /// observable only if `start` panicked.
+    Poisoned,
+}
+
+/// [`Runtime`] adapter over the threaded platform.
+///
+/// Wraps the build-then-start lifecycle of [`ThreadedPlatform`] /
+/// [`RunningPlatform`] behind the uniform [`Runtime`] surface: threads
+/// start lazily on the first [`post`](Runtime::post) or
+/// [`run_until_idle`](Runtime::run_until_idle), so all wiring
+/// (containers, spawns, directory registration) happens before
+/// execution, exactly like on the deterministic [`Platform`].
+///
+/// Once running, structural changes ([`add_container`](Runtime::add_container),
+/// [`spawn_agent`](Runtime::spawn_agent), [`kill_container`](Runtime::kill_container))
+/// are rejected with [`PlatformError::Unsupported`] (or panic where the
+/// deterministic runtime would too).
+pub struct ThreadedRuntime {
+    state: ThreadedState,
+}
+
+impl std::fmt::Debug for ThreadedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match &self.state {
+            ThreadedState::Building(_) => "building",
+            ThreadedState::Running(_) => "running",
+            ThreadedState::Poisoned => "poisoned",
+        };
+        f.debug_struct("ThreadedRuntime")
+            .field("phase", &phase)
+            .finish()
+    }
+}
+
+impl ThreadedRuntime {
+    /// Creates a runtime in the building phase.
+    pub fn new(name: impl Into<String>) -> Self {
+        ThreadedRuntime {
+            state: ThreadedState::Building(ThreadedPlatform::new(name)),
+        }
+    }
+
+    /// Starts the threads if still building, and returns the running
+    /// handle.
+    fn running(&mut self) -> &mut RunningPlatform {
+        if let ThreadedState::Building(_) = self.state {
+            let state = std::mem::replace(&mut self.state, ThreadedState::Poisoned);
+            let ThreadedState::Building(platform) = state else {
+                unreachable!("checked above");
+            };
+            self.state = ThreadedState::Running(platform.start());
+        }
+        match &mut self.state {
+            ThreadedState::Running(handle) => handle,
+            _ => panic!("threaded runtime poisoned by an earlier start failure"),
+        }
+    }
+
+    /// Stops all threads and returns the run statistics; `None` if the
+    /// runtime never started executing.
+    pub fn shutdown(self) -> Option<RunStats> {
+        match self.state {
+            ThreadedState::Running(handle) => Some(handle.shutdown()),
+            _ => None,
+        }
+    }
+}
+
+impl Runtime for ThreadedRuntime {
+    fn create(name: &str) -> Self {
+        ThreadedRuntime::new(name)
+    }
+
+    fn add_container(&mut self, name: &str) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => {
+                platform.add_container(name);
+            }
+            _ => panic!("cannot add container `{name}` after the threaded runtime started"),
+        }
+    }
+
+    fn spawn_agent(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError> {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.spawn(container, local_name, agent),
+            _ => Err(PlatformError::Unsupported(
+                "spawning after the threaded runtime started",
+            )),
+        }
+    }
+
+    fn with_df<T>(&mut self, f: impl FnOnce(&mut DirectoryFacilitator) -> T) -> T {
+        match &mut self.state {
+            ThreadedState::Building(platform) => f(platform.df_mut()),
+            ThreadedState::Running(handle) => handle.with_df(f),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
+    }
+
+    fn post(&mut self, message: impl Into<SharedMessage>) {
+        self.running().post(message);
+    }
+
+    fn run_until_idle(&mut self, now_ms: u64) -> usize {
+        let handle = self.running();
+        handle.advance_clock(now_ms);
+        // Tick rounds replace the deterministic stepper's implicit
+        // "every step ticks": keep ticking until a whole round moves no
+        // messages, so multi-hop exchanges triggered by a tick (poll →
+        // classify → analyze → alert) complete within this call.
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let before = handle.delivered();
+            handle.broadcast_tick();
+            handle.wait_idle();
+            if handle.delivered() == before || rounds >= 100 {
+                return rounds;
+            }
+        }
+    }
+
+    fn delivered_count(&self) -> u64 {
+        match &self.state {
+            ThreadedState::Running(handle) => handle.delivered(),
+            _ => 0,
+        }
+    }
+
+    fn dead_letter_count(&self) -> usize {
+        match &self.state {
+            ThreadedState::Running(handle) => handle.dead_letter_count(),
+            _ => 0,
+        }
+    }
+
+    fn container_count(&self) -> usize {
+        match &self.state {
+            ThreadedState::Building(platform) => platform.container_count(),
+            ThreadedState::Running(handle) => handle.container_count(),
+            ThreadedState::Poisoned => 0,
+        }
+    }
+
+    fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        let _ = name;
+        Err(PlatformError::Unsupported(
+            "killing containers on the threaded runtime",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgentCtx;
+    use agentgrid_acl::{AclMessage, Performative, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Counter {
+        hits: Arc<AtomicUsize>,
+    }
+
+    impl Agent for Counter {
+        fn on_message(&mut self, _msg: &AclMessage, _ctx: &mut AgentCtx<'_>) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn ping(to: AgentId) -> AclMessage {
+        AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("driver"))
+            .receiver(to)
+            .content(Value::symbol("ping"))
+            .build()
+            .unwrap()
+    }
+
+    /// The same generic scenario body, run against both runtimes.
+    fn scenario<R: Runtime>(hits: &Arc<AtomicUsize>) -> R {
+        let mut rt = R::create("x");
+        rt.add_container("c1");
+        rt.spawn_agent(
+            "c1",
+            "counter",
+            Counter {
+                hits: Arc::clone(hits),
+            },
+        )
+        .unwrap();
+        rt.with_df(|df| {
+            df.register_service(AgentId::with_platform("counter", "x"), "count", ["n"])
+        });
+        rt.post(ping(AgentId::with_platform("counter", "x")));
+        rt.run_until_idle(0);
+        rt
+    }
+
+    #[test]
+    fn one_scenario_runs_on_both_runtimes() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let deterministic: Platform = scenario(&hits);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(Runtime::delivered_count(&deterministic), 1);
+
+        let threaded: ThreadedRuntime = scenario(&hits);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(threaded.delivered_count(), 1);
+        let stats = threaded.shutdown().expect("started");
+        assert_eq!(stats.delivered, 1);
+        assert!(stats.dead_letters.is_empty());
+    }
+
+    #[test]
+    fn threaded_runtime_rejects_structural_changes_after_start() {
+        let mut rt = ThreadedRuntime::new("x");
+        rt.add_container("c1");
+        rt.post(ping(AgentId::new("ghost@x"))); // starts the threads
+        assert!(matches!(
+            rt.spawn_agent(
+                "c1",
+                "late",
+                Counter {
+                    hits: Arc::new(AtomicUsize::new(0))
+                }
+            ),
+            Err(PlatformError::Unsupported(_))
+        ));
+        assert!(matches!(
+            rt.kill_container("c1"),
+            Err(PlatformError::Unsupported(_))
+        ));
+        Runtime::run_until_idle(&mut rt, 0);
+        assert_eq!(rt.dead_letter_count(), 1);
+    }
+
+    #[test]
+    fn shutdown_before_start_is_none() {
+        let rt = ThreadedRuntime::new("x");
+        assert!(rt.shutdown().is_none());
+    }
+}

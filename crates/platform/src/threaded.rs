@@ -20,7 +20,7 @@
 //!
 //! struct Echo;
 //! impl Agent for Echo {
-//!     fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+//!     fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
 //!         ctx.send(msg.reply(Performative::Inform, Value::symbol("pong")));
 //!     }
 //! }
@@ -48,7 +48,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use agentgrid_acl::{AclMessage, AgentId};
+use agentgrid_acl::{AgentId, SharedMessage};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -58,10 +58,16 @@ use crate::{DirectoryFacilitator, PlatformError};
 /// The agents registered to one container before the threads start.
 type AgentRoster = Vec<(AgentId, Box<dyn Agent>)>;
 
-// `Deliver` dwarfs `Stop`, but `Stop` is sent exactly once per thread.
-#[allow(clippy::large_enum_variant)]
 enum ContainerMsg {
-    Deliver(AclMessage),
+    /// Deliver one shared message to exactly these resident agents.
+    ///
+    /// The router names the receivers explicitly so a multicast with
+    /// several receivers in one container is sent (and processed) once,
+    /// and the container never guesses from `message.receivers()` which
+    /// copies are its own.
+    Deliver(SharedMessage, Vec<AgentId>),
+    /// Run one `on_tick` round (stepped driving, e.g. simulation loops).
+    Tick,
     Stop,
 }
 
@@ -74,8 +80,8 @@ struct SharedState {
     delivered: AtomicU64,
     /// Simulated clock read by agents through `AgentCtx::now_ms`.
     clock_ms: AtomicU64,
-    /// Undeliverable messages.
-    dead_letters: Mutex<Vec<AclMessage>>,
+    /// Undeliverable messages, one entry per unreachable receiver.
+    dead_letters: Mutex<Vec<SharedMessage>>,
 }
 
 /// Final statistics returned by [`RunningPlatform::shutdown`].
@@ -83,8 +89,9 @@ struct SharedState {
 pub struct RunStats {
     /// Messages delivered to agents.
     pub delivered: u64,
-    /// Messages whose receiver did not exist.
-    pub dead_letters: Vec<AclMessage>,
+    /// Messages whose receiver did not exist, one entry per unreachable
+    /// receiver (entries of one multicast share an allocation).
+    pub dead_letters: Vec<SharedMessage>,
 }
 
 /// A threaded platform under construction (agents are spawned before the
@@ -92,6 +99,7 @@ pub struct RunStats {
 pub struct ThreadedPlatform {
     name: String,
     containers: BTreeMap<String, AgentRoster>,
+    df: DirectoryFacilitator,
 }
 
 impl std::fmt::Debug for ThreadedPlatform {
@@ -109,7 +117,24 @@ impl ThreadedPlatform {
         ThreadedPlatform {
             name: name.into(),
             containers: BTreeMap::new(),
+            df: DirectoryFacilitator::new(),
         }
+    }
+
+    /// Read access to the directory before the threads start.
+    pub fn df(&self) -> &DirectoryFacilitator {
+        &self.df
+    }
+
+    /// Number of containers registered so far.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Pre-start directory registration (scenario setup); the directory
+    /// moves behind the shared lock when [`start`](Self::start) runs.
+    pub fn df_mut(&mut self) -> &mut DirectoryFacilitator {
+        &mut self.df
     }
 
     /// Adds a container.
@@ -159,7 +184,7 @@ impl ThreadedPlatform {
     /// agent's `setup`, and returns the running handle.
     pub fn start(self) -> RunningPlatform {
         let shared = Arc::new(SharedState {
-            df: Mutex::new(DirectoryFacilitator::new()),
+            df: Mutex::new(self.df),
             in_flight: AtomicI64::new(0),
             delivered: AtomicU64::new(0),
             clock_ms: AtomicU64::new(0),
@@ -167,7 +192,7 @@ impl ThreadedPlatform {
         });
 
         // Router: one inbox; knows which container channel owns each id.
-        let (router_tx, router_rx) = unbounded::<AclMessage>();
+        let (router_tx, router_rx) = unbounded::<SharedMessage>();
         let mut container_txs: BTreeMap<String, Sender<ContainerMsg>> = BTreeMap::new();
         let mut residents: BTreeMap<AgentId, String> = BTreeMap::new();
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
@@ -194,15 +219,29 @@ impl ThreadedPlatform {
         let router = std::thread::spawn(move || {
             // Exits when every sender (containers + the handle) is gone.
             while let Ok(message) = router_rx.recv() {
+                // Group receivers by owning container so each container
+                // gets exactly one Deliver per message, with the precise
+                // list of its residents to hand the message to. Fan-out
+                // is refcount bumps; the message is never deep-cloned.
+                let mut per_container: BTreeMap<&str, Vec<AgentId>> = BTreeMap::new();
                 for receiver in message.receivers() {
                     match residents.get(receiver) {
-                        Some(container) => {
-                            router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                            let _ = router_containers[container]
-                                .send(ContainerMsg::Deliver(message.clone()));
-                        }
-                        None => router_shared.dead_letters.lock().push(message.clone()),
+                        Some(container) => per_container
+                            .entry(container.as_str())
+                            .or_default()
+                            .push(receiver.clone()),
+                        None => router_shared
+                            .dead_letters
+                            .lock()
+                            .push(SharedMessage::clone(&message)),
                     }
+                }
+                for (container, targets) in per_container {
+                    router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let _ = router_containers[container].send(ContainerMsg::Deliver(
+                        SharedMessage::clone(&message),
+                        targets,
+                    ));
                 }
                 // The router finished handling this inbox entry.
                 router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -223,7 +262,7 @@ fn spawn_container_thread(
     container_name: String,
     mut agents: AgentRoster,
     rx: Receiver<ContainerMsg>,
-    router_tx: Sender<AclMessage>,
+    router_tx: Sender<SharedMessage>,
     shared: Arc<SharedState>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
@@ -239,32 +278,30 @@ fn spawn_container_thread(
 
         loop {
             match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(ContainerMsg::Deliver(message)) => {
+                Ok(ContainerMsg::Deliver(message, targets)) => {
                     let now = shared.clock_ms.load(Ordering::SeqCst);
-                    for receiver in message.receivers().to_vec() {
-                        if let Some((id, agent)) =
-                            agents.iter_mut().find(|(id, _)| *id == receiver)
+                    for receiver in &targets {
+                        if let Some((id, agent)) = agents.iter_mut().find(|(id, _)| id == receiver)
                         {
                             let mut df = shared.df.lock();
                             let mut ctx =
                                 AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
-                            agent.on_message(message.clone(), &mut ctx);
+                            agent.on_message(&message, &mut ctx);
                             shared.delivered.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                     flush(&mut outbox, &router_tx, &shared);
                     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
+                Ok(ContainerMsg::Tick) => {
+                    tick_all(&mut agents, &container_name, &mut outbox, &shared);
+                    flush(&mut outbox, &router_tx, &shared);
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
                 Ok(ContainerMsg::Stop) => break,
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     // Idle: give agents their tick.
-                    let now = shared.clock_ms.load(Ordering::SeqCst);
-                    for (id, agent) in agents.iter_mut() {
-                        let mut df = shared.df.lock();
-                        let mut ctx =
-                            AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
-                        agent.on_tick(&mut ctx);
-                    }
+                    tick_all(&mut agents, &container_name, &mut outbox, &shared);
                     flush(&mut outbox, &router_tx, &shared);
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -273,7 +310,21 @@ fn spawn_container_thread(
     })
 }
 
-fn flush(outbox: &mut Vec<AclMessage>, router_tx: &Sender<AclMessage>, shared: &SharedState) {
+fn tick_all(
+    agents: &mut AgentRoster,
+    container_name: &str,
+    outbox: &mut Vec<SharedMessage>,
+    shared: &SharedState,
+) {
+    let now = shared.clock_ms.load(Ordering::SeqCst);
+    for (id, agent) in agents.iter_mut() {
+        let mut df = shared.df.lock();
+        let mut ctx = AgentCtx::new(id, container_name, now, outbox, &mut df);
+        agent.on_tick(&mut ctx);
+    }
+}
+
+fn flush(outbox: &mut Vec<SharedMessage>, router_tx: &Sender<SharedMessage>, shared: &SharedState) {
     for message in outbox.drain(..) {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let _ = router_tx.send(message);
@@ -283,7 +334,7 @@ fn flush(outbox: &mut Vec<AclMessage>, router_tx: &Sender<AclMessage>, shared: &
 /// Handle to a started [`ThreadedPlatform`].
 pub struct RunningPlatform {
     shared: Arc<SharedState>,
-    router_tx: Sender<AclMessage>,
+    router_tx: Sender<SharedMessage>,
     container_txs: BTreeMap<String, Sender<ContainerMsg>>,
     threads: Vec<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
@@ -299,10 +350,22 @@ impl std::fmt::Debug for RunningPlatform {
 }
 
 impl RunningPlatform {
-    /// Sends a message into the platform from outside.
-    pub fn post(&mut self, message: AclMessage) {
+    /// Sends a message into the platform from outside. Accepts a plain
+    /// [`AclMessage`](agentgrid_acl::AclMessage) or a [`SharedMessage`].
+    pub fn post(&mut self, message: impl Into<SharedMessage>) {
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let _ = self.router_tx.send(message);
+        let _ = self.router_tx.send(message.into());
+    }
+
+    /// Queues one `on_tick` round in every container (stepped driving —
+    /// simulation loops advance the clock, tick, then
+    /// [`wait_idle`](Self::wait_idle)). Containers also tick on their
+    /// own whenever their inbox stays empty for ~20 ms.
+    pub fn broadcast_tick(&self) {
+        for tx in self.container_txs.values() {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(ContainerMsg::Tick);
+        }
     }
 
     /// Advances the shared simulated clock (agents read it on their next
@@ -333,6 +396,17 @@ impl RunningPlatform {
         self.shared.delivered.load(Ordering::SeqCst)
     }
 
+    /// Undeliverable messages captured so far (one entry per unreachable
+    /// receiver).
+    pub fn dead_letter_count(&self) -> usize {
+        self.shared.dead_letters.lock().len()
+    }
+
+    /// Number of containers (threads) running.
+    pub fn container_count(&self) -> usize {
+        self.container_txs.len()
+    }
+
     /// Stops every thread and returns the run statistics.
     pub fn shutdown(mut self) -> RunStats {
         for tx in self.container_txs.values() {
@@ -357,7 +431,7 @@ impl RunningPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use agentgrid_acl::{Performative, Value};
+    use agentgrid_acl::{AclMessage, Performative, Value};
     use std::sync::atomic::AtomicUsize;
 
     /// Replies `pong` to every message and counts deliveries globally.
@@ -366,7 +440,7 @@ mod tests {
     }
 
     impl Agent for Ponger {
-        fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+        fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
             self.hits.fetch_add(1, Ordering::SeqCst);
             ctx.send(msg.reply(Performative::Inform, Value::symbol("pong")));
         }
@@ -379,7 +453,7 @@ mod tests {
     }
 
     impl Agent for Forwarder {
-        fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+        fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
             if msg.performative() != Performative::Request {
                 return;
             }
@@ -408,10 +482,22 @@ mod tests {
         let mut platform = ThreadedPlatform::new("rt");
         platform.add_container("a").add_container("b");
         let ponger = platform
-            .spawn("b", "ponger", Ponger { hits: Arc::clone(&hits) })
+            .spawn(
+                "b",
+                "ponger",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
             .unwrap();
         platform
-            .spawn("a", "fwd", Forwarder { target: ponger.clone() })
+            .spawn(
+                "a",
+                "fwd",
+                Forwarder {
+                    target: ponger.clone(),
+                },
+            )
             .unwrap();
         let mut handle = platform.start();
         for _ in 0..10 {
@@ -446,7 +532,7 @@ mod tests {
             seen: Arc<AtomicUsize>,
         }
         impl Agent for ClockReader {
-            fn on_message(&mut self, _msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+            fn on_message(&mut self, _msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
                 self.seen.store(ctx.now_ms() as usize, Ordering::SeqCst);
             }
         }
@@ -454,7 +540,13 @@ mod tests {
         let mut platform = ThreadedPlatform::new("rt");
         platform.add_container("a");
         let id = platform
-            .spawn("a", "reader", ClockReader { seen: Arc::clone(&seen) })
+            .spawn(
+                "a",
+                "reader",
+                ClockReader {
+                    seen: Arc::clone(&seen),
+                },
+            )
             .unwrap();
         let mut handle = platform.start();
         handle.advance_clock(12_345);
@@ -487,13 +579,33 @@ mod tests {
     fn duplicate_and_missing_errors_before_start() {
         let mut platform = ThreadedPlatform::new("rt");
         platform.add_container("a");
-        platform.spawn("a", "x", Ponger { hits: Arc::new(AtomicUsize::new(0)) }).unwrap();
+        platform
+            .spawn(
+                "a",
+                "x",
+                Ponger {
+                    hits: Arc::new(AtomicUsize::new(0)),
+                },
+            )
+            .unwrap();
         assert!(matches!(
-            platform.spawn("a", "x", Ponger { hits: Arc::new(AtomicUsize::new(0)) }),
+            platform.spawn(
+                "a",
+                "x",
+                Ponger {
+                    hits: Arc::new(AtomicUsize::new(0))
+                }
+            ),
             Err(PlatformError::DuplicateAgent(_))
         ));
         assert!(matches!(
-            platform.spawn("nope", "y", Ponger { hits: Arc::new(AtomicUsize::new(0)) }),
+            platform.spawn(
+                "nope",
+                "y",
+                Ponger {
+                    hits: Arc::new(AtomicUsize::new(0))
+                }
+            ),
             Err(PlatformError::NoSuchContainer(_))
         ));
     }

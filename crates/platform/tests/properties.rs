@@ -14,7 +14,7 @@ struct Relay {
     peer: AgentId,
 }
 impl Agent for Relay {
-    fn on_message(&mut self, msg: AclMessage, ctx: &mut AgentCtx<'_>) {
+    fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
         if msg.performative() == Performative::Request {
             let fwd = AclMessage::builder(Performative::Inform)
                 .sender(ctx.self_id().clone())

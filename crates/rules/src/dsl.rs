@@ -43,9 +43,7 @@
 
 use std::fmt;
 
-use crate::{
-    Effect, FieldPattern, Guard, GuardOp, Operand, Pattern, Rule, RuleSeverity, Term,
-};
+use crate::{Effect, FieldPattern, Guard, GuardOp, Operand, Pattern, Rule, RuleSeverity, Term};
 
 /// Error produced when rule text cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +61,11 @@ impl ParseRuleError {
 
 impl fmt::Display for ParseRuleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rule parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "rule parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -138,9 +140,7 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseRuleError> {
                             Some('"') => s.push('"'),
                             Some('\\') => s.push('\\'),
                             Some('n') => s.push('\n'),
-                            other => {
-                                return Err(err(line, format!("bad escape `\\{other:?}`")))
-                            }
+                            other => return Err(err(line, format!("bad escape `\\{other:?}`"))),
                         },
                         '\n' => return Err(err(line, "newline inside string")),
                         n => s.push(n),
@@ -309,7 +309,12 @@ fn parse_rule(s: &mut TokenStream) -> Result<Rule, ParseRuleError> {
         let line = s.line();
         match s.next() {
             Some(Token::Num(x)) => rule = rule.salience(x as i32),
-            other => return Err(err(line, format!("expected salience number, found {other:?}"))),
+            other => {
+                return Err(err(
+                    line,
+                    format!("expected salience number, found {other:?}"),
+                ))
+            }
         }
     }
     s.expect_punct('{')?;
@@ -375,9 +380,7 @@ fn parse_pattern(s: &mut TokenStream) -> Result<Pattern, ParseRuleError> {
             Some(Token::Num(x)) => FieldPattern::Const(Term::Num(x)),
             Some(Token::Str(text)) => FieldPattern::Const(Term::Str(text)),
             Some(Token::Ident(word)) if word == "true" => FieldPattern::Const(Term::Bool(true)),
-            Some(Token::Ident(word)) if word == "false" => {
-                FieldPattern::Const(Term::Bool(false))
-            }
+            Some(Token::Ident(word)) if word == "false" => FieldPattern::Const(Term::Bool(false)),
             other => {
                 return Err(err(
                     line,
@@ -419,12 +422,7 @@ fn parse_effect(s: &mut TokenStream) -> Result<Effect, ParseRuleError> {
                     "info" => RuleSeverity::Info,
                     "warning" => RuleSeverity::Warning,
                     "critical" => RuleSeverity::Critical,
-                    other => {
-                        return Err(err(
-                            severity_line,
-                            format!("unknown severity `{other}`"),
-                        ))
-                    }
+                    other => return Err(err(severity_line, format!("unknown severity `{other}`"))),
                 },
                 other => {
                     return Err(err(
@@ -457,10 +455,7 @@ fn parse_effect(s: &mut TokenStream) -> Result<Effect, ParseRuleError> {
                         Some(Token::Punct(',')) => continue,
                         Some(Token::Punct(')')) => break,
                         other => {
-                            return Err(err(
-                                line,
-                                format!("expected `,` or `)`, found {other:?}"),
-                            ))
+                            return Err(err(line, format!("expected `,` or `)`, found {other:?}")))
                         }
                     }
                 }
@@ -564,8 +559,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_severity() {
-        let e =
-            parse_rules(r#"rule "x" { then emit disaster ?d "m" }"#).unwrap_err();
+        let e = parse_rules(r#"rule "x" { then emit disaster ?d "m" }"#).unwrap_err();
         assert!(e.to_string().contains("disaster"));
     }
 

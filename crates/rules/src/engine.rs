@@ -179,7 +179,11 @@ impl Engine {
                         (candidate.salience, candidate.recency, {
                             // Lower rule index wins the final tie, so invert.
                             usize::MAX - candidate.rule_index
-                        }) > (current.salience, current.recency, usize::MAX - current.rule_index)
+                        }) > (
+                            current.salience,
+                            current.recency,
+                            usize::MAX - current.rule_index,
+                        )
                     }
                 };
                 if better {
@@ -299,10 +303,8 @@ mod tests {
 
     #[test]
     fn salience_orders_firing() {
-        let kb = KnowledgeBase::from_rules([
-            emit_rule("low", 1, "obs"),
-            emit_rule("high", 10, "obs"),
-        ]);
+        let kb =
+            KnowledgeBase::from_rules([emit_rule("low", 1, "obs"), emit_rule("high", 10, "obs")]);
         let mut engine = Engine::new(kb);
         engine.insert(Fact::new("obs").with("device", "a"));
         let out = engine.run();

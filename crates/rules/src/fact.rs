@@ -105,9 +105,7 @@ impl From<bool> for Term {
 ///
 /// Ids are assigned in insertion order, which the engine uses as recency
 /// for conflict resolution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FactId(pub(crate) u64);
 
 impl FactId {

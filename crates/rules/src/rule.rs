@@ -136,8 +136,7 @@ impl Guard {
 
     /// Evaluates the guard under `bindings`.
     pub fn eval(&self, bindings: &Bindings) -> bool {
-        let (Some(l), Some(r)) = (self.left.resolve(bindings), self.right.resolve(bindings))
-        else {
+        let (Some(l), Some(r)) = (self.left.resolve(bindings), self.right.resolve(bindings)) else {
             return false;
         };
         match self.op {

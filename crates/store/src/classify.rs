@@ -51,7 +51,8 @@ impl Classifier {
     pub fn add_rule(&mut self, prefix: impl Into<String>, partition: impl Into<String>) {
         self.rules.push((prefix.into(), partition.into()));
         // Longest-prefix-first so more specific rules shadow general ones.
-        self.rules.sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
+        self.rules
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// The partition a metric belongs to.

@@ -265,7 +265,10 @@ mod tests {
         let mut store = ReplicatedStore::new(2);
         store.insert(record(0)).unwrap();
         store.insert(record(60_000)).unwrap();
-        let stats = store.stats("d", "cpu.load.1", 0, u64::MAX).unwrap().unwrap();
+        let stats = store
+            .stats("d", "cpu.load.1", 0, u64::MAX)
+            .unwrap()
+            .unwrap();
         assert_eq!(stats.count, 2);
     }
 }

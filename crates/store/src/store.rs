@@ -83,7 +83,10 @@ impl ManagementStore {
             .entry(record.device.clone())
             .or_default()
             .insert(record.metric.clone());
-        self.partition_index.entry(partition).or_default().insert(key);
+        self.partition_index
+            .entry(partition)
+            .or_default()
+            .insert(key);
         self.site_index
             .entry(record.site)
             .or_default()
@@ -298,7 +301,10 @@ mod tests {
         let mut store = sample_store();
         store.insert(Record::new("r1", "cpu.load.1", 99.0, 0));
         assert_eq!(store.len(), 4, "count unchanged");
-        assert_eq!(store.range("r1", "cpu.load.1", 0, 1).next(), Some((0, 99.0)));
+        assert_eq!(
+            store.range("r1", "cpu.load.1", 0, 1).next(),
+            Some((0, 99.0))
+        );
     }
 
     #[test]
@@ -346,7 +352,9 @@ mod tests {
         for i in 0..10u64 {
             store.insert(Record::new("d", "storage.disk.used", i as f64, i * 30_000));
         }
-        let slope = store.trend_per_min("d", "storage.disk.used", 0, u64::MAX).unwrap();
+        let slope = store
+            .trend_per_min("d", "storage.disk.used", 0, u64::MAX)
+            .unwrap();
         assert!((slope - 2.0).abs() < 1e-9, "{slope}");
     }
 

@@ -19,8 +19,7 @@ fn record_strategy() -> impl Strategy<Value = Record> {
         0u8..3,
     )
         .prop_map(|(dev, metric, value, ts, site)| {
-            Record::new(format!("d{dev}"), metric, value, ts)
-                .with_site(format!("s{site}"))
+            Record::new(format!("d{dev}"), metric, value, ts).with_site(format!("s{site}"))
         })
 }
 

@@ -8,11 +8,18 @@
 //! ```
 
 use agentgrid_suite::baselines::MultiAgentSystem;
+use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Link, Network, ScheduledFault};
 use agentgrid_suite::ManagementGrid;
-use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, Link, ScheduledFault};
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn build_network(seed: u64) -> Network {
@@ -21,27 +28,41 @@ fn build_network(seed: u64) -> Network {
     for i in 0..2 {
         network.add_device(
             Device::builder(format!("dc-router-{i}"), DeviceKind::Router)
-                .site("datacenter").interfaces(8).seed(seed + i).build(),
+                .site("datacenter")
+                .interfaces(8)
+                .seed(seed + i)
+                .build(),
         );
         network.add_device(
             Device::builder(format!("dc-switch-{i}"), DeviceKind::Switch)
-                .site("datacenter").seed(seed + 10 + i).build(),
+                .site("datacenter")
+                .seed(seed + 10 + i)
+                .build(),
         );
     }
     for i in 0..6 {
         network.add_device(
             Device::builder(format!("dc-server-{i}"), DeviceKind::Server)
-                .site("datacenter").cpus(2).ram_units(16_384).seed(seed + 20 + i).build(),
+                .site("datacenter")
+                .cpus(2)
+                .ram_units(16_384)
+                .seed(seed + 20 + i)
+                .build(),
         );
     }
     // Branch office: 1 router, 2 servers.
     network.add_device(
-        Device::builder("br-router", DeviceKind::Router).site("branch").seed(seed + 40).build(),
+        Device::builder("br-router", DeviceKind::Router)
+            .site("branch")
+            .seed(seed + 40)
+            .build(),
     );
     for i in 0..2 {
         network.add_device(
             Device::builder(format!("br-server-{i}"), DeviceKind::Server)
-                .site("branch").seed(seed + 50 + i).build(),
+                .site("branch")
+                .seed(seed + 50 + i)
+                .build(),
         );
     }
     network.add_link(Link::new("datacenter", "branch", 35, 100_000_000));
@@ -53,8 +74,7 @@ fn incidents() -> [ScheduledFault; 4] {
         // A database server leaks memory from minute 5.
         ScheduledFault::from("dc-server-2", FaultKind::MemoryLeak, 5 * 60_000),
         // A core uplink flaps between minutes 8 and 12.
-        ScheduledFault::from("dc-router-0", FaultKind::LinkDown(3), 8 * 60_000)
-            .until(12 * 60_000),
+        ScheduledFault::from("dc-router-0", FaultKind::LinkDown(3), 8 * 60_000).until(12 * 60_000),
         // The branch server's disk starts filling at minute 10.
         ScheduledFault::from("br-server-0", FaultKind::DiskFilling, 10 * 60_000),
         // A batch job pins two CPUs from minute 15.

@@ -20,7 +20,11 @@ fn main() {
     println!("Figure 6 scenario: 10 requests of each type\n");
     for architecture in Architecture::paper_configs() {
         let report = run_architecture(architecture, Workload::paper(), &costs);
-        println!("{:<22} makespan {:>5}", architecture.label(), report.makespan());
+        println!(
+            "{:<22} makespan {:>5}",
+            architecture.label(),
+            report.makespan()
+        );
         for host in report.hosts() {
             println!(
                 "    {:<14} cpu {:>5.1}%  net {:>5.1}%  disk {:>5.1}%",
@@ -41,7 +45,10 @@ fn main() {
             .mean_completion()
             .unwrap_or(0.0);
         let grid = run_architecture(
-            Architecture::AgentGrid { collectors: 3, analyzers: 2 },
+            Architecture::AgentGrid {
+                collectors: 3,
+                analyzers: 2,
+            },
             workload,
             &costs,
         )
@@ -70,7 +77,10 @@ fn main() {
     for (label, model) in [("table-1 costs", &costs), ("cheap parsing", &cheap_parse)] {
         let cen = run_architecture(Architecture::Centralized, Workload::paper(), model);
         let grid = run_architecture(
-            Architecture::AgentGrid { collectors: 3, analyzers: 2 },
+            Architecture::AgentGrid {
+                collectors: 3,
+                analyzers: 2,
+            },
             Workload::paper(),
             model,
         );

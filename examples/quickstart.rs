@@ -5,16 +5,36 @@
 //! cargo run --example quickstart
 //! ```
 
-use agentgrid_suite::ManagementGrid;
 use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFault};
+use agentgrid_suite::ManagementGrid;
 
 fn main() {
     // A network of one router, one switch and two servers at one site.
     let mut network = Network::new();
-    network.add_device(Device::builder("edge-router", DeviceKind::Router).site("hq").seed(1).build());
-    network.add_device(Device::builder("core-switch", DeviceKind::Switch).site("hq").seed(2).build());
-    network.add_device(Device::builder("app-server", DeviceKind::Server).site("hq").seed(3).build());
-    network.add_device(Device::builder("db-server", DeviceKind::Server).site("hq").seed(4).build());
+    network.add_device(
+        Device::builder("edge-router", DeviceKind::Router)
+            .site("hq")
+            .seed(1)
+            .build(),
+    );
+    network.add_device(
+        Device::builder("core-switch", DeviceKind::Switch)
+            .site("hq")
+            .seed(2)
+            .build(),
+    );
+    network.add_device(
+        Device::builder("app-server", DeviceKind::Server)
+            .site("hq")
+            .seed(3)
+            .build(),
+    );
+    network.add_device(
+        Device::builder("db-server", DeviceKind::Server)
+            .site("hq")
+            .seed(4)
+            .build(),
+    );
 
     // The grid: two collectors (one SNMP, one CLI), two analyzer
     // containers, default rules and balancing. A CPU runaway is planted
@@ -25,7 +45,11 @@ fn main() {
         .poll_period_ms(60_000)
         .analyzer("pg-1", 1.0, ALL_SKILLS)
         .analyzer("pg-2", 1.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("db-server", FaultKind::CpuRunaway, 3 * 60_000))
+        .fault(ScheduledFault::from(
+            "db-server",
+            FaultKind::CpuRunaway,
+            3 * 60_000,
+        ))
         .build();
 
     let report = grid.run(10 * 60_000, 60_000);

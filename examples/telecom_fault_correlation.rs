@@ -12,7 +12,14 @@ use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFaul
 use agentgrid_suite::ManagementGrid;
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn main() {
@@ -42,9 +49,21 @@ fn main() {
         .collectors_per_site(2)
         .analyzer("pg-1", 2.0, ALL_SKILLS)
         .analyzer("pg-2", 2.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("agg-0", FaultKind::CpuRunaway, 4 * 60_000))
-        .fault(ScheduledFault::from("agg-1", FaultKind::CpuRunaway, 4 * 60_000))
-        .fault(ScheduledFault::from("acc-3", FaultKind::LinkDown(2), 2 * 60_000));
+        .fault(ScheduledFault::from(
+            "agg-0",
+            FaultKind::CpuRunaway,
+            4 * 60_000,
+        ))
+        .fault(ScheduledFault::from(
+            "agg-1",
+            FaultKind::CpuRunaway,
+            4 * 60_000,
+        ))
+        .fault(ScheduledFault::from(
+            "acc-3",
+            FaultKind::LinkDown(2),
+            2 * 60_000,
+        ));
     let mut grid = builder.build();
 
     // Phase 1: built-in rules only.

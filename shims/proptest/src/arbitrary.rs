@@ -1,0 +1,79 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a default full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The default strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for a primitive; `any::<T>()` resolves to this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_primitive {
+    ($($ty:ty => $draw:expr),+ $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let draw: fn(&mut TestRng) -> $ty = $draw;
+                draw(rng)
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrimitive<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { marker: std::marker::PhantomData }
+            }
+        }
+    )+};
+}
+
+arbitrary_primitive! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_produces_both_values() {
+        let strat = any::<bool>();
+        let mut rng = TestRng::from_seed(2);
+        let draws: Vec<bool> = (0..64).map(|_| strat.new_value(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+
+    #[test]
+    fn any_i64_covers_negative_values() {
+        let strat = any::<i64>();
+        let mut rng = TestRng::from_seed(3);
+        assert!((0..64).any(|_| strat.new_value(&mut rng) < 0));
+    }
+}

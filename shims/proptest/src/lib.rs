@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate (see the note in
+//! `shims/parking_lot`). Re-creates the strategy combinators, macros and
+//! prelude the workspace's property tests use, over a deterministic
+//! splitmix64 generator. Two deliberate simplifications versus the real
+//! crate: failing cases are not shrunk (the failing case index and seed
+//! are reported instead), and regex string strategies support only the
+//! subset of syntax the tests use (character classes, `.`, literals and
+//! `{m,n}`/`*`/`+`/`?` quantifiers).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner;
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod num;
+
+pub mod option;
+
+pub mod string;
+
+/// Declares property tests: each `fn` runs `config.cases` times with
+/// fresh strategy-drawn arguments, panicking (with the case index and
+/// seed) on the first failing case. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let name_hash = $crate::test_runner::hash_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(name_hash, case);
+                    let mut proptest_rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(error) = outcome {
+                        ::core::panic!(
+                            "property '{}' failed at case {}/{} (seed {:#018x}): {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            seed,
+                            error,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+/// Uniform choice between strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (not the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            left,
+            ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` module alias used in strategy expressions.
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}

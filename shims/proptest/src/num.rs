@@ -1,0 +1,49 @@
+//! Numeric strategies beyond plain ranges.
+
+pub mod f64 {
+    //! `f64` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for normal (finite, non-zero, non-subnormal) `f64`s of
+    /// either sign, spanning the full exponent range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Normal floats — mirrors `proptest::num::f64::NORMAL`.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let word = rng.next_u64();
+            let sign = word & (1 << 63);
+            let mantissa = word & ((1 << 52) - 1);
+            // Biased exponent 1..=2046 excludes zero/subnormals (0) and
+            // infinity/NaN (2047), leaving exactly the normal floats.
+            let exponent = 1 + rng.below(2046);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_floats_are_normal_and_signed() {
+            let mut rng = TestRng::from_seed(8);
+            let mut negatives = 0;
+            for _ in 0..500 {
+                let x = NORMAL.new_value(&mut rng);
+                assert!(x.is_normal(), "{x}");
+                if x < 0.0 {
+                    negatives += 1;
+                }
+            }
+            assert!(negatives > 100, "sign bit should be uniform");
+        }
+    }
+}

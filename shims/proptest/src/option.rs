@@ -1,0 +1,41 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some` from `inner` three times out of four,
+/// `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let strat = of(Just(1u8));
+        let mut rng = TestRng::from_seed(6);
+        let draws: Vec<_> = (0..64).map(|_| strat.new_value(&mut rng)).collect();
+        assert!(draws.contains(&None) && draws.contains(&Some(1)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Regex-subset string generation backing `"pattern"` strategies.
+//!
+//! Supported syntax — the subset the workspace's tests use:
+//! character classes `[a-z0-9-]` (ranges, literals, trailing `-`),
+//! the any-char dot `.`, literal characters, and the quantifiers
+//! `{m}`, `{m,n}`, `*`, `+`, `?`. Anything else panics loudly rather
+//! than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// Characters `.` can produce: printable ASCII plus a few multi-byte
+/// code points so UTF-8 handling gets exercised.
+const DOT_EXTRAS: [char; 4] = ['é', 'λ', '→', '名'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+    /// `.` — any printable character.
+    Any,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern ready to generate strings.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    pieces: Vec<Piece>,
+}
+
+impl StringPattern {
+    /// Compiles `pattern`, panicking on unsupported syntax.
+    pub fn compile(pattern: &str) -> StringPattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(class)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    let escaped = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                    i += 2;
+                    Atom::Class(vec![(escaped, escaped)])
+                }
+                c @ ('(' | ')' | '|' | '^' | '$') => {
+                    unsupported(pattern, &format!("metacharacter `{c}`"))
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        StringPattern { pieces }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.usize_in(piece.min, piece.max + 1);
+            for _ in 0..count {
+                out.push(match &piece.atom {
+                    Atom::Class(ranges) => pick_from_class(ranges, rng),
+                    Atom::Any => pick_any(rng),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    if chars.get(i) == Some(&'^') {
+        unsupported(pattern, "negated character class");
+    }
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in `{pattern}`");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        unsupported(pattern, "unterminated character class");
+    }
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| unsupported(pattern, "unterminated `{` quantifier"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in `{pattern}`");
+            (min, max, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut index = rng.below(total as u64) as u32;
+    for &(lo, hi) in ranges {
+        let size = hi as u32 - lo as u32 + 1;
+        if index < size {
+            return char::from_u32(lo as u32 + index).expect("class char");
+        }
+        index -= size;
+    }
+    unreachable!("index within total class size")
+}
+
+fn pick_any(rng: &mut TestRng) -> char {
+    // Printable ASCII 0x20..=0x7E, with a small chance of a multi-byte
+    // character.
+    if rng.below(16) == 0 {
+        DOT_EXTRAS[rng.usize_in(0, DOT_EXTRAS.len())]
+    } else {
+        char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("printable ascii")
+    }
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest shim: unsupported regex feature ({what}) in `{pattern}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier_respects_bounds_and_alphabet() {
+        let pattern = StringPattern::compile("[a-z][a-z0-9-]{0,12}");
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = pattern.generate(&mut rng);
+            assert!((1..=13).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_and_dot_compose() {
+        let pattern = StringPattern::compile("[a-z]{1,8}@[a-z]{1,8}");
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..50 {
+            let s = pattern.generate(&mut rng);
+            let (local, host) = s.split_once('@').expect("one @");
+            assert!(!local.is_empty() && !host.is_empty());
+        }
+        let dot = StringPattern::compile(".{0,20}");
+        for _ in 0..50 {
+            assert!(dot.generate(&mut rng).chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn alternation_is_rejected() {
+        StringPattern::compile("a|b");
+    }
+}

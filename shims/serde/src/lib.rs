@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate (see the note in
+//! `shims/parking_lot`). The workspace derives `Serialize`/`Deserialize`
+//! on its data types for downstream consumers but never serializes
+//! in-tree (there is no serde_json here), so the traits are pure markers
+//! and the `derive` feature emits empty impls. Swapping the real serde
+//! back in requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's `serialize` method is deliberately absent: nothing
+/// in this workspace drives serialization, and a marker keeps the no-op
+/// derive trivial.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

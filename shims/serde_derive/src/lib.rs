@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive` (see the note in
+//! `shims/parking_lot`). The shim `serde` traits are pure markers, so
+//! these derives only need the type's name: they scan the raw token
+//! stream for the ident after `struct`/`enum`/`union` and emit an empty
+//! impl — no `syn`/`quote` dependency, which matters because this
+//! workspace builds without registry access.
+//!
+//! Limitations (checked against the workspace): no generic types, no
+//! `#[serde(...)]` helper attributes.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` item and
+/// panics if a generic parameter list follows it.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        let TokenTree::Ident(word) = tree else {
+            continue;
+        };
+        let word = word.to_string();
+        if word != "struct" && word != "enum" && word != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde shim derive: expected a type name after `{word}`");
+        };
+        if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!(
+                "serde shim derive: `{name}` is generic; the offline shim \
+                 only supports non-generic types"
+            );
+        }
+        return name.to_string();
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

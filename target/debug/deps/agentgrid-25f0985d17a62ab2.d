@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/agentgrid-25f0985d17a62ab2.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libagentgrid-25f0985d17a62ab2.rlib: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+/root/repo/target/debug/deps/libagentgrid-25f0985d17a62ab2.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/broker.rs:
+crates/core/src/costmodel.rs:
+crates/core/src/grid/mod.rs:
+crates/core/src/grid/analyzer.rs:
+crates/core/src/grid/classifier.rs:
+crates/core/src/grid/collector.rs:
+crates/core/src/grid/interface.rs:
+crates/core/src/grid/root.rs:
+crates/core/src/grid/system.rs:
+crates/core/src/mobility.rs:
+crates/core/src/scenario.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/agentgrid-78230b6f4d7cd268.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid-78230b6f4d7cd268.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/broker.rs:
+crates/core/src/costmodel.rs:
+crates/core/src/grid/mod.rs:
+crates/core/src/grid/analyzer.rs:
+crates/core/src/grid/classifier.rs:
+crates/core/src/grid/collector.rs:
+crates/core/src/grid/interface.rs:
+crates/core/src/grid/root.rs:
+crates/core/src/grid/system.rs:
+crates/core/src/mobility.rs:
+crates/core/src/scenario.rs:
+crates/core/src/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/agentgrid_acl-43f4b780301aec65.d: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_acl-43f4b780301aec65.rmeta: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs Cargo.toml
+
+crates/acl/src/lib.rs:
+crates/acl/src/agent_id.rs:
+crates/acl/src/content.rs:
+crates/acl/src/envelope.rs:
+crates/acl/src/message.rs:
+crates/acl/src/ontology.rs:
+crates/acl/src/performative.rs:
+crates/acl/src/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agentgrid_acl-6a153a59c872b310.d: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+/root/repo/target/debug/deps/agentgrid_acl-6a153a59c872b310: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+crates/acl/src/lib.rs:
+crates/acl/src/agent_id.rs:
+crates/acl/src/content.rs:
+crates/acl/src/envelope.rs:
+crates/acl/src/message.rs:
+crates/acl/src/ontology.rs:
+crates/acl/src/performative.rs:
+crates/acl/src/protocol.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agentgrid_acl-cdfdb136feb0b9a8.d: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+/root/repo/target/debug/deps/libagentgrid_acl-cdfdb136feb0b9a8.rlib: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+/root/repo/target/debug/deps/libagentgrid_acl-cdfdb136feb0b9a8.rmeta: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+crates/acl/src/lib.rs:
+crates/acl/src/agent_id.rs:
+crates/acl/src/content.rs:
+crates/acl/src/envelope.rs:
+crates/acl/src/message.rs:
+crates/acl/src/ontology.rs:
+crates/acl/src/performative.rs:
+crates/acl/src/protocol.rs:

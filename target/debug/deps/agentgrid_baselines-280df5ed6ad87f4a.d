@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agentgrid_baselines-280df5ed6ad87f4a.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_baselines-280df5ed6ad87f4a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_baselines-2bd2ac6024ac2138.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/agentgrid_baselines-2bd2ac6024ac2138: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agentgrid_baselines-444f66c3c5f1c94f.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_baselines-444f66c3c5f1c94f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

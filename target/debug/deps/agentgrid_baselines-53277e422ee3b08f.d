@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agentgrid_baselines-53277e422ee3b08f.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/libagentgrid_baselines-53277e422ee3b08f.rlib: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/libagentgrid_baselines-53277e422ee3b08f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:

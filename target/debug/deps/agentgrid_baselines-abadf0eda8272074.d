@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agentgrid_baselines-abadf0eda8272074.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/libagentgrid_baselines-abadf0eda8272074.rlib: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/libagentgrid_baselines-abadf0eda8272074.rmeta: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_baselines-b43df1227b1f42b4.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/debug/deps/agentgrid_baselines-b43df1227b1f42b4: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:

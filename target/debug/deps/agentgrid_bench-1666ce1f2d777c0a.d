@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agentgrid_bench-1666ce1f2d777c0a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_bench-1666ce1f2d777c0a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agentgrid_bench-39bf538a18e9b375.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/agentgrid_bench-39bf538a18e9b375: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

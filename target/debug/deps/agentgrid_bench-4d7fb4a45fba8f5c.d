@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_bench-4d7fb4a45fba8f5c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_bench-4d7fb4a45fba8f5c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_bench-4d7fb4a45fba8f5c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agentgrid_bench-62788fadb6f13727.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/agentgrid_bench-62788fadb6f13727: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_bench-b9550a524358565f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_bench-b9550a524358565f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_bench-b9550a524358565f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/agentgrid_des-1339f507a1e42b4d.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/agentgrid_des-1339f507a1e42b4d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:

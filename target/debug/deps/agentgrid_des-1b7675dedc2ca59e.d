@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/agentgrid_des-1b7675dedc2ca59e.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/agentgrid_des-1b7675dedc2ca59e: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agentgrid_des-5c31f4d05055e479.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_des-5c31f4d05055e479.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agentgrid_des-61c85ac3d8e253c8.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/libagentgrid_des-61c85ac3d8e253c8.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/libagentgrid_des-61c85ac3d8e253c8.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agentgrid_des-f84ecc701d716747.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/libagentgrid_des-f84ecc701d716747.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/debug/deps/libagentgrid_des-f84ecc701d716747.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:

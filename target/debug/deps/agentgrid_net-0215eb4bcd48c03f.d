@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/agentgrid_net-0215eb4bcd48c03f.d: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_net-0215eb4bcd48c03f.rmeta: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cli.rs:
+crates/net/src/device.rs:
+crates/net/src/fault.rs:
+crates/net/src/metrics.rs:
+crates/net/src/mib.rs:
+crates/net/src/oid.rs:
+crates/net/src/oids.rs:
+crates/net/src/snmp.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

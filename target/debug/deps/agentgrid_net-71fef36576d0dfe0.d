@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/agentgrid_net-71fef36576d0dfe0.d: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libagentgrid_net-71fef36576d0dfe0.rlib: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libagentgrid_net-71fef36576d0dfe0.rmeta: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cli.rs:
+crates/net/src/device.rs:
+crates/net/src/fault.rs:
+crates/net/src/metrics.rs:
+crates/net/src/mib.rs:
+crates/net/src/oid.rs:
+crates/net/src/oids.rs:
+crates/net/src/snmp.rs:
+crates/net/src/topology.rs:

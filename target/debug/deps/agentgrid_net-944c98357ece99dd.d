@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agentgrid_net-944c98357ece99dd.d: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/agentgrid_net-944c98357ece99dd: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cli.rs:
+crates/net/src/device.rs:
+crates/net/src/fault.rs:
+crates/net/src/metrics.rs:
+crates/net/src/mib.rs:
+crates/net/src/oid.rs:
+crates/net/src/oids.rs:
+crates/net/src/snmp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agentgrid_net-d1a2dcbc9c2c1ee6.d: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/agentgrid_net-d1a2dcbc9c2c1ee6: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cli.rs:
+crates/net/src/device.rs:
+crates/net/src/fault.rs:
+crates/net/src/metrics.rs:
+crates/net/src/mib.rs:
+crates/net/src/oid.rs:
+crates/net/src/oids.rs:
+crates/net/src/snmp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agentgrid_platform-50ceec22d8183edd.d: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/debug/deps/agentgrid_platform-50ceec22d8183edd: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/agent.rs:
+crates/platform/src/container.rs:
+crates/platform/src/df.rs:
+crates/platform/src/platform.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:

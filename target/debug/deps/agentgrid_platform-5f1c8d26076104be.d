@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agentgrid_platform-5f1c8d26076104be.d: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/debug/deps/libagentgrid_platform-5f1c8d26076104be.rlib: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/debug/deps/libagentgrid_platform-5f1c8d26076104be.rmeta: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/agent.rs:
+crates/platform/src/container.rs:
+crates/platform/src/df.rs:
+crates/platform/src/platform.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/agentgrid_platform-78f9d29d24f5e3c0.d: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_platform-78f9d29d24f5e3c0.rmeta: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/agent.rs:
+crates/platform/src/container.rs:
+crates/platform/src/df.rs:
+crates/platform/src/platform.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

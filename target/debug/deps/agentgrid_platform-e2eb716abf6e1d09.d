@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/agentgrid_platform-e2eb716abf6e1d09.d: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_platform-e2eb716abf6e1d09.rmeta: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/agent.rs:
+crates/platform/src/container.rs:
+crates/platform/src/df.rs:
+crates/platform/src/platform.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agentgrid_rules-0ff3e404cf1b0321.d: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/agentgrid_rules-0ff3e404cf1b0321: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/dsl.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/fact.rs:
+crates/rules/src/pattern.rs:
+crates/rules/src/rule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agentgrid_rules-5bfe5d9a67e63f8b.d: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/libagentgrid_rules-5bfe5d9a67e63f8b.rlib: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+/root/repo/target/debug/deps/libagentgrid_rules-5bfe5d9a67e63f8b.rmeta: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/dsl.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/fact.rs:
+crates/rules/src/pattern.rs:
+crates/rules/src/rule.rs:

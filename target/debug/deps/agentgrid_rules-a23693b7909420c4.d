@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agentgrid_rules-a23693b7909420c4.d: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_rules-a23693b7909420c4.rmeta: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs Cargo.toml
+
+crates/rules/src/lib.rs:
+crates/rules/src/dsl.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/fact.rs:
+crates/rules/src/pattern.rs:
+crates/rules/src/rule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

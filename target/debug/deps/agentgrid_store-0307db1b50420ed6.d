@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agentgrid_store-0307db1b50420ed6.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagentgrid_store-0307db1b50420ed6.rmeta: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

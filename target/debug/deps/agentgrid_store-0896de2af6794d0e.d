@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agentgrid_store-0896de2af6794d0e.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/libagentgrid_store-0896de2af6794d0e.rlib: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/libagentgrid_store-0896de2af6794d0e.rmeta: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agentgrid_store-2126b00ff3c74aca.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/agentgrid_store-2126b00ff3c74aca: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:

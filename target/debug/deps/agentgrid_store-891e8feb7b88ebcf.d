@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agentgrid_store-891e8feb7b88ebcf.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/libagentgrid_store-891e8feb7b88ebcf.rlib: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/libagentgrid_store-891e8feb7b88ebcf.rmeta: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agentgrid_store-d29a6afdee7ed9ff.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/debug/deps/agentgrid_store-d29a6afdee7ed9ff: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_suite-008658e28f96a313.d: src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_suite-008658e28f96a313.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_suite-008658e28f96a313.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agentgrid_suite-0faeba360a019c8a.d: src/lib.rs
+
+/root/repo/target/debug/deps/agentgrid_suite-0faeba360a019c8a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agentgrid_suite-340908e243a71c04.d: src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_suite-340908e243a71c04.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libagentgrid_suite-340908e243a71c04.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agentgrid_suite-73994acf50289b7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/agentgrid_suite-73994acf50289b7b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture_comparison-570ad6543fb6f0d2.d: tests/architecture_comparison.rs
+
+/root/repo/target/debug/deps/architecture_comparison-570ad6543fb6f0d2: tests/architecture_comparison.rs
+
+tests/architecture_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture_comparison-de83e310f87ca2ad.d: tests/architecture_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture_comparison-de83e310f87ca2ad.rmeta: tests/architecture_comparison.rs Cargo.toml
+
+tests/architecture_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture_comparison-fbcb25a54e4b4f65.d: tests/architecture_comparison.rs
+
+/root/repo/target/debug/deps/architecture_comparison-fbcb25a54e4b4f65: tests/architecture_comparison.rs
+
+tests/architecture_comparison.rs:

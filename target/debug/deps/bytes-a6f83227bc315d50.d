@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a6f83227bc315d50.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a6f83227bc315d50: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

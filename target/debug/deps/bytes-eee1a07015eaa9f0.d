@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-eee1a07015eaa9f0.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-eee1a07015eaa9f0.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-eee1a07015eaa9f0.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

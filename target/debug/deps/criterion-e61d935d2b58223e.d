@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e61d935d2b58223e.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e61d935d2b58223e: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-6533eaf36b50856f.d: shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-6533eaf36b50856f.rmeta: shims/crossbeam/src/lib.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

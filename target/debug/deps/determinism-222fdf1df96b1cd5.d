@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-222fdf1df96b1cd5.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-222fdf1df96b1cd5: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-3412884a99979687.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-3412884a99979687: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0b5e34c78c39ceaa.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0b5e34c78c39ceaa: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3047b6533ef8f83d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3047b6533ef8f83d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

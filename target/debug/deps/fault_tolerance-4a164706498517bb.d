@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-4a164706498517bb.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-4a164706498517bb: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e0fe056c81b58296.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e0fe056c81b58296: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

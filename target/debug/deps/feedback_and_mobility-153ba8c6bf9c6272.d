@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/feedback_and_mobility-153ba8c6bf9c6272.d: tests/feedback_and_mobility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfeedback_and_mobility-153ba8c6bf9c6272.rmeta: tests/feedback_and_mobility.rs Cargo.toml
+
+tests/feedback_and_mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

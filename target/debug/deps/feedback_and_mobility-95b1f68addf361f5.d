@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback_and_mobility-95b1f68addf361f5.d: tests/feedback_and_mobility.rs
+
+/root/repo/target/debug/deps/feedback_and_mobility-95b1f68addf361f5: tests/feedback_and_mobility.rs
+
+tests/feedback_and_mobility.rs:

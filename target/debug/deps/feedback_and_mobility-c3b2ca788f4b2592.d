@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feedback_and_mobility-c3b2ca788f4b2592.d: tests/feedback_and_mobility.rs
+
+/root/repo/target/debug/deps/feedback_and_mobility-c3b2ca788f4b2592: tests/feedback_and_mobility.rs
+
+tests/feedback_and_mobility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_workflow-780eac6c89279adb.d: crates/bench/benches/fig1_workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_workflow-780eac6c89279adb.rmeta: crates/bench/benches/fig1_workflow.rs Cargo.toml
+
+crates/bench/benches/fig1_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

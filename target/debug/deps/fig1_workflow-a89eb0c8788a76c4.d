@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_workflow-a89eb0c8788a76c4.d: crates/bench/benches/fig1_workflow.rs
+
+/root/repo/target/debug/deps/fig1_workflow-a89eb0c8788a76c4: crates/bench/benches/fig1_workflow.rs
+
+crates/bench/benches/fig1_workflow.rs:

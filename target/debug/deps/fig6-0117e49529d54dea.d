@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-0117e49529d54dea.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-0117e49529d54dea: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

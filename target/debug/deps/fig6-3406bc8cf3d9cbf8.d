@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-3406bc8cf3d9cbf8.d: crates/bench/benches/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-3406bc8cf3d9cbf8.rmeta: crates/bench/benches/fig6.rs Cargo.toml
+
+crates/bench/benches/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

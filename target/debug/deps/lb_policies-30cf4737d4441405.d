@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lb_policies-30cf4737d4441405.d: crates/bench/benches/lb_policies.rs
+
+/root/repo/target/debug/deps/lb_policies-30cf4737d4441405: crates/bench/benches/lb_policies.rs
+
+crates/bench/benches/lb_policies.rs:

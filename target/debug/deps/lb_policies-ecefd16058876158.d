@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lb_policies-ecefd16058876158.d: crates/bench/benches/lb_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblb_policies-ecefd16058876158.rmeta: crates/bench/benches/lb_policies.rs Cargo.toml
+
+crates/bench/benches/lb_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

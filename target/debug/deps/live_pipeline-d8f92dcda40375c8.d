@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/live_pipeline-d8f92dcda40375c8.d: crates/bench/benches/live_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblive_pipeline-d8f92dcda40375c8.rmeta: crates/bench/benches/live_pipeline.rs Cargo.toml
+
+crates/bench/benches/live_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live_pipeline-eef7f1b1f5c099b5.d: crates/bench/benches/live_pipeline.rs
+
+/root/repo/target/debug/deps/live_pipeline-eef7f1b1f5c099b5: crates/bench/benches/live_pipeline.rs
+
+crates/bench/benches/live_pipeline.rs:

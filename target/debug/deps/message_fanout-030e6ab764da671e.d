@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/message_fanout-030e6ab764da671e.d: crates/bench/benches/message_fanout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmessage_fanout-030e6ab764da671e.rmeta: crates/bench/benches/message_fanout.rs Cargo.toml
+
+crates/bench/benches/message_fanout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

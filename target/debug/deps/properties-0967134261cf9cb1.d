@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0967134261cf9cb1.d: crates/platform/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0967134261cf9cb1.rmeta: crates/platform/tests/properties.rs Cargo.toml
+
+crates/platform/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

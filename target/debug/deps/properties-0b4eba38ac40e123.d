@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0b4eba38ac40e123.d: crates/net/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0b4eba38ac40e123.rmeta: crates/net/tests/properties.rs Cargo.toml
+
+crates/net/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

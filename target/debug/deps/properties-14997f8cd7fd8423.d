@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-14997f8cd7fd8423.d: crates/acl/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-14997f8cd7fd8423.rmeta: crates/acl/tests/properties.rs Cargo.toml
+
+crates/acl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c8caacecdf2369f.d: crates/platform/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1c8caacecdf2369f: crates/platform/tests/properties.rs
+
+crates/platform/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1f6978c9b54d812b.d: crates/store/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1f6978c9b54d812b: crates/store/tests/properties.rs
+
+crates/store/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-27e488463a760d07.d: crates/des/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-27e488463a760d07.rmeta: crates/des/tests/properties.rs Cargo.toml
+
+crates/des/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

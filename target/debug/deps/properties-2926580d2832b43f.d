@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2926580d2832b43f.d: crates/platform/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2926580d2832b43f: crates/platform/tests/properties.rs
+
+crates/platform/tests/properties.rs:

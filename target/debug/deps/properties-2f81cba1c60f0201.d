@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2f81cba1c60f0201.d: crates/rules/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2f81cba1c60f0201: crates/rules/tests/properties.rs
+
+crates/rules/tests/properties.rs:

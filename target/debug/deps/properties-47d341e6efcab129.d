@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-47d341e6efcab129.d: crates/acl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-47d341e6efcab129: crates/acl/tests/properties.rs
+
+crates/acl/tests/properties.rs:

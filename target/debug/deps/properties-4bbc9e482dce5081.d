@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4bbc9e482dce5081.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4bbc9e482dce5081: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

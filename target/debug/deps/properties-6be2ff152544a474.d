@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6be2ff152544a474.d: crates/acl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6be2ff152544a474: crates/acl/tests/properties.rs
+
+crates/acl/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a0dfb008e45d7748.d: crates/rules/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a0dfb008e45d7748.rmeta: crates/rules/tests/properties.rs Cargo.toml
+
+crates/rules/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a3ddf7e0a958a34e.d: crates/store/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a3ddf7e0a958a34e: crates/store/tests/properties.rs
+
+crates/store/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a6864c7acd2d91fd.d: crates/store/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a6864c7acd2d91fd.rmeta: crates/store/tests/properties.rs Cargo.toml
+
+crates/store/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

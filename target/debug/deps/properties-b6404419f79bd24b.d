@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6404419f79bd24b.d: crates/rules/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6404419f79bd24b: crates/rules/tests/properties.rs
+
+crates/rules/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ed48b0cefc8802f5.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ed48b0cefc8802f5: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f90a80127319623e.d: crates/des/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f90a80127319623e: crates/des/tests/properties.rs
+
+crates/des/tests/properties.rs:

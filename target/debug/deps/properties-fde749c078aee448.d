@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fde749c078aee448.d: crates/des/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fde749c078aee448: crates/des/tests/properties.rs
+
+crates/des/tests/properties.rs:

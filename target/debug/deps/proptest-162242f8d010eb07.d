@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-162242f8d010eb07.d: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs
+
+/root/repo/target/debug/deps/proptest-162242f8d010eb07: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:

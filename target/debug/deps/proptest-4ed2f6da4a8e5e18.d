@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/proptest-4ed2f6da4a8e5e18.d: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-4ed2f6da4a8e5e18.rlib: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-4ed2f6da4a8e5e18.rmeta: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:

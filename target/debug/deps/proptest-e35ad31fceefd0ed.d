@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/proptest-e35ad31fceefd0ed.d: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e35ad31fceefd0ed.rmeta: shims/proptest/src/lib.rs shims/proptest/src/test_runner.rs shims/proptest/src/strategy.rs shims/proptest/src/arbitrary.rs shims/proptest/src/collection.rs shims/proptest/src/num.rs shims/proptest/src/option.rs shims/proptest/src/string.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/test_runner.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/arbitrary.rs:
+shims/proptest/src/collection.rs:
+shims/proptest/src/num.rs:
+shims/proptest/src/option.rs:
+shims/proptest/src/string.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

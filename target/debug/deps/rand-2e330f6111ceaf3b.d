@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2e330f6111ceaf3b.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2e330f6111ceaf3b.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2e330f6111ceaf3b.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a9e17a60f4f11d27.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a9e17a60f4f11d27: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

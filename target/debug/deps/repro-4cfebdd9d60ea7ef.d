@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4cfebdd9d60ea7ef.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4cfebdd9d60ea7ef: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-568a1d964f82267c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-568a1d964f82267c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8434bc35e833f79d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8434bc35e833f79d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-d9b98f6e4323be4f.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-d9b98f6e4323be4f: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

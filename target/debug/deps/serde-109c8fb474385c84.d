@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-109c8fb474385c84.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-109c8fb474385c84: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2ad16b041fe6805f.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-2ad16b041fe6805f: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

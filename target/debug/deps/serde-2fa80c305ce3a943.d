@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2fa80c305ce3a943.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2fa80c305ce3a943.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2fa80c305ce3a943.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f8c512e423a27c7f.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8c512e423a27c7f.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8c512e423a27c7f.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

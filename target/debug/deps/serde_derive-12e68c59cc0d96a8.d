@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-12e68c59cc0d96a8.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-12e68c59cc0d96a8.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-448491f9b6107208.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-448491f9b6107208.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

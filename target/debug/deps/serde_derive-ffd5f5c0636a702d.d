@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ffd5f5c0636a702d.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-ffd5f5c0636a702d: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

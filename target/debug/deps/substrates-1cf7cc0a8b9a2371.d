@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-1cf7cc0a8b9a2371.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-1cf7cc0a8b9a2371: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded_runtime-4b5afb73b2933271.d: tests/threaded_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded_runtime-4b5afb73b2933271.rmeta: tests/threaded_runtime.rs Cargo.toml
+
+tests/threaded_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_runtime-bf130bfd036caed1.d: tests/threaded_runtime.rs
+
+/root/repo/target/debug/deps/threaded_runtime-bf130bfd036caed1: tests/threaded_runtime.rs
+
+tests/threaded_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_runtime-dc15857edec96946.d: tests/threaded_runtime.rs
+
+/root/repo/target/debug/deps/threaded_runtime-dc15857edec96946: tests/threaded_runtime.rs
+
+tests/threaded_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_verify_scratch-f32f8963178571df.d: examples/_verify_scratch.rs
+
+/root/repo/target/debug/examples/_verify_scratch-f32f8963178571df: examples/_verify_scratch.rs
+
+examples/_verify_scratch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter_monitoring-076fdc7cda8c6abe.d: examples/datacenter_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter_monitoring-076fdc7cda8c6abe.rmeta: examples/datacenter_monitoring.rs Cargo.toml
+
+examples/datacenter_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_monitoring-631912da75adabae.d: examples/datacenter_monitoring.rs
+
+/root/repo/target/debug/examples/datacenter_monitoring-631912da75adabae: examples/datacenter_monitoring.rs
+
+examples/datacenter_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_monitoring-e20f6fd61f2362b1.d: examples/datacenter_monitoring.rs
+
+/root/repo/target/debug/examples/datacenter_monitoring-e20f6fd61f2362b1: examples/datacenter_monitoring.rs
+
+examples/datacenter_monitoring.rs:

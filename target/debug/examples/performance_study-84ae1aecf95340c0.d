@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/performance_study-84ae1aecf95340c0.d: examples/performance_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperformance_study-84ae1aecf95340c0.rmeta: examples/performance_study.rs Cargo.toml
+
+examples/performance_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

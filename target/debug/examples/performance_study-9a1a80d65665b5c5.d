@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_study-9a1a80d65665b5c5.d: examples/performance_study.rs
+
+/root/repo/target/debug/examples/performance_study-9a1a80d65665b5c5: examples/performance_study.rs
+
+examples/performance_study.rs:

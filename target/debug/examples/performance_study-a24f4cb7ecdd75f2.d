@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_study-a24f4cb7ecdd75f2.d: examples/performance_study.rs
+
+/root/repo/target/debug/examples/performance_study-a24f4cb7ecdd75f2: examples/performance_study.rs
+
+examples/performance_study.rs:

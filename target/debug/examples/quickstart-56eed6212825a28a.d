@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-56eed6212825a28a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-56eed6212825a28a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e77539587678b2bc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e77539587678b2bc: examples/quickstart.rs
+
+examples/quickstart.rs:

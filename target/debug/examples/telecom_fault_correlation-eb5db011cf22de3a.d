@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telecom_fault_correlation-eb5db011cf22de3a.d: examples/telecom_fault_correlation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelecom_fault_correlation-eb5db011cf22de3a.rmeta: examples/telecom_fault_correlation.rs Cargo.toml
+
+examples/telecom_fault_correlation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

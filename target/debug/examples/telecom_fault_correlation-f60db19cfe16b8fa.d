@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telecom_fault_correlation-f60db19cfe16b8fa.d: examples/telecom_fault_correlation.rs
+
+/root/repo/target/debug/examples/telecom_fault_correlation-f60db19cfe16b8fa: examples/telecom_fault_correlation.rs
+
+examples/telecom_fault_correlation.rs:

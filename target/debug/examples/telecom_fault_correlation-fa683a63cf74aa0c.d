@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telecom_fault_correlation-fa683a63cf74aa0c.d: examples/telecom_fault_correlation.rs
+
+/root/repo/target/debug/examples/telecom_fault_correlation-fa683a63cf74aa0c: examples/telecom_fault_correlation.rs
+
+examples/telecom_fault_correlation.rs:

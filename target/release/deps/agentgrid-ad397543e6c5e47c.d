@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/agentgrid-ad397543e6c5e47c.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libagentgrid-ad397543e6c5e47c.rlib: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+/root/repo/target/release/deps/libagentgrid-ad397543e6c5e47c.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/broker.rs crates/core/src/costmodel.rs crates/core/src/grid/mod.rs crates/core/src/grid/analyzer.rs crates/core/src/grid/classifier.rs crates/core/src/grid/collector.rs crates/core/src/grid/interface.rs crates/core/src/grid/root.rs crates/core/src/grid/system.rs crates/core/src/mobility.rs crates/core/src/scenario.rs crates/core/src/workflow.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/broker.rs:
+crates/core/src/costmodel.rs:
+crates/core/src/grid/mod.rs:
+crates/core/src/grid/analyzer.rs:
+crates/core/src/grid/classifier.rs:
+crates/core/src/grid/collector.rs:
+crates/core/src/grid/interface.rs:
+crates/core/src/grid/root.rs:
+crates/core/src/grid/system.rs:
+crates/core/src/mobility.rs:
+crates/core/src/scenario.rs:
+crates/core/src/workflow.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/agentgrid_acl-c758b3d0e75d1933.d: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+/root/repo/target/release/deps/libagentgrid_acl-c758b3d0e75d1933.rlib: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+/root/repo/target/release/deps/libagentgrid_acl-c758b3d0e75d1933.rmeta: crates/acl/src/lib.rs crates/acl/src/agent_id.rs crates/acl/src/content.rs crates/acl/src/envelope.rs crates/acl/src/message.rs crates/acl/src/ontology.rs crates/acl/src/performative.rs crates/acl/src/protocol.rs
+
+crates/acl/src/lib.rs:
+crates/acl/src/agent_id.rs:
+crates/acl/src/content.rs:
+crates/acl/src/envelope.rs:
+crates/acl/src/message.rs:
+crates/acl/src/ontology.rs:
+crates/acl/src/performative.rs:
+crates/acl/src/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/agentgrid_baselines-dedbbf1c1bf1b3b5.d: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/release/deps/libagentgrid_baselines-dedbbf1c1bf1b3b5.rlib: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+/root/repo/target/release/deps/libagentgrid_baselines-dedbbf1c1bf1b3b5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/centralized.rs crates/baselines/src/multiagent.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/centralized.rs:
+crates/baselines/src/multiagent.rs:

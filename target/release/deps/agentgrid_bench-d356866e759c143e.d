@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/agentgrid_bench-d356866e759c143e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libagentgrid_bench-d356866e759c143e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libagentgrid_bench-d356866e759c143e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/agentgrid_des-dbe14fbc9a055b29.d: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/release/deps/libagentgrid_des-dbe14fbc9a055b29.rlib: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+/root/repo/target/release/deps/libagentgrid_des-dbe14fbc9a055b29.rmeta: crates/des/src/lib.rs crates/des/src/engine.rs crates/des/src/job.rs crates/des/src/report.rs
+
+crates/des/src/lib.rs:
+crates/des/src/engine.rs:
+crates/des/src/job.rs:
+crates/des/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/agentgrid_net-af6c90fac471927c.d: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libagentgrid_net-af6c90fac471927c.rlib: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libagentgrid_net-af6c90fac471927c.rmeta: crates/net/src/lib.rs crates/net/src/cli.rs crates/net/src/device.rs crates/net/src/fault.rs crates/net/src/metrics.rs crates/net/src/mib.rs crates/net/src/oid.rs crates/net/src/oids.rs crates/net/src/snmp.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cli.rs:
+crates/net/src/device.rs:
+crates/net/src/fault.rs:
+crates/net/src/metrics.rs:
+crates/net/src/mib.rs:
+crates/net/src/oid.rs:
+crates/net/src/oids.rs:
+crates/net/src/snmp.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/agentgrid_platform-95812b6a359adca9.d: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/release/deps/libagentgrid_platform-95812b6a359adca9.rlib: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/release/deps/libagentgrid_platform-95812b6a359adca9.rmeta: crates/platform/src/lib.rs crates/platform/src/agent.rs crates/platform/src/container.rs crates/platform/src/df.rs crates/platform/src/platform.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/agent.rs:
+crates/platform/src/container.rs:
+crates/platform/src/df.rs:
+crates/platform/src/platform.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:

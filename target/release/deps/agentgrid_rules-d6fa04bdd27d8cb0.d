@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/agentgrid_rules-d6fa04bdd27d8cb0.d: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+/root/repo/target/release/deps/libagentgrid_rules-d6fa04bdd27d8cb0.rlib: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+/root/repo/target/release/deps/libagentgrid_rules-d6fa04bdd27d8cb0.rmeta: crates/rules/src/lib.rs crates/rules/src/dsl.rs crates/rules/src/engine.rs crates/rules/src/fact.rs crates/rules/src/pattern.rs crates/rules/src/rule.rs
+
+crates/rules/src/lib.rs:
+crates/rules/src/dsl.rs:
+crates/rules/src/engine.rs:
+crates/rules/src/fact.rs:
+crates/rules/src/pattern.rs:
+crates/rules/src/rule.rs:

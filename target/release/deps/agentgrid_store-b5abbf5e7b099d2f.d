@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/agentgrid_store-b5abbf5e7b099d2f.d: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/release/deps/libagentgrid_store-b5abbf5e7b099d2f.rlib: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+/root/repo/target/release/deps/libagentgrid_store-b5abbf5e7b099d2f.rmeta: crates/store/src/lib.rs crates/store/src/classify.rs crates/store/src/record.rs crates/store/src/replicate.rs crates/store/src/store.rs
+
+crates/store/src/lib.rs:
+crates/store/src/classify.rs:
+crates/store/src/record.rs:
+crates/store/src/replicate.rs:
+crates/store/src/store.rs:

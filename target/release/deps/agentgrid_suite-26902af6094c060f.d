@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/agentgrid_suite-26902af6094c060f.d: src/lib.rs
+
+/root/repo/target/release/deps/libagentgrid_suite-26902af6094c060f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libagentgrid_suite-26902af6094c060f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-a32f16cce68d22b4.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a32f16cce68d22b4.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-a32f16cce68d22b4.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2c8ab62b098a015a.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2c8ab62b098a015a.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2c8ab62b098a015a.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

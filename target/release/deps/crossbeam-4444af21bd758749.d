@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-4444af21bd758749.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-4444af21bd758749.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-4444af21bd758749.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/message_fanout-8354182b81825055.d: crates/bench/benches/message_fanout.rs
+
+/root/repo/target/release/deps/message_fanout-8354182b81825055: crates/bench/benches/message_fanout.rs
+
+crates/bench/benches/message_fanout.rs:

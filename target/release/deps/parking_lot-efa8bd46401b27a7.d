@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-efa8bd46401b27a7.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-efa8bd46401b27a7.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-efa8bd46401b27a7.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3df6055813c1c8ca.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3df6055813c1c8ca.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3df6055813c1c8ca.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-be7787c524c8d70c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-be7787c524c8d70c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-0fa2256f5387e63f.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0fa2256f5387e63f.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0fa2256f5387e63f.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

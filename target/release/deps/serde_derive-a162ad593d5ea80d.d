@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a162ad593d5ea80d.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a162ad593d5ea80d.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -6,7 +6,14 @@ use agentgrid_suite::ManagementGrid;
 use proptest::prelude::*;
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn network(devices: usize, seed: u64) -> Network {
@@ -33,7 +40,11 @@ fn run_once(seed: u64, minutes: u64) -> agentgrid_suite::GridReport {
         .collectors_per_site(2)
         .analyzer("pg-1", 1.0, ALL_SKILLS)
         .analyzer("pg-2", 2.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("dev-2", FaultKind::CpuRunaway, 2 * 60_000))
+        .fault(ScheduledFault::from(
+            "dev-2",
+            FaultKind::CpuRunaway,
+            2 * 60_000,
+        ))
         .build();
     grid.run(minutes * 60_000, 60_000)
 }

@@ -6,7 +6,14 @@ use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFaul
 use agentgrid_suite::ManagementGrid;
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn network(sites: usize, per_site: usize, seed: u64) -> Network {
@@ -70,7 +77,11 @@ fn trend_rule_catches_disk_filling_before_the_threshold() {
     let mut grid = ManagementGrid::builder()
         .network(network(1, 3, 57))
         .analyzer("pg-1", 1.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("s0d2", FaultKind::DiskFilling, 2 * 60_000))
+        .fault(ScheduledFault::from(
+            "s0d2",
+            FaultKind::DiskFilling,
+            2 * 60_000,
+        ))
         .build();
     let report = grid.run(20 * 60_000, 60_000);
     let trend_alert = report
@@ -128,7 +139,10 @@ fn grid_pipeline_conserves_tasks_and_messages() {
         .build();
     let report = grid.run(10 * 60_000, 60_000);
     assert_eq!(report.dead_letters, 0, "no message may be lost");
-    assert_eq!(report.unassigned, 0, "every partition has a skilled container");
+    assert_eq!(
+        report.unassigned, 0,
+        "every partition has a skilled container"
+    );
     assert_eq!(
         report.tasks_completed,
         report.assignments.len() as u64,

@@ -7,7 +7,14 @@ use agentgrid_suite::store::{Record, ReplicatedStore};
 use agentgrid_suite::ManagementGrid;
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn network(devices: usize, seed: u64) -> Network {
@@ -52,7 +59,11 @@ fn unreachable_device_keeps_the_rest_of_the_fleet_monitored() {
     let mut grid = ManagementGrid::builder()
         .network(network(3, 11))
         .analyzer("pg-1", 1.0, ALL_SKILLS)
-        .fault(ScheduledFault::from("dev-0", FaultKind::Unreachable, 60_000))
+        .fault(ScheduledFault::from(
+            "dev-0",
+            FaultKind::Unreachable,
+            60_000,
+        ))
         .build();
     let report = grid.run(5 * 60_000, 60_000);
     // The outage is reported...
@@ -72,9 +83,7 @@ fn fault_clearing_stops_new_alerts() {
     let mut grid = ManagementGrid::builder()
         .network(network(2, 13))
         .analyzer("pg-1", 1.0, ALL_SKILLS)
-        .fault(
-            ScheduledFault::from("dev-0", FaultKind::CpuRunaway, 60_000).until(4 * 60_000),
-        )
+        .fault(ScheduledFault::from("dev-0", FaultKind::CpuRunaway, 60_000).until(4 * 60_000))
         .build();
     grid.run(4 * 60_000, 60_000);
     let during = grid.alerts().len();

@@ -7,7 +7,14 @@ use agentgrid_suite::net::{Device, DeviceKind, Network};
 use agentgrid_suite::ManagementGrid;
 
 const ALL_SKILLS: [&str; 8] = [
-    "cpu", "memory", "disk", "interface", "process", "system", "other", "correlation",
+    "cpu",
+    "memory",
+    "disk",
+    "interface",
+    "process",
+    "system",
+    "other",
+    "correlation",
 ];
 
 fn network(devices: usize, seed: u64) -> Network {
@@ -36,7 +43,11 @@ fn taught_rules_fire_and_replace_by_name() {
         r#"rule "ops-note" { when procs(device: ?d, value: ?v) if ?v > 0 then emit info ?d "procs ?v" }"#,
     );
     let with_rule = grid.run(3 * 60_000, 60_000);
-    let fired = with_rule.alerts.iter().filter(|a| a.rule == "ops-note").count();
+    let fired = with_rule
+        .alerts
+        .iter()
+        .filter(|a| a.rule == "ops-note")
+        .count();
     assert!(fired > 0, "taught rule must fire");
 
     // Re-teach the same rule name with an impossible guard: it must

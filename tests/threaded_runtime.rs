@@ -90,3 +90,71 @@ fn classify_analyze_alert_pipeline_works_across_threads() {
     assert!(stats.delivered >= 4);
     assert_eq!(stats.dead_letters.len(), 1);
 }
+
+/// A message to an unknown agent must appear in `shutdown().dead_letters`
+/// exactly once — the router used to clone per receiver and containers
+/// re-scanned the full receiver list, so multicasts could duplicate.
+#[test]
+fn unknown_receiver_dead_letters_exactly_once() {
+    use agentgrid_suite::platform::{Agent, AgentCtx};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Sink {
+        hits: Arc<AtomicUsize>,
+    }
+    impl Agent for Sink {
+        fn on_message(&mut self, _msg: &AclMessage, _ctx: &mut AgentCtx<'_>) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let mut platform = ThreadedPlatform::new("rt");
+    platform.add_container("a");
+    // Two residents of ONE container: the regression case where a
+    // per-receiver clone plus a full receiver-list scan in the container
+    // delivered (and dead-lettered) multicasts more than once.
+    let s1 = platform
+        .spawn(
+            "a",
+            "s1",
+            Sink {
+                hits: Arc::clone(&hits),
+            },
+        )
+        .unwrap();
+    let s2 = platform
+        .spawn(
+            "a",
+            "s2",
+            Sink {
+                hits: Arc::clone(&hits),
+            },
+        )
+        .unwrap();
+    let mut handle = platform.start();
+
+    let multicast = AclMessage::builder(Performative::Inform)
+        .sender(AgentId::new("driver"))
+        .receiver(s1)
+        .receiver(s2)
+        .receiver(AgentId::new("ghost@rt"))
+        .build()
+        .unwrap();
+    handle.post(multicast);
+    assert!(handle.wait_idle(), "must quiesce");
+
+    let stats = handle.shutdown();
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        2,
+        "each live receiver hears the multicast exactly once"
+    );
+    assert_eq!(stats.delivered, 2);
+    assert_eq!(
+        stats.dead_letters.len(),
+        1,
+        "the unknown receiver dead-letters exactly once"
+    );
+    assert_eq!(stats.dead_letters[0].receivers().len(), 3);
+}
