@@ -4,7 +4,13 @@
 //! ```text
 //! cargo run -p agentgrid-bench --bin repro -- all
 //! cargo run -p agentgrid-bench --bin repro -- table1 fig6 crossover
+//! cargo run -p agentgrid-bench --bin repro -- fig2 --metrics /tmp/metrics.json
 //! ```
+//!
+//! `--metrics <path>` attaches a telemetry sink to every live-grid
+//! experiment (fig2, lb, mobility) and writes the final snapshot to
+//! `<path>` — JSON when the path ends in `.json`, Prometheus text
+//! otherwise.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
@@ -20,11 +26,14 @@ use agentgrid_bench::{
     fig6_reports, grid_scaling_report, mean_completions, standard_network, ALL_SKILLS,
 };
 use agentgrid_net::{FaultKind, ScheduledFault};
+use agentgrid_platform::{Telemetry, TelemetryHandle};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = take_metrics_flag(&mut args);
+    let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -46,18 +55,58 @@ fn main() {
         match experiment {
             "table1" => table1(),
             "fig1" => fig1(),
-            "fig2" => fig2(),
+            "fig2" => fig2(telemetry.as_ref()),
             "fig3" => fig3(),
             "fig4" => fig4(),
             "fig5" => fig5(),
             "fig6" => fig6(),
             "crossover" => crossover(),
-            "lb" => lb_ablation(),
+            "lb" => lb_ablation(telemetry.as_ref()),
             "scaling" => scaling(),
-            "mobility" => mobility(),
+            "mobility" => mobility(telemetry.as_ref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
+    if let (Some(path), Some(telemetry)) = (metrics_path, telemetry) {
+        write_metrics(&path, &telemetry);
+    }
+}
+
+/// Removes `--metrics <path>` (or `--metrics=<path>`) from `args` and
+/// returns the path, if present.
+fn take_metrics_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics needs a path argument");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(path);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--metrics=")) {
+        let path = args.remove(i)["--metrics=".len()..].to_owned();
+        return Some(path);
+    }
+    None
+}
+
+/// Writes the telemetry snapshot to `path`: JSON for `.json` paths,
+/// Prometheus text format otherwise.
+fn write_metrics(path: &str, telemetry: &TelemetryHandle) {
+    let rendered = if path.ends_with(".json") {
+        telemetry.json()
+    } else {
+        telemetry.prometheus()
+    };
+    if let Err(err) = std::fs::write(path, &rendered) {
+        eprintln!("failed to write metrics to {path}: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nmetrics: {} samples written to {path}",
+        telemetry.snapshot().samples.len()
+    );
 }
 
 fn banner(title: &str) {
@@ -85,9 +134,9 @@ fn fig1() {
 }
 
 /// Figure 2: the full agent-grid architecture, live, over two sites.
-fn fig2() {
+fn fig2(telemetry: Option<&TelemetryHandle>) {
     banner("Figure 2 — agent-grid architecture, live run over two sites");
-    let mut grid = ManagementGrid::builder()
+    let mut builder = ManagementGrid::builder()
         .network(standard_network(2, 4, 11))
         .collectors_per_site(2)
         .analyzer("pg-1", 1.0, ALL_SKILLS)
@@ -101,8 +150,11 @@ fn fig2() {
             "site-1-dev0",
             FaultKind::LinkDown(2),
             180_000,
-        ))
-        .build();
+        ));
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t.clone());
+    }
+    let mut grid = builder.build();
     let report = grid.run(10 * 60_000, 60_000);
     print!("{}", report.render());
 }
@@ -210,17 +262,23 @@ fn crossover() {
 }
 
 /// Extension: load-balancing policy ablation on the live grid.
-fn lb_ablation() {
+fn lb_ablation(telemetry: Option<&TelemetryHandle>) {
     banner("Extension — load-balancing policy ablation (live grid)");
-    fn run_with(policy: impl LoadBalancer + 'static) -> (String, String) {
+    fn run_with(
+        policy: impl LoadBalancer + 'static,
+        telemetry: Option<&TelemetryHandle>,
+    ) -> (String, String) {
         let name = policy.name().to_owned();
-        let mut grid = ManagementGrid::builder()
+        let mut builder = ManagementGrid::builder()
             .network(standard_network(1, 6, 17))
             .collectors_per_site(2)
             .analyzer("pg-fast", 4.0, ALL_SKILLS)
             .analyzer("pg-slow", 1.0, ALL_SKILLS)
-            .policy(policy)
-            .build();
+            .policy(policy);
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t.clone());
+        }
+        let mut grid = builder.build();
         let report = grid.run(10 * 60_000, 60_000);
         let per = report.tasks_per_container();
         let fast = per.get("pg-fast").copied().unwrap_or(0);
@@ -234,11 +292,11 @@ fn lb_ablation() {
         )
     }
     for (name, line) in [
-        run_with(KnowledgeCapacityIdle),
-        run_with(ContractNet),
-        run_with(LeastLoaded),
-        run_with(RoundRobin::default()),
-        run_with(Random::new(42)),
+        run_with(KnowledgeCapacityIdle, telemetry),
+        run_with(ContractNet, telemetry),
+        run_with(LeastLoaded, telemetry),
+        run_with(RoundRobin::default(), telemetry),
+        run_with(Random::new(42), telemetry),
     ] {
         println!("{name:<24} {line}");
     }
@@ -264,13 +322,16 @@ fn scaling() {
 }
 
 /// Extension: mobility — migrating an analyzer to a spare container.
-fn mobility() {
+fn mobility(telemetry: Option<&TelemetryHandle>) {
     banner("Extension — mobility: analyzer migration to spare capacity");
-    let mut grid = ManagementGrid::builder()
+    let mut builder = ManagementGrid::builder()
         .network(standard_network(1, 6, 23))
         .collectors_per_site(2)
-        .analyzer("pg-1", 1.0, ALL_SKILLS)
-        .build();
+        .analyzer("pg-1", 1.0, ALL_SKILLS);
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t.clone());
+    }
+    let mut grid = builder.build();
     // A spare container joins the grid (profile registered, no agent).
     grid.platform_mut().add_container("spare-1");
     grid.platform_mut()

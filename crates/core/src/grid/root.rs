@@ -3,6 +3,7 @@ use std::sync::Arc;
 use agentgrid_acl::ontology::{AnalysisTask, ToContent, MANAGEMENT_ONTOLOGY};
 use agentgrid_acl::{AclMessage, Performative, Value};
 use agentgrid_platform::{Agent, AgentCtx};
+use agentgrid_telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
 
 use crate::balance::LoadBalancer;
@@ -21,6 +22,33 @@ struct Pending {
     task: AnalysisTask,
     container: String,
     ticks_outstanding: u64,
+}
+
+/// Brokering outcome counters exported as
+/// `agentgrid_broker_tasks_total{outcome=...}` when telemetry is
+/// attached — one increment per decision, mirroring [`RootStats`].
+#[derive(Debug)]
+struct BrokerMetrics {
+    assigned: Counter,
+    unassigned: Counter,
+    reassigned: Counter,
+    completed: Counter,
+}
+
+impl BrokerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let counter = |outcome: &str| {
+            telemetry
+                .registry()
+                .counter("agentgrid_broker_tasks_total", &[("outcome", outcome)])
+        };
+        BrokerMetrics {
+            assigned: counter("assigned"),
+            unassigned: counter("unassigned"),
+            reassigned: counter("reassigned"),
+            completed: counter("completed"),
+        }
+    }
 }
 
 /// Counters the root maintains, shared out through
@@ -55,6 +83,7 @@ pub struct ProcessorRootAgent {
     ready_seen: u64,
     pending: Vec<Pending>,
     stats: Arc<Mutex<RootStats>>,
+    metrics: Option<BrokerMetrics>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -75,7 +104,15 @@ impl ProcessorRootAgent {
             ready_seen: 0,
             pending: Vec::new(),
             stats: Arc::new(Mutex::new(RootStats::default())),
+            metrics: None,
         }
+    }
+
+    /// Exports brokering outcomes as
+    /// `agentgrid_broker_tasks_total{outcome=...}` counters in
+    /// `telemetry`'s registry.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = Some(BrokerMetrics::new(telemetry));
     }
 
     /// A handle onto the root's statistics, valid after the agent is
@@ -105,6 +142,9 @@ impl ProcessorRootAgent {
                     .cloned();
                 let Some(analyzer) = analyzer else {
                     self.stats.lock().unassigned += 1;
+                    if let Some(m) = &self.metrics {
+                        m.unassigned.inc();
+                    }
                     return;
                 };
                 // Project the added load so the next selection sees it.
@@ -126,13 +166,21 @@ impl ProcessorRootAgent {
                     .lock()
                     .assignments
                     .push((task.task_id.clone(), container.clone()));
+                if let Some(m) = &self.metrics {
+                    m.assigned.inc();
+                }
                 self.pending.push(Pending {
                     task,
                     container,
                     ticks_outstanding: 0,
                 });
             }
-            None => self.stats.lock().unassigned += 1,
+            None => {
+                self.stats.lock().unassigned += 1;
+                if let Some(m) = &self.metrics {
+                    m.unassigned.inc();
+                }
+            }
         }
     }
 }
@@ -144,6 +192,9 @@ impl Agent for ProcessorRootAgent {
             if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
                 self.pending.retain(|p| p.task.task_id != task_id);
                 self.stats.lock().completed += 1;
+                if let Some(m) = &self.metrics {
+                    m.completed.inc();
+                }
             }
             return;
         }
@@ -192,6 +243,9 @@ impl Agent for ProcessorRootAgent {
         });
         for task in orphans {
             self.stats.lock().reassigned += 1;
+            if let Some(m) = &self.metrics {
+                m.reassigned.inc();
+            }
             self.assign_and_send(task, ctx);
         }
     }

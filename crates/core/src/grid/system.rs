@@ -5,9 +5,10 @@ use std::sync::Arc;
 use agentgrid_acl::ontology::{Alert, ResourceProfile};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_net::{FaultInjector, Network, ScheduledFault};
-use agentgrid_platform::{Platform, Runtime, ThreadedRuntime};
+use agentgrid_platform::{Platform, Runtime, TelemetryHandle, ThreadedRuntime};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
+use agentgrid_telemetry::measured_load;
 use parking_lot::Mutex;
 
 use crate::balance::{KnowledgeCapacityIdle, LoadBalancer};
@@ -35,6 +36,8 @@ pub struct GridBuilder {
     policy: Box<dyn LoadBalancer>,
     rules: String,
     faults: FaultInjector,
+    telemetry: Option<TelemetryHandle>,
+    live_profiles: bool,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -108,6 +111,26 @@ impl GridBuilder {
         self
     }
 
+    /// Attaches a telemetry sink: the runtime records per-container
+    /// metrics and conversation traces into it, the root exports broker
+    /// counters, and each container is mapped onto its grid stage
+    /// (collector, classifier, root, analyzer, interface).
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Feeds **measured** load (mailbox depth + handler busy time, the
+    /// paper's Fig. 4 resource profile as observed rather than declared)
+    /// into the directory each tick, so [`KnowledgeCapacityIdle`] ranks
+    /// containers by real idleness. Requires
+    /// [`telemetry`](Self::telemetry); default off, keeping runs without
+    /// a sink byte-for-byte identical to the uninstrumented grid.
+    pub fn live_profiles(mut self, enabled: bool) -> Self {
+        self.live_profiles = enabled;
+        self
+    }
+
     /// Builds and wires the grid on the deterministic stepper (the
     /// default runtime: reproducible runs, ideal for tests and
     /// experiments).
@@ -150,6 +173,15 @@ impl GridBuilder {
         let store = Arc::new(Mutex::new(ManagementStore::default()));
         let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
         let mut platform = R::create("grid");
+        if let Some(telemetry) = &self.telemetry {
+            platform.set_telemetry(Arc::clone(telemetry));
+            telemetry.set_stage("ig", "interface");
+            telemetry.set_stage("pg-root-ct", "root");
+            telemetry.set_stage("clg", "classifier");
+            for spec in &self.analyzers {
+                telemetry.set_stage(&spec.name, "analyzer");
+            }
+        }
 
         // Interface grid.
         platform.add_container("ig");
@@ -159,7 +191,10 @@ impl GridBuilder {
 
         // Processor grid root.
         platform.add_container("pg-root-ct");
-        let root_agent = ProcessorRootAgent::new(self.policy);
+        let mut root_agent = ProcessorRootAgent::new(self.policy);
+        if let Some(telemetry) = &self.telemetry {
+            root_agent.attach_telemetry(telemetry);
+        }
         let root_stats = root_agent.stats_handle();
         let root_id = platform
             .spawn_agent("pg-root-ct", "pg-root", root_agent)
@@ -206,6 +241,9 @@ impl GridBuilder {
         };
         for (site, devices) in &sites {
             let container = format!("cg-{site}");
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.set_stage(&container, "collector");
+            }
             platform.add_container(&container);
             for c in 0..self.collectors_per_site {
                 let assigned: Vec<String> = devices
@@ -245,6 +283,8 @@ impl GridBuilder {
             root_stats,
             interface_id,
             ticks: 0,
+            live_profiles: self.live_profiles,
+            last_busy_ns: BTreeMap::new(),
         }
     }
 }
@@ -340,6 +380,9 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     root_stats: Arc<Mutex<RootStats>>,
     interface_id: AgentId,
     ticks: u64,
+    live_profiles: bool,
+    /// Busy-ns counter values at the previous tick, for windowed deltas.
+    last_busy_ns: BTreeMap<String, u64>,
 }
 
 impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
@@ -365,6 +408,8 @@ impl ManagementGrid {
             policy: Box::new(KnowledgeCapacityIdle),
             rules: DEFAULT_RULES.to_owned(),
             faults: FaultInjector::default(),
+            telemetry: None,
+            live_profiles: false,
         }
     }
 }
@@ -393,9 +438,36 @@ impl<R: Runtime> ManagementGrid<R> {
                 network.tick_all(now);
             }
             self.platform.run_until_idle(now);
+            if self.live_profiles {
+                self.refresh_profiles(tick_ms);
+            }
             self.ticks += 1;
         }
         self.report(self.ticks * tick_ms - start)
+    }
+
+    /// Overwrites each profiled container's directory load with the
+    /// measured figure from telemetry (mailbox depth + handler busy time
+    /// over the tick window), so the next brokering round ranks by
+    /// observed idleness instead of the root's own projections.
+    fn refresh_profiles(&mut self, tick_ms: u64) {
+        let Some(telemetry) = self.platform.telemetry() else {
+            return;
+        };
+        let window_ns = tick_ms.saturating_mul(1_000_000);
+        for stats in telemetry.container_stats() {
+            let prev = self
+                .last_busy_ns
+                .insert(stats.container.clone(), stats.busy_ns)
+                .unwrap_or(0);
+            let busy_delta = stats.busy_ns.saturating_sub(prev);
+            let load = measured_load(stats.mailbox_depth, busy_delta, window_ns);
+            self.platform.with_df(|df| {
+                if df.container_profile(&stats.container).is_some() {
+                    df.update_load(&stats.container, load);
+                }
+            });
+        }
     }
 
     fn report(&self, duration_ms: u64) -> GridReport {
@@ -459,6 +531,12 @@ impl<R: Runtime> ManagementGrid<R> {
     /// Alerts raised so far.
     pub fn alerts(&self) -> Vec<Alert> {
         self.alerts.lock().clone()
+    }
+
+    /// The telemetry sink attached through
+    /// [`GridBuilder::telemetry`], if any.
+    pub fn telemetry(&self) -> Option<TelemetryHandle> {
+        self.platform.telemetry()
     }
 }
 

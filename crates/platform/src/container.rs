@@ -1,6 +1,8 @@
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use agentgrid_acl::{AgentId, SharedMessage};
+use agentgrid_telemetry::{ContainerScope, Telemetry};
 
 use crate::agent::{Agent, AgentState};
 use crate::DirectoryFacilitator;
@@ -42,6 +44,10 @@ impl std::fmt::Debug for AgentSlot {
 #[derive(Debug, Default)]
 pub struct Container {
     pub(crate) agents: BTreeMap<AgentId, AgentSlot>,
+    /// Telemetry handles for this container, cached so the delivery and
+    /// handling paths never take the registry lock. `None` while no
+    /// telemetry is attached to the platform.
+    pub(crate) scope: Option<Arc<ContainerScope>>,
 }
 
 impl Container {
@@ -75,18 +81,48 @@ impl Container {
         now_ms: u64,
         outbox: &mut Vec<SharedMessage>,
         df: &mut DirectoryFacilitator,
+        telemetry: Option<&Telemetry>,
     ) {
+        let scope = self.scope.as_deref();
         for (id, slot) in self.agents.iter_mut() {
             if slot.state != AgentState::Active {
                 continue;
             }
             // Deliver the mailbox first, then tick.
             while let Some(message) = slot.mailbox.pop_front() {
+                let span = match (telemetry, scope) {
+                    (Some(t), Some(scope)) => t.start_handle(&message, id, scope),
+                    _ => None,
+                };
+                let started = telemetry.map(|_| std::time::Instant::now());
+                let sent_from = outbox.len();
                 let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
                 slot.agent.on_message(&message, &mut ctx);
+                if let (Some(t), Some(scope)) = (telemetry, scope) {
+                    let busy_ns = started
+                        .map(|s| s.elapsed().as_nanos() as u64)
+                        .unwrap_or_default();
+                    t.finish_handle(span, scope, now_ms, busy_ns);
+                    // Messages produced while handling are causal
+                    // children of the handled message's span.
+                    for sent in &outbox[sent_from..] {
+                        scope.on_sent();
+                        t.message_sent(sent, span, now_ms);
+                    }
+                }
             }
+            let sent_from = outbox.len();
             let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
             slot.agent.on_tick(&mut ctx);
+            if let Some(t) = telemetry {
+                // Tick-originated sends start new conversations.
+                for sent in &outbox[sent_from..] {
+                    if let Some(scope) = scope {
+                        scope.on_sent();
+                    }
+                    t.message_sent(sent, None, now_ms);
+                }
+            }
         }
     }
 }

@@ -78,6 +78,11 @@ pub use container::Container;
 pub use df::{DirectoryFacilitator, ServiceEntry};
 pub use platform::{Platform, PlatformError, TransportFault};
 pub use runtime::{Runtime, ThreadedRuntime};
+pub use threaded::{RunStats, RunningPlatform, ThreadedPlatform};
+
+// Telemetry surface, re-exported so runtime users attach sinks without
+// naming the telemetry crate.
+pub use agentgrid_telemetry::{ContainerScope, ContainerStats, Telemetry, TelemetryHandle};
 
 // Re-exported so platform users need not depend on the acl crate
 // explicitly for the common types.

@@ -2,6 +2,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use agentgrid_acl::{AgentId, SharedMessage};
+use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::{Agent, AgentState};
 use crate::container::{AgentSlot, Container};
@@ -71,6 +72,7 @@ pub struct Platform {
     fault: TransportFault,
     now_ms: u64,
     delivered: u64,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl Platform {
@@ -86,7 +88,23 @@ impl Platform {
             fault: TransportFault::None,
             now_ms: 0,
             delivered: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink: metrics and conversation traces are
+    /// recorded from this point on. Containers created before or after
+    /// attachment are both covered.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        for (name, container) in self.containers.iter_mut() {
+            container.scope = Some(telemetry.container_scope(name));
+        }
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<TelemetryHandle> {
+        self.telemetry.clone()
     }
 
     /// The platform name.
@@ -101,10 +119,12 @@ impl Platform {
     /// Panics if the container already exists (configuration bug).
     pub fn add_container(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
+        let mut container = Container::new();
+        if let Some(telemetry) = &self.telemetry {
+            container.scope = Some(telemetry.container_scope(&name));
+        }
         assert!(
-            self.containers
-                .insert(name.clone(), Container::new())
-                .is_none(),
+            self.containers.insert(name.clone(), container).is_none(),
             "container `{name}` already exists"
         );
         self
@@ -163,6 +183,15 @@ impl Platform {
                 crate::agent::AgentCtx::new(&id, container, self.now_ms, &mut outbox, &mut self.df);
             slot.agent.setup(&mut ctx);
         }
+        if let Some(telemetry) = &self.telemetry {
+            // Setup-time sends open new conversations.
+            for sent in &outbox {
+                if let Some(scope) = &holder.scope {
+                    scope.on_sent();
+                }
+                telemetry.message_sent(sent, None, self.now_ms);
+            }
+        }
         holder.agents.insert(id.clone(), slot);
         self.in_flight.extend(outbox);
         Ok(id)
@@ -214,12 +243,22 @@ impl Platform {
         self.delivered
     }
 
+    /// Number of dead-lettered messages so far. Same introspection
+    /// surface as [`RunningPlatform`](crate::RunningPlatform).
+    pub fn dead_letter_count(&self) -> usize {
+        self.dead_letters.len()
+    }
+
     /// Sends a message from outside any agent (e.g. the user interface
     /// pushing feedback in). Routed on the next step. Accepts a plain
     /// [`AclMessage`](agentgrid_acl::AclMessage) or a
     /// [`SharedMessage`].
     pub fn post(&mut self, message: impl Into<SharedMessage>) {
-        self.in_flight.push(message.into());
+        let message = message.into();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.message_sent(&message, None, self.now_ms);
+        }
+        self.in_flight.push(message);
     }
 
     /// Suspends an agent (mailbox accumulates, no scheduling).
@@ -300,9 +339,16 @@ impl Platform {
         for message in to_route {
             self.route(message);
         }
+        let telemetry = self.telemetry.clone();
         let mut outbox = Vec::new();
         for (name, container) in self.containers.iter_mut() {
-            container.tick_agents(name, now_ms, &mut outbox, &mut self.df);
+            container.tick_agents(
+                name,
+                now_ms,
+                &mut outbox,
+                &mut self.df,
+                telemetry.as_deref(),
+            );
         }
         self.in_flight.extend(outbox);
         routed
@@ -328,6 +374,7 @@ impl Platform {
                 return;
             }
         }
+        let telemetry = self.telemetry.clone();
         // Fan-out is N `Arc::clone`s of one shared allocation; the
         // message content is never deep-cloned per receiver.
         for receiver in message.receivers().to_vec() {
@@ -336,16 +383,25 @@ impl Platform {
                     continue;
                 }
             }
-            let slot = self
-                .containers
-                .values_mut()
-                .find_map(|c| c.agents.get_mut(&receiver));
-            match slot {
-                Some(slot) if slot.state != AgentState::Dead => {
+            let hit = self.containers.values_mut().find_map(|c| {
+                c.agents
+                    .get_mut(&receiver)
+                    .map(|slot| (c.scope.clone(), slot))
+            });
+            match hit {
+                Some((scope, slot)) if slot.state != AgentState::Dead => {
                     slot.mailbox.push_back(SharedMessage::clone(&message));
                     self.delivered += 1;
+                    if let (Some(t), Some(scope)) = (&telemetry, &scope) {
+                        t.message_delivered(&message, &receiver, scope, self.now_ms);
+                    }
                 }
-                _ => self.dead_letters.push(SharedMessage::clone(&message)),
+                _ => {
+                    if let Some(t) = &telemetry {
+                        t.message_dead_lettered(&message, &receiver, self.now_ms);
+                    }
+                    self.dead_letters.push(SharedMessage::clone(&message));
+                }
             }
         }
     }

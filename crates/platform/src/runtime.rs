@@ -45,6 +45,7 @@
 //! ```
 
 use agentgrid_acl::{AgentId, SharedMessage};
+use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::Agent;
 use crate::threaded::{RunStats, RunningPlatform, ThreadedPlatform};
@@ -120,6 +121,18 @@ pub trait Runtime {
     /// OS resources that cannot be revoked mid-run
     /// ([`ThreadedRuntime`]).
     fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError>;
+
+    /// Attaches a telemetry sink: counters, conversation traces and
+    /// per-container resource profiles record into it from then on. On
+    /// the threaded runtime this must happen before execution starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics ([`ThreadedRuntime`]) if the threads are already running.
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle);
+
+    /// The attached telemetry sink, if any.
+    fn telemetry(&self) -> Option<TelemetryHandle>;
 }
 
 impl Runtime for Platform {
@@ -166,6 +179,14 @@ impl Runtime for Platform {
 
     fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
         Platform::kill_container(self, name)
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        Platform::set_telemetry(self, telemetry);
+    }
+
+    fn telemetry(&self) -> Option<TelemetryHandle> {
+        Platform::telemetry(self)
     }
 }
 
@@ -331,6 +352,21 @@ impl Runtime for ThreadedRuntime {
         Err(PlatformError::Unsupported(
             "killing containers on the threaded runtime",
         ))
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.set_telemetry(telemetry),
+            _ => panic!("attach telemetry before the threaded runtime starts"),
+        }
+    }
+
+    fn telemetry(&self) -> Option<TelemetryHandle> {
+        match &self.state {
+            ThreadedState::Building(platform) => platform.telemetry(),
+            ThreadedState::Running(handle) => handle.telemetry(),
+            ThreadedState::Poisoned => None,
+        }
     }
 }
 

@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use agentgrid_acl::{AgentId, SharedMessage};
+use agentgrid_telemetry::{ContainerScope, TelemetryHandle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -82,6 +83,8 @@ struct SharedState {
     clock_ms: AtomicU64,
     /// Undeliverable messages, one entry per unreachable receiver.
     dead_letters: Mutex<Vec<SharedMessage>>,
+    /// Optional telemetry sink shared by the router and all containers.
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// Final statistics returned by [`RunningPlatform::shutdown`].
@@ -92,6 +95,9 @@ pub struct RunStats {
     /// Messages whose receiver did not exist, one entry per unreachable
     /// receiver (entries of one multicast share an allocation).
     pub dead_letters: Vec<SharedMessage>,
+    /// Telemetry recorded during the run (metrics + traces), if a sink
+    /// was attached before [`ThreadedPlatform::start`].
+    pub telemetry: Option<TelemetryHandle>,
 }
 
 /// A threaded platform under construction (agents are spawned before the
@@ -100,6 +106,7 @@ pub struct ThreadedPlatform {
     name: String,
     containers: BTreeMap<String, AgentRoster>,
     df: DirectoryFacilitator,
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl std::fmt::Debug for ThreadedPlatform {
@@ -118,7 +125,20 @@ impl ThreadedPlatform {
             name: name.into(),
             containers: BTreeMap::new(),
             df: DirectoryFacilitator::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink. Must be called before
+    /// [`start`](Self::start); the router and container threads record
+    /// into it for the whole run.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<TelemetryHandle> {
+        self.telemetry.clone()
     }
 
     /// Read access to the directory before the threads start.
@@ -189,6 +209,7 @@ impl ThreadedPlatform {
             delivered: AtomicU64::new(0),
             clock_ms: AtomicU64::new(0),
             dead_letters: Mutex::new(Vec::new()),
+            telemetry: self.telemetry,
         });
 
         // Router: one inbox; knows which container channel owns each id.
@@ -217,6 +238,15 @@ impl ThreadedPlatform {
         let router_shared = Arc::clone(&shared);
         let router_containers = container_txs.clone();
         let router = std::thread::spawn(move || {
+            // Per-container telemetry scopes, resolved once so routing
+            // never takes the registry lock.
+            let scopes: BTreeMap<String, Arc<ContainerScope>> = match &router_shared.telemetry {
+                Some(t) => residents
+                    .values()
+                    .map(|c| (c.clone(), t.container_scope(c)))
+                    .collect(),
+                None => BTreeMap::new(),
+            };
             // Exits when every sender (containers + the handle) is gone.
             while let Ok(message) = router_rx.recv() {
                 // Group receivers by owning container so each container
@@ -224,16 +254,27 @@ impl ThreadedPlatform {
                 // list of its residents to hand the message to. Fan-out
                 // is refcount bumps; the message is never deep-cloned.
                 let mut per_container: BTreeMap<&str, Vec<AgentId>> = BTreeMap::new();
+                let now = router_shared.clock_ms.load(Ordering::SeqCst);
                 for receiver in message.receivers() {
                     match residents.get(receiver) {
-                        Some(container) => per_container
-                            .entry(container.as_str())
-                            .or_default()
-                            .push(receiver.clone()),
-                        None => router_shared
-                            .dead_letters
-                            .lock()
-                            .push(SharedMessage::clone(&message)),
+                        Some(container) => {
+                            if let Some(t) = &router_shared.telemetry {
+                                t.message_delivered(&message, receiver, &scopes[container], now);
+                            }
+                            per_container
+                                .entry(container.as_str())
+                                .or_default()
+                                .push(receiver.clone())
+                        }
+                        None => {
+                            if let Some(t) = &router_shared.telemetry {
+                                t.message_dead_lettered(&message, receiver, now);
+                            }
+                            router_shared
+                                .dead_letters
+                                .lock()
+                                .push(SharedMessage::clone(&message))
+                        }
                     }
                 }
                 for (container, targets) in per_container {
@@ -266,6 +307,12 @@ fn spawn_container_thread(
     shared: Arc<SharedState>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // Telemetry handles, resolved once per thread; steady-state
+        // recording is pure atomics.
+        let scope = shared
+            .telemetry
+            .as_ref()
+            .map(|t| t.container_scope(&container_name));
         // Setup phase.
         let mut outbox = Vec::new();
         for (id, agent) in agents.iter_mut() {
@@ -274,6 +321,7 @@ fn spawn_container_thread(
             let mut ctx = AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
             agent.setup(&mut ctx);
         }
+        record_sends(&shared, scope.as_deref(), &outbox, 0, None);
         flush(&mut outbox, &router_tx, &shared);
 
         loop {
@@ -283,25 +331,52 @@ fn spawn_container_thread(
                     for receiver in &targets {
                         if let Some((id, agent)) = agents.iter_mut().find(|(id, _)| id == receiver)
                         {
+                            let span = match (&shared.telemetry, &scope) {
+                                (Some(t), Some(scope)) => t.start_handle(&message, id, scope),
+                                _ => None,
+                            };
+                            let started =
+                                shared.telemetry.as_ref().map(|_| std::time::Instant::now());
+                            let sent_from = outbox.len();
                             let mut df = shared.df.lock();
                             let mut ctx =
                                 AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
                             agent.on_message(&message, &mut ctx);
+                            drop(df);
                             shared.delivered.fetch_add(1, Ordering::SeqCst);
+                            if let (Some(t), Some(scope)) = (&shared.telemetry, &scope) {
+                                let busy_ns = started
+                                    .map(|s| s.elapsed().as_nanos() as u64)
+                                    .unwrap_or_default();
+                                t.finish_handle(span, scope, now, busy_ns);
+                            }
+                            record_sends(&shared, scope.as_deref(), &outbox, sent_from, span);
                         }
                     }
                     flush(&mut outbox, &router_tx, &shared);
                     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Ok(ContainerMsg::Tick) => {
-                    tick_all(&mut agents, &container_name, &mut outbox, &shared);
+                    tick_all(
+                        &mut agents,
+                        &container_name,
+                        scope.as_deref(),
+                        &mut outbox,
+                        &shared,
+                    );
                     flush(&mut outbox, &router_tx, &shared);
                     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
                 Ok(ContainerMsg::Stop) => break,
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     // Idle: give agents their tick.
-                    tick_all(&mut agents, &container_name, &mut outbox, &shared);
+                    tick_all(
+                        &mut agents,
+                        &container_name,
+                        scope.as_deref(),
+                        &mut outbox,
+                        &shared,
+                    );
                     flush(&mut outbox, &router_tx, &shared);
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
@@ -313,14 +388,38 @@ fn spawn_container_thread(
 fn tick_all(
     agents: &mut AgentRoster,
     container_name: &str,
+    scope: Option<&ContainerScope>,
     outbox: &mut Vec<SharedMessage>,
     shared: &SharedState,
 ) {
     let now = shared.clock_ms.load(Ordering::SeqCst);
+    let sent_from = outbox.len();
     for (id, agent) in agents.iter_mut() {
         let mut df = shared.df.lock();
         let mut ctx = AgentCtx::new(id, container_name, now, outbox, &mut df);
         agent.on_tick(&mut ctx);
+    }
+    record_sends(shared, scope, outbox, sent_from, None);
+}
+
+/// Traces `outbox[sent_from..]` as sends parented to `span` (tick and
+/// setup sends pass `None`: they open new conversations) and counts
+/// them into the container's sent/stage counters.
+fn record_sends(
+    shared: &SharedState,
+    scope: Option<&ContainerScope>,
+    outbox: &[SharedMessage],
+    sent_from: usize,
+    span: Option<agentgrid_telemetry::SpanId>,
+) {
+    if let Some(t) = &shared.telemetry {
+        let now = shared.clock_ms.load(Ordering::SeqCst);
+        for sent in &outbox[sent_from..] {
+            if let Some(scope) = scope {
+                scope.on_sent();
+            }
+            t.message_sent(sent, span, now);
+        }
     }
 }
 
@@ -353,8 +452,13 @@ impl RunningPlatform {
     /// Sends a message into the platform from outside. Accepts a plain
     /// [`AclMessage`](agentgrid_acl::AclMessage) or a [`SharedMessage`].
     pub fn post(&mut self, message: impl Into<SharedMessage>) {
+        let message = message.into();
+        if let Some(t) = &self.shared.telemetry {
+            let now = self.shared.clock_ms.load(Ordering::SeqCst);
+            t.message_sent(&message, None, now);
+        }
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let _ = self.router_tx.send(message.into());
+        let _ = self.router_tx.send(message);
     }
 
     /// Queues one `on_tick` round in every container (stepped driving —
@@ -396,10 +500,29 @@ impl RunningPlatform {
         self.shared.delivered.load(Ordering::SeqCst)
     }
 
+    /// Messages delivered so far — same name as
+    /// [`Platform::delivered_count`](crate::Platform::delivered_count)
+    /// so generic code reads identically on either runtime.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered()
+    }
+
     /// Undeliverable messages captured so far (one entry per unreachable
     /// receiver).
     pub fn dead_letter_count(&self) -> usize {
         self.shared.dead_letters.lock().len()
+    }
+
+    /// Snapshot of the undeliverable messages captured so far — same
+    /// introspection surface as
+    /// [`Platform::dead_letters`](crate::Platform::dead_letters).
+    pub fn dead_letters(&self) -> Vec<SharedMessage> {
+        self.shared.dead_letters.lock().clone()
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<TelemetryHandle> {
+        self.shared.telemetry.clone()
     }
 
     /// Number of containers (threads) running.
@@ -424,6 +547,7 @@ impl RunningPlatform {
         RunStats {
             delivered: self.shared.delivered.load(Ordering::SeqCst),
             dead_letters: std::mem::take(&mut self.shared.dead_letters.lock()),
+            telemetry: self.shared.telemetry.clone(),
         }
     }
 }

@@ -1,0 +1,229 @@
+//! Export of a metrics [`Snapshot`]: Prometheus text format and a JSON
+//! document, both dependency-free.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{SampleValue, Snapshot};
+
+/// Escapes a Prometheus label value: backslash, double quote and
+/// newline, per the text-format spec.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+/// Histograms expand into cumulative `_bucket` series plus `_sum` and
+/// `_count`.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for sample in &snapshot.samples {
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                );
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                );
+            }
+            SampleValue::Histogram {
+                bounds,
+                buckets,
+                sum,
+                count,
+            } => {
+                let mut cumulative = 0u64;
+                for (bound, bucket) in bounds.iter().zip(buckets) {
+                    cumulative += bucket;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        sample.name,
+                        label_block(&sample.labels, Some(("le", &bound.to_string()))),
+                    );
+                }
+                cumulative += buckets.last().copied().unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    sample.name,
+                    label_block(&sample.labels, Some(("le", "+Inf"))),
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {sum}",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {count}",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders the snapshot as one JSON document:
+/// `{"samples":[{"name":...,"labels":{...},"type":...,...}]}`.
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut entries = Vec::with_capacity(snapshot.samples.len());
+    for sample in &snapshot.samples {
+        let body = match &sample.value {
+            SampleValue::Counter(v) => format!("\"type\":\"counter\",\"value\":{v}"),
+            SampleValue::Gauge(v) => format!("\"type\":\"gauge\",\"value\":{v}"),
+            SampleValue::Histogram {
+                bounds,
+                buckets,
+                sum,
+                count,
+            } => format!(
+                "\"type\":\"histogram\",\"bounds\":{},\"buckets\":{},\"sum\":{sum},\"count\":{count}",
+                json_u64_array(bounds),
+                json_u64_array(buckets),
+            ),
+        };
+        entries.push(format!(
+            "{{\"name\":\"{}\",\"labels\":{},{body}}}",
+            json_escape(&sample.name),
+            json_labels(&sample.labels),
+        ));
+    }
+    format!("{{\"samples\":[{}]}}", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn prometheus_renders_counters_and_gauges_with_labels() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("msgs_total", &[("container", "pg-1")])
+            .add(3);
+        registry.gauge("depth", &[]).set(-2);
+        let text = to_prometheus(&registry.snapshot());
+        assert!(text.contains("msgs_total{container=\"pg-1\"} 3"));
+        assert!(text.contains("depth -2"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        assert_eq!(escape_label_value(r#"a\b"#), r#"a\\b"#);
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("esc_total", &[("path", "c:\\x\n\"q\"")])
+            .inc();
+        let text = to_prometheus(&registry.snapshot());
+        assert!(
+            text.contains(r#"esc_total{path="c:\\x\n\"q\""} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_with_inf() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_ms", &[], &[10, 100]);
+        h.observe(0);
+        h.observe(50);
+        h.observe(1_000);
+        let text = to_prometheus(&registry.snapshot());
+        assert!(text.contains("lat_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_ms_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ms_sum 1050"));
+        assert!(text.contains("lat_ms_count 3"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a_total", &[("k", "v\"w\\x\ny")]).add(7);
+        registry.histogram("h", &[], &[5]).observe(3);
+        let json = to_json(&registry.snapshot());
+        assert!(json.starts_with("{\"samples\":["));
+        assert!(json.contains("\"type\":\"counter\",\"value\":7"));
+        assert!(json.contains(r#""k":"v\"w\\x\ny""#), "{json}");
+        assert!(json.contains("\"bounds\":[5],\"buckets\":[1,0]"));
+        // No raw control characters may survive escaping.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snapshot = Snapshot::default();
+        assert_eq!(to_prometheus(&snapshot), "");
+        assert_eq!(to_json(&snapshot), "{\"samples\":[]}");
+    }
+}

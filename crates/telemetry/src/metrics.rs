@@ -1,0 +1,444 @@
+//! Lock-free metric primitives and the registry that names them.
+//!
+//! The hot path — incrementing a [`Counter`], moving a [`Gauge`],
+//! observing into a [`Histogram`] — is a single atomic operation on a
+//! handle the caller keeps. The registry lock is only taken on the cold
+//! path: creating (or re-fetching) a handle by name, and taking a
+//! [`Snapshot`] for export. Handles are `Arc`-backed and cheap to clone,
+//! so agents and container threads hold their own copies and never
+//! contend.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter (e.g. messages delivered).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (e.g. mailbox depth).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a detached gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Moves the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing. A value
+    /// `v` lands in the first bucket with `v <= bound`; larger values
+    /// land in the implicit overflow (`+Inf`) bucket.
+    bounds: Vec<u64>,
+    /// One count per finite bound, plus the trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of non-negative integer observations
+/// (durations in ns/ms, sizes, depths).
+///
+/// Buckets are chosen at creation and never reallocated, so `observe` is
+/// a bounded scan plus two atomic adds — safe to call from any thread
+/// with no locking.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Default bucket bounds for millisecond latencies.
+pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 60_000];
+
+/// Default bucket bounds for nanosecond handler durations.
+pub const DURATION_BUCKETS_NS: [u64; 10] = [
+    1_000,
+    10_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+impl Histogram {
+    /// Creates a histogram with the given finite bucket bounds (an
+    /// overflow bucket is always appended). Bounds are sorted and
+    /// deduplicated; an empty list leaves just the overflow bucket.
+    pub fn new(bounds: impl IntoIterator<Item = u64>) -> Self {
+        let mut bounds: Vec<u64> = bounds.into_iter().collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation. Zero is a valid observation (it lands in
+    /// the first bucket); values above every bound land in the overflow
+    /// bucket.
+    pub fn observe(&self, value: u64) {
+        let inner = &self.0;
+        let index = inner
+            .bounds
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[index].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts: one entry per finite bound plus the trailing
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Identity of one metric: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    labels.sort();
+    MetricKey {
+        name: name.to_owned(),
+        labels,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The value of one exported sample.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(i64),
+    /// A histogram's full state.
+    Histogram {
+        /// Finite bucket bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts (finite bounds, then overflow).
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Observation count.
+        count: u64,
+    },
+}
+
+/// One metric at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (`snake_case`, conventionally `agentgrid_*`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of every registered metric, ready for export
+/// (see [`crate::export`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All samples, ordered by name then labels.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Finds a sample by name and exact label set (order-insensitive).
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        let wanted = key(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == wanted.name && s.labels == wanted.labels)
+    }
+
+    /// The value of a counter sample, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of a gauge sample, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find(name, labels)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Names metrics and hands out shared handles.
+///
+/// ```
+/// use agentgrid_telemetry::metrics::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::default();
+/// let delivered = registry.counter("messages_delivered_total", &[("container", "pg-1")]);
+/// delivered.inc();
+/// // The same (name, labels) pair always resolves to the same handle.
+/// let again = registry.counter("messages_delivered_total", &[("container", "pg-1")]);
+/// again.add(2);
+/// assert_eq!(delivered.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Gets or creates the counter `(name, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is registered as a non-counter"),
+        }
+    }
+
+    /// Gets or creates the gauge `(name, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is registered as a non-gauge"),
+        }
+    }
+
+    /// Gets or creates the histogram `(name, labels)`; `bounds` only
+    /// applies on first creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let mut metrics = self.metrics.lock();
+        match metrics
+            .entry(key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.iter().copied())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is registered as a non-histogram"),
+        }
+    }
+
+    /// Copies every metric into an export-ready [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock();
+        let samples = metrics
+            .iter()
+            .map(|(key, metric)| Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = registry.gauge("g", &[("k", "v")]);
+        g.add(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn same_key_returns_same_handle_and_labels_are_order_insensitive() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x_total", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter("x_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(registry.snapshot().samples.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a non-counter")]
+    fn kind_clash_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("clash", &[]);
+        registry.counter("clash", &[]);
+    }
+
+    #[test]
+    fn histogram_zero_duration_lands_in_first_bucket() {
+        let h = Histogram::new([10, 100]);
+        h.observe(0);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 0]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn histogram_boundary_values_are_inclusive() {
+        let h = Histogram::new([10, 100]);
+        h.observe(10); // exactly on the first bound → first bucket
+        h.observe(11);
+        h.observe(100); // exactly on the last finite bound
+        assert_eq!(h.bucket_counts(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_catches_everything_above() {
+        let h = Histogram::new([10, 100]);
+        h.observe(101);
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 2]);
+        assert_eq!(h.count(), 2);
+        // Sum saturates modulo 2^64 by design of fetch_add; the counts
+        // stay exact, which is what the export layer relies on.
+    }
+
+    #[test]
+    fn histogram_with_no_bounds_is_a_single_overflow_bucket() {
+        let h = Histogram::new([]);
+        h.observe(0);
+        h.observe(123);
+        assert_eq!(h.bucket_counts(), vec![2]);
+    }
+
+    #[test]
+    fn histogram_bounds_are_sorted_and_deduped() {
+        let h = Histogram::new([100, 10, 100, 1]);
+        assert_eq!(h.bounds(), &[1, 10, 100]);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a_total", &[("x", "1")]).add(9);
+        registry.gauge("b", &[]).set(-4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a_total", &[("x", "1")]), Some(9));
+        assert_eq!(snap.gauge("b", &[]), Some(-4));
+        assert_eq!(snap.counter("missing", &[]), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! Conversation tracing: per-hop spans over FIPA-ACL message flow.
+//!
+//! Every `(message, receiver)` pair becomes one [`Span`] recording the
+//! enqueue → deliver → handle timeline on the simulated clock, the
+//! handler's wall-clock busy time, and a parent link to the span whose
+//! handling produced the message. Runtimes report the causal parent
+//! explicitly (they know which message an agent was handling when it
+//! sent), so a Type-C request can be followed collector → classifier →
+//! analyzer → interface even though the agents never set a
+//! `conversation_id` themselves.
+//!
+//! Conversations are keyed by the message's declared
+//! [`conversation_id`](agentgrid_acl::AclMessage::conversation_id) when
+//! present; otherwise children inherit the root span's synthetic
+//! `conv-<id>` key, so one cascade groups under one key either way.
+//!
+//! In-flight spans are looked up by the message's shared-allocation
+//! identity (the `Arc` pointer) plus the receiver. The tracer retains a
+//! clone of every traced message until [`clear`](ConversationTracer::clear),
+//! which keeps those allocations alive and therefore keeps pointer keys
+//! unique. A capacity cap bounds memory: past it, new spans are counted
+//! as dropped instead of recorded.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use agentgrid_acl::{AgentId, SharedMessage};
+use parking_lot::Mutex;
+
+/// Identifier of one span (unique within a tracer).
+pub type SpanId = u64;
+
+/// Default maximum number of spans retained by a tracer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 100_000;
+
+/// One hop of one conversation: a message en route to one receiver.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Unique id within the tracer.
+    pub id: SpanId,
+    /// The span whose handling produced this message, if any.
+    pub parent: Option<SpanId>,
+    /// Conversation key (declared `conversation_id` or inherited
+    /// synthetic key).
+    pub conversation: String,
+    /// Sending agent.
+    pub sender: String,
+    /// Receiving agent this span tracks.
+    pub receiver: String,
+    /// FIPA performative of the message.
+    pub performative: String,
+    /// Container that hosted the receiver, once delivered.
+    pub container: Option<String>,
+    /// Simulated time the message was enqueued for routing.
+    pub enqueued_ms: u64,
+    /// Simulated time the message reached the receiver's mailbox.
+    pub delivered_ms: Option<u64>,
+    /// Simulated time the receiver finished handling it.
+    pub handled_ms: Option<u64>,
+    /// Wall-clock nanoseconds the receiver's handler ran.
+    pub busy_ns: u64,
+    /// Whether the receiver was unreachable.
+    pub dead_lettered: bool,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    next_id: SpanId,
+    spans: BTreeMap<SpanId, Span>,
+    /// `(allocation identity, receiver)` → span, for hops whose
+    /// delivery/handling is still ahead.
+    pending: BTreeMap<(usize, String), SpanId>,
+    /// Clones that keep traced allocations (and thus pointer keys)
+    /// alive.
+    retained: Vec<SharedMessage>,
+    dropped: u64,
+}
+
+/// Records spans; shared by reference between runtime internals and the
+/// exporting caller.
+pub struct ConversationTracer {
+    inner: Mutex<TracerInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ConversationTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ConversationTracer")
+            .field("spans", &inner.spans.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Default for ConversationTracer {
+    fn default() -> Self {
+        ConversationTracer::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+fn message_key(message: &SharedMessage) -> usize {
+    Arc::as_ptr(message) as usize
+}
+
+impl ConversationTracer {
+    /// Creates a tracer retaining at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ConversationTracer {
+            inner: Mutex::new(TracerInner::default()),
+            capacity,
+        }
+    }
+
+    /// Records that `message` was enqueued for routing, creating one
+    /// span per receiver. `parent` is the span being handled when the
+    /// send happened (`None` for external posts and tick/setup sends).
+    pub fn on_send(&self, message: &SharedMessage, parent: Option<SpanId>, now_ms: u64) {
+        let mut inner = self.inner.lock();
+        let parent_conversation = parent
+            .and_then(|id| inner.spans.get(&id))
+            .map(|span| span.conversation.clone());
+        for receiver in message.receivers() {
+            if inner.spans.len() >= self.capacity {
+                inner.dropped += 1;
+                continue;
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            let conversation = message
+                .conversation_id()
+                .map(|c| c.as_str().to_owned())
+                .or_else(|| parent_conversation.clone())
+                .unwrap_or_else(|| format!("conv-{id}"));
+            inner.spans.insert(
+                id,
+                Span {
+                    id,
+                    parent,
+                    conversation,
+                    sender: message.sender().to_string(),
+                    receiver: receiver.to_string(),
+                    performative: message.performative().to_string(),
+                    container: None,
+                    enqueued_ms: now_ms,
+                    delivered_ms: None,
+                    handled_ms: None,
+                    busy_ns: 0,
+                    dead_lettered: false,
+                },
+            );
+            inner
+                .pending
+                .insert((message_key(message), receiver.to_string()), id);
+            inner.retained.push(SharedMessage::clone(message));
+        }
+    }
+
+    /// Marks the hop to `receiver` as delivered into `container`'s
+    /// mailbox.
+    pub fn on_deliver(
+        &self,
+        message: &SharedMessage,
+        receiver: &AgentId,
+        container: &str,
+        now_ms: u64,
+    ) {
+        let mut inner = self.inner.lock();
+        let key = (message_key(message), receiver.to_string());
+        if let Some(id) = inner.pending.get(&key).copied() {
+            if let Some(span) = inner.spans.get_mut(&id) {
+                span.delivered_ms = Some(now_ms);
+                span.container = Some(container.to_owned());
+            }
+        }
+    }
+
+    /// Marks the hop to `receiver` as dead-lettered and closes it.
+    pub fn on_dead_letter(&self, message: &SharedMessage, receiver: &AgentId, now_ms: u64) {
+        let mut inner = self.inner.lock();
+        let key = (message_key(message), receiver.to_string());
+        if let Some(id) = inner.pending.remove(&key) {
+            if let Some(span) = inner.spans.get_mut(&id) {
+                span.dead_lettered = true;
+                span.handled_ms = Some(now_ms);
+            }
+        }
+    }
+
+    /// Claims the span for `receiver`'s handling of `message`; returns
+    /// it so the runtime can report sends made during the handler as
+    /// children, then close it with
+    /// [`finish_handle`](Self::finish_handle).
+    pub fn start_handle(&self, message: &SharedMessage, receiver: &AgentId) -> Option<SpanId> {
+        let mut inner = self.inner.lock();
+        inner
+            .pending
+            .remove(&(message_key(message), receiver.to_string()))
+    }
+
+    /// The simulated enqueue time of a span, if it exists.
+    pub fn enqueued_ms(&self, span: SpanId) -> Option<u64> {
+        self.inner.lock().spans.get(&span).map(|s| s.enqueued_ms)
+    }
+
+    /// Closes a claimed span with its handling time.
+    pub fn finish_handle(&self, span: SpanId, now_ms: u64, busy_ns: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(span) = inner.spans.get_mut(&span) {
+            span.handled_ms = Some(now_ms);
+            span.busy_ns = busy_ns;
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans not recorded because the capacity cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// All spans, by id (creation) order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.values().cloned().collect()
+    }
+
+    /// Distinct conversation keys, sorted.
+    pub fn conversations(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<String> = inner
+            .spans
+            .values()
+            .map(|s| s.conversation.clone())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// The spans of one conversation, by id order.
+    pub fn conversation_spans(&self, conversation: &str) -> Vec<Span> {
+        self.inner
+            .lock()
+            .spans
+            .values()
+            .filter(|s| s.conversation == conversation)
+            .cloned()
+            .collect()
+    }
+
+    /// Discards all spans, pending hops and retained messages.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        *inner = TracerInner::default();
+    }
+
+    /// Renders the span tree of one conversation: indentation is causal
+    /// depth, each line showing `sender -> receiver [container]
+    /// performative` with the enqueue/deliver/handle timeline.
+    pub fn render_tree(&self, conversation: &str) -> String {
+        let spans = self.conversation_spans(conversation);
+        let mut children: BTreeMap<Option<SpanId>, Vec<&Span>> = BTreeMap::new();
+        let ids: std::collections::BTreeSet<SpanId> = spans.iter().map(|s| s.id).collect();
+        for span in &spans {
+            // A parent outside this conversation (or missing) makes the
+            // span a root of this tree.
+            let parent = span.parent.filter(|p| ids.contains(p));
+            children.entry(parent).or_default().push(span);
+        }
+        let mut out = format!("conversation {conversation}\n");
+        fn walk(
+            out: &mut String,
+            children: &BTreeMap<Option<SpanId>, Vec<&Span>>,
+            parent: Option<SpanId>,
+            depth: usize,
+        ) {
+            let Some(list) = children.get(&parent) else {
+                return;
+            };
+            for span in list {
+                let status = if span.dead_lettered {
+                    " DEAD-LETTER".to_owned()
+                } else {
+                    let delivered = span.delivered_ms.map_or("?".to_owned(), |t| t.to_string());
+                    let handled = span.handled_ms.map_or("?".to_owned(), |t| t.to_string());
+                    format!(
+                        " enqueued@{} delivered@{delivered} handled@{handled} busy {}ns",
+                        span.enqueued_ms, span.busy_ns
+                    )
+                };
+                let container = span.container.as_deref().unwrap_or("-");
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{} -> {} [{container}] {}{status}",
+                    "",
+                    span.sender,
+                    span.receiver,
+                    span.performative,
+                    indent = depth * 2,
+                );
+                walk(out, children, Some(span.id), depth + 1);
+            }
+        }
+        walk(&mut out, &children, None, 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_acl::{AclMessage, ConversationId, Performative, Value};
+
+    fn msg(from: &str, to: &[&str]) -> SharedMessage {
+        let mut builder = AclMessage::builder(Performative::Inform).sender(AgentId::new(from));
+        for to in to {
+            builder = builder.receiver(AgentId::new(*to));
+        }
+        builder
+            .content(Value::symbol("x"))
+            .build()
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn send_deliver_handle_lifecycle() {
+        let tracer = ConversationTracer::default();
+        let m = msg("a", &["b"]);
+        tracer.on_send(&m, None, 10);
+        tracer.on_deliver(&m, &AgentId::new("b"), "c1", 10);
+        let span = tracer.start_handle(&m, &AgentId::new("b")).unwrap();
+        tracer.finish_handle(span, 10, 1234);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.enqueued_ms, 10);
+        assert_eq!(s.delivered_ms, Some(10));
+        assert_eq!(s.handled_ms, Some(10));
+        assert_eq!(s.busy_ns, 1234);
+        assert_eq!(s.container.as_deref(), Some("c1"));
+        // A second claim of the same hop finds nothing.
+        assert!(tracer.start_handle(&m, &AgentId::new("b")).is_none());
+    }
+
+    #[test]
+    fn children_inherit_the_root_conversation() {
+        let tracer = ConversationTracer::default();
+        let root = msg("collector", &["classifier"]);
+        tracer.on_send(&root, None, 0);
+        tracer.on_deliver(&root, &AgentId::new("classifier"), "clg", 0);
+        let parent = tracer
+            .start_handle(&root, &AgentId::new("classifier"))
+            .unwrap();
+        let child = msg("classifier", &["root"]);
+        tracer.on_send(&child, Some(parent), 0);
+        tracer.finish_handle(parent, 0, 0);
+
+        let conversations = tracer.conversations();
+        assert_eq!(conversations.len(), 1, "{conversations:?}");
+        let spans = tracer.conversation_spans(&conversations[0]);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+    }
+
+    #[test]
+    fn declared_conversation_id_wins() {
+        let tracer = ConversationTracer::default();
+        let m = AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("a"))
+            .receiver(AgentId::new("b"))
+            .conversation(ConversationId::new("cfp-7"))
+            .build()
+            .unwrap()
+            .into_shared();
+        tracer.on_send(&m, None, 0);
+        assert_eq!(tracer.conversations(), vec!["cfp-7".to_owned()]);
+    }
+
+    #[test]
+    fn multicast_creates_one_span_per_receiver() {
+        let tracer = ConversationTracer::default();
+        let m = msg("a", &["b", "c"]);
+        tracer.on_send(&m, None, 5);
+        assert_eq!(tracer.len(), 2);
+        tracer.on_dead_letter(&m, &AgentId::new("c"), 5);
+        let spans = tracer.spans();
+        assert!(spans.iter().any(|s| s.receiver == "c" && s.dead_lettered));
+        assert!(spans.iter().any(|s| s.receiver == "b" && !s.dead_lettered));
+    }
+
+    #[test]
+    fn capacity_caps_spans_and_counts_drops() {
+        let tracer = ConversationTracer::with_capacity(2);
+        for _ in 0..3 {
+            tracer.on_send(&msg("a", &["b"]), None, 0);
+        }
+        assert_eq!(tracer.len(), 2);
+        assert_eq!(tracer.dropped(), 1);
+        tracer.clear();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn render_tree_shows_causal_depth() {
+        let tracer = ConversationTracer::default();
+        let root = msg("collector", &["classifier"]);
+        tracer.on_send(&root, None, 0);
+        tracer.on_deliver(&root, &AgentId::new("classifier"), "clg", 0);
+        let parent = tracer
+            .start_handle(&root, &AgentId::new("classifier"))
+            .unwrap();
+        let child = msg("classifier", &["pg-root"]);
+        tracer.on_send(&child, Some(parent), 0);
+        tracer.finish_handle(parent, 0, 9);
+        let tree = tracer.render_tree(&tracer.conversations()[0]);
+        assert!(tree.contains("collector -> classifier [clg]"));
+        assert!(tree.contains("\n    classifier -> pg-root"), "{tree}");
+    }
+}

@@ -19,6 +19,7 @@ pub use agentgrid_net as net;
 pub use agentgrid_platform as platform;
 pub use agentgrid_rules as rules;
 pub use agentgrid_store as store;
+pub use agentgrid_telemetry as telemetry;
 
 // The headline types, at the top for convenience.
 pub use agentgrid::grid::{GridReport, ManagementGrid};

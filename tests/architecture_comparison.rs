@@ -198,6 +198,105 @@ fn live_grid_behaves_consistently_on_both_runtimes() {
     assert_eq!(deterministic.records_stored, threaded.records_stored);
 }
 
+/// Telemetry is part of the cross-runtime contract: the same
+/// message-driven scenario must produce byte-identical counters —
+/// global deliveries, dead letters, per-container delivered/sent and
+/// per-stage rollups — whether it runs on the deterministic stepper or
+/// on the threaded runtime.
+#[test]
+fn telemetry_counters_match_across_runtimes() {
+    use agentgrid_suite::acl::{AclMessage, AgentId, Performative, Value};
+    use agentgrid_suite::platform::{
+        Agent, AgentCtx, Platform, Runtime, Telemetry, TelemetryHandle, ThreadedRuntime,
+    };
+
+    /// Forwards every request as one multicast to a sink and a ghost
+    /// (the ghost leg dead-letters). No tick behaviour, so the threaded
+    /// runtime's self-ticking cannot skew any counter.
+    struct Forwarder {
+        sink: AgentId,
+        ghost: AgentId,
+    }
+    impl Agent for Forwarder {
+        fn on_message(&mut self, msg: &AclMessage, ctx: &mut AgentCtx<'_>) {
+            if msg.performative() != Performative::Request {
+                return;
+            }
+            let fanout = AclMessage::builder(Performative::Inform)
+                .sender(ctx.self_id().clone())
+                .receiver(self.sink.clone())
+                .receiver(self.ghost.clone())
+                .content(msg.content().clone())
+                .build()
+                .unwrap();
+            ctx.send(fanout);
+        }
+    }
+    struct Sink;
+    impl Agent for Sink {}
+
+    const REQUESTS: u64 = 5;
+    fn scenario<R: Runtime>() -> TelemetryHandle {
+        let telemetry = Telemetry::new();
+        telemetry.set_stage("front", "ingress");
+        telemetry.set_stage("back", "egress");
+        let mut rt = R::create("x");
+        rt.set_telemetry(telemetry.clone());
+        rt.add_container("front");
+        rt.add_container("back");
+        let sink = rt.spawn_agent("back", "sink", Sink).unwrap();
+        rt.spawn_agent(
+            "front",
+            "fwd",
+            Forwarder {
+                sink,
+                ghost: AgentId::with_platform("ghost", "x"),
+            },
+        )
+        .unwrap();
+        for _ in 0..REQUESTS {
+            let request = AclMessage::builder(Performative::Request)
+                .sender(AgentId::new("driver"))
+                .receiver(AgentId::with_platform("fwd", "x"))
+                .content(Value::symbol("work"))
+                .build()
+                .unwrap();
+            rt.post(request);
+        }
+        rt.run_until_idle(0);
+        telemetry
+    }
+
+    let det = scenario::<Platform>();
+    let thr = scenario::<ThreadedRuntime>();
+
+    // 5 requests into fwd + 5 fanouts into sink; each fanout's ghost leg
+    // dead-letters.
+    assert_eq!(det.delivered_total(), 2 * REQUESTS);
+    assert_eq!(det.delivered_total(), thr.delivered_total());
+    assert_eq!(det.dead_letter_total(), REQUESTS);
+    assert_eq!(det.dead_letter_total(), thr.dead_letter_total());
+
+    let counters = |t: &TelemetryHandle| {
+        t.container_stats()
+            .into_iter()
+            .map(|s| (s.container, s.delivered, s.sent, s.handled, s.mailbox_depth))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(counters(&det), counters(&thr));
+
+    for stage in ["ingress", "egress"] {
+        let labels = [("stage", stage)];
+        assert_eq!(
+            det.snapshot()
+                .counter("agentgrid_stage_messages_total", &labels),
+            thr.snapshot()
+                .counter("agentgrid_stage_messages_total", &labels),
+            "stage `{stage}` counters must match"
+        );
+    }
+}
+
 #[test]
 fn workload_pacing_reduces_contention_not_work() {
     let costs = CostModel::table1();
