@@ -219,6 +219,17 @@ impl AclMessage {
         }
     }
 
+    /// A copy of this message addressed to a single receiver; every
+    /// other field is carried over. Runtimes use this to requeue the
+    /// failed leg of a multicast without re-delivering to receivers the
+    /// original already reached.
+    pub fn narrowed(&self, receiver: AgentId) -> AclMessage {
+        AclMessage {
+            receivers: vec![receiver],
+            ..self.clone()
+        }
+    }
+
     /// Approximate size of this message for network-cost accounting:
     /// header fields plus the node count of the content tree.
     pub fn cost_weight(&self) -> usize {

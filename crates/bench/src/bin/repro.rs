@@ -8,17 +8,26 @@
 //! ```
 //!
 //! `--metrics <path>` attaches a telemetry sink to every live-grid
-//! experiment (fig2, lb, mobility) and writes the final snapshot to
-//! `<path>` — JSON when the path ends in `.json`, Prometheus text
-//! otherwise.
+//! experiment (fig2, lb, mobility, chaos) and writes the final snapshot
+//! to `<path>` — JSON when the path ends in `.json`, Prometheus text
+//! otherwise; `-` writes Prometheus text to stdout.
+//!
+//! `--chaos <seed>` runs the seeded chaos-recovery experiment: a grid
+//! with a [`ChaosPlan`](agentgrid::chaos::ChaosPlan) derived from the
+//! seed (container crash + restart, possibly a transport-fault window),
+//! executed twice to check the run is bit-identical, with zero
+//! permanently lost tasks. With no explicit experiment list, `--chaos`
+//! runs only the chaos experiment.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
 };
 use agentgrid::broker::Broker;
+use agentgrid::chaos::ChaosPlan;
 use agentgrid::grid::{ManagementGrid, DEFAULT_RULES};
 use agentgrid::mobility::Rebalancer;
 use agentgrid::ontology::{AnalysisTask, ResourceProfile};
+use agentgrid::recovery::RecoveryConfig;
 use agentgrid::workflow;
 use agentgrid::CostModel;
 use agentgrid_baselines::MultiAgentSystem;
@@ -33,21 +42,27 @@ use agentgrid_store::ManagementStore;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_metrics_flag(&mut args);
+    let chaos_seed = take_chaos_flag(&mut args);
     let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "table1",
-            "fig1",
-            "fig2",
-            "fig3",
-            "fig4",
-            "fig5",
-            "fig6",
-            "crossover",
-            "lb",
-            "scaling",
-            "mobility",
-        ]
+        if args.is_empty() && chaos_seed.is_some() {
+            vec!["chaos"]
+        } else {
+            vec![
+                "table1",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "crossover",
+                "lb",
+                "scaling",
+                "mobility",
+                "chaos",
+            ]
+        }
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -64,6 +79,7 @@ fn main() {
             "lb" => lb_ablation(telemetry.as_ref()),
             "scaling" => scaling(),
             "mobility" => mobility(telemetry.as_ref()),
+            "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
@@ -91,9 +107,39 @@ fn take_metrics_flag(args: &mut Vec<String>) -> Option<String> {
     None
 }
 
+/// Removes `--chaos <seed>` (or `--chaos=<seed>`) from `args` and
+/// returns the seed, if present.
+fn take_chaos_flag(args: &mut Vec<String>) -> Option<u64> {
+    let parse = |raw: &str| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--chaos needs an unsigned integer seed, got `{raw}`");
+            std::process::exit(2);
+        })
+    };
+    if let Some(i) = args.iter().position(|a| a == "--chaos") {
+        if i + 1 >= args.len() {
+            eprintln!("--chaos needs a seed argument");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return Some(parse(&raw));
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--chaos=")) {
+        let raw = args.remove(i)["--chaos=".len()..].to_owned();
+        return Some(parse(&raw));
+    }
+    None
+}
+
 /// Writes the telemetry snapshot to `path`: JSON for `.json` paths,
-/// Prometheus text format otherwise.
+/// Prometheus text format otherwise; `-` streams Prometheus text to
+/// stdout.
 fn write_metrics(path: &str, telemetry: &TelemetryHandle) {
+    if path == "-" {
+        print!("{}", telemetry.prometheus());
+        return;
+    }
     let rendered = if path.ends_with(".json") {
         telemetry.json()
     } else {
@@ -368,4 +414,72 @@ fn mobility(telemetry: Option<&TelemetryHandle>) {
         per.get("spare-1").copied().unwrap_or(0),
         after.assignments.len()
     );
+}
+
+/// Chaos experiment: seeded failure injection against the recovering
+/// grid, run twice on the deterministic runtime to prove the whole
+/// crash-detect-re-broker sequence is reproducible. Exits nonzero if
+/// any task is permanently lost or the replay diverges, so CI can use
+/// it as a smoke check.
+fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>) {
+    banner(&format!(
+        "Chaos — seeded failures vs the recovery layer (seed {seed})"
+    ));
+    let horizon = 20 * 60_000;
+    let containers = vec!["pg-1".to_string(), "pg-2".to_string()];
+    let plan = ChaosPlan::seeded(seed, &containers, horizon);
+    println!("schedule:");
+    for (at_ms, action) in plan.events() {
+        println!("  t={:>4}s {action:?}", at_ms / 1000);
+    }
+    let run_once = |telemetry: Option<&TelemetryHandle>| {
+        let mut builder = ManagementGrid::builder()
+            .network(standard_network(1, 4, 7))
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .chaos(plan.clone());
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t.clone());
+        }
+        let mut grid = builder.build();
+        grid.run(horizon, 60_000)
+    };
+    let first = run_once(telemetry);
+    let second = run_once(None);
+
+    let distinct: std::collections::BTreeSet<&str> = first
+        .assignments
+        .iter()
+        .map(|(id, _)| id.as_str())
+        .collect();
+    println!(
+        "tasks: {} awards over {} distinct tasks, {} completed, \
+         {} re-brokered, {} retries, {} escalations, {} outstanding at horizon",
+        first.assignments.len(),
+        distinct.len(),
+        first.tasks_completed,
+        first.rebrokered.len(),
+        first.retries,
+        first.escalations,
+        first.outstanding.len(),
+    );
+    let lost = first.lost_tasks();
+    println!("lost tasks: {}", lost.len());
+    let identical = first.render() == second.render()
+        && first.completed_ids == second.completed_ids
+        && first.assignments == second.assignments;
+    println!(
+        "deterministic replay: {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if !lost.is_empty() || !identical {
+        eprintln!("chaos check FAILED (lost: {lost:?}, identical: {identical})");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,212 @@
+//! Deterministic chaos schedules for recovery testing.
+//!
+//! A [`ChaosPlan`] is a seeded, simulated-time-driven schedule of
+//! container crashes, restarts and transport-fault windows. The grid
+//! applies due actions at the top of each tick, so the same plan
+//! produces the same failure sequence on the deterministic runtime and
+//! the threaded runtime — no wall clocks, no global RNG.
+//!
+//! # Examples
+//!
+//! Hand-written plan: crash an analyzer two minutes in, bring it back at
+//! minute five.
+//!
+//! ```
+//! use agentgrid::chaos::ChaosPlan;
+//!
+//! let plan = ChaosPlan::new()
+//!     .crash_at(2 * 60_000, "pg-1")
+//!     .restart_at(5 * 60_000, "pg-1");
+//! assert_eq!(plan.len(), 2);
+//! ```
+//!
+//! Seeded plan: the schedule is a pure function of the seed.
+//!
+//! ```
+//! use agentgrid::chaos::ChaosPlan;
+//!
+//! let a = ChaosPlan::seeded(42, &["pg-1".into(), "pg-2".into()], 20 * 60_000);
+//! let b = ChaosPlan::seeded(42, &["pg-1".into(), "pg-2".into()], 20 * 60_000);
+//! assert_eq!(a, b);
+//! ```
+
+use agentgrid_acl::AgentId;
+use agentgrid_platform::TransportFault;
+
+use crate::recovery::splitmix64;
+
+/// One scheduled failure (or repair) event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Silent crash: the container vanishes, the directory keeps its
+    /// stale entries — only heartbeat staleness reveals the death.
+    Crash(String),
+    /// The container rejoins the grid with fresh analyzer agents.
+    Restart(String),
+    /// A transport fault window opens.
+    SetFault(TransportFault),
+    /// The transport heals.
+    ClearFault,
+}
+
+/// A sorted schedule of [`ChaosAction`]s against simulated time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosPlan {
+    /// `(due_ms, action)`, kept sorted by time (stable for equal times:
+    /// insertion order breaks ties, so plans replay identically).
+    events: Vec<(u64, ChaosAction)>,
+}
+
+impl ChaosPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    fn push(mut self, at_ms: u64, action: ChaosAction) -> Self {
+        let idx = self.events.partition_point(|(t, _)| *t <= at_ms);
+        self.events.insert(idx, (at_ms, action));
+        self
+    }
+
+    /// Schedules a silent crash of `container` at `at_ms`.
+    pub fn crash_at(self, at_ms: u64, container: impl Into<String>) -> Self {
+        self.push(at_ms, ChaosAction::Crash(container.into()))
+    }
+
+    /// Schedules a restart of `container` at `at_ms`.
+    pub fn restart_at(self, at_ms: u64, container: impl Into<String>) -> Self {
+        self.push(at_ms, ChaosAction::Restart(container.into()))
+    }
+
+    /// Schedules a window `[from_ms, until_ms)` during which messages
+    /// **to** `agent` are dropped silently.
+    pub fn drop_to_between(self, from_ms: u64, until_ms: u64, agent: AgentId) -> Self {
+        self.push(
+            from_ms,
+            ChaosAction::SetFault(TransportFault::DropTo(agent)),
+        )
+        .push(until_ms, ChaosAction::ClearFault)
+    }
+
+    /// Generates a crash/restart (and possibly one transport-fault
+    /// window) schedule as a pure function of `seed`, choosing victims
+    /// among `containers` within `[0, horizon_ms)`.
+    ///
+    /// The generated shape is deliberately simple — one victim container
+    /// crashed a few minutes in and restarted a few minutes later,
+    /// optionally preceded by a drop-to window that strands in-flight
+    /// work on the victim — because the point is reproducible recovery
+    /// pressure, not adversarial scheduling.
+    pub fn seeded(seed: u64, containers: &[String], horizon_ms: u64) -> Self {
+        if containers.is_empty() || horizon_ms < 8 * 60_000 {
+            return ChaosPlan::new();
+        }
+        let minute = 60_000;
+        let r0 = splitmix64(seed);
+        let victim = &containers[(r0 % containers.len() as u64) as usize];
+        // Crash between minutes 2 and 5; restart 2–4 minutes later.
+        let crash_ms = (2 + splitmix64(seed ^ 1) % 4) * minute;
+        let restart_ms = crash_ms + (2 + splitmix64(seed ^ 2) % 3) * minute;
+        let mut plan = ChaosPlan::new()
+            .crash_at(crash_ms, victim.clone())
+            .restart_at(
+                restart_ms.min(horizon_ms.saturating_sub(2 * minute)),
+                victim.clone(),
+            );
+        // Half the seeds also open a one-minute drop window to the
+        // victim's analyzer right before the crash, so awards made in
+        // that window are stranded in flight when the container dies.
+        if splitmix64(seed ^ 3).is_multiple_of(2) {
+            let agent = AgentId::new(format!("analyzer-{victim}@grid"));
+            plan = plan.drop_to_between(crash_ms.saturating_sub(minute), crash_ms, agent);
+        }
+        plan
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, sorted by due time.
+    pub fn events(&self) -> &[(u64, ChaosAction)] {
+        &self.events
+    }
+
+    /// Containers this plan ever crashes (victims need their specs kept
+    /// around for restart).
+    pub fn victims(&self) -> impl Iterator<Item = &str> {
+        self.events.iter().filter_map(|(_, a)| match a {
+            ChaosAction::Crash(c) => Some(c.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_sorted_by_time() {
+        let plan = ChaosPlan::new()
+            .restart_at(300, "a")
+            .crash_at(100, "a")
+            .crash_at(200, "b");
+        let times: Vec<u64> = plan.events().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, [100, 200, 300]);
+    }
+
+    #[test]
+    fn seeded_plans_are_pure_functions_of_the_seed() {
+        let containers = vec!["pg-1".to_string(), "pg-2".to_string()];
+        let horizon = 20 * 60_000;
+        assert_eq!(
+            ChaosPlan::seeded(7, &containers, horizon),
+            ChaosPlan::seeded(7, &containers, horizon)
+        );
+        // Some nearby seed must differ (schedule actually uses the seed).
+        assert!((0..10).any(|s| ChaosPlan::seeded(s, &containers, horizon)
+            != ChaosPlan::seeded(7, &containers, horizon)));
+    }
+
+    #[test]
+    fn seeded_plan_crashes_before_restarting() {
+        for seed in 0..20 {
+            let containers = vec!["pg-1".to_string()];
+            let plan = ChaosPlan::seeded(seed, &containers, 20 * 60_000);
+            let crash = plan
+                .events()
+                .iter()
+                .find(|(_, a)| matches!(a, ChaosAction::Crash(_)))
+                .map(|(t, _)| *t)
+                .expect("seeded plan crashes someone");
+            let restart = plan
+                .events()
+                .iter()
+                .find(|(_, a)| matches!(a, ChaosAction::Restart(_)))
+                .map(|(t, _)| *t)
+                .expect("…and brings them back");
+            assert!(crash < restart, "seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_plans() {
+        assert!(ChaosPlan::seeded(1, &[], 20 * 60_000).is_empty());
+        assert!(ChaosPlan::seeded(1, &["a".into()], 60_000).is_empty());
+    }
+
+    #[test]
+    fn drop_window_opens_and_closes() {
+        let plan = ChaosPlan::new().drop_to_between(100, 200, AgentId::new("x"));
+        assert!(matches!(plan.events()[0], (100, ChaosAction::SetFault(_))));
+        assert!(matches!(plan.events()[1], (200, ChaosAction::ClearFault)));
+    }
+}

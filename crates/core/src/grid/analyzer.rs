@@ -234,9 +234,12 @@ impl Agent for AnalyzerAgent {
     }
 
     fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
-        // Idle decay of the advertised load.
+        // Idle decay of the advertised load, plus the container's
+        // liveness heartbeat (the grid root reads its staleness).
         let container = ctx.container().to_owned();
+        let now = ctx.now_ms();
         let df = ctx.df();
+        df.record_heartbeat(&container, now);
         if let Some(profile) = df.container_profile(&container) {
             let load = (profile.load - LOAD_DECAY).max(0.0);
             df.update_load(&container, load);

@@ -1,10 +1,14 @@
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{CollectedBatch, Observation, ToContent, MANAGEMENT_ONTOLOGY};
 use agentgrid_acl::{AclMessage, AgentId, Performative};
 use agentgrid_net::{cli, oids, snmp, Network, Oid};
 use agentgrid_platform::{Agent, AgentCtx};
+use agentgrid_telemetry::Counter;
 use parking_lot::Mutex;
+
+use crate::recovery::{jitter_key, BackoffPolicy};
 
 /// Which management-protocol *interface* a collector uses (paper §3.1:
 /// "a collecting agent can have an SNMP interface or use a command line
@@ -33,6 +37,19 @@ pub struct CollectorAgent {
     batch_seq: u64,
     /// Total observations shipped (inspection/testing).
     pub collected: u64,
+    /// Retry polls sent under the backoff policy (inspection/testing).
+    pub retries: u64,
+    /// Optional per-device retry schedule: a failed poll retries with
+    /// backoff instead of waiting out the full period. `None` keeps the
+    /// legacy fixed-cadence behavior.
+    backoff: Option<BackoffPolicy>,
+    /// Consecutive failed polls per device (backoff mode).
+    device_failures: BTreeMap<String, u32>,
+    /// Per-device next poll time (backoff mode).
+    device_next_ms: BTreeMap<String, u64>,
+    /// `agentgrid_retries_total{component="collector"}` when telemetry
+    /// is wired up.
+    retry_metric: Option<Counter>,
 }
 
 impl std::fmt::Debug for CollectorAgent {
@@ -66,7 +83,25 @@ impl CollectorAgent {
             next_poll_ms: 0,
             batch_seq: 0,
             collected: 0,
+            retries: 0,
+            backoff: None,
+            device_failures: BTreeMap::new(),
+            device_next_ms: BTreeMap::new(),
+            retry_metric: None,
         }
+    }
+
+    /// Switches the collector to per-device scheduling: a device whose
+    /// poll fails (unreachable) is retried after a backoff delay —
+    /// capped at the regular period — instead of silently waiting out
+    /// the whole period.
+    pub fn set_backoff(&mut self, policy: BackoffPolicy) {
+        self.backoff = Some(policy);
+    }
+
+    /// Counts retry polls into the given telemetry counter.
+    pub fn set_retry_metric(&mut self, counter: Counter) {
+        self.retry_metric = Some(counter);
     }
 
     fn poll_device_snmp(device: &mut agentgrid_net::Device, now: u64) -> Vec<Observation> {
@@ -164,15 +199,31 @@ impl CollectorAgent {
 impl Agent for CollectorAgent {
     fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
         let now = ctx.now_ms();
-        if now < self.next_poll_ms {
+        // Which devices to poll now: all of them on the fixed cadence,
+        // or the individually-due ones under the backoff policy.
+        let due: Vec<String> = match &self.backoff {
+            None => {
+                if now < self.next_poll_ms {
+                    return;
+                }
+                self.next_poll_ms = now + self.period_ms;
+                self.devices.clone()
+            }
+            Some(_) => self
+                .devices
+                .iter()
+                .filter(|d| now >= self.device_next_ms.get(*d).copied().unwrap_or(0))
+                .cloned()
+                .collect(),
+        };
+        if due.is_empty() {
             return;
         }
-        self.next_poll_ms = now + self.period_ms;
 
         let mut observations = Vec::new();
         {
             let mut network = self.network.lock();
-            for device_name in &self.devices {
+            for device_name in &due {
                 let Some(device) = network.device_mut(device_name) else {
                     continue;
                 };
@@ -180,6 +231,30 @@ impl Agent for CollectorAgent {
                     CollectorInterface::Snmp => Self::poll_device_snmp(device, now),
                     CollectorInterface::Cli => Self::poll_device_cli(device, now),
                 };
+                if let Some(policy) = &self.backoff {
+                    let failed =
+                        obs.len() == 1 && obs[0].metric == "agent.reachable" && obs[0].value == 0.0;
+                    let failures = self.device_failures.entry(device_name.clone()).or_insert(0);
+                    if *failures > 0 {
+                        // Any poll after a failure is a retry, whether
+                        // or not the device recovered in the meantime.
+                        self.retries += 1;
+                        if let Some(c) = &self.retry_metric {
+                            c.inc();
+                        }
+                    }
+                    let next = if failed {
+                        let delay = policy
+                            .delay_ms(*failures, jitter_key(device_name))
+                            .min(self.period_ms.max(1));
+                        *failures = failures.saturating_add(1).min(30);
+                        now + delay
+                    } else {
+                        *failures = 0;
+                        now + self.period_ms
+                    };
+                    self.device_next_ms.insert(device_name.clone(), next);
+                }
                 observations.extend(obs);
             }
         }

@@ -1,13 +1,15 @@
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use agentgrid_acl::ontology::{AnalysisTask, ToContent, MANAGEMENT_ONTOLOGY};
-use agentgrid_acl::{AclMessage, Performative, Value};
+use agentgrid_acl::ontology::{Alert, AnalysisTask, Severity, ToContent, MANAGEMENT_ONTOLOGY};
+use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_platform::{Agent, AgentCtx};
-use agentgrid_telemetry::{Counter, Telemetry};
+use agentgrid_telemetry::{Counter, Gauge, TelemetryHandle};
 use parking_lot::Mutex;
 
 use crate::balance::LoadBalancer;
 use crate::grid::classifier::parse_data_ready;
+use crate::recovery::{jitter_key, Liveness, RecoveryConfig};
 
 /// How many `data-ready` notifications between level-3 correlation
 /// sweeps.
@@ -22,6 +24,18 @@ struct Pending {
     task: AnalysisTask,
     container: String,
     ticks_outstanding: u64,
+    /// Retries already sent (recovery mode; the initial award is not a
+    /// retry).
+    attempts: u32,
+    /// Simulated time after which the next retry fires (recovery mode;
+    /// `u64::MAX` when recovery is off).
+    deadline_ms: u64,
+}
+
+/// Stable per-task jitter key, so retry schedules of different tasks
+/// decorrelate.
+fn task_key(task_id: &str) -> u64 {
+    jitter_key(task_id)
 }
 
 /// Brokering outcome counters exported as
@@ -33,10 +47,20 @@ struct BrokerMetrics {
     unassigned: Counter,
     reassigned: Counter,
     completed: Counter,
+    /// `agentgrid_retries_total{component="broker"}` — deadline-driven
+    /// request retries.
+    retries: Counter,
+    /// `agentgrid_rebrokered_tasks_total` — reclaimed tasks re-awarded
+    /// through a fresh brokering round.
+    rebrokered: Counter,
+    /// Registry handle for the per-container
+    /// `agentgrid_container_liveness` gauges (created lazily as
+    /// containers appear).
+    telemetry: TelemetryHandle,
 }
 
 impl BrokerMetrics {
-    fn new(telemetry: &Telemetry) -> Self {
+    fn new(telemetry: &TelemetryHandle) -> Self {
         let counter = |outcome: &str| {
             telemetry
                 .registry()
@@ -47,7 +71,21 @@ impl BrokerMetrics {
             unassigned: counter("unassigned"),
             reassigned: counter("reassigned"),
             completed: counter("completed"),
+            retries: telemetry
+                .registry()
+                .counter("agentgrid_retries_total", &[("component", "broker")]),
+            rebrokered: telemetry
+                .registry()
+                .counter("agentgrid_rebrokered_tasks_total", &[]),
+            telemetry: telemetry.clone(),
         }
+    }
+
+    /// The liveness gauge of one container: 0 alive, 1 suspect, 2 dead.
+    fn liveness_gauge(&self, container: &str) -> Gauge {
+        self.telemetry
+            .registry()
+            .gauge("agentgrid_container_liveness", &[("container", container)])
     }
 }
 
@@ -56,14 +94,31 @@ impl BrokerMetrics {
 /// brokering after the agent has been spawned.
 #[derive(Debug, Default)]
 pub struct RootStats {
-    /// `(task id, container)` assignment log, in decision order.
+    /// `(task id, container)` assignment log, in decision order. Every
+    /// award appends here — including re-awards — so for any task id,
+    /// `assignments` holds `1 + (times the id appears in rebrokered)`
+    /// entries.
     pub assignments: Vec<(String, String)>,
     /// Tasks that found no capable container.
     pub unassigned: u64,
     /// Tasks reassigned after a container death.
     pub reassigned: u64,
-    /// `done` reports received.
+    /// `done` reports received (deduplicated: one per in-flight award).
     pub completed: u64,
+    /// Ids of completed tasks, in completion order.
+    pub completed_ids: Vec<String>,
+    /// Ids of tasks re-awarded via a fresh brokering round, once per
+    /// re-award (recovery mode).
+    pub rebrokered: Vec<String>,
+    /// Deadline-driven request retries sent (recovery mode).
+    pub retries: u64,
+    /// Tasks whose retries were exhausted and escalated to the
+    /// interface grid (recovery mode).
+    pub escalations: u64,
+    /// Ids still in flight or parked as of the root's last event. An
+    /// assigned-but-uncompleted task is only *lost* if it is absent
+    /// from this set too.
+    pub outstanding: Vec<String>,
 }
 
 /// The processor-grid root: the broker of Fig. 3 as a live agent.
@@ -76,7 +131,13 @@ pub struct RootStats {
 ///
 /// **Fault tolerance**: tasks whose container disappears from the
 /// directory before reporting `done` are re-brokered to a surviving
-/// container.
+/// container. With a [`RecoveryConfig`] attached
+/// ([`set_recovery`](Self::set_recovery)) the root additionally runs
+/// heartbeat-staleness liveness detection (suspect containers are
+/// excluded from awards, dead ones are deregistered and their in-flight
+/// ledger reclaimed and re-awarded), deadline-driven retries with
+/// seeded exponential backoff, and escalation of retry-exhausted tasks
+/// to the interface grid as alerts.
 pub struct ProcessorRootAgent {
     policy: Box<dyn LoadBalancer>,
     task_seq: u64,
@@ -84,6 +145,18 @@ pub struct ProcessorRootAgent {
     pending: Vec<Pending>,
     stats: Arc<Mutex<RootStats>>,
     metrics: Option<BrokerMetrics>,
+    recovery: Option<RecoveryConfig>,
+    /// Where retry-exhaustion and container-death alerts escalate.
+    escalate_to: Option<AgentId>,
+    /// Tasks awaiting a capable container; the bool marks re-awards
+    /// (reclaimed from a dead container) versus first awards, so the
+    /// re-brokered log stays exact.
+    parked: Vec<(AnalysisTask, bool)>,
+    /// Containers currently suspect (stale heartbeats) — excluded from
+    /// awards until they beat again.
+    suspect: BTreeSet<String>,
+    /// Task ids already escalated, to alert at most once per task.
+    escalated: BTreeSet<String>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -105,14 +178,29 @@ impl ProcessorRootAgent {
             pending: Vec::new(),
             stats: Arc::new(Mutex::new(RootStats::default())),
             metrics: None,
+            recovery: None,
+            escalate_to: None,
+            parked: Vec::new(),
+            suspect: BTreeSet::new(),
+            escalated: BTreeSet::new(),
         }
     }
 
     /// Exports brokering outcomes as
-    /// `agentgrid_broker_tasks_total{outcome=...}` counters in
-    /// `telemetry`'s registry.
-    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+    /// `agentgrid_broker_tasks_total{outcome=...}` counters (plus, in
+    /// recovery mode, `agentgrid_retries_total`,
+    /// `agentgrid_rebrokered_tasks_total` and the per-container
+    /// `agentgrid_container_liveness` gauges) in `telemetry`'s registry.
+    pub fn attach_telemetry(&mut self, telemetry: &TelemetryHandle) {
         self.metrics = Some(BrokerMetrics::new(telemetry));
+    }
+
+    /// Turns on the recovery layer: liveness sweeps, deadline retries
+    /// with backoff, reclaim-and-re-broker of dead containers' tasks.
+    /// Alerts escalate to `escalate_to` (normally the interface agent).
+    pub fn set_recovery(&mut self, config: RecoveryConfig, escalate_to: Option<AgentId>) {
+        self.recovery = Some(config);
+        self.escalate_to = escalate_to;
     }
 
     /// A handle onto the root's statistics, valid after the agent is
@@ -121,65 +209,263 @@ impl ProcessorRootAgent {
         Arc::clone(&self.stats)
     }
 
-    fn assign_and_send(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
+    /// Selects a container for `task` and sends the award; on success
+    /// the task joins the in-flight ledger and the chosen container is
+    /// returned.
+    fn try_award(&mut self, task: &AnalysisTask, ctx: &mut AgentCtx<'_>) -> Option<String> {
         // Only containers that actually host an analysis agent are
         // candidates; spare containers (profile but no agent yet) are
-        // skipped until mobility moves an analyzer in.
+        // skipped until mobility moves an analyzer in. Suspect
+        // containers (stale heartbeats, recovery mode) are skipped too.
         let df = ctx.df();
         let profiles: Vec<_> = df
             .container_profiles()
             .filter(|p| df.providers_with("analysis", &p.container).next().is_some())
+            .filter(|p| !self.suspect.contains(&p.container))
             .cloned()
             .collect();
-        match self.policy.select(&task, &profiles) {
-            Some(container) => {
-                // The analyzer registered itself under service "analysis"
-                // with its container name as a property (Fig. 4).
-                let analyzer = ctx
-                    .df()
-                    .providers_with("analysis", &container)
-                    .next()
-                    .cloned();
-                let Some(analyzer) = analyzer else {
-                    self.stats.lock().unassigned += 1;
-                    if let Some(m) = &self.metrics {
-                        m.unassigned.inc();
-                    }
-                    return;
-                };
-                // Project the added load so the next selection sees it.
-                if let Some(profile) = ctx.df().container_profile(&container) {
-                    let load =
-                        (profile.load + task.size as f64 / 2000.0 / profile.cpu_capacity).min(1.0);
-                    ctx.df().update_load(&container, load);
-                }
-                let request = AclMessage::builder(Performative::Request)
-                    .sender(ctx.self_id().clone())
-                    .receiver(analyzer)
-                    .ontology(MANAGEMENT_ONTOLOGY)
-                    .reply_with(format!("task-{}", task.task_id))
-                    .content(task.to_content())
-                    .build()
-                    .expect("sender and receiver are set");
-                ctx.send(request);
-                self.stats
-                    .lock()
-                    .assignments
-                    .push((task.task_id.clone(), container.clone()));
-                if let Some(m) = &self.metrics {
-                    m.assigned.inc();
-                }
-                self.pending.push(Pending {
-                    task,
-                    container,
-                    ticks_outstanding: 0,
-                });
+        let container = self.policy.select(task, &profiles)?;
+        // The analyzer registered itself under service "analysis"
+        // with its container name as a property (Fig. 4).
+        let analyzer = ctx
+            .df()
+            .providers_with("analysis", &container)
+            .next()
+            .cloned()?;
+        // Project the added load so the next selection sees it.
+        if let Some(profile) = ctx.df().container_profile(&container) {
+            let load = (profile.load + task.size as f64 / 2000.0 / profile.cpu_capacity).min(1.0);
+            ctx.df().update_load(&container, load);
+        }
+        let request = AclMessage::builder(Performative::Request)
+            .sender(ctx.self_id().clone())
+            .receiver(analyzer)
+            .ontology(MANAGEMENT_ONTOLOGY)
+            .reply_with(format!("task-{}", task.task_id))
+            .content(task.to_content())
+            .build()
+            .expect("sender and receiver are set");
+        ctx.send(request);
+        self.stats
+            .lock()
+            .assignments
+            .push((task.task_id.clone(), container.clone()));
+        if let Some(m) = &self.metrics {
+            m.assigned.inc();
+        }
+        let deadline_ms = match &self.recovery {
+            Some(cfg) => ctx
+                .now_ms()
+                .saturating_add(cfg.backoff.delay_ms(0, task_key(&task.task_id))),
+            None => u64::MAX,
+        };
+        self.pending.push(Pending {
+            task: task.clone(),
+            container: container.clone(),
+            ticks_outstanding: 0,
+            attempts: 0,
+            deadline_ms,
+        });
+        Some(container)
+    }
+
+    /// First-award path. Without recovery an unawardable task counts
+    /// `unassigned` and is dropped (the legacy behavior); with recovery
+    /// it parks and is retried every tick until a capable container
+    /// appears.
+    fn assign_and_send(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
+        if self.try_award(&task, ctx).is_some() {
+            return;
+        }
+        if self.recovery.is_some() {
+            self.parked.push((task, false));
+        } else {
+            self.stats.lock().unassigned += 1;
+            if let Some(m) = &self.metrics {
+                m.unassigned.inc();
             }
-            None => {
-                self.stats.lock().unassigned += 1;
-                if let Some(m) = &self.metrics {
-                    m.unassigned.inc();
+        }
+    }
+
+    /// Re-award path for tasks reclaimed from a dead container or whose
+    /// retries were exhausted. A successful re-award is logged in both
+    /// `assignments` (inside [`try_award`](Self::try_award)) and
+    /// `rebrokered`, preserving the exactly-once accounting
+    /// `assignments(id) == 1 + rebrokered(id)`.
+    fn reaward(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
+        if self.try_award(&task, ctx).is_some() {
+            let mut stats = self.stats.lock();
+            stats.reassigned += 1;
+            stats.rebrokered.push(task.task_id.clone());
+            drop(stats);
+            if let Some(m) = &self.metrics {
+                m.reassigned.inc();
+                m.rebrokered.inc();
+            }
+        } else {
+            self.parked.push((task, true));
+        }
+    }
+
+    /// Refreshes the outstanding-ids snapshot in the shared stats from
+    /// the in-flight ledger and the parked queue.
+    fn sync_outstanding(&self) {
+        let mut stats = self.stats.lock();
+        stats.outstanding = self
+            .pending
+            .iter()
+            .map(|p| p.task.task_id.clone())
+            .chain(self.parked.iter().map(|(t, _)| t.task_id.clone()))
+            .collect();
+    }
+
+    /// Sends an escalation alert to the interface grid, once per task.
+    fn escalate(&mut self, rule: &str, device: &str, message: String, ctx: &mut AgentCtx<'_>) {
+        self.stats.lock().escalations += 1;
+        let Some(interface) = &self.escalate_to else {
+            return;
+        };
+        let alert = Alert::new(rule, device, Severity::Critical, message, ctx.now_ms());
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(ctx.self_id().clone())
+            .receiver(interface.clone())
+            .ontology(MANAGEMENT_ONTOLOGY)
+            .content(alert.to_content())
+            .build()
+            .expect("sender and receiver are set");
+        ctx.send(msg);
+    }
+
+    /// The recovery-mode tick: liveness sweep, dead-container reclaim,
+    /// deadline retries, escalations, and re-award of parked work.
+    fn recovery_tick(&mut self, cfg: RecoveryConfig, ctx: &mut AgentCtx<'_>) {
+        let now = ctx.now_ms();
+
+        // 1. Liveness sweep over the registered container profiles.
+        let containers: Vec<String> = ctx
+            .df()
+            .container_profiles()
+            .map(|p| p.container.clone())
+            .collect();
+        self.suspect.clear();
+        let mut dead = Vec::new();
+        for container in containers {
+            let last = ctx.df().last_heartbeat(&container).unwrap_or(0);
+            let state = cfg.liveness.classify(now.saturating_sub(last));
+            if let Some(m) = &self.metrics {
+                m.liveness_gauge(&container).set(state.as_gauge());
+            }
+            match state {
+                Liveness::Alive => {}
+                Liveness::Suspect => {
+                    self.suspect.insert(container);
                 }
+                Liveness::Dead => dead.push(container),
+            }
+        }
+
+        // 2. Dead containers: drop their stale directory entries so no
+        //    further awards can reach them, reclaim their in-flight
+        //    ledger, and raise one alert per death.
+        let mut to_reaward = Vec::new();
+        for container in dead {
+            let providers: Vec<AgentId> = ctx
+                .df()
+                .providers_with("analysis", &container)
+                .cloned()
+                .collect();
+            for provider in providers {
+                ctx.df().deregister(&provider);
+            }
+            ctx.df().deregister_container(&container);
+            let mut reclaimed = 0;
+            self.pending.retain(|p| {
+                if p.container == container {
+                    to_reaward.push(p.task.clone());
+                    reclaimed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.escalate(
+                "container-dead",
+                &container,
+                format!("container {container} missed heartbeats; reclaiming {reclaimed} tasks"),
+                ctx,
+            );
+        }
+
+        // 3. Deadline pass: past-due awards retry with backoff until
+        //    the budget runs out, then escalate and re-broker.
+        let mut retries = Vec::new();
+        let mut exhausted = Vec::new();
+        self.pending.retain_mut(|p| {
+            p.ticks_outstanding += 1;
+            if now < p.deadline_ms {
+                return true;
+            }
+            if p.attempts < cfg.backoff.max_retries {
+                p.attempts += 1;
+                p.deadline_ms =
+                    now.saturating_add(cfg.backoff.delay_ms(p.attempts, task_key(&p.task.task_id)));
+                retries.push((p.task.clone(), p.container.clone()));
+                true
+            } else {
+                exhausted.push(p.task.clone());
+                false
+            }
+        });
+        for (task, container) in retries {
+            let Some(analyzer) = ctx
+                .df()
+                .providers_with("analysis", &container)
+                .next()
+                .cloned()
+            else {
+                // Provider vanished between award and retry; the next
+                // liveness sweep reclaims the task.
+                continue;
+            };
+            let request = AclMessage::builder(Performative::Request)
+                .sender(ctx.self_id().clone())
+                .receiver(analyzer)
+                .ontology(MANAGEMENT_ONTOLOGY)
+                .reply_with(format!("task-{}", task.task_id))
+                .content(task.to_content())
+                .build()
+                .expect("sender and receiver are set");
+            ctx.send(request);
+            self.stats.lock().retries += 1;
+            if let Some(m) = &self.metrics {
+                m.retries.inc();
+            }
+        }
+        for task in exhausted {
+            if self.escalated.insert(task.task_id.clone()) {
+                self.escalate(
+                    "task-retry-exhausted",
+                    &task.partition,
+                    format!(
+                        "task {} exhausted {} retries on its container; re-brokering",
+                        task.task_id, cfg.backoff.max_retries
+                    ),
+                    ctx,
+                );
+            }
+            to_reaward.push(task);
+        }
+
+        // 4. Re-award reclaimed tasks, then whatever was parked.
+        for task in to_reaward {
+            self.reaward(task, ctx);
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for (task, is_reaward) in parked {
+            if is_reaward {
+                self.reaward(task, ctx);
+            } else {
+                self.assign_and_send(task, ctx);
             }
         }
     }
@@ -187,15 +473,25 @@ impl ProcessorRootAgent {
 
 impl Agent for ProcessorRootAgent {
     fn on_message(&mut self, message: &AclMessage, ctx: &mut AgentCtx<'_>) {
-        // Completion reports.
+        // Completion reports. Only a report that clears an in-flight
+        // entry counts: after a retry the same task may complete twice
+        // (the original award and the retried request), and the second
+        // report must not inflate the tally.
         if message.content().get("concept").and_then(Value::as_str) == Some("done") {
             if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
+                let before = self.pending.len();
                 self.pending.retain(|p| p.task.task_id != task_id);
-                self.stats.lock().completed += 1;
-                if let Some(m) = &self.metrics {
-                    m.completed.inc();
+                if self.pending.len() < before {
+                    let mut stats = self.stats.lock();
+                    stats.completed += 1;
+                    stats.completed_ids.push(task_id.to_owned());
+                    drop(stats);
+                    if let Some(m) = &self.metrics {
+                        m.completed.inc();
+                    }
                 }
             }
+            self.sync_outstanding();
             return;
         }
         // Fresh-data notifications.
@@ -226,10 +522,18 @@ impl Agent for ProcessorRootAgent {
             let task = AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
             self.assign_and_send(task, ctx);
         }
+        self.sync_outstanding();
     }
 
     fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
-        // Reassign tasks whose container vanished (fault tolerance).
+        if let Some(cfg) = self.recovery {
+            self.recovery_tick(cfg, ctx);
+            self.sync_outstanding();
+            return;
+        }
+        // Legacy path: reassign tasks whose container vanished from the
+        // directory (orderly kills only — silent crashes need the
+        // recovery layer's heartbeat detection).
         let mut orphans = Vec::new();
         self.pending.retain_mut(|p| {
             p.ticks_outstanding += 1;
@@ -248,6 +552,7 @@ impl Agent for ProcessorRootAgent {
             }
             self.assign_and_send(task, ctx);
         }
+        self.sync_outstanding();
     }
 }
 
@@ -382,6 +687,125 @@ mod tests {
         root.on_message(&done, &mut ctx);
         assert!(root.pending.is_empty());
         assert_eq!(stats.lock().completed, 1);
+    }
+
+    #[test]
+    fn heartbeat_death_reclaims_and_reawards_exactly_once() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        root.set_recovery(RecoveryConfig::default(), Some(AgentId::new("iface@g")));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1", "pg-2"]);
+        // Force assignment to pg-1 by overloading pg-2.
+        df.update_load("pg-2", 0.99);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        assert_eq!(stats.lock().assignments, [("t1".into(), "pg-1".into())]);
+
+        // pg-1 silently stops heartbeating; pg-2 stays alive.
+        df.update_load("pg-2", 0.0);
+        let dead_at = RecoveryConfig::default().liveness.dead_after_ms;
+        df.record_heartbeat("pg-2", dead_at);
+        let mut ctx = AgentCtx::new(&id, "root-ct", dead_at, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+
+        // The dead container left the directory, its task moved to the
+        // survivor exactly once, and one death alert escalated.
+        assert!(df.container_profile("pg-1").is_none());
+        assert!(df.providers_with("analysis", "pg-1").next().is_none());
+        let stats = stats.lock();
+        assert_eq!(
+            stats.assignments,
+            [("t1".into(), "pg-1".into()), ("t1".into(), "pg-2".into())]
+        );
+        assert_eq!(stats.rebrokered, ["t1"]);
+        assert_eq!(stats.reassigned, 1);
+        assert_eq!(stats.escalations, 1);
+        let alert = outbox
+            .iter()
+            .find(|m| m.receivers() == [AgentId::new("iface@g")])
+            .expect("death alert escalated to the interface");
+        assert_eq!(
+            alert.content().get("rule").and_then(Value::as_str),
+            Some("container-dead")
+        );
+    }
+
+    #[test]
+    fn deadline_retries_then_escalates_and_rebrokers() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let cfg = RecoveryConfig {
+            backoff: crate::recovery::BackoffPolicy {
+                base_ms: 10,
+                factor: 2,
+                max_ms: 40,
+                max_retries: 2,
+                jitter_seed: 1,
+            },
+            ..RecoveryConfig::default()
+        };
+        root.set_recovery(cfg, Some(AgentId::new("iface@g")));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        assert_eq!(outbox.len(), 1);
+
+        // Ticks 100 ms apart: every deadline (≤ 50 ms with jitter) has
+        // passed, so the two budgeted retries fire, then escalation.
+        for step in 1..=2u64 {
+            let now = step * 100;
+            df.record_heartbeat("pg-1", now);
+            let mut ctx = AgentCtx::new(&id, "root-ct", now, &mut outbox, &mut df);
+            root.on_tick(&mut ctx);
+            assert_eq!(stats.lock().retries, step);
+        }
+        df.record_heartbeat("pg-1", 300);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 300, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+
+        let stats = stats.lock();
+        assert_eq!(stats.retries, 2, "retry budget is bounded");
+        assert_eq!(stats.escalations, 1);
+        assert_eq!(stats.rebrokered, ["t1"], "exhausted task re-brokered");
+        assert_eq!(stats.assignments.len(), 2);
+        let alert = outbox
+            .iter()
+            .find(|m| {
+                m.content().get("rule").and_then(Value::as_str) == Some("task-retry-exhausted")
+            })
+            .expect("exhaustion alert escalated");
+        assert_eq!(alert.receivers(), [AgentId::new("iface@g")]);
+    }
+
+    #[test]
+    fn unawardable_task_parks_until_capacity_returns() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        root.set_recovery(RecoveryConfig::default(), None);
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        // Nowhere to run the task: parked, not dropped, not unassigned.
+        assert_eq!(stats.lock().unassigned, 0);
+        assert!(stats.lock().assignments.is_empty());
+        let mut ctx = AgentCtx::new(&id, "root-ct", 60_000, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+        assert!(stats.lock().assignments.is_empty(), "still no capacity");
+
+        // A capable container joins: the parked task is awarded.
+        let mut df2 = df_with_containers(&["pg-1"]);
+        df2.record_heartbeat("pg-1", 120_000);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 120_000, &mut outbox, &mut df2);
+        root.on_tick(&mut ctx);
+        let stats = stats.lock();
+        assert_eq!(stats.assignments, [("t1".into(), "pg-1".into())]);
+        assert!(stats.rebrokered.is_empty(), "a first award, not a re-award");
     }
 
     #[test]

@@ -1,23 +1,25 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{Alert, ResourceProfile};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_net::{FaultInjector, Network, ScheduledFault};
-use agentgrid_platform::{Platform, Runtime, TelemetryHandle, ThreadedRuntime};
+use agentgrid_platform::{Platform, Runtime, TelemetryHandle, ThreadedRuntime, TransportFault};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
 use agentgrid_telemetry::measured_load;
 use parking_lot::Mutex;
 
 use crate::balance::{KnowledgeCapacityIdle, LoadBalancer};
+use crate::chaos::{ChaosAction, ChaosPlan};
 use crate::grid::interface::AlertSink;
 use crate::grid::root::RootStats;
 use crate::grid::{
     AnalyzerAgent, ClassifierAgent, CollectorAgent, CollectorInterface, InterfaceAgent,
     ProcessorRootAgent, DEFAULT_RULES,
 };
+use crate::recovery::RecoveryConfig;
 
 /// Configuration of one analyzer container.
 #[derive(Debug, Clone)]
@@ -38,6 +40,8 @@ pub struct GridBuilder {
     faults: FaultInjector,
     telemetry: Option<TelemetryHandle>,
     live_profiles: bool,
+    recovery: Option<RecoveryConfig>,
+    chaos: Option<ChaosPlan>,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -120,6 +124,25 @@ impl GridBuilder {
         self
     }
 
+    /// Turns on the recovery layer (heartbeat liveness, deadline
+    /// retries with seeded backoff, reclaim-and-re-broker of dead
+    /// containers' tasks, requeue-once dead letters). Default off,
+    /// keeping unconfigured runs byte-for-byte identical to the
+    /// pre-recovery grid.
+    pub fn recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = Some(config);
+        self
+    }
+
+    /// Attaches a chaos schedule: container crashes/restarts and
+    /// transport-fault windows applied at the top of each tick. Implies
+    /// [`recovery`](Self::recovery) with defaults unless one was set
+    /// explicitly.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Feeds **measured** load (mailbox depth + handler busy time, the
     /// paper's Fig. 4 resource profile as observed rather than declared)
     /// into the directory each tick, so [`KnowledgeCapacityIdle`] ranks
@@ -168,11 +191,20 @@ impl GridBuilder {
         );
         let kb =
             KnowledgeBase::from_rules(parse_rules(&self.rules).expect("analysis rules must parse"));
+        // A chaos schedule without an explicit recovery config gets the
+        // defaults — injecting failures without the means to survive
+        // them is never what a caller wants.
+        let recovery = self
+            .recovery
+            .or_else(|| self.chaos.as_ref().map(|_| RecoveryConfig::default()));
 
         let network = Arc::new(Mutex::new(self.network));
         let store = Arc::new(Mutex::new(ManagementStore::default()));
         let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
         let mut platform = R::create("grid");
+        if recovery.is_some() {
+            platform.set_dead_letter_requeue(true);
+        }
         if let Some(telemetry) = &self.telemetry {
             platform.set_telemetry(Arc::clone(telemetry));
             telemetry.set_stage("ig", "interface");
@@ -194,6 +226,9 @@ impl GridBuilder {
         let mut root_agent = ProcessorRootAgent::new(self.policy);
         if let Some(telemetry) = &self.telemetry {
             root_agent.attach_telemetry(telemetry);
+        }
+        if let Some(cfg) = recovery {
+            root_agent.set_recovery(cfg, Some(interface_id.clone()));
         }
         let root_stats = root_agent.stats_handle();
         let root_id = platform
@@ -260,7 +295,7 @@ impl GridBuilder {
                 } else {
                     CollectorInterface::Cli
                 };
-                let collector = CollectorAgent::new(
+                let mut collector = CollectorAgent::new(
                     Arc::clone(&network),
                     assigned,
                     interface,
@@ -268,6 +303,16 @@ impl GridBuilder {
                     classifier_id.clone(),
                     site.clone(),
                 );
+                if let Some(cfg) = recovery {
+                    collector.set_backoff(cfg.backoff);
+                    if let Some(telemetry) = &self.telemetry {
+                        collector.set_retry_metric(
+                            telemetry
+                                .registry()
+                                .counter("agentgrid_retries_total", &[("component", "collector")]),
+                        );
+                    }
+                }
                 platform
                     .spawn_agent(&container, &format!("cg-{site}-{c}"), collector)
                     .expect("container just added");
@@ -285,6 +330,11 @@ impl GridBuilder {
             ticks: 0,
             live_profiles: self.live_profiles,
             last_busy_ns: BTreeMap::new(),
+            kb,
+            specs: self.analyzers,
+            chaos: self.chaos.unwrap_or_default(),
+            chaos_cursor: 0,
+            downed: BTreeSet::new(),
         }
     }
 }
@@ -311,9 +361,41 @@ pub struct GridReport {
     pub reassigned: u64,
     /// Tasks completed.
     pub tasks_completed: u64,
+    /// Ids of completed tasks, in completion order.
+    pub completed_ids: Vec<String>,
+    /// Ids of tasks re-awarded through a fresh brokering round (once per
+    /// re-award; recovery mode).
+    pub rebrokered: Vec<String>,
+    /// Deadline-driven broker retries sent (recovery mode).
+    pub retries: u64,
+    /// Retry-exhaustion / container-death escalations raised (recovery
+    /// mode).
+    pub escalations: u64,
+    /// Ids still in flight or parked at the root when the run ended —
+    /// owed a completion, not lost.
+    pub outstanding: Vec<String>,
 }
 
 impl GridReport {
+    /// Task ids that were assigned, never completed, and are no longer
+    /// tracked anywhere — permanently lost work. A recovery-enabled grid
+    /// must keep this empty under any chaos plan.
+    pub fn lost_tasks(&self) -> Vec<&str> {
+        let completed: BTreeSet<&str> = self.completed_ids.iter().map(String::as_str).collect();
+        let outstanding: BTreeSet<&str> = self.outstanding.iter().map(String::as_str).collect();
+        let mut lost = Vec::new();
+        let mut seen = BTreeSet::new();
+        for (id, _) in &self.assignments {
+            if seen.insert(id.as_str())
+                && !completed.contains(id.as_str())
+                && !outstanding.contains(id.as_str())
+            {
+                lost.push(id.as_str());
+            }
+        }
+        lost
+    }
+
     /// Tasks per container, for balance inspection.
     pub fn tasks_per_container(&self) -> BTreeMap<&str, usize> {
         let mut out = BTreeMap::new();
@@ -340,6 +422,14 @@ impl GridReport {
         ));
         for (container, tasks) in self.tasks_per_container() {
             out.push_str(&format!("  {container}: {tasks} tasks\n"));
+        }
+        if self.retries + self.escalations > 0 || !self.rebrokered.is_empty() {
+            out.push_str(&format!(
+                "  recovery: {} retries, {} re-brokered, {} escalations\n",
+                self.retries,
+                self.rebrokered.len(),
+                self.escalations,
+            ));
         }
         out.push_str(&InterfaceAgent::render_report(&self.alerts));
         out
@@ -383,6 +473,17 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     live_profiles: bool,
     /// Busy-ns counter values at the previous tick, for windowed deltas.
     last_busy_ns: BTreeMap<String, u64>,
+    /// Knowledge base shared with restarted analyzers.
+    kb: KnowledgeBase,
+    /// Analyzer container specs, kept for chaos restarts.
+    specs: Vec<AnalyzerSpec>,
+    /// Scheduled chaos events, sorted by due time.
+    chaos: ChaosPlan,
+    /// First not-yet-applied chaos event.
+    chaos_cursor: usize,
+    /// Containers currently down because a chaos crash removed them (a
+    /// restart only makes sense for these).
+    downed: BTreeSet<String>,
 }
 
 impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
@@ -410,6 +511,8 @@ impl ManagementGrid {
             faults: FaultInjector::default(),
             telemetry: None,
             live_profiles: false,
+            recovery: None,
+            chaos: None,
         }
     }
 }
@@ -430,6 +533,7 @@ impl<R: Runtime> ManagementGrid<R> {
         let steps = duration_ms / tick_ms;
         for _ in 0..steps {
             let now = self.ticks * tick_ms;
+            self.apply_chaos(now);
             {
                 let mut network = self.network.lock();
                 // Apply scheduled faults before sampling, so a fault that
@@ -444,6 +548,62 @@ impl<R: Runtime> ManagementGrid<R> {
             self.ticks += 1;
         }
         self.report(self.ticks * tick_ms - start)
+    }
+
+    /// Applies every chaos event due at or before `now`, in schedule
+    /// order. Crashes are silent (stale directory entries survive);
+    /// restarts rebuild the container from its original spec, fresh
+    /// analyzer included, and heartbeat it immediately so the root does
+    /// not re-declare it dead on sight.
+    fn apply_chaos(&mut self, now: u64) {
+        while self.chaos_cursor < self.chaos.events().len() {
+            let (due, action) = &self.chaos.events()[self.chaos_cursor];
+            if *due > now {
+                break;
+            }
+            let action = action.clone();
+            self.chaos_cursor += 1;
+            match action {
+                ChaosAction::Crash(name) => {
+                    if self.platform.crash_container_silent(&name).is_ok() {
+                        self.downed.insert(name);
+                    }
+                }
+                ChaosAction::Restart(name) => {
+                    if !self.downed.remove(&name) {
+                        continue;
+                    }
+                    let Some(spec) = self.specs.iter().find(|s| s.name == name).cloned() else {
+                        continue;
+                    };
+                    self.platform.add_container(&name);
+                    let analyzer = AnalyzerAgent::new(
+                        Arc::clone(&self.store),
+                        self.kb.clone(),
+                        self.interface_id.clone(),
+                    );
+                    let analyzer_id = self
+                        .platform
+                        .spawn_agent(&name, &format!("analyzer-{name}"), analyzer)
+                        .expect("container just re-added");
+                    let mut profile = ResourceProfile::new(
+                        &name,
+                        spec.cpu_capacity,
+                        1.0,
+                        4096,
+                        spec.skills.iter().cloned(),
+                    );
+                    profile.load = 0.0;
+                    self.platform.with_df(|df| {
+                        df.register_container(profile);
+                        df.register_service(analyzer_id, "analysis", [name.clone()]);
+                        df.record_heartbeat(&name, now);
+                    });
+                }
+                ChaosAction::SetFault(fault) => self.platform.set_transport_fault(fault),
+                ChaosAction::ClearFault => self.platform.set_transport_fault(TransportFault::None),
+            }
+        }
     }
 
     /// Overwrites each profiled container's directory load with the
@@ -482,6 +642,11 @@ impl<R: Runtime> ManagementGrid<R> {
             unassigned: stats.unassigned,
             reassigned: stats.reassigned,
             tasks_completed: stats.completed,
+            completed_ids: stats.completed_ids.clone(),
+            rebrokered: stats.rebrokered.clone(),
+            retries: stats.retries,
+            escalations: stats.escalations,
+            outstanding: stats.outstanding.clone(),
         }
     }
 

@@ -21,7 +21,11 @@
 //! * [`mobility`] — agent migration driven rebalancing (the paper's
 //!   future-work item);
 //! * [`workflow`] — the traditional management workflow of Fig. 1 as an
-//!   executable pipeline.
+//!   executable pipeline;
+//! * [`recovery`] — heartbeat liveness, retry/backoff and re-brokering
+//!   policies (opt-in via [`grid::GridBuilder::recovery`]);
+//! * [`chaos`] — seeded, simulated-time chaos schedules for recovery
+//!   testing ([`grid::GridBuilder::chaos`]).
 //!
 //! # Quickstart
 //!
@@ -47,13 +51,17 @@
 
 pub mod balance;
 pub mod broker;
+pub mod chaos;
 pub mod costmodel;
 pub mod grid;
 pub mod mobility;
+pub mod recovery;
 pub mod scenario;
 pub mod workflow;
 
 pub use agentgrid_acl::ontology;
+pub use chaos::{ChaosAction, ChaosPlan};
 pub use costmodel::{CostModel, RequestType, TaskCost, TaskKind};
 pub use grid::{GridReport, ManagementGrid};
+pub use recovery::{BackoffPolicy, Liveness, LivenessConfig, RecoveryConfig};
 pub use scenario::{Architecture, Workload};

@@ -44,6 +44,9 @@ pub struct ServiceEntry {
 pub struct DirectoryFacilitator {
     services: Vec<ServiceEntry>,
     containers: BTreeMap<String, ResourceProfile>,
+    /// Last-seen simulated time per container (heartbeat extension of
+    /// the resource profiles; liveness detection reads staleness).
+    heartbeats: BTreeMap<String, u64>,
 }
 
 impl DirectoryFacilitator {
@@ -108,12 +111,30 @@ impl DirectoryFacilitator {
     /// Fig. 4 interaction: "when a container is added to the grid, it
     /// will inform the profile of the resource on which it is running".
     pub fn register_container(&mut self, profile: ResourceProfile) {
+        self.heartbeats
+            .entry(profile.container.clone())
+            .or_insert(0);
         self.containers.insert(profile.container.clone(), profile);
     }
 
     /// Removes a container's profile (container left or died).
     pub fn deregister_container(&mut self, container: &str) -> Option<ResourceProfile> {
+        self.heartbeats.remove(container);
         self.containers.remove(container)
+    }
+
+    /// Records a liveness heartbeat for a container at simulated time
+    /// `now_ms`. Containers heartbeat through their resident agents'
+    /// ticks; the grid root reads staleness to mark containers suspect
+    /// or dead.
+    pub fn record_heartbeat(&mut self, container: &str, now_ms: u64) {
+        let beat = self.heartbeats.entry(container.to_owned()).or_insert(0);
+        *beat = (*beat).max(now_ms);
+    }
+
+    /// The last heartbeat recorded for a container, if any.
+    pub fn last_heartbeat(&self, container: &str) -> Option<u64> {
+        self.heartbeats.get(container).copied()
     }
 
     /// Updates only the load figure of a registered container. Returns
@@ -216,5 +237,21 @@ mod tests {
         assert!(df.deregister_container("c1").is_some());
         assert!(df.deregister_container("c1").is_none());
         assert_eq!(df.container_profiles().count(), 0);
+    }
+
+    #[test]
+    fn heartbeats_track_last_seen_and_never_go_backwards() {
+        let mut df = DirectoryFacilitator::new();
+        assert_eq!(df.last_heartbeat("c1"), None);
+        df.register_container(ResourceProfile::new("c1", 1.0, 1.0, 1, ["x"]));
+        assert_eq!(df.last_heartbeat("c1"), Some(0));
+        df.record_heartbeat("c1", 60_000);
+        df.record_heartbeat("c1", 30_000); // stale update is ignored
+        assert_eq!(df.last_heartbeat("c1"), Some(60_000));
+        df.deregister_container("c1");
+        assert_eq!(df.last_heartbeat("c1"), None);
+        // Re-registration starts a fresh heartbeat history.
+        df.register_container(ResourceProfile::new("c1", 1.0, 1.0, 1, ["x"]));
+        assert_eq!(df.last_heartbeat("c1"), Some(0));
     }
 }

@@ -73,6 +73,17 @@ pub struct Platform {
     now_ms: u64,
     delivered: u64,
     telemetry: Option<TelemetryHandle>,
+    /// When set, an undeliverable message is requeued once (narrowed to
+    /// the failed receiver) for the next clock advance instead of
+    /// dead-lettering immediately. Default off: exact dead-letter
+    /// accounting is part of the deterministic baseline.
+    requeue_dead_letters: bool,
+    /// Narrowed copies already requeued once — a second failure of any
+    /// of these dead-letters for real. Holding the [`Arc`]s keeps the
+    /// pointer identity check sound.
+    requeue_ledger: Vec<SharedMessage>,
+    /// Requeued messages waiting for the clock to advance.
+    requeue_parked: Vec<SharedMessage>,
 }
 
 impl Platform {
@@ -89,6 +100,9 @@ impl Platform {
             now_ms: 0,
             delivered: 0,
             telemetry: None,
+            requeue_dead_letters: false,
+            requeue_ledger: Vec::new(),
+            requeue_parked: Vec::new(),
         }
     }
 
@@ -148,6 +162,36 @@ impl Platform {
         }
         self.df.deregister_container(name);
         Ok(ids)
+    }
+
+    /// Removes a container abruptly *without* touching the directory —
+    /// a **silent** crash: the dead container keeps advertising its
+    /// (stale) profile and services, exactly like a host that lost power
+    /// before deregistering. Liveness detection (heartbeat staleness)
+    /// is what notices. Returns the ids of the killed agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchContainer`] if absent.
+    pub fn crash_container_silent(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        let container = self
+            .containers
+            .remove(name)
+            .ok_or_else(|| PlatformError::NoSuchContainer(name.to_owned()))?;
+        Ok(container.agents.keys().cloned().collect())
+    }
+
+    /// Switches the dead-letter requeue policy: when on, the first
+    /// delivery failure of a message requeues a copy narrowed to the
+    /// failed receiver (retried after the next clock advance); only a
+    /// second failure dead-letters. Default off.
+    pub fn set_dead_letter_requeue(&mut self, enabled: bool) {
+        self.requeue_dead_letters = enabled;
+    }
+
+    /// Messages requeued under the dead-letter requeue policy so far.
+    pub fn requeued_count(&self) -> usize {
+        self.requeue_ledger.len()
     }
 
     /// Spawns an agent into a container under `local_name`; its full id
@@ -333,6 +377,12 @@ impl Platform {
     /// then let every active agent consume its mailbox and tick. Returns
     /// the number of messages routed this step.
     pub fn step(&mut self, now_ms: u64) -> usize {
+        if now_ms > self.now_ms && !self.requeue_parked.is_empty() {
+            // The outage may have healed since the failure: retry parked
+            // messages on the first step of the new timestamp.
+            let parked = std::mem::take(&mut self.requeue_parked);
+            self.in_flight.extend(parked);
+        }
         self.now_ms = now_ms;
         let to_route = std::mem::take(&mut self.in_flight);
         let routed = to_route.len();
@@ -397,6 +447,20 @@ impl Platform {
                     }
                 }
                 _ => {
+                    if self.requeue_dead_letters
+                        && !self
+                            .requeue_ledger
+                            .iter()
+                            .any(|m| SharedMessage::ptr_eq(m, &message))
+                    {
+                        // First failure: requeue once, narrowed to the
+                        // failed receiver so receivers the multicast
+                        // already reached are not delivered twice.
+                        let retry = message.narrowed(receiver.clone()).into_shared();
+                        self.requeue_ledger.push(SharedMessage::clone(&retry));
+                        self.requeue_parked.push(retry);
+                        continue;
+                    }
                     if let Some(t) = &telemetry {
                         t.message_dead_lettered(&message, &receiver, self.now_ms);
                     }

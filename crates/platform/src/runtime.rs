@@ -49,7 +49,7 @@ use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::Agent;
 use crate::threaded::{RunStats, RunningPlatform, ThreadedPlatform};
-use crate::{DirectoryFacilitator, Platform, PlatformError};
+use crate::{DirectoryFacilitator, Platform, PlatformError, TransportFault};
 
 /// Common driver surface of the deterministic and threaded runtimes.
 ///
@@ -111,16 +111,36 @@ pub trait Runtime {
     /// Number of containers.
     fn container_count(&self) -> usize;
 
-    /// Removes a container abruptly ("crash"), if the runtime supports
-    /// it. Returns the killed agents' ids.
+    /// Removes a container abruptly but **orderly**: its agents'
+    /// services and its resource profile leave the directory, so the
+    /// rest of the grid observes the departure immediately. Returns the
+    /// killed agents' ids.
     ///
     /// # Errors
     ///
-    /// [`PlatformError::NoSuchContainer`] if absent, or
-    /// [`PlatformError::Unsupported`] on runtimes whose containers own
-    /// OS resources that cannot be revoked mid-run
-    /// ([`ThreadedRuntime`]).
+    /// [`PlatformError::NoSuchContainer`] if absent.
     fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError>;
+
+    /// Removes a container **silently**: the process vanishes but the
+    /// directory keeps its stale profile and service entries, exactly as
+    /// a real crash would leave them. Only heartbeat-staleness detection
+    /// (the recovery layer) notices. Returns the crashed agents' ids.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NoSuchContainer`] if absent.
+    fn crash_container_silent(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError>;
+
+    /// Injects (or clears) a transport fault affecting message routing
+    /// from now on; drops are silent (no dead letters), as on a lossy
+    /// network.
+    fn set_transport_fault(&mut self, fault: TransportFault);
+
+    /// Switches the requeue-once dead-letter policy: an undeliverable
+    /// message is narrowed to its failed receiver and retried once on
+    /// the next clock advance before dead-lettering for real. Off by
+    /// default on both runtimes.
+    fn set_dead_letter_requeue(&mut self, enabled: bool);
 
     /// Attaches a telemetry sink: counters, conversation traces and
     /// per-container resource profiles record into it from then on. On
@@ -181,6 +201,18 @@ impl Runtime for Platform {
         Platform::kill_container(self, name)
     }
 
+    fn crash_container_silent(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        Platform::crash_container_silent(self, name)
+    }
+
+    fn set_transport_fault(&mut self, fault: TransportFault) {
+        Platform::set_fault(self, fault);
+    }
+
+    fn set_dead_letter_requeue(&mut self, enabled: bool) {
+        Platform::set_dead_letter_requeue(self, enabled);
+    }
+
     fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
         Platform::set_telemetry(self, telemetry);
     }
@@ -209,10 +241,12 @@ enum ThreadedState {
 /// (containers, spawns, directory registration) happens before
 /// execution, exactly like on the deterministic [`Platform`].
 ///
-/// Once running, structural changes ([`add_container`](Runtime::add_container),
-/// [`spawn_agent`](Runtime::spawn_agent), [`kill_container`](Runtime::kill_container))
-/// are rejected with [`PlatformError::Unsupported`] (or panic where the
-/// deterministic runtime would too).
+/// Structural changes ([`add_container`](Runtime::add_container),
+/// [`spawn_agent`](Runtime::spawn_agent),
+/// [`kill_container`](Runtime::kill_container),
+/// [`crash_container_silent`](Runtime::crash_container_silent)) work in
+/// both phases: before the start they edit the wiring, after it they
+/// take effect live — threads start and stop while the platform runs.
 pub struct ThreadedRuntime {
     state: ThreadedState,
 }
@@ -274,7 +308,10 @@ impl Runtime for ThreadedRuntime {
             ThreadedState::Building(platform) => {
                 platform.add_container(name);
             }
-            _ => panic!("cannot add container `{name}` after the threaded runtime started"),
+            ThreadedState::Running(handle) => handle.add_container(name),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
         }
     }
 
@@ -286,9 +323,10 @@ impl Runtime for ThreadedRuntime {
     ) -> Result<AgentId, PlatformError> {
         match &mut self.state {
             ThreadedState::Building(platform) => platform.spawn(container, local_name, agent),
-            _ => Err(PlatformError::Unsupported(
-                "spawning after the threaded runtime started",
-            )),
+            ThreadedState::Running(handle) => handle.spawn(container, local_name, agent),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
         }
     }
 
@@ -348,10 +386,43 @@ impl Runtime for ThreadedRuntime {
     }
 
     fn kill_container(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
-        let _ = name;
-        Err(PlatformError::Unsupported(
-            "killing containers on the threaded runtime",
-        ))
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.remove_container(name, true),
+            ThreadedState::Running(handle) => handle.kill_container(name, true),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
+    }
+
+    fn crash_container_silent(&mut self, name: &str) -> Result<Vec<AgentId>, PlatformError> {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.remove_container(name, false),
+            ThreadedState::Running(handle) => handle.kill_container(name, false),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
+    }
+
+    fn set_transport_fault(&mut self, fault: TransportFault) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.set_transport_fault(fault),
+            ThreadedState::Running(handle) => handle.set_transport_fault(fault),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
+    }
+
+    fn set_dead_letter_requeue(&mut self, enabled: bool) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.set_dead_letter_requeue(enabled),
+            ThreadedState::Running(handle) => handle.set_dead_letter_requeue(enabled),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
     }
 
     fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
@@ -433,26 +504,62 @@ mod tests {
     }
 
     #[test]
-    fn threaded_runtime_rejects_structural_changes_after_start() {
+    fn threaded_runtime_supports_structural_changes_after_start() {
+        let hits = Arc::new(AtomicUsize::new(0));
         let mut rt = ThreadedRuntime::new("x");
         rt.add_container("c1");
         rt.post(ping(AgentId::new("ghost@x"))); // starts the threads
-        assert!(matches!(
-            rt.spawn_agent(
+        Runtime::run_until_idle(&mut rt, 0);
+        assert_eq!(rt.dead_letter_count(), 1);
+
+        // Spawn into the running container, then kill it live.
+        let late = rt
+            .spawn_agent(
                 "c1",
                 "late",
                 Counter {
-                    hits: Arc::new(AtomicUsize::new(0))
-                }
-            ),
-            Err(PlatformError::Unsupported(_))
-        ));
-        assert!(matches!(
-            rt.kill_container("c1"),
-            Err(PlatformError::Unsupported(_))
-        ));
-        Runtime::run_until_idle(&mut rt, 0);
-        assert_eq!(rt.dead_letter_count(), 1);
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .expect("late spawn works on the running threaded runtime");
+        rt.post(ping(late.clone()));
+        Runtime::run_until_idle(&mut rt, 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        let killed = rt.kill_container("c1").expect("live kill");
+        assert_eq!(killed, vec![late.clone()]);
+        assert_eq!(rt.container_count(), 0);
+        rt.post(ping(late));
+        Runtime::run_until_idle(&mut rt, 2);
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "no delivery after kill");
+        assert_eq!(rt.dead_letter_count(), 2);
+    }
+
+    #[test]
+    fn silent_crash_keeps_directory_entries_on_both_runtimes() {
+        fn scenario<R: Runtime>() -> (usize, usize) {
+            let mut rt = R::create("x");
+            rt.add_container("c1");
+            let id = rt
+                .spawn_agent(
+                    "c1",
+                    "victim",
+                    Counter {
+                        hits: Arc::new(AtomicUsize::new(0)),
+                    },
+                )
+                .unwrap();
+            rt.with_df(|df| {
+                df.register_service(id.clone(), "analysis", ["c1"]);
+                df.register_container(crate::ResourceProfile::new("c1", 1.0, 1.0, 64, ["cpu"]));
+            });
+            rt.run_until_idle(0);
+            rt.crash_container_silent("c1").unwrap();
+            let stale = rt.with_df(|df| (df.service_count(), df.container_profiles().count()));
+            (stale.0, stale.1)
+        }
+        assert_eq!(scenario::<Platform>(), (1, 1), "crash leaves stale entries");
+        assert_eq!(scenario::<ThreadedRuntime>(), (1, 1));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! across real machines); per-sender/per-receiver FIFO order is
 //! preserved by the channels.
 //!
+//! Containers and agents can join — and crash — while the platform is
+//! running: the router resolves receivers through a shared routing table,
+//! so [`RunningPlatform::add_container`], [`RunningPlatform::spawn`] and
+//! [`RunningPlatform::kill_container`] take effect immediately. Transport
+//! faults ([`TransportFault`]) and the requeue-once dead-letter policy
+//! mirror the deterministic platform's semantics.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,7 +50,7 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -54,6 +61,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::agent::{Agent, AgentCtx};
+use crate::platform::TransportFault;
 use crate::{DirectoryFacilitator, PlatformError};
 
 /// The agents registered to one container before the threads start.
@@ -69,12 +77,27 @@ enum ContainerMsg {
     Deliver(SharedMessage, Vec<AgentId>),
     /// Run one `on_tick` round (stepped driving, e.g. simulation loops).
     Tick,
+    /// Add an agent to the roster and run its `setup` (late spawn while
+    /// the platform is running). Channel FIFO guarantees the spawn is
+    /// processed before any `Deliver` routed to the new agent.
+    Spawn(AgentId, Box<dyn Agent>),
     Stop,
+}
+
+/// Who owns which agent, and how to reach each container — mutated as
+/// containers join and crash mid-run.
+#[derive(Default)]
+struct RoutingTable {
+    residents: BTreeMap<AgentId, String>,
+    txs: BTreeMap<String, Sender<ContainerMsg>>,
 }
 
 struct SharedState {
     /// Shared yellow pages / container directory.
     df: Mutex<DirectoryFacilitator>,
+    /// Resident→container map and container channels (dynamic
+    /// membership: kills and late spawns edit this table).
+    routes: Mutex<RoutingTable>,
     /// Messages enqueued but not yet fully processed (quiescence gauge).
     in_flight: AtomicI64,
     /// Delivered-message counter.
@@ -83,8 +106,38 @@ struct SharedState {
     clock_ms: AtomicU64,
     /// Undeliverable messages, one entry per unreachable receiver.
     dead_letters: Mutex<Vec<SharedMessage>>,
+    /// Transport fault injection, mirrored from the deterministic
+    /// platform: drops are silent, not dead-lettered.
+    transport: Mutex<TransportFault>,
+    /// Requeue-once dead-letter policy (see
+    /// [`Platform::set_dead_letter_requeue`](crate::Platform::set_dead_letter_requeue)).
+    requeue_dead_letters: AtomicBool,
+    /// Narrowed copies already requeued once (pointer-identity ledger).
+    requeue_ledger: Mutex<Vec<SharedMessage>>,
+    /// Requeued messages waiting for the clock to advance.
+    requeue_parked: Mutex<Vec<SharedMessage>>,
     /// Optional telemetry sink shared by the router and all containers.
     telemetry: Option<TelemetryHandle>,
+}
+
+impl SharedState {
+    /// Handles one undeliverable `(message, receiver)` leg: requeues a
+    /// narrowed copy once when the policy is on, dead-letters otherwise.
+    fn fail_delivery(&self, message: &SharedMessage, receiver: &AgentId, now: u64) {
+        if self.requeue_dead_letters.load(Ordering::SeqCst) {
+            let mut ledger = self.requeue_ledger.lock();
+            if !ledger.iter().any(|m| SharedMessage::ptr_eq(m, message)) {
+                let retry: SharedMessage = message.narrowed(receiver.clone()).into_shared();
+                ledger.push(SharedMessage::clone(&retry));
+                self.requeue_parked.lock().push(retry);
+                return;
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.message_dead_lettered(message, receiver, now);
+        }
+        self.dead_letters.lock().push(SharedMessage::clone(message));
+    }
 }
 
 /// Final statistics returned by [`RunningPlatform::shutdown`].
@@ -106,6 +159,8 @@ pub struct ThreadedPlatform {
     name: String,
     containers: BTreeMap<String, AgentRoster>,
     df: DirectoryFacilitator,
+    transport: TransportFault,
+    requeue_dead_letters: bool,
     telemetry: Option<TelemetryHandle>,
 }
 
@@ -125,6 +180,8 @@ impl ThreadedPlatform {
             name: name.into(),
             containers: BTreeMap::new(),
             df: DirectoryFacilitator::new(),
+            transport: TransportFault::None,
+            requeue_dead_letters: false,
             telemetry: None,
         }
     }
@@ -139,6 +196,17 @@ impl ThreadedPlatform {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<TelemetryHandle> {
         self.telemetry.clone()
+    }
+
+    /// Injects (or clears) a transport fault, effective from start.
+    pub fn set_transport_fault(&mut self, fault: TransportFault) {
+        self.transport = fault;
+    }
+
+    /// Switches the dead-letter requeue policy, effective from start
+    /// (see [`Platform::set_dead_letter_requeue`](crate::Platform::set_dead_letter_requeue)).
+    pub fn set_dead_letter_requeue(&mut self, enabled: bool) {
+        self.requeue_dead_letters = enabled;
     }
 
     /// Read access to the directory before the threads start.
@@ -169,6 +237,33 @@ impl ThreadedPlatform {
             "container `{name}` already exists"
         );
         self
+    }
+
+    /// Removes a container before the threads start. With `cleanup_df`,
+    /// its agents' services and its profile leave the directory too
+    /// (orderly removal); without, the directory keeps the stale entries
+    /// (silent crash). Returns the removed agents' ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchContainer`] if absent.
+    pub fn remove_container(
+        &mut self,
+        name: &str,
+        cleanup_df: bool,
+    ) -> Result<Vec<AgentId>, PlatformError> {
+        let roster = self
+            .containers
+            .remove(name)
+            .ok_or_else(|| PlatformError::NoSuchContainer(name.to_owned()))?;
+        let ids: Vec<AgentId> = roster.into_iter().map(|(id, _)| id).collect();
+        if cleanup_df {
+            for id in &ids {
+                self.df.deregister(id);
+            }
+            self.df.deregister_container(name);
+        }
+        Ok(ids)
     }
 
     /// Registers an agent to run in `container` (threads start later).
@@ -205,94 +300,103 @@ impl ThreadedPlatform {
     pub fn start(self) -> RunningPlatform {
         let shared = Arc::new(SharedState {
             df: Mutex::new(self.df),
+            routes: Mutex::new(RoutingTable::default()),
             in_flight: AtomicI64::new(0),
             delivered: AtomicU64::new(0),
             clock_ms: AtomicU64::new(0),
             dead_letters: Mutex::new(Vec::new()),
+            transport: Mutex::new(self.transport),
+            requeue_dead_letters: AtomicBool::new(self.requeue_dead_letters),
+            requeue_ledger: Mutex::new(Vec::new()),
+            requeue_parked: Mutex::new(Vec::new()),
             telemetry: self.telemetry,
         });
 
-        // Router: one inbox; knows which container channel owns each id.
+        // Router: one inbox; the routing table knows which container
+        // channel owns each id.
         let (router_tx, router_rx) = unbounded::<SharedMessage>();
-        let mut container_txs: BTreeMap<String, Sender<ContainerMsg>> = BTreeMap::new();
-        let mut residents: BTreeMap<AgentId, String> = BTreeMap::new();
         let mut threads: Vec<JoinHandle<()>> = Vec::new();
 
-        for (container_name, agents) in self.containers {
-            let (tx, rx) = unbounded::<ContainerMsg>();
-            container_txs.insert(container_name.clone(), tx);
-            for (id, _) in &agents {
-                residents.insert(id.clone(), container_name.clone());
+        {
+            let mut routes = shared.routes.lock();
+            for (container_name, agents) in self.containers {
+                let (tx, rx) = unbounded::<ContainerMsg>();
+                routes.txs.insert(container_name.clone(), tx);
+                for (id, _) in &agents {
+                    routes.residents.insert(id.clone(), container_name.clone());
+                }
+                threads.push(spawn_container_thread(
+                    container_name,
+                    agents,
+                    rx,
+                    router_tx.clone(),
+                    Arc::clone(&shared),
+                ));
             }
-            threads.push(spawn_container_thread(
-                container_name,
-                agents,
-                rx,
-                router_tx.clone(),
-                Arc::clone(&shared),
-            ));
         }
 
         // Router thread: moves messages from the shared inbox to the
-        // owning container, dead-lettering unknown receivers.
+        // owning container, dead-lettering (or requeueing) unknown
+        // receivers and applying transport faults.
         let router_shared = Arc::clone(&shared);
-        let router_containers = container_txs.clone();
         let router = std::thread::spawn(move || {
-            // Per-container telemetry scopes, resolved once so routing
-            // never takes the registry lock.
-            let scopes: BTreeMap<String, Arc<ContainerScope>> = match &router_shared.telemetry {
-                Some(t) => residents
-                    .values()
-                    .map(|c| (c.clone(), t.container_scope(c)))
-                    .collect(),
-                None => BTreeMap::new(),
-            };
+            // Per-container telemetry scopes, resolved lazily so routing
+            // rarely takes the registry lock.
+            let mut scopes: BTreeMap<String, Arc<ContainerScope>> = BTreeMap::new();
             // Exits when every sender (containers + the handle) is gone.
             while let Ok(message) = router_rx.recv() {
+                let now = router_shared.clock_ms.load(Ordering::SeqCst);
+                let fault = router_shared.transport.lock().clone();
+                if matches!(&fault, TransportFault::DropFrom(from) if message.sender() == from) {
+                    router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
                 // Group receivers by owning container so each container
                 // gets exactly one Deliver per message, with the precise
                 // list of its residents to hand the message to. Fan-out
                 // is refcount bumps; the message is never deep-cloned.
-                let mut per_container: BTreeMap<&str, Vec<AgentId>> = BTreeMap::new();
-                let now = router_shared.clock_ms.load(Ordering::SeqCst);
+                // The routing lock is held across grouping *and* channel
+                // sends, so a concurrent kill or spawn cannot interleave
+                // with this message's fan-out.
+                let mut per_container: BTreeMap<String, Vec<AgentId>> = BTreeMap::new();
+                let routes = router_shared.routes.lock();
                 for receiver in message.receivers() {
-                    match residents.get(receiver) {
+                    if matches!(&fault, TransportFault::DropTo(to) if receiver == to) {
+                        continue;
+                    }
+                    match routes.residents.get(receiver) {
                         Some(container) => {
                             if let Some(t) = &router_shared.telemetry {
-                                t.message_delivered(&message, receiver, &scopes[container], now);
+                                let scope = scopes
+                                    .entry(container.clone())
+                                    .or_insert_with(|| t.container_scope(container));
+                                t.message_delivered(&message, receiver, scope, now);
                             }
                             per_container
-                                .entry(container.as_str())
+                                .entry(container.clone())
                                 .or_default()
                                 .push(receiver.clone())
                         }
-                        None => {
-                            if let Some(t) = &router_shared.telemetry {
-                                t.message_dead_lettered(&message, receiver, now);
-                            }
-                            router_shared
-                                .dead_letters
-                                .lock()
-                                .push(SharedMessage::clone(&message))
-                        }
+                        None => router_shared.fail_delivery(&message, receiver, now),
                     }
                 }
                 for (container, targets) in per_container {
                     router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    let _ = router_containers[container].send(ContainerMsg::Deliver(
+                    let _ = routes.txs[&container].send(ContainerMsg::Deliver(
                         SharedMessage::clone(&message),
                         targets,
                     ));
                 }
+                drop(routes);
                 // The router finished handling this inbox entry.
                 router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             }
         });
 
         RunningPlatform {
+            name: self.name,
             shared,
             router_tx,
-            container_txs,
             threads,
             router: Some(router),
         }
@@ -367,7 +471,41 @@ fn spawn_container_thread(
                     flush(&mut outbox, &router_tx, &shared);
                     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
-                Ok(ContainerMsg::Stop) => break,
+                Ok(ContainerMsg::Spawn(id, mut agent)) => {
+                    let now = shared.clock_ms.load(Ordering::SeqCst);
+                    let sent_from = outbox.len();
+                    {
+                        let mut df = shared.df.lock();
+                        let mut ctx =
+                            AgentCtx::new(&id, &container_name, now, &mut outbox, &mut df);
+                        agent.setup(&mut ctx);
+                    }
+                    agents.push((id, agent));
+                    record_sends(&shared, scope.as_deref(), &outbox, sent_from, None);
+                    flush(&mut outbox, &router_tx, &shared);
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(ContainerMsg::Stop) => {
+                    // Crash/stop: whatever is still queued behind the
+                    // stop marker is undeliverable — account for it so
+                    // quiescence tracking stays balanced.
+                    let now = shared.clock_ms.load(Ordering::SeqCst);
+                    while let Some(leftover) = rx.try_recv() {
+                        match leftover {
+                            ContainerMsg::Deliver(message, targets) => {
+                                for receiver in &targets {
+                                    shared.fail_delivery(&message, receiver, now);
+                                }
+                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            ContainerMsg::Tick | ContainerMsg::Spawn(..) => {
+                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            ContainerMsg::Stop => {}
+                        }
+                    }
+                    break;
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     // Idle: give agents their tick.
                     tick_all(
@@ -432,9 +570,9 @@ fn flush(outbox: &mut Vec<SharedMessage>, router_tx: &Sender<SharedMessage>, sha
 
 /// Handle to a started [`ThreadedPlatform`].
 pub struct RunningPlatform {
+    name: String,
     shared: Arc<SharedState>,
     router_tx: Sender<SharedMessage>,
-    container_txs: BTreeMap<String, Sender<ContainerMsg>>,
     threads: Vec<JoinHandle<()>>,
     router: Option<JoinHandle<()>>,
 }
@@ -442,7 +580,7 @@ pub struct RunningPlatform {
 impl std::fmt::Debug for RunningPlatform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunningPlatform")
-            .field("containers", &self.container_txs.len())
+            .field("containers", &self.container_count())
             .field("in_flight", &self.shared.in_flight.load(Ordering::SeqCst))
             .finish()
     }
@@ -466,21 +604,148 @@ impl RunningPlatform {
     /// [`wait_idle`](Self::wait_idle)). Containers also tick on their
     /// own whenever their inbox stays empty for ~20 ms.
     pub fn broadcast_tick(&self) {
-        for tx in self.container_txs.values() {
+        let routes = self.shared.routes.lock();
+        for tx in routes.txs.values() {
             self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
             let _ = tx.send(ContainerMsg::Tick);
         }
     }
 
     /// Advances the shared simulated clock (agents read it on their next
-    /// callback).
+    /// callback). A forward move also retries messages parked by the
+    /// requeue-once dead-letter policy.
     pub fn advance_clock(&self, now_ms: u64) {
-        self.shared.clock_ms.store(now_ms, Ordering::SeqCst);
+        let before = self.shared.clock_ms.swap(now_ms, Ordering::SeqCst);
+        if now_ms > before {
+            let parked: Vec<SharedMessage> =
+                std::mem::take(&mut *self.shared.requeue_parked.lock());
+            for message in parked {
+                self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                let _ = self.router_tx.send(message);
+            }
+        }
     }
 
     /// Locked access to the shared directory.
     pub fn with_df<R>(&self, f: impl FnOnce(&mut DirectoryFacilitator) -> R) -> R {
         f(&mut self.shared.df.lock())
+    }
+
+    /// Injects (or clears) a transport fault, effective for messages the
+    /// router handles from now on.
+    pub fn set_transport_fault(&self, fault: TransportFault) {
+        *self.shared.transport.lock() = fault;
+    }
+
+    /// Switches the dead-letter requeue policy mid-run.
+    pub fn set_dead_letter_requeue(&self, enabled: bool) {
+        self.shared
+            .requeue_dead_letters
+            .store(enabled, Ordering::SeqCst);
+    }
+
+    /// Messages requeued under the dead-letter requeue policy so far.
+    pub fn requeued_count(&self) -> usize {
+        self.shared.requeue_ledger.lock().len()
+    }
+
+    /// Adds an empty container to the running platform: its thread
+    /// starts immediately and the router can target it at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate container names.
+    pub fn add_container(&mut self, name: &str) {
+        let (tx, rx) = unbounded::<ContainerMsg>();
+        {
+            let mut routes = self.shared.routes.lock();
+            assert!(
+                !routes.txs.contains_key(name),
+                "container `{name}` already exists"
+            );
+            routes.txs.insert(name.to_owned(), tx);
+        }
+        self.threads.push(spawn_container_thread(
+            name.to_owned(),
+            Vec::new(),
+            rx,
+            self.router_tx.clone(),
+            Arc::clone(&self.shared),
+        ));
+    }
+
+    /// Spawns an agent into a running container. The spawn command is
+    /// enqueued ahead of any message routed to the new agent (the
+    /// routing table is updated under the same lock), so no delivery can
+    /// observe the agent before its `setup` ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] for unknown containers or duplicate
+    /// agent names.
+    pub fn spawn(
+        &mut self,
+        container: &str,
+        local_name: &str,
+        agent: impl Agent + 'static,
+    ) -> Result<AgentId, PlatformError> {
+        let id = AgentId::with_platform(local_name, &self.name);
+        let mut routes = self.shared.routes.lock();
+        if routes.residents.contains_key(&id) {
+            return Err(PlatformError::DuplicateAgent(id));
+        }
+        let tx = routes
+            .txs
+            .get(container)
+            .ok_or_else(|| PlatformError::NoSuchContainer(container.to_owned()))?;
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = tx.send(ContainerMsg::Spawn(id.clone(), Box::new(agent)));
+        routes.residents.insert(id.clone(), container.to_owned());
+        Ok(id)
+    }
+
+    /// Removes a container abruptly mid-run. Messages already queued to
+    /// it fail (requeue-once policy applies), future messages to its
+    /// agents dead-letter at the router. With `cleanup_df` the agents'
+    /// services and the container profile leave the directory (orderly
+    /// kill); without, the directory keeps the stale entries — a
+    /// **silent** crash that only heartbeat-staleness detection notices.
+    /// Returns the killed agents' ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoSuchContainer`] if absent.
+    pub fn kill_container(
+        &mut self,
+        name: &str,
+        cleanup_df: bool,
+    ) -> Result<Vec<AgentId>, PlatformError> {
+        let (tx, ids) = {
+            let mut routes = self.shared.routes.lock();
+            let tx = routes
+                .txs
+                .remove(name)
+                .ok_or_else(|| PlatformError::NoSuchContainer(name.to_owned()))?;
+            let ids: Vec<AgentId> = routes
+                .residents
+                .iter()
+                .filter(|(_, c)| c.as_str() == name)
+                .map(|(id, _)| id.clone())
+                .collect();
+            routes.residents.retain(|_, c| c != name);
+            (tx, ids)
+        };
+        // FIFO: the stop marker lands behind everything already queued;
+        // the thread drains and fails those deliveries, then exits.
+        let _ = tx.send(ContainerMsg::Stop);
+        if cleanup_df {
+            let mut df = self.shared.df.lock();
+            for id in &ids {
+                df.deregister(id);
+            }
+            df.deregister_container(name);
+        }
+        Ok(ids)
     }
 
     /// Blocks until no message is queued or being processed anywhere.
@@ -527,13 +792,16 @@ impl RunningPlatform {
 
     /// Number of containers (threads) running.
     pub fn container_count(&self) -> usize {
-        self.container_txs.len()
+        self.shared.routes.lock().txs.len()
     }
 
     /// Stops every thread and returns the run statistics.
     pub fn shutdown(mut self) -> RunStats {
-        for tx in self.container_txs.values() {
-            let _ = tx.send(ContainerMsg::Stop);
+        {
+            let routes = self.shared.routes.lock();
+            for tx in routes.txs.values() {
+                let _ = tx.send(ContainerMsg::Stop);
+            }
         }
         for handle in self.threads.drain(..) {
             let _ = handle.join();
@@ -732,5 +1000,171 @@ mod tests {
             ),
             Err(PlatformError::NoSuchContainer(_))
         ));
+    }
+
+    #[test]
+    fn late_spawn_into_running_container_receives_messages() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        let mut handle = platform.start();
+        let id = handle
+            .spawn(
+                "a",
+                "late",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        handle.post(ping(id));
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            handle.spawn(
+                "a",
+                "late",
+                Ponger {
+                    hits: Arc::clone(&hits)
+                }
+            ),
+            Err(PlatformError::DuplicateAgent(_))
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn kill_container_mid_run_dead_letters_future_mail() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        let id = platform
+            .spawn(
+                "a",
+                "victim",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        let mut handle = platform.start();
+        handle.post(ping(id.clone()));
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        let killed = handle.kill_container("a", true).unwrap();
+        assert_eq!(killed, vec![id.clone()]);
+        assert_eq!(handle.container_count(), 0);
+        handle.post(ping(id));
+        assert!(handle.wait_idle());
+        // 1 ping + its pong (dead-lettered to "test-driver")... the pong
+        // dead-letters, plus the post-kill ping dead-letters.
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "no delivery after kill");
+        assert!(handle.dead_letter_count() >= 2);
+        assert!(matches!(
+            handle.kill_container("a", true),
+            Err(PlatformError::NoSuchContainer(_))
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn container_restart_restores_delivery() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        let id = platform
+            .spawn(
+                "a",
+                "phoenix",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        let mut handle = platform.start();
+        handle.kill_container("a", false).unwrap();
+        handle.add_container("a");
+        let respawned = handle
+            .spawn(
+                "a",
+                "phoenix",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        assert_eq!(respawned, id);
+        handle.post(ping(respawned));
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn transport_faults_drop_silently() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        let id = platform
+            .spawn(
+                "a",
+                "target",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        let mut handle = platform.start();
+        handle.set_transport_fault(TransportFault::DropTo(id.clone()));
+        handle.post(ping(id.clone()));
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(handle.dead_letter_count(), 0, "drops are silent");
+
+        handle.set_transport_fault(TransportFault::None);
+        handle.post(ping(id));
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "healed transport delivers");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn requeue_once_retries_after_clock_advance_then_dead_letters() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut platform = ThreadedPlatform::new("rt");
+        platform.add_container("a");
+        platform.set_dead_letter_requeue(true);
+        let mut handle = platform.start();
+
+        // No such agent yet: first failure parks a narrowed retry.
+        handle.post(ping(AgentId::with_platform("phoenix", "rt")));
+        assert!(handle.wait_idle());
+        assert_eq!(handle.dead_letter_count(), 0, "first failure is parked");
+        assert_eq!(handle.requeued_count(), 1);
+
+        // The agent appears before the retry fires: message recovered.
+        handle
+            .spawn(
+                "a",
+                "phoenix",
+                Ponger {
+                    hits: Arc::clone(&hits),
+                },
+            )
+            .unwrap();
+        handle.advance_clock(1_000);
+        assert!(handle.wait_idle());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+
+        // A retry that fails again dead-letters for real: the ping to a
+        // ghost agent, and phoenix's pong to the outside driver (parked
+        // above), both exhaust their single retry on this advance.
+        handle.post(ping(AgentId::with_platform("ghost", "rt")));
+        assert!(handle.wait_idle());
+        handle.advance_clock(2_000);
+        assert!(handle.wait_idle());
+        assert_eq!(handle.dead_letter_count(), 2);
+        handle.shutdown();
     }
 }

@@ -297,6 +297,89 @@ fn telemetry_counters_match_across_runtimes() {
     }
 }
 
+/// Recovery parity: the same seeded [`ChaosPlan`] — crash, restart,
+/// transport-fault windows — must drive both runtimes to the same
+/// outcome: identical task-completion sets, the same alert volume, and
+/// zero permanently lost tasks. The deterministic runtime must further
+/// be bit-identical across two invocations of the same seed.
+#[test]
+fn chaos_recovery_is_consistent_across_runtimes() {
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+    let seed = 42u64;
+    let horizon = 18 * 60_000;
+    let plan = ChaosPlan::seeded(seed, &["pg-1".into(), "pg-2".into()], horizon);
+    assert!(!plan.is_empty());
+    let builder = || {
+        let mut net = Network::new();
+        for i in 0..3 {
+            net.add_device(
+                Device::builder(format!("srv-{i}"), DeviceKind::Server)
+                    .site("hq")
+                    .seed(i)
+                    .build(),
+            );
+        }
+        ManagementGrid::builder()
+            .network(net)
+            .collectors_per_site(1)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .chaos(plan.clone())
+    };
+
+    let det = builder().build().run(horizon, 60_000);
+    let det_again = builder().build().run(horizon, 60_000);
+    let thr = builder().build_threaded().run(horizon, 60_000);
+
+    // Determinism first: same seed, same everything, to the byte.
+    assert_eq!(det.assignments, det_again.assignments);
+    assert_eq!(det.completed_ids, det_again.completed_ids);
+    assert_eq!(det.rebrokered, det_again.rebrokered);
+    assert_eq!(det.retries, det_again.retries);
+    assert_eq!(det.alerts, det_again.alerts);
+    assert_eq!(det.render(), det_again.render());
+
+    // Cross-runtime parity: the chaos schedule runs on simulated time
+    // on both runtimes, so the *sets* of completed tasks and the alert
+    // volume must match (delivery order within a tick may differ).
+    fn completed_set(r: &agentgrid_suite::GridReport) -> Vec<&str> {
+        let mut ids: Vec<&str> = r.completed_ids.iter().map(String::as_str).collect();
+        ids.sort_unstable();
+        ids
+    }
+    assert_eq!(
+        completed_set(&det),
+        completed_set(&thr),
+        "both runtimes must complete the same task set under the same chaos plan"
+    );
+    assert_eq!(det.alerts.len(), thr.alerts.len(), "same alert volume");
+    assert_eq!(det.escalations, thr.escalations, "same escalations");
+    for (name, report) in [("deterministic", &det), ("threaded", &thr)] {
+        assert!(
+            report.lost_tasks().is_empty(),
+            "{name}: tasks permanently lost: {:?}",
+            report.lost_tasks()
+        );
+        assert!(
+            !report.rebrokered.is_empty(),
+            "{name}: the crash must force at least one re-brokering"
+        );
+    }
+}
+
 #[test]
 fn workload_pacing_reduces_contention_not_work() {
     let costs = CostModel::table1();

@@ -1,6 +1,9 @@
 //! Integration tests for failure injection: dying containers, lossy
 //! transports, unreachable devices, storage replica failures.
 
+use agentgrid_suite::acl::AgentId;
+use agentgrid_suite::core::chaos::ChaosPlan;
+use agentgrid_suite::core::recovery::RecoveryConfig;
 use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFault};
 use agentgrid_suite::platform::TransportFault;
 use agentgrid_suite::store::{Record, ReplicatedStore};
@@ -52,6 +55,68 @@ fn analyzer_container_crash_does_not_stop_the_grid() {
     );
     // Alerts keep coming from the survivor.
     assert!(after.records_stored > before.records_stored);
+}
+
+/// Regression: a crashed container's **in-flight** tasks — awarded but
+/// not yet reported done — must complete on a surviving container, not
+/// just future work. A transport-fault window swallows the awards sent
+/// to `pg-1`'s analyzer right before the crash, guaranteeing stranded
+/// in-flight tasks; heartbeat detection must then reclaim and re-broker
+/// them to `pg-2`, where they finish.
+#[test]
+fn crashed_containers_in_flight_tasks_complete_elsewhere() {
+    // Window [1 min, 4 min): awards to pg-1's analyzer vanish in
+    // transit, so its ledger entries stay in flight. Crash at 4 min,
+    // detected dead at ~7 min (3 missed 60 s heartbeats).
+    let plan = ChaosPlan::new()
+        .drop_to_between(60_000, 4 * 60_000, AgentId::new("analyzer-pg-1@grid"))
+        .crash_at(4 * 60_000, "pg-1");
+    let mut grid = ManagementGrid::builder()
+        .network(network(4, 23))
+        .collectors_per_site(2)
+        // pg-1's higher capacity attracts the early awards.
+        .analyzer("pg-1", 4.0, ALL_SKILLS)
+        .analyzer("pg-2", 1.0, ALL_SKILLS)
+        .recovery(RecoveryConfig::seeded(23))
+        .chaos(plan)
+        .build();
+    let report = grid.run(15 * 60_000, 60_000);
+
+    // Some task was awarded to pg-1, stranded, and completed via pg-2.
+    let moved: Vec<&str> = report
+        .rebrokered
+        .iter()
+        .filter(|id| {
+            report
+                .assignments
+                .iter()
+                .any(|(t, c)| t == *id && c == "pg-1")
+                && report
+                    .assignments
+                    .iter()
+                    .any(|(t, c)| t == *id && c == "pg-2")
+        })
+        .map(String::as_str)
+        .collect();
+    assert!(
+        !moved.is_empty(),
+        "no in-flight task moved from the crashed container to the survivor; \
+         rebrokered: {:?}",
+        report.rebrokered
+    );
+    for id in moved {
+        assert!(
+            report.completed_ids.contains(&id.to_owned()),
+            "moved task {id} never completed on the survivor"
+        );
+    }
+    assert!(
+        report.lost_tasks().is_empty(),
+        "lost: {:?}",
+        report.lost_tasks()
+    );
+    // The death surfaced operationally too.
+    assert!(report.alerts.iter().any(|a| a.rule == "container-dead"));
 }
 
 #[test]

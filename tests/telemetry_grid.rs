@@ -141,6 +141,81 @@ fn grid_exports_nonzero_counters_for_every_stage() {
     assert!(assigned > 0, "root brokered nothing");
 }
 
+/// The recovery layer's metric families — retry counters, the
+/// re-brokered counter and the per-container liveness gauges — must
+/// track the run's recovery statistics exactly, and survive the
+/// Prometheus text export (including label-value escaping).
+#[test]
+fn recovery_metrics_track_chaos_and_export_cleanly() {
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+
+    let telemetry = Telemetry::new();
+    let plan = ChaosPlan::new()
+        .crash_at(2 * 60_000, "pg-1")
+        .restart_at(7 * 60_000, "pg-1");
+    let mut grid = ManagementGrid::builder()
+        .network(small_network())
+        .analyzer("pg-1", 4.0, ALL_SKILLS)
+        .analyzer("pg-2", 1.0, ALL_SKILLS)
+        .recovery(RecoveryConfig::seeded(5))
+        .chaos(plan)
+        .telemetry(telemetry.clone())
+        .build();
+    let report = grid.run(15 * 60_000, 60_000);
+    assert!(
+        !report.rebrokered.is_empty(),
+        "the crash must force re-brokering for the metrics to witness"
+    );
+
+    let snapshot = telemetry.snapshot();
+    // Counters mirror the report's recovery statistics one-to-one.
+    assert_eq!(
+        snapshot.counter("agentgrid_retries_total", &[("component", "broker")]),
+        Some(report.retries),
+        "broker retry counter must match the run's retry count"
+    );
+    assert_eq!(
+        snapshot.counter("agentgrid_rebrokered_tasks_total", &[]),
+        Some(report.rebrokered.len() as u64),
+    );
+    // Collector retries ride the same family under their own label, so
+    // the two components never collide.
+    let collector_retries = snapshot
+        .counter("agentgrid_retries_total", &[("component", "collector")])
+        .unwrap_or(0);
+    assert!(collector_retries <= report.retries + collector_retries);
+    // Liveness gauges exist for both containers with a valid encoding;
+    // by the end of the run both are back to alive (0).
+    for container in ["pg-1", "pg-2"] {
+        let v = snapshot
+            .gauge("agentgrid_container_liveness", &[("container", container)])
+            .unwrap_or_else(|| panic!("no liveness gauge for {container}"));
+        assert!((0..=2).contains(&v), "{container} gauge out of range: {v}");
+        assert_eq!(v, 0, "{container} must be alive again at the horizon");
+    }
+
+    // The families render in Prometheus text format…
+    let prom = telemetry.prometheus();
+    assert!(prom.contains("agentgrid_retries_total{component=\"broker\"}"));
+    assert!(prom.contains("agentgrid_rebrokered_tasks_total"));
+    assert!(prom.contains("agentgrid_container_liveness{container=\"pg-1\"}"));
+    // …and a hostile container name is escaped per the text-format spec
+    // (backslash, double quote, newline).
+    telemetry
+        .registry()
+        .gauge(
+            "agentgrid_container_liveness",
+            &[("container", "pg\\3 \"ha\"\nx")],
+        )
+        .set(2);
+    let prom = telemetry.prometheus();
+    assert!(
+        prom.contains("agentgrid_container_liveness{container=\"pg\\\\3 \\\"ha\\\"\\nx\"} 2"),
+        "escaped liveness gauge missing from: {prom}"
+    );
+}
+
 /// Attaching a telemetry sink (live profiles off) must not perturb the
 /// deterministic grid: the runs are byte-for-byte identical.
 #[test]
