@@ -18,6 +18,14 @@
 //! executed twice to check the run is bit-identical, with zero
 //! permanently lost tasks. With no explicit experiment list, `--chaos`
 //! runs only the chaos experiment.
+//!
+//! `--overload <seed>` runs the overload-protection experiment: a burst
+//! scenario against bounded mailboxes (shed-by-priority), admission
+//! control, circuit breakers and collector pacing, executed twice to
+//! check the run is bit-identical. Exits nonzero unless messages were
+//! shed, zero alert-class messages were lost and the mailbox high-water
+//! respected the configured cap. With no explicit experiment list,
+//! `--overload` runs only the overload experiment.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
@@ -27,6 +35,9 @@ use agentgrid::chaos::ChaosPlan;
 use agentgrid::grid::{ManagementGrid, DEFAULT_RULES};
 use agentgrid::mobility::Rebalancer;
 use agentgrid::ontology::{AnalysisTask, ResourceProfile};
+use agentgrid::overload::{
+    AdmissionConfig, BreakerConfig, MessageClass, OverflowPolicy, OverloadConfig,
+};
 use agentgrid::recovery::RecoveryConfig;
 use agentgrid::workflow;
 use agentgrid::CostModel;
@@ -43,10 +54,18 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_metrics_flag(&mut args);
     let chaos_seed = take_chaos_flag(&mut args);
+    let overload_seed = take_overload_flag(&mut args);
     let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        if args.is_empty() && chaos_seed.is_some() {
-            vec!["chaos"]
+        if args.is_empty() && (chaos_seed.is_some() || overload_seed.is_some()) {
+            let mut only = Vec::new();
+            if chaos_seed.is_some() {
+                only.push("chaos");
+            }
+            if overload_seed.is_some() {
+                only.push("overload");
+            }
+            only
         } else {
             vec![
                 "table1",
@@ -80,6 +99,7 @@ fn main() {
             "scaling" => scaling(),
             "mobility" => mobility(telemetry.as_ref()),
             "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref()),
+            "overload" => overload(overload_seed.unwrap_or(7), telemetry.as_ref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
@@ -127,6 +147,31 @@ fn take_chaos_flag(args: &mut Vec<String>) -> Option<u64> {
     }
     if let Some(i) = args.iter().position(|a| a.starts_with("--chaos=")) {
         let raw = args.remove(i)["--chaos=".len()..].to_owned();
+        return Some(parse(&raw));
+    }
+    None
+}
+
+/// Removes `--overload <seed>` (or `--overload=<seed>`) from `args` and
+/// returns the seed, if present.
+fn take_overload_flag(args: &mut Vec<String>) -> Option<u64> {
+    let parse = |raw: &str| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--overload needs an unsigned integer seed, got `{raw}`");
+            std::process::exit(2);
+        })
+    };
+    if let Some(i) = args.iter().position(|a| a == "--overload") {
+        if i + 1 >= args.len() {
+            eprintln!("--overload needs a seed argument");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return Some(parse(&raw));
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--overload=")) {
+        let raw = args.remove(i)["--overload=".len()..].to_owned();
         return Some(parse(&raw));
     }
     None
@@ -480,6 +525,104 @@ fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>) {
     );
     if !lost.is_empty() || !identical {
         eprintln!("chaos check FAILED (lost: {lost:?}, identical: {identical})");
+        std::process::exit(1);
+    }
+}
+
+/// Overload experiment: a deliberately undersized grid (six collectors
+/// on a tight cadence funnelling into one classifier) behind every
+/// overload defence at once — bounded mailboxes with shed-by-priority,
+/// the root's token-bucket admission gate, per-container circuit
+/// breakers and collector pacing. Run twice on the deterministic
+/// runtime; exits nonzero unless the burst actually shed messages, no
+/// alert-class message was lost, the mailbox high-water stayed within
+/// the cap, and the replay is bit-identical — so CI can use it as a
+/// smoke check.
+fn overload(seed: u64, telemetry: Option<&TelemetryHandle>) {
+    banner(&format!(
+        "Overload — burst traffic vs bounded mailboxes (seed {seed})"
+    ));
+    const CAP: usize = 3;
+    let horizon = 20 * 60_000;
+    println!(
+        "config: mailbox cap {CAP} shed-by-priority, token bucket 4 (+2/window), \
+         breakers on, pacing on"
+    );
+    let run_once = |telemetry: Option<&TelemetryHandle>| {
+        let protection = OverloadConfig::new()
+            .mailbox(CAP, OverflowPolicy::ShedByPriority)
+            .admission(AdmissionConfig {
+                bucket_capacity: 4,
+                refill_per_window: 2,
+                load_threshold: 0.9,
+            })
+            .breaker(BreakerConfig::default())
+            .collector_pacing(true);
+        let mut builder = ManagementGrid::builder()
+            .network(standard_network(2, 4, seed))
+            .collectors_per_site(3)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .overload(protection)
+            .fault(ScheduledFault::from(
+                "site-0-dev2",
+                FaultKind::CpuRunaway,
+                120_000,
+            ));
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t.clone());
+        }
+        let mut grid = builder.build();
+        let report = grid.run(horizon, 60_000);
+        let stats = grid.overload_stats().expect("bounded mailboxes configured");
+        (report, stats)
+    };
+    let (first, stats) = run_once(telemetry);
+    let (second, second_stats) = run_once(None);
+
+    println!("shed by class:");
+    for class in MessageClass::ALL {
+        println!("  {:<8} {}", class.as_label(), stats.shed(class));
+    }
+    println!("shed total: {}", stats.shed_total());
+    println!("deferred deliveries: {}", stats.deferred);
+    println!("mailbox high-water: {} (cap {CAP})", stats.highwater);
+    println!("admission rejected: {}", first.rejected);
+    println!("paced polls: {}", first.paced_polls);
+    println!(
+        "work done under pressure: {} tasks completed, {} alerts raised",
+        first.tasks_completed,
+        first.alerts.len()
+    );
+    let identical = first.render() == second.render()
+        && first.completed_ids == second.completed_ids
+        && first.assignments == second.assignments
+        && stats == second_stats;
+    println!(
+        "deterministic replay: {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let alerts_shed = stats.shed(MessageClass::Alert);
+    let ok = stats.shed_total() > 0 && alerts_shed == 0 && stats.highwater <= CAP && identical;
+    if ok {
+        println!(
+            "overload check PASSED ({} shed, {} alerts lost, high-water {} <= cap {CAP})",
+            stats.shed_total(),
+            alerts_shed,
+            stats.highwater
+        );
+    } else {
+        eprintln!(
+            "overload check FAILED (shed: {}, alerts shed: {alerts_shed}, \
+             high-water: {}, identical: {identical})",
+            stats.shed_total(),
+            stats.highwater
+        );
         std::process::exit(1);
     }
 }

@@ -1,14 +1,33 @@
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{CollectedBatch, Observation, ToContent, MANAGEMENT_ONTOLOGY};
 use agentgrid_acl::{AclMessage, AgentId, Performative};
 use agentgrid_net::{cli, oids, snmp, Network, Oid};
-use agentgrid_platform::{Agent, AgentCtx};
+use agentgrid_platform::{Agent, AgentCtx, PressureSignal};
 use agentgrid_telemetry::Counter;
 use parking_lot::Mutex;
 
 use crate::recovery::{jitter_key, BackoffPolicy};
+
+/// Ceiling on the pacing multiplier: a fully pressured collector polls
+/// at 1/8th of its configured cadence, never slower.
+const MAX_STRETCH: u64 = 8;
+
+/// Collector-side pacing state (overload mode): stretch the poll
+/// interval multiplicatively while the platform signals mailbox
+/// pressure, recover additively once it clears.
+struct Pacing {
+    /// Pressure events from the platform's bounded-mailbox tracker.
+    signal: Arc<PressureSignal>,
+    /// Shared `paced_polls` counter surfaced in the grid report.
+    paced: Arc<AtomicU64>,
+    /// Event count at the previous poll.
+    seen: u64,
+    /// Current poll-interval multiplier (`1..=MAX_STRETCH`).
+    stretch: u64,
+}
 
 /// Which management-protocol *interface* a collector uses (paper §3.1:
 /// "a collecting agent can have an SNMP interface or use a command line
@@ -50,6 +69,8 @@ pub struct CollectorAgent {
     /// `agentgrid_retries_total{component="collector"}` when telemetry
     /// is wired up.
     retry_metric: Option<Counter>,
+    /// Poll-interval pacing under downstream pressure (overload mode).
+    pacing: Option<Pacing>,
 }
 
 impl std::fmt::Debug for CollectorAgent {
@@ -88,6 +109,7 @@ impl CollectorAgent {
             device_failures: BTreeMap::new(),
             device_next_ms: BTreeMap::new(),
             retry_metric: None,
+            pacing: None,
         }
     }
 
@@ -102,6 +124,36 @@ impl CollectorAgent {
     /// Counts retry polls into the given telemetry counter.
     pub fn set_retry_metric(&mut self, counter: Counter) {
         self.retry_metric = Some(counter);
+    }
+
+    /// Enables pacing: while `signal` reports fresh pressure events the
+    /// poll interval doubles (capped at [`MAX_STRETCH`]×), recovering
+    /// one step per pressure-free poll. Each stretched scheduling
+    /// decision increments `paced`.
+    pub fn set_pacing(&mut self, signal: Arc<PressureSignal>, paced: Arc<AtomicU64>) {
+        self.pacing = Some(Pacing {
+            signal,
+            paced,
+            seen: 0,
+            stretch: 1,
+        });
+    }
+
+    /// The current poll-interval multiplier, updated from the pressure
+    /// signal; `1` when pacing is off.
+    fn pacing_stretch(&mut self) -> u64 {
+        let Some(p) = &mut self.pacing else {
+            return 1;
+        };
+        let events = p.signal.events();
+        if events != p.seen {
+            p.seen = events;
+            p.stretch = (p.stretch * 2).min(MAX_STRETCH);
+            p.paced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            p.stretch = p.stretch.saturating_sub(1).max(1);
+        }
+        p.stretch
     }
 
     fn poll_device_snmp(device: &mut agentgrid_net::Device, now: u64) -> Vec<Observation> {
@@ -206,7 +258,8 @@ impl Agent for CollectorAgent {
                 if now < self.next_poll_ms {
                     return;
                 }
-                self.next_poll_ms = now + self.period_ms;
+                let stretch = self.pacing_stretch();
+                self.next_poll_ms = now + self.period_ms.saturating_mul(stretch);
                 self.devices.clone()
             }
             Some(_) => self
@@ -219,6 +272,12 @@ impl Agent for CollectorAgent {
         if due.is_empty() {
             return;
         }
+        // Per-device scheduling reads the pressure signal once per
+        // polling round, not once per device.
+        let stretch = match &self.backoff {
+            Some(_) => self.pacing_stretch(),
+            None => 1,
+        };
 
         let mut observations = Vec::new();
         {
@@ -251,7 +310,7 @@ impl Agent for CollectorAgent {
                         now + delay
                     } else {
                         *failures = 0;
-                        now + self.period_ms
+                        now + self.period_ms.saturating_mul(stretch)
                     };
                     self.device_next_ms.insert(device_name.clone(), next);
                 }

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 
 use crate::balance::LoadBalancer;
 use crate::grid::classifier::parse_data_ready;
+use crate::overload::{AdmissionConfig, AdmissionGate, BreakerBoard, BreakerConfig};
 use crate::recovery::{jitter_key, Liveness, RecoveryConfig};
 
 /// How many `data-ready` notifications between level-3 correlation
@@ -53,9 +54,12 @@ struct BrokerMetrics {
     /// `agentgrid_rebrokered_tasks_total` — reclaimed tasks re-awarded
     /// through a fresh brokering round.
     rebrokered: Counter,
+    /// `agentgrid_admission_rejects_total` — awards turned away by the
+    /// admission gate (overload mode).
+    admission_rejects: Counter,
     /// Registry handle for the per-container
-    /// `agentgrid_container_liveness` gauges (created lazily as
-    /// containers appear).
+    /// `agentgrid_container_liveness` and `agentgrid_breaker_state`
+    /// gauges (created lazily as containers appear).
     telemetry: TelemetryHandle,
 }
 
@@ -77,6 +81,9 @@ impl BrokerMetrics {
             rebrokered: telemetry
                 .registry()
                 .counter("agentgrid_rebrokered_tasks_total", &[]),
+            admission_rejects: telemetry
+                .registry()
+                .counter("agentgrid_admission_rejects_total", &[]),
             telemetry: telemetry.clone(),
         }
     }
@@ -86,6 +93,14 @@ impl BrokerMetrics {
         self.telemetry
             .registry()
             .gauge("agentgrid_container_liveness", &[("container", container)])
+    }
+
+    /// The breaker gauge of one container: 0 closed, 1 open, 2
+    /// half-open.
+    fn breaker_gauge(&self, container: &str) -> Gauge {
+        self.telemetry
+            .registry()
+            .gauge("agentgrid_breaker_state", &[("container", container)])
     }
 }
 
@@ -115,6 +130,10 @@ pub struct RootStats {
     /// Tasks whose retries were exhausted and escalated to the
     /// interface grid (recovery mode).
     pub escalations: u64,
+    /// Awards turned away by the admission gate (overload mode): with
+    /// recovery on the task parks for a later window, without it the
+    /// task is dropped — either way the rejection is counted here.
+    pub rejected: u64,
     /// Ids still in flight or parked as of the root's last event. An
     /// assigned-but-uncompleted task is only *lost* if it is absent
     /// from this set too.
@@ -157,6 +176,11 @@ pub struct ProcessorRootAgent {
     suspect: BTreeSet<String>,
     /// Task ids already escalated, to alert at most once per task.
     escalated: BTreeSet<String>,
+    /// Token-bucket admission gate (overload mode).
+    admission: Option<AdmissionGate>,
+    /// Per-container circuit breakers (overload mode; needs recovery's
+    /// deadline machinery for its failure signal).
+    breakers: Option<BreakerBoard>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -183,6 +207,8 @@ impl ProcessorRootAgent {
             parked: Vec::new(),
             suspect: BTreeSet::new(),
             escalated: BTreeSet::new(),
+            admission: None,
+            breakers: None,
         }
     }
 
@@ -203,6 +229,18 @@ impl ProcessorRootAgent {
         self.escalate_to = escalate_to;
     }
 
+    /// Turns on overload protection at the broker: a token-bucket
+    /// admission gate on first awards and/or per-container circuit
+    /// breakers diverting awards from tripped containers.
+    pub fn set_overload(
+        &mut self,
+        admission: Option<AdmissionConfig>,
+        breaker: Option<BreakerConfig>,
+    ) {
+        self.admission = admission.map(AdmissionGate::new);
+        self.breakers = breaker.map(BreakerBoard::new);
+    }
+
     /// A handle onto the root's statistics, valid after the agent is
     /// spawned into a platform.
     pub fn stats_handle(&self) -> Arc<Mutex<RootStats>> {
@@ -217,13 +255,20 @@ impl ProcessorRootAgent {
         // candidates; spare containers (profile but no agent yet) are
         // skipped until mobility moves an analyzer in. Suspect
         // containers (stale heartbeats, recovery mode) are skipped too.
+        let now = ctx.now_ms();
         let df = ctx.df();
-        let profiles: Vec<_> = df
+        let mut profiles: Vec<_> = df
             .container_profiles()
             .filter(|p| df.providers_with("analysis", &p.container).next().is_some())
             .filter(|p| !self.suspect.contains(&p.container))
             .cloned()
             .collect();
+        // Open circuit breakers divert awards exactly like Suspect; a
+        // breaker whose probe time arrived half-opens and lets this
+        // award through as the probe.
+        if let Some(breakers) = &mut self.breakers {
+            profiles.retain(|p| !breakers.blocks(&p.container, now));
+        }
         let container = self.policy.select(task, &profiles)?;
         // The analyzer registered itself under service "analysis"
         // with its container name as a property (Fig. 4).
@@ -274,6 +319,35 @@ impl ProcessorRootAgent {
     /// it parks and is retried every tick until a capable container
     /// appears.
     fn assign_and_send(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
+        // Admission gate (overload mode): a first award only flows when
+        // the token bucket has budget and the mean measured load across
+        // the directory's profiles is under the threshold. Re-awards of
+        // reclaimed tasks bypass the gate — they were admitted once.
+        if let Some(gate) = &mut self.admission {
+            let aggregate = {
+                let df = ctx.df();
+                let (sum, n) = df
+                    .container_profiles()
+                    .fold((0.0_f64, 0u32), |(s, n), p| (s + p.load, n + 1));
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / f64::from(n)
+                }
+            };
+            if !gate.admit(ctx.now_ms(), aggregate) {
+                self.stats.lock().rejected += 1;
+                if let Some(m) = &self.metrics {
+                    m.admission_rejects.inc();
+                }
+                // Parks under recovery (retried next window); dropped —
+                // but counted — without it.
+                if self.recovery.is_some() {
+                    self.parked.push((task, false));
+                }
+                return;
+            }
+        }
         if self.try_award(&task, ctx).is_some() {
             return;
         }
@@ -354,6 +428,10 @@ impl ProcessorRootAgent {
             let state = cfg.liveness.classify(now.saturating_sub(last));
             if let Some(m) = &self.metrics {
                 m.liveness_gauge(&container).set(state.as_gauge());
+                if let Some(breakers) = &self.breakers {
+                    m.breaker_gauge(&container)
+                        .set(breakers.gauge_value(&container));
+                }
             }
             match state {
                 Liveness::Alive => {}
@@ -388,6 +466,12 @@ impl ProcessorRootAgent {
                     true
                 }
             });
+            // A dead container's breaker state dies with it — liveness
+            // already diverted everything, and a restarted container
+            // must come back with a closed breaker.
+            if let Some(breakers) = &mut self.breakers {
+                breakers.forget(&container);
+            }
             self.escalate(
                 "container-dead",
                 &container,
@@ -400,11 +484,15 @@ impl ProcessorRootAgent {
         //    the budget runs out, then escalate and re-broker.
         let mut retries = Vec::new();
         let mut exhausted = Vec::new();
+        // Deadline expiries double as the circuit breakers' failure
+        // signal: each is one timeout against the awarded container.
+        let mut timeouts = Vec::new();
         self.pending.retain_mut(|p| {
             p.ticks_outstanding += 1;
             if now < p.deadline_ms {
                 return true;
             }
+            timeouts.push(p.container.clone());
             if p.attempts < cfg.backoff.max_retries {
                 p.attempts += 1;
                 p.deadline_ms =
@@ -416,6 +504,11 @@ impl ProcessorRootAgent {
                 false
             }
         });
+        if let Some(breakers) = &mut self.breakers {
+            for container in &timeouts {
+                breakers.on_failure(container, now);
+            }
+        }
         for (task, container) in retries {
             let Some(analyzer) = ctx
                 .df()
@@ -479,15 +572,26 @@ impl Agent for ProcessorRootAgent {
         // report must not inflate the tally.
         if message.content().get("concept").and_then(Value::as_str) == Some("done") {
             if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
-                let before = self.pending.len();
-                self.pending.retain(|p| p.task.task_id != task_id);
-                if self.pending.len() < before {
+                let mut cleared = None;
+                self.pending.retain(|p| {
+                    if p.task.task_id == task_id {
+                        cleared = Some(p.container.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if let Some(container) = cleared {
                     let mut stats = self.stats.lock();
                     stats.completed += 1;
                     stats.completed_ids.push(task_id.to_owned());
                     drop(stats);
                     if let Some(m) = &self.metrics {
                         m.completed.inc();
+                    }
+                    // A completion is the breaker's success signal.
+                    if let Some(breakers) = &mut self.breakers {
+                        breakers.on_success(&container);
                     }
                 }
             }

@@ -1,5 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{Alert, ResourceProfile};
@@ -19,7 +20,10 @@ use crate::grid::{
     AnalyzerAgent, ClassifierAgent, CollectorAgent, CollectorInterface, InterfaceAgent,
     ProcessorRootAgent, DEFAULT_RULES,
 };
+use crate::overload::{OverloadConfig, PressureSignal};
 use crate::recovery::RecoveryConfig;
+
+pub use agentgrid_platform::OverloadStats;
 
 /// Configuration of one analyzer container.
 #[derive(Debug, Clone)]
@@ -42,6 +46,7 @@ pub struct GridBuilder {
     live_profiles: bool,
     recovery: Option<RecoveryConfig>,
     chaos: Option<ChaosPlan>,
+    overload: Option<OverloadConfig>,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -143,6 +148,19 @@ impl GridBuilder {
         self
     }
 
+    /// Turns on the overload-protection layer ([`OverloadConfig`]):
+    /// bounded mailboxes with priority shedding, root admission
+    /// control, per-container circuit breakers and collector pacing —
+    /// each mechanism individually opt-in inside the config. A
+    /// configured breaker implies [`recovery`](Self::recovery) defaults
+    /// (its failure signal is the recovery layer's award deadlines).
+    /// Default off, keeping unconfigured runs byte-for-byte identical
+    /// to the unprotected grid.
+    pub fn overload(mut self, config: OverloadConfig) -> Self {
+        self.overload = Some(config);
+        self
+    }
+
     /// Feeds **measured** load (mailbox depth + handler busy time, the
     /// paper's Fig. 4 resource profile as observed rather than declared)
     /// into the directory each tick, so [`KnowledgeCapacityIdle`] ranks
@@ -193,10 +211,14 @@ impl GridBuilder {
             KnowledgeBase::from_rules(parse_rules(&self.rules).expect("analysis rules must parse"));
         // A chaos schedule without an explicit recovery config gets the
         // defaults — injecting failures without the means to survive
-        // them is never what a caller wants.
+        // them is never what a caller wants. Likewise a circuit breaker
+        // without recovery: its failure signal is the recovery layer's
+        // award deadlines.
+        let overload = self.overload.unwrap_or_default();
         let recovery = self
             .recovery
-            .or_else(|| self.chaos.as_ref().map(|_| RecoveryConfig::default()));
+            .or_else(|| self.chaos.as_ref().map(|_| RecoveryConfig::default()))
+            .or_else(|| overload.breaker.map(|_| RecoveryConfig::default()));
 
         let network = Arc::new(Mutex::new(self.network));
         let store = Arc::new(Mutex::new(ManagementStore::default()));
@@ -205,6 +227,16 @@ impl GridBuilder {
         if recovery.is_some() {
             platform.set_dead_letter_requeue(true);
         }
+        // Bounded mailboxes at the platform layer; the pressure signal
+        // exists only when collector pacing wants to observe it.
+        let pressure = overload
+            .mailbox
+            .filter(|_| overload.collector_pacing)
+            .map(|_| Arc::new(PressureSignal::new()));
+        if let Some(mailbox) = overload.mailbox {
+            platform.set_overload(mailbox, pressure.clone());
+        }
+        let paced_polls = Arc::new(AtomicU64::new(0));
         if let Some(telemetry) = &self.telemetry {
             platform.set_telemetry(Arc::clone(telemetry));
             telemetry.set_stage("ig", "interface");
@@ -229,6 +261,9 @@ impl GridBuilder {
         }
         if let Some(cfg) = recovery {
             root_agent.set_recovery(cfg, Some(interface_id.clone()));
+        }
+        if overload.admission.is_some() || overload.breaker.is_some() {
+            root_agent.set_overload(overload.admission, overload.breaker);
         }
         let root_stats = root_agent.stats_handle();
         let root_id = platform
@@ -313,6 +348,9 @@ impl GridBuilder {
                         );
                     }
                 }
+                if let Some(signal) = &pressure {
+                    collector.set_pacing(Arc::clone(signal), Arc::clone(&paced_polls));
+                }
                 platform
                     .spawn_agent(&container, &format!("cg-{site}-{c}"), collector)
                     .expect("container just added");
@@ -335,6 +373,7 @@ impl GridBuilder {
             chaos: self.chaos.unwrap_or_default(),
             chaos_cursor: 0,
             downed: BTreeSet::new(),
+            paced_polls,
         }
     }
 }
@@ -374,6 +413,15 @@ pub struct GridReport {
     /// Ids still in flight or parked at the root when the run ended —
     /// owed a completion, not lost.
     pub outstanding: Vec<String>,
+    /// Messages shed by the bounded-mailbox overflow policy (overload
+    /// mode; all classes combined).
+    pub shed: u64,
+    /// Task awards turned away by the root's admission gate (overload
+    /// mode).
+    pub rejected: u64,
+    /// Collector polls whose interval was stretched under downstream
+    /// pressure (overload mode).
+    pub paced_polls: u64,
 }
 
 impl GridReport {
@@ -431,6 +479,12 @@ impl GridReport {
                 self.escalations,
             ));
         }
+        if self.shed + self.rejected + self.paced_polls > 0 {
+            out.push_str(&format!(
+                "  overload: {} shed, {} rejected, {} paced polls\n",
+                self.shed, self.rejected, self.paced_polls,
+            ));
+        }
         out.push_str(&InterfaceAgent::render_report(&self.alerts));
         out
     }
@@ -484,6 +538,8 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     /// Containers currently down because a chaos crash removed them (a
     /// restart only makes sense for these).
     downed: BTreeSet<String>,
+    /// Stretched-poll counter shared with every pacing collector.
+    paced_polls: Arc<AtomicU64>,
 }
 
 impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
@@ -513,6 +569,7 @@ impl ManagementGrid {
             live_profiles: false,
             recovery: None,
             chaos: None,
+            overload: None,
         }
     }
 }
@@ -647,6 +704,13 @@ impl<R: Runtime> ManagementGrid<R> {
             retries: stats.retries,
             escalations: stats.escalations,
             outstanding: stats.outstanding.clone(),
+            shed: self
+                .platform
+                .overload_stats()
+                .map(|s| s.shed_total())
+                .unwrap_or(0),
+            rejected: stats.rejected,
+            paced_polls: self.paced_polls.load(Ordering::Relaxed),
         }
     }
 
@@ -702,6 +766,13 @@ impl<R: Runtime> ManagementGrid<R> {
     /// [`GridBuilder::telemetry`], if any.
     pub fn telemetry(&self) -> Option<TelemetryHandle> {
         self.platform.telemetry()
+    }
+
+    /// Platform-level overload counters (shed per class, deferrals,
+    /// peak mailbox backlog); `None` unless
+    /// [`GridBuilder::overload`] configured bounded mailboxes.
+    pub fn overload_stats(&self) -> Option<OverloadStats> {
+        self.platform.overload_stats()
     }
 }
 

@@ -25,7 +25,10 @@
 //! * [`recovery`] — heartbeat liveness, retry/backoff and re-brokering
 //!   policies (opt-in via [`grid::GridBuilder::recovery`]);
 //! * [`chaos`] — seeded, simulated-time chaos schedules for recovery
-//!   testing ([`grid::GridBuilder::chaos`]).
+//!   testing ([`grid::GridBuilder::chaos`]);
+//! * [`overload`] — bounded mailboxes, priority shedding, admission
+//!   control, circuit breakers and collector pacing (opt-in via
+//!   [`grid::GridBuilder::overload`]).
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub mod chaos;
 pub mod costmodel;
 pub mod grid;
 pub mod mobility;
+pub mod overload;
 pub mod recovery;
 pub mod scenario;
 pub mod workflow;
@@ -63,5 +67,8 @@ pub use agentgrid_acl::ontology;
 pub use chaos::{ChaosAction, ChaosPlan};
 pub use costmodel::{CostModel, RequestType, TaskCost, TaskKind};
 pub use grid::{GridReport, ManagementGrid};
+pub use overload::{
+    AdmissionConfig, BreakerConfig, MailboxConfig, MessageClass, OverflowPolicy, OverloadConfig,
+};
 pub use recovery::{BackoffPolicy, Liveness, LivenessConfig, RecoveryConfig};
 pub use scenario::{Architecture, Workload};

@@ -68,6 +68,7 @@
 mod agent;
 mod container;
 mod df;
+pub mod overload;
 mod platform;
 pub mod runtime;
 pub mod threaded;
@@ -76,6 +77,7 @@ pub use agent::{Agent, AgentCtx, AgentState};
 pub use agentgrid_acl::ontology::ResourceProfile;
 pub use container::Container;
 pub use df::{DirectoryFacilitator, ServiceEntry};
+pub use overload::{MailboxConfig, MessageClass, OverflowPolicy, OverloadStats, PressureSignal};
 pub use platform::{Platform, PlatformError, TransportFault};
 pub use runtime::{Runtime, ThreadedRuntime};
 pub use threaded::{RunStats, RunningPlatform, ThreadedPlatform};

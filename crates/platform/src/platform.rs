@@ -1,11 +1,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use agentgrid_acl::{AgentId, SharedMessage};
 use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::{Agent, AgentState};
 use crate::container::{AgentSlot, Container};
+use crate::overload::{Admission, MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
 use crate::DirectoryFacilitator;
 
 /// Errors raised by [`Platform`] management operations.
@@ -80,10 +82,16 @@ pub struct Platform {
     requeue_dead_letters: bool,
     /// Narrowed copies already requeued once — a second failure of any
     /// of these dead-letters for real. Holding the [`Arc`]s keeps the
-    /// pointer identity check sound.
+    /// pointer identity check sound. Entries drain when their retry
+    /// fails (each retry copy fails at most once more), so the ledger
+    /// holds only retries still in flight.
     requeue_ledger: Vec<SharedMessage>,
     /// Requeued messages waiting for the clock to advance.
     requeue_parked: Vec<SharedMessage>,
+    /// Total messages ever requeued (monotone; the ledger itself drains).
+    requeued_total: usize,
+    /// Opt-in bounded-mailbox layer; `None` routes exactly as before.
+    overload: Option<MailboxTracker>,
 }
 
 impl Platform {
@@ -103,6 +111,8 @@ impl Platform {
             requeue_dead_letters: false,
             requeue_ledger: Vec::new(),
             requeue_parked: Vec::new(),
+            requeued_total: 0,
+            overload: None,
         }
     }
 
@@ -113,7 +123,30 @@ impl Platform {
         for (name, container) in self.containers.iter_mut() {
             container.scope = Some(telemetry.container_scope(name));
         }
+        if let Some(tracker) = &mut self.overload {
+            tracker.set_telemetry(TelemetryHandle::clone(&telemetry));
+        }
         self.telemetry = Some(telemetry);
+    }
+
+    /// Enables bounded per-container mailboxes (see
+    /// [`overload`](crate::overload)): each container accepts at most
+    /// `config.capacity` deliveries per clock window, and excess traffic
+    /// is deferred or shed per `config.policy`. The optional
+    /// `pressure` signal is notified on every deferral/shed so upstream
+    /// producers (collectors) can pace themselves.
+    pub fn set_overload(&mut self, config: MailboxConfig, pressure: Option<Arc<PressureSignal>>) {
+        self.overload = Some(MailboxTracker::new(
+            config,
+            pressure,
+            self.telemetry.clone(),
+        ));
+    }
+
+    /// Shed/deferral counters of the bounded-mailbox layer; `None` when
+    /// overload protection is off.
+    pub fn overload_stats(&self) -> Option<OverloadStats> {
+        self.overload.as_ref().map(MailboxTracker::stats)
     }
 
     /// The attached telemetry sink, if any.
@@ -189,9 +222,10 @@ impl Platform {
         self.requeue_dead_letters = enabled;
     }
 
-    /// Messages requeued under the dead-letter requeue policy so far.
+    /// Messages requeued under the dead-letter requeue policy so far
+    /// (monotone total; ledger entries drain once their retry resolves).
     pub fn requeued_count(&self) -> usize {
-        self.requeue_ledger.len()
+        self.requeued_total
     }
 
     /// Spawns an agent into a container under `local_name`; its full id
@@ -377,13 +411,24 @@ impl Platform {
     /// then let every active agent consume its mailbox and tick. Returns
     /// the number of messages routed this step.
     pub fn step(&mut self, now_ms: u64) -> usize {
-        if now_ms > self.now_ms && !self.requeue_parked.is_empty() {
+        let advanced = now_ms > self.now_ms;
+        if advanced && !self.requeue_parked.is_empty() {
             // The outage may have healed since the failure: retry parked
             // messages on the first step of the new timestamp.
             let parked = std::mem::take(&mut self.requeue_parked);
             self.in_flight.extend(parked);
         }
         self.now_ms = now_ms;
+        if advanced {
+            if let Some(tracker) = &mut self.overload {
+                // New clock window: budgets reset, deferred legs drain.
+                let due = tracker.begin_window();
+                let telemetry = self.telemetry.clone();
+                for (message, receiver) in due {
+                    self.deliver_leg(&message, &receiver, telemetry.as_deref());
+                }
+            }
+        }
         let to_route = std::mem::take(&mut self.in_flight);
         let routed = to_route.len();
         for message in to_route {
@@ -433,41 +478,108 @@ impl Platform {
                     continue;
                 }
             }
-            let hit = self.containers.values_mut().find_map(|c| {
-                c.agents
-                    .get_mut(&receiver)
-                    .map(|slot| (c.scope.clone(), slot))
-            });
-            match hit {
-                Some((scope, slot)) if slot.state != AgentState::Dead => {
-                    slot.mailbox.push_back(SharedMessage::clone(&message));
-                    self.delivered += 1;
-                    if let (Some(t), Some(scope)) = (&telemetry, &scope) {
-                        t.message_delivered(&message, &receiver, scope, self.now_ms);
+            match self.resolve(&receiver) {
+                Some(container) => {
+                    if let Some(tracker) = &mut self.overload {
+                        match tracker.admit(&container, &message, &receiver) {
+                            Admission::Deliver => {}
+                            // Deferred legs are delivered by a later
+                            // `begin_window`; shed legs are gone.
+                            Admission::Deferred | Admission::Shed => continue,
+                        }
                     }
+                    self.deliver_to(&container, &message, &receiver, telemetry.as_deref());
                 }
-                _ => {
-                    if self.requeue_dead_letters
-                        && !self
-                            .requeue_ledger
-                            .iter()
-                            .any(|m| SharedMessage::ptr_eq(m, &message))
-                    {
-                        // First failure: requeue once, narrowed to the
-                        // failed receiver so receivers the multicast
-                        // already reached are not delivered twice.
-                        let retry = message.narrowed(receiver.clone()).into_shared();
-                        self.requeue_ledger.push(SharedMessage::clone(&retry));
-                        self.requeue_parked.push(retry);
-                        continue;
-                    }
-                    if let Some(t) = &telemetry {
-                        t.message_dead_lettered(&message, &receiver, self.now_ms);
-                    }
-                    self.dead_letters.push(SharedMessage::clone(&message));
+                None => self.fail_leg(&message, &receiver, telemetry.as_deref()),
+            }
+        }
+    }
+
+    /// The container currently hosting a live (non-dead) `receiver`.
+    fn resolve(&self, receiver: &AgentId) -> Option<String> {
+        self.containers
+            .iter()
+            .find(|(_, c)| {
+                c.agents
+                    .get(receiver)
+                    .is_some_and(|slot| slot.state != AgentState::Dead)
+            })
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Delivers one admitted leg, re-resolving the container first (it
+    /// may have died while the leg sat in the overload waiting queue).
+    fn deliver_leg(
+        &mut self,
+        message: &SharedMessage,
+        receiver: &AgentId,
+        telemetry: Option<&agentgrid_telemetry::Telemetry>,
+    ) {
+        match self.resolve(receiver) {
+            Some(container) => self.deliver_to(&container, message, receiver, telemetry),
+            None => self.fail_leg(message, receiver, telemetry),
+        }
+    }
+
+    fn deliver_to(
+        &mut self,
+        container: &str,
+        message: &SharedMessage,
+        receiver: &AgentId,
+        telemetry: Option<&agentgrid_telemetry::Telemetry>,
+    ) {
+        let present = self
+            .containers
+            .get(container)
+            .is_some_and(|c| c.agents.contains_key(receiver));
+        if !present {
+            return self.fail_leg(message, receiver, telemetry);
+        }
+        let holder = self.containers.get_mut(container).expect("checked above");
+        let slot = holder.agents.get_mut(receiver).expect("checked above");
+        slot.mailbox.push_back(SharedMessage::clone(message));
+        self.delivered += 1;
+        if let (Some(t), Some(scope)) = (telemetry, &holder.scope) {
+            t.message_delivered(message, receiver, scope, self.now_ms);
+        }
+    }
+
+    /// One undeliverable (message, receiver) leg: requeue once if the
+    /// policy is on, otherwise dead-letter.
+    fn fail_leg(
+        &mut self,
+        message: &SharedMessage,
+        receiver: &AgentId,
+        telemetry: Option<&agentgrid_telemetry::Telemetry>,
+    ) {
+        if self.requeue_dead_letters {
+            match self
+                .requeue_ledger
+                .iter()
+                .position(|m| SharedMessage::ptr_eq(m, message))
+            {
+                None => {
+                    // First failure: requeue once, narrowed to the
+                    // failed receiver so receivers the multicast
+                    // already reached are not delivered twice.
+                    let retry = message.narrowed(receiver.clone()).into_shared();
+                    self.requeue_ledger.push(SharedMessage::clone(&retry));
+                    self.requeue_parked.push(retry);
+                    self.requeued_total += 1;
+                    return;
+                }
+                Some(at) => {
+                    // Second failure of a requeued copy: drain the
+                    // ledger entry (this allocation is never re-sent)
+                    // and dead-letter for real.
+                    self.requeue_ledger.swap_remove(at);
                 }
             }
         }
+        if let Some(t) = telemetry {
+            t.message_dead_lettered(message, receiver, self.now_ms);
+        }
+        self.dead_letters.push(SharedMessage::clone(message));
     }
 }
 

@@ -44,10 +44,13 @@
 //! Runtime::run_until_idle(&mut threaded, 0);
 //! ```
 
+use std::sync::Arc;
+
 use agentgrid_acl::{AgentId, SharedMessage};
 use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::Agent;
+use crate::overload::{MailboxConfig, OverloadStats, PressureSignal};
 use crate::threaded::{RunStats, RunningPlatform, ThreadedPlatform};
 use crate::{DirectoryFacilitator, Platform, PlatformError, TransportFault};
 
@@ -153,6 +156,22 @@ pub trait Runtime {
 
     /// The attached telemetry sink, if any.
     fn telemetry(&self) -> Option<TelemetryHandle>;
+
+    /// Enables bounded per-container mailboxes with the given overflow
+    /// policy (see [`MailboxConfig`]). The capacity is a per-container
+    /// delivery budget per clock window, which makes shed/deferred
+    /// totals comparable across the deterministic and threaded runtimes.
+    /// Off by default (today's unbounded behaviour). On the threaded
+    /// runtime this must happen before execution starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics ([`ThreadedRuntime`]) if the threads are already running.
+    fn set_overload(&mut self, config: MailboxConfig, pressure: Option<Arc<PressureSignal>>);
+
+    /// Overload counters (shed per class, deferrals, peak backlog);
+    /// `None` unless [`set_overload`](Runtime::set_overload) was called.
+    fn overload_stats(&self) -> Option<OverloadStats>;
 }
 
 impl Runtime for Platform {
@@ -219,6 +238,14 @@ impl Runtime for Platform {
 
     fn telemetry(&self) -> Option<TelemetryHandle> {
         Platform::telemetry(self)
+    }
+
+    fn set_overload(&mut self, config: MailboxConfig, pressure: Option<Arc<PressureSignal>>) {
+        Platform::set_overload(self, config, pressure);
+    }
+
+    fn overload_stats(&self) -> Option<OverloadStats> {
+        Platform::overload_stats(self)
     }
 }
 
@@ -437,6 +464,20 @@ impl Runtime for ThreadedRuntime {
             ThreadedState::Building(platform) => platform.telemetry(),
             ThreadedState::Running(handle) => handle.telemetry(),
             ThreadedState::Poisoned => None,
+        }
+    }
+
+    fn set_overload(&mut self, config: MailboxConfig, pressure: Option<Arc<PressureSignal>>) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.set_overload(config, pressure),
+            _ => panic!("attach overload protection before the threaded runtime starts"),
+        }
+    }
+
+    fn overload_stats(&self) -> Option<OverloadStats> {
+        match &self.state {
+            ThreadedState::Running(handle) => handle.overload_stats(),
+            _ => None,
         }
     }
 }

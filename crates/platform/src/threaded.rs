@@ -61,11 +61,23 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::agent::{Agent, AgentCtx};
+use crate::overload::{Admission, MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
 use crate::platform::TransportFault;
 use crate::{DirectoryFacilitator, PlatformError};
 
 /// The agents registered to one container before the threads start.
 type AgentRoster = Vec<(AgentId, Box<dyn Agent>)>;
+
+/// Bound on the dead-letter store. Entries beyond the cap are dropped
+/// (but still counted — [`RunningPlatform::dead_letter_count`] stays
+/// exact via the overflow counter), so a sustained failure storm cannot
+/// grow memory without limit.
+pub const DEAD_LETTER_CAP: usize = 4096;
+
+/// Bound on the requeue-once ledger and its parking lot. Failures
+/// beyond the cap skip the retry and dead-letter directly, counted by
+/// [`RunningPlatform::requeue_overflow`].
+pub const REQUEUE_CAP: usize = 4096;
 
 enum ContainerMsg {
     /// Deliver one shared message to exactly these resident agents.
@@ -113,9 +125,22 @@ struct SharedState {
     /// [`Platform::set_dead_letter_requeue`](crate::Platform::set_dead_letter_requeue)).
     requeue_dead_letters: AtomicBool,
     /// Narrowed copies already requeued once (pointer-identity ledger).
+    /// Entries drain when their retry fails again, and the ledger is
+    /// capped at [`REQUEUE_CAP`], so it cannot grow without limit.
     requeue_ledger: Mutex<Vec<SharedMessage>>,
     /// Requeued messages waiting for the clock to advance.
     requeue_parked: Mutex<Vec<SharedMessage>>,
+    /// Total messages ever requeued (monotone; the ledger itself drains).
+    requeued_total: AtomicU64,
+    /// Dead letters dropped because the store hit [`DEAD_LETTER_CAP`].
+    dead_letter_overflow: AtomicU64,
+    /// Failures that skipped the requeue because the ledger/parking lot
+    /// hit [`REQUEUE_CAP`].
+    requeue_overflow: AtomicU64,
+    /// Opt-in bounded-mailbox layer (see [`crate::overload`]); `None`
+    /// routes exactly as before. Admission happens under the routing
+    /// lock; window rolls happen in `advance_clock`.
+    overload: Mutex<Option<MailboxTracker>>,
     /// Optional telemetry sink shared by the router and all containers.
     telemetry: Option<TelemetryHandle>,
 }
@@ -126,17 +151,39 @@ impl SharedState {
     fn fail_delivery(&self, message: &SharedMessage, receiver: &AgentId, now: u64) {
         if self.requeue_dead_letters.load(Ordering::SeqCst) {
             let mut ledger = self.requeue_ledger.lock();
-            if !ledger.iter().any(|m| SharedMessage::ptr_eq(m, message)) {
-                let retry: SharedMessage = message.narrowed(receiver.clone()).into_shared();
-                ledger.push(SharedMessage::clone(&retry));
-                self.requeue_parked.lock().push(retry);
-                return;
+            match ledger
+                .iter()
+                .position(|m| SharedMessage::ptr_eq(m, message))
+            {
+                None => {
+                    let mut parked = self.requeue_parked.lock();
+                    if ledger.len() < REQUEUE_CAP && parked.len() < REQUEUE_CAP {
+                        let retry: SharedMessage = message.narrowed(receiver.clone()).into_shared();
+                        ledger.push(SharedMessage::clone(&retry));
+                        parked.push(retry);
+                        self.requeued_total.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // Bookkeeping full: skip the retry, dead-letter now.
+                    self.requeue_overflow.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(at) => {
+                    // Second failure of a requeued copy: drain the ledger
+                    // entry (this allocation is never re-sent), then
+                    // dead-letter for real.
+                    ledger.swap_remove(at);
+                }
             }
         }
         if let Some(t) = &self.telemetry {
             t.message_dead_lettered(message, receiver, now);
         }
-        self.dead_letters.lock().push(SharedMessage::clone(message));
+        let mut dead = self.dead_letters.lock();
+        if dead.len() < DEAD_LETTER_CAP {
+            dead.push(SharedMessage::clone(message));
+        } else {
+            self.dead_letter_overflow.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -162,6 +209,7 @@ pub struct ThreadedPlatform {
     transport: TransportFault,
     requeue_dead_letters: bool,
     telemetry: Option<TelemetryHandle>,
+    overload: Option<(MailboxConfig, Option<Arc<PressureSignal>>)>,
 }
 
 impl std::fmt::Debug for ThreadedPlatform {
@@ -183,6 +231,7 @@ impl ThreadedPlatform {
             transport: TransportFault::None,
             requeue_dead_letters: false,
             telemetry: None,
+            overload: None,
         }
     }
 
@@ -207,6 +256,16 @@ impl ThreadedPlatform {
     /// (see [`Platform::set_dead_letter_requeue`](crate::Platform::set_dead_letter_requeue)).
     pub fn set_dead_letter_requeue(&mut self, enabled: bool) {
         self.requeue_dead_letters = enabled;
+    }
+
+    /// Enables bounded mailboxes with the given overflow policy,
+    /// effective from [`start`](Self::start). Semantics match
+    /// [`Platform::set_overload`](crate::Platform::set_overload): the
+    /// capacity is a per-container delivery budget per clock window, so
+    /// shed/deferred totals are comparable across runtimes. An optional
+    /// [`PressureSignal`] is notified on every deferral or shed.
+    pub fn set_overload(&mut self, config: MailboxConfig, pressure: Option<Arc<PressureSignal>>) {
+        self.overload = Some((config, pressure));
     }
 
     /// Read access to the directory before the threads start.
@@ -298,6 +357,9 @@ impl ThreadedPlatform {
     /// Starts one thread per container plus a router thread, runs every
     /// agent's `setup`, and returns the running handle.
     pub fn start(self) -> RunningPlatform {
+        let overload = self.overload.map(|(config, pressure)| {
+            MailboxTracker::new(config, pressure, self.telemetry.clone())
+        });
         let shared = Arc::new(SharedState {
             df: Mutex::new(self.df),
             routes: Mutex::new(RoutingTable::default()),
@@ -309,6 +371,10 @@ impl ThreadedPlatform {
             requeue_dead_letters: AtomicBool::new(self.requeue_dead_letters),
             requeue_ledger: Mutex::new(Vec::new()),
             requeue_parked: Mutex::new(Vec::new()),
+            requeued_total: AtomicU64::new(0),
+            dead_letter_overflow: AtomicU64::new(0),
+            requeue_overflow: AtomicU64::new(0),
+            overload: Mutex::new(overload),
             telemetry: self.telemetry,
         });
 
@@ -366,6 +432,21 @@ impl ThreadedPlatform {
                     }
                     match routes.residents.get(receiver) {
                         Some(container) => {
+                            // Overload admission: deferred legs re-enter
+                            // at the next clock window (advance_clock),
+                            // shed legs are gone. Lock order is routes →
+                            // overload here; advance_clock takes overload
+                            // then routes, but never both at once.
+                            let admission = {
+                                let mut overload = router_shared.overload.lock();
+                                match overload.as_mut() {
+                                    Some(tracker) => tracker.admit(container, &message, receiver),
+                                    None => Admission::Deliver,
+                                }
+                            };
+                            if admission != Admission::Deliver {
+                                continue;
+                            }
                             if let Some(t) = &router_shared.telemetry {
                                 let scope = scopes
                                     .entry(container.clone())
@@ -616,13 +697,44 @@ impl RunningPlatform {
     /// requeue-once dead-letter policy.
     pub fn advance_clock(&self, now_ms: u64) {
         let before = self.shared.clock_ms.swap(now_ms, Ordering::SeqCst);
-        if now_ms > before {
-            let parked: Vec<SharedMessage> =
-                std::mem::take(&mut *self.shared.requeue_parked.lock());
-            for message in parked {
-                self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                let _ = self.router_tx.send(message);
+        if now_ms <= before {
+            return;
+        }
+        // New clock window: drain legs the overload tracker deferred,
+        // consuming the fresh per-window budget. The overload lock is
+        // released before the routes lock is taken (router holds routes
+        // then overload — never both orders at once, so no deadlock).
+        let due = {
+            let mut overload = self.shared.overload.lock();
+            match overload.as_mut() {
+                Some(tracker) => tracker.begin_window(),
+                None => Vec::new(),
             }
+        };
+        if !due.is_empty() {
+            let routes = self.shared.routes.lock();
+            for (message, receiver) in due {
+                let target = routes
+                    .residents
+                    .get(&receiver)
+                    .and_then(|container| routes.txs.get(container).map(|tx| (container, tx)));
+                match target {
+                    Some((container, tx)) => {
+                        if let Some(t) = &self.shared.telemetry {
+                            let scope = t.container_scope(container);
+                            t.message_delivered(&message, &receiver, &scope, now_ms);
+                        }
+                        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = tx.send(ContainerMsg::Deliver(message, vec![receiver]));
+                    }
+                    None => self.shared.fail_delivery(&message, &receiver, now_ms),
+                }
+            }
+        }
+        let parked: Vec<SharedMessage> = std::mem::take(&mut *self.shared.requeue_parked.lock());
+        for message in parked {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let _ = self.router_tx.send(message);
         }
     }
 
@@ -645,8 +757,26 @@ impl RunningPlatform {
     }
 
     /// Messages requeued under the dead-letter requeue policy so far.
+    /// Monotone total: entries drained from the ledger after their retry
+    /// resolves still count.
     pub fn requeued_count(&self) -> usize {
-        self.shared.requeue_ledger.lock().len()
+        self.shared.requeued_total.load(Ordering::Relaxed) as usize
+    }
+
+    /// Retries skipped because the requeue bookkeeping hit
+    /// [`REQUEUE_CAP`]; those legs dead-lettered directly.
+    pub fn requeue_overflow(&self) -> u64 {
+        self.shared.requeue_overflow.load(Ordering::Relaxed)
+    }
+
+    /// Overload counters (shed per class, deferrals, peak backlog), if
+    /// bounded mailboxes were configured before start.
+    pub fn overload_stats(&self) -> Option<OverloadStats> {
+        self.shared
+            .overload
+            .lock()
+            .as_ref()
+            .map(MailboxTracker::stats)
     }
 
     /// Adds an empty container to the running platform: its thread
@@ -773,9 +903,17 @@ impl RunningPlatform {
     }
 
     /// Undeliverable messages captured so far (one entry per unreachable
-    /// receiver).
+    /// receiver). The count stays exact past [`DEAD_LETTER_CAP`]; only
+    /// the stored copies are bounded.
     pub fn dead_letter_count(&self) -> usize {
         self.shared.dead_letters.lock().len()
+            + self.shared.dead_letter_overflow.load(Ordering::Relaxed) as usize
+    }
+
+    /// Dead letters dropped (counted but not stored) past
+    /// [`DEAD_LETTER_CAP`].
+    pub fn dead_letter_overflow(&self) -> u64 {
+        self.shared.dead_letter_overflow.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the undeliverable messages captured so far — same

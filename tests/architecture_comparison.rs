@@ -380,6 +380,165 @@ fn chaos_recovery_is_consistent_across_runtimes() {
     }
 }
 
+/// Overflow-policy parity: the same seeded burst against the same
+/// [`MailboxConfig`] must shed the same messages on both runtimes.
+/// Mailbox budgets are window credits keyed to the simulated clock, so
+/// every counter — per-class sheds, deferrals, the high-water mark — is
+/// a function of per-window traffic counts, not of within-window
+/// delivery order. Sink agents never reply, so no feedback loop can
+/// reshape the traffic between runtimes.
+#[test]
+fn overload_shedding_is_consistent_across_runtimes() {
+    use agentgrid_suite::acl::{AclMessage, AgentId, Performative, Value};
+    use agentgrid_suite::platform::{
+        Agent, MailboxConfig, MessageClass, OverflowPolicy, OverloadStats, Platform, Runtime,
+        ThreadedRuntime,
+    };
+
+    struct Sink;
+    impl Agent for Sink {}
+
+    /// xorshift64 — the same pseudo-random burst for every runtime.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+    const CONCEPTS: [&str; 5] = [
+        "alert",
+        "collected-batch",
+        "analysis-task",
+        "observation",
+        "resource-profile",
+    ];
+    fn traffic(seed: u64) -> Vec<Vec<(usize, &'static str)>> {
+        let mut rng = Lcg(seed | 1);
+        (0..12)
+            .map(|_| {
+                let burst = (5 + rng.next() % 12) as usize;
+                (0..burst)
+                    .map(|_| {
+                        let receiver = (rng.next() % 3) as usize;
+                        let concept = CONCEPTS[(rng.next() % 5) as usize];
+                        (receiver, concept)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn scenario<R: Runtime>(seed: u64) -> OverloadStats {
+        let mut rt = R::create("x");
+        rt.set_overload(MailboxConfig::new(2, OverflowPolicy::ShedByPriority), None);
+        let sinks: Vec<AgentId> = (0..3)
+            .map(|i| {
+                let container = format!("c{i}");
+                rt.add_container(&container);
+                rt.spawn_agent(&container, &format!("sink-{i}"), Sink)
+                    .unwrap()
+            })
+            .collect();
+        for (window, burst) in traffic(seed).into_iter().enumerate() {
+            let t = (window as u64 + 1) * 1_000;
+            // Open the window first, then pour the burst into it — both
+            // runtimes then admit every message against the same budget.
+            rt.run_until_idle(t);
+            for (receiver, concept) in burst {
+                let message = AclMessage::builder(Performative::Inform)
+                    .sender(AgentId::new("driver"))
+                    .receiver(sinks[receiver].clone())
+                    .content(Value::map([("concept", Value::symbol(concept))]))
+                    .build()
+                    .unwrap();
+                rt.post(message);
+            }
+            rt.run_until_idle(t);
+        }
+        rt.overload_stats().expect("overload protection configured")
+    }
+
+    for seed in [7u64, 42, 1009] {
+        let det = scenario::<Platform>(seed);
+        let det_again = scenario::<Platform>(seed);
+        let thr = scenario::<ThreadedRuntime>(seed);
+        assert_eq!(det, det_again, "seed {seed}: deterministic replay");
+        assert_eq!(
+            det, thr,
+            "seed {seed}: window-credit shedding must not depend on the runtime"
+        );
+        assert!(det.shed_total() > 0, "seed {seed}: the burst must overflow");
+        assert_eq!(
+            det.shed(MessageClass::Alert),
+            0,
+            "seed {seed}: alerts are never shed"
+        );
+    }
+}
+
+/// Admission-control parity: with the root's token-bucket gate
+/// configured identically (and mailboxes unbounded, so no deferral can
+/// shift traffic between windows), both runtimes must turn away the
+/// same number of awards. The bucket refills per clock window and
+/// counts attempts, both of which are clock-driven; a single analyzer
+/// keeps award targets order-independent.
+#[test]
+fn admission_gate_is_consistent_across_runtimes() {
+    use agentgrid_suite::core::overload::{AdmissionConfig, OverloadConfig};
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+    let builder = || {
+        let mut net = Network::new();
+        for site in 0..2 {
+            for i in 0..4 {
+                net.add_device(
+                    Device::builder(format!("s{site}-dev{i}"), DeviceKind::Server)
+                        .site(format!("site-{site}"))
+                        .seed(site * 10 + i)
+                        .build(),
+                );
+            }
+        }
+        ManagementGrid::builder()
+            .network(net)
+            .collectors_per_site(3)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .overload(OverloadConfig::new().admission(AdmissionConfig {
+                bucket_capacity: 2,
+                refill_per_window: 1,
+                load_threshold: 1.0,
+            }))
+    };
+    let horizon = 10 * 60_000;
+
+    let det = builder().build().run(horizon, 60_000);
+    let det_again = builder().build().run(horizon, 60_000);
+    let thr = builder().build_threaded().run(horizon, 60_000);
+
+    assert_eq!(det.render(), det_again.render());
+    assert_eq!(det.rejected, det_again.rejected);
+    assert!(det.rejected > 0, "the token bucket must reject awards");
+    assert_eq!(
+        det.rejected, thr.rejected,
+        "the admission gate must not depend on the runtime"
+    );
+    // Mailboxes are unbounded here: nothing may be shed on either side.
+    assert_eq!(det.shed, 0);
+    assert_eq!(thr.shed, 0);
+}
+
 #[test]
 fn workload_pacing_reduces_contention_not_work() {
     let costs = CostModel::table1();
