@@ -26,6 +26,12 @@
 //! shed, zero alert-class messages were lost and the mailbox high-water
 //! respected the configured cap. With no explicit experiment list,
 //! `--overload` runs only the overload experiment.
+//!
+//! `--bench-json <path>` times the incremental engine against the naive
+//! reference matcher (10/100/1000 facts) plus the store's whole-series
+//! stats hot loop, and writes median wall-times in nanoseconds, match
+//! counts and speedups to `<path>` as JSON. With no explicit experiment
+//! list, `--bench-json` runs only the benchmark.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
@@ -43,11 +49,12 @@ use agentgrid::workflow;
 use agentgrid::CostModel;
 use agentgrid_baselines::MultiAgentSystem;
 use agentgrid_bench::{
-    fig6_reports, grid_scaling_report, mean_completions, standard_network, ALL_SKILLS,
+    fig6_reports, grid_scaling_report, inference_facts, inference_kb, inference_store,
+    mean_completions, standard_network, ALL_SKILLS,
 };
 use agentgrid_net::{FaultKind, ScheduledFault};
 use agentgrid_platform::{Telemetry, TelemetryHandle};
-use agentgrid_rules::{parse_rules, KnowledgeBase};
+use agentgrid_rules::{parse_rules, Engine, KnowledgeBase, NaiveEngine};
 use agentgrid_store::ManagementStore;
 
 fn main() {
@@ -55,15 +62,21 @@ fn main() {
     let metrics_path = take_metrics_flag(&mut args);
     let chaos_seed = take_chaos_flag(&mut args);
     let overload_seed = take_overload_flag(&mut args);
+    let bench_json = take_bench_json_flag(&mut args);
     let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        if args.is_empty() && (chaos_seed.is_some() || overload_seed.is_some()) {
+        if args.is_empty()
+            && (chaos_seed.is_some() || overload_seed.is_some() || bench_json.is_some())
+        {
             let mut only = Vec::new();
             if chaos_seed.is_some() {
                 only.push("chaos");
             }
             if overload_seed.is_some() {
                 only.push("overload");
+            }
+            if bench_json.is_some() {
+                only.push("bench");
             }
             only
         } else {
@@ -100,6 +113,7 @@ fn main() {
             "mobility" => mobility(telemetry.as_ref()),
             "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref()),
             "overload" => overload(overload_seed.unwrap_or(7), telemetry.as_ref()),
+            "bench" => bench_inference(bench_json.as_deref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
@@ -173,6 +187,25 @@ fn take_overload_flag(args: &mut Vec<String>) -> Option<u64> {
     if let Some(i) = args.iter().position(|a| a.starts_with("--overload=")) {
         let raw = args.remove(i)["--overload=".len()..].to_owned();
         return Some(parse(&raw));
+    }
+    None
+}
+
+/// Removes `--bench-json <path>` (or `--bench-json=<path>`) from `args`
+/// and returns the path, if present.
+fn take_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        if i + 1 >= args.len() {
+            eprintln!("--bench-json needs a path argument");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(path);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--bench-json=")) {
+        let path = args.remove(i)["--bench-json=".len()..].to_owned();
+        return Some(path);
     }
     None
 }
@@ -526,6 +559,88 @@ fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>) {
     if !lost.is_empty() || !identical {
         eprintln!("chaos check FAILED (lost: {lost:?}, identical: {identical})");
         std::process::exit(1);
+    }
+}
+
+/// Median wall time of `runs` invocations of `f`, in nanoseconds.
+fn median_ns(runs: usize, mut f: impl FnMut() -> u64) -> (u128, u64) {
+    let mut samples = Vec::with_capacity(runs);
+    let mut result = 0;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        result = f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    (samples[samples.len() / 2], result)
+}
+
+/// Inference micro-benchmark: the incremental (agenda + alpha-index)
+/// engine vs the naive reference matcher at 10/100/1000 facts, plus the
+/// store's whole-series stats hot loop. Prints a table; with a path,
+/// also writes the medians as JSON (the `BENCH_pr5.json` artifact).
+fn bench_inference(json_path: Option<&str>) {
+    banner("Bench — incremental vs naive inference; store stats hot path");
+    const MAX_CYCLES: u64 = 100_000;
+    let kb = std::sync::Arc::new(inference_kb());
+    println!(
+        "{:>7} {:>14} {:>14} {:>9} {:>15} {:>15}",
+        "facts", "naive-ns", "incremental-ns", "speedup", "naive-matches", "incr-matches"
+    );
+    let mut rows = Vec::new();
+    for n in [10usize, 100, 1000] {
+        let facts = inference_facts(n);
+        let runs = if n >= 1000 { 5 } else { 15 };
+        let (naive_ns, naive_matches) = median_ns(runs, || {
+            let mut engine = NaiveEngine::new((*kb).clone()).with_max_cycles(MAX_CYCLES);
+            for fact in &facts {
+                engine.insert(fact.clone());
+            }
+            engine.run().stats.match_attempts
+        });
+        let (incr_ns, incr_matches) = median_ns(runs, || {
+            let mut engine = Engine::shared(std::sync::Arc::clone(&kb)).with_max_cycles(MAX_CYCLES);
+            for fact in &facts {
+                engine.insert(fact.clone());
+            }
+            engine.run().stats.match_attempts
+        });
+        let speedup = naive_ns as f64 / incr_ns.max(1) as f64;
+        println!(
+            "{n:>7} {naive_ns:>14} {incr_ns:>14} {speedup:>8.1}x {naive_matches:>15} {incr_matches:>15}"
+        );
+        rows.push(format!(
+            "    {{\"facts\": {n}, \"naive_ns\": {naive_ns}, \"incremental_ns\": {incr_ns}, \
+             \"speedup\": {speedup:.2}, \"naive_match_attempts\": {naive_matches}, \
+             \"incremental_match_attempts\": {incr_matches}}}"
+        ));
+    }
+    let store = inference_store(1000);
+    let (store_ns, _) = median_ns(50, || {
+        let mut acc = 0.0;
+        for device in 0..5 {
+            let device = format!("host-{device}");
+            for metric in ["cpu.load.1", "storage.ram.used"] {
+                let stats = store
+                    .stats(&device, metric, 0, u64::MAX)
+                    .expect("series populated");
+                acc += stats.mean + stats.max;
+                acc += store.latest(&device, metric).expect("series populated").1;
+            }
+        }
+        acc.to_bits().count_ones() as u64
+    });
+    println!("store stats hot loop (10 series x 1000 points): {store_ns} ns");
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"inference\": [\n{}\n  ],\n  \"store_stats_hot_loop_ns\": {store_ns}\n}}\n",
+            rows.join(",\n")
+        );
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write bench results to {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("bench results written to {path}");
     }
 }
 

@@ -8,6 +8,8 @@ use agentgrid::scenario::{run_architecture, Architecture, Workload};
 use agentgrid::CostModel;
 use agentgrid_des::{ResourceKind, SimReport};
 use agentgrid_net::{Device, DeviceKind, Network};
+use agentgrid_rules::{parse_rules, Fact, KnowledgeBase};
+use agentgrid_store::{ManagementStore, Record};
 
 /// All analysis skills the simulated metrics map to, plus correlation.
 pub const ALL_SKILLS: [&str; 8] = [
@@ -77,6 +79,68 @@ pub fn grid_scaling_report(rounds: usize, analyzers: usize) -> SimReport {
     )
 }
 
+/// Rule set for the inference benchmark: threshold alerts, a derived
+/// spike chain and an idle notice — the same shapes as the default
+/// analyzer rules, sized so every fact matches at most a few rules.
+pub const INFERENCE_RULES: &str = r#"
+rule "hot" salience 5 {
+    when obs(device: ?d, value: ?v)
+    if ?v > 90
+    then emit warning ?d "cpu hot: ?v"
+}
+rule "spike" salience 3 {
+    when obs(device: ?d, value: ?v)
+    if ?v > 95
+    then assert spike(device: ?d)
+}
+rule "escalate" salience 1 {
+    when spike(device: ?d)
+    then emit critical ?d "sustained spike"
+}
+rule "idle" {
+    when obs(device: ?d, value: ?v)
+    if ?v < 5
+    then emit info ?d "idle device"
+}
+"#;
+
+/// Knowledge base behind the inference benchmark.
+pub fn inference_kb() -> KnowledgeBase {
+    KnowledgeBase::from_rules(parse_rules(INFERENCE_RULES).expect("inference rules parse"))
+}
+
+/// `n` deterministic observation facts over ten devices; values sweep
+/// all residues mod 100, so a fixed fraction crosses each threshold.
+pub fn inference_facts(n: usize) -> Vec<Fact> {
+    (0..n)
+        .map(|i| {
+            Fact::new("obs")
+                .with("device", format!("host-{}", i % 10))
+                .with("value", ((i * 37) % 100) as f64)
+        })
+        .collect()
+}
+
+/// A store with `points_per_series` samples in each of ten series
+/// (five devices, two metrics), appended in timestamp order — the shape
+/// the analyzer's whole-series `stats`/`latest` hot path sees.
+pub fn inference_store(points_per_series: usize) -> ManagementStore {
+    let mut store = ManagementStore::default();
+    for device in 0..5 {
+        for metric in ["cpu.load.1", "storage.ram.used"] {
+            for p in 0..points_per_series {
+                store.insert(Record::new(
+                    format!("host-{device}"),
+                    metric,
+                    ((p * 13 + device) % 100) as f64,
+                    (p as u64 + 1) * 1_000,
+                ));
+            }
+        }
+    }
+    store
+}
+
 /// Sum of network busy time across all hosts of a report.
 pub fn total_net_busy(report: &SimReport) -> u64 {
     report
@@ -116,6 +180,24 @@ mod tests {
         let [(_, cen), (_, mas), (_, grid)] = peak_utilizations(10);
         assert!(grid < mas);
         assert!(mas <= cen + 1e-9);
+    }
+
+    #[test]
+    fn inference_workload_is_deterministic_and_nontrivial() {
+        let kb = inference_kb();
+        assert_eq!(kb.len(), 4);
+        let facts = inference_facts(100);
+        assert_eq!(facts, inference_facts(100));
+        let mut engine = agentgrid_rules::Engine::new(kb).with_max_cycles(100_000);
+        for fact in facts {
+            engine.insert(fact);
+        }
+        let out = engine.run();
+        assert!(!out.truncated);
+        assert!(out.stats.fired > 0, "workload must exercise the agenda");
+        let store = inference_store(50);
+        assert_eq!(store.len(), 5 * 2 * 50);
+        assert!(store.stats("host-0", "cpu.load.1", 0, u64::MAX).is_some());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{
@@ -32,8 +33,13 @@ const LOAD_DECAY: f64 = 0.02;
 /// interface grid (`learn-rule` messages).
 pub struct AnalyzerAgent {
     store: Arc<Mutex<ManagementStore>>,
-    kb: KnowledgeBase,
+    /// Persistent engine, `reset()` between tasks; the compiled knowledge
+    /// base is shared across the grid's analyzers (copy-on-write on
+    /// learning).
+    engine: Engine,
     interface: AgentId,
+    /// Grid-wide match-attempt counter, when the grid wants one.
+    attempts_counter: Option<Arc<AtomicU64>>,
     /// Tasks completed.
     pub completed: u64,
     /// Findings emitted.
@@ -45,7 +51,7 @@ pub struct AnalyzerAgent {
 impl std::fmt::Debug for AnalyzerAgent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalyzerAgent")
-            .field("rules", &self.kb.len())
+            .field("rules", &self.engine.knowledge().len())
             .field("completed", &self.completed)
             .field("findings", &self.findings)
             .finish()
@@ -53,22 +59,48 @@ impl std::fmt::Debug for AnalyzerAgent {
 }
 
 impl AnalyzerAgent {
-    /// Creates an analyzer with a knowledge base and an alert sink.
+    /// Creates an analyzer with its own knowledge base and an alert sink.
     pub fn new(store: Arc<Mutex<ManagementStore>>, kb: KnowledgeBase, interface: AgentId) -> Self {
+        AnalyzerAgent::shared(store, Arc::new(kb), interface)
+    }
+
+    /// Creates an analyzer over a knowledge base shared with the rest of
+    /// the grid — one compiled rule set, many analyzers.
+    pub fn shared(
+        store: Arc<Mutex<ManagementStore>>,
+        kb: Arc<KnowledgeBase>,
+        interface: AgentId,
+    ) -> Self {
         AnalyzerAgent {
             store,
-            kb,
+            engine: Engine::shared(kb),
             interface,
+            attempts_counter: None,
             completed: 0,
             findings: 0,
             match_attempts: 0,
         }
     }
 
+    /// Mirrors this analyzer's match attempts into a shared counter
+    /// (builder style) so the grid can account total inference cost.
+    pub fn with_match_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.attempts_counter = Some(counter);
+        self
+    }
+
+    /// The analyzer's current knowledge base.
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        self.engine.knowledge()
+    }
+
     fn run_task(&mut self, task: &AnalysisTask, now: u64) -> Vec<Alert> {
         let store = self.store.lock();
-        let (alerts, match_attempts) = analyze_task(&store, &self.kb, task, now);
+        let (alerts, match_attempts) = analyze_task_with(&mut self.engine, &store, task, now);
         self.match_attempts += match_attempts;
+        if let Some(counter) = &self.attempts_counter {
+            counter.fetch_add(match_attempts, Ordering::Relaxed);
+        }
         alerts
     }
 
@@ -128,6 +160,9 @@ pub fn facts_for(device: &str, metric: &str, value: f64) -> Vec<Fact> {
 /// the multi-level analysis procedure of §3.3, shared by the grid's
 /// [`AnalyzerAgent`] and the non-grid baselines. Returns the alerts and
 /// the engine's match-attempt count (a CPU-cost proxy).
+///
+/// Builds a throwaway engine per call; hot paths should hold an engine
+/// and use [`analyze_task_with`] instead.
 pub fn analyze_task(
     store: &ManagementStore,
     kb: &KnowledgeBase,
@@ -135,6 +170,19 @@ pub fn analyze_task(
     now: u64,
 ) -> (Vec<Alert>, u64) {
     let mut engine = Engine::new(kb.clone());
+    analyze_task_with(&mut engine, store, task, now)
+}
+
+/// [`analyze_task`] against a caller-owned engine, which is `reset()`
+/// first: working memory and refraction are per-task, but the engine's
+/// allocations and compiled knowledge base are reused across tasks.
+pub fn analyze_task_with(
+    engine: &mut Engine,
+    store: &ManagementStore,
+    task: &AnalysisTask,
+    now: u64,
+) -> (Vec<Alert>, u64) {
+    engine.reset();
     let series: Vec<(String, String)> = if task.level >= 3 || task.partition == "*" {
         store
             .partitions()
@@ -200,7 +248,7 @@ impl Agent for AnalyzerAgent {
         if message.content().get("concept").and_then(Value::as_str) == Some("learn-rule") {
             if let Some(text) = message.content().get("text").and_then(Value::as_str) {
                 if let Ok(rules) = parse_rules(text) {
-                    self.kb.extend(rules);
+                    self.engine.knowledge_mut().extend(rules);
                 }
             }
             return;
@@ -318,7 +366,7 @@ mod tests {
     #[test]
     fn learn_rule_message_extends_knowledge() {
         let mut analyzer = analyzer_with_data(&[("r1", "processes.count", 3.0)]);
-        let before = analyzer.kb.len();
+        let before = analyzer.knowledge().len();
         let id = AgentId::new("an@g");
         let mut outbox = Vec::new();
         let mut df = DirectoryFacilitator::new();
@@ -338,7 +386,7 @@ mod tests {
             .build()
             .unwrap();
         analyzer.on_message(&learn, &mut ctx);
-        assert_eq!(analyzer.kb.len(), before + 1);
+        assert_eq!(analyzer.knowledge().len(), before + 1);
         // And the learned rule fires on the next task.
         let alerts = analyzer.run_task(&task("process", 1), 0);
         assert!(alerts.iter().any(|a| a.rule == "few-procs"));

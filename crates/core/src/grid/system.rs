@@ -207,8 +207,11 @@ impl GridBuilder {
             !self.analyzers.is_empty(),
             "configure at least one analyzer container"
         );
-        let kb =
-            KnowledgeBase::from_rules(parse_rules(&self.rules).expect("analysis rules must parse"));
+        // One compiled knowledge base, shared by every analyzer (and kept
+        // for chaos restarts); analyzers copy-on-write if they learn.
+        let kb = Arc::new(KnowledgeBase::from_rules(
+            parse_rules(&self.rules).expect("analysis rules must parse"),
+        ));
         // A chaos schedule without an explicit recovery config gets the
         // defaults — injecting failures without the means to survive
         // them is never what a caller wants. Likewise a circuit breaker
@@ -237,6 +240,7 @@ impl GridBuilder {
             platform.set_overload(mailbox, pressure.clone());
         }
         let paced_polls = Arc::new(AtomicU64::new(0));
+        let match_attempts = Arc::new(AtomicU64::new(0));
         if let Some(telemetry) = &self.telemetry {
             platform.set_telemetry(Arc::clone(telemetry));
             telemetry.set_stage("ig", "interface");
@@ -273,7 +277,9 @@ impl GridBuilder {
         // Analyzer containers.
         for spec in &self.analyzers {
             platform.add_container(&spec.name);
-            let analyzer = AnalyzerAgent::new(Arc::clone(&store), kb.clone(), interface_id.clone());
+            let analyzer =
+                AnalyzerAgent::shared(Arc::clone(&store), Arc::clone(&kb), interface_id.clone())
+                    .with_match_counter(Arc::clone(&match_attempts));
             let analyzer_id = platform
                 .spawn_agent(&spec.name, &format!("analyzer-{}", spec.name), analyzer)
                 .expect("container just added");
@@ -374,6 +380,7 @@ impl GridBuilder {
             chaos_cursor: 0,
             downed: BTreeSet::new(),
             paced_polls,
+            match_attempts,
         }
     }
 }
@@ -527,8 +534,8 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     live_profiles: bool,
     /// Busy-ns counter values at the previous tick, for windowed deltas.
     last_busy_ns: BTreeMap<String, u64>,
-    /// Knowledge base shared with restarted analyzers.
-    kb: KnowledgeBase,
+    /// Knowledge base shared by every analyzer, including restarted ones.
+    kb: Arc<KnowledgeBase>,
     /// Analyzer container specs, kept for chaos restarts.
     specs: Vec<AnalyzerSpec>,
     /// Scheduled chaos events, sorted by due time.
@@ -540,6 +547,9 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     downed: BTreeSet<String>,
     /// Stretched-poll counter shared with every pacing collector.
     paced_polls: Arc<AtomicU64>,
+    /// Rule-engine match attempts, totalled across every analyzer
+    /// (including restarted ones) — the Table 1 inference-cost proxy.
+    match_attempts: Arc<AtomicU64>,
 }
 
 impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
@@ -634,11 +644,12 @@ impl<R: Runtime> ManagementGrid<R> {
                         continue;
                     };
                     self.platform.add_container(&name);
-                    let analyzer = AnalyzerAgent::new(
+                    let analyzer = AnalyzerAgent::shared(
                         Arc::clone(&self.store),
-                        self.kb.clone(),
+                        Arc::clone(&self.kb),
                         self.interface_id.clone(),
-                    );
+                    )
+                    .with_match_counter(Arc::clone(&self.match_attempts));
                     let analyzer_id = self
                         .platform
                         .spawn_agent(&name, &format!("analyzer-{name}"), analyzer)
@@ -712,6 +723,13 @@ impl<R: Runtime> ManagementGrid<R> {
             rejected: stats.rejected,
             paced_polls: self.paced_polls.load(Ordering::Relaxed),
         }
+    }
+
+    /// Total rule-engine match attempts across every analyzer so far —
+    /// the CPU-cost proxy behind the paper's Table 1 inference column.
+    /// Deterministic for deterministic runs, so tests can pin a ceiling.
+    pub fn match_attempts(&self) -> u64 {
+        self.match_attempts.load(Ordering::Relaxed)
     }
 
     /// Posts user feedback: a new analysis rule in DSL text, distributed

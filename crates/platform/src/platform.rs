@@ -419,11 +419,13 @@ impl Platform {
             self.in_flight.extend(parked);
         }
         self.now_ms = now_ms;
+        // One telemetry handle for the whole step — not re-cloned per
+        // drained leg, routed message or ticked container.
+        let telemetry = self.telemetry.clone();
         if advanced {
             if let Some(tracker) = &mut self.overload {
                 // New clock window: budgets reset, deferred legs drain.
                 let due = tracker.begin_window();
-                let telemetry = self.telemetry.clone();
                 for (message, receiver) in due {
                     self.deliver_leg(&message, &receiver, telemetry.as_deref());
                 }
@@ -432,9 +434,8 @@ impl Platform {
         let to_route = std::mem::take(&mut self.in_flight);
         let routed = to_route.len();
         for message in to_route {
-            self.route(message);
+            self.route(message, telemetry.as_deref());
         }
-        let telemetry = self.telemetry.clone();
         let mut outbox = Vec::new();
         for (name, container) in self.containers.iter_mut() {
             container.tick_agents(
@@ -463,34 +464,39 @@ impl Platform {
         }
     }
 
-    fn route(&mut self, message: SharedMessage) {
+    fn route(
+        &mut self,
+        message: SharedMessage,
+        telemetry: Option<&agentgrid_telemetry::Telemetry>,
+    ) {
         if let TransportFault::DropFrom(from) = &self.fault {
             if message.sender() == from {
                 return;
             }
         }
-        let telemetry = self.telemetry.clone();
-        // Fan-out is N `Arc::clone`s of one shared allocation; the
-        // message content is never deep-cloned per receiver.
-        for receiver in message.receivers().to_vec() {
+        // Fan-out is N `Arc::clone`s of one shared allocation; neither the
+        // message content nor the receiver list is cloned per delivery
+        // (`message` is owned here, so its receivers can be borrowed
+        // while `self` routes).
+        for receiver in message.receivers() {
             if let TransportFault::DropTo(to) = &self.fault {
-                if &receiver == to {
+                if receiver == to {
                     continue;
                 }
             }
-            match self.resolve(&receiver) {
+            match self.resolve(receiver) {
                 Some(container) => {
                     if let Some(tracker) = &mut self.overload {
-                        match tracker.admit(&container, &message, &receiver) {
+                        match tracker.admit(&container, &message, receiver) {
                             Admission::Deliver => {}
                             // Deferred legs are delivered by a later
                             // `begin_window`; shed legs are gone.
                             Admission::Deferred | Admission::Shed => continue,
                         }
                     }
-                    self.deliver_to(&container, &message, &receiver, telemetry.as_deref());
+                    self.deliver_to(&container, &message, receiver, telemetry);
                 }
-                None => self.fail_leg(&message, &receiver, telemetry.as_deref()),
+                None => self.fail_leg(&message, receiver, telemetry),
             }
         }
     }

@@ -1,4 +1,6 @@
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::{Bindings, Effect, Fact, FactId, Finding, KnowledgeBase, Rule, WorkingMemory};
 
@@ -31,27 +33,38 @@ pub struct RunOutcome {
     pub truncated: bool,
 }
 
-/// One fireable (rule, fact-tuple) combination.
-#[derive(Debug, Clone)]
-struct Activation {
-    rule_index: usize,
-    fact_ids: Vec<FactId>,
-    bindings: Bindings,
-    salience: i32,
-    /// Highest fact id in the tuple — recency for conflict resolution.
-    recency: FactId,
-}
-
-/// Forward-chaining inference engine.
+/// Agenda ordering key.
 ///
-/// The engine owns a [`WorkingMemory`] and a [`KnowledgeBase`] and runs
-/// the classic recognize–act cycle: compute the conflict set (all
-/// activations not yet fired), pick the best by salience then recency,
-/// fire it, apply its effects, repeat until quiescence.
+/// `BTreeMap::pop_first` on this key yields exactly the activation the
+/// naive conflict-set scan would pick: highest salience, then highest
+/// recency (max fact id in the tuple), then lowest rule index, then the
+/// lexicographically smallest fact tuple — the scan enumerates tuples in
+/// ascending-id order and keeps the first of equals, so the smallest
+/// tuple wins the final tie there too.
+type AgendaKey = (Reverse<i32>, Reverse<FactId>, usize, Vec<FactId>);
+
+/// Forward-chaining inference engine with TREAT-style incremental
+/// matching.
+///
+/// The engine owns a [`WorkingMemory`] and a shared [`KnowledgeBase`] and
+/// runs the classic recognize–act cycle, but the conflict set is kept as
+/// a persistent **agenda** across cycles: after a rule fires, only rules
+/// whose patterns touch the cycle's delta (facts asserted or retracted by
+/// the effects) are re-matched, and entries invalidated by retraction are
+/// removed. Untouched rules keep their agenda entries verbatim — the
+/// conflict set is never rebuilt from scratch inside a run.
+///
+/// Observable behaviour (findings, firing order, `fired`/`asserted`/
+/// `retracted` counts) is identical to the retained
+/// [`NaiveEngine`](crate::NaiveEngine); only
+/// [`RunStats::match_attempts`] shrinks.
 ///
 /// **Refraction**: an activation is identified by `(rule, fact ids)`; once
 /// fired it never fires again, even across separate [`run`](Engine::run)
 /// calls, unless one of its facts was retracted and re-asserted (new ids).
+/// Internally the set is keyed by `(rule index, fact ids)` — no string
+/// allocation per candidate — and remapped by rule *name* if the
+/// knowledge base is edited, preserving the name-keyed semantics.
 ///
 /// # Examples
 ///
@@ -77,9 +90,27 @@ struct Activation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    kb: KnowledgeBase,
+    kb: Arc<KnowledgeBase>,
     wm: WorkingMemory,
-    fired: BTreeSet<(String, Vec<FactId>)>,
+    /// Refraction set keyed by `(rule index, fact tuple)`.
+    fired: BTreeSet<(usize, Vec<FactId>)>,
+    /// Persistent conflict set: unfired, guard-passing activations.
+    agenda: BTreeMap<AgendaKey, Bindings>,
+    /// Rule-name snapshot backing the indices in `fired`; used to remap
+    /// the refraction set when the knowledge base is edited.
+    rule_names: Vec<String>,
+    /// Facts asserted since the agenda was last brought up to date —
+    /// external inserts plus the previous cycle's assert effects.
+    pending_added: Vec<FactId>,
+    /// Facts retracted since the agenda was last brought up to date
+    /// (stored by value: they are gone from working memory).
+    pending_removed: Vec<Fact>,
+    /// Whether the agenda reflects the working memory. `false` forces one
+    /// full conflict-set build on the next run.
+    primed: bool,
+    /// Set by [`knowledge_mut`](Engine::knowledge_mut): rules may have
+    /// changed, so re-sync names and rebuild the agenda.
+    kb_dirty: bool,
     max_cycles: u64,
 }
 
@@ -87,10 +118,23 @@ impl Engine {
     /// Creates an engine over a knowledge base with an empty working
     /// memory and the default cycle limit (10 000).
     pub fn new(kb: KnowledgeBase) -> Self {
+        Engine::shared(Arc::new(kb))
+    }
+
+    /// Creates an engine over a knowledge base shared with other engines
+    /// (e.g. one compiled rule set per grid, many analyzers).
+    pub fn shared(kb: Arc<KnowledgeBase>) -> Self {
+        let rule_names = kb.iter().map(|r| r.name().to_owned()).collect();
         Engine {
             kb,
             wm: WorkingMemory::new(),
             fired: BTreeSet::new(),
+            agenda: BTreeMap::new(),
+            rule_names,
+            pending_added: Vec::new(),
+            pending_removed: Vec::new(),
+            primed: false,
+            kb_dirty: false,
             max_cycles: 10_000,
         }
     }
@@ -103,13 +147,15 @@ impl Engine {
 
     /// Inserts a fact.
     pub fn insert(&mut self, fact: Fact) -> FactId {
-        self.wm.insert(fact)
+        let id = self.wm.insert(fact);
+        self.pending_added.push(id);
+        id
     }
 
     /// Inserts many facts.
     pub fn insert_all(&mut self, facts: impl IntoIterator<Item = Fact>) {
         for fact in facts {
-            self.wm.insert(fact);
+            self.insert(fact);
         }
     }
 
@@ -124,74 +170,142 @@ impl Engine {
     }
 
     /// Mutable access to the knowledge base (to learn rules at runtime).
+    ///
+    /// If the base is shared with other engines this copies it first
+    /// (copy-on-write), so learning stays local to this engine.
     pub fn knowledge_mut(&mut self) -> &mut KnowledgeBase {
-        &mut self.kb
+        self.kb_dirty = true;
+        Arc::make_mut(&mut self.kb)
     }
 
-    /// Clears the working memory and refraction history (e.g. between
-    /// analysis batches).
+    /// Clears the working memory, agenda and refraction history (e.g.
+    /// between analysis batches). The knowledge base is kept.
     pub fn reset(&mut self) {
         self.wm = WorkingMemory::new();
         self.fired.clear();
+        self.agenda.clear();
+        self.pending_added.clear();
+        self.pending_removed.clear();
+        self.primed = false;
     }
 
     /// Runs recognize–act cycles until quiescence or the cycle limit.
+    ///
+    /// Delta integration is lazy — it runs at the top of each cycle, just
+    /// before the pick, mirroring when the naive engine computes its
+    /// conflict set. That alignment is what keeps `match_attempts` a
+    /// strict subset of the naive count: both engines examine exactly the
+    /// same working-memory states, the incremental one just skips the
+    /// rules the delta cannot have touched (and a truncated run leaves
+    /// its last delta pending, exactly as the naive engine never looks at
+    /// the post-truncation state).
     pub fn run(&mut self) -> RunOutcome {
         let mut outcome = RunOutcome::default();
+        self.sync_knowledge();
         loop {
             if outcome.stats.cycles >= self.max_cycles {
                 outcome.truncated = true;
                 break;
             }
-            let Some(activation) = self.best_activation(&mut outcome.stats) else {
+            self.integrate(&mut outcome.stats);
+            let Some((key, bindings)) = self.agenda.pop_first() else {
                 break;
             };
             outcome.stats.cycles += 1;
-            self.fire(activation, &mut outcome);
+            self.fire(key, bindings, &mut outcome);
         }
         outcome
     }
 
-    /// Computes the conflict set and returns the activation with the
-    /// highest salience, breaking ties by recency then rule order.
-    fn best_activation(&self, stats: &mut RunStats) -> Option<Activation> {
-        let mut best: Option<Activation> = None;
-        for (rule_index, rule) in self.kb.iter().enumerate() {
-            for (fact_ids, bindings) in self.match_rule(rule, stats) {
-                let key = (rule.name().to_owned(), fact_ids.clone());
-                if self.fired.contains(&key) {
-                    continue;
-                }
-                if !rule.guards_pass(&bindings) {
-                    continue;
-                }
-                let recency = fact_ids.iter().copied().max().unwrap_or(FactId(0));
-                let candidate = Activation {
-                    rule_index,
-                    fact_ids,
-                    bindings,
-                    salience: rule.salience_value(),
-                    recency,
-                };
-                let better = match &best {
-                    None => true,
-                    Some(current) => {
-                        (candidate.salience, candidate.recency, {
-                            // Lower rule index wins the final tie, so invert.
-                            usize::MAX - candidate.rule_index
-                        }) > (
-                            current.salience,
-                            current.recency,
-                            usize::MAX - current.rule_index,
-                        )
-                    }
-                };
-                if better {
-                    best = Some(candidate);
-                }
+    /// Re-syncs engine state after knowledge-base edits: refraction
+    /// entries follow their rule's *name* to its new index (entries of
+    /// removed rules drop), and the agenda is scheduled for a rebuild
+    /// since rule bodies may have changed.
+    fn sync_knowledge(&mut self) {
+        if !self.kb_dirty {
+            return;
+        }
+        self.kb_dirty = false;
+        let new_names: Vec<String> = self.kb.iter().map(|r| r.name().to_owned()).collect();
+        if new_names != self.rule_names {
+            let index_of: BTreeMap<&str, usize> = new_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i))
+                .collect();
+            self.fired = std::mem::take(&mut self.fired)
+                .into_iter()
+                .filter_map(|(old_index, ids)| {
+                    let name = self.rule_names.get(old_index)?;
+                    index_of.get(name.as_str()).map(|&new| (new, ids))
+                })
+                .collect();
+            self.rule_names = new_names;
+        }
+        self.primed = false;
+    }
+
+    /// Brings the agenda up to date with working memory: a full build if
+    /// unprimed, otherwise a delta pass over rules touched by the facts
+    /// asserted or retracted since the last integration.
+    fn integrate(&mut self, stats: &mut RunStats) {
+        let kb = Arc::clone(&self.kb);
+        if !self.primed {
+            self.agenda.clear();
+            self.pending_added.clear();
+            self.pending_removed.clear();
+            for (rule_index, rule) in kb.iter().enumerate() {
+                self.refresh_rule(rule_index, rule, stats);
+            }
+            self.primed = true;
+            return;
+        }
+        if self.pending_added.is_empty() && self.pending_removed.is_empty() {
+            return;
+        }
+        let added = std::mem::take(&mut self.pending_added);
+        let removed = std::mem::take(&mut self.pending_removed);
+        for (rule_index, rule) in kb.iter().enumerate() {
+            if self.touched(rule, &added, &removed) {
+                self.refresh_rule(rule_index, rule, stats);
             }
         }
-        best
+    }
+
+    /// Whether any pattern of `rule` individually matches an added or
+    /// removed fact — i.e. whether the rule's match set can have changed.
+    fn touched(&self, rule: &Rule, added: &[FactId], removed: &[Fact]) -> bool {
+        rule.patterns().iter().any(|pattern| {
+            added.iter().any(|id| {
+                self.wm
+                    .get(*id)
+                    .is_some_and(|fact| pattern.matches(fact, &mut Bindings::new()))
+            }) || removed
+                .iter()
+                .any(|fact| pattern.matches(fact, &mut Bindings::new()))
+        })
+    }
+
+    /// Recomputes one rule's agenda entries from the current working
+    /// memory, dropping any stale ones first. Refraction and guards are
+    /// checked here, so the agenda holds only fireable activations.
+    fn refresh_rule(&mut self, rule_index: usize, rule: &Rule, stats: &mut RunStats) {
+        self.agenda.retain(|key, _| key.2 != rule_index);
+        let salience = rule.salience_value();
+        for (fact_ids, bindings) in self.match_rule(rule, stats) {
+            let fired_key = (rule_index, fact_ids);
+            if self.fired.contains(&fired_key) {
+                continue;
+            }
+            if !rule.guards_pass(&bindings) {
+                continue;
+            }
+            let recency = fired_key.1.iter().copied().max().unwrap_or(FactId(0));
+            self.agenda.insert(
+                (Reverse(salience), Reverse(recency), rule_index, fired_key.1),
+                bindings,
+            );
+        }
     }
 
     /// Joins the rule's patterns left-to-right, producing every consistent
@@ -225,28 +339,29 @@ impl Engine {
         partial
     }
 
-    fn fire(&mut self, activation: Activation, outcome: &mut RunOutcome) {
-        let rule = self
-            .kb
+    fn fire(&mut self, key: AgendaKey, bindings: Bindings, outcome: &mut RunOutcome) {
+        let (_, _, rule_index, fact_ids) = key;
+        let kb = Arc::clone(&self.kb);
+        let rule = kb
             .iter()
-            .nth(activation.rule_index)
-            .expect("activation refers to an existing rule")
-            .clone();
-        self.fired
-            .insert((rule.name().to_owned(), activation.fact_ids.clone()));
+            .nth(rule_index)
+            .expect("agenda refers to an existing rule");
+        self.fired.insert((rule_index, fact_ids.clone()));
         outcome.stats.fired += 1;
 
         for effect in rule.effects() {
             match effect {
                 Effect::Assert { .. } => {
-                    if let Some(fact) = effect.instantiate(&activation.bindings) {
-                        self.wm.insert(fact);
+                    if let Some(fact) = effect.instantiate(&bindings) {
+                        let id = self.wm.insert(fact);
+                        self.pending_added.push(id);
                         outcome.stats.asserted += 1;
                     }
                 }
                 Effect::Retract(pattern_index) => {
-                    if let Some(id) = activation.fact_ids.get(*pattern_index) {
-                        if self.wm.retract(*id).is_some() {
+                    if let Some(id) = fact_ids.get(*pattern_index) {
+                        if let Some(fact) = self.wm.retract(*id) {
+                            self.pending_removed.push(fact);
                             outcome.stats.retracted += 1;
                         }
                     }
@@ -257,18 +372,23 @@ impl Engine {
                     message,
                 } => {
                     let device_text = device
-                        .resolve(&activation.bindings)
+                        .resolve(&bindings)
                         .map(|t| t.to_string())
                         .unwrap_or_else(|| "unknown".to_owned());
                     outcome.findings.push(Finding {
                         rule: rule.name().to_owned(),
                         device: device_text,
                         severity: *severity,
-                        message: activation.bindings.substitute(message),
+                        message: bindings.substitute(message),
                     });
                 }
             }
         }
+        // The delta sits in `pending_added`/`pending_removed` until the
+        // next cycle's `integrate` — the TREAT re-match happens there,
+        // lazily, so a truncated run does no work the naive engine
+        // wouldn't. Stale agenda entries referencing retracted facts are
+        // guaranteed to be purged before the next pick.
     }
 }
 
@@ -476,5 +596,58 @@ mod tests {
         let out = engine.run();
         assert!(out.stats.match_attempts >= 10);
         assert_eq!(out.stats.fired, 10);
+    }
+
+    #[test]
+    fn shared_knowledge_learn_is_copy_on_write() {
+        let kb = Arc::new(KnowledgeBase::from_rules([emit_rule("r", 0, "obs")]));
+        let mut a = Engine::shared(Arc::clone(&kb));
+        let mut b = Engine::shared(Arc::clone(&kb));
+        a.knowledge_mut().learn(emit_rule("extra", 0, "alarm"));
+        assert_eq!(a.knowledge().len(), 2);
+        // b and the original base are untouched.
+        assert_eq!(b.knowledge().len(), 1);
+        assert_eq!(kb.len(), 1);
+        a.insert(Fact::new("alarm").with("device", "x"));
+        b.insert(Fact::new("alarm").with("device", "x"));
+        assert_eq!(a.run().findings.len(), 1);
+        assert_eq!(b.run().findings.len(), 0);
+    }
+
+    #[test]
+    fn learned_rule_applies_between_runs() {
+        let kb = KnowledgeBase::from_rules([emit_rule("r", 0, "obs")]);
+        let mut engine = Engine::new(kb);
+        engine.insert(Fact::new("obs").with("device", "a"));
+        assert_eq!(engine.run().findings.len(), 1);
+        // Learning mid-stream: the new rule sees already-present facts but
+        // refraction on the old rule still holds.
+        engine.knowledge_mut().learn(emit_rule("extra", 0, "obs"));
+        let out = engine.run();
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "extra");
+    }
+
+    #[test]
+    fn retraction_invalidates_pending_activations() {
+        // High-salience rule retracts the token; the low-salience rule's
+        // activation on the same token must vanish from the agenda.
+        let eater = Rule::new("eater")
+            .salience(10)
+            .when(Pattern::new("token"))
+            .then(Effect::Retract(0));
+        let watcher = Rule::new("watcher")
+            .salience(0)
+            .when(Pattern::new("token"))
+            .then(Effect::Emit {
+                severity: RuleSeverity::Info,
+                device: Operand::Const(Term::from("-")),
+                message: "saw token".into(),
+            });
+        let mut engine = Engine::new(KnowledgeBase::from_rules([eater, watcher]));
+        engine.insert(Fact::new("token"));
+        let out = engine.run();
+        assert_eq!(out.stats.retracted, 1);
+        assert_eq!(out.findings.len(), 0);
     }
 }

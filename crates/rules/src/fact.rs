@@ -1,4 +1,4 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -193,10 +193,48 @@ impl fmt::Display for Fact {
     }
 }
 
+/// Index key for a [`Term`] value inside the alpha index.
+///
+/// `Term` itself is only `PartialOrd`/`PartialEq` (floats), so the index
+/// stores a totally ordered encoding. Numbers use the IEEE-754 total-order
+/// bit trick, with `-0.0` normalised to `0.0` so that the bucket for a key
+/// is always a *superset* of the facts whose field compares `==` to the
+/// probed value (`Pattern::matches` re-checks equality on candidates).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TermKey {
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+impl From<&Term> for TermKey {
+    fn from(term: &Term) -> Self {
+        match term {
+            Term::Num(x) => {
+                let x = if *x == 0.0 { 0.0 } else { *x };
+                let bits = x.to_bits();
+                let ordered = if bits >> 63 == 1 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
+                TermKey::Num(ordered)
+            }
+            Term::Str(s) => TermKey::Str(s.clone()),
+            Term::Bool(b) => TermKey::Bool(*b),
+        }
+    }
+}
+
 /// The fact store the engine reasons over.
 ///
 /// Facts are never mutated in place: rules assert new facts and retract
 /// old ones, which keeps activation bookkeeping sound.
+///
+/// Two alpha indexes are maintained alongside the id-ordered map: a
+/// per-kind id set (so `of_kind` never scans unrelated facts) and a
+/// `(kind, field, value)` index that `Pattern::match_all` probes for
+/// literal and already-bound fields.
 ///
 /// # Examples
 ///
@@ -212,6 +250,8 @@ impl fmt::Display for Fact {
 pub struct WorkingMemory {
     facts: BTreeMap<FactId, Fact>,
     next_id: u64,
+    by_kind: BTreeMap<String, BTreeSet<FactId>>,
+    by_field: BTreeMap<String, BTreeMap<String, BTreeMap<TermKey, BTreeSet<FactId>>>>,
 }
 
 impl WorkingMemory {
@@ -224,13 +264,43 @@ impl WorkingMemory {
     pub fn insert(&mut self, fact: Fact) -> FactId {
         let id = FactId(self.next_id);
         self.next_id += 1;
+        self.by_kind
+            .entry(fact.kind.clone())
+            .or_default()
+            .insert(id);
+        let kind_index = self.by_field.entry(fact.kind.clone()).or_default();
+        for (name, value) in &fact.fields {
+            kind_index
+                .entry(name.clone())
+                .or_default()
+                .entry(TermKey::from(value))
+                .or_default()
+                .insert(id);
+        }
         self.facts.insert(id, fact);
         id
     }
 
     /// Removes a fact. Returns the fact if it was present.
     pub fn retract(&mut self, id: FactId) -> Option<Fact> {
-        self.facts.remove(&id)
+        let fact = self.facts.remove(&id)?;
+        if let Some(ids) = self.by_kind.get_mut(&fact.kind) {
+            ids.remove(&id);
+        }
+        if let Some(kind_index) = self.by_field.get_mut(&fact.kind) {
+            for (name, value) in &fact.fields {
+                if let Some(values) = kind_index.get_mut(name) {
+                    let key = TermKey::from(value);
+                    if let Some(ids) = values.get_mut(&key) {
+                        ids.remove(&id);
+                        if ids.is_empty() {
+                            values.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        Some(fact)
     }
 
     /// Looks up a fact by id.
@@ -243,9 +313,32 @@ impl WorkingMemory {
         self.facts.iter().map(|(id, f)| (*id, f))
     }
 
-    /// Iterates over the facts of one kind.
+    /// Iterates over the facts of one kind, in insertion order.
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = (FactId, &'a Fact)> + 'a {
-        self.iter().filter(move |(_, f)| f.kind() == kind)
+        self.ids_of_kind(kind)
+            .into_iter()
+            .flatten()
+            .map(|id| (*id, self.facts.get(id).expect("indexed fact exists")))
+    }
+
+    /// Id set for a kind (alpha index, level 0).
+    pub(crate) fn ids_of_kind(&self, kind: &str) -> Option<&BTreeSet<FactId>> {
+        self.by_kind.get(kind)
+    }
+
+    /// Id set for facts of `kind` whose field `name` indexes equal to
+    /// `value` (alpha index, level 1). `None` means no candidate exists;
+    /// callers must still confirm with [`Fact::field`] equality.
+    pub(crate) fn ids_by_field(
+        &self,
+        kind: &str,
+        name: &str,
+        value: &Term,
+    ) -> Option<&BTreeSet<FactId>> {
+        self.by_field
+            .get(kind)?
+            .get(name)?
+            .get(&TermKey::from(value))
     }
 
     /// Number of facts.
@@ -321,5 +414,58 @@ mod tests {
         wm.retract(a);
         let b = wm.insert(Fact::new("y"));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn field_index_probes_by_value() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.insert(Fact::new("obs").with("device", "sw-1").with("value", 10.0));
+        let b = wm.insert(Fact::new("obs").with("device", "sw-2").with("value", 10.0));
+        wm.insert(Fact::new("obs").with("device", "sw-3").with("value", 20.0));
+
+        let hit = wm
+            .ids_by_field("obs", "device", &Term::from("sw-1"))
+            .unwrap();
+        assert_eq!(hit.iter().copied().collect::<Vec<_>>(), vec![a]);
+        let tens = wm.ids_by_field("obs", "value", &Term::from(10.0)).unwrap();
+        assert_eq!(tens.iter().copied().collect::<Vec<_>>(), vec![a, b]);
+        assert!(wm
+            .ids_by_field("obs", "device", &Term::from("sw-9"))
+            .is_none());
+        assert!(wm
+            .ids_by_field("link", "device", &Term::from("sw-1"))
+            .is_none());
+    }
+
+    #[test]
+    fn field_index_tracks_retraction() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.insert(Fact::new("obs").with("device", "sw-1"));
+        wm.retract(a);
+        assert!(wm
+            .ids_by_field("obs", "device", &Term::from("sw-1"))
+            .is_none());
+        assert_eq!(wm.of_kind("obs").count(), 0);
+    }
+
+    #[test]
+    fn negative_zero_shares_a_bucket_with_zero() {
+        let mut wm = WorkingMemory::new();
+        let a = wm.insert(Fact::new("obs").with("value", 0.0));
+        let b = wm.insert(Fact::new("obs").with("value", -0.0));
+        let zeros = wm.ids_by_field("obs", "value", &Term::from(-0.0)).unwrap();
+        assert_eq!(zeros.iter().copied().collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn term_key_orders_numbers_totally() {
+        let keys: Vec<TermKey> = [-3.5, -0.0, 0.0, 1.0, f64::INFINITY]
+            .iter()
+            .map(|x| TermKey::from(&Term::Num(*x)))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys[1], keys[2]);
+        assert_eq!(sorted, keys);
     }
 }

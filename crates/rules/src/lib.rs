@@ -10,7 +10,9 @@
 //!   facts, retract matched ones, emit [`Finding`]s);
 //! * the [`Engine`] runs forward chaining with refraction (an activation
 //!   never fires twice on the same facts) and salience-then-recency
-//!   conflict resolution;
+//!   conflict resolution — incrementally, via a TREAT-style persistent
+//!   agenda over an alpha-indexed working memory ([`NaiveEngine`] retains
+//!   the full-recompute matcher as the executable reference);
 //! * rules can be written in a small textual DSL ([`parse_rules`]) so a
 //!   [`KnowledgeBase`] can be extended at runtime — the paper's "agents can
 //!   learn new rules".
@@ -44,11 +46,13 @@
 mod dsl;
 mod engine;
 mod fact;
+mod naive;
 mod pattern;
 mod rule;
 
 pub use dsl::{parse_rules, ParseRuleError};
 pub use engine::{Engine, RunOutcome, RunStats};
 pub use fact::{Fact, FactId, Term, WorkingMemory};
+pub use naive::NaiveEngine;
 pub use pattern::{Bindings, FieldPattern, Pattern};
 pub use rule::{Effect, Finding, Guard, GuardOp, KnowledgeBase, Operand, Rule, RuleSeverity};

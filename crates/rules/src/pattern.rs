@@ -176,16 +176,45 @@ impl Pattern {
     }
 
     /// All `(fact id, extended bindings)` matches in `wm` consistent with
-    /// the incoming bindings.
+    /// the incoming bindings, in ascending fact-id order.
+    ///
+    /// Candidates come from the alpha index: the smallest id set among the
+    /// kind bucket and any `(kind, field, value)` bucket probeable from a
+    /// `Const` field or a variable already bound in `bindings`. Index
+    /// buckets are supersets of the true matches, so every candidate is
+    /// still confirmed with [`Pattern::matches`].
     pub fn match_all<'a>(
         &'a self,
         wm: &'a WorkingMemory,
         bindings: &'a Bindings,
     ) -> impl Iterator<Item = (FactId, Bindings)> + 'a {
-        wm.of_kind(&self.kind).filter_map(move |(id, fact)| {
+        let mut candidates = wm.ids_of_kind(&self.kind);
+        if candidates.is_some() {
+            for (name, fp) in &self.fields {
+                let probe = match fp {
+                    FieldPattern::Const(value) => Some(value),
+                    FieldPattern::Var(var) => bindings.get(var),
+                    FieldPattern::Any => None,
+                };
+                let Some(value) = probe else { continue };
+                match wm.ids_by_field(&self.kind, name, value) {
+                    None => {
+                        candidates = None;
+                        break;
+                    }
+                    Some(bucket) => {
+                        if candidates.is_none_or(|best| bucket.len() < best.len()) {
+                            candidates = Some(bucket);
+                        }
+                    }
+                }
+            }
+        }
+        candidates.into_iter().flatten().filter_map(move |id| {
+            let fact = wm.get(*id).expect("indexed fact exists");
             let mut b = bindings.clone();
             if self.matches(fact, &mut b) {
-                Some((id, b))
+                Some((*id, b))
             } else {
                 None
             }
@@ -257,6 +286,26 @@ mod tests {
         let matches: Vec<_> = p.match_all(&wm, &Bindings::new()).collect();
         assert_eq!(matches.len(), 2);
         assert_eq!(matches[0].1.get("d").unwrap().as_str(), Some("a"));
+    }
+
+    #[test]
+    fn match_all_probes_bound_variables() {
+        let mut wm = WorkingMemory::new();
+        wm.insert(obs("a", 1.0));
+        let b_id = wm.insert(obs("b", 2.0));
+        let p = Pattern::new("obs")
+            .field("device", FieldPattern::Var("d".into()))
+            .field("value", FieldPattern::Var("v".into()));
+        let mut incoming = Bindings::new();
+        incoming.bind("d", Term::from("b"));
+        let matches: Vec<_> = p.match_all(&wm, &incoming).collect();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, b_id);
+        assert_eq!(matches[0].1.get("v").unwrap().as_num(), Some(2.0));
+        // A probe with no bucket yields nothing.
+        let mut missing = Bindings::new();
+        missing.bind("d", Term::from("zzz"));
+        assert_eq!(p.match_all(&wm, &missing).count(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests for the rule engine.
 
 use agentgrid_rules::{
-    parse_rules, Bindings, Engine, Fact, Guard, GuardOp, KnowledgeBase, Operand, Term,
+    parse_rules, Bindings, Effect, Engine, Fact, FieldPattern, Guard, GuardOp, KnowledgeBase,
+    NaiveEngine, Operand, Pattern, Rule, RuleSeverity, Term,
 };
 use proptest::prelude::*;
 
@@ -24,7 +25,193 @@ fn op_strategy() -> impl Strategy<Value = GuardOp> {
     ]
 }
 
+// --- Random rule sets over a tiny universe, tuned so patterns collide
+// --- and join: two kinds, two fields, a handful of values and variables.
+
+fn small_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0i64..3).prop_map(|n| Term::Num(n as f64)),
+        prop_oneof![Just("x"), Just("y")].prop_map(Term::from),
+    ]
+}
+
+fn small_kind() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b")]
+}
+
+fn small_var() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("u"), Just("v")]
+}
+
+fn small_fact() -> impl Strategy<Value = Fact> {
+    (small_kind(), small_term(), small_term())
+        .prop_map(|(kind, f, g)| Fact::new(kind).with("f", f).with("g", g))
+}
+
+fn small_field_pattern() -> impl Strategy<Value = FieldPattern> {
+    prop_oneof![
+        Just(FieldPattern::Any),
+        small_term().prop_map(FieldPattern::Const),
+        small_var().prop_map(|v| FieldPattern::Var(v.into())),
+    ]
+}
+
+fn small_pattern() -> impl Strategy<Value = Pattern> {
+    (
+        small_kind(),
+        prop::option::of(small_field_pattern()),
+        prop::option::of(small_field_pattern()),
+    )
+        .prop_map(|(kind, f, g)| {
+            let mut p = Pattern::new(kind);
+            if let Some(fp) = f {
+                p = p.field("f", fp);
+            }
+            if let Some(gp) = g {
+                p = p.field("g", gp);
+            }
+            p
+        })
+}
+
+fn small_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        small_term().prop_map(Operand::Const),
+        small_var().prop_map(|v| Operand::Var(v.into())),
+    ]
+}
+
+fn small_effect() -> impl Strategy<Value = Effect> {
+    prop_oneof![
+        small_operand().prop_map(|device| Effect::Emit {
+            severity: RuleSeverity::Info,
+            device,
+            message: "saw ?u ?v".into(),
+        }),
+        (small_kind(), small_operand()).prop_map(|(kind, op)| Effect::Assert {
+            kind: kind.into(),
+            fields: vec![("f".into(), op)],
+        }),
+        (0usize..2).prop_map(Effect::Retract),
+    ]
+}
+
+/// Everything of a random rule except its name (names are assigned by
+/// index afterwards — duplicate names would alias refraction entries).
+type RuleParts = (
+    i32,
+    Vec<Pattern>,
+    Option<(&'static str, GuardOp, Term)>,
+    Vec<Effect>,
+);
+
+fn rule_parts() -> impl Strategy<Value = RuleParts> {
+    (
+        -2i32..3,
+        prop::collection::vec(small_pattern(), 0..3),
+        prop::option::of((small_var(), op_strategy(), small_term())),
+        prop::collection::vec(small_effect(), 1..3),
+    )
+}
+
+fn build_rules(parts: Vec<RuleParts>) -> Vec<Rule> {
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (salience, patterns, guard, effects))| {
+            let mut rule = Rule::new(format!("r{i}")).salience(salience);
+            for p in patterns {
+                rule = rule.when(p);
+            }
+            if let Some((var, op, term)) = guard {
+                rule = rule.guard(Guard::new(
+                    Operand::Var(var.into()),
+                    op,
+                    Operand::Const(term),
+                ));
+            }
+            for e in effects {
+                rule = rule.then(e);
+            }
+            rule
+        })
+        .collect()
+}
+
 proptest! {
+    /// The incremental engine is observably equivalent to the retained
+    /// naive reference matcher over random rule sets and fact streams
+    /// (delivered in chunks with a run after each): same findings in the
+    /// same order, same fired/asserted/retracted/cycle counts, same
+    /// truncation — and never more match attempts.
+    #[test]
+    fn incremental_engine_matches_naive_reference(
+        parts in prop::collection::vec(rule_parts(), 1..4),
+        chunks in prop::collection::vec(prop::collection::vec(small_fact(), 0..6), 1..3),
+    ) {
+        let kb = KnowledgeBase::from_rules(build_rules(parts));
+        let mut naive = NaiveEngine::new(kb.clone()).with_max_cycles(40);
+        let mut incremental = Engine::new(kb).with_max_cycles(40);
+        let mut naive_attempts = 0u64;
+        let mut incremental_attempts = 0u64;
+        for chunk in chunks {
+            for fact in chunk {
+                naive.insert(fact.clone());
+                incremental.insert(fact);
+            }
+            let reference = naive.run();
+            let candidate = incremental.run();
+            prop_assert_eq!(&reference.findings, &candidate.findings);
+            prop_assert_eq!(reference.stats.fired, candidate.stats.fired);
+            prop_assert_eq!(reference.stats.asserted, candidate.stats.asserted);
+            prop_assert_eq!(reference.stats.retracted, candidate.stats.retracted);
+            prop_assert_eq!(reference.stats.cycles, candidate.stats.cycles);
+            prop_assert_eq!(reference.truncated, candidate.truncated);
+            naive_attempts += reference.stats.match_attempts;
+            incremental_attempts += candidate.stats.match_attempts;
+        }
+        prop_assert!(
+            incremental_attempts <= naive_attempts,
+            "incremental did more match work than naive: {} > {}",
+            incremental_attempts,
+            naive_attempts,
+        );
+    }
+
+    /// Equivalence also holds through knowledge-base edits mid-stream:
+    /// learning a rule between runs preserves behaviour parity.
+    #[test]
+    fn equivalence_survives_learning(
+        parts in prop::collection::vec(rule_parts(), 1..3),
+        learned in rule_parts(),
+        facts in prop::collection::vec(small_fact(), 1..8),
+        more in prop::collection::vec(small_fact(), 0..5),
+    ) {
+        let kb = KnowledgeBase::from_rules(build_rules(parts));
+        let mut naive = NaiveEngine::new(kb.clone()).with_max_cycles(40);
+        let mut incremental = Engine::new(kb).with_max_cycles(40);
+        for fact in facts {
+            naive.insert(fact.clone());
+            incremental.insert(fact);
+        }
+        let a = naive.run();
+        let b = incremental.run();
+        prop_assert_eq!(&a.findings, &b.findings);
+
+        let rule = build_rules(vec![learned]).remove(0);
+        naive.knowledge_mut().learn(rule.clone());
+        incremental.knowledge_mut().learn(rule);
+        for fact in more {
+            naive.insert(fact.clone());
+            incremental.insert(fact);
+        }
+        let a = naive.run();
+        let b = incremental.run();
+        prop_assert_eq!(&a.findings, &b.findings);
+        prop_assert_eq!(a.stats.fired, b.stats.fired);
+        prop_assert_eq!(a.truncated, b.truncated);
+    }
+
     /// Guards never panic, for any operand/operator combination, and
     /// `Eq`/`Ne` are complementary on resolvable operands.
     #[test]

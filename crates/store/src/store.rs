@@ -18,12 +18,75 @@ pub struct SeriesStats {
     pub last: f64,
 }
 
+/// Rolling aggregates of one series, kept in step with its points.
+///
+/// Accumulation happens in ascending-timestamp order in both the rolling
+/// (append) path and the recompute path, so `sum`/`min`/`max` are
+/// bit-for-bit identical to a fresh forward scan of the points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SeriesAgg {
+    count: usize,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl SeriesAgg {
+    fn empty() -> Self {
+        SeriesAgg {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Folds in one value appended after every existing point.
+    fn append(&mut self, value: f64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+    }
+
+    /// Recomputes from scratch — the fallback for out-of-order inserts,
+    /// same-timestamp replacements and pruning, where rolling updates
+    /// can't be done exactly (min/max/sum are not invertible).
+    fn rescan(points: &BTreeMap<u64, f64>) -> Self {
+        let mut agg = SeriesAgg::empty();
+        for v in points.values() {
+            agg.append(*v);
+        }
+        agg
+    }
+}
+
+/// One `(device, metric)` series: its points plus rolling aggregates.
+#[derive(Debug, Clone)]
+struct Series {
+    /// timestamp → value.
+    points: BTreeMap<u64, f64>,
+    agg: SeriesAgg,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            points: BTreeMap::new(),
+            agg: SeriesAgg::empty(),
+        }
+    }
+}
+
 /// The classifier grid's indexed time-series store.
 ///
 /// Inserting a [`Record`] files it under its `(device, metric)` series,
 /// updates the per-device / per-metric / per-partition indexes, and tags
 /// it with the partition assigned by the [`Classifier`]. Everything is
 /// retrievable without scanning: the paper's "easy-to-retrieve form".
+/// Whole-series [`stats`](ManagementStore::stats) and
+/// [`latest`](ManagementStore::latest) are O(log n) lookups against
+/// rolling per-series aggregates; sub-range queries fall back to a scan.
 ///
 /// # Examples
 ///
@@ -41,8 +104,8 @@ pub struct SeriesStats {
 #[derive(Debug, Clone)]
 pub struct ManagementStore {
     classifier: Classifier,
-    /// (device, metric) → timestamp → value.
-    series: BTreeMap<(String, String), BTreeMap<u64, f64>>,
+    /// (device, metric) → series points + rolling aggregates.
+    series: BTreeMap<(String, String), Series>,
     /// device → metrics observed on it.
     device_index: BTreeMap<String, BTreeSet<String>>,
     /// partition → (device, metric) keys in it.
@@ -75,9 +138,24 @@ impl ManagementStore {
     pub fn insert(&mut self, record: Record) {
         let partition = self.classifier.classify(&record).to_owned();
         let key = (record.device.clone(), record.metric.clone());
-        let points = self.series.entry(key.clone()).or_default();
-        if points.insert(record.timestamp_ms, record.value).is_none() {
+        let series = self.series.entry(key.clone()).or_insert_with(Series::new);
+        let appended = series
+            .points
+            .last_key_value()
+            .is_none_or(|(t, _)| record.timestamp_ms > *t);
+        if series
+            .points
+            .insert(record.timestamp_ms, record.value)
+            .is_none()
+        {
             self.len += 1;
+        }
+        if appended {
+            series.agg.append(record.value);
+        } else {
+            // Out-of-order insert or same-timestamp replacement: rebuild
+            // so the accumulation order stays a forward scan.
+            series.agg = SeriesAgg::rescan(&series.points);
         }
         self.device_index
             .entry(record.device.clone())
@@ -165,20 +243,24 @@ impl ManagementStore {
         self.series
             .get(&(device.to_owned(), metric.to_owned()))
             .into_iter()
-            .flat_map(move |points| points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)))
+            .flat_map(move |series| series.points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)))
     }
 
-    /// Latest point of a series, if any.
+    /// Latest point of a series, if any. O(log n).
     pub fn latest(&self, device: &str, metric: &str) -> Option<(u64, f64)> {
         self.series
             .get(&(device.to_owned(), metric.to_owned()))?
-            .iter()
-            .next_back()
+            .points
+            .last_key_value()
             .map(|(t, v)| (*t, *v))
     }
 
     /// Aggregate statistics over `[from_ms, to_ms)`; `None` when the
     /// range holds no points.
+    ///
+    /// When the window covers the whole series — the common "consolidate
+    /// everything we have" case — this is an O(log n) lookup against the
+    /// rolling aggregates; sub-ranges fall back to the scan.
     pub fn stats(
         &self,
         device: &str,
@@ -186,9 +268,22 @@ impl ManagementStore {
         from_ms: u64,
         to_ms: u64,
     ) -> Option<SeriesStats> {
+        let series = self.series.get(&(device.to_owned(), metric.to_owned()))?;
+        let (first_ts, _) = series.points.first_key_value()?;
+        let (last_ts, last) = series.points.last_key_value()?;
+        if from_ms <= *first_ts && to_ms > *last_ts {
+            let agg = &series.agg;
+            return Some(SeriesStats {
+                count: agg.count,
+                min: agg.min,
+                max: agg.max,
+                mean: agg.sum / agg.count as f64,
+                last: *last,
+            });
+        }
         let mut count = 0usize;
         let (mut min, mut max, mut sum, mut last) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
-        for (_, v) in self.range(device, metric, from_ms, to_ms) {
+        for (_, v) in series.points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)) {
             count += 1;
             min = min.min(v);
             max = max.max(v);
@@ -211,6 +306,10 @@ impl ManagementStore {
     /// units **per minute** — the level-2 trend estimate behind "disk is
     /// filling" style rules. `None` with fewer than two points or zero
     /// time spread.
+    ///
+    /// Streams over the range twice (means, then residuals) instead of
+    /// materialising it; the arithmetic — and therefore the exact float
+    /// result — is unchanged from the collecting version.
     pub fn trend_per_min(
         &self,
         device: &str,
@@ -218,22 +317,29 @@ impl ManagementStore {
         from_ms: u64,
         to_ms: u64,
     ) -> Option<f64> {
-        let points: Vec<(u64, f64)> = self.range(device, metric, from_ms, to_ms).collect();
-        if points.len() < 2 {
+        let mut count = 0usize;
+        let mut t0 = 0u64;
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        for (t, y) in self.range(device, metric, from_ms, to_ms) {
+            if count == 0 {
+                t0 = t;
+            }
+            count += 1;
+            // Work in minutes relative to the first point for conditioning.
+            sum_x += (t - t0) as f64 / 60_000.0;
+            sum_y += y;
+        }
+        if count < 2 {
             return None;
         }
-        let n = points.len() as f64;
-        let t0 = points[0].0;
-        // Work in minutes relative to the first point for conditioning.
-        let xs = points
-            .iter()
-            .map(|(t, _)| (t - t0) as f64 / 60_000.0)
-            .collect::<Vec<_>>();
-        let mean_x = xs.iter().sum::<f64>() / n;
-        let mean_y = points.iter().map(|(_, v)| v).sum::<f64>() / n;
+        let n = count as f64;
+        let mean_x = sum_x / n;
+        let mean_y = sum_y / n;
         let mut num = 0.0;
         let mut den = 0.0;
-        for (x, (_, y)) in xs.iter().zip(&points) {
+        for (t, y) in self.range(device, metric, from_ms, to_ms) {
+            let x = (t - t0) as f64 / 60_000.0;
             num += (x - mean_x) * (y - mean_y);
             den += (x - mean_x) * (x - mean_x);
         }
@@ -248,10 +354,14 @@ impl ManagementStore {
     /// devices still exist; only their history aged out).
     pub fn prune_before(&mut self, horizon_ms: u64) -> usize {
         let mut removed = 0;
-        for points in self.series.values_mut() {
-            let keep = points.split_off(&horizon_ms);
-            removed += points.len();
-            *points = keep;
+        for series in self.series.values_mut() {
+            let keep = series.points.split_off(&horizon_ms);
+            let dropped = series.points.len();
+            series.points = keep;
+            if dropped > 0 {
+                removed += dropped;
+                series.agg = SeriesAgg::rescan(&series.points);
+            }
         }
         self.len -= removed;
         removed
@@ -383,6 +493,48 @@ mod tests {
         let late = store.trend_per_min("d", "m", 5 * 60_000, u64::MAX).unwrap();
         assert!(early > 0.9);
         assert!(late.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_aggregates_survive_out_of_order_and_replacement() {
+        let mut store = ManagementStore::default();
+        store.insert(Record::new("d", "m", 10.0, 60_000));
+        store.insert(Record::new("d", "m", 30.0, 120_000));
+        // Out-of-order insert.
+        store.insert(Record::new("d", "m", 20.0, 0));
+        let s = store.stats("d", "m", 0, u64::MAX).unwrap();
+        assert_eq!(
+            (s.count, s.min, s.max, s.mean, s.last),
+            (3, 10.0, 30.0, 20.0, 30.0)
+        );
+        // Replacement at an existing timestamp (including the old max).
+        store.insert(Record::new("d", "m", 5.0, 120_000));
+        let s = store.stats("d", "m", 0, u64::MAX).unwrap();
+        assert_eq!((s.count, s.min, s.max, s.last), (3, 5.0, 20.0, 5.0));
+    }
+
+    #[test]
+    fn rolling_aggregates_survive_prune() {
+        let mut store = ManagementStore::default();
+        for i in 0..10u64 {
+            store.insert(Record::new("d", "m", i as f64, i * 1_000));
+        }
+        store.prune_before(5_000);
+        let s = store.stats("d", "m", 0, u64::MAX).unwrap();
+        assert_eq!(
+            (s.count, s.min, s.max, s.mean, s.last),
+            (5, 5.0, 9.0, 7.0, 9.0)
+        );
+        store.prune_before(u64::MAX);
+        assert!(store.stats("d", "m", 0, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn subrange_stats_fall_back_to_the_scan() {
+        let store = sample_store();
+        // [0, 60_000) excludes the last point → not the whole series.
+        let s = store.stats("r1", "cpu.load.1", 0, 60_000).unwrap();
+        assert_eq!((s.count, s.min, s.max, s.last), (1, 40.0, 40.0, 40.0));
     }
 
     #[test]

@@ -105,6 +105,54 @@ proptest! {
         }
     }
 
+    /// Rolling per-series aggregates stay equal to a fresh scan of the
+    /// retained points after any interleaving of inserts (in- and
+    /// out-of-order, including same-timestamp replacements) and prunes.
+    #[test]
+    fn rolling_aggregates_match_fresh_scan(
+        batches in prop::collection::vec(
+            (prop::collection::vec(record_strategy(), 0..20), prop::option::of(0u64..120_000)),
+            1..4,
+        ),
+    ) {
+        let mut store = ManagementStore::default();
+        for (records, prune_horizon) in batches {
+            store.insert_all(records);
+            if let Some(horizon) = prune_horizon {
+                store.prune_before(horizon);
+            }
+            for device in store.devices().map(str::to_owned).collect::<Vec<_>>() {
+                for metric in store.metrics_of(&device).map(str::to_owned).collect::<Vec<_>>() {
+                    // Reference: the original full forward scan, folded in
+                    // the same order the rolling aggregate accumulates.
+                    let points: Vec<(u64, f64)> = store.range(&device, &metric, 0, u64::MAX).collect();
+                    let stats = store.stats(&device, &metric, 0, u64::MAX);
+                    if points.is_empty() {
+                        prop_assert!(stats.is_none());
+                        prop_assert!(store.latest(&device, &metric).is_none());
+                        continue;
+                    }
+                    let stats = stats.expect("non-empty series has stats");
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    let mut sum = 0.0;
+                    for (_, v) in &points {
+                        min = min.min(*v);
+                        max = max.max(*v);
+                        sum += *v;
+                    }
+                    prop_assert_eq!(stats.count, points.len());
+                    prop_assert_eq!(stats.min, min);
+                    prop_assert_eq!(stats.max, max);
+                    prop_assert_eq!(stats.mean, sum / points.len() as f64);
+                    let last = *points.last().unwrap();
+                    prop_assert_eq!(stats.last, last.1);
+                    prop_assert_eq!(store.latest(&device, &metric), Some(last));
+                }
+            }
+        }
+    }
+
     /// Replication invariant: after any sequence of writes, failures and
     /// recoveries (with at least one live replica at all times), all live
     /// replicas are consistent.
