@@ -32,17 +32,26 @@
 //! stats hot loop, and writes median wall-times in nanoseconds, match
 //! counts and speedups to `<path>` as JSON. With no explicit experiment
 //! list, `--bench-json` runs only the benchmark.
+//!
+//! `--runtime {deterministic,threaded,pool}` selects the execution model
+//! for the live-grid experiments (fig2, lb, chaos, overload):
+//! `deterministic` (default) is the in-order stepper, `threaded` runs one
+//! OS thread per container, `pool` ticks collector containers on a
+//! work-stealing thread pool. All three produce byte-identical reports
+//! on these seeded scenarios — CI diffs `--runtime pool` output against
+//! the default to prove it. (`mobility` always uses the deterministic
+//! stepper: migration is a stepper-only API.)
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
 };
 use agentgrid::broker::Broker;
 use agentgrid::chaos::ChaosPlan;
-use agentgrid::grid::{ManagementGrid, DEFAULT_RULES};
+use agentgrid::grid::{GridBuilder, GridReport, ManagementGrid, DEFAULT_RULES};
 use agentgrid::mobility::Rebalancer;
 use agentgrid::ontology::{AnalysisTask, ResourceProfile};
 use agentgrid::overload::{
-    AdmissionConfig, BreakerConfig, MessageClass, OverflowPolicy, OverloadConfig,
+    AdmissionConfig, BreakerConfig, MessageClass, OverflowPolicy, OverloadConfig, OverloadStats,
 };
 use agentgrid::recovery::RecoveryConfig;
 use agentgrid::workflow;
@@ -57,12 +66,56 @@ use agentgrid_platform::{Telemetry, TelemetryHandle};
 use agentgrid_rules::{parse_rules, Engine, KnowledgeBase, NaiveEngine};
 use agentgrid_store::ManagementStore;
 
+/// Execution model for the live-grid experiments; all three produce
+/// byte-identical reports on the seeded scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuntimeChoice {
+    /// In-order deterministic stepper (the default).
+    Deterministic,
+    /// One OS thread per container.
+    Threaded,
+    /// Work-stealing pool over collector containers.
+    Pool,
+}
+
+/// Builds the configured grid on the chosen runtime, runs it, and
+/// returns the report plus overload stats (when bounded mailboxes were
+/// configured). One generic body keeps the wiring identical per model.
+fn run_grid(
+    builder: GridBuilder,
+    runtime: RuntimeChoice,
+    duration_ms: u64,
+    tick_ms: u64,
+) -> (GridReport, Option<OverloadStats>) {
+    match runtime {
+        RuntimeChoice::Deterministic => {
+            let mut grid = builder.build();
+            let report = grid.run(duration_ms, tick_ms);
+            let stats = grid.overload_stats();
+            (report, stats)
+        }
+        RuntimeChoice::Threaded => {
+            let mut grid = builder.build_threaded();
+            let report = grid.run(duration_ms, tick_ms);
+            let stats = grid.overload_stats();
+            (report, stats)
+        }
+        RuntimeChoice::Pool => {
+            let mut grid = builder.build_pool();
+            let report = grid.run(duration_ms, tick_ms);
+            let stats = grid.overload_stats();
+            (report, stats)
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_metrics_flag(&mut args);
     let chaos_seed = take_chaos_flag(&mut args);
     let overload_seed = take_overload_flag(&mut args);
     let bench_json = take_bench_json_flag(&mut args);
+    let runtime = take_runtime_flag(&mut args);
     let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         if args.is_empty()
@@ -102,17 +155,17 @@ fn main() {
         match experiment {
             "table1" => table1(),
             "fig1" => fig1(),
-            "fig2" => fig2(telemetry.as_ref()),
+            "fig2" => fig2(telemetry.as_ref(), runtime),
             "fig3" => fig3(),
             "fig4" => fig4(),
             "fig5" => fig5(),
             "fig6" => fig6(),
             "crossover" => crossover(),
-            "lb" => lb_ablation(telemetry.as_ref()),
+            "lb" => lb_ablation(telemetry.as_ref(), runtime),
             "scaling" => scaling(),
             "mobility" => mobility(telemetry.as_ref()),
-            "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref()),
-            "overload" => overload(overload_seed.unwrap_or(7), telemetry.as_ref()),
+            "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref(), runtime),
+            "overload" => overload(overload_seed.unwrap_or(7), telemetry.as_ref(), runtime),
             "bench" => bench_inference(bench_json.as_deref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
@@ -191,6 +244,35 @@ fn take_overload_flag(args: &mut Vec<String>) -> Option<u64> {
     None
 }
 
+/// Removes `--runtime <name>` (or `--runtime=<name>`) from `args` and
+/// returns the chosen execution model; defaults to the deterministic
+/// stepper.
+fn take_runtime_flag(args: &mut Vec<String>) -> RuntimeChoice {
+    let parse = |raw: &str| match raw {
+        "deterministic" => RuntimeChoice::Deterministic,
+        "threaded" => RuntimeChoice::Threaded,
+        "pool" => RuntimeChoice::Pool,
+        other => {
+            eprintln!("--runtime must be deterministic, threaded or pool, got `{other}`");
+            std::process::exit(2);
+        }
+    };
+    if let Some(i) = args.iter().position(|a| a == "--runtime") {
+        if i + 1 >= args.len() {
+            eprintln!("--runtime needs an argument (deterministic, threaded or pool)");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return parse(&raw);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--runtime=")) {
+        let raw = args.remove(i)["--runtime=".len()..].to_owned();
+        return parse(&raw);
+    }
+    RuntimeChoice::Deterministic
+}
+
 /// Removes `--bench-json <path>` (or `--bench-json=<path>`) from `args`
 /// and returns the path, if present.
 fn take_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
@@ -258,7 +340,7 @@ fn fig1() {
 }
 
 /// Figure 2: the full agent-grid architecture, live, over two sites.
-fn fig2(telemetry: Option<&TelemetryHandle>) {
+fn fig2(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
     banner("Figure 2 — agent-grid architecture, live run over two sites");
     let mut builder = ManagementGrid::builder()
         .network(standard_network(2, 4, 11))
@@ -278,8 +360,7 @@ fn fig2(telemetry: Option<&TelemetryHandle>) {
     if let Some(t) = telemetry {
         builder = builder.telemetry(t.clone());
     }
-    let mut grid = builder.build();
-    let report = grid.run(10 * 60_000, 60_000);
+    let (report, _) = run_grid(builder, runtime, 10 * 60_000, 60_000);
     print!("{}", report.render());
 }
 
@@ -386,11 +467,12 @@ fn crossover() {
 }
 
 /// Extension: load-balancing policy ablation on the live grid.
-fn lb_ablation(telemetry: Option<&TelemetryHandle>) {
+fn lb_ablation(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
     banner("Extension — load-balancing policy ablation (live grid)");
     fn run_with(
         policy: impl LoadBalancer + 'static,
         telemetry: Option<&TelemetryHandle>,
+        runtime: RuntimeChoice,
     ) -> (String, String) {
         let name = policy.name().to_owned();
         let mut builder = ManagementGrid::builder()
@@ -402,8 +484,7 @@ fn lb_ablation(telemetry: Option<&TelemetryHandle>) {
         if let Some(t) = telemetry {
             builder = builder.telemetry(t.clone());
         }
-        let mut grid = builder.build();
-        let report = grid.run(10 * 60_000, 60_000);
+        let (report, _) = run_grid(builder, runtime, 10 * 60_000, 60_000);
         let per = report.tasks_per_container();
         let fast = per.get("pg-fast").copied().unwrap_or(0);
         let slow = per.get("pg-slow").copied().unwrap_or(0);
@@ -416,11 +497,11 @@ fn lb_ablation(telemetry: Option<&TelemetryHandle>) {
         )
     }
     for (name, line) in [
-        run_with(KnowledgeCapacityIdle, telemetry),
-        run_with(ContractNet, telemetry),
-        run_with(LeastLoaded, telemetry),
-        run_with(RoundRobin::default(), telemetry),
-        run_with(Random::new(42), telemetry),
+        run_with(KnowledgeCapacityIdle, telemetry, runtime),
+        run_with(ContractNet, telemetry, runtime),
+        run_with(LeastLoaded, telemetry, runtime),
+        run_with(RoundRobin::default(), telemetry, runtime),
+        run_with(Random::new(42), telemetry, runtime),
     ] {
         println!("{name:<24} {line}");
     }
@@ -499,7 +580,7 @@ fn mobility(telemetry: Option<&TelemetryHandle>) {
 /// crash-detect-re-broker sequence is reproducible. Exits nonzero if
 /// any task is permanently lost or the replay diverges, so CI can use
 /// it as a smoke check.
-fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>) {
+fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
     banner(&format!(
         "Chaos — seeded failures vs the recovery layer (seed {seed})"
     ));
@@ -521,8 +602,7 @@ fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>) {
         if let Some(t) = telemetry {
             builder = builder.telemetry(t.clone());
         }
-        let mut grid = builder.build();
-        grid.run(horizon, 60_000)
+        run_grid(builder, runtime, horizon, 60_000).0
     };
     let first = run_once(telemetry);
     let second = run_once(None);
@@ -653,7 +733,7 @@ fn bench_inference(json_path: Option<&str>) {
 /// alert-class message was lost, the mailbox high-water stayed within
 /// the cap, and the replay is bit-identical — so CI can use it as a
 /// smoke check.
-fn overload(seed: u64, telemetry: Option<&TelemetryHandle>) {
+fn overload(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
     banner(&format!(
         "Overload — burst traffic vs bounded mailboxes (seed {seed})"
     ));
@@ -688,10 +768,8 @@ fn overload(seed: u64, telemetry: Option<&TelemetryHandle>) {
         if let Some(t) = telemetry {
             builder = builder.telemetry(t.clone());
         }
-        let mut grid = builder.build();
-        let report = grid.run(horizon, 60_000);
-        let stats = grid.overload_stats().expect("bounded mailboxes configured");
-        (report, stats)
+        let (report, stats) = run_grid(builder, runtime, horizon, 60_000);
+        (report, stats.expect("bounded mailboxes configured"))
     };
     let (first, stats) = run_once(telemetry);
     let (second, second_stats) = run_once(None);

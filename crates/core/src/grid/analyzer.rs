@@ -414,6 +414,7 @@ mod tests {
             .build()
             .unwrap();
         analyzer.on_message(&request, &mut ctx);
+        drop(ctx);
         // One alert to the interface + one done reply to the root.
         assert_eq!(outbox.len(), 2);
         let alert = Alert::from_content(outbox[0].content()).unwrap();

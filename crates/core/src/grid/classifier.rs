@@ -204,6 +204,7 @@ mod tests {
             .build()
             .unwrap();
         agent.on_message(&bad, &mut ctx);
+        drop(ctx);
         assert_eq!(agent.rejects, 1);
         assert!(store.lock().is_empty());
         assert!(outbox.is_empty());

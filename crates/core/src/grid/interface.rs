@@ -191,6 +191,7 @@ mod tests {
             .unwrap();
         let mut ctx = AgentCtx::new(&id, "ig", 0, &mut outbox, &mut df);
         agent.on_message(&feedback, &mut ctx);
+        drop(ctx);
         assert_eq!(outbox.len(), 2);
         assert_eq!(agent.rules_distributed, 2);
         assert!(outbox
@@ -247,6 +248,7 @@ mod tests {
             .unwrap();
         let mut ctx = AgentCtx::new(&id, "ig", 0, &mut outbox, &mut df);
         agent.on_message(&junk, &mut ctx);
+        drop(ctx);
         assert!(sink.lock().is_empty());
         assert!(outbox.is_empty());
     }

@@ -711,6 +711,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1", "pg-2"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 10), ("disk", 5)]), &mut ctx);
+        drop(ctx);
         let stats = stats.lock();
         assert_eq!(stats.assignments.len(), 2);
         assert_eq!(outbox.len(), 2);
@@ -763,6 +764,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("memory", 1)]), &mut ctx);
+        drop(ctx);
         assert_eq!(stats.lock().unassigned, 1);
         assert!(outbox.is_empty());
     }
@@ -776,6 +778,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
         assert_eq!(root.pending.len(), 1);
         let done = AclMessage::builder(Performative::Inform)
             .sender(AgentId::new("analyzer-pg-1@g"))
@@ -805,6 +808,7 @@ mod tests {
         df.update_load("pg-2", 0.99);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
         assert_eq!(stats.lock().assignments, [("t1".into(), "pg-1".into())]);
 
         // pg-1 silently stops heartbeating; pg-2 stays alive.
@@ -813,6 +817,7 @@ mod tests {
         df.record_heartbeat("pg-2", dead_at);
         let mut ctx = AgentCtx::new(&id, "root-ct", dead_at, &mut outbox, &mut df);
         root.on_tick(&mut ctx);
+        drop(ctx);
 
         // The dead container left the directory, its task moved to the
         // survivor exactly once, and one death alert escalated.
@@ -856,6 +861,7 @@ mod tests {
         let mut df = df_with_containers(&["pg-1"]);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
         assert_eq!(outbox.len(), 1);
 
         // Ticks 100 ms apart: every deadline (≤ 50 ms with jitter) has
@@ -870,6 +876,7 @@ mod tests {
         df.record_heartbeat("pg-1", 300);
         let mut ctx = AgentCtx::new(&id, "root-ct", 300, &mut outbox, &mut df);
         root.on_tick(&mut ctx);
+        drop(ctx);
 
         let stats = stats.lock();
         assert_eq!(stats.retries, 2, "retry budget is bounded");
@@ -895,11 +902,13 @@ mod tests {
         let mut df = DirectoryFacilitator::new();
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
         // Nowhere to run the task: parked, not dropped, not unassigned.
         assert_eq!(stats.lock().unassigned, 0);
         assert!(stats.lock().assignments.is_empty());
         let mut ctx = AgentCtx::new(&id, "root-ct", 60_000, &mut outbox, &mut df);
         root.on_tick(&mut ctx);
+        drop(ctx);
         assert!(stats.lock().assignments.is_empty(), "still no capacity");
 
         // A capable container joins: the parked task is awarded.
@@ -923,6 +932,7 @@ mod tests {
         df.update_load("pg-2", 0.99);
         let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
         root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
         assert_eq!(stats.lock().assignments[0].1, "pg-1");
         // pg-1 dies before reporting done.
         df.deregister_container("pg-1");

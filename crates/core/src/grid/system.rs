@@ -6,7 +6,9 @@ use std::sync::Arc;
 use agentgrid_acl::ontology::{Alert, ResourceProfile};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_net::{FaultInjector, Network, ScheduledFault};
-use agentgrid_platform::{Platform, Runtime, TelemetryHandle, ThreadedRuntime, TransportFault};
+use agentgrid_platform::{
+    Platform, PoolRuntime, Runtime, TelemetryHandle, ThreadedRuntime, TransportFault,
+};
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
 use agentgrid_telemetry::measured_load;
@@ -195,6 +197,19 @@ impl GridBuilder {
         self.build_on::<ThreadedRuntime>()
     }
 
+    /// Builds and wires the grid on the work-stealing pool runtime:
+    /// collector containers (the wide, independent tier) tick on a
+    /// stolen-batch thread pool while the narrow pipeline stages stay
+    /// sequential. Reports are byte-identical to [`build`](Self::build)
+    /// — the pool trades wall-clock time, never determinism.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_pool(self) -> ManagementGrid<PoolRuntime> {
+        self.build_on::<PoolRuntime>()
+    }
+
     /// Builds and wires the grid on any [`Runtime`]. The wiring — and
     /// all agent code — is identical across runtimes; only the execution
     /// model differs.
@@ -321,6 +336,10 @@ impl GridBuilder {
                 telemetry.set_stage(&container, "collector");
             }
             platform.add_container(&container);
+            // Collector containers only poll devices and forward
+            // samples — no cross-container state — so they are safe to
+            // tick concurrently on the pool runtime. A no-op elsewhere.
+            platform.hint_parallel(&container);
             for c in 0..self.collectors_per_site {
                 let assigned: Vec<String> = devices
                     .iter()
@@ -565,7 +584,8 @@ impl ManagementGrid {
     /// Starts building a grid with defaults: 60 s polls, one collector
     /// per site, [`KnowledgeCapacityIdle`] balancing, [`DEFAULT_RULES`].
     /// Finish with [`GridBuilder::build`] (deterministic),
-    /// [`GridBuilder::build_threaded`] or [`GridBuilder::build_on`].
+    /// [`GridBuilder::build_threaded`], [`GridBuilder::build_pool`] or
+    /// [`GridBuilder::build_on`].
     pub fn builder() -> GridBuilder {
         GridBuilder {
             network: Network::new(),

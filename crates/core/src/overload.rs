@@ -33,7 +33,9 @@ use std::collections::BTreeMap;
 
 use crate::recovery::{jitter_key, BackoffPolicy};
 
-pub use agentgrid_platform::{MailboxConfig, MessageClass, OverflowPolicy, PressureSignal};
+pub use agentgrid_platform::{
+    MailboxConfig, MessageClass, OverflowPolicy, OverloadStats, PressureSignal,
+};
 
 /// Admission-control knobs for the grid root (token bucket + aggregate
 /// load gate).

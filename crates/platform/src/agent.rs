@@ -1,4 +1,5 @@
 use agentgrid_acl::{AclMessage, AgentId, SharedMessage};
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::DirectoryFacilitator;
 
@@ -14,6 +15,34 @@ pub enum AgentState {
     Dead,
 }
 
+/// How a context reaches the directory facilitator.
+///
+/// The deterministic stepper hands out a plain `&mut`; parallel runtimes
+/// hand out a lock that is taken **lazily** on the first
+/// [`AgentCtx::df`] call, so agents that never consult the directory
+/// (the common case for collectors and sinks) run without touching the
+/// shared lock at all. A lazily taken guard is held until the callback
+/// returns.
+enum DfAccess<'a> {
+    Direct(&'a mut DirectoryFacilitator),
+    Shared {
+        lock: &'a Mutex<DirectoryFacilitator>,
+        guard: Option<MutexGuard<'a, DirectoryFacilitator>>,
+    },
+}
+
+impl std::fmt::Debug for DfAccess<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfAccess::Direct(_) => f.write_str("DfAccess::Direct"),
+            DfAccess::Shared { guard, .. } => f
+                .debug_struct("DfAccess::Shared")
+                .field("locked", &guard.is_some())
+                .finish(),
+        }
+    }
+}
+
 /// Execution context handed to an agent during its callbacks.
 ///
 /// This is the agent's only window to the outside: sending messages,
@@ -25,7 +54,7 @@ pub struct AgentCtx<'a> {
     container: &'a str,
     now_ms: u64,
     outbox: &'a mut Vec<SharedMessage>,
-    df: &'a mut DirectoryFacilitator,
+    df: DfAccess<'a>,
 }
 
 impl<'a> AgentCtx<'a> {
@@ -44,7 +73,29 @@ impl<'a> AgentCtx<'a> {
             container,
             now_ms,
             outbox,
-            df,
+            df: DfAccess::Direct(df),
+        }
+    }
+
+    /// Builds a context whose directory access goes through a shared
+    /// lock, taken lazily on the first [`df`](Self::df) call. Used by
+    /// runtimes that execute containers concurrently.
+    pub fn new_shared(
+        self_id: &'a AgentId,
+        container: &'a str,
+        now_ms: u64,
+        outbox: &'a mut Vec<SharedMessage>,
+        df: &'a Mutex<DirectoryFacilitator>,
+    ) -> Self {
+        AgentCtx {
+            self_id,
+            container,
+            now_ms,
+            outbox,
+            df: DfAccess::Shared {
+                lock: df,
+                guard: None,
+            },
         }
     }
 
@@ -74,8 +125,15 @@ impl<'a> AgentCtx<'a> {
     }
 
     /// Read/write access to the directory facilitator.
+    ///
+    /// On runtimes that share the directory behind a lock, the first
+    /// call takes the lock and the guard is held for the rest of this
+    /// callback.
     pub fn df(&mut self) -> &mut DirectoryFacilitator {
-        self.df
+        match &mut self.df {
+            DfAccess::Direct(df) => df,
+            DfAccess::Shared { lock, guard } => guard.get_or_insert_with(|| lock.lock()),
+        }
     }
 }
 
@@ -126,6 +184,7 @@ mod tests {
         assert_eq!(ctx.now_ms(), 5);
         assert_eq!(ctx.self_id().name(), "n@c");
         assert_eq!(ctx.container(), "c");
+        drop(ctx);
         assert!(outbox.is_empty());
     }
 
@@ -142,6 +201,7 @@ mod tests {
             .build()
             .unwrap();
         ctx.send(msg);
+        drop(ctx);
         assert_eq!(outbox.len(), 1);
     }
 

@@ -3,9 +3,36 @@ use std::sync::Arc;
 
 use agentgrid_acl::{AgentId, SharedMessage};
 use agentgrid_telemetry::{ContainerScope, Telemetry};
+use parking_lot::Mutex;
 
 use crate::agent::{Agent, AgentState};
 use crate::DirectoryFacilitator;
+
+/// Directory access handed to [`Container::tick_agents`]: either the
+/// stepper's exclusive borrow, or a shared lock that each callback takes
+/// lazily (see [`crate::AgentCtx::new_shared`]).
+pub(crate) enum DfRef<'a> {
+    Direct(&'a mut DirectoryFacilitator),
+    Shared(&'a Mutex<DirectoryFacilitator>),
+}
+
+impl DfRef<'_> {
+    /// Builds an [`crate::AgentCtx`] for one callback over this access.
+    fn ctx<'b>(
+        &'b mut self,
+        id: &'b AgentId,
+        container: &'b str,
+        now_ms: u64,
+        outbox: &'b mut Vec<SharedMessage>,
+    ) -> crate::agent::AgentCtx<'b> {
+        match self {
+            DfRef::Direct(df) => crate::agent::AgentCtx::new(id, container, now_ms, outbox, df),
+            DfRef::Shared(lock) => {
+                crate::agent::AgentCtx::new_shared(id, container, now_ms, outbox, lock)
+            }
+        }
+    }
+}
 
 pub(crate) struct AgentSlot {
     pub(crate) agent: Box<dyn Agent>,
@@ -80,7 +107,7 @@ impl Container {
         container_name: &str,
         now_ms: u64,
         outbox: &mut Vec<SharedMessage>,
-        df: &mut DirectoryFacilitator,
+        df: &mut DfRef<'_>,
         telemetry: Option<&Telemetry>,
     ) {
         let scope = self.scope.as_deref();
@@ -96,8 +123,10 @@ impl Container {
                 };
                 let started = telemetry.map(|_| std::time::Instant::now());
                 let sent_from = outbox.len();
-                let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
-                slot.agent.on_message(&message, &mut ctx);
+                {
+                    let mut ctx = df.ctx(id, container_name, now_ms, outbox);
+                    slot.agent.on_message(&message, &mut ctx);
+                }
                 if let (Some(t), Some(scope)) = (telemetry, scope) {
                     let busy_ns = started
                         .map(|s| s.elapsed().as_nanos() as u64)
@@ -112,8 +141,10 @@ impl Container {
                 }
             }
             let sent_from = outbox.len();
-            let mut ctx = crate::agent::AgentCtx::new(id, container_name, now_ms, outbox, df);
-            slot.agent.on_tick(&mut ctx);
+            {
+                let mut ctx = df.ctx(id, container_name, now_ms, outbox);
+                slot.agent.on_tick(&mut ctx);
+            }
             if let Some(t) = telemetry {
                 // Tick-originated sends start new conversations.
                 for sent in &outbox[sent_from..] {

@@ -67,9 +67,11 @@
 
 mod agent;
 mod container;
+mod delivery;
 mod df;
 pub mod overload;
 mod platform;
+pub mod pool;
 pub mod runtime;
 pub mod threaded;
 
@@ -79,6 +81,7 @@ pub use container::Container;
 pub use df::{DirectoryFacilitator, ServiceEntry};
 pub use overload::{MailboxConfig, MessageClass, OverflowPolicy, OverloadStats, PressureSignal};
 pub use platform::{Platform, PlatformError, TransportFault};
+pub use pool::PoolRuntime;
 pub use runtime::{Runtime, ThreadedRuntime};
 pub use threaded::{RunStats, RunningPlatform, ThreadedPlatform};
 

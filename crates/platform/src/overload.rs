@@ -379,6 +379,37 @@ impl MailboxTracker {
         }
     }
 
+    /// Admits a whole per-container batch in one call — the admission
+    /// point of the batch-first delivery contract. The class-aware
+    /// shedding decision runs over the batch leg by leg, so the result
+    /// is identical to calling [`admit`](Self::admit) once per leg in
+    /// order (per-window budgets and the alert-shed exemption are
+    /// sequential state machines and must stay runtime-independent);
+    /// what changes is the locking shape: callers acquire the tracker
+    /// once per batch instead of once per leg. Returns the legs to
+    /// deliver now in their original order; deferred legs move into the
+    /// waiting queue and shed legs are dropped (and counted).
+    pub(crate) fn admit_batch(
+        &mut self,
+        container: &str,
+        legs: Vec<(SharedMessage, Vec<AgentId>)>,
+    ) -> Vec<(SharedMessage, Vec<AgentId>)> {
+        let mut admitted = Vec::with_capacity(legs.len());
+        for (message, receivers) in legs {
+            let mut keep = Vec::with_capacity(receivers.len());
+            for receiver in receivers {
+                match self.admit(container, &message, &receiver) {
+                    Admission::Deliver => keep.push(receiver),
+                    Admission::Deferred | Admission::Shed => {}
+                }
+            }
+            if !keep.is_empty() {
+                admitted.push((message, keep));
+            }
+        }
+        admitted
+    }
+
     /// Rolls every container into a new clock window: budgets reset and
     /// waiting legs drain (oldest first, consuming fresh budget). The
     /// caller delivers the returned legs. Iteration is in container-name

@@ -6,8 +6,9 @@ use agentgrid_acl::{AgentId, SharedMessage};
 use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::{Agent, AgentState};
-use crate::container::{AgentSlot, Container};
-use crate::overload::{Admission, MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
+use crate::container::{AgentSlot, Container, DfRef};
+use crate::delivery::{batch_legs, group_into_batches, ContainerBatch};
+use crate::overload::{MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
 use crate::DirectoryFacilitator;
 
 /// Errors raised by [`Platform`] management operations.
@@ -67,14 +68,14 @@ pub enum TransportFault {
 #[derive(Debug)]
 pub struct Platform {
     name: String,
-    containers: BTreeMap<String, Container>,
-    df: DirectoryFacilitator,
-    in_flight: Vec<SharedMessage>,
+    pub(crate) containers: BTreeMap<String, Container>,
+    pub(crate) df: DirectoryFacilitator,
+    pub(crate) in_flight: Vec<SharedMessage>,
     dead_letters: Vec<SharedMessage>,
     fault: TransportFault,
-    now_ms: u64,
+    pub(crate) now_ms: u64,
     delivered: u64,
-    telemetry: Option<TelemetryHandle>,
+    pub(crate) telemetry: Option<TelemetryHandle>,
     /// When set, an undeliverable message is requeued once (narrowed to
     /// the failed receiver) for the next clock advance instead of
     /// dead-lettering immediately. Default off: exact dead-letter
@@ -407,10 +408,13 @@ impl Platform {
         Ok(())
     }
 
-    /// Runs one step at simulated time `now_ms`: route queued messages,
-    /// then let every active agent consume its mailbox and tick. Returns
-    /// the number of messages routed this step.
-    pub fn step(&mut self, now_ms: u64) -> usize {
+    /// The routing half of a step: retry parked requeues on a clock
+    /// advance, drain overload deferrals due this window, then drain the
+    /// queue into per-container batches and flush them
+    /// ([`route_batch`](Self::route_batch)). Shared between
+    /// [`step`](Platform::step) and runtimes that replace only the tick
+    /// phase (the pool runtime). Returns the number of messages routed.
+    pub(crate) fn pre_tick(&mut self, now_ms: u64) -> usize {
         let advanced = now_ms > self.now_ms;
         if advanced && !self.requeue_parked.is_empty() {
             // The outage may have healed since the failure: retry parked
@@ -433,18 +437,22 @@ impl Platform {
         }
         let to_route = std::mem::take(&mut self.in_flight);
         let routed = to_route.len();
-        for message in to_route {
-            self.route(message, telemetry.as_deref());
-        }
+        self.route_batch(&to_route, telemetry.as_deref());
+        routed
+    }
+
+    /// Runs one step at simulated time `now_ms`: route queued messages,
+    /// then let every active agent consume its mailbox and tick. Returns
+    /// the number of messages routed this step.
+    pub fn step(&mut self, now_ms: u64) -> usize {
+        let routed = self.pre_tick(now_ms);
+        let telemetry = self.telemetry.clone();
         let mut outbox = Vec::new();
-        for (name, container) in self.containers.iter_mut() {
-            container.tick_agents(
-                name,
-                now_ms,
-                &mut outbox,
-                &mut self.df,
-                telemetry.as_deref(),
-            );
+        {
+            let mut df = DfRef::Direct(&mut self.df);
+            for (name, container) in self.containers.iter_mut() {
+                container.tick_agents(name, now_ms, &mut outbox, &mut df, telemetry.as_deref());
+            }
         }
         self.in_flight.extend(outbox);
         routed
@@ -464,53 +472,60 @@ impl Platform {
         }
     }
 
-    fn route(
+    /// Batch-first routing: the drained queue is grouped into
+    /// per-container batches (transport faults and receiver resolution
+    /// applied once, up front), unresolved legs fail in posted order,
+    /// then each container batch goes through overload admission **once**
+    /// and flushes into mailboxes in container-name order. Fan-out stays
+    /// N `Arc::clone`s of one shared allocation.
+    fn route_batch(
         &mut self,
-        message: SharedMessage,
+        batch: &[SharedMessage],
         telemetry: Option<&agentgrid_telemetry::Telemetry>,
     ) {
-        if let TransportFault::DropFrom(from) = &self.fault {
-            if message.sender() == from {
-                return;
-            }
+        let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
+        let batches = {
+            let containers = &self.containers;
+            group_into_batches(
+                batch,
+                &self.fault,
+                |receiver| resolve_in(containers, receiver),
+                |message, receiver| failed.push((SharedMessage::clone(message), receiver.clone())),
+            )
+        };
+        for (message, receiver) in &failed {
+            self.fail_leg(message, receiver, telemetry);
         }
-        // Fan-out is N `Arc::clone`s of one shared allocation; neither the
-        // message content nor the receiver list is cloned per delivery
-        // (`message` is owned here, so its receivers can be borrowed
-        // while `self` routes).
-        for receiver in message.receivers() {
-            if let TransportFault::DropTo(to) = &self.fault {
-                if receiver == to {
-                    continue;
-                }
-            }
-            match self.resolve(receiver) {
-                Some(container) => {
-                    if let Some(tracker) = &mut self.overload {
-                        match tracker.admit(&container, &message, receiver) {
-                            Admission::Deliver => {}
-                            // Deferred legs are delivered by a later
-                            // `begin_window`; shed legs are gone.
-                            Admission::Deferred | Admission::Shed => continue,
-                        }
-                    }
-                    self.deliver_to(&container, &message, receiver, telemetry);
-                }
-                None => self.fail_leg(&message, receiver, telemetry),
+        for (container, legs) in batches {
+            let legs = match &mut self.overload {
+                Some(tracker) => tracker.admit_batch(&container, legs),
+                None => legs,
+            };
+            self.flush_batch(&container, &legs, telemetry);
+        }
+    }
+
+    /// Delivers one admitted container batch into its mailboxes and
+    /// records the batch size.
+    fn flush_batch(
+        &mut self,
+        container: &str,
+        legs: &ContainerBatch,
+        telemetry: Option<&agentgrid_telemetry::Telemetry>,
+    ) {
+        if let Some(t) = telemetry {
+            t.batch_flushed(batch_legs(legs));
+        }
+        for (message, receivers) in legs {
+            for receiver in receivers {
+                self.deliver_to(container, message, receiver, telemetry);
             }
         }
     }
 
     /// The container currently hosting a live (non-dead) `receiver`.
     fn resolve(&self, receiver: &AgentId) -> Option<String> {
-        self.containers
-            .iter()
-            .find(|(_, c)| {
-                c.agents
-                    .get(receiver)
-                    .is_some_and(|slot| slot.state != AgentState::Dead)
-            })
-            .map(|(name, _)| name.clone())
+        resolve_in(&self.containers, receiver)
     }
 
     /// Delivers one admitted leg, re-resolving the container first (it
@@ -587,6 +602,23 @@ impl Platform {
         }
         self.dead_letters.push(SharedMessage::clone(message));
     }
+}
+
+/// The container currently hosting a live (non-dead) `receiver`. A free
+/// function so batch grouping can resolve against a field borrow while
+/// the failure path mutates other platform state.
+pub(crate) fn resolve_in(
+    containers: &BTreeMap<String, Container>,
+    receiver: &AgentId,
+) -> Option<String> {
+    containers
+        .iter()
+        .find(|(_, c)| {
+            c.agents
+                .get(receiver)
+                .is_some_and(|slot| slot.state != AgentState::Dead)
+        })
+        .map(|(name, _)| name.clone())
 }
 
 #[cfg(test)]

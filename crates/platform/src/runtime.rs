@@ -172,6 +172,15 @@ pub trait Runtime {
     /// Overload counters (shed per class, deferrals, peak backlog);
     /// `None` unless [`set_overload`](Runtime::set_overload) was called.
     fn overload_stats(&self) -> Option<OverloadStats>;
+
+    /// Declares a container's agents independent of the shared
+    /// directory/store cluster, so a runtime with a parallel tick phase
+    /// (the [`pool`](crate::pool) runtime) may execute it on a worker
+    /// thread. Purely a hint: runtimes without such a phase ignore it,
+    /// and it is safe to call before the container exists.
+    fn hint_parallel(&mut self, container: &str) {
+        let _ = container;
+    }
 }
 
 impl Runtime for Platform {

@@ -61,7 +61,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::agent::{Agent, AgentCtx};
-use crate::overload::{Admission, MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
+use crate::delivery::{batch_legs, group_into_batches, ContainerBatch};
+use crate::overload::{MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
 use crate::platform::TransportFault;
 use crate::{DirectoryFacilitator, PlatformError};
 
@@ -79,14 +80,24 @@ pub const DEAD_LETTER_CAP: usize = 4096;
 /// [`RunningPlatform::requeue_overflow`].
 pub const REQUEUE_CAP: usize = 4096;
 
+/// Upper bound on how many inbox messages the router folds into one
+/// routing round. Bounds the latency a flood can add to any single
+/// message while still amortising the routing/overload locks.
+const ROUTER_BATCH_MAX: usize = 256;
+
 enum ContainerMsg {
-    /// Deliver one shared message to exactly these resident agents.
+    /// Deliver one per-container batch: each entry pairs a shared
+    /// message with exactly the resident agents it addresses, in posted
+    /// order.
     ///
     /// The router names the receivers explicitly so a multicast with
     /// several receivers in one container is sent (and processed) once,
     /// and the container never guesses from `message.receivers()` which
-    /// copies are its own.
-    Deliver(SharedMessage, Vec<AgentId>),
+    /// copies are its own. Batching a routing round into one channel
+    /// send per container keeps per-(sender, receiver) FIFO order: the
+    /// batch preserves posted order, and the channel preserves batch
+    /// order.
+    Deliver(ContainerBatch),
     /// Run one `on_tick` round (stepped driving, e.g. simulation loops).
     Tick,
     /// Add an agent to the roster and run its `setup` (late spawn while
@@ -401,76 +412,106 @@ impl ThreadedPlatform {
             }
         }
 
-        // Router thread: moves messages from the shared inbox to the
-        // owning container, dead-lettering (or requeueing) unknown
-        // receivers and applying transport faults.
+        // Router thread: drains the shared inbox in batches, groups each
+        // batch per owning container, and flushes one Deliver per
+        // container per round — dead-lettering (or requeueing) unknown
+        // receivers and applying transport faults along the way.
         let router_shared = Arc::clone(&shared);
         let router = std::thread::spawn(move || {
             // Per-container telemetry scopes, resolved lazily so routing
             // rarely takes the registry lock.
             let mut scopes: BTreeMap<String, Arc<ContainerScope>> = BTreeMap::new();
             // Exits when every sender (containers + the handle) is gone.
-            while let Ok(message) = router_rx.recv() {
+            while let Ok(first) = router_rx.recv() {
+                // Fold whatever else is already queued into this round.
+                let mut batch = vec![first];
+                while batch.len() < ROUTER_BATCH_MAX {
+                    match router_rx.try_recv() {
+                        Some(message) => batch.push(message),
+                        None => break,
+                    }
+                }
                 let now = router_shared.clock_ms.load(Ordering::SeqCst);
                 let fault = router_shared.transport.lock().clone();
-                if matches!(&fault, TransportFault::DropFrom(from) if message.sender() == from) {
-                    router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    continue;
+                // Resolve the whole batch under ONE routes acquisition,
+                // snapshotting the target channels, and deliver after the
+                // lock is dropped — a slow container or a concurrent
+                // spawn/kill never serialises behind a fan-out, and vice
+                // versa. Failed legs are collected (not handled inline)
+                // so the lock scope stays minimal.
+                let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
+                let (mut per_container, txs) = {
+                    let routes = router_shared.routes.lock();
+                    let per_container = group_into_batches(
+                        &batch,
+                        &fault,
+                        |receiver| routes.residents.get(receiver).cloned(),
+                        |message, receiver| {
+                            failed.push((SharedMessage::clone(message), receiver.clone()))
+                        },
+                    );
+                    let txs: BTreeMap<String, Sender<ContainerMsg>> = per_container
+                        .keys()
+                        .filter_map(|c| routes.txs.get(c).map(|tx| (c.clone(), tx.clone())))
+                        .collect();
+                    (per_container, txs)
+                };
+                for (message, receiver) in &failed {
+                    router_shared.fail_delivery(message, receiver, now);
                 }
-                // Group receivers by owning container so each container
-                // gets exactly one Deliver per message, with the precise
-                // list of its residents to hand the message to. Fan-out
-                // is refcount bumps; the message is never deep-cloned.
-                // The routing lock is held across grouping *and* channel
-                // sends, so a concurrent kill or spawn cannot interleave
-                // with this message's fan-out.
-                let mut per_container: BTreeMap<String, Vec<AgentId>> = BTreeMap::new();
-                let routes = router_shared.routes.lock();
-                for receiver in message.receivers() {
-                    if matches!(&fault, TransportFault::DropTo(to) if receiver == to) {
-                        continue;
+                // Overload admission: one lock acquisition per routing
+                // round, class-aware shedding decided batch-at-a-time
+                // (alert exemption preserved — see `admit_batch`).
+                // Deferred legs re-enter at the next clock window
+                // (advance_clock), shed legs are gone.
+                {
+                    let mut overload = router_shared.overload.lock();
+                    if let Some(tracker) = overload.as_mut() {
+                        let admitted: BTreeMap<String, ContainerBatch> = per_container
+                            .into_iter()
+                            .map(|(container, legs)| {
+                                let legs = tracker.admit_batch(&container, legs);
+                                (container, legs)
+                            })
+                            .filter(|(_, legs)| !legs.is_empty())
+                            .collect();
+                        per_container = admitted;
                     }
-                    match routes.residents.get(receiver) {
-                        Some(container) => {
-                            // Overload admission: deferred legs re-enter
-                            // at the next clock window (advance_clock),
-                            // shed legs are gone. Lock order is routes →
-                            // overload here; advance_clock takes overload
-                            // then routes, but never both at once.
-                            let admission = {
-                                let mut overload = router_shared.overload.lock();
-                                match overload.as_mut() {
-                                    Some(tracker) => tracker.admit(container, &message, receiver),
-                                    None => Admission::Deliver,
-                                }
-                            };
-                            if admission != Admission::Deliver {
-                                continue;
+                }
+                for (container, legs) in per_container {
+                    if let Some(t) = &router_shared.telemetry {
+                        let scope = scopes
+                            .entry(container.clone())
+                            .or_insert_with(|| t.container_scope(&container));
+                        for (message, receivers) in &legs {
+                            for receiver in receivers {
+                                t.message_delivered(message, receiver, scope, now);
                             }
-                            if let Some(t) = &router_shared.telemetry {
-                                let scope = scopes
-                                    .entry(container.clone())
-                                    .or_insert_with(|| t.container_scope(container));
-                                t.message_delivered(&message, receiver, scope, now);
-                            }
-                            per_container
-                                .entry(container.clone())
-                                .or_default()
-                                .push(receiver.clone())
                         }
-                        None => router_shared.fail_delivery(&message, receiver, now),
+                        t.batch_flushed(batch_legs(&legs));
+                    }
+                    router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let sent = match txs.get(&container) {
+                        Some(tx) => tx.send(ContainerMsg::Deliver(legs)).map_err(|e| e.0),
+                        None => Err(ContainerMsg::Deliver(legs)),
+                    };
+                    if let Err(ContainerMsg::Deliver(legs)) = sent {
+                        // The container died between resolution (lock
+                        // dropped) and this send: balance the gauge and
+                        // fail every leg, exactly as the container's own
+                        // stop-drain would have.
+                        router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        for (message, receivers) in &legs {
+                            for receiver in receivers {
+                                router_shared.fail_delivery(message, receiver, now);
+                            }
+                        }
                     }
                 }
-                for (container, targets) in per_container {
-                    router_shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    let _ = routes.txs[&container].send(ContainerMsg::Deliver(
-                        SharedMessage::clone(&message),
-                        targets,
-                    ));
-                }
-                drop(routes);
-                // The router finished handling this inbox entry.
-                router_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                // The router finished handling these inbox entries.
+                router_shared
+                    .in_flight
+                    .fetch_sub(batch.len() as i64, Ordering::SeqCst);
             }
         });
 
@@ -498,12 +539,12 @@ fn spawn_container_thread(
             .telemetry
             .as_ref()
             .map(|t| t.container_scope(&container_name));
-        // Setup phase.
+        // Setup phase. Contexts take the shared directory lock lazily:
+        // an agent that never consults it runs lock-free.
         let mut outbox = Vec::new();
         for (id, agent) in agents.iter_mut() {
             let now = shared.clock_ms.load(Ordering::SeqCst);
-            let mut df = shared.df.lock();
-            let mut ctx = AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
+            let mut ctx = AgentCtx::new_shared(id, &container_name, now, &mut outbox, &shared.df);
             agent.setup(&mut ctx);
         }
         record_sends(&shared, scope.as_deref(), &outbox, 0, None);
@@ -511,23 +552,32 @@ fn spawn_container_thread(
 
         loop {
             match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(ContainerMsg::Deliver(message, targets)) => {
+                Ok(ContainerMsg::Deliver(legs)) => {
                     let now = shared.clock_ms.load(Ordering::SeqCst);
-                    for receiver in &targets {
-                        if let Some((id, agent)) = agents.iter_mut().find(|(id, _)| id == receiver)
-                        {
+                    for (message, targets) in &legs {
+                        for receiver in targets {
+                            let Some((id, agent)) =
+                                agents.iter_mut().find(|(id, _)| id == receiver)
+                            else {
+                                continue;
+                            };
                             let span = match (&shared.telemetry, &scope) {
-                                (Some(t), Some(scope)) => t.start_handle(&message, id, scope),
+                                (Some(t), Some(scope)) => t.start_handle(message, id, scope),
                                 _ => None,
                             };
                             let started =
                                 shared.telemetry.as_ref().map(|_| std::time::Instant::now());
                             let sent_from = outbox.len();
-                            let mut df = shared.df.lock();
-                            let mut ctx =
-                                AgentCtx::new(id, &container_name, now, &mut outbox, &mut df);
-                            agent.on_message(&message, &mut ctx);
-                            drop(df);
+                            {
+                                let mut ctx = AgentCtx::new_shared(
+                                    id,
+                                    &container_name,
+                                    now,
+                                    &mut outbox,
+                                    &shared.df,
+                                );
+                                agent.on_message(message, &mut ctx);
+                            }
                             shared.delivered.fetch_add(1, Ordering::SeqCst);
                             if let (Some(t), Some(scope)) = (&shared.telemetry, &scope) {
                                 let busy_ns = started
@@ -556,9 +606,13 @@ fn spawn_container_thread(
                     let now = shared.clock_ms.load(Ordering::SeqCst);
                     let sent_from = outbox.len();
                     {
-                        let mut df = shared.df.lock();
-                        let mut ctx =
-                            AgentCtx::new(&id, &container_name, now, &mut outbox, &mut df);
+                        let mut ctx = AgentCtx::new_shared(
+                            &id,
+                            &container_name,
+                            now,
+                            &mut outbox,
+                            &shared.df,
+                        );
                         agent.setup(&mut ctx);
                     }
                     agents.push((id, agent));
@@ -569,13 +623,18 @@ fn spawn_container_thread(
                 Ok(ContainerMsg::Stop) => {
                     // Crash/stop: whatever is still queued behind the
                     // stop marker is undeliverable — account for it so
-                    // quiescence tracking stays balanced.
+                    // quiescence tracking stays balanced. Keep draining
+                    // through a short quiet window: the router sends
+                    // batches after dropping the routing lock, so one
+                    // more batch may land moments after the Stop.
                     let now = shared.clock_ms.load(Ordering::SeqCst);
-                    while let Some(leftover) = rx.try_recv() {
+                    while let Ok(leftover) = rx.recv_timeout(Duration::from_millis(50)) {
                         match leftover {
-                            ContainerMsg::Deliver(message, targets) => {
-                                for receiver in &targets {
-                                    shared.fail_delivery(&message, receiver, now);
+                            ContainerMsg::Deliver(legs) => {
+                                for (message, targets) in &legs {
+                                    for receiver in targets {
+                                        shared.fail_delivery(message, receiver, now);
+                                    }
                                 }
                                 shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                             }
@@ -614,8 +673,7 @@ fn tick_all(
     let now = shared.clock_ms.load(Ordering::SeqCst);
     let sent_from = outbox.len();
     for (id, agent) in agents.iter_mut() {
-        let mut df = shared.df.lock();
-        let mut ctx = AgentCtx::new(id, container_name, now, outbox, &mut df);
+        let mut ctx = AgentCtx::new_shared(id, container_name, now, outbox, &shared.df);
         agent.on_tick(&mut ctx);
     }
     record_sends(shared, scope, outbox, sent_from, None);
@@ -702,8 +760,10 @@ impl RunningPlatform {
         }
         // New clock window: drain legs the overload tracker deferred,
         // consuming the fresh per-window budget. The overload lock is
-        // released before the routes lock is taken (router holds routes
-        // then overload — never both orders at once, so no deadlock).
+        // released before the routes lock is taken (the router never
+        // holds both either, so no deadlock), and — like the router —
+        // deliveries are grouped into per-container batches resolved
+        // under one routes acquisition and sent after it is dropped.
         let due = {
             let mut overload = self.shared.overload.lock();
             match overload.as_mut() {
@@ -712,22 +772,51 @@ impl RunningPlatform {
             }
         };
         if !due.is_empty() {
-            let routes = self.shared.routes.lock();
-            for (message, receiver) in due {
-                let target = routes
-                    .residents
-                    .get(&receiver)
-                    .and_then(|container| routes.txs.get(container).map(|tx| (container, tx)));
-                match target {
-                    Some((container, tx)) => {
-                        if let Some(t) = &self.shared.telemetry {
-                            let scope = t.container_scope(container);
-                            t.message_delivered(&message, &receiver, &scope, now_ms);
+            let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
+            let mut batches: BTreeMap<String, (Sender<ContainerMsg>, ContainerBatch)> =
+                BTreeMap::new();
+            {
+                let routes = self.shared.routes.lock();
+                for (message, receiver) in due {
+                    let target = routes
+                        .residents
+                        .get(&receiver)
+                        .and_then(|container| routes.txs.get(container).map(|tx| (container, tx)));
+                    match target {
+                        Some((container, tx)) => {
+                            if let Some(t) = &self.shared.telemetry {
+                                let scope = t.container_scope(container);
+                                t.message_delivered(&message, &receiver, &scope, now_ms);
+                            }
+                            batches
+                                .entry(container.clone())
+                                .or_insert_with(|| (tx.clone(), Vec::new()))
+                                .1
+                                .push((message, vec![receiver]));
                         }
-                        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                        let _ = tx.send(ContainerMsg::Deliver(message, vec![receiver]));
+                        None => failed.push((message, receiver)),
                     }
-                    None => self.shared.fail_delivery(&message, &receiver, now_ms),
+                }
+            }
+            for (message, receiver) in &failed {
+                self.shared.fail_delivery(message, receiver, now_ms);
+            }
+            for (tx, legs) in batches.into_values() {
+                if let Some(t) = &self.shared.telemetry {
+                    t.batch_flushed(batch_legs(&legs));
+                }
+                self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                if let Err(err) = tx.send(ContainerMsg::Deliver(legs)) {
+                    // Killed between resolution and send: balance the
+                    // gauge and fail the legs.
+                    self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    if let ContainerMsg::Deliver(legs) = err.0 {
+                        for (message, receivers) in &legs {
+                            for receiver in receivers {
+                                self.shared.fail_delivery(message, receiver, now_ms);
+                            }
+                        }
+                    }
                 }
             }
         }

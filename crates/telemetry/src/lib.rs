@@ -169,6 +169,7 @@ pub struct Telemetry {
     delivered_total: Counter,
     dead_letters_total: Counter,
     delivery_latency_ms: Histogram,
+    delivery_batch_size: Histogram,
 }
 
 impl Default for Telemetry {
@@ -181,6 +182,11 @@ impl Default for Telemetry {
             &[],
             &metrics::LATENCY_BUCKETS_MS,
         );
+        let delivery_batch_size = registry.histogram(
+            "agentgrid_delivery_batch_size",
+            &[],
+            &metrics::BATCH_SIZE_BUCKETS,
+        );
         Telemetry {
             registry,
             tracer: ConversationTracer::default(),
@@ -188,6 +194,7 @@ impl Default for Telemetry {
             delivered_total,
             dead_letters_total,
             delivery_latency_ms,
+            delivery_batch_size,
         }
     }
 }
@@ -274,6 +281,13 @@ impl Telemetry {
         scope.mailbox_add(1);
         self.tracer
             .on_deliver(message, receiver, &scope.container, now_ms);
+    }
+
+    /// Records one container batch flushed by the delivery pipeline:
+    /// `legs` delivery legs went into one container's mailboxes under a
+    /// single routing pass (histogram `agentgrid_delivery_batch_size`).
+    pub fn batch_flushed(&self, legs: u64) {
+        self.delivery_batch_size.observe(legs);
     }
 
     /// Records an undeliverable receiver.

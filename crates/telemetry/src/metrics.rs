@@ -90,6 +90,10 @@ pub struct Histogram(Arc<HistogramInner>);
 /// Default bucket bounds for millisecond latencies.
 pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 60_000];
 
+/// Default bucket bounds for delivery batch sizes (legs per container
+/// flush).
+pub const BATCH_SIZE_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 256];
+
 /// Default bucket bounds for nanosecond handler durations.
 pub const DURATION_BUCKETS_NS: [u64; 10] = [
     1_000,

@@ -539,6 +539,152 @@ fn admission_gate_is_consistent_across_runtimes() {
     assert_eq!(thr.shed, 0);
 }
 
+/// Three-way runtime parity matrix: the same seeded scenario —
+/// optionally with a chaos plan and optionally behind the overload
+/// defences — runs on the deterministic stepper, the threaded runtime
+/// and the work-stealing pool.
+///
+/// The pool is held to the strongest contract: a byte-identical
+/// [`GridReport`] render versus the deterministic stepper, because its
+/// name-ordered outbox merge makes the parallel phase observationally
+/// sequential. The threaded runtime retries on wall-clock heartbeats,
+/// so count-level fields (`retries`, `rebrokered`) are scheduler-
+/// dependent under chaos; it is held to the set-level contract the
+/// earlier tests in this file establish: same completed-task set, same
+/// alert volume, nothing permanently lost.
+mod parity_matrix {
+    use super::*;
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::overload::{AdmissionConfig, OverflowPolicy, OverloadConfig};
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+    use agentgrid_suite::net::{Device, DeviceKind, Network};
+    use agentgrid_suite::GridReport;
+    use proptest::prelude::*;
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+
+    fn network(sites: usize, devices: usize, seed: u64) -> Network {
+        let mut net = Network::new();
+        for s in 0..sites {
+            let site = format!("site-{s}");
+            for d in 0..devices {
+                net.add_device(
+                    Device::builder(format!("{site}-dev{d}"), DeviceKind::Server)
+                        .site(&site)
+                        .seed(seed.wrapping_add((s * 100 + d) as u64))
+                        .build(),
+                );
+            }
+        }
+        net
+    }
+
+    fn completed_set(report: &GridReport) -> Vec<&str> {
+        let mut ids: Vec<&str> = report.completed_ids.iter().map(String::as_str).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn reports_agree_across_all_three_runtimes(
+            seed in 0u64..500,
+            sites in 1usize..3,
+            devices in 2usize..5,
+            chaos_on in 0u8..2,
+            overload_on in 0u8..2,
+        ) {
+            let horizon = 12 * 60_000;
+            let analyzers = vec!["pg-1".to_string(), "pg-2".to_string()];
+            let plan = (chaos_on == 1)
+                .then(|| ChaosPlan::seeded(seed, &analyzers, horizon));
+            let protection = (overload_on == 1).then(|| {
+                OverloadConfig::new()
+                    .mailbox(3, OverflowPolicy::ShedByPriority)
+                    .admission(AdmissionConfig {
+                        bucket_capacity: 4,
+                        refill_per_window: 2,
+                        load_threshold: 0.9,
+                    })
+            });
+            let builder = || {
+                let mut b = ManagementGrid::builder()
+                    .network(network(sites, devices, seed))
+                    .collectors_per_site(2)
+                    .analyzer("pg-1", 1.0, ALL_SKILLS)
+                    .analyzer("pg-2", 1.0, ALL_SKILLS);
+                if plan.is_some() || protection.is_some() {
+                    // Recovery re-brokers awards lost to crashes *and*
+                    // to shedding, making the zero-loss invariant hold
+                    // under every sampled combination.
+                    b = b.recovery(RecoveryConfig::seeded(seed));
+                }
+                if let Some(plan) = &plan {
+                    b = b.chaos(plan.clone());
+                }
+                if let Some(cfg) = &protection {
+                    b = b.overload(cfg.clone());
+                }
+                b
+            };
+
+            let det = builder().build().run(horizon, 60_000);
+            let det_again = builder().build().run(horizon, 60_000);
+            let pool = builder().build_pool().run(horizon, 60_000);
+            let threaded = builder().build_threaded().run(horizon, 60_000);
+
+            // Deterministic replay, then pool byte-identity.
+            prop_assert_eq!(det.render(), det_again.render());
+            prop_assert_eq!(det.render(), pool.render(),
+                "pool must render byte-identically to the stepper");
+            prop_assert_eq!(&det.assignments, &pool.assignments);
+            prop_assert_eq!(&det.completed_ids, &pool.completed_ids);
+            prop_assert_eq!(&det.alerts, &pool.alerts);
+            prop_assert_eq!(det.rejected, pool.rejected);
+            prop_assert_eq!(det.shed, pool.shed);
+
+            // Threaded: set-level parity — but only without the
+            // admission gate. With two analyzers the token bucket
+            // counts attempts in arrival order, so *which* awards it
+            // rejects is genuinely scheduler-dependent; under overload
+            // the threaded runtime is held to liveness instead.
+            if protection.is_none() {
+                prop_assert_eq!(completed_set(&det), completed_set(&threaded));
+                prop_assert_eq!(det.alerts.len(), threaded.alerts.len());
+                prop_assert_eq!(det.records_stored, threaded.records_stored);
+                prop_assert!(
+                    threaded.lost_tasks().is_empty(),
+                    "threaded: tasks permanently lost: {:?}",
+                    threaded.lost_tasks()
+                );
+            } else {
+                prop_assert!(threaded.tasks_completed > 0);
+                prop_assert!(threaded.records_stored > 0);
+            }
+
+            for (name, report) in [("deterministic", &det), ("pool", &pool)] {
+                prop_assert!(
+                    report.lost_tasks().is_empty(),
+                    "{}: tasks permanently lost: {:?}",
+                    name,
+                    report.lost_tasks()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn workload_pacing_reduces_contention_not_work() {
     let costs = CostModel::table1();

@@ -203,3 +203,40 @@ proptest! {
         );
     }
 }
+
+/// The work-stealing pool runtime under the same seeded chaos plan: the
+/// recovery contract holds unchanged, and the report renders
+/// byte-identically to the deterministic stepper. Also the scenario the
+/// CI ThreadSanitizer job drives, so the pool's steal/merge phase runs
+/// under a data-race detector with containers dying mid-run.
+#[test]
+fn pool_runtime_survives_chaos_and_matches_the_stepper() {
+    let horizon = 20 * 60_000;
+    let plan = ChaosPlan::seeded(42, &["pg-1".into(), "pg-2".into()], horizon);
+    assert!(!plan.is_empty(), "seed 42 must schedule failures");
+    let builder = || {
+        ManagementGrid::builder()
+            .network(network(4, 7))
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(42))
+            .chaos(plan.clone())
+    };
+    let pool = builder().build_pool().run(horizon, 60_000);
+    let det = builder().build().run(horizon, 60_000);
+
+    assert_nothing_lost(&pool);
+    assert_exactly_once(&pool);
+    assert!(
+        !pool.rebrokered.is_empty(),
+        "the crash must force at least one re-brokering"
+    );
+    assert_eq!(
+        det.render(),
+        pool.render(),
+        "pool must render byte-identically to the stepper under chaos"
+    );
+    assert_eq!(det.assignments, pool.assignments);
+    assert_eq!(det.completed_ids, pool.completed_ids);
+}

@@ -158,3 +158,78 @@ fn unknown_receiver_dead_letters_exactly_once() {
     );
     assert_eq!(stats.dead_letters[0].receivers().len(), 3);
 }
+
+/// A handler stuck in one container must not stall routing into other
+/// containers. The router used to hold the `routes` mutex across its
+/// whole delivery loop; it now resolves receivers under the lock, drops
+/// it, and only then hands batches to container threads — so a slow
+/// container can back up its own inbox but never the router.
+#[test]
+fn slow_handler_does_not_block_unrelated_routing() {
+    use agentgrid_suite::platform::{Agent, AgentCtx};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    const SLOW_HANDLER: Duration = Duration::from_millis(800);
+
+    struct Slow;
+    impl Agent for Slow {
+        fn on_message(&mut self, _msg: &AclMessage, _ctx: &mut AgentCtx<'_>) {
+            std::thread::sleep(SLOW_HANDLER);
+        }
+    }
+    struct Flag {
+        hit: Arc<AtomicBool>,
+    }
+    impl Agent for Flag {
+        fn on_message(&mut self, _msg: &AclMessage, _ctx: &mut AgentCtx<'_>) {
+            self.hit.store(true, Ordering::SeqCst);
+        }
+    }
+
+    let hit = Arc::new(AtomicBool::new(false));
+    let mut platform = ThreadedPlatform::new("rt");
+    platform.add_container("busy");
+    platform.add_container("idle");
+    let slow_id = platform.spawn("busy", "slow", Slow).unwrap();
+    let fast_id = platform
+        .spawn(
+            "idle",
+            "fast",
+            Flag {
+                hit: Arc::clone(&hit),
+            },
+        )
+        .unwrap();
+    let mut handle = platform.start();
+
+    let to = |receiver: &AgentId| {
+        AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("driver"))
+            .receiver(receiver.clone())
+            .build()
+            .unwrap()
+    };
+    let start = Instant::now();
+    handle.post(to(&slow_id));
+    // Give the router time to hand the slow message over, so the busy
+    // container is provably inside its handler when the next message
+    // goes through the router.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.post(to(&fast_id));
+    let deadline = start + SLOW_HANDLER;
+    while !hit.load(Ordering::SeqCst) {
+        assert!(
+            Instant::now() < deadline,
+            "routing to the idle container stalled behind the busy one"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        start.elapsed() < SLOW_HANDLER,
+        "the fast delivery must complete while the slow handler still runs"
+    );
+    assert!(handle.wait_idle(), "must quiesce");
+    let stats = handle.shutdown();
+    assert_eq!(stats.delivered, 2);
+}
