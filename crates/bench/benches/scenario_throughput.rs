@@ -27,7 +27,7 @@ use agentgrid::grid::ManagementGrid;
 use agentgrid_bench::ALL_SKILLS;
 use agentgrid_net::{Device, DeviceKind, Network};
 use agentgrid_platform::{
-    AclMessage, Agent, AgentCtx, AgentId, Performative, Platform, PoolRuntime, Runtime,
+    AclMessage, Agent, AgentCtx, AgentId, Performative, Platform, PoolRuntime, Runtime, Telemetry,
     ThreadedRuntime, Value,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -281,6 +281,36 @@ fn bench_scenario_throughput(c: &mut Criterion) {
         });
     }
     pipeline.finish();
+
+    // Observability tax on the full grid: the identical deterministic
+    // run bare, with the metrics/span pillars attached, and with the
+    // flight recorder enabled on top. The bare run is the zero line
+    // every release must hold — telemetry off costs nothing but the
+    // per-hook `Option`/atomic check.
+    let mut overhead = c.benchmark_group("telemetry_overhead");
+    overhead.sample_size(10);
+    overhead.bench_function(BenchmarkId::new("off", containers), |b| {
+        b.iter(|| {
+            let mut g = scenario(containers).build();
+            black_box(g.run(GRID_MINUTES * 60_000, 60_000).records_stored)
+        })
+    });
+    overhead.bench_function(BenchmarkId::new("metrics", containers), |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::new();
+            let mut g = scenario(containers).telemetry(telemetry).build();
+            black_box(g.run(GRID_MINUTES * 60_000, 60_000).records_stored)
+        })
+    });
+    overhead.bench_function(BenchmarkId::new("metrics_recorder", containers), |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::new();
+            telemetry.flight_recorder().enable();
+            let mut g = scenario(containers).telemetry(telemetry).build();
+            black_box(g.run(GRID_MINUTES * 60_000, 60_000).records_stored)
+        })
+    });
+    overhead.finish();
 }
 
 criterion_group!(benches, bench_scenario_throughput);

@@ -12,6 +12,13 @@
 //! to `<path>` — JSON when the path ends in `.json`, Prometheus text
 //! otherwise; `-` writes Prometheus text to stdout.
 //!
+//! `--trace <path>` attaches the same telemetry sink with the flight
+//! recorder and pool profiler enabled, and writes a Chrome-trace /
+//! Perfetto JSON file to `<path>` after the run: task spans and
+//! flight-recorder instants on the simulated-time track, per-worker
+//! job lanes and route/tick/merge phases on the wall-clock track when
+//! `--runtime pool` is selected. Load it at <https://ui.perfetto.dev>.
+//!
 //! `--chaos <seed>` runs the seeded chaos-recovery experiment: a grid
 //! with a [`ChaosPlan`](agentgrid::chaos::ChaosPlan) derived from the
 //! seed (container crash + restart, possibly a transport-fault window),
@@ -112,11 +119,16 @@ fn run_grid(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_metrics_flag(&mut args);
+    let trace_path = take_trace_flag(&mut args);
     let chaos_seed = take_chaos_flag(&mut args);
     let overload_seed = take_overload_flag(&mut args);
     let bench_json = take_bench_json_flag(&mut args);
     let runtime = take_runtime_flag(&mut args);
-    let telemetry = metrics_path.as_ref().map(|_| Telemetry::new());
+    let telemetry = (metrics_path.is_some() || trace_path.is_some()).then(Telemetry::new);
+    if let (Some(_), Some(t)) = (&trace_path, &telemetry) {
+        t.flight_recorder().enable();
+        t.pool_profiler().enable();
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         if args.is_empty()
             && (chaos_seed.is_some() || overload_seed.is_some() || bench_json.is_some())
@@ -170,8 +182,11 @@ fn main() {
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
-    if let (Some(path), Some(telemetry)) = (metrics_path, telemetry) {
-        write_metrics(&path, &telemetry);
+    if let (Some(path), Some(telemetry)) = (&metrics_path, &telemetry) {
+        write_metrics(path, telemetry);
+    }
+    if let (Some(path), Some(telemetry)) = (&trace_path, &telemetry) {
+        write_trace(path, telemetry);
     }
 }
 
@@ -189,6 +204,25 @@ fn take_metrics_flag(args: &mut Vec<String>) -> Option<String> {
     }
     if let Some(i) = args.iter().position(|a| a.starts_with("--metrics=")) {
         let path = args.remove(i)["--metrics=".len()..].to_owned();
+        return Some(path);
+    }
+    None
+}
+
+/// Removes `--trace <path>` (or `--trace=<path>`) from `args` and
+/// returns the path, if present.
+fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace needs a path argument");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(path);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--trace=")) {
+        let path = args.remove(i)["--trace=".len()..].to_owned();
         return Some(path);
     }
     None
@@ -312,6 +346,20 @@ fn write_metrics(path: &str, telemetry: &TelemetryHandle) {
     println!(
         "\nmetrics: {} samples written to {path}",
         telemetry.snapshot().samples.len()
+    );
+}
+
+/// Writes the Chrome-trace / Perfetto JSON export to `path`.
+fn write_trace(path: &str, telemetry: &TelemetryHandle) {
+    let rendered = telemetry.chrome_trace();
+    if let Err(err) = std::fs::write(path, &rendered) {
+        eprintln!("failed to write trace to {path}: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "\ntrace: {} task spans, {} flight-recorder events written to {path}",
+        telemetry.task_spans().len(),
+        telemetry.flight_recorder().len(),
     );
 }
 
@@ -605,7 +653,12 @@ fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice)
         run_grid(builder, runtime, horizon, 60_000).0
     };
     let first = run_once(telemetry);
-    let second = run_once(None);
+    // The replay gets a *fresh* sink when the first run had one: the
+    // task-latency line in the render is sim-time-deterministic, so the
+    // reports must still match byte for byte — and do not when only one
+    // run carries telemetry.
+    let fresh = telemetry.map(|_| Telemetry::new());
+    let second = run_once(fresh.as_ref());
 
     let distinct: std::collections::BTreeSet<&str> = first
         .assignments
@@ -772,7 +825,10 @@ fn overload(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoi
         (report, stats.expect("bounded mailboxes configured"))
     };
     let (first, stats) = run_once(telemetry);
-    let (second, second_stats) = run_once(None);
+    // Fresh sink for the replay (see `chaos`): keeps the rendered
+    // reports comparable when the first run carries telemetry.
+    let fresh = telemetry.map(|_| Telemetry::new());
+    let (second, second_stats) = run_once(fresh.as_ref());
 
     println!("shed by class:");
     for class in MessageClass::ALL {

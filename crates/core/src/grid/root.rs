@@ -1,10 +1,10 @@
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use agentgrid_acl::ontology::{Alert, AnalysisTask, Severity, ToContent, MANAGEMENT_ONTOLOGY};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_platform::{Agent, AgentCtx};
-use agentgrid_telemetry::{Counter, Gauge, TelemetryHandle};
+use agentgrid_telemetry::{Counter, EventKind, Gauge, TelemetryHandle};
 use parking_lot::Mutex;
 
 use crate::balance::LoadBalancer;
@@ -37,6 +37,15 @@ struct Pending {
 /// decorrelate.
 fn task_key(task_id: &str) -> u64 {
     jitter_key(task_id)
+}
+
+/// Flight-recorder label for a liveness verdict.
+fn liveness_label(state: Liveness) -> &'static str {
+    match state {
+        Liveness::Alive => "alive",
+        Liveness::Suspect => "suspect",
+        Liveness::Dead => "dead",
+    }
 }
 
 /// Brokering outcome counters exported as
@@ -181,6 +190,10 @@ pub struct ProcessorRootAgent {
     /// Per-container circuit breakers (overload mode; needs recovery's
     /// deadline machinery for its failure signal).
     breakers: Option<BreakerBoard>,
+    /// Last liveness verdict per container, so the flight recorder only
+    /// sees *changes*. Dead containers keep their entry: a restart that
+    /// heartbeats again records the dead → alive flip.
+    liveness_seen: BTreeMap<String, Liveness>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -209,6 +222,7 @@ impl ProcessorRootAgent {
             escalated: BTreeSet::new(),
             admission: None,
             breakers: None,
+            liveness_seen: BTreeMap::new(),
         }
     }
 
@@ -339,6 +353,12 @@ impl ProcessorRootAgent {
                 self.stats.lock().rejected += 1;
                 if let Some(m) = &self.metrics {
                     m.admission_rejects.inc();
+                    m.telemetry.record_event(
+                        ctx.now_ms(),
+                        EventKind::AdmissionReject {
+                            task: task.task_id.clone(),
+                        },
+                    );
                 }
                 // Parks under recovery (retried next window); dropped —
                 // but counted — without it.
@@ -348,7 +368,19 @@ impl ProcessorRootAgent {
                 return;
             }
         }
-        if self.try_award(&task, ctx).is_some() {
+        if let Some(container) = self.try_award(&task, ctx) {
+            if let Some(m) = &self.metrics {
+                let now = ctx.now_ms();
+                m.telemetry
+                    .task_awarded(&task.task_id, &container, now, false);
+                m.telemetry.record_event(
+                    now,
+                    EventKind::TaskBrokered {
+                        task: task.task_id.clone(),
+                        container,
+                    },
+                );
+            }
             return;
         }
         if self.recovery.is_some() {
@@ -367,7 +399,7 @@ impl ProcessorRootAgent {
     /// `rebrokered`, preserving the exactly-once accounting
     /// `assignments(id) == 1 + rebrokered(id)`.
     fn reaward(&mut self, task: AnalysisTask, ctx: &mut AgentCtx<'_>) {
-        if self.try_award(&task, ctx).is_some() {
+        if let Some(container) = self.try_award(&task, ctx) {
             let mut stats = self.stats.lock();
             stats.reassigned += 1;
             stats.rebrokered.push(task.task_id.clone());
@@ -375,6 +407,16 @@ impl ProcessorRootAgent {
             if let Some(m) = &self.metrics {
                 m.reassigned.inc();
                 m.rebrokered.inc();
+                let now = ctx.now_ms();
+                m.telemetry
+                    .task_awarded(&task.task_id, &container, now, true);
+                m.telemetry.record_event(
+                    now,
+                    EventKind::TaskRebrokered {
+                        task: task.task_id.clone(),
+                        container,
+                    },
+                );
             }
         } else {
             self.parked.push((task, true));
@@ -396,6 +438,15 @@ impl ProcessorRootAgent {
     /// Sends an escalation alert to the interface grid, once per task.
     fn escalate(&mut self, rule: &str, device: &str, message: String, ctx: &mut AgentCtx<'_>) {
         self.stats.lock().escalations += 1;
+        if let Some(m) = &self.metrics {
+            m.telemetry.record_event(
+                ctx.now_ms(),
+                EventKind::TaskEscalated {
+                    rule: rule.to_owned(),
+                    device: device.to_owned(),
+                },
+            );
+        }
         let Some(interface) = &self.escalate_to else {
             return;
         };
@@ -408,6 +459,22 @@ impl ProcessorRootAgent {
             .build()
             .expect("sender and receiver are set");
         ctx.send(msg);
+    }
+
+    /// Forwards any breaker state changes accumulated since the last
+    /// drain to the flight recorder (no-op without telemetry — the log
+    /// is still emptied so it cannot grow unbounded).
+    fn drain_breaker_transitions(&mut self, now_ms: u64) {
+        let Some(breakers) = &mut self.breakers else {
+            return;
+        };
+        let transitions = breakers.take_transitions();
+        if let Some(m) = &self.metrics {
+            for (container, to) in transitions {
+                m.telemetry
+                    .record_event(now_ms, EventKind::BreakerTransition { container, to });
+            }
+        }
     }
 
     /// The recovery-mode tick: liveness sweep, dead-container reclaim,
@@ -431,6 +498,18 @@ impl ProcessorRootAgent {
                 if let Some(breakers) = &self.breakers {
                     m.breaker_gauge(&container)
                         .set(breakers.gauge_value(&container));
+                }
+                // Flight-record liveness *changes* only; a container
+                // never seen before counts as previously alive.
+                let prev = self.liveness_seen.insert(container.clone(), state);
+                if prev.unwrap_or(Liveness::Alive) != state {
+                    m.telemetry.record_event(
+                        now,
+                        EventKind::HeartbeatChange {
+                            container: container.clone(),
+                            state: liveness_label(state),
+                        },
+                    );
                 }
             }
             match state {
@@ -561,6 +640,7 @@ impl ProcessorRootAgent {
                 self.assign_and_send(task, ctx);
             }
         }
+        self.drain_breaker_transitions(now);
     }
 }
 
@@ -588,11 +668,15 @@ impl Agent for ProcessorRootAgent {
                     drop(stats);
                     if let Some(m) = &self.metrics {
                         m.completed.inc();
+                        // Closes the task's end-to-end span and feeds
+                        // the latency histogram.
+                        m.telemetry.task_done(task_id, ctx.now_ms());
                     }
                     // A completion is the breaker's success signal.
                     if let Some(breakers) = &mut self.breakers {
                         breakers.on_success(&container);
                     }
+                    self.drain_breaker_transitions(ctx.now_ms());
                 }
             }
             self.sync_outstanding();
@@ -603,6 +687,15 @@ impl Agent for ProcessorRootAgent {
             return;
         };
         self.ready_seen += 1;
+        // The collector's observation timestamp rides the data-ready
+        // content ("ts"); it anchors each task span's end-to-end
+        // latency at the moment the data was observed, not brokered.
+        let observed_ms = message
+            .content()
+            .get("ts")
+            .and_then(Value::as_int)
+            .and_then(|ts| u64::try_from(ts).ok())
+            .unwrap_or_else(|| ctx.now_ms());
         // Alternate level 1 and level 2 so consolidation happens on every
         // other pass over a partition.
         let level = if self.ready_seen.is_multiple_of(2) {
@@ -619,13 +712,22 @@ impl Agent for ProcessorRootAgent {
                 level,
                 size,
             );
+            if let Some(m) = &self.metrics {
+                m.telemetry
+                    .task_created(&task.task_id, observed_ms, ctx.now_ms());
+            }
             self.assign_and_send(task, ctx);
         }
         if self.ready_seen.is_multiple_of(CORRELATION_EVERY) {
             self.task_seq += 1;
             let task = AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
+            if let Some(m) = &self.metrics {
+                m.telemetry
+                    .task_created(&task.task_id, observed_ms, ctx.now_ms());
+            }
             self.assign_and_send(task, ctx);
         }
+        self.drain_breaker_transitions(ctx.now_ms());
         self.sync_outstanding();
     }
 

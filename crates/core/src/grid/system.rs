@@ -11,7 +11,7 @@ use agentgrid_platform::{
 };
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::ManagementStore;
-use agentgrid_telemetry::measured_load;
+use agentgrid_telemetry::{measured_load, EventKind, TaskLatencySummary};
 use parking_lot::Mutex;
 
 use crate::balance::{KnowledgeCapacityIdle, LoadBalancer};
@@ -448,6 +448,10 @@ pub struct GridReport {
     /// Collector polls whose interval was stretched under downstream
     /// pressure (overload mode).
     pub paced_polls: u64,
+    /// End-to-end task-latency percentiles (observation → done, in
+    /// simulated time), present only when telemetry is attached and at
+    /// least one task span completed.
+    pub task_latency: Option<TaskLatencySummary>,
 }
 
 impl GridReport {
@@ -509,6 +513,12 @@ impl GridReport {
             out.push_str(&format!(
                 "  overload: {} shed, {} rejected, {} paced polls\n",
                 self.shed, self.rejected, self.paced_polls,
+            ));
+        }
+        if let Some(lat) = &self.task_latency {
+            out.push_str(&format!(
+                "  task latency: p50 {} ms, p95 {} ms, p99 {} ms ({} completed spans)\n",
+                lat.p50_ms, lat.p95_ms, lat.p99_ms, lat.count,
             ));
         }
         out.push_str(&InterfaceAgent::render_report(&self.alerts));
@@ -653,6 +663,14 @@ impl<R: Runtime> ManagementGrid<R> {
             match action {
                 ChaosAction::Crash(name) => {
                     if self.platform.crash_container_silent(&name).is_ok() {
+                        if let Some(t) = self.platform.telemetry() {
+                            t.record_event(
+                                now,
+                                EventKind::Crash {
+                                    container: name.clone(),
+                                },
+                            );
+                        }
                         self.downed.insert(name);
                     }
                 }
@@ -687,6 +705,9 @@ impl<R: Runtime> ManagementGrid<R> {
                         df.register_service(analyzer_id, "analysis", [name.clone()]);
                         df.record_heartbeat(&name, now);
                     });
+                    if let Some(t) = self.platform.telemetry() {
+                        t.record_event(now, EventKind::Restart { container: name });
+                    }
                 }
                 ChaosAction::SetFault(fault) => self.platform.set_transport_fault(fault),
                 ChaosAction::ClearFault => self.platform.set_transport_fault(TransportFault::None),
@@ -742,6 +763,10 @@ impl<R: Runtime> ManagementGrid<R> {
                 .unwrap_or(0),
             rejected: stats.rejected,
             paced_polls: self.paced_polls.load(Ordering::Relaxed),
+            task_latency: self
+                .platform
+                .telemetry()
+                .and_then(|t| t.task_latency_summary()),
         }
     }
 

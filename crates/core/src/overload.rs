@@ -196,6 +196,9 @@ enum BreakerState {
 pub(crate) struct BreakerBoard {
     config: BreakerConfig,
     states: BTreeMap<String, BreakerState>,
+    /// State changes since the last [`take_transitions`](Self::take_transitions)
+    /// drain, as `(container, new-state label)` — feeds the flight recorder.
+    transitions: Vec<(String, &'static str)>,
 }
 
 impl BreakerBoard {
@@ -203,6 +206,7 @@ impl BreakerBoard {
         BreakerBoard {
             config,
             states: BTreeMap::new(),
+            transitions: Vec::new(),
         }
     }
 
@@ -217,6 +221,7 @@ impl BreakerBoard {
                 } else {
                     self.states
                         .insert(container.to_owned(), BreakerState::HalfOpen { opens });
+                    self.transitions.push((container.to_owned(), "half-open"));
                     false
                 }
             }
@@ -252,6 +257,7 @@ impl BreakerBoard {
                     until_ms: now_ms.saturating_add(wait),
                     opens,
                 };
+                self.transitions.push((container.to_owned(), "open"));
                 true
             }
             None => false,
@@ -261,10 +267,23 @@ impl BreakerBoard {
     /// Records a completed task from `container`: closes its breaker
     /// and resets the consecutive-failure count.
     pub(crate) fn on_success(&mut self, container: &str) {
+        let was_closed = matches!(
+            self.states.get(container),
+            None | Some(BreakerState::Closed { .. })
+        );
         self.states.insert(
             container.to_owned(),
             BreakerState::Closed { consecutive: 0 },
         );
+        if !was_closed {
+            self.transitions.push((container.to_owned(), "closed"));
+        }
+    }
+
+    /// Drains the state changes accumulated since the last drain, in
+    /// occurrence order.
+    pub(crate) fn take_transitions(&mut self) -> Vec<(String, &'static str)> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// Forgets a container (it died and was reclaimed): breaker state
@@ -357,6 +376,27 @@ mod tests {
         board.on_success("pg-1");
         assert!(!board.on_failure("pg-1", 0), "count restarted");
         assert!(board.on_failure("pg-1", 0));
+    }
+
+    #[test]
+    fn transitions_log_records_every_state_change_once() {
+        let mut board = BreakerBoard::new(fast_breaker());
+        board.on_failure("pg-1", 0);
+        board.on_success("pg-1"); // closed → closed: not a transition
+        assert!(board.take_transitions().is_empty());
+        board.on_failure("pg-1", 0);
+        board.on_failure("pg-1", 0); // trips open
+        assert!(!board.blocks("pg-1", 10_000)); // probe: half-open
+        board.on_success("pg-1"); // closes
+        assert_eq!(
+            board.take_transitions(),
+            vec![
+                ("pg-1".to_owned(), "open"),
+                ("pg-1".to_owned(), "half-open"),
+                ("pg-1".to_owned(), "closed"),
+            ]
+        );
+        assert!(board.take_transitions().is_empty(), "drained");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use agentgrid_acl::{AgentId, SharedMessage, Value};
-use agentgrid_telemetry::{Counter, Gauge, TelemetryHandle};
+use agentgrid_telemetry::{Counter, EventKind, Gauge, TelemetryHandle};
 
 /// What to do with traffic beyond a container's per-window budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,7 +266,7 @@ impl MailboxTracker {
         }
     }
 
-    fn record_shed(&mut self, class: MessageClass) {
+    fn record_shed(&mut self, container: &str, class: MessageClass, now_ms: u64) {
         self.stats.shed_by_class[class as usize] += 1;
         if let Some(telemetry) = &self.telemetry {
             let counter = self.shed_counters[class as usize].get_or_insert_with(|| {
@@ -276,6 +276,13 @@ impl MailboxTracker {
                 )
             });
             counter.inc();
+            telemetry.record_event(
+                now_ms,
+                EventKind::DeliveryShed {
+                    container: container.to_owned(),
+                    class: class.as_label(),
+                },
+            );
         }
         self.note_pressure();
     }
@@ -309,12 +316,14 @@ impl MailboxTracker {
     }
 
     /// Admits one (message, receiver) leg bound for `container` in the
-    /// current window.
+    /// current window. `now_ms` stamps any shed decision for the flight
+    /// recorder.
     pub(crate) fn admit(
         &mut self,
         container: &str,
         message: &SharedMessage,
         receiver: &AgentId,
+        now_ms: u64,
     ) -> Admission {
         let cap = self.capacity();
         let window = self.windows.entry(container.to_owned()).or_default();
@@ -342,7 +351,7 @@ impl MailboxTracker {
                     .backlog
                     .pop_front()
                     .expect("backlog at capacity ≥ 1 is non-empty");
-                self.record_shed(victim.class);
+                self.record_shed(container, victim.class, now_ms);
                 self.defer(container, waiting);
                 Admission::Deferred
             }
@@ -362,7 +371,7 @@ impl MailboxTracker {
                     .expect("backlog at capacity ≥ 1 is non-empty");
                 if class < victim_class {
                     // The incoming leg is the least important candidate.
-                    self.record_shed(class);
+                    self.record_shed(container, class, now_ms);
                     return Admission::Shed;
                 }
                 if victim_class == MessageClass::Alert {
@@ -372,7 +381,7 @@ impl MailboxTracker {
                     return Admission::Deferred;
                 }
                 window.backlog.remove(victim_at);
-                self.record_shed(victim_class);
+                self.record_shed(container, victim_class, now_ms);
                 self.defer(container, waiting);
                 Admission::Deferred
             }
@@ -393,12 +402,13 @@ impl MailboxTracker {
         &mut self,
         container: &str,
         legs: Vec<(SharedMessage, Vec<AgentId>)>,
+        now_ms: u64,
     ) -> Vec<(SharedMessage, Vec<AgentId>)> {
         let mut admitted = Vec::with_capacity(legs.len());
         for (message, receivers) in legs {
             let mut keep = Vec::with_capacity(receivers.len());
             for receiver in receivers {
-                match self.admit(container, &message, &receiver) {
+                match self.admit(container, &message, &receiver, now_ms) {
                     Admission::Deliver => keep.push(receiver),
                     Admission::Deferred | Admission::Shed => {}
                 }
@@ -490,29 +500,32 @@ mod tests {
     fn budget_admits_then_defers_under_block() {
         let mut t = tracker(2, OverflowPolicy::Block);
         let r = receiver();
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deliver);
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deliver);
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deferred);
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deferred);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deliver);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deliver);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deferred);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deferred);
         assert_eq!(t.stats().deferred, 2);
         assert_eq!(t.stats().shed_total(), 0);
         assert_eq!(t.stats().highwater, 2);
         // New window: the two waiting legs drain within budget.
         assert_eq!(t.begin_window().len(), 2);
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deferred);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deferred);
     }
 
     #[test]
     fn shed_oldest_evicts_the_front_of_the_waiting_queue() {
         let mut t = tracker(1, OverflowPolicy::ShedOldest);
         let r = receiver();
-        assert_eq!(t.admit("c", &msg(Some("alert")), &r), Admission::Deliver);
+        assert_eq!(t.admit("c", &msg(Some("alert")), &r, 0), Admission::Deliver);
         assert_eq!(
-            t.admit("c", &msg(Some("collected-batch")), &r),
+            t.admit("c", &msg(Some("collected-batch")), &r, 0),
             Admission::Deferred
         );
         // Queue full: the waiting batch is evicted for the newer alert.
-        assert_eq!(t.admit("c", &msg(Some("alert")), &r), Admission::Deferred);
+        assert_eq!(
+            t.admit("c", &msg(Some("alert")), &r, 0),
+            Admission::Deferred
+        );
         assert_eq!(t.stats().shed(MessageClass::Bulk), 1);
         assert_eq!(t.stats().highwater, 1);
         let due = t.begin_window();
@@ -524,29 +537,35 @@ mod tests {
         let mut t = tracker(1, OverflowPolicy::ShedByPriority);
         let r = receiver();
         assert_eq!(
-            t.admit("c", &msg(Some("observation")), &r),
+            t.admit("c", &msg(Some("observation")), &r, 0),
             Admission::Deliver
         );
-        assert_eq!(t.admit("c", &msg(Some("alert")), &r), Admission::Deferred);
+        assert_eq!(
+            t.admit("c", &msg(Some("alert")), &r, 0),
+            Admission::Deferred
+        );
         // Incoming bulk is the least important candidate: shed on arrival.
         assert_eq!(
-            t.admit("c", &msg(Some("collected-batch")), &r),
+            t.admit("c", &msg(Some("collected-batch")), &r, 0),
             Admission::Shed
         );
         assert_eq!(t.stats().shed(MessageClass::Bulk), 1);
         // Against a waiting alert, even broker traffic is the lesser
         // candidate and is shed on arrival.
-        assert_eq!(t.admit("c", &msg(Some("done")), &r), Admission::Shed);
+        assert_eq!(t.admit("c", &msg(Some("done")), &r, 0), Admission::Shed);
         assert_eq!(t.stats().shed(MessageClass::Broker), 1);
 
         // A higher-class arrival evicts a lower-class waiter instead.
         let mut t = tracker(1, OverflowPolicy::ShedByPriority);
-        assert_eq!(t.admit("c", &msg(None), &r), Admission::Deliver);
+        assert_eq!(t.admit("c", &msg(None), &r, 0), Admission::Deliver);
         assert_eq!(
-            t.admit("c", &msg(Some("collected-batch")), &r),
+            t.admit("c", &msg(Some("collected-batch")), &r, 0),
             Admission::Deferred
         );
-        assert_eq!(t.admit("c", &msg(Some("alert")), &r), Admission::Deferred);
+        assert_eq!(
+            t.admit("c", &msg(Some("alert")), &r, 0),
+            Admission::Deferred
+        );
         assert_eq!(t.stats().shed(MessageClass::Bulk), 1);
         assert_eq!(t.stats().shed(MessageClass::Alert), 0);
     }
@@ -555,10 +574,10 @@ mod tests {
     fn separate_containers_have_separate_budgets() {
         let mut t = tracker(1, OverflowPolicy::Block);
         let r = receiver();
-        assert_eq!(t.admit("a", &msg(None), &r), Admission::Deliver);
-        assert_eq!(t.admit("b", &msg(None), &r), Admission::Deliver);
-        assert_eq!(t.admit("a", &msg(None), &r), Admission::Deferred);
-        assert_eq!(t.admit("b", &msg(None), &r), Admission::Deferred);
+        assert_eq!(t.admit("a", &msg(None), &r, 0), Admission::Deliver);
+        assert_eq!(t.admit("b", &msg(None), &r, 0), Admission::Deliver);
+        assert_eq!(t.admit("a", &msg(None), &r, 0), Admission::Deferred);
+        assert_eq!(t.admit("b", &msg(None), &r, 0), Admission::Deferred);
         assert_eq!(t.stats().highwater, 1, "per-container depth, not global");
     }
 
@@ -567,7 +586,7 @@ mod tests {
         let mut t = tracker(1, OverflowPolicy::ShedByPriority);
         let r = receiver();
         for _ in 0..5 {
-            t.admit("c", &msg(Some("alert")), &r);
+            t.admit("c", &msg(Some("alert")), &r, 0);
         }
         assert_eq!(t.stats().shed_total(), 0);
         // 1 delivered, 4 waiting: the bound is exceeded by design.

@@ -496,9 +496,10 @@ impl Platform {
         for (message, receiver) in &failed {
             self.fail_leg(message, receiver, telemetry);
         }
+        let now_ms = self.now_ms;
         for (container, legs) in batches {
             let legs = match &mut self.overload {
-                Some(tracker) => tracker.admit_batch(&container, legs),
+                Some(tracker) => tracker.admit_batch(&container, legs, now_ms),
                 None => legs,
             };
             self.flush_batch(&container, &legs, telemetry);

@@ -135,10 +135,24 @@ impl PoolRuntime {
     /// routing phase, then hinted containers on the worker pool while
     /// the shared-state cluster ticks in name order on this thread.
     /// Returns the number of messages routed.
+    ///
+    /// When the attached telemetry's [`PoolProfiler`] is enabled
+    /// (`agentgrid_telemetry::PoolProfiler::enable`), the step records
+    /// wall-clock route/tick/merge phase slices and one slice per
+    /// executed job (with its worker lane and whether it was stolen);
+    /// disabled — the default — the only cost is one atomic load.
     pub fn step(&mut self, now_ms: u64) -> usize {
-        let routed = self.inner.pre_tick(now_ms);
         let telemetry = self.inner.telemetry.clone();
         let telemetry = telemetry.as_deref();
+        let profiler = telemetry
+            .map(|t| t.pool_profiler())
+            .filter(|p| p.is_enabled());
+
+        let route_start = profiler.map(|p| p.now_us());
+        let routed = self.inner.pre_tick(now_ms);
+        if let (Some(profiler), Some(start)) = (profiler, route_start) {
+            profiler.record_phase("route", start);
+        }
 
         // Pull the hinted containers out of the platform for this phase.
         let mut jobs: Vec<Job> = Vec::new();
@@ -165,13 +179,15 @@ impl PoolRuntime {
         for (i, job) in jobs.into_iter().enumerate() {
             locals[i % worker_count].push(job);
         }
+        let tick_start = profiler.map(|p| p.now_us());
         std::thread::scope(|scope| {
             for (me, local) in locals.into_iter().enumerate() {
                 let stealers = &stealers;
                 let finished = &finished;
                 let df = &df;
                 scope.spawn(move || {
-                    while let Some(mut job) = next_job(&local, stealers, me) {
+                    while let Some((mut job, stolen)) = next_job(&local, stealers, me) {
+                        let job_start = profiler.map(|p| p.now_us());
                         let mut df_ref = DfRef::Shared(df);
                         job.container.tick_agents(
                             &job.name,
@@ -180,6 +196,9 @@ impl PoolRuntime {
                             &mut df_ref,
                             telemetry,
                         );
+                        if let (Some(profiler), Some(start)) = (profiler, job_start) {
+                            profiler.record_job(me, &job.name, start, stolen);
+                        }
                         finished.lock().push(job);
                     }
                 });
@@ -193,7 +212,11 @@ impl PoolRuntime {
                 outboxes.insert(name.clone(), outbox);
             }
         });
+        if let (Some(profiler), Some(start)) = (profiler, tick_start) {
+            profiler.record_phase("tick", start);
+        }
 
+        let merge_start = profiler.map(|p| p.now_us());
         self.inner.df = df.into_inner();
         for job in finished.into_inner() {
             let Job {
@@ -206,6 +229,9 @@ impl PoolRuntime {
         }
         for outbox in outboxes.into_values() {
             self.inner.in_flight.extend(outbox);
+        }
+        if let (Some(profiler), Some(start)) = (profiler, merge_start) {
+            profiler.record_phase("merge", start);
         }
         routed
     }
@@ -228,9 +254,9 @@ impl PoolRuntime {
 /// Pops the local deque first, then steals batches from siblings. `None`
 /// only once every deque is empty — no jobs are injected mid-phase, so
 /// that is a stable termination condition.
-fn next_job(local: &Worker<Job>, stealers: &[Stealer<Job>], me: usize) -> Option<Job> {
+fn next_job(local: &Worker<Job>, stealers: &[Stealer<Job>], me: usize) -> Option<(Job, bool)> {
     if let Some(job) = local.pop() {
-        return Some(job);
+        return Some((job, false));
     }
     loop {
         let mut retry = false;
@@ -239,7 +265,7 @@ fn next_job(local: &Worker<Job>, stealers: &[Stealer<Job>], me: usize) -> Option
                 continue;
             }
             match stealer.steal_batch_and_pop(local) {
-                Steal::Success(job) => return Some(job),
+                Steal::Success(job) => return Some((job, true)),
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }

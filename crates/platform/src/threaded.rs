@@ -470,7 +470,7 @@ impl ThreadedPlatform {
                         let admitted: BTreeMap<String, ContainerBatch> = per_container
                             .into_iter()
                             .map(|(container, legs)| {
-                                let legs = tracker.admit_batch(&container, legs);
+                                let legs = tracker.admit_batch(&container, legs, now);
                                 (container, legs)
                             })
                             .filter(|(_, legs)| !legs.is_empty())

@@ -1,0 +1,323 @@
+//! Flight recorder: a bounded ring buffer of structured runtime events.
+//!
+//! The metrics pillar answers "how many", the conversation trace answers
+//! "which hops" — the flight recorder answers "what *sequence* of
+//! overload and recovery decisions preceded this outcome". Every event
+//! carries both the simulated timestamp (deterministic, compared across
+//! runtimes by the parity tests) and a wall-clock offset from the
+//! recorder's epoch (for the Perfetto timeline; never compared).
+//!
+//! Recording is **off by default**: a disabled recorder costs one
+//! relaxed atomic load per emission site, so attaching telemetry without
+//! enabling the recorder keeps the hot path unchanged. Past the
+//! capacity the buffer drops its oldest events (it is a *flight*
+//! recorder: the most recent history is the valuable part).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Default maximum number of events retained.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// What happened. Every variant is cheap to construct and carries only
+/// the identifiers a diagnostic timeline needs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A bounded mailbox shed one message of `class` bound for
+    /// `container` (overflow policy decision).
+    DeliveryShed {
+        /// Destination container whose window overflowed.
+        container: String,
+        /// Message class label (`bulk`/`report`/`broker`/`alert`).
+        class: &'static str,
+    },
+    /// The root's admission gate turned a first award away.
+    AdmissionReject {
+        /// Task id that was not admitted.
+        task: String,
+    },
+    /// A per-container circuit breaker changed state.
+    BreakerTransition {
+        /// Container the breaker guards.
+        container: String,
+        /// New state label (`open`/`half-open`/`closed`).
+        to: &'static str,
+    },
+    /// A container's heartbeat-derived liveness classification changed.
+    HeartbeatChange {
+        /// Container whose liveness changed.
+        container: String,
+        /// New state label (`alive`/`suspect`/`dead`).
+        state: &'static str,
+    },
+    /// A chaos crash took a container down.
+    Crash {
+        /// Crashed container.
+        container: String,
+    },
+    /// A chaos restart brought a container back.
+    Restart {
+        /// Restarted container.
+        container: String,
+    },
+    /// The root awarded a task for the first time.
+    TaskBrokered {
+        /// Task id.
+        task: String,
+        /// Container that won the award.
+        container: String,
+    },
+    /// The root re-awarded a reclaimed or retry-exhausted task.
+    TaskRebrokered {
+        /// Task id.
+        task: String,
+        /// Container that won the re-award.
+        container: String,
+    },
+    /// The root escalated an alert to the interface grid.
+    TaskEscalated {
+        /// Escalation rule (`task-retry-exhausted`/`container-dead`).
+        rule: String,
+        /// Device or container the alert names.
+        device: String,
+    },
+    /// The conversation tracer hit its span-capacity cap for the first
+    /// time (subsequent drops only move the counter).
+    TraceDropped,
+}
+
+impl EventKind {
+    /// Short stable label for the event family (Perfetto event name,
+    /// parity-test grouping key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::DeliveryShed { .. } => "delivery-shed",
+            EventKind::AdmissionReject { .. } => "admission-reject",
+            EventKind::BreakerTransition { .. } => "breaker-transition",
+            EventKind::HeartbeatChange { .. } => "heartbeat-change",
+            EventKind::Crash { .. } => "crash",
+            EventKind::Restart { .. } => "restart",
+            EventKind::TaskBrokered { .. } => "task-brokered",
+            EventKind::TaskRebrokered { .. } => "task-rebrokered",
+            EventKind::TaskEscalated { .. } => "task-escalated",
+            EventKind::TraceDropped => "trace-dropped",
+        }
+    }
+
+    /// Human-readable detail string (Perfetto args, log lines).
+    pub fn detail(&self) -> String {
+        match self {
+            EventKind::DeliveryShed { container, class } => format!("{container} {class}"),
+            EventKind::AdmissionReject { task } => task.clone(),
+            EventKind::BreakerTransition { container, to } => format!("{container} -> {to}"),
+            EventKind::HeartbeatChange { container, state } => format!("{container} -> {state}"),
+            EventKind::Crash { container } | EventKind::Restart { container } => container.clone(),
+            EventKind::TaskBrokered { task, container }
+            | EventKind::TaskRebrokered { task, container } => format!("{task} @ {container}"),
+            EventKind::TaskEscalated { rule, device } => format!("{rule} {device}"),
+            EventKind::TraceDropped => "span capacity reached".to_owned(),
+        }
+    }
+}
+
+/// One recorded event: what happened, when in simulated time, and when
+/// on the wall clock (µs since the recorder's epoch).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (total events ever recorded, including
+    /// ones later evicted by the ring).
+    pub seq: u64,
+    /// Simulated time of the event — deterministic across runs and
+    /// runtimes for the same seed.
+    pub sim_ms: u64,
+    /// Wall-clock microseconds since the recorder's epoch — display
+    /// only, never compared.
+    pub wall_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The deterministic projection of this event: simulated time plus
+    /// the structured kind, with the wall-clock field ignored. Parity
+    /// tests compare these across runtimes.
+    pub fn sim_view(&self) -> (u64, EventKind) {
+        (self.sim_ms, self.kind.clone())
+    }
+}
+
+#[derive(Default)]
+struct RecorderInner {
+    events: VecDeque<Event>,
+    seq: u64,
+    evicted: u64,
+}
+
+/// The flight recorder: bounded, lock-cheap, disabled by default.
+///
+/// `record` takes one relaxed atomic load when disabled; when enabled it
+/// takes a short mutex to push into the ring. Emission sites therefore
+/// do not need their own gating.
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    capacity: usize,
+    epoch: Instant,
+    inner: Mutex<RecorderInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("events", &inner.events.len())
+            .field("evicted", &inner.evicted)
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a disabled recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            enabled: AtomicBool::new(false),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(RecorderInner::default()),
+        }
+    }
+
+    /// Starts recording. Events emitted before this call are lost — the
+    /// recorder is opt-in by design.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the recorder is currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one event at simulated time `sim_ms`. A no-op (one
+    /// relaxed load) while disabled.
+    pub fn record(&self, sim_ms: u64, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        let wall_us = self.epoch.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        if inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.evicted += 1;
+        }
+        inner.events.push_back(Event {
+            seq,
+            sim_ms,
+            wall_us,
+            kind,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring after the capacity was reached.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().evicted
+    }
+
+    /// Discards all retained events (the enabled flag is untouched).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shed(container: &str) -> EventKind {
+        EventKind::DeliveryShed {
+            container: container.to_owned(),
+            class: "bulk",
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let recorder = FlightRecorder::default();
+        recorder.record(0, shed("c1"));
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_order_and_sim_time() {
+        let recorder = FlightRecorder::default();
+        recorder.enable();
+        recorder.record(10, shed("c1"));
+        recorder.record(
+            20,
+            EventKind::TaskBrokered {
+                task: "t1".into(),
+                container: "pg-1".into(),
+            },
+        );
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].sim_ms, 10);
+        assert_eq!(events[0].kind.label(), "delivery-shed");
+        assert_eq!(events[1].sim_view().0, 20);
+        assert_eq!(events[1].kind.label(), "task-brokered");
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_past_capacity() {
+        let recorder = FlightRecorder::with_capacity(2);
+        recorder.enable();
+        for t in 0..4u64 {
+            recorder.record(t, shed("c"));
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(recorder.evicted(), 2);
+        // The *newest* history survives.
+        assert_eq!(events[0].sim_ms, 2);
+        assert_eq!(events[1].sim_ms, 3);
+    }
+
+    #[test]
+    fn labels_and_details_are_stable() {
+        let kind = EventKind::BreakerTransition {
+            container: "pg-1".into(),
+            to: "open",
+        };
+        assert_eq!(kind.label(), "breaker-transition");
+        assert_eq!(kind.detail(), "pg-1 -> open");
+        assert_eq!(EventKind::TraceDropped.label(), "trace-dropped");
+    }
+}

@@ -99,7 +99,9 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
     out
 }
 
-fn json_escape(value: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and all control characters below `0x20`.
+pub fn json_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     for c in value.chars() {
         match c {
@@ -225,5 +227,293 @@ mod tests {
         let snapshot = Snapshot::default();
         assert_eq!(to_prometheus(&snapshot), "");
         assert_eq!(to_json(&snapshot), "{\"samples\":[]}");
+    }
+
+    /// Property tests: arbitrary label values — including control
+    /// characters, quotes and backslashes — must round-trip through the
+    /// escapers without producing invalid Prometheus text or invalid
+    /// JSON. The JSON check *parses* the output with a dependency-free
+    /// recursive-descent validator rather than pattern-matching it.
+    mod properties {
+        use super::*;
+        use crate::metrics::MetricsRegistry;
+        use proptest::prelude::*;
+
+        /// Inverse of [`escape_label_value`]; errors on raw newlines or
+        /// dangling/unknown escapes.
+        fn prom_unescape(escaped: &str) -> Result<String, String> {
+            let mut out = String::new();
+            let mut chars = escaped.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '\n' => return Err("raw newline in label value".into()),
+                    '\\' => match chars.next() {
+                        Some('\\') => out.push('\\'),
+                        Some('"') => out.push('"'),
+                        Some('n') => out.push('\n'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    other => out.push(other),
+                }
+            }
+            Ok(out)
+        }
+
+        /// Inverse of [`json_escape`] for the escapes it produces.
+        fn json_unescape(escaped: &str) -> Result<String, String> {
+            let mut out = String::new();
+            let mut chars = escaped.chars();
+            while let Some(c) = chars.next() {
+                if (c as u32) < 0x20 {
+                    return Err("raw control character".into());
+                }
+                if c != '\\' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4)
+                            .map(|_| chars.next().ok_or("short \\u escape"))
+                            .collect::<Result<_, _>>()?;
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+            }
+            Ok(out)
+        }
+
+        /// Minimal recursive-descent JSON syntax validator (the
+        /// workspace bans JSON dependencies, so the test carries its
+        /// own parser).
+        fn json_ok(text: &str) -> Result<(), String> {
+            let chars: Vec<char> = text.chars().collect();
+            let mut i = 0;
+            parse_value(&chars, &mut i)?;
+            skip_ws(&chars, &mut i);
+            if i != chars.len() {
+                return Err(format!("trailing data at char {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(chars: &[char], i: &mut usize) {
+            while chars
+                .get(*i)
+                .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+            {
+                *i += 1;
+            }
+        }
+
+        fn expect(chars: &[char], i: &mut usize, want: char) -> Result<(), String> {
+            if chars.get(*i) == Some(&want) {
+                *i += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {want:?} at char {i}, got {:?}",
+                    chars.get(*i)
+                ))
+            }
+        }
+
+        fn parse_value(chars: &[char], i: &mut usize) -> Result<(), String> {
+            skip_ws(chars, i);
+            match chars.get(*i) {
+                Some('{') => parse_object(chars, i),
+                Some('[') => parse_array(chars, i),
+                Some('"') => parse_string(chars, i),
+                Some('t') => parse_literal(chars, i, "true"),
+                Some('f') => parse_literal(chars, i, "false"),
+                Some('n') => parse_literal(chars, i, "null"),
+                Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, i),
+                other => Err(format!("unexpected {other:?} at char {i}")),
+            }
+        }
+
+        fn parse_object(chars: &[char], i: &mut usize) -> Result<(), String> {
+            expect(chars, i, '{')?;
+            skip_ws(chars, i);
+            if chars.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(chars, i);
+                parse_string(chars, i)?;
+                skip_ws(chars, i);
+                expect(chars, i, ':')?;
+                parse_value(chars, i)?;
+                skip_ws(chars, i);
+                match chars.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected , or }} got {other:?}")),
+                }
+            }
+        }
+
+        fn parse_array(chars: &[char], i: &mut usize) -> Result<(), String> {
+            expect(chars, i, '[')?;
+            skip_ws(chars, i);
+            if chars.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(chars, i)?;
+                skip_ws(chars, i);
+                match chars.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("expected , or ] got {other:?}")),
+                }
+            }
+        }
+
+        fn parse_string(chars: &[char], i: &mut usize) -> Result<(), String> {
+            expect(chars, i, '"')?;
+            while let Some(&c) = chars.get(*i) {
+                *i += 1;
+                match c {
+                    '"' => return Ok(()),
+                    '\\' => match chars.get(*i) {
+                        Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => *i += 1,
+                        Some('u') => {
+                            *i += 1;
+                            for _ in 0..4 {
+                                if !chars.get(*i).is_some_and(char::is_ascii_hexdigit) {
+                                    return Err("bad \\u escape".into());
+                                }
+                                *i += 1;
+                            }
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    c if (c as u32) < 0x20 => {
+                        return Err(format!("raw control char {:#04x} in string", c as u32))
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn parse_number(chars: &[char], i: &mut usize) -> Result<(), String> {
+            if chars.get(*i) == Some(&'-') {
+                *i += 1;
+            }
+            let digits_from = *i;
+            while chars.get(*i).is_some_and(char::is_ascii_digit) {
+                *i += 1;
+            }
+            if *i == digits_from {
+                return Err("number without digits".into());
+            }
+            if chars.get(*i) == Some(&'.') {
+                *i += 1;
+                while chars.get(*i).is_some_and(char::is_ascii_digit) {
+                    *i += 1;
+                }
+            }
+            if matches!(chars.get(*i), Some('e' | 'E')) {
+                *i += 1;
+                if matches!(chars.get(*i), Some('+' | '-')) {
+                    *i += 1;
+                }
+                while chars.get(*i).is_some_and(char::is_ascii_digit) {
+                    *i += 1;
+                }
+            }
+            Ok(())
+        }
+
+        fn parse_literal(chars: &[char], i: &mut usize, word: &str) -> Result<(), String> {
+            for want in word.chars() {
+                expect(chars, i, want)?;
+            }
+            Ok(())
+        }
+
+        #[test]
+        fn validator_accepts_and_rejects_correctly() {
+            assert!(json_ok(r#"{"a":[1,-2.5e3,"x\n",true,null],"b":{}}"#).is_ok());
+            assert!(json_ok(r#"{"a":1,}"#).is_err());
+            assert!(json_ok("{\"a\":\"raw\ncontrol\"}").is_err());
+            assert!(json_ok(r#"{"a":"\q"}"#).is_err());
+            assert!(json_ok(r#"{"a":1} trailing"#).is_err());
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // `.` draws printable ASCII (quotes and backslashes
+            // included) plus multi-byte characters; the class splices
+            // in raw control characters the dot never produces.
+            #[test]
+            fn label_values_round_trip_through_both_escapers(
+                printable in ".{0,24}",
+                nasty in "[\u{0}-\u{1f}\"\\\\`{}é ]{0,16}",
+            ) {
+                let value = format!("{printable}{nasty}");
+
+                // Prometheus: escaping is invertible and newline-free.
+                let escaped = escape_label_value(&value);
+                prop_assert!(!escaped.contains('\n'));
+                prop_assert_eq!(prom_unescape(&escaped).unwrap(), value.clone());
+
+                // JSON: escaping is invertible, control-char-free, and
+                // embedding it in a string literal stays parseable.
+                let jescaped = json_escape(&value);
+                prop_assert_eq!(json_unescape(&jescaped).unwrap(), value.clone());
+                prop_assert!(json_ok(&format!("{{\"v\":\"{jescaped}\"}}")).is_ok());
+            }
+
+            #[test]
+            fn exports_stay_well_formed_for_any_label_value(
+                printable in ".{0,24}",
+                nasty in "[\u{0}-\u{1f}\"\\\\`{}é ]{0,16}",
+            ) {
+                let value = format!("{printable}{nasty}");
+                let registry = MetricsRegistry::new();
+                registry.counter("prop_total", &[("k", &value)]).add(3);
+                registry.histogram("prop_ms", &[("k", &value)], &[10]).observe(4);
+                let snapshot = registry.snapshot();
+
+                // The counter's Prometheus line structure survives any
+                // label value: one line, ending in the count, with the
+                // original value recoverable from between the quotes.
+                let text = to_prometheus(&snapshot);
+                let line = text
+                    .lines()
+                    .find(|l| l.starts_with("prop_total{"))
+                    .expect("counter line present");
+                let quoted = line
+                    .strip_prefix("prop_total{k=\"")
+                    .and_then(|rest| rest.strip_suffix("\"} 3"))
+                    .expect("line matches name{k=\"...\"} value");
+                prop_assert_eq!(prom_unescape(quoted).unwrap(), value.clone());
+
+                // The whole JSON document must parse.
+                let json = to_json(&snapshot);
+                prop_assert!(json_ok(&json).is_ok(), "invalid JSON: {}", json);
+                prop_assert!(!json.chars().any(|c| (c as u32) < 0x20));
+            }
+        }
     }
 }

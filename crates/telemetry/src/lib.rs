@@ -12,7 +12,17 @@
 //! * [`trace`] — per-hop conversation spans with causal parent links,
 //!   so one collector batch can be followed through classifier, root,
 //!   analyzer and interface;
+//! * [`events`] — the **flight recorder**: a bounded ring of structured
+//!   overload/recovery events (sheds, breaker trips, crashes,
+//!   brokerings) with simulated + wall timestamps, off by default;
+//! * [`spans`] — end-to-end **task spans** stitching collector
+//!   observation → root award → analyzer verdict into one timeline per
+//!   task, feeding the `agentgrid_task_latency_ms` histogram and the
+//!   grid report's p50/p95/p99;
 //! * [`export`] — Prometheus text format and JSON snapshots;
+//! * [`perfetto`] — Chrome-trace JSON export of all of the above plus
+//!   the [`PoolProfiler`]'s per-worker lanes, loadable in
+//!   `ui.perfetto.dev`;
 //! * [`Telemetry`] — the facade both runtimes call, aggregating
 //!   per-container [`ContainerScope`]s (mailbox depth, deliveries,
 //!   handler busy time) that [`measured_load`] turns into the load
@@ -41,17 +51,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod export;
 pub mod metrics;
+pub mod perfetto;
+pub mod spans;
 pub mod trace;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use agentgrid_acl::{AgentId, SharedMessage};
 use parking_lot::Mutex;
 
+pub use events::{Event, EventKind, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Sample, SampleValue, Snapshot};
+pub use perfetto::{chrome_trace, PhaseSlice, PoolProfiler, WorkerSlice};
+pub use spans::{TaskLatencySummary, TaskSpan, TaskSpanStore};
 pub use trace::{ConversationTracer, Span, SpanId};
 
 /// Shared handle to one [`Telemetry`] instance; clone freely.
@@ -165,11 +182,18 @@ pub fn measured_load(mailbox_depth: i64, busy_delta_ns: u64, window_ns: u64) -> 
 pub struct Telemetry {
     registry: MetricsRegistry,
     tracer: ConversationTracer,
+    recorder: FlightRecorder,
+    task_spans: TaskSpanStore,
+    profiler: PoolProfiler,
     scopes: Mutex<BTreeMap<String, Arc<ContainerScope>>>,
     delivered_total: Counter,
     dead_letters_total: Counter,
     delivery_latency_ms: Histogram,
     delivery_batch_size: Histogram,
+    task_latency_ms: Histogram,
+    trace_dropped_total: Counter,
+    /// Whether the one-shot `TraceDropped` flight-recorder event fired.
+    trace_drop_event_emitted: AtomicBool,
 }
 
 impl Default for Telemetry {
@@ -187,14 +211,26 @@ impl Default for Telemetry {
             &[],
             &metrics::BATCH_SIZE_BUCKETS,
         );
+        let task_latency_ms = registry.histogram(
+            "agentgrid_task_latency_ms",
+            &[],
+            &metrics::LATENCY_BUCKETS_MS,
+        );
+        let trace_dropped_total = registry.counter("agentgrid_trace_dropped_spans_total", &[]);
         Telemetry {
             registry,
             tracer: ConversationTracer::default(),
+            recorder: FlightRecorder::default(),
+            task_spans: TaskSpanStore::default(),
+            profiler: PoolProfiler::default(),
             scopes: Mutex::new(BTreeMap::new()),
             delivered_total,
             dead_letters_total,
             delivery_latency_ms,
             delivery_batch_size,
+            task_latency_ms,
+            trace_dropped_total,
+            trace_drop_event_emitted: AtomicBool::new(false),
         }
     }
 }
@@ -213,6 +249,69 @@ impl Telemetry {
     /// The conversation tracer.
     pub fn tracer(&self) -> &ConversationTracer {
         &self.tracer
+    }
+
+    /// The flight recorder (third telemetry pillar). Disabled — one
+    /// relaxed atomic load per emission — until
+    /// [`FlightRecorder::enable`] is called.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The end-to-end task-span store. Populated by the grid root
+    /// whenever telemetry is attached.
+    pub fn task_spans(&self) -> &TaskSpanStore {
+        &self.task_spans
+    }
+
+    /// The pool runtime profiler; disabled until
+    /// [`PoolProfiler::enable`] is called.
+    pub fn pool_profiler(&self) -> &PoolProfiler {
+        &self.profiler
+    }
+
+    /// Records one flight-recorder event at simulated time `sim_ms`
+    /// (no-op while the recorder is disabled).
+    pub fn record_event(&self, sim_ms: u64, kind: EventKind) {
+        self.recorder.record(sim_ms, kind);
+    }
+
+    /// Opens the end-to-end span for a new task, anchored at the data's
+    /// observation time.
+    pub fn task_created(&self, task: &str, observed_ms: u64, now_ms: u64) {
+        self.task_spans.task_created(task, observed_ms, now_ms);
+    }
+
+    /// Records a task award; `reaward` marks re-brokered awards.
+    pub fn task_awarded(&self, task: &str, container: &str, now_ms: u64, reaward: bool) {
+        self.task_spans
+            .task_awarded(task, container, now_ms, reaward);
+    }
+
+    /// Closes a task span and observes its end-to-end simulated latency
+    /// into `agentgrid_task_latency_ms` (first completion only).
+    pub fn task_done(&self, task: &str, now_ms: u64) {
+        if let Some(latency_ms) = self.task_spans.task_done(task, now_ms) {
+            self.task_latency_ms.observe(latency_ms);
+        }
+    }
+
+    /// Deterministic p50/p95/p99 over completed task spans; `None`
+    /// until at least one task completed.
+    pub fn task_latency_summary(&self) -> Option<TaskLatencySummary> {
+        self.task_spans.summary()
+    }
+
+    /// Conversation spans dropped by the tracer's capacity cap
+    /// (`agentgrid_trace_dropped_spans_total`).
+    pub fn trace_dropped_total(&self) -> u64 {
+        self.trace_dropped_total.get()
+    }
+
+    /// Chrome-trace / Perfetto JSON rendering of spans, events and the
+    /// pool profile.
+    pub fn chrome_trace(&self) -> String {
+        perfetto::chrome_trace(self)
     }
 
     /// Gets or creates the scope for a container. Runtimes cache the
@@ -263,8 +362,17 @@ impl Telemetry {
 
     /// Records a message enqueued for routing (one span per receiver).
     /// `parent` is the span being handled when the send happened.
+    /// Capacity-cap drops surface as
+    /// `agentgrid_trace_dropped_spans_total` plus a one-shot
+    /// flight-recorder event on the first drop.
     pub fn message_sent(&self, message: &SharedMessage, parent: Option<SpanId>, now_ms: u64) {
-        self.tracer.on_send(message, parent, now_ms);
+        let dropped = self.tracer.on_send(message, parent, now_ms);
+        if dropped > 0 {
+            self.trace_dropped_total.add(dropped);
+            if !self.trace_drop_event_emitted.swap(true, Ordering::Relaxed) {
+                self.recorder.record(now_ms, EventKind::TraceDropped);
+            }
+        }
     }
 
     /// Records a delivery into `scope`'s container: counters, mailbox
@@ -458,6 +566,53 @@ mod tests {
         assert_eq!(measured_load(0, u64::MAX, 1), 1.0);
         // Ceiling holds when both terms are extreme.
         assert_eq!(measured_load(i64::MAX, u64::MAX, 1), 1.0);
+    }
+
+    #[test]
+    fn trace_drops_surface_as_counter_and_one_event() {
+        let telemetry = Telemetry {
+            tracer: ConversationTracer::with_capacity(1),
+            ..Telemetry::default()
+        };
+        telemetry.flight_recorder().enable();
+        telemetry.message_sent(&msg("a", "b@x"), None, 0);
+        assert_eq!(telemetry.trace_dropped_total(), 0);
+        telemetry.message_sent(&msg("a", "b@x"), None, 5);
+        telemetry.message_sent(&msg("a", "b@x"), None, 9);
+        assert_eq!(telemetry.trace_dropped_total(), 2);
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter("agentgrid_trace_dropped_spans_total", &[]),
+            Some(2)
+        );
+        // Only the first drop produces a flight-recorder event.
+        let events: Vec<_> = telemetry.flight_recorder().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::TraceDropped);
+        assert_eq!(events[0].sim_ms, 5);
+    }
+
+    #[test]
+    fn task_lifecycle_feeds_histogram_and_summary() {
+        let telemetry = Telemetry::new();
+        assert!(telemetry.task_latency_summary().is_none());
+        telemetry.task_created("t1", 0, 0);
+        telemetry.task_awarded("t1", "pg-1", 0, false);
+        telemetry.task_done("t1", 7_000);
+        let summary = telemetry.task_latency_summary().unwrap();
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.p99_ms, 7_000);
+        let snap = telemetry.snapshot();
+        let Some(SampleValue::Histogram { sum, count, .. }) = snap
+            .samples
+            .iter()
+            .find(|s| s.name == "agentgrid_task_latency_ms")
+            .map(|s| s.value.clone())
+        else {
+            panic!("task latency histogram missing");
+        };
+        assert_eq!((sum, count), (7_000, 1));
     }
 
     #[test]

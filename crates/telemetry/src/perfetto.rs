@@ -1,0 +1,429 @@
+//! Chrome-trace / Perfetto JSON export and the pool runtime profiler.
+//!
+//! [`chrome_trace`] renders everything the telemetry facade holds into
+//! one JSON document in the Chrome trace-event format, loadable directly
+//! in `ui.perfetto.dev` (or `chrome://tracing`). The document carries
+//! two synthetic processes:
+//!
+//! * **pid 1 — simulated time**: task spans (one complete event per
+//!   task, observation → done), conversation spans (one lane per
+//!   destination container) and flight-recorder instants. Timestamps
+//!   are simulated milliseconds rendered as microseconds, so the
+//!   timeline reads in grid time and is identical across runtimes.
+//! * **pid 2 — pool wall clock**: the [`PoolProfiler`]'s phase slices
+//!   (route / tick / merge, lane 0) and per-worker job slices (lane
+//!   `1 + worker`). Timestamps are real microseconds since the
+//!   profiler's epoch; gaps between job slices on a worker lane are its
+//!   idle time, and stolen jobs are flagged in the event args.
+//!
+//! The profiler is disabled by default and costs one relaxed atomic
+//! load per check, preserving the byte-identical-default discipline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::export::json_escape;
+use crate::Telemetry;
+
+/// One job executed by a pool worker during a tick phase.
+#[derive(Clone, Debug)]
+pub struct WorkerSlice {
+    /// Worker index within the phase (lane `1 + worker` in the trace).
+    pub worker: usize,
+    /// Container the job ticked.
+    pub container: String,
+    /// Start, µs since the profiler's epoch.
+    pub start_us: u64,
+    /// End, µs since the profiler's epoch.
+    pub end_us: u64,
+    /// Whether the job was stolen from a sibling's deque.
+    pub stolen: bool,
+}
+
+/// One runtime phase (route / tick / merge) of a pool step.
+#[derive(Clone, Debug)]
+pub struct PhaseSlice {
+    /// Phase label: `"route"`, `"tick"` or `"merge"`.
+    pub phase: &'static str,
+    /// Start, µs since the profiler's epoch.
+    pub start_us: u64,
+    /// End, µs since the profiler's epoch.
+    pub end_us: u64,
+}
+
+#[derive(Default)]
+struct ProfilerInner {
+    slices: Vec<WorkerSlice>,
+    phases: Vec<PhaseSlice>,
+}
+
+/// Wall-clock profiler for the work-stealing pool runtime: jobs run,
+/// steals, per-worker busy slices and route/tick/merge phase timing.
+/// Disabled by default (one relaxed load per check).
+pub struct PoolProfiler {
+    enabled: AtomicBool,
+    epoch: Instant,
+    jobs: AtomicU64,
+    steals: AtomicU64,
+    inner: Mutex<ProfilerInner>,
+}
+
+impl std::fmt::Debug for PoolProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolProfiler")
+            .field("enabled", &self.is_enabled())
+            .field("jobs", &self.jobs())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+impl Default for PoolProfiler {
+    fn default() -> Self {
+        PoolProfiler {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            inner: Mutex::new(ProfilerInner::default()),
+        }
+    }
+}
+
+impl PoolProfiler {
+    /// Starts profiling. Slices recorded before this call are lost.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the profiler is currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds elapsed since the profiler's epoch — the time base
+    /// every slice uses.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records one executed job. A no-op while disabled.
+    pub fn record_job(&self, worker: usize, container: &str, start_us: u64, stolen: bool) {
+        if !self.is_enabled() {
+            return;
+        }
+        let end_us = self.now_us();
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.lock().slices.push(WorkerSlice {
+            worker,
+            container: container.to_owned(),
+            start_us,
+            end_us,
+            stolen,
+        });
+    }
+
+    /// Records one runtime phase. A no-op while disabled.
+    pub fn record_phase(&self, phase: &'static str, start_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let end_us = self.now_us();
+        self.inner.lock().phases.push(PhaseSlice {
+            phase,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Jobs executed since enabling.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that arrived by stealing since enabling.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// All recorded worker slices.
+    pub fn slices(&self) -> Vec<WorkerSlice> {
+        self.inner.lock().slices.clone()
+    }
+
+    /// All recorded phase slices.
+    pub fn phases(&self) -> Vec<PhaseSlice> {
+        self.inner.lock().phases.clone()
+    }
+}
+
+/// Simulated-time process and its lanes.
+const PID_SIM: u64 = 1;
+const TID_TASKS: u64 = 1;
+const TID_EVENTS: u64 = 2;
+const TID_CONVERSATIONS_BASE: u64 = 3;
+/// Pool wall-clock process and its lanes.
+const PID_POOL: u64 = 2;
+const TID_PHASES: u64 = 0;
+const TID_WORKERS_BASE: u64 = 1;
+
+fn metadata(pid: u64, tid: Option<u64>, what: &str, name: &str) -> String {
+    let tid = tid.unwrap_or(0);
+    format!(
+        "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(name)
+    )
+}
+
+fn complete(pid: u64, tid: u64, name: &str, ts_us: u64, dur_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts_us},\"dur\":{},\"args\":{{{args}}}}}",
+        json_escape(name),
+        dur_us.max(1),
+    )
+}
+
+fn instant(pid: u64, tid: u64, name: &str, ts_us: u64, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{ts_us},\"args\":{{{args}}}}}",
+        json_escape(name),
+    )
+}
+
+fn str_arg(key: &str, value: &str) -> String {
+    format!("\"{key}\":\"{}\"", json_escape(value))
+}
+
+/// Renders the telemetry facade's spans, events and pool profile as one
+/// Chrome trace-event JSON document (`{"traceEvents":[...]}`), loadable
+/// in `ui.perfetto.dev`. See the [module docs](self) for the layout.
+pub fn chrome_trace(telemetry: &Telemetry) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(metadata(
+        PID_SIM,
+        None,
+        "process_name",
+        "grid (simulated time)",
+    ));
+    events.push(metadata(PID_SIM, Some(TID_TASKS), "thread_name", "tasks"));
+    events.push(metadata(
+        PID_SIM,
+        Some(TID_EVENTS),
+        "thread_name",
+        "flight recorder",
+    ));
+
+    // Task spans: observation -> done, one complete event per finished
+    // task; unfinished tasks render as instants at creation time.
+    for span in telemetry.task_spans().spans() {
+        let name = format!("task {}", span.task);
+        let mut args = vec![format!("\"observed_ms\":{}", span.observed_ms)];
+        if let Some(container) = &span.container {
+            args.push(str_arg("container", container));
+        }
+        args.push(format!("\"reawards\":{}", span.reawards));
+        let args = args.join(",");
+        match span.done_ms {
+            Some(done_ms) => events.push(complete(
+                PID_SIM,
+                TID_TASKS,
+                &name,
+                span.observed_ms * 1_000,
+                done_ms.saturating_sub(span.observed_ms) * 1_000,
+                &args,
+            )),
+            None => events.push(instant(
+                PID_SIM,
+                TID_TASKS,
+                &name,
+                span.created_ms * 1_000,
+                &args,
+            )),
+        }
+    }
+
+    // Flight-recorder instants.
+    for event in telemetry.flight_recorder().events() {
+        events.push(instant(
+            PID_SIM,
+            TID_EVENTS,
+            event.kind.label(),
+            event.sim_ms * 1_000,
+            &str_arg("detail", &event.kind.detail()),
+        ));
+    }
+
+    // Conversation spans: one lane per destination container, named
+    // lanes assigned in first-seen order.
+    let mut container_tids: Vec<String> = Vec::new();
+    for span in telemetry.tracer().spans() {
+        let container = span.container.as_deref().unwrap_or("(external)");
+        let tid = match container_tids.iter().position(|c| c == container) {
+            Some(i) => TID_CONVERSATIONS_BASE + i as u64,
+            None => {
+                container_tids.push(container.to_owned());
+                let tid = TID_CONVERSATIONS_BASE + (container_tids.len() - 1) as u64;
+                events.push(metadata(
+                    PID_SIM,
+                    Some(tid),
+                    "thread_name",
+                    &format!("mail {container}"),
+                ));
+                tid
+            }
+        };
+        let end_ms = span
+            .handled_ms
+            .or(span.delivered_ms)
+            .unwrap_or(span.enqueued_ms);
+        let args = [
+            str_arg("sender", &span.sender),
+            str_arg("receiver", &span.receiver),
+            str_arg("conversation", &span.conversation),
+            format!("\"dead_lettered\":{}", span.dead_lettered),
+        ]
+        .join(",");
+        events.push(complete(
+            PID_SIM,
+            tid,
+            &span.performative,
+            span.enqueued_ms * 1_000,
+            end_ms.saturating_sub(span.enqueued_ms) * 1_000,
+            &args,
+        ));
+    }
+
+    // Pool profile: phases on lane 0, one lane per worker above it.
+    let profiler = telemetry.pool_profiler();
+    let phases = profiler.phases();
+    let slices = profiler.slices();
+    if !phases.is_empty() || !slices.is_empty() {
+        events.push(metadata(
+            PID_POOL,
+            None,
+            "process_name",
+            "pool runtime (wall clock)",
+        ));
+        events.push(metadata(
+            PID_POOL,
+            Some(TID_PHASES),
+            "thread_name",
+            "phases",
+        ));
+        let lanes = slices.iter().map(|s| s.worker + 1).max().unwrap_or(0);
+        for worker in 0..lanes {
+            events.push(metadata(
+                PID_POOL,
+                Some(TID_WORKERS_BASE + worker as u64),
+                "thread_name",
+                &format!("worker {worker}"),
+            ));
+        }
+        for phase in &phases {
+            events.push(complete(
+                PID_POOL,
+                TID_PHASES,
+                phase.phase,
+                phase.start_us,
+                phase.end_us.saturating_sub(phase.start_us),
+                "",
+            ));
+        }
+        for slice in &slices {
+            events.push(complete(
+                PID_POOL,
+                TID_WORKERS_BASE + slice.worker as u64,
+                &slice.container,
+                slice.start_us,
+                slice.end_us.saturating_sub(slice.start_us),
+                &format!("\"stolen\":{}", slice.stolen),
+            ));
+        }
+    }
+
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let profiler = PoolProfiler::default();
+        let start = profiler.now_us();
+        profiler.record_job(0, "cg-1", start, false);
+        profiler.record_phase("tick", start);
+        assert_eq!(profiler.jobs(), 0);
+        assert!(profiler.slices().is_empty());
+        assert!(profiler.phases().is_empty());
+    }
+
+    #[test]
+    fn enabled_profiler_counts_jobs_and_steals() {
+        let profiler = PoolProfiler::default();
+        profiler.enable();
+        let start = profiler.now_us();
+        profiler.record_job(0, "cg-1", start, false);
+        profiler.record_job(1, "cg-2", start, true);
+        profiler.record_phase("route", start);
+        assert_eq!(profiler.jobs(), 2);
+        assert_eq!(profiler.steals(), 1);
+        let slices = profiler.slices();
+        assert_eq!(slices.len(), 2);
+        assert!(slices.iter().all(|s| s.end_us >= s.start_us));
+        assert_eq!(profiler.phases()[0].phase, "route");
+    }
+
+    #[test]
+    fn chrome_trace_renders_every_pillar() {
+        let telemetry = Telemetry::new();
+        telemetry.task_spans().task_created("t1", 0, 0);
+        telemetry.task_spans().task_awarded("t1", "pg-1", 0, false);
+        telemetry.task_spans().task_done("t1", 120_000);
+        telemetry.flight_recorder().enable();
+        telemetry.flight_recorder().record(
+            60_000,
+            EventKind::Crash {
+                container: "pg-1".into(),
+            },
+        );
+        telemetry.pool_profiler().enable();
+        let start = telemetry.pool_profiler().now_us();
+        telemetry
+            .pool_profiler()
+            .record_job(0, "cg-hq", start, true);
+        telemetry.pool_profiler().record_phase("tick", start);
+        let trace = chrome_trace(&telemetry);
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.ends_with("]}"));
+        assert!(trace.contains("\"name\":\"task t1\""));
+        assert!(trace.contains("\"dur\":120000000"), "{trace}");
+        assert!(trace.contains("\"name\":\"crash\""));
+        assert!(trace.contains("\"name\":\"worker 0\""));
+        assert!(trace.contains("\"stolen\":true"));
+        assert!(trace.contains("grid (simulated time)"));
+        assert!(trace.contains("pool runtime (wall clock)"));
+        // No raw control characters may survive into the document.
+        assert!(!trace.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn trace_without_pool_profile_omits_pid_2() {
+        let telemetry = Telemetry::new();
+        telemetry.task_spans().task_created("t1", 0, 0);
+        let trace = chrome_trace(&telemetry);
+        assert!(!trace.contains("pool runtime"));
+        // Unfinished task renders as an instant, not a complete event.
+        assert!(trace.contains("\"ph\":\"i\""));
+    }
+}

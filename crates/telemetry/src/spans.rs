@@ -1,0 +1,256 @@
+//! End-to-end task spans: one span per brokered analysis task.
+//!
+//! The conversation tracer records per-hop spans; this module stitches
+//! the hops of one task into a single timeline keyed by task id —
+//! collector observation (the classifier's `data-ready` timestamp) →
+//! root creation → award → analyzer verdict (`done`). All timestamps are
+//! **simulated time**, so the resulting latencies are deterministic for
+//! a seeded run and identical across the deterministic and pool
+//! runtimes; wall-clock stamps are kept alongside purely for the
+//! Perfetto timeline.
+//!
+//! The store is populated by the grid root (the only agent that sees a
+//! task's full lifecycle) and read by `GridReport` (p50/p95/p99) and the
+//! Perfetto exporter.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One task's stitched timeline, simulated-time fields throughout
+/// except the `wall_*` pair.
+#[derive(Clone, Debug)]
+pub struct TaskSpan {
+    /// Task id (`t1`, `t2`, …).
+    pub task: String,
+    /// When the underlying data was observed — the classifier's
+    /// `data-ready` timestamp (falls back to creation time when the
+    /// notification carried none).
+    pub observed_ms: u64,
+    /// When the root created the task.
+    pub created_ms: u64,
+    /// When the task was last awarded to a container.
+    pub awarded_ms: Option<u64>,
+    /// Container holding the most recent award.
+    pub container: Option<String>,
+    /// Times the task was re-awarded after its first award.
+    pub reawards: u32,
+    /// When the analyzer's `done` report cleared the task.
+    pub done_ms: Option<u64>,
+    /// Wall-clock µs (store epoch) at creation — Perfetto only.
+    pub wall_created_us: u64,
+    /// Wall-clock µs (store epoch) at completion — Perfetto only.
+    pub wall_done_us: Option<u64>,
+}
+
+impl TaskSpan {
+    /// End-to-end simulated latency: observation → done. `None` until
+    /// the task completes.
+    pub fn latency_ms(&self) -> Option<u64> {
+        self.done_ms
+            .map(|done| done.saturating_sub(self.observed_ms))
+    }
+}
+
+/// Deterministic percentile summary of completed task spans
+/// (nearest-rank over the exact simulated latencies — not a bucket
+/// approximation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskLatencySummary {
+    /// Completed spans the percentiles cover.
+    pub count: u64,
+    /// Median latency, ms of simulated time.
+    pub p50_ms: u64,
+    /// 95th percentile latency.
+    pub p95_ms: u64,
+    /// 99th percentile latency.
+    pub p99_ms: u64,
+}
+
+/// Nearest-rank percentile over a **sorted** slice.
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// The task-span store behind the [`Telemetry`](crate::Telemetry)
+/// facade. Always on when telemetry is attached: one `BTreeMap` entry
+/// per task is orders of magnitude below the conversation tracer's
+/// footprint.
+pub struct TaskSpanStore {
+    epoch: Instant,
+    inner: Mutex<BTreeMap<String, TaskSpan>>,
+}
+
+impl std::fmt::Debug for TaskSpanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpanStore")
+            .field("tasks", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl Default for TaskSpanStore {
+    fn default() -> Self {
+        TaskSpanStore {
+            epoch: Instant::now(),
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl TaskSpanStore {
+    /// Opens the span for a freshly created task. `observed_ms` anchors
+    /// the span at the data's observation time.
+    pub fn task_created(&self, task: &str, observed_ms: u64, now_ms: u64) {
+        let wall_created_us = self.epoch.elapsed().as_micros() as u64;
+        self.inner
+            .lock()
+            .entry(task.to_owned())
+            .or_insert(TaskSpan {
+                task: task.to_owned(),
+                observed_ms: observed_ms.min(now_ms),
+                created_ms: now_ms,
+                awarded_ms: None,
+                container: None,
+                reawards: 0,
+                done_ms: None,
+                wall_created_us,
+                wall_done_us: None,
+            });
+    }
+
+    /// Records an award (or re-award) of `task` to `container`.
+    pub fn task_awarded(&self, task: &str, container: &str, now_ms: u64, reaward: bool) {
+        let mut inner = self.inner.lock();
+        let Some(span) = inner.get_mut(task) else {
+            return;
+        };
+        span.awarded_ms = Some(now_ms);
+        span.container = Some(container.to_owned());
+        if reaward {
+            span.reawards += 1;
+        }
+    }
+
+    /// Closes `task`'s span at its `done` report; returns the
+    /// end-to-end simulated latency for histogram observation. Repeat
+    /// completions (a retried request answered twice) return `None`.
+    pub fn task_done(&self, task: &str, now_ms: u64) -> Option<u64> {
+        let wall_done_us = self.epoch.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock();
+        let span = inner.get_mut(task)?;
+        if span.done_ms.is_some() {
+            return None;
+        }
+        span.done_ms = Some(now_ms);
+        span.wall_done_us = Some(wall_done_us);
+        span.latency_ms()
+    }
+
+    /// All spans, by task id order.
+    pub fn spans(&self) -> Vec<TaskSpan> {
+        self.inner.lock().values().cloned().collect()
+    }
+
+    /// The sorted latencies of completed spans (ms of simulated time) —
+    /// the exact data behind [`summary`](Self::summary), exposed so
+    /// parity tests can compare whole distributions.
+    pub fn completed_latencies(&self) -> Vec<u64> {
+        let mut latencies: Vec<u64> = self
+            .inner
+            .lock()
+            .values()
+            .filter_map(TaskSpan::latency_ms)
+            .collect();
+        latencies.sort_unstable();
+        latencies
+    }
+
+    /// Deterministic p50/p95/p99 over completed spans; `None` until at
+    /// least one task completed.
+    pub fn summary(&self) -> Option<TaskLatencySummary> {
+        let latencies = self.completed_latencies();
+        if latencies.is_empty() {
+            return None;
+        }
+        Some(TaskLatencySummary {
+            count: latencies.len() as u64,
+            p50_ms: percentile(&latencies, 50),
+            p95_ms: percentile(&latencies, 95),
+            p99_ms: percentile(&latencies, 99),
+        })
+    }
+
+    /// Number of tracked tasks (completed or not).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no task was ever tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_yields_latency_once() {
+        let store = TaskSpanStore::default();
+        store.task_created("t1", 60_000, 60_000);
+        store.task_awarded("t1", "pg-1", 60_000, false);
+        assert_eq!(store.task_done("t1", 180_000), Some(120_000));
+        assert_eq!(store.task_done("t1", 240_000), None, "second done ignored");
+        let span = &store.spans()[0];
+        assert_eq!(span.container.as_deref(), Some("pg-1"));
+        assert_eq!(span.reawards, 0);
+        assert_eq!(span.latency_ms(), Some(120_000));
+    }
+
+    #[test]
+    fn reawards_are_counted() {
+        let store = TaskSpanStore::default();
+        store.task_created("t1", 0, 0);
+        store.task_awarded("t1", "pg-1", 0, false);
+        store.task_awarded("t1", "pg-2", 120_000, true);
+        let span = &store.spans()[0];
+        assert_eq!(span.reawards, 1);
+        assert_eq!(span.container.as_deref(), Some("pg-2"));
+    }
+
+    #[test]
+    fn summary_is_nearest_rank_and_deterministic() {
+        let store = TaskSpanStore::default();
+        for (i, latency) in [0u64, 0, 0, 60_000].iter().enumerate() {
+            let task = format!("t{i}");
+            store.task_created(&task, 0, 0);
+            store.task_done(&task, *latency);
+        }
+        let summary = store.summary().unwrap();
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.p50_ms, 0);
+        assert_eq!(summary.p95_ms, 60_000);
+        assert_eq!(summary.p99_ms, 60_000);
+    }
+
+    #[test]
+    fn empty_store_has_no_summary() {
+        let store = TaskSpanStore::default();
+        assert!(store.summary().is_none());
+        store.task_created("t1", 0, 0);
+        assert!(store.summary().is_none(), "uncompleted tasks excluded");
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[1, 2], 50), 1);
+        assert_eq!(percentile(&[1, 2], 99), 2);
+    }
+}

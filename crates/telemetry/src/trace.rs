@@ -116,14 +116,19 @@ impl ConversationTracer {
     /// Records that `message` was enqueued for routing, creating one
     /// span per receiver. `parent` is the span being handled when the
     /// send happened (`None` for external posts and tick/setup sends).
-    pub fn on_send(&self, message: &SharedMessage, parent: Option<SpanId>, now_ms: u64) {
+    /// Returns the number of spans the capacity cap dropped during
+    /// *this* call (0 in the common case), so the caller can surface
+    /// drops instead of losing them silently.
+    pub fn on_send(&self, message: &SharedMessage, parent: Option<SpanId>, now_ms: u64) -> u64 {
         let mut inner = self.inner.lock();
+        let mut dropped_now = 0u64;
         let parent_conversation = parent
             .and_then(|id| inner.spans.get(&id))
             .map(|span| span.conversation.clone());
         for receiver in message.receivers() {
             if inner.spans.len() >= self.capacity {
                 inner.dropped += 1;
+                dropped_now += 1;
                 continue;
             }
             let id = inner.next_id;
@@ -155,6 +160,7 @@ impl ConversationTracer {
                 .insert((message_key(message), receiver.to_string()), id);
             inner.retained.push(SharedMessage::clone(message));
         }
+        dropped_now
     }
 
     /// Marks the hop to `receiver` as delivered into `container`'s
@@ -401,9 +407,13 @@ mod tests {
     #[test]
     fn capacity_caps_spans_and_counts_drops() {
         let tracer = ConversationTracer::with_capacity(2);
-        for _ in 0..3 {
-            tracer.on_send(&msg("a", &["b"]), None, 0);
-        }
+        assert_eq!(tracer.on_send(&msg("a", &["b"]), None, 0), 0);
+        assert_eq!(tracer.on_send(&msg("a", &["b"]), None, 0), 0);
+        assert_eq!(
+            tracer.on_send(&msg("a", &["b"]), None, 0),
+            1,
+            "drops are reported per call"
+        );
         assert_eq!(tracer.len(), 2);
         assert_eq!(tracer.dropped(), 1);
         tracer.clear();

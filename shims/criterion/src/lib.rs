@@ -6,7 +6,10 @@
 //!   calibrated and timed, reporting mean wall-clock time per iteration —
 //!   no statistical analysis, plots or saved baselines;
 //! - under `cargo test` (no `--bench` flag) each benchmark body runs
-//!   exactly once as a smoke test, so broken benches fail the suite fast.
+//!   exactly once as a smoke test, so broken benches fail the suite fast;
+//! - like real criterion, a positional argument is a substring filter:
+//!   `cargo bench --bench foo -- some_group` runs only the benchmarks
+//!   whose full label contains `some_group`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,13 +78,23 @@ enum Mode {
 #[derive(Debug)]
 pub struct Criterion {
     mode: Mode,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        let bench = std::env::args().any(|a| a == "--bench");
+        let mut bench = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                bench = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
         Criterion {
             mode: if bench { Mode::Measure } else { Mode::Smoke },
+            filter,
         }
     }
 }
@@ -89,7 +102,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Runs a standalone benchmark.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(self.mode, name, f);
+        run_one(self.mode, self.filter.as_deref(), name, f);
         self
     }
 
@@ -98,7 +111,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             mode: self.mode,
-            _criterion: self,
+            criterion: self,
         }
     }
 }
@@ -107,7 +120,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     mode: Mode,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -128,7 +141,12 @@ impl BenchmarkGroup<'_> {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = id.into();
-        run_one(self.mode, &format!("{}/{}", self.name, id.label), f);
+        run_one(
+            self.mode,
+            self.criterion.filter.as_deref(),
+            &format!("{}/{}", self.name, id.label),
+            f,
+        );
         self
     }
 
@@ -139,9 +157,12 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(self.mode, &format!("{}/{}", self.name, id.label), |b| {
-            f(b, input)
-        });
+        run_one(
+            self.mode,
+            self.criterion.filter.as_deref(),
+            &format!("{}/{}", self.name, id.label),
+            |b| f(b, input),
+        );
         self
     }
 
@@ -149,7 +170,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one(mode: Mode, label: &str, mut f: impl FnMut(&mut Bencher)) {
+fn run_one(mode: Mode, filter: Option<&str>, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    if let Some(filter) = filter {
+        if !label.contains(filter) {
+            return;
+        }
+    }
     let mut bencher = Bencher {
         mode,
         mean_ns: None,
@@ -280,6 +306,23 @@ mod tests {
         bencher.iter(|| calls += 1);
         assert_eq!(calls, 1);
         assert!(bencher.mean_ns.is_none());
+    }
+
+    #[test]
+    fn filter_skips_non_matching_labels() {
+        let mut calls = 0;
+        run_one(Mode::Smoke, Some("fanout"), "fig2_grid/pool/64", |b| {
+            b.iter(|| calls += 1)
+        });
+        assert_eq!(calls, 0);
+        run_one(Mode::Smoke, Some("grid"), "fig2_grid/pool/64", |b| {
+            b.iter(|| calls += 1)
+        });
+        assert_eq!(calls, 1);
+        run_one(Mode::Smoke, None, "fig2_grid/pool/64", |b| {
+            b.iter(|| calls += 1)
+        });
+        assert_eq!(calls, 2);
     }
 
     #[test]

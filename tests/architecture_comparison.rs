@@ -685,6 +685,108 @@ mod parity_matrix {
     }
 }
 
+/// Observability parity: with telemetry attached and the flight
+/// recorder enabled, the deterministic stepper and the work-stealing
+/// pool must agree on everything stamped in *simulated* time under the
+/// same seeded chaos plan — the rendered report (including the
+/// task-latency percentiles), the completed task-latency distribution,
+/// and the flight-recorder event set (compared via [`Event::sim_view`],
+/// which drops the wall-clock stamp). Any divergence means scheduling
+/// leaked into recorded state.
+#[test]
+fn flight_recorder_and_task_spans_agree_across_runtimes() {
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+    use agentgrid_suite::telemetry::{Event, EventKind, Telemetry, TelemetryHandle};
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+    let seed = 42u64;
+    let horizon = 18 * 60_000;
+    let plan = ChaosPlan::seeded(seed, &["pg-1".into(), "pg-2".into()], horizon);
+    assert!(!plan.is_empty());
+    let builder = |telemetry: TelemetryHandle| {
+        let mut net = Network::new();
+        for i in 0..3 {
+            net.add_device(
+                Device::builder(format!("srv-{i}"), DeviceKind::Server)
+                    .site("hq")
+                    .seed(i)
+                    .build(),
+            );
+        }
+        ManagementGrid::builder()
+            .network(net)
+            .collectors_per_site(1)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .chaos(plan.clone())
+            .telemetry(telemetry)
+    };
+
+    let det_t = Telemetry::new();
+    det_t.flight_recorder().enable();
+    let det = builder(det_t.clone()).build().run(horizon, 60_000);
+
+    let pool_t = Telemetry::new();
+    pool_t.flight_recorder().enable();
+    let pool = builder(pool_t.clone()).build_pool().run(horizon, 60_000);
+
+    // Both sides must have actually recorded something, or the parity
+    // assertions below would pass vacuously.
+    assert!(
+        det.task_latency.is_some(),
+        "telemetry attached: the report must carry latency percentiles"
+    );
+    assert!(!det_t.flight_recorder().is_empty());
+    let crashes = det_t
+        .flight_recorder()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Crash { .. }))
+        .count();
+    assert!(crashes > 0, "the chaos plan must flight-record its crash");
+
+    // Reports byte-identical, latency summaries and full distributions
+    // equal — all simulated-time quantities.
+    assert_eq!(det.render(), pool.render(), "reports must match");
+    assert_eq!(det.task_latency, pool.task_latency);
+    assert_eq!(
+        det_t.task_spans().completed_latencies(),
+        pool_t.task_spans().completed_latencies(),
+        "end-to-end latency distributions must match"
+    );
+
+    // Flight-recorder parity on the (sim-time, kind) view; wall-clock
+    // stamps differ run to run by construction. Sorted: within one
+    // timestamp the pool merges outboxes by container name, so ordering
+    // of same-instant events is not part of the contract.
+    let sim_events = |t: &TelemetryHandle| {
+        let mut events: Vec<(u64, EventKind)> = t
+            .flight_recorder()
+            .events()
+            .iter()
+            .map(Event::sim_view)
+            .collect();
+        events.sort();
+        events
+    };
+    assert_eq!(
+        sim_events(&det_t),
+        sim_events(&pool_t),
+        "flight-recorder event sets must match across runtimes"
+    );
+}
+
 #[test]
 fn workload_pacing_reduces_contention_not_work() {
     let costs = CostModel::table1();
