@@ -48,6 +48,18 @@
 //! on these seeded scenarios — CI diffs `--runtime pool` output against
 //! the default to prove it. (`mobility` always uses the deterministic
 //! stepper: migration is a stepper-only API.)
+//!
+//! `--store {chunked,naive}` selects the time-series backend for the
+//! live-grid experiments: `chunked` (default) is the compressed
+//! chunk engine, `naive` is the executable specification it is proved
+//! against. Both produce byte-identical reports — CI diffs
+//! `--store naive` output against the default to prove it.
+//!
+//! `--store-bench-json <path>` times store ingest, windowed range
+//! queries and bytes/sample for both backends at 1k/100k/1M points and
+//! writes the medians to `<path>` as JSON (the `BENCH_pr8.json`
+//! artifact). With no explicit experiment list, `--store-bench-json`
+//! runs only the store benchmark.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
@@ -66,12 +78,12 @@ use agentgrid::CostModel;
 use agentgrid_baselines::MultiAgentSystem;
 use agentgrid_bench::{
     fig6_reports, grid_scaling_report, inference_facts, inference_kb, inference_store,
-    mean_completions, standard_network, ALL_SKILLS,
+    mean_completions, standard_network, store_workload, ALL_SKILLS,
 };
 use agentgrid_net::{FaultKind, ScheduledFault};
 use agentgrid_platform::{Telemetry, TelemetryHandle};
 use agentgrid_rules::{parse_rules, Engine, KnowledgeBase, NaiveEngine};
-use agentgrid_store::ManagementStore;
+use agentgrid_store::{AggKind, Classifier, LabelFilter, ManagementStore, StoreBackend};
 
 /// Execution model for the live-grid experiments; all three produce
 /// byte-identical reports on the seeded scenarios.
@@ -123,7 +135,9 @@ fn main() {
     let chaos_seed = take_chaos_flag(&mut args);
     let overload_seed = take_overload_flag(&mut args);
     let bench_json = take_bench_json_flag(&mut args);
+    let store_bench_json = take_store_bench_json_flag(&mut args);
     let runtime = take_runtime_flag(&mut args);
+    let store = take_store_flag(&mut args);
     let telemetry = (metrics_path.is_some() || trace_path.is_some()).then(Telemetry::new);
     if let (Some(_), Some(t)) = (&trace_path, &telemetry) {
         t.flight_recorder().enable();
@@ -131,7 +145,10 @@ fn main() {
     }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         if args.is_empty()
-            && (chaos_seed.is_some() || overload_seed.is_some() || bench_json.is_some())
+            && (chaos_seed.is_some()
+                || overload_seed.is_some()
+                || bench_json.is_some()
+                || store_bench_json.is_some())
         {
             let mut only = Vec::new();
             if chaos_seed.is_some() {
@@ -142,6 +159,9 @@ fn main() {
             }
             if bench_json.is_some() {
                 only.push("bench");
+            }
+            if store_bench_json.is_some() {
+                only.push("store-bench");
             }
             only
         } else {
@@ -167,18 +187,24 @@ fn main() {
         match experiment {
             "table1" => table1(),
             "fig1" => fig1(),
-            "fig2" => fig2(telemetry.as_ref(), runtime),
+            "fig2" => fig2(telemetry.as_ref(), runtime, store),
             "fig3" => fig3(),
             "fig4" => fig4(),
             "fig5" => fig5(),
             "fig6" => fig6(),
             "crossover" => crossover(),
-            "lb" => lb_ablation(telemetry.as_ref(), runtime),
+            "lb" => lb_ablation(telemetry.as_ref(), runtime, store),
             "scaling" => scaling(),
-            "mobility" => mobility(telemetry.as_ref()),
-            "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref(), runtime),
-            "overload" => overload(overload_seed.unwrap_or(7), telemetry.as_ref(), runtime),
+            "mobility" => mobility(telemetry.as_ref(), store),
+            "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref(), runtime, store),
+            "overload" => overload(
+                overload_seed.unwrap_or(7),
+                telemetry.as_ref(),
+                runtime,
+                store,
+            ),
             "bench" => bench_inference(bench_json.as_deref()),
+            "store-bench" => store_bench(store_bench_json.as_deref()),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
@@ -307,6 +333,54 @@ fn take_runtime_flag(args: &mut Vec<String>) -> RuntimeChoice {
     RuntimeChoice::Deterministic
 }
 
+/// Removes `--store <backend>` (or `--store=<backend>`) from `args` and
+/// returns the chosen time-series backend; defaults to the chunked
+/// engine.
+fn take_store_flag(args: &mut Vec<String>) -> StoreBackend {
+    let parse = |raw: &str| {
+        StoreBackend::parse(raw).unwrap_or_else(|| {
+            eprintln!("--store must be chunked or naive, got `{raw}`");
+            std::process::exit(2);
+        })
+    };
+    if let Some(i) = args.iter().position(|a| a == "--store") {
+        if i + 1 >= args.len() {
+            eprintln!("--store needs an argument (chunked or naive)");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return parse(&raw);
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--store=")) {
+        let raw = args.remove(i)["--store=".len()..].to_owned();
+        return parse(&raw);
+    }
+    StoreBackend::default()
+}
+
+/// Removes `--store-bench-json <path>` (or `--store-bench-json=<path>`)
+/// from `args` and returns the path, if present.
+fn take_store_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--store-bench-json") {
+        if i + 1 >= args.len() {
+            eprintln!("--store-bench-json needs a path argument");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(path);
+    }
+    if let Some(i) = args
+        .iter()
+        .position(|a| a.starts_with("--store-bench-json="))
+    {
+        let path = args.remove(i)["--store-bench-json=".len()..].to_owned();
+        return Some(path);
+    }
+    None
+}
+
 /// Removes `--bench-json <path>` (or `--bench-json=<path>`) from `args`
 /// and returns the path, if present.
 fn take_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
@@ -388,10 +462,11 @@ fn fig1() {
 }
 
 /// Figure 2: the full agent-grid architecture, live, over two sites.
-fn fig2(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
+fn fig2(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice, store: StoreBackend) {
     banner("Figure 2 — agent-grid architecture, live run over two sites");
     let mut builder = ManagementGrid::builder()
         .network(standard_network(2, 4, 11))
+        .store_backend(store)
         .collectors_per_site(2)
         .analyzer("pg-1", 1.0, ALL_SKILLS)
         .analyzer("pg-2", 1.0, ALL_SKILLS)
@@ -515,16 +590,18 @@ fn crossover() {
 }
 
 /// Extension: load-balancing policy ablation on the live grid.
-fn lb_ablation(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
+fn lb_ablation(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice, store: StoreBackend) {
     banner("Extension — load-balancing policy ablation (live grid)");
     fn run_with(
         policy: impl LoadBalancer + 'static,
         telemetry: Option<&TelemetryHandle>,
         runtime: RuntimeChoice,
+        store: StoreBackend,
     ) -> (String, String) {
         let name = policy.name().to_owned();
         let mut builder = ManagementGrid::builder()
             .network(standard_network(1, 6, 17))
+            .store_backend(store)
             .collectors_per_site(2)
             .analyzer("pg-fast", 4.0, ALL_SKILLS)
             .analyzer("pg-slow", 1.0, ALL_SKILLS)
@@ -545,11 +622,11 @@ fn lb_ablation(telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
         )
     }
     for (name, line) in [
-        run_with(KnowledgeCapacityIdle, telemetry, runtime),
-        run_with(ContractNet, telemetry, runtime),
-        run_with(LeastLoaded, telemetry, runtime),
-        run_with(RoundRobin::default(), telemetry, runtime),
-        run_with(Random::new(42), telemetry, runtime),
+        run_with(KnowledgeCapacityIdle, telemetry, runtime, store),
+        run_with(ContractNet, telemetry, runtime, store),
+        run_with(LeastLoaded, telemetry, runtime, store),
+        run_with(RoundRobin::default(), telemetry, runtime, store),
+        run_with(Random::new(42), telemetry, runtime, store),
     ] {
         println!("{name:<24} {line}");
     }
@@ -575,10 +652,11 @@ fn scaling() {
 }
 
 /// Extension: mobility — migrating an analyzer to a spare container.
-fn mobility(telemetry: Option<&TelemetryHandle>) {
+fn mobility(telemetry: Option<&TelemetryHandle>, store: StoreBackend) {
     banner("Extension — mobility: analyzer migration to spare capacity");
     let mut builder = ManagementGrid::builder()
         .network(standard_network(1, 6, 23))
+        .store_backend(store)
         .collectors_per_site(2)
         .analyzer("pg-1", 1.0, ALL_SKILLS);
     if let Some(t) = telemetry {
@@ -628,7 +706,12 @@ fn mobility(telemetry: Option<&TelemetryHandle>) {
 /// crash-detect-re-broker sequence is reproducible. Exits nonzero if
 /// any task is permanently lost or the replay diverges, so CI can use
 /// it as a smoke check.
-fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
+fn chaos(
+    seed: u64,
+    telemetry: Option<&TelemetryHandle>,
+    runtime: RuntimeChoice,
+    store: StoreBackend,
+) {
     banner(&format!(
         "Chaos — seeded failures vs the recovery layer (seed {seed})"
     ));
@@ -642,6 +725,7 @@ fn chaos(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice)
     let run_once = |telemetry: Option<&TelemetryHandle>| {
         let mut builder = ManagementGrid::builder()
             .network(standard_network(1, 4, 7))
+            .store_backend(store)
             .collectors_per_site(2)
             .analyzer("pg-1", 1.0, ALL_SKILLS)
             .analyzer("pg-2", 1.0, ALL_SKILLS)
@@ -777,6 +861,109 @@ fn bench_inference(json_path: Option<&str>) {
     }
 }
 
+/// Store micro-benchmark: the chunked engine vs the `NaiveStore`
+/// executable spec on the SNMP-shaped workload (twenty series: integer
+/// gauges plus octet counters on a 60 s cadence) at 1k/100k/1M points.
+/// Times ingest and a full windowed range-query sweep, and reports
+/// bytes/sample. Prints a table; with a path, also writes the medians
+/// as JSON (the `BENCH_pr8.json` artifact).
+fn store_bench(json_path: Option<&str>) {
+    banner("Store bench — naive spec vs chunked engine");
+    println!("ingest + storage footprint:");
+    println!(
+        "{:>9} {:>13} {:>13} {:>8} {:>8} {:>8} {:>8}",
+        "points", "naive-ins-ns", "chunk-ins-ns", "speedup", "naive-B", "chunk-B", "ratio"
+    );
+    let mut rows = Vec::new();
+    let mut query_lines = Vec::new();
+    for n in [1_000usize, 100_000, 1_000_000] {
+        let records = store_workload(n);
+        let runs = if n >= 1_000_000 {
+            3
+        } else if n >= 100_000 {
+            5
+        } else {
+            15
+        };
+        let build = |backend: StoreBackend| {
+            let mut store = ManagementStore::with_backend(backend, Classifier::standard());
+            store.insert_all(records.iter().cloned());
+            store
+        };
+        let (naive_ingest_ns, _) = median_ns(runs, || build(StoreBackend::Naive).len() as u64);
+        let (chunked_ingest_ns, _) = median_ns(runs, || build(StoreBackend::Chunked).len() as u64);
+        let naive = build(StoreBackend::Naive);
+        let chunked = build(StoreBackend::Chunked);
+        // Two range-query shapes over every series' full retention
+        // window: the capacity-report "daily peak" sweep (where the
+        // chunked engine absorbs whole-chunk summaries without
+        // decompressing) and the consolidation "mean per ten minutes"
+        // sweep (which decodes every point).
+        let sweep = |store: &ManagementStore, step: u64, kind: AggKind| {
+            store
+                .query_windows(&LabelFilter::Any, 0, u64::MAX, step, kind)
+                .iter()
+                .map(|series| series.windows.len() as u64)
+                .sum()
+        };
+        let (naive_peak_ns, naive_w) =
+            median_ns(runs, || sweep(&naive, 1_440 * 60_000, AggKind::Max));
+        let (chunked_peak_ns, chunked_w) =
+            median_ns(runs, || sweep(&chunked, 1_440 * 60_000, AggKind::Max));
+        assert_eq!(naive_w, chunked_w, "backends must agree");
+        let (naive_mean_ns, naive_w) =
+            median_ns(runs, || sweep(&naive, 10 * 60_000, AggKind::Mean));
+        let (chunked_mean_ns, chunked_w) =
+            median_ns(runs, || sweep(&chunked, 10 * 60_000, AggKind::Mean));
+        assert_eq!(naive_w, chunked_w, "backends must agree");
+        let naive_bps = naive.storage_bytes() as f64 / n as f64;
+        let chunked_bps = chunked.storage_bytes() as f64 / n as f64;
+        let ingest_speedup = naive_ingest_ns as f64 / chunked_ingest_ns.max(1) as f64;
+        let peak_speedup = naive_peak_ns as f64 / chunked_peak_ns.max(1) as f64;
+        let mean_speedup = naive_mean_ns as f64 / chunked_mean_ns.max(1) as f64;
+        let ratio = naive_bps / chunked_bps;
+        println!(
+            "{n:>9} {naive_ingest_ns:>13} {chunked_ingest_ns:>13} {ingest_speedup:>7.1}x \
+             {naive_bps:>8.2} {chunked_bps:>8.2} {ratio:>7.1}x"
+        );
+        query_lines.push(format!(
+            "{n:>9} {naive_peak_ns:>13} {chunked_peak_ns:>13} {peak_speedup:>7.1}x \
+             {naive_mean_ns:>13} {chunked_mean_ns:>13} {mean_speedup:>7.1}x"
+        ));
+        rows.push(format!(
+            "    {{\"points\": {n}, \"naive_ingest_ns\": {naive_ingest_ns}, \
+             \"chunked_ingest_ns\": {chunked_ingest_ns}, \"ingest_speedup\": {ingest_speedup:.2}, \
+             \"naive_range_query_ns\": {naive_peak_ns}, \
+             \"chunked_range_query_ns\": {chunked_peak_ns}, \
+             \"range_query_speedup\": {peak_speedup:.2}, \
+             \"naive_mean_query_ns\": {naive_mean_ns}, \
+             \"chunked_mean_query_ns\": {chunked_mean_ns}, \
+             \"mean_query_speedup\": {mean_speedup:.2}, \
+             \"naive_bytes_per_sample\": {naive_bps:.2}, \
+             \"chunked_bytes_per_sample\": {chunked_bps:.2}, \
+             \"bytes_per_sample_reduction\": {ratio:.2}, \
+             \"chunks\": {chunks}}}",
+            chunks = chunked.chunk_count(),
+        ));
+    }
+    println!("\nrange queries (peak = max/24 h windows, mean = mean/10 min windows):");
+    println!(
+        "{:>9} {:>13} {:>13} {:>8} {:>13} {:>13} {:>8}",
+        "points", "peak-naive", "peak-chunk", "speedup", "mean-naive", "mean-chunk", "speedup"
+    );
+    for line in &query_lines {
+        println!("{line}");
+    }
+    if let Some(path) = json_path {
+        let json = format!("{{\n  \"store\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("failed to write store bench results to {path}: {err}");
+            std::process::exit(1);
+        }
+        println!("store bench results written to {path}");
+    }
+}
+
 /// Overload experiment: a deliberately undersized grid (six collectors
 /// on a tight cadence funnelling into one classifier) behind every
 /// overload defence at once — bounded mailboxes with shed-by-priority,
@@ -786,7 +973,12 @@ fn bench_inference(json_path: Option<&str>) {
 /// alert-class message was lost, the mailbox high-water stayed within
 /// the cap, and the replay is bit-identical — so CI can use it as a
 /// smoke check.
-fn overload(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoice) {
+fn overload(
+    seed: u64,
+    telemetry: Option<&TelemetryHandle>,
+    runtime: RuntimeChoice,
+    store: StoreBackend,
+) {
     banner(&format!(
         "Overload — burst traffic vs bounded mailboxes (seed {seed})"
     ));
@@ -808,6 +1000,7 @@ fn overload(seed: u64, telemetry: Option<&TelemetryHandle>, runtime: RuntimeChoi
             .collector_pacing(true);
         let mut builder = ManagementGrid::builder()
             .network(standard_network(2, 4, seed))
+            .store_backend(store)
             .collectors_per_site(3)
             .analyzer("pg-1", 1.0, ALL_SKILLS)
             .analyzer("pg-2", 1.0, ALL_SKILLS)

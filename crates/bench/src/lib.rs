@@ -141,6 +141,60 @@ pub fn inference_store(points_per_series: usize) -> ManagementStore {
     store
 }
 
+/// SNMP-shaped ingest workload for the store benchmark: `total` samples
+/// spread round-robin over twenty series (five devices, four metrics:
+/// three slowly-walking integer gauges plus a monotone octet counter),
+/// on a fixed 60 s poll cadence — the shape collectors actually
+/// produce. Deterministic: same `total`, same records.
+pub fn store_workload(total: usize) -> Vec<Record> {
+    const METRICS: [&str; 4] = [
+        "cpu.load.1",
+        "storage.ram.used",
+        "storage.disk.used-pct",
+        "if.1.in-octets",
+    ];
+    let mut out = Vec::with_capacity(total);
+    // Per-series gauge levels and counter values, walked with a
+    // xorshift stream so the data is jittery but integer-valued.
+    let mut loads = [40i64; 5];
+    let mut rams = [4096i64; 5];
+    let mut disks = [55i64; 5];
+    let mut octets = [0u64; 5];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..total {
+        let device = (i / METRICS.len()) % 5;
+        let metric = METRICS[i % METRICS.len()];
+        let tick = (i / (5 * METRICS.len())) as u64;
+        let ts = (tick + 1) * 60_000;
+        let value = match metric {
+            "cpu.load.1" => {
+                loads[device] = (loads[device] + (rng() % 15) as i64 - 7).clamp(0, 100);
+                loads[device] as f64
+            }
+            "storage.ram.used" => {
+                rams[device] = (rams[device] + (rng() % 65) as i64 - 32).clamp(0, 8192);
+                rams[device] as f64
+            }
+            "storage.disk.used-pct" => {
+                disks[device] = (disks[device] + (rng() % 3) as i64 - 1).clamp(0, 100);
+                disks[device] as f64
+            }
+            _ => {
+                octets[device] += 12_000 + rng() % 4_096;
+                octets[device] as f64
+            }
+        };
+        out.push(Record::new(format!("host-{device}"), metric, value, ts));
+    }
+    out
+}
+
 /// Sum of network busy time across all hosts of a report.
 pub fn total_net_busy(report: &SimReport) -> u64 {
     report
@@ -198,6 +252,21 @@ mod tests {
         let store = inference_store(50);
         assert_eq!(store.len(), 5 * 2 * 50);
         assert!(store.stats("host-0", "cpu.load.1", 0, u64::MAX).is_some());
+    }
+
+    #[test]
+    fn store_workload_is_deterministic_and_in_order_per_series() {
+        let a = store_workload(2_000);
+        assert_eq!(a.len(), 2_000);
+        assert_eq!(a, store_workload(2_000));
+        let mut last: std::collections::BTreeMap<(String, String), u64> = Default::default();
+        for r in &a {
+            let key = (r.device.clone(), r.metric.clone());
+            assert!(r.value.fract() == 0.0, "workload is integer-valued");
+            let prev = last.insert(key, r.timestamp_ms);
+            assert!(prev.is_none_or(|p| p < r.timestamp_ms), "per-series order");
+        }
+        assert_eq!(last.len(), 20, "five devices x four metrics");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use agentgrid_acl::ontology::{
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_platform::{Agent, AgentCtx};
 use agentgrid_rules::{parse_rules, Engine, Fact, KnowledgeBase, RuleSeverity};
-use agentgrid_store::ManagementStore;
+use agentgrid_store::{LabelFilter, ManagementStore};
 use parking_lot::Mutex;
 
 /// How much projected load one analysis task adds to a container, per
@@ -183,18 +183,19 @@ pub fn analyze_task_with(
     now: u64,
 ) -> (Vec<Alert>, u64) {
     engine.reset();
+    // Series selection goes through the store's label index. Fact
+    // insertion order feeds the rule engine's recency ordering, so the
+    // enumeration must stay exactly partition-name order, then
+    // (device, metric) order within each partition — `select(class=p)`
+    // returns the same sorted set `by_partition(p)` iterates.
     let series: Vec<(String, String)> = if task.level >= 3 || task.partition == "*" {
         store
             .partitions()
             .iter()
-            .flat_map(|p| store.by_partition(p))
-            .map(|(d, m)| (d.to_owned(), m.to_owned()))
+            .flat_map(|p| store.select(&LabelFilter::class(p)))
             .collect()
     } else {
-        store
-            .by_partition(&task.partition)
-            .map(|(d, m)| (d.to_owned(), m.to_owned()))
-            .collect()
+        store.select(&LabelFilter::class(&task.partition))
     };
     for (device, metric) in &series {
         if let Some((_, value)) = store.latest(device, metric) {

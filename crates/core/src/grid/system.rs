@@ -10,7 +10,7 @@ use agentgrid_platform::{
     Platform, PoolRuntime, Runtime, TelemetryHandle, ThreadedRuntime, TransportFault,
 };
 use agentgrid_rules::{parse_rules, KnowledgeBase};
-use agentgrid_store::ManagementStore;
+use agentgrid_store::{Classifier, ManagementStore, StoreBackend};
 use agentgrid_telemetry::{measured_load, EventKind, TaskLatencySummary};
 use parking_lot::Mutex;
 
@@ -49,6 +49,7 @@ pub struct GridBuilder {
     recovery: Option<RecoveryConfig>,
     chaos: Option<ChaosPlan>,
     overload: Option<OverloadConfig>,
+    store_backend: StoreBackend,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -163,6 +164,16 @@ impl GridBuilder {
         self
     }
 
+    /// Selects the management-store engine (default
+    /// [`StoreBackend::Chunked`]). The naive backend is the executable
+    /// spec the chunked engine is tested against; running a grid on it
+    /// (CI's store-parity smoke does) must produce byte-identical
+    /// reports.
+    pub fn store_backend(mut self, backend: StoreBackend) -> Self {
+        self.store_backend = backend;
+        self
+    }
+
     /// Feeds **measured** load (mailbox depth + handler busy time, the
     /// paper's Fig. 4 resource profile as observed rather than declared)
     /// into the directory each tick, so [`KnowledgeCapacityIdle`] ranks
@@ -239,7 +250,10 @@ impl GridBuilder {
             .or_else(|| overload.breaker.map(|_| RecoveryConfig::default()));
 
         let network = Arc::new(Mutex::new(self.network));
-        let store = Arc::new(Mutex::new(ManagementStore::default()));
+        let store = Arc::new(Mutex::new(ManagementStore::with_backend(
+            self.store_backend,
+            Classifier::standard(),
+        )));
         let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
         let mut platform = R::create("grid");
         if recovery.is_some() {
@@ -610,6 +624,7 @@ impl ManagementGrid {
             recovery: None,
             chaos: None,
             overload: None,
+            store_backend: StoreBackend::default(),
         }
     }
 }
@@ -641,6 +656,29 @@ impl<R: Runtime> ManagementGrid<R> {
             self.platform.run_until_idle(now);
             if self.live_profiles {
                 self.refresh_profiles(tick_ms);
+            }
+            // Store-footprint gauges, only when a sink is attached —
+            // unobserved runs stay byte-identical.
+            if let Some(t) = self.platform.telemetry() {
+                let (points, bytes, chunks) = {
+                    let store = self.store.lock();
+                    (store.len(), store.storage_bytes(), store.chunk_count())
+                };
+                let registry = t.registry();
+                registry
+                    .gauge("agentgrid_store_points", &[])
+                    .set(points as i64);
+                registry
+                    .gauge("agentgrid_store_bytes", &[])
+                    .set(bytes as i64);
+                registry
+                    .gauge("agentgrid_store_chunks", &[])
+                    .set(chunks as i64);
+                let per_sample = (bytes * 1000).checked_div(points).unwrap_or(0) as i64;
+                // Milli-bytes per sample (integer gauge registry).
+                registry
+                    .gauge("agentgrid_store_bytes_per_sample_milli", &[])
+                    .set(per_sample);
             }
             self.ticks += 1;
         }

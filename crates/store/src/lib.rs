@@ -9,8 +9,11 @@
 //! * [`Classifier`] — partitions records into named clusters by metric
 //!   prefix, so analysis tasks can be divided along partition lines;
 //! * [`ManagementStore`] — an indexed time-series store with per-device /
-//!   per-metric / per-partition retrieval, range queries, aggregation and
-//!   retention;
+//!   per-metric / per-partition retrieval, label-filter selection, range
+//!   queries, windowed aggregation and retention. A facade over two
+//!   engines: the chunk-compressed [`ChunkedStore`] (Gorilla-style
+//!   delta-of-delta + XOR encoding, default) and the record-per-point
+//!   [`NaiveStore`] (the executable spec both are tested against);
 //! * [`ReplicatedStore`] — N-way replication with primary failover (the
 //!   paper's future-work item on "storage, replication, indexing and
 //!   recuperation of management data").
@@ -32,12 +35,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunks;
 mod classify;
+mod index;
+mod naive;
+mod query;
 mod record;
 mod replicate;
 mod store;
 
+pub use chunks::{
+    ChunkSeries, EncodeError, RollingAgg, RunVisitor, SealedChunk, DEFAULT_CHUNK_CAPACITY,
+};
 pub use classify::Classifier;
+pub use index::{Label, LabelFilter, SeriesKey};
+pub use naive::NaiveStore;
+pub use query::{AggKind, SeriesStats, SeriesWindows, WindowPoint};
 pub use record::Record;
 pub use replicate::{ReplicaError, ReplicatedStore};
-pub use store::{ManagementStore, SeriesStats};
+pub use store::{ChunkedStore, ManagementStore, StoreBackend};

@@ -1,92 +1,313 @@
-use std::collections::{BTreeMap, BTreeSet};
+//! The chunked store engine and the `ManagementStore` facade.
 
-use crate::{Classifier, Record};
+use std::collections::BTreeMap;
 
-/// Aggregate statistics over one series range (used by level-2
-/// "consolidation" analyses).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SeriesStats {
-    /// Number of points.
-    pub count: usize,
-    /// Minimum value.
-    pub min: f64,
-    /// Maximum value.
-    pub max: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Latest value in the range.
-    pub last: f64,
-}
+use crate::chunks::{ChunkSeries, DEFAULT_CHUNK_CAPACITY};
+use crate::index::{LabelFilter, LabelIndex, SeriesKey};
+use crate::query::{self, AggKind, SeriesStats, SeriesWindows};
+use crate::{Classifier, NaiveStore, Record};
 
-/// Rolling aggregates of one series, kept in step with its points.
+/// The chunk-compressed store backend.
 ///
-/// Accumulation happens in ascending-timestamp order in both the rolling
-/// (append) path and the recompute path, so `sum`/`min`/`max` are
-/// bit-for-bit identical to a fresh forward scan of the points.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct SeriesAgg {
-    count: usize,
-    min: f64,
-    max: f64,
-    sum: f64,
-}
-
-impl SeriesAgg {
-    fn empty() -> Self {
-        SeriesAgg {
-            count: 0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            sum: 0.0,
-        }
-    }
-
-    /// Folds in one value appended after every existing point.
-    fn append(&mut self, value: f64) {
-        self.count += 1;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.sum += value;
-    }
-
-    /// Recomputes from scratch — the fallback for out-of-order inserts,
-    /// same-timestamp replacements and pruning, where rolling updates
-    /// can't be done exactly (min/max/sum are not invertible).
-    fn rescan(points: &BTreeMap<u64, f64>) -> Self {
-        let mut agg = SeriesAgg::empty();
-        for v in points.values() {
-            agg.append(*v);
-        }
-        agg
-    }
-}
-
-/// One `(device, metric)` series: its points plus rolling aggregates.
+/// One [`ChunkSeries`] per `(device, metric)` key — sealed Gorilla
+/// chunks plus an uncompressed head buffer — behind the same
+/// [`LabelIndex`] the naive backend uses. All aggregate folds go
+/// through [`query`], so observables are bit-identical to
+/// [`NaiveStore`] (pinned by the equivalence proptests).
 #[derive(Debug, Clone)]
-struct Series {
-    /// timestamp → value.
-    points: BTreeMap<u64, f64>,
-    agg: SeriesAgg,
+pub struct ChunkedStore {
+    classifier: Classifier,
+    series: BTreeMap<SeriesKey, ChunkSeries>,
+    index: LabelIndex,
+    len: usize,
+    chunk_capacity: usize,
 }
 
-impl Series {
-    fn new() -> Self {
-        Series {
-            points: BTreeMap::new(),
-            agg: SeriesAgg::empty(),
+impl ChunkedStore {
+    /// Creates an empty store with the given classifier and the default
+    /// chunk capacity.
+    pub fn new(classifier: Classifier) -> Self {
+        ChunkedStore::with_chunk_capacity(classifier, DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Creates an empty store with an explicit points-per-chunk
+    /// capacity (minimum 2). Small capacities exercise seal/split/merge
+    /// paths in tests.
+    pub fn with_chunk_capacity(classifier: Classifier, chunk_capacity: usize) -> Self {
+        ChunkedStore {
+            classifier,
+            series: BTreeMap::new(),
+            index: LabelIndex::default(),
+            len: 0,
+            chunk_capacity: chunk_capacity.max(2),
         }
     }
+
+    /// The classifier in use.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Inserts one record (same replace-on-equal-timestamp semantics as
+    /// [`NaiveStore`]). NaN values must be filtered by the caller (the
+    /// facade drops them).
+    pub fn insert(&mut self, record: Record) {
+        debug_assert!(!record.value.is_nan(), "NaN must be rejected by the caller");
+        let partition = self.classifier.classify(&record).to_owned();
+        let key = (record.device.clone(), record.metric.clone());
+        let capacity = self.chunk_capacity;
+        let series = self
+            .series
+            .entry(key)
+            .or_insert_with(|| ChunkSeries::new(capacity));
+        if series.upsert(record.timestamp_ms, record.value) {
+            self.len += 1;
+        }
+        self.index
+            .observe(&record.device, &record.metric, &partition, &record.site);
+    }
+
+    /// Total number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All devices seen, in name order.
+    pub fn devices(&self) -> impl Iterator<Item = &str> {
+        self.index.devices()
+    }
+
+    /// Metrics observed on one device.
+    pub fn metrics_of(&self, device: &str) -> impl Iterator<Item = &str> {
+        self.index.metrics_of(device)
+    }
+
+    /// Devices seen at a site.
+    pub fn devices_at(&self, site: &str) -> impl Iterator<Item = &str> {
+        self.index.devices_at(site)
+    }
+
+    /// Non-empty partitions, in name order.
+    pub fn partitions(&self) -> Vec<&str> {
+        self.index.partitions()
+    }
+
+    /// Series keys `(device, metric)` in a partition.
+    pub fn by_partition<'a>(
+        &'a self,
+        partition: &str,
+    ) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        self.index.by_partition(partition)
+    }
+
+    /// Sorted series keys matching a label filter.
+    pub fn select(&self, filter: &LabelFilter) -> Vec<SeriesKey> {
+        self.index.select(filter).into_iter().collect()
+    }
+
+    /// Points of one series in `[from_ms, to_ms)`, in time order.
+    /// Sealed chunks wholly outside the window are never decoded.
+    pub fn range(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.series
+            .get(&(device.to_owned(), metric.to_owned()))
+            .into_iter()
+            .flat_map(move |series| series.iter_range(from_ms, to_ms))
+    }
+
+    /// Latest point of a series, if any. O(log n) — served from the
+    /// head buffer or the last chunk header, never by decoding.
+    pub fn latest(&self, device: &str, metric: &str) -> Option<(u64, f64)> {
+        self.series
+            .get(&(device.to_owned(), metric.to_owned()))?
+            .latest()
+    }
+
+    /// Aggregate statistics over `[from_ms, to_ms)`; `None` when the
+    /// range holds no points. Whole-series windows hit the lazily
+    /// cached rolling aggregates; sub-ranges fold the decoded stream.
+    pub fn stats(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> Option<SeriesStats> {
+        let series = self.series.get(&(device.to_owned(), metric.to_owned()))?;
+        let first_ts = series.first_ts()?;
+        let (last_ts, last) = series.latest()?;
+        if from_ms <= first_ts && to_ms > last_ts {
+            let agg = series.rolling_agg();
+            return Some(SeriesStats {
+                count: agg.count,
+                min: agg.min,
+                max: agg.max,
+                mean: agg.sum / agg.count as f64,
+                last,
+            });
+        }
+        query::fold_stats(series.iter_range(from_ms, to_ms))
+    }
+
+    /// Least-squares slope of a series over `[from_ms, to_ms)`, in value
+    /// units **per minute**. `None` with fewer than two points or zero
+    /// time spread.
+    pub fn trend_per_min(
+        &self,
+        device: &str,
+        metric: &str,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> Option<f64> {
+        let series = self.series.get(&(device.to_owned(), metric.to_owned()))?;
+        query::fold_trend(|| series.iter_range(from_ms, to_ms))
+    }
+
+    /// Windowed aggregates for every series matching `filter`,
+    /// sequentially, in series-key order.
+    pub fn query_windows(
+        &self,
+        filter: &LabelFilter,
+        from_ms: u64,
+        to_ms: u64,
+        step_ms: u64,
+        kind: AggKind,
+    ) -> Vec<SeriesWindows> {
+        let keys = self.select(filter);
+        keys.into_iter()
+            .map(|key| {
+                let windows = self.windows_for(&key, from_ms, to_ms, step_ms, kind);
+                SeriesWindows { key, windows }
+            })
+            .collect()
+    }
+
+    /// Windowed aggregates of one series: decoded points stream
+    /// straight into the shared [`query::WindowFold`], so the output is
+    /// bit-identical to folding the naive backend's iterator.
+    fn windows_for(
+        &self,
+        key: &SeriesKey,
+        from_ms: u64,
+        to_ms: u64,
+        step_ms: u64,
+        kind: AggKind,
+    ) -> Vec<query::WindowPoint> {
+        let mut fold = query::WindowFold::new(from_ms, step_ms, kind);
+        if let Some(series) = self.series.get(key) {
+            series.for_each_run(from_ms, to_ms, &mut fold);
+        }
+        fold.finish()
+    }
+
+    /// [`query_windows`](ChunkedStore::query_windows) fanned out over
+    /// `threads` scoped worker threads; results are merged in
+    /// series-key order and are byte-identical to the sequential path.
+    pub fn query_windows_parallel(
+        &self,
+        filter: &LabelFilter,
+        from_ms: u64,
+        to_ms: u64,
+        step_ms: u64,
+        kind: AggKind,
+        threads: usize,
+    ) -> Vec<SeriesWindows> {
+        let keys = self.select(filter);
+        query::fan_out(&keys, threads, |key| {
+            let windows = self.windows_for(key, from_ms, to_ms, step_ms, kind);
+            SeriesWindows {
+                key: key.clone(),
+                windows,
+            }
+        })
+    }
+
+    /// Drops every point older than `horizon_ms`, returning how many
+    /// were removed. Whole out-of-horizon chunks are dropped without
+    /// decoding; aggregates are invalidated lazily.
+    pub fn prune_before(&mut self, horizon_ms: u64) -> usize {
+        let mut removed = 0;
+        for series in self.series.values_mut() {
+            removed += series.prune_before(horizon_ms);
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Stored bytes: encoded chunk payloads plus raw head buffers.
+    pub fn storage_bytes(&self) -> usize {
+        self.series.values().map(ChunkSeries::storage_bytes).sum()
+    }
+
+    /// Total chunks across all series (sealed + non-empty heads).
+    pub fn chunk_count(&self) -> usize {
+        self.series.values().map(ChunkSeries::chunk_count).sum()
+    }
+
+    /// Total lazy aggregate re-folds performed across all series.
+    pub fn agg_refolds(&self) -> u64 {
+        self.series.values().map(ChunkSeries::refolds).sum()
+    }
+}
+
+impl Default for ChunkedStore {
+    fn default() -> Self {
+        ChunkedStore::new(Classifier::standard())
+    }
+}
+
+/// Which engine a [`ManagementStore`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// Chunk-compressed engine (the default).
+    #[default]
+    Chunked,
+    /// Record-per-point reference engine (the executable spec; used by
+    /// the CI parity smoke and as the bench baseline).
+    Naive,
+}
+
+impl StoreBackend {
+    /// Parses a backend name (`chunked`/`naive`).
+    pub fn parse(name: &str) -> Option<StoreBackend> {
+        match name {
+            "chunked" => Some(StoreBackend::Chunked),
+            "naive" => Some(StoreBackend::Naive),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Chunked(ChunkedStore),
+    Naive(NaiveStore),
 }
 
 /// The classifier grid's indexed time-series store.
 ///
 /// Inserting a [`Record`] files it under its `(device, metric)` series,
-/// updates the per-device / per-metric / per-partition indexes, and tags
-/// it with the partition assigned by the [`Classifier`]. Everything is
-/// retrievable without scanning: the paper's "easy-to-retrieve form".
-/// Whole-series [`stats`](ManagementStore::stats) and
-/// [`latest`](ManagementStore::latest) are O(log n) lookups against
-/// rolling per-series aggregates; sub-range queries fall back to a scan.
+/// updates the label index, and tags it with the partition assigned by
+/// the [`Classifier`]. Everything is retrievable without scanning: the
+/// paper's "easy-to-retrieve form". Since PR 8 this is a facade over
+/// two interchangeable engines — the chunk-compressed default and the
+/// record-per-point [`NaiveStore`] spec — selected per instance with
+/// [`with_backend`](ManagementStore::with_backend); every observable is
+/// bit-identical across the two.
+///
+/// NaN values are rejected (silently dropped) at this facade for both
+/// backends: replace-on-equal-timestamp and min/max aggregation are
+/// undefined for NaN, and the chunk encoder refuses it.
 ///
 /// # Examples
 ///
@@ -103,72 +324,60 @@ impl Series {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ManagementStore {
-    classifier: Classifier,
-    /// (device, metric) → series points + rolling aggregates.
-    series: BTreeMap<(String, String), Series>,
-    /// device → metrics observed on it.
-    device_index: BTreeMap<String, BTreeSet<String>>,
-    /// partition → (device, metric) keys in it.
-    partition_index: BTreeMap<String, BTreeSet<(String, String)>>,
-    /// site → devices seen at it.
-    site_index: BTreeMap<String, BTreeSet<String>>,
-    len: usize,
+    inner: Inner,
+}
+
+macro_rules! delegate {
+    ($self:ident, $s:ident => $body:expr) => {
+        match &$self.inner {
+            Inner::Chunked($s) => $body,
+            Inner::Naive($s) => $body,
+        }
+    };
+    (mut $self:ident, $s:ident => $body:expr) => {
+        match &mut $self.inner {
+            Inner::Chunked($s) => $body,
+            Inner::Naive($s) => $body,
+        }
+    };
 }
 
 impl ManagementStore {
-    /// Creates an empty store with the given classifier.
+    /// Creates an empty store on the default (chunked) backend.
     pub fn new(classifier: Classifier) -> Self {
-        ManagementStore {
-            classifier,
-            series: BTreeMap::new(),
-            device_index: BTreeMap::new(),
-            partition_index: BTreeMap::new(),
-            site_index: BTreeMap::new(),
-            len: 0,
+        ManagementStore::with_backend(StoreBackend::Chunked, classifier)
+    }
+
+    /// Creates an empty store on an explicit backend.
+    pub fn with_backend(backend: StoreBackend, classifier: Classifier) -> Self {
+        let inner = match backend {
+            StoreBackend::Chunked => Inner::Chunked(ChunkedStore::new(classifier)),
+            StoreBackend::Naive => Inner::Naive(NaiveStore::new(classifier)),
+        };
+        ManagementStore { inner }
+    }
+
+    /// Which backend this store runs on.
+    pub fn backend(&self) -> StoreBackend {
+        match &self.inner {
+            Inner::Chunked(_) => StoreBackend::Chunked,
+            Inner::Naive(_) => StoreBackend::Naive,
         }
     }
 
     /// The classifier in use.
     pub fn classifier(&self) -> &Classifier {
-        &self.classifier
+        delegate!(self, s => s.classifier())
     }
 
     /// Inserts one record. Re-inserting the same `(device, metric,
-    /// timestamp)` replaces the value (idempotent collection retries).
+    /// timestamp)` replaces the value (idempotent collection retries);
+    /// NaN values are dropped.
     pub fn insert(&mut self, record: Record) {
-        let partition = self.classifier.classify(&record).to_owned();
-        let key = (record.device.clone(), record.metric.clone());
-        let series = self.series.entry(key.clone()).or_insert_with(Series::new);
-        let appended = series
-            .points
-            .last_key_value()
-            .is_none_or(|(t, _)| record.timestamp_ms > *t);
-        if series
-            .points
-            .insert(record.timestamp_ms, record.value)
-            .is_none()
-        {
-            self.len += 1;
+        if record.value.is_nan() {
+            return;
         }
-        if appended {
-            series.agg.append(record.value);
-        } else {
-            // Out-of-order insert or same-timestamp replacement: rebuild
-            // so the accumulation order stays a forward scan.
-            series.agg = SeriesAgg::rescan(&series.points);
-        }
-        self.device_index
-            .entry(record.device.clone())
-            .or_default()
-            .insert(record.metric.clone());
-        self.partition_index
-            .entry(partition)
-            .or_default()
-            .insert(key);
-        self.site_index
-            .entry(record.site)
-            .or_default()
-            .insert(record.device);
+        delegate!(mut self, s => s.insert(record))
     }
 
     /// Inserts many records.
@@ -180,44 +389,44 @@ impl ManagementStore {
 
     /// Total number of stored points.
     pub fn len(&self) -> usize {
-        self.len
+        delegate!(self, s => s.len())
     }
 
     /// Whether the store holds no points.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        delegate!(self, s => s.is_empty())
     }
 
     /// All devices seen, in name order.
     pub fn devices(&self) -> impl Iterator<Item = &str> {
-        self.device_index.keys().map(String::as_str)
+        let (a, b) = match &self.inner {
+            Inner::Chunked(s) => (Some(s.devices()), None),
+            Inner::Naive(s) => (None, Some(s.devices())),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
     }
 
     /// Metrics observed on one device.
     pub fn metrics_of(&self, device: &str) -> impl Iterator<Item = &str> {
-        self.device_index
-            .get(device)
-            .into_iter()
-            .flatten()
-            .map(String::as_str)
+        let (a, b) = match &self.inner {
+            Inner::Chunked(s) => (Some(s.metrics_of(device)), None),
+            Inner::Naive(s) => (None, Some(s.metrics_of(device))),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
     }
 
     /// Devices seen at a site.
     pub fn devices_at(&self, site: &str) -> impl Iterator<Item = &str> {
-        self.site_index
-            .get(site)
-            .into_iter()
-            .flatten()
-            .map(String::as_str)
+        let (a, b) = match &self.inner {
+            Inner::Chunked(s) => (Some(s.devices_at(site)), None),
+            Inner::Naive(s) => (None, Some(s.devices_at(site))),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
     }
 
     /// Non-empty partitions, in name order.
     pub fn partitions(&self) -> Vec<&str> {
-        self.partition_index
-            .iter()
-            .filter(|(_, keys)| !keys.is_empty())
-            .map(|(p, _)| p.as_str())
-            .collect()
+        delegate!(self, s => s.partitions())
     }
 
     /// Series keys `(device, metric)` in a partition.
@@ -225,11 +434,17 @@ impl ManagementStore {
         &'a self,
         partition: &str,
     ) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
-        self.partition_index
-            .get(partition)
-            .into_iter()
-            .flatten()
-            .map(|(d, m)| (d.as_str(), m.as_str()))
+        let (a, b) = match &self.inner {
+            Inner::Chunked(s) => (Some(s.by_partition(partition)), None),
+            Inner::Naive(s) => (None, Some(s.by_partition(partition))),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
+    }
+
+    /// Sorted series keys matching a label filter (see
+    /// [`LabelFilter::parse`] for the matcher syntax).
+    pub fn select(&self, filter: &LabelFilter) -> Vec<SeriesKey> {
+        delegate!(self, s => s.select(filter))
     }
 
     /// Points of one series in `[from_ms, to_ms)`, in time order.
@@ -240,27 +455,20 @@ impl ManagementStore {
         from_ms: u64,
         to_ms: u64,
     ) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.series
-            .get(&(device.to_owned(), metric.to_owned()))
-            .into_iter()
-            .flat_map(move |series| series.points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)))
+        let (a, b) = match &self.inner {
+            Inner::Chunked(s) => (Some(s.range(device, metric, from_ms, to_ms)), None),
+            Inner::Naive(s) => (None, Some(s.range(device, metric, from_ms, to_ms))),
+        };
+        a.into_iter().flatten().chain(b.into_iter().flatten())
     }
 
     /// Latest point of a series, if any. O(log n).
     pub fn latest(&self, device: &str, metric: &str) -> Option<(u64, f64)> {
-        self.series
-            .get(&(device.to_owned(), metric.to_owned()))?
-            .points
-            .last_key_value()
-            .map(|(t, v)| (*t, *v))
+        delegate!(self, s => s.latest(device, metric))
     }
 
     /// Aggregate statistics over `[from_ms, to_ms)`; `None` when the
     /// range holds no points.
-    ///
-    /// When the window covers the whole series — the common "consolidate
-    /// everything we have" case — this is an O(log n) lookup against the
-    /// rolling aggregates; sub-ranges fall back to the scan.
     pub fn stats(
         &self,
         device: &str,
@@ -268,48 +476,13 @@ impl ManagementStore {
         from_ms: u64,
         to_ms: u64,
     ) -> Option<SeriesStats> {
-        let series = self.series.get(&(device.to_owned(), metric.to_owned()))?;
-        let (first_ts, _) = series.points.first_key_value()?;
-        let (last_ts, last) = series.points.last_key_value()?;
-        if from_ms <= *first_ts && to_ms > *last_ts {
-            let agg = &series.agg;
-            return Some(SeriesStats {
-                count: agg.count,
-                min: agg.min,
-                max: agg.max,
-                mean: agg.sum / agg.count as f64,
-                last: *last,
-            });
-        }
-        let mut count = 0usize;
-        let (mut min, mut max, mut sum, mut last) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0.0);
-        for (_, v) in series.points.range(from_ms..to_ms).map(|(t, v)| (*t, *v)) {
-            count += 1;
-            min = min.min(v);
-            max = max.max(v);
-            sum += v;
-            last = v;
-        }
-        if count == 0 {
-            return None;
-        }
-        Some(SeriesStats {
-            count,
-            min,
-            max,
-            mean: sum / count as f64,
-            last,
-        })
+        delegate!(self, s => s.stats(device, metric, from_ms, to_ms))
     }
 
     /// Least-squares slope of a series over `[from_ms, to_ms)`, in value
     /// units **per minute** — the level-2 trend estimate behind "disk is
     /// filling" style rules. `None` with fewer than two points or zero
     /// time spread.
-    ///
-    /// Streams over the range twice (means, then residuals) instead of
-    /// materialising it; the arithmetic — and therefore the exact float
-    /// result — is unchanged from the collecting version.
     pub fn trend_per_min(
         &self,
         device: &str,
@@ -317,54 +490,56 @@ impl ManagementStore {
         from_ms: u64,
         to_ms: u64,
     ) -> Option<f64> {
-        let mut count = 0usize;
-        let mut t0 = 0u64;
-        let mut sum_x = 0.0;
-        let mut sum_y = 0.0;
-        for (t, y) in self.range(device, metric, from_ms, to_ms) {
-            if count == 0 {
-                t0 = t;
-            }
-            count += 1;
-            // Work in minutes relative to the first point for conditioning.
-            sum_x += (t - t0) as f64 / 60_000.0;
-            sum_y += y;
-        }
-        if count < 2 {
-            return None;
-        }
-        let n = count as f64;
-        let mean_x = sum_x / n;
-        let mean_y = sum_y / n;
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for (t, y) in self.range(device, metric, from_ms, to_ms) {
-            let x = (t - t0) as f64 / 60_000.0;
-            num += (x - mean_x) * (y - mean_y);
-            den += (x - mean_x) * (x - mean_x);
-        }
-        if den == 0.0 {
-            return None;
-        }
-        Some(num / den)
+        delegate!(self, s => s.trend_per_min(device, metric, from_ms, to_ms))
     }
 
-    /// Drops every point older than `horizon_ms`, returning how many were
-    /// removed. Series and index entries that become empty are kept (the
-    /// devices still exist; only their history aged out).
+    /// Windowed aggregates for every series matching `filter`,
+    /// sequentially, in series-key order.
+    pub fn query_windows(
+        &self,
+        filter: &LabelFilter,
+        from_ms: u64,
+        to_ms: u64,
+        step_ms: u64,
+        kind: AggKind,
+    ) -> Vec<SeriesWindows> {
+        delegate!(self, s => s.query_windows(filter, from_ms, to_ms, step_ms, kind))
+    }
+
+    /// [`query_windows`](ManagementStore::query_windows) fanned out
+    /// over at most `threads` scoped worker threads; results are merged
+    /// in series-key order and are byte-identical to the sequential
+    /// path.
+    pub fn query_windows_parallel(
+        &self,
+        filter: &LabelFilter,
+        from_ms: u64,
+        to_ms: u64,
+        step_ms: u64,
+        kind: AggKind,
+        threads: usize,
+    ) -> Vec<SeriesWindows> {
+        delegate!(self, s => s.query_windows_parallel(filter, from_ms, to_ms, step_ms, kind, threads))
+    }
+
+    /// Drops every point older than `horizon_ms`, returning how many
+    /// were removed.
     pub fn prune_before(&mut self, horizon_ms: u64) -> usize {
-        let mut removed = 0;
-        for series in self.series.values_mut() {
-            let keep = series.points.split_off(&horizon_ms);
-            let dropped = series.points.len();
-            series.points = keep;
-            if dropped > 0 {
-                removed += dropped;
-                series.agg = SeriesAgg::rescan(&series.points);
-            }
+        delegate!(mut self, s => s.prune_before(horizon_ms))
+    }
+
+    /// Stored payload bytes (encoded chunks + head buffers for the
+    /// chunked backend; 16 bytes/point for the naive one).
+    pub fn storage_bytes(&self) -> usize {
+        delegate!(self, s => s.storage_bytes())
+    }
+
+    /// Total chunks across all series; 0 on the naive backend.
+    pub fn chunk_count(&self) -> usize {
+        match &self.inner {
+            Inner::Chunked(s) => s.chunk_count(),
+            Inner::Naive(_) => 0,
         }
-        self.len -= removed;
-        removed
     }
 }
 
@@ -543,5 +718,80 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.partitions().len(), 0);
         assert_eq!(store.range("d", "m", 0, 10).count(), 0);
+    }
+
+    #[test]
+    fn nan_is_dropped_on_both_backends() {
+        for backend in [StoreBackend::Chunked, StoreBackend::Naive] {
+            let mut store = ManagementStore::with_backend(backend, Classifier::standard());
+            store.insert(Record::new("d", "m", f64::NAN, 0));
+            assert!(store.is_empty(), "{backend:?}");
+            store.insert(Record::new("d", "m", 1.0, 0));
+            store.insert(Record::new("d", "m", f64::NAN, 0));
+            assert_eq!(store.latest("d", "m"), Some((0, 1.0)), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn backends_report_their_identity_and_footprint() {
+        let store = sample_store();
+        assert_eq!(store.backend(), StoreBackend::Chunked);
+        assert!(store.chunk_count() >= 3, "one head per series");
+        assert!(store.storage_bytes() > 0);
+        let mut naive = ManagementStore::with_backend(StoreBackend::Naive, Classifier::standard());
+        naive.insert(Record::new("d", "m", 1.0, 0));
+        assert_eq!(naive.backend(), StoreBackend::Naive);
+        assert_eq!(naive.chunk_count(), 0);
+        assert_eq!(naive.storage_bytes(), 16);
+    }
+
+    #[test]
+    fn select_spans_both_backends_identically() {
+        for backend in [StoreBackend::Chunked, StoreBackend::Naive] {
+            let mut store = ManagementStore::with_backend(backend, Classifier::standard());
+            store.insert_all([
+                Record::new("r1", "cpu.load.1", 40.0, 0),
+                Record::new("r2", "cpu.load.1", 41.0, 0),
+                Record::new("r1", "storage.disk.used-pct", 70.0, 0),
+            ]);
+            let f = LabelFilter::parse("device=r1 & (class=cpu | class=disk)").unwrap();
+            let keys = store.select(&f);
+            assert_eq!(
+                keys,
+                [
+                    ("r1".to_owned(), "cpu.load.1".to_owned()),
+                    ("r1".to_owned(), "storage.disk.used-pct".to_owned())
+                ],
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_queries_agree_across_backends_and_paths() {
+        let mut chunked = ManagementStore::default();
+        let mut naive = ManagementStore::with_backend(StoreBackend::Naive, Classifier::standard());
+        for i in 0..300u64 {
+            for dev in ["r1", "r2", "r3"] {
+                let rec = Record::new(dev, "cpu.load.1", (i % 17) as f64, i * 60_000);
+                chunked.insert(rec.clone());
+                naive.insert(rec);
+            }
+        }
+        let f = LabelFilter::class("cpu");
+        for kind in [
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Mean,
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Trend,
+        ] {
+            let seq = chunked.query_windows(&f, 0, u64::MAX, 30 * 60_000, kind);
+            let par = chunked.query_windows_parallel(&f, 0, u64::MAX, 30 * 60_000, kind, 4);
+            let spec = naive.query_windows(&f, 0, u64::MAX, 30 * 60_000, kind);
+            assert_eq!(seq, par, "{kind:?} parallel parity");
+            assert_eq!(seq, spec, "{kind:?} backend parity");
+        }
     }
 }
