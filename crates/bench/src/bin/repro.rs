@@ -26,6 +26,16 @@
 //! permanently lost tasks. With no explicit experiment list, `--chaos`
 //! runs only the chaos experiment.
 //!
+//! `--netchaos <seed>` runs the network-adversary experiment: a seeded
+//! composable fault plan (probabilistic loss, duplication, delay with
+//! jitter, bounded reordering and a named partition that heals) against
+//! the reliable-delivery protocol and the recovery layer. The scenario
+//! runs twice on the deterministic stepper and once on the pool
+//! runtime; exits nonzero unless all three reports are byte-identical,
+//! zero tasks were permanently lost, and the reliability layer actually
+//! worked (nonzero retransmits and suppressed duplicates). With no
+//! explicit experiment list, `--netchaos` runs only this experiment.
+//!
 //! `--overload <seed>` runs the overload-protection experiment: a burst
 //! scenario against bounded mailboxes (shed-by-priority), admission
 //! control, circuit breakers and collector pacing, executed twice to
@@ -81,7 +91,7 @@ use agentgrid_bench::{
     mean_completions, standard_network, store_workload, ALL_SKILLS,
 };
 use agentgrid_net::{FaultKind, ScheduledFault};
-use agentgrid_platform::{Telemetry, TelemetryHandle};
+use agentgrid_platform::{ReliabilityConfig, Telemetry, TelemetryHandle};
 use agentgrid_rules::{parse_rules, Engine, KnowledgeBase, NaiveEngine};
 use agentgrid_store::{AggKind, Classifier, LabelFilter, ManagementStore, StoreBackend};
 
@@ -133,6 +143,7 @@ fn main() {
     let metrics_path = take_metrics_flag(&mut args);
     let trace_path = take_trace_flag(&mut args);
     let chaos_seed = take_chaos_flag(&mut args);
+    let netchaos_seed = take_netchaos_flag(&mut args);
     let overload_seed = take_overload_flag(&mut args);
     let bench_json = take_bench_json_flag(&mut args);
     let store_bench_json = take_store_bench_json_flag(&mut args);
@@ -146,6 +157,7 @@ fn main() {
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         if args.is_empty()
             && (chaos_seed.is_some()
+                || netchaos_seed.is_some()
                 || overload_seed.is_some()
                 || bench_json.is_some()
                 || store_bench_json.is_some())
@@ -153,6 +165,9 @@ fn main() {
             let mut only = Vec::new();
             if chaos_seed.is_some() {
                 only.push("chaos");
+            }
+            if netchaos_seed.is_some() {
+                only.push("netchaos");
             }
             if overload_seed.is_some() {
                 only.push("overload");
@@ -197,6 +212,7 @@ fn main() {
             "scaling" => scaling(),
             "mobility" => mobility(telemetry.as_ref(), store),
             "chaos" => chaos(chaos_seed.unwrap_or(42), telemetry.as_ref(), runtime, store),
+            "netchaos" => netchaos(netchaos_seed.unwrap_or(42), telemetry.as_ref(), store),
             "overload" => overload(
                 overload_seed.unwrap_or(7),
                 telemetry.as_ref(),
@@ -274,6 +290,31 @@ fn take_chaos_flag(args: &mut Vec<String>) -> Option<u64> {
     }
     if let Some(i) = args.iter().position(|a| a.starts_with("--chaos=")) {
         let raw = args.remove(i)["--chaos=".len()..].to_owned();
+        return Some(parse(&raw));
+    }
+    None
+}
+
+/// Removes `--netchaos <seed>` (or `--netchaos=<seed>`) from `args` and
+/// returns the seed, if present.
+fn take_netchaos_flag(args: &mut Vec<String>) -> Option<u64> {
+    let parse = |raw: &str| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--netchaos needs an unsigned integer seed, got `{raw}`");
+            std::process::exit(2);
+        })
+    };
+    if let Some(i) = args.iter().position(|a| a == "--netchaos") {
+        if i + 1 >= args.len() {
+            eprintln!("--netchaos needs a seed argument");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return Some(parse(&raw));
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--netchaos=")) {
+        let raw = args.remove(i)["--netchaos=".len()..].to_owned();
         return Some(parse(&raw));
     }
     None
@@ -775,6 +816,127 @@ fn chaos(
     );
     if !lost.is_empty() || !identical {
         eprintln!("chaos check FAILED (lost: {lost:?}, identical: {identical})");
+        std::process::exit(1);
+    }
+}
+
+/// Network-chaos experiment: a seeded composable network adversary
+/// (probabilistic loss and duplication on every link, delay + jitter +
+/// reordering into one analyzer, and a named partition that heals)
+/// against the reliable-delivery protocol and the recovery layer. The
+/// scenario runs twice on the deterministic stepper — the whole
+/// drop/delay/duplicate/retransmit sequence is a pure function of the
+/// seed — and once on the pool runtime, which must match byte for
+/// byte. Exits nonzero if any task is permanently lost, any replay
+/// diverges, or the reliability layer never retransmitted/suppressed
+/// anything (an idle defence proves nothing), so CI can use it as a
+/// smoke check.
+fn netchaos(seed: u64, telemetry: Option<&TelemetryHandle>, store: StoreBackend) {
+    banner(&format!(
+        "Net chaos — seeded network adversary vs reliable delivery (seed {seed})"
+    ));
+    let horizon = 20 * 60_000;
+    let containers: Vec<String> = ["pg-1", "pg-2", "pg-root-ct", "clg", "ig", "cg-site-0"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let plan = ChaosPlan::seeded_net(seed, &containers, horizon);
+    println!("schedule:");
+    for (at_ms, action) in plan.events() {
+        println!("  t={:>4}s {action:?}", at_ms / 1000);
+    }
+    let run_once = |telemetry: Option<&TelemetryHandle>, pool: bool| {
+        let mut builder = ManagementGrid::builder()
+            .network(standard_network(1, 4, 7))
+            .store_backend(store)
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .net_adversary(seed)
+            .reliability(ReliabilityConfig::seeded(seed))
+            .chaos(plan.clone())
+            // A device fault mid-run so Alert-class traffic crosses the
+            // adversary too — reliable delivery must land every alert.
+            .fault(ScheduledFault::from(
+                "site-0-dev2",
+                FaultKind::CpuRunaway,
+                120_000,
+            ));
+        if let Some(t) = telemetry {
+            builder = builder.telemetry(t.clone());
+        }
+        let runtime = if pool {
+            RuntimeChoice::Pool
+        } else {
+            RuntimeChoice::Deterministic
+        };
+        run_grid(builder, runtime, horizon, 60_000).0
+    };
+    let first = run_once(telemetry, false);
+    // Fresh sink for the replay (see `chaos`): keeps the rendered
+    // reports comparable when the first run carries telemetry.
+    let fresh = telemetry.map(|_| Telemetry::new());
+    let second = run_once(fresh.as_ref(), false);
+    let fresh_pool = telemetry.map(|_| Telemetry::new());
+    let pool = run_once(fresh_pool.as_ref(), true);
+
+    let net = first.net.unwrap_or_default();
+    println!(
+        "adversary: {} dropped, {} partition-dropped, {} delayed, {} duplicated, {} reordered",
+        net.dropped, net.partition_dropped, net.delayed, net.duplicated, net.reordered,
+    );
+    println!(
+        "reliability: {} retransmits, {} delivered after retry, {} duplicates suppressed, \
+         {} retransmit overflows",
+        net.retransmits, net.delivered_after_retry, net.dup_suppressed, net.retransmit_overflow,
+    );
+    println!(
+        "tasks: {} awards, {} completed, {} re-brokered, {} retries, \
+         {} outstanding at horizon, {} alerts",
+        first.assignments.len(),
+        first.tasks_completed,
+        first.rebrokered.len(),
+        first.retries,
+        first.outstanding.len(),
+        first.alerts.len(),
+    );
+    let lost = first.lost_tasks();
+    println!("lost tasks: {}", lost.len());
+    let replay_identical = first.render() == second.render()
+        && first.completed_ids == second.completed_ids
+        && first.assignments == second.assignments;
+    let pool_identical = first.render() == pool.render()
+        && first.completed_ids == pool.completed_ids
+        && first.assignments == pool.assignments;
+    println!(
+        "deterministic replay: {}",
+        if replay_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "pool runtime: {}",
+        if pool_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let exercised = net.retransmits > 0 && net.dup_suppressed > 0 && !first.alerts.is_empty();
+    if lost.is_empty() && replay_identical && pool_identical && exercised {
+        println!(
+            "netchaos check PASSED ({} retransmits, {} duplicates suppressed, 0 lost)",
+            net.retransmits, net.dup_suppressed
+        );
+    } else {
+        eprintln!(
+            "netchaos check FAILED (lost: {lost:?}, replay identical: {replay_identical}, \
+             pool identical: {pool_identical}, retransmits: {}, dup_suppressed: {})",
+            net.retransmits, net.dup_suppressed
+        );
         std::process::exit(1);
     }
 }

@@ -31,11 +31,17 @@
 //! ```
 
 use agentgrid_acl::AgentId;
-use agentgrid_platform::TransportFault;
+use agentgrid_platform::{LinkFaults, LinkSelector, TransportFault};
 
 use crate::recovery::splitmix64;
 
 /// One scheduled failure (or repair) event.
+///
+/// Fault windows are **composable**: `SetFault` adds to the active
+/// fault set (union semantics — any matching fault drops the leg), and
+/// a window closes with [`ClearFaultScoped`](Self::ClearFaultScoped)
+/// without healing the others. The blanket
+/// [`ClearFault`](Self::ClearFault) still heals everything at once.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChaosAction {
     /// Silent crash: the container vanishes, the directory keeps its
@@ -43,10 +49,22 @@ pub enum ChaosAction {
     Crash(String),
     /// The container rejoins the grid with fresh analyzer agents.
     Restart(String),
-    /// A transport fault window opens.
+    /// A transport fault window opens (joins the composable set).
     SetFault(TransportFault),
-    /// The transport heals.
+    /// The transport heals completely: every open fault window closes.
     ClearFault,
+    /// Exactly this fault clears; other open windows stay in force.
+    ClearFaultScoped(TransportFault),
+    /// A per-link fault window (probabilistic drop, delay, duplication,
+    /// reordering) opens under this selector.
+    LinkFaultsOpen(LinkSelector, LinkFaults),
+    /// Every per-link window opened under exactly this selector closes.
+    LinkFaultsClear(LinkSelector),
+    /// A named partition opens: containers in different groups can no
+    /// longer exchange messages (containers in no group are unaffected).
+    PartitionOpen(String, Vec<Vec<String>>),
+    /// The named partition heals.
+    PartitionHeal(String),
 }
 
 /// A sorted schedule of [`ChaosAction`]s against simulated time.
@@ -80,13 +98,64 @@ impl ChaosPlan {
     }
 
     /// Schedules a window `[from_ms, until_ms)` during which messages
-    /// **to** `agent` are dropped silently.
+    /// **to** `agent` are dropped silently. The close is the blanket
+    /// [`ChaosAction::ClearFault`] (legacy behaviour, kept so existing
+    /// seeded schedules replay identically); overlapping windows should
+    /// use [`drop_to_between_scoped`](Self::drop_to_between_scoped).
     pub fn drop_to_between(self, from_ms: u64, until_ms: u64, agent: AgentId) -> Self {
         self.push(
             from_ms,
             ChaosAction::SetFault(TransportFault::DropTo(agent)),
         )
         .push(until_ms, ChaosAction::ClearFault)
+    }
+
+    /// Schedules a drop-to window `[from_ms, until_ms)` whose close
+    /// removes exactly this fault, leaving other open windows in force
+    /// — the composable form of
+    /// [`drop_to_between`](Self::drop_to_between).
+    pub fn drop_to_between_scoped(self, from_ms: u64, until_ms: u64, agent: AgentId) -> Self {
+        self.push(
+            from_ms,
+            ChaosAction::SetFault(TransportFault::DropTo(agent.clone())),
+        )
+        .push(
+            until_ms,
+            ChaosAction::ClearFaultScoped(TransportFault::DropTo(agent)),
+        )
+    }
+
+    /// Schedules a per-link fault window `[from_ms, until_ms)` under
+    /// `selector`. The close clears exactly that selector's rules, so
+    /// overlapping windows compose (union semantics while both are
+    /// open).
+    pub fn link_faults_between(
+        self,
+        from_ms: u64,
+        until_ms: u64,
+        selector: LinkSelector,
+        faults: LinkFaults,
+    ) -> Self {
+        self.push(
+            from_ms,
+            ChaosAction::LinkFaultsOpen(selector.clone(), faults),
+        )
+        .push(until_ms, ChaosAction::LinkFaultsClear(selector))
+    }
+
+    /// Schedules a named partition over `[from_ms, until_ms)`:
+    /// containers in different `groups` cannot exchange messages until
+    /// the heal.
+    pub fn partition_between(
+        self,
+        from_ms: u64,
+        until_ms: u64,
+        name: impl Into<String>,
+        groups: Vec<Vec<String>>,
+    ) -> Self {
+        let name = name.into();
+        self.push(from_ms, ChaosAction::PartitionOpen(name.clone(), groups))
+            .push(until_ms, ChaosAction::PartitionHeal(name))
     }
 
     /// Generates a crash/restart (and possibly one transport-fault
@@ -122,6 +191,61 @@ impl ChaosPlan {
             plan = plan.drop_to_between(crash_ms.saturating_sub(minute), crash_ms, agent);
         }
         plan
+    }
+
+    /// Generates a pure-**network** adversary schedule (no crashes) as a
+    /// pure function of `seed`: a long loss+duplication window across
+    /// every link, a delay+reorder window aimed at the seeded victim's
+    /// analyzer, and one named partition separating the victim container
+    /// from the rest of the grid, healed a few minutes later. Designed
+    /// to run with the reliability layer on: the loss and partition
+    /// windows force retransmissions, the duplication window forces
+    /// dedup suppressions, and no task may be lost.
+    pub fn seeded_net(seed: u64, containers: &[String], horizon_ms: u64) -> Self {
+        if containers.is_empty() || horizon_ms < 10 * 60_000 {
+            return ChaosPlan::new();
+        }
+        let minute = 60_000;
+        let r0 = splitmix64(seed ^ 0x006e_6574);
+        let victim = containers[(r0 % containers.len() as u64) as usize].clone();
+        let rest: Vec<String> = containers
+            .iter()
+            .filter(|c| **c != victim)
+            .cloned()
+            .collect();
+        let loss = LinkFaults {
+            drop_ppm: (150_000 + splitmix64(seed ^ 1) % 100_000) as u32,
+            duplicate_ppm: (100_000 + splitmix64(seed ^ 2) % 100_000) as u32,
+            ..LinkFaults::default()
+        };
+        let churn = LinkFaults {
+            delay_ms: 10_000 + splitmix64(seed ^ 3) % 50_000,
+            delay_jitter_ms: 30_000,
+            reorder_window: 4,
+            ..LinkFaults::default()
+        };
+        let analyzer = AgentId::new(format!("analyzer-{victim}@grid"));
+        let part_open = (3 + splitmix64(seed ^ 4) % 3) * minute;
+        let part_heal = part_open + (3 + splitmix64(seed ^ 5) % 2) * minute;
+        ChaosPlan::new()
+            .link_faults_between(
+                minute,
+                horizon_ms.saturating_sub(2 * minute),
+                LinkSelector::All,
+                loss,
+            )
+            .link_faults_between(
+                2 * minute,
+                horizon_ms.saturating_sub(3 * minute),
+                LinkSelector::To(analyzer),
+                churn,
+            )
+            .partition_between(
+                part_open,
+                part_heal.min(horizon_ms.saturating_sub(3 * minute)),
+                "seeded-net",
+                vec![vec![victim], rest],
+            )
     }
 
     /// Number of scheduled events.
@@ -208,5 +332,81 @@ mod tests {
         let plan = ChaosPlan::new().drop_to_between(100, 200, AgentId::new("x"));
         assert!(matches!(plan.events()[0], (100, ChaosAction::SetFault(_))));
         assert!(matches!(plan.events()[1], (200, ChaosAction::ClearFault)));
+    }
+
+    #[test]
+    fn scoped_windows_close_only_their_own_fault() {
+        let plan = ChaosPlan::new()
+            .drop_to_between_scoped(100, 300, AgentId::new("x"))
+            .drop_to_between_scoped(200, 400, AgentId::new("y"));
+        // The close at 300 names exactly x's fault, so y's window
+        // (200–400) survives it — the replace-semantics bug this fixes.
+        let (t, close) = &plan.events()[2];
+        assert_eq!(*t, 300);
+        assert_eq!(
+            close,
+            &ChaosAction::ClearFaultScoped(TransportFault::DropTo(AgentId::new("x")))
+        );
+        assert!(matches!(
+            plan.events()[3],
+            (400, ChaosAction::ClearFaultScoped(_))
+        ));
+    }
+
+    #[test]
+    fn link_fault_and_partition_windows_pair_open_with_close() {
+        let plan = ChaosPlan::new()
+            .link_faults_between(
+                100,
+                200,
+                LinkSelector::All,
+                LinkFaults {
+                    drop_ppm: 1,
+                    ..LinkFaults::default()
+                },
+            )
+            .partition_between(150, 250, "p", vec![vec!["a".into()], vec!["b".into()]]);
+        assert!(matches!(
+            plan.events()[0],
+            (100, ChaosAction::LinkFaultsOpen(LinkSelector::All, _))
+        ));
+        assert!(matches!(
+            plan.events()[1],
+            (150, ChaosAction::PartitionOpen(..))
+        ));
+        assert!(matches!(
+            plan.events()[2],
+            (200, ChaosAction::LinkFaultsClear(LinkSelector::All))
+        ));
+        assert!(matches!(
+            plan.events()[3],
+            (250, ChaosAction::PartitionHeal(_))
+        ));
+    }
+
+    #[test]
+    fn seeded_net_is_deterministic_and_always_partitions() {
+        let containers = vec!["pg-1".to_string(), "pg-2".to_string(), "cg-hq".to_string()];
+        let horizon = 20 * 60_000;
+        assert_eq!(
+            ChaosPlan::seeded_net(9, &containers, horizon),
+            ChaosPlan::seeded_net(9, &containers, horizon)
+        );
+        for seed in 0..16 {
+            let plan = ChaosPlan::seeded_net(seed, &containers, horizon);
+            let open = plan
+                .events()
+                .iter()
+                .find_map(|(t, a)| matches!(a, ChaosAction::PartitionOpen(..)).then_some(*t))
+                .expect("seeded net plans always partition");
+            let heal = plan
+                .events()
+                .iter()
+                .find_map(|(t, a)| matches!(a, ChaosAction::PartitionHeal(_)).then_some(*t))
+                .expect("…and always heal");
+            assert!(open < heal, "seed {seed}: {plan:?}");
+            assert!(plan.victims().next().is_none(), "no crashes in net plans");
+        }
+        assert!(ChaosPlan::seeded_net(1, &[], horizon).is_empty());
     }
 }

@@ -194,6 +194,17 @@ pub struct ProcessorRootAgent {
     /// sees *changes*. Dead containers keep their entry: a restart that
     /// heartbeats again records the dead → alive flip.
     liveness_seen: BTreeMap<String, Liveness>,
+    /// Containers the chaos layer has marked network-partitioned, each
+    /// with the simulated time its quarantine ends (`u64::MAX` while the
+    /// partition is open, heal time + grace after it heals). A
+    /// quarantined container is **Suspect, never Dead**: it is excluded
+    /// from awards but keeps its directory entry and in-flight ledger —
+    /// unlike a crash, its work will finish once the partition heals.
+    quarantine: Option<Arc<Mutex<BTreeMap<String, u64>>>>,
+    /// Task ids whose completion has already been counted, so a
+    /// duplicated or retransmitted `done` — or a stale award finishing
+    /// after the task was re-brokered — never double-counts.
+    done_seen: BTreeSet<String>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -223,6 +234,8 @@ impl ProcessorRootAgent {
             admission: None,
             breakers: None,
             liveness_seen: BTreeMap::new(),
+            quarantine: None,
+            done_seen: BTreeSet::new(),
         }
     }
 
@@ -241,6 +254,17 @@ impl ProcessorRootAgent {
     pub fn set_recovery(&mut self, config: RecoveryConfig, escalate_to: Option<AgentId>) {
         self.recovery = Some(config);
         self.escalate_to = escalate_to;
+    }
+
+    /// Attaches the chaos layer's partition-quarantine map (container →
+    /// quarantined-until, simulated ms). While a container is
+    /// quarantined the liveness sweep classifies it **Suspect** no
+    /// matter what its heartbeats say: a partitioned container is
+    /// unreachable but not dead, so its directory entry and in-flight
+    /// ledger survive and its tasks are *retried*, not reclaimed, until
+    /// the quarantine (heal + grace) expires.
+    pub fn set_quarantine(&mut self, quarantine: Arc<Mutex<BTreeMap<String, u64>>>) {
+        self.quarantine = Some(quarantine);
     }
 
     /// Turns on overload protection at the broker: a token-bucket
@@ -489,10 +513,25 @@ impl ProcessorRootAgent {
             .map(|p| p.container.clone())
             .collect();
         self.suspect.clear();
+        // Containers under partition quarantine are pinned to Suspect:
+        // the network cut them off, their process is still running.
+        let quarantined: BTreeSet<String> = match &self.quarantine {
+            Some(q) => q
+                .lock()
+                .iter()
+                .filter(|(_, until)| now < **until)
+                .map(|(c, _)| c.clone())
+                .collect(),
+            None => BTreeSet::new(),
+        };
         let mut dead = Vec::new();
         for container in containers {
             let last = ctx.df().last_heartbeat(&container).unwrap_or(0);
-            let state = cfg.liveness.classify(now.saturating_sub(last));
+            let state = if quarantined.contains(&container) {
+                Liveness::Suspect
+            } else {
+                cfg.liveness.classify(now.saturating_sub(last))
+            };
             if let Some(m) = &self.metrics {
                 m.liveness_gauge(&container).set(state.as_gauge());
                 if let Some(breakers) = &self.breakers {
@@ -652,6 +691,18 @@ impl Agent for ProcessorRootAgent {
         // report must not inflate the tally.
         if message.content().get("concept").and_then(Value::as_str) == Some("done") {
             if let Some(task_id) = message.content().get("task-id").and_then(Value::as_str) {
+                if self.done_seen.contains(task_id) {
+                    // Duplicate verdict: a retransmitted or duplicated
+                    // `done`, or a stale award finishing after the task
+                    // was already completed through a re-broker. Drop
+                    // any matching ledger entry silently — the work is
+                    // accounted for, re-awarding or re-counting it
+                    // would break exactly-once accounting.
+                    self.pending.retain(|p| p.task.task_id != task_id);
+                    self.parked.retain(|(t, _)| t.task_id != task_id);
+                    self.sync_outstanding();
+                    return;
+                }
                 let mut cleared = None;
                 self.pending.retain(|p| {
                     if p.task.task_id == task_id {
@@ -661,7 +712,19 @@ impl Agent for ProcessorRootAgent {
                         true
                     }
                 });
+                // A verdict can also land while the task sits reclaimed
+                // in the parked queue — its container was partitioned,
+                // the answer arrived after the heal. Honor it instead
+                // of re-awarding the finished work.
+                if cleared.is_none() {
+                    let before = self.parked.len();
+                    self.parked.retain(|(t, _)| t.task_id != task_id);
+                    if self.parked.len() < before {
+                        cleared = Some(String::new());
+                    }
+                }
                 if let Some(container) = cleared {
+                    self.done_seen.insert(task_id.to_owned());
                     let mut stats = self.stats.lock();
                     stats.completed += 1;
                     stats.completed_ids.push(task_id.to_owned());
@@ -672,9 +735,12 @@ impl Agent for ProcessorRootAgent {
                         // the latency histogram.
                         m.telemetry.task_done(task_id, ctx.now_ms());
                     }
-                    // A completion is the breaker's success signal.
-                    if let Some(breakers) = &mut self.breakers {
-                        breakers.on_success(&container);
+                    // A completion is the breaker's success signal (a
+                    // parked clear has no awarded container to credit).
+                    if !container.is_empty() {
+                        if let Some(breakers) = &mut self.breakers {
+                            breakers.on_success(&container);
+                        }
                     }
                     self.drain_breaker_transitions(ctx.now_ms());
                 }
@@ -1021,6 +1087,115 @@ mod tests {
         let stats = stats.lock();
         assert_eq!(stats.assignments, [("t1".into(), "pg-1".into())]);
         assert!(stats.rebrokered.is_empty(), "a first award, not a re-award");
+    }
+
+    fn done_msg(task_id: &str, from: &str, to: &AgentId) -> AclMessage {
+        AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new(from))
+            .receiver(to.clone())
+            .content(Value::map([
+                ("concept", Value::symbol("done")),
+                ("task-id", Value::from(task_id)),
+                ("findings", Value::Int(0)),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quarantined_container_is_suspect_not_dead() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        root.set_recovery(RecoveryConfig::default(), Some(AgentId::new("iface@g")));
+        let quarantine = Arc::new(Mutex::new(BTreeMap::new()));
+        root.set_quarantine(Arc::clone(&quarantine));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1", "pg-2"]);
+        df.update_load("pg-2", 0.99);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
+        assert_eq!(stats.lock().assignments, [("t1".into(), "pg-1".into())]);
+
+        // pg-1 goes silent long enough to classify Dead, but it is
+        // quarantined (partitioned): it must stay Suspect — directory
+        // entry intact, ledger intact, no death escalation.
+        quarantine.lock().insert("pg-1".to_owned(), u64::MAX);
+        df.update_load("pg-2", 0.0);
+        let dead_at = RecoveryConfig::default().liveness.dead_after_ms;
+        df.record_heartbeat("pg-2", dead_at);
+        let mut ctx = AgentCtx::new(&id, "root-ct", dead_at, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+        drop(ctx);
+        assert!(df.container_profile("pg-1").is_some(), "not deregistered");
+        assert!(root.suspect.contains("pg-1"), "pinned to Suspect");
+        assert_eq!(stats.lock().escalations, 0, "no container-dead alert");
+
+        // Quarantine expired (healed + grace elapsed): normal liveness
+        // classification resumes and the stale container dies for real.
+        quarantine.lock().insert("pg-1".to_owned(), dead_at);
+        df.record_heartbeat("pg-2", 2 * dead_at);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 2 * dead_at, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+        drop(ctx);
+        assert!(df.container_profile("pg-1").is_none(), "now reclaimed");
+        assert_eq!(stats.lock().escalations, 1);
+    }
+
+    #[test]
+    fn duplicate_done_counts_exactly_once() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
+        let done = done_msg("t1", "analyzer-pg-1@g", &id);
+        for _ in 0..3 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(&done, &mut ctx);
+        }
+        let stats = stats.lock();
+        assert_eq!(stats.completed, 1, "duplicated verdicts count once");
+        assert_eq!(stats.completed_ids, ["t1"]);
+    }
+
+    #[test]
+    fn late_done_for_parked_task_completes_without_reaward() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        root.set_recovery(RecoveryConfig::default(), None);
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_containers(&["pg-1"]);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
+        // Simulate a reclaim: the award moves from in-flight to parked
+        // (as when its container was declared dead mid-partition).
+        let reclaimed = root.pending.remove(0).task;
+        root.parked.push((reclaimed, true));
+        // The old container's verdict finally gets through (heal): the
+        // parked task completes — no re-award, no double count.
+        let done = done_msg("t1", "analyzer-pg-1@g", &id);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 60_000, &mut outbox, &mut df);
+        root.on_message(&done, &mut ctx);
+        drop(ctx);
+        assert!(root.parked.is_empty(), "parked entry cleared by the done");
+        df.record_heartbeat("pg-1", 120_000);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 120_000, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+        drop(ctx);
+        let stats = stats.lock();
+        assert_eq!(stats.completed, 1);
+        assert!(
+            stats.rebrokered.is_empty(),
+            "finished work is not re-awarded"
+        );
+        assert_eq!(stats.assignments.len(), 1);
     }
 
     #[test]

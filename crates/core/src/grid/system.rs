@@ -7,7 +7,8 @@ use agentgrid_acl::ontology::{Alert, ResourceProfile};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_net::{FaultInjector, Network, ScheduledFault};
 use agentgrid_platform::{
-    Platform, PoolRuntime, Runtime, TelemetryHandle, ThreadedRuntime, TransportFault,
+    NetCommand, NetStats, Platform, PoolRuntime, ReliabilityConfig, Runtime, TelemetryHandle,
+    ThreadedRuntime, TransportFault,
 };
 use agentgrid_rules::{parse_rules, KnowledgeBase};
 use agentgrid_store::{Classifier, ManagementStore, StoreBackend};
@@ -26,6 +27,30 @@ use crate::overload::{OverloadConfig, PressureSignal};
 use crate::recovery::RecoveryConfig;
 
 pub use agentgrid_platform::OverloadStats;
+
+/// Container hosting the processor-grid root.
+const ROOT_CONTAINER: &str = "pg-root-ct";
+
+/// How long a healed container stays quarantined (Suspect) after its
+/// partition closes — one poll period, covering the heartbeat and
+/// retransmissions it owes before awards may trust it again.
+const QUARANTINE_GRACE_MS: u64 = 60_000;
+
+/// Containers listed in `groups` that sit in a different group than
+/// `anchor` — the set a partition cuts off from it. Empty when `anchor`
+/// is not listed, matching the transport's partition semantics
+/// (unlisted containers communicate freely).
+fn containers_cut_from(anchor: &str, groups: &[Vec<String>]) -> Vec<String> {
+    let Some(anchor_group) = groups.iter().position(|g| g.iter().any(|c| c == anchor)) else {
+        return Vec::new();
+    };
+    groups
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != anchor_group)
+        .flat_map(|(_, g)| g.iter().cloned())
+        .collect()
+}
 
 /// Configuration of one analyzer container.
 #[derive(Debug, Clone)]
@@ -50,6 +75,8 @@ pub struct GridBuilder {
     chaos: Option<ChaosPlan>,
     overload: Option<OverloadConfig>,
     store_backend: StoreBackend,
+    net_seed: Option<u64>,
+    reliability: Option<ReliabilityConfig>,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -164,6 +191,29 @@ impl GridBuilder {
         self
     }
 
+    /// Seeds the deterministic network adversary. Link faults and
+    /// partitions scheduled through [`chaos`](Self::chaos) (or issued
+    /// live via [`Runtime::net_command`]) draw every drop/delay/
+    /// duplicate decision from this seed, so two runs with the same
+    /// seed and schedule misbehave identically. Default off — without a
+    /// seed (and without net chaos actions) runs stay byte-for-byte
+    /// identical to the adversary-free grid.
+    pub fn net_adversary(mut self, seed: u64) -> Self {
+        self.net_seed = Some(seed);
+        self
+    }
+
+    /// Turns on reliable ACL delivery: per-link sequence numbers, a
+    /// retransmit buffer with seeded exponential backoff, and a dedup
+    /// window giving exactly-once *effective* delivery under loss,
+    /// duplication and partitions. Implies nothing by itself — pair it
+    /// with [`net_adversary`](Self::net_adversary) and a chaos plan to
+    /// exercise it. Default off.
+    pub fn reliability(mut self, config: ReliabilityConfig) -> Self {
+        self.reliability = Some(config);
+        self
+    }
+
     /// Selects the management-store engine (default
     /// [`StoreBackend::Chunked`]). The naive backend is the executable
     /// spec the chunked engine is tested against; running a grid on it
@@ -259,6 +309,12 @@ impl GridBuilder {
         if recovery.is_some() {
             platform.set_dead_letter_requeue(true);
         }
+        if let Some(seed) = self.net_seed {
+            platform.net_command(NetCommand::Seed(seed));
+        }
+        if let Some(config) = self.reliability {
+            platform.net_command(NetCommand::SetReliability(config));
+        }
         // Bounded mailboxes at the platform layer; the pressure signal
         // exists only when collector pacing wants to observe it.
         let pressure = overload
@@ -294,6 +350,10 @@ impl GridBuilder {
         }
         if let Some(cfg) = recovery {
             root_agent.set_recovery(cfg, Some(interface_id.clone()));
+        }
+        let quarantine: Arc<Mutex<BTreeMap<String, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        if recovery.is_some() {
+            root_agent.set_quarantine(Arc::clone(&quarantine));
         }
         if overload.admission.is_some() || overload.breaker.is_some() {
             root_agent.set_overload(overload.admission, overload.breaker);
@@ -412,6 +472,8 @@ impl GridBuilder {
             chaos: self.chaos.unwrap_or_default(),
             chaos_cursor: 0,
             downed: BTreeSet::new(),
+            quarantine,
+            partition_members: BTreeMap::new(),
             paced_polls,
             match_attempts,
         }
@@ -466,6 +528,10 @@ pub struct GridReport {
     /// simulated time), present only when telemetry is attached and at
     /// least one task span completed.
     pub task_latency: Option<TaskLatencySummary>,
+    /// Network-adversary and reliability counters (drops, delays,
+    /// duplicates, retransmits, dedup suppressions); `None` unless a
+    /// net adversary or reliability protocol was configured.
+    pub net: Option<NetStats>,
 }
 
 impl GridReport {
@@ -529,6 +595,23 @@ impl GridReport {
                 self.shed, self.rejected, self.paced_polls,
             ));
         }
+        if let Some(net) = self.net.filter(|n| n.any()) {
+            out.push_str(&format!(
+                "  network: {} dropped, {} partition-dropped, {} delayed, {} duplicated, \
+                 {} reordered\n",
+                net.dropped, net.partition_dropped, net.delayed, net.duplicated, net.reordered,
+            ));
+            if net.retransmits + net.delivered_after_retry + net.dup_suppressed > 0 {
+                out.push_str(&format!(
+                    "  reliability: {} retransmits, {} delivered after retry, \
+                     {} duplicates suppressed, {} retransmit overflows\n",
+                    net.retransmits,
+                    net.delivered_after_retry,
+                    net.dup_suppressed,
+                    net.retransmit_overflow,
+                ));
+            }
+        }
         if let Some(lat) = &self.task_latency {
             out.push_str(&format!(
                 "  task latency: p50 {} ms, p95 {} ms, p99 {} ms ({} completed spans)\n",
@@ -588,6 +671,15 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     /// Containers currently down because a chaos crash removed them (a
     /// restart only makes sense for these).
     downed: BTreeSet<String>,
+    /// Partition quarantine shared with the root (container →
+    /// quarantined-until, simulated ms): while quarantined a container
+    /// is Suspect, never Dead — see
+    /// [`ProcessorRootAgent::set_quarantine`].
+    quarantine: Arc<Mutex<BTreeMap<String, u64>>>,
+    /// Members of each open named partition that are cut off from the
+    /// root's container, kept so the matching heal can start their
+    /// quarantine grace period.
+    partition_members: BTreeMap<String, Vec<String>>,
     /// Stretched-poll counter shared with every pacing collector.
     paced_polls: Arc<AtomicU64>,
     /// Rule-engine match attempts, totalled across every analyzer
@@ -625,6 +717,8 @@ impl ManagementGrid {
             chaos: None,
             overload: None,
             store_backend: StoreBackend::default(),
+            net_seed: None,
+            reliability: None,
         }
     }
 }
@@ -749,6 +843,56 @@ impl<R: Runtime> ManagementGrid<R> {
                 }
                 ChaosAction::SetFault(fault) => self.platform.set_transport_fault(fault),
                 ChaosAction::ClearFault => self.platform.set_transport_fault(TransportFault::None),
+                ChaosAction::ClearFaultScoped(fault) => {
+                    self.platform.net_command(NetCommand::RemoveFault(fault));
+                }
+                ChaosAction::LinkFaultsOpen(selector, faults) => {
+                    self.platform
+                        .net_command(NetCommand::AddLinkFaults(selector, faults));
+                }
+                ChaosAction::LinkFaultsClear(selector) => {
+                    self.platform
+                        .net_command(NetCommand::ClearLinkFaults(selector));
+                }
+                ChaosAction::PartitionOpen(name, groups) => {
+                    // Containers in a different group than the root's
+                    // container cannot reach the broker: quarantine
+                    // them (Suspect, not Dead) until the heal + grace.
+                    let cut = containers_cut_from(ROOT_CONTAINER, &groups);
+                    if !cut.is_empty() {
+                        let mut quarantine = self.quarantine.lock();
+                        for container in &cut {
+                            quarantine.insert(container.clone(), u64::MAX);
+                        }
+                        self.partition_members.insert(name.clone(), cut);
+                    }
+                    if let Some(t) = self.platform.telemetry() {
+                        t.record_event(now, EventKind::PartitionOpen { name: name.clone() });
+                    }
+                    self.platform
+                        .net_command(NetCommand::OpenPartition(name, groups));
+                }
+                ChaosAction::PartitionHeal(name) => {
+                    if let Some(members) = self.partition_members.remove(&name) {
+                        let mut quarantine = self.quarantine.lock();
+                        for container in members {
+                            // A container cut by another still-open
+                            // partition stays fully quarantined.
+                            let still_cut = self
+                                .partition_members
+                                .values()
+                                .flatten()
+                                .any(|c| *c == container);
+                            if !still_cut {
+                                quarantine.insert(container, now + QUARANTINE_GRACE_MS);
+                            }
+                        }
+                    }
+                    if let Some(t) = self.platform.telemetry() {
+                        t.record_event(now, EventKind::PartitionHeal { name: name.clone() });
+                    }
+                    self.platform.net_command(NetCommand::HealPartition(name));
+                }
             }
         }
     }
@@ -805,7 +949,14 @@ impl<R: Runtime> ManagementGrid<R> {
                 .platform
                 .telemetry()
                 .and_then(|t| t.task_latency_summary()),
+            net: self.platform.net_stats(),
         }
+    }
+
+    /// Network-adversary and reliability counters so far; `None` unless
+    /// a net adversary or reliability protocol was configured.
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.platform.net_stats()
     }
 
     /// Total rule-engine match attempts across every analyzer so far —

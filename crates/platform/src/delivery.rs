@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use agentgrid_acl::{AgentId, SharedMessage};
 
-use crate::platform::TransportFault;
+use crate::platform::FaultSet;
 
 /// One container's share of a routed batch: messages in posted order,
 /// each with the exact list of its receivers resident in that container.
@@ -28,9 +28,10 @@ pub(crate) type ContainerBatch = Vec<(SharedMessage, Vec<AgentId>)>;
 
 /// Groups a drained inbox batch into per-container batches.
 ///
-/// * `fault` is applied first: `DropFrom` silently skips whole
-///   messages, `DropTo` silently skips single legs (drops are not dead
-///   letters, matching a lossy network).
+/// * `faults` is applied first: any active `DropFrom` silently skips
+///   whole messages, any active `DropTo` silently skips single legs
+///   (drops are not dead letters, matching a lossy network). The set is
+///   a union — every active fault applies independently.
 /// * `resolve` maps a receiver to its current container; unresolved
 ///   legs go to `fail` (dead-letter or requeue-once, decided by the
 ///   caller) in exactly the order a per-message router would have
@@ -40,18 +41,18 @@ pub(crate) type ContainerBatch = Vec<(SharedMessage, Vec<AgentId>)>;
 /// routing stays deterministic on the deterministic runtimes.
 pub(crate) fn group_into_batches(
     batch: &[SharedMessage],
-    fault: &TransportFault,
+    faults: &FaultSet,
     mut resolve: impl FnMut(&AgentId) -> Option<String>,
     mut fail: impl FnMut(&SharedMessage, &AgentId),
 ) -> BTreeMap<String, ContainerBatch> {
     let mut per_container: BTreeMap<String, ContainerBatch> = BTreeMap::new();
     for message in batch {
-        if matches!(fault, TransportFault::DropFrom(from) if message.sender() == from) {
+        if faults.drops_from(message.sender()) {
             continue;
         }
         let mut groups: BTreeMap<String, Vec<AgentId>> = BTreeMap::new();
         for receiver in message.receivers() {
-            if matches!(fault, TransportFault::DropTo(to) if receiver == to) {
+            if faults.drops_to(receiver) {
                 continue;
             }
             match resolve(receiver) {
@@ -101,7 +102,7 @@ mod tests {
         let homes: BTreeMap<&str, &str> = [("a@x", "c1"), ("b@x", "c2")].into();
         let grouped = group_into_batches(
             &batch,
-            &TransportFault::None,
+            &FaultSet::default(),
             |r| homes.get(r.name()).map(|c| (*c).to_owned()),
             |_, _| panic!("everything resolves"),
         );
@@ -122,7 +123,9 @@ mod tests {
         let mut failed = Vec::new();
         let grouped = group_into_batches(
             &batch,
-            &TransportFault::DropFrom(AgentId::new("bad")),
+            &FaultSet::just(crate::platform::TransportFault::DropFrom(AgentId::new(
+                "bad",
+            ))),
             |r| (r.name() == "a@x").then(|| "c1".to_owned()),
             |m, r| failed.push((SharedMessage::clone(m), r.clone())),
         );
@@ -139,7 +142,7 @@ mod tests {
         let homes: BTreeMap<&str, &str> = [("a@x", "c1"), ("b@x", "c1")].into();
         let grouped = group_into_batches(
             &batch,
-            &TransportFault::DropTo(AgentId::new("a@x")),
+            &FaultSet::just(crate::platform::TransportFault::DropTo(AgentId::new("a@x"))),
             |r| homes.get(r.name()).map(|c| (*c).to_owned()),
             |_, _| panic!("b resolves"),
         );

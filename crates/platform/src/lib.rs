@@ -69,6 +69,7 @@ mod agent;
 mod container;
 mod delivery;
 mod df;
+pub mod net;
 pub mod overload;
 mod platform;
 pub mod pool;
@@ -79,8 +80,9 @@ pub use agent::{Agent, AgentCtx, AgentState};
 pub use agentgrid_acl::ontology::ResourceProfile;
 pub use container::Container;
 pub use df::{DirectoryFacilitator, ServiceEntry};
+pub use net::{LinkFaults, LinkSelector, NetCommand, NetStats, ReliabilityConfig};
 pub use overload::{MailboxConfig, MessageClass, OverflowPolicy, OverloadStats, PressureSignal};
-pub use platform::{Platform, PlatformError, TransportFault};
+pub use platform::{FaultSet, Platform, PlatformError, TransportFault};
 pub use pool::PoolRuntime;
 pub use runtime::{Runtime, ThreadedRuntime};
 pub use threaded::{RunStats, RunningPlatform, ThreadedPlatform};

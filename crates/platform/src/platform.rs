@@ -8,6 +8,7 @@ use agentgrid_telemetry::TelemetryHandle;
 use crate::agent::{Agent, AgentState};
 use crate::container::{AgentSlot, Container, DfRef};
 use crate::delivery::{batch_legs, group_into_batches, ContainerBatch};
+use crate::net::{NetAdversary, NetCommand, NetStats};
 use crate::overload::{MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
 use crate::DirectoryFacilitator;
 
@@ -57,6 +58,69 @@ pub enum TransportFault {
     DropFrom(AgentId),
 }
 
+/// A composable set of active [`TransportFault`]s.
+///
+/// The single-fault API used to be replace-semantics: one `SetFault`
+/// clobbered whatever window was open, and one `ClearFault` healed
+/// everything. The set makes concurrent fault windows compose:
+/// **union semantics** (a leg is dropped if *any* active fault matches
+/// it), scoped removal (closing one window leaves the others open), and
+/// [`TransportFault::None`] is the identity (inserting it does
+/// nothing). Duplicated inserts collapse, so a window opened twice
+/// closes with one removal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSet {
+    active: Vec<TransportFault>,
+}
+
+impl FaultSet {
+    /// The set holding exactly `fault` (empty for
+    /// [`TransportFault::None`]) — the bridge from the legacy
+    /// replace-semantics API.
+    pub fn just(fault: TransportFault) -> Self {
+        let mut set = FaultSet::default();
+        set.insert(fault);
+        set
+    }
+
+    /// Adds a fault to the set. `None` and duplicates are no-ops.
+    pub fn insert(&mut self, fault: TransportFault) {
+        if matches!(fault, TransportFault::None) || self.active.contains(&fault) {
+            return;
+        }
+        self.active.push(fault);
+    }
+
+    /// Removes exactly this fault; other active faults stay in force.
+    pub fn remove(&mut self, fault: &TransportFault) {
+        self.active.retain(|f| f != fault);
+    }
+
+    /// Heals everything.
+    pub fn clear(&mut self) {
+        self.active.clear();
+    }
+
+    /// Whether no fault is active.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Whether any active fault drops messages sent by `sender`.
+    pub fn drops_from(&self, sender: &AgentId) -> bool {
+        self.active
+            .iter()
+            .any(|f| matches!(f, TransportFault::DropFrom(from) if from == sender))
+    }
+
+    /// Whether any active fault drops legs addressed to `receiver`.
+    pub fn drops_to(&self, receiver: &AgentId) -> bool {
+        self.active
+            .iter()
+            .any(|f| matches!(f, TransportFault::DropTo(to) if to == receiver))
+    }
+}
+
 /// The agent platform: containers, message transport, AMS and DF.
 ///
 /// Stepping model: [`step`](Platform::step) routes all messages queued in
@@ -72,7 +136,10 @@ pub struct Platform {
     pub(crate) df: DirectoryFacilitator,
     pub(crate) in_flight: Vec<SharedMessage>,
     dead_letters: Vec<SharedMessage>,
-    fault: TransportFault,
+    faults: FaultSet,
+    /// The seeded network adversary + reliability layer; `None` (the
+    /// default) routes exactly as before.
+    net: Option<NetAdversary>,
     pub(crate) now_ms: u64,
     delivered: u64,
     pub(crate) telemetry: Option<TelemetryHandle>,
@@ -105,7 +172,8 @@ impl Platform {
             df: DirectoryFacilitator::new(),
             in_flight: Vec::new(),
             dead_letters: Vec::new(),
-            fault: TransportFault::None,
+            faults: FaultSet::default(),
+            net: None,
             now_ms: 0,
             delivered: 0,
             telemetry: None,
@@ -305,9 +373,34 @@ impl Platform {
         &mut self.df
     }
 
-    /// Injects (or clears) a transport fault.
+    /// Injects (or clears) a transport fault, with the legacy
+    /// **replace** semantics: the new fault becomes the whole set
+    /// ([`TransportFault::None`] heals everything). Composable windows
+    /// go through [`net_command`](Self::net_command) with
+    /// [`NetCommand::AddFault`]/[`NetCommand::RemoveFault`].
     pub fn set_fault(&mut self, fault: TransportFault) {
-        self.fault = fault;
+        self.faults = FaultSet::just(fault);
+    }
+
+    /// Applies one command against the network layer: legacy fault-set
+    /// edits, per-link fault windows, partitions, the adversary seed,
+    /// or the reliability policy (see [`crate::net`]).
+    pub fn net_command(&mut self, command: NetCommand) {
+        match command {
+            NetCommand::AddFault(fault) => self.faults.insert(fault),
+            NetCommand::RemoveFault(fault) => self.faults.remove(&fault),
+            NetCommand::ClearFaults => self.faults.clear(),
+            other => self
+                .net
+                .get_or_insert_with(|| NetAdversary::new(0))
+                .command(other),
+        }
+    }
+
+    /// Counters of the network adversary/reliability layer; `None`
+    /// while no [`net_command`](Self::net_command) has touched it.
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.net.as_ref().map(NetAdversary::stats)
     }
 
     /// Messages that could not be delivered (unknown/dead receivers).
@@ -434,6 +527,22 @@ impl Platform {
                     self.deliver_leg(&message, &receiver, telemetry.as_deref());
                 }
             }
+            // Delayed and retransmitted legs due by now re-enter,
+            // re-resolving receivers like overload deferrals do.
+            let due = match &mut self.net {
+                Some(net) => {
+                    let containers = &self.containers;
+                    net.due(
+                        now_ms,
+                        |agent| resolve_in(containers, agent),
+                        telemetry.as_deref(),
+                    )
+                }
+                None => Vec::new(),
+            };
+            for (message, receiver) in due {
+                self.deliver_leg(&message, &receiver, telemetry.as_deref());
+            }
         }
         let to_route = std::mem::take(&mut self.in_flight);
         let routed = to_route.len();
@@ -484,11 +593,11 @@ impl Platform {
         telemetry: Option<&agentgrid_telemetry::Telemetry>,
     ) {
         let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
-        let batches = {
+        let mut batches = {
             let containers = &self.containers;
             group_into_batches(
                 batch,
-                &self.fault,
+                &self.faults,
                 |receiver| resolve_in(containers, receiver),
                 |message, receiver| failed.push((SharedMessage::clone(message), receiver.clone())),
             )
@@ -497,6 +606,25 @@ impl Platform {
             self.fail_leg(message, receiver, telemetry);
         }
         let now_ms = self.now_ms;
+        if let Some(net) = &mut self.net {
+            // The adversary sits between routing and admission: legs it
+            // drops/delays/parks never reach the overload layer.
+            let containers = &self.containers;
+            let mut survived: BTreeMap<String, ContainerBatch> = BTreeMap::new();
+            for (container, legs) in batches {
+                let legs = net.process_batch(
+                    &container,
+                    legs,
+                    |agent| resolve_in(containers, agent),
+                    now_ms,
+                    telemetry,
+                );
+                if !legs.is_empty() {
+                    survived.insert(container, legs);
+                }
+            }
+            batches = survived;
+        }
         for (container, legs) in batches {
             let legs = match &mut self.overload {
                 Some(tracker) => tracker.admit_batch(&container, legs, now_ms),

@@ -62,6 +62,7 @@ use parking_lot::Mutex;
 
 use crate::agent::Agent;
 use crate::container::{Container, DfRef};
+use crate::net::{NetCommand, NetStats};
 use crate::overload::{MailboxConfig, OverloadStats, PressureSignal};
 use crate::runtime::Runtime;
 use crate::{DirectoryFacilitator, Platform, PlatformError, TransportFault};
@@ -352,6 +353,14 @@ impl Runtime for PoolRuntime {
 
     fn hint_parallel(&mut self, container: &str) {
         self.parallel.insert(container.to_owned());
+    }
+
+    fn net_command(&mut self, command: NetCommand) {
+        self.inner.net_command(command);
+    }
+
+    fn net_stats(&self) -> Option<NetStats> {
+        self.inner.net_stats()
     }
 }
 

@@ -50,6 +50,7 @@ use agentgrid_acl::{AgentId, SharedMessage};
 use agentgrid_telemetry::TelemetryHandle;
 
 use crate::agent::Agent;
+use crate::net::{NetCommand, NetStats};
 use crate::overload::{MailboxConfig, OverloadStats, PressureSignal};
 use crate::threaded::{RunStats, RunningPlatform, ThreadedPlatform};
 use crate::{DirectoryFacilitator, Platform, PlatformError, TransportFault};
@@ -181,6 +182,20 @@ pub trait Runtime {
     fn hint_parallel(&mut self, container: &str) {
         let _ = container;
     }
+
+    /// Applies one command against the network layer (composable fault
+    /// windows, per-link faults, partitions, reliability — see
+    /// [`net`](crate::net)). Default: ignored, for runtimes without a
+    /// network layer.
+    fn net_command(&mut self, command: NetCommand) {
+        let _ = command;
+    }
+
+    /// Counters of the network adversary/reliability layer; `None`
+    /// while untouched (or unsupported by the runtime).
+    fn net_stats(&self) -> Option<NetStats> {
+        None
+    }
 }
 
 impl Runtime for Platform {
@@ -256,8 +271,19 @@ impl Runtime for Platform {
     fn overload_stats(&self) -> Option<OverloadStats> {
         Platform::overload_stats(self)
     }
+
+    fn net_command(&mut self, command: NetCommand) {
+        Platform::net_command(self, command);
+    }
+
+    fn net_stats(&self) -> Option<NetStats> {
+        Platform::net_stats(self)
+    }
 }
 
+// One short-lived value per runtime; the Building payload's size is
+// irrelevant next to boxing every state transition.
+#[allow(clippy::large_enum_variant)]
 enum ThreadedState {
     /// Containers and agents are still being registered.
     Building(ThreadedPlatform),
@@ -487,6 +513,24 @@ impl Runtime for ThreadedRuntime {
         match &self.state {
             ThreadedState::Running(handle) => handle.overload_stats(),
             _ => None,
+        }
+    }
+
+    fn net_command(&mut self, command: NetCommand) {
+        match &mut self.state {
+            ThreadedState::Building(platform) => platform.net_command(command),
+            ThreadedState::Running(handle) => handle.net_command(command),
+            ThreadedState::Poisoned => {
+                panic!("threaded runtime poisoned by an earlier start failure")
+            }
+        }
+    }
+
+    fn net_stats(&self) -> Option<NetStats> {
+        match &self.state {
+            ThreadedState::Building(platform) => platform.net_stats(),
+            ThreadedState::Running(handle) => handle.net_stats(),
+            ThreadedState::Poisoned => None,
         }
     }
 }

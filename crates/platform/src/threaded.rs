@@ -62,8 +62,9 @@ use parking_lot::Mutex;
 
 use crate::agent::{Agent, AgentCtx};
 use crate::delivery::{batch_legs, group_into_batches, ContainerBatch};
+use crate::net::{NetAdversary, NetCommand, NetStats};
 use crate::overload::{MailboxConfig, MailboxTracker, OverloadStats, PressureSignal};
-use crate::platform::TransportFault;
+use crate::platform::{FaultSet, TransportFault};
 use crate::{DirectoryFacilitator, PlatformError};
 
 /// The agents registered to one container before the threads start.
@@ -129,9 +130,13 @@ struct SharedState {
     clock_ms: AtomicU64,
     /// Undeliverable messages, one entry per unreachable receiver.
     dead_letters: Mutex<Vec<SharedMessage>>,
-    /// Transport fault injection, mirrored from the deterministic
+    /// Composable transport-fault set, mirrored from the deterministic
     /// platform: drops are silent, not dead-lettered.
-    transport: Mutex<TransportFault>,
+    transport: Mutex<FaultSet>,
+    /// The seeded network adversary + reliability layer; `None` (the
+    /// default) routes exactly as before. Lock order: `routes` before
+    /// `net`, everywhere.
+    net: Mutex<Option<NetAdversary>>,
     /// Requeue-once dead-letter policy (see
     /// [`Platform::set_dead_letter_requeue`](crate::Platform::set_dead_letter_requeue)).
     requeue_dead_letters: AtomicBool,
@@ -217,7 +222,8 @@ pub struct ThreadedPlatform {
     name: String,
     containers: BTreeMap<String, AgentRoster>,
     df: DirectoryFacilitator,
-    transport: TransportFault,
+    transport: FaultSet,
+    net: Option<NetAdversary>,
     requeue_dead_letters: bool,
     telemetry: Option<TelemetryHandle>,
     overload: Option<(MailboxConfig, Option<Arc<PressureSignal>>)>,
@@ -239,7 +245,8 @@ impl ThreadedPlatform {
             name: name.into(),
             containers: BTreeMap::new(),
             df: DirectoryFacilitator::new(),
-            transport: TransportFault::None,
+            transport: FaultSet::default(),
+            net: None,
             requeue_dead_letters: false,
             telemetry: None,
             overload: None,
@@ -258,9 +265,32 @@ impl ThreadedPlatform {
         self.telemetry.clone()
     }
 
-    /// Injects (or clears) a transport fault, effective from start.
+    /// Injects (or clears) a transport fault, effective from start,
+    /// with the legacy **replace** semantics (the new fault becomes the
+    /// whole set). Composable windows go through
+    /// [`net_command`](Self::net_command).
     pub fn set_transport_fault(&mut self, fault: TransportFault) {
-        self.transport = fault;
+        self.transport = FaultSet::just(fault);
+    }
+
+    /// Applies one command against the network layer, effective from
+    /// start (see [`crate::net`]).
+    pub fn net_command(&mut self, command: NetCommand) {
+        match command {
+            NetCommand::AddFault(fault) => self.transport.insert(fault),
+            NetCommand::RemoveFault(fault) => self.transport.remove(&fault),
+            NetCommand::ClearFaults => self.transport.clear(),
+            other => self
+                .net
+                .get_or_insert_with(|| NetAdversary::new(0))
+                .command(other),
+        }
+    }
+
+    /// Counters of the network adversary/reliability layer; `None`
+    /// while no [`net_command`](Self::net_command) has touched it.
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.net.as_ref().map(NetAdversary::stats)
     }
 
     /// Switches the dead-letter requeue policy, effective from start
@@ -379,6 +409,7 @@ impl ThreadedPlatform {
             clock_ms: AtomicU64::new(0),
             dead_letters: Mutex::new(Vec::new()),
             transport: Mutex::new(self.transport),
+            net: Mutex::new(self.net),
             requeue_dead_letters: AtomicBool::new(self.requeue_dead_letters),
             requeue_ledger: Mutex::new(Vec::new()),
             requeue_parked: Mutex::new(Vec::new()),
@@ -442,7 +473,7 @@ impl ThreadedPlatform {
                 let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
                 let (mut per_container, txs) = {
                     let routes = router_shared.routes.lock();
-                    let per_container = group_into_batches(
+                    let mut per_container = group_into_batches(
                         &batch,
                         &fault,
                         |receiver| routes.residents.get(receiver).cloned(),
@@ -450,6 +481,29 @@ impl ThreadedPlatform {
                             failed.push((SharedMessage::clone(message), receiver.clone()))
                         },
                     );
+                    // The network adversary runs under the routes lock
+                    // (lock order: routes before net, everywhere) so the
+                    // partition check resolves sender containers against
+                    // the same snapshot the batch was grouped with.
+                    {
+                        let mut net = router_shared.net.lock();
+                        if let Some(net) = net.as_mut() {
+                            let mut survived: BTreeMap<String, ContainerBatch> = BTreeMap::new();
+                            for (container, legs) in per_container {
+                                let legs = net.process_batch(
+                                    &container,
+                                    legs,
+                                    |agent| routes.residents.get(agent).cloned(),
+                                    now,
+                                    router_shared.telemetry.as_deref(),
+                                );
+                                if !legs.is_empty() {
+                                    survived.insert(container, legs);
+                                }
+                            }
+                            per_container = survived;
+                        }
+                    }
                     let txs: BTreeMap<String, Sender<ContainerMsg>> = per_container
                         .keys()
                         .filter_map(|c| routes.txs.get(c).map(|tx| (c.clone(), tx.clone())))
@@ -771,59 +825,82 @@ impl RunningPlatform {
                 None => Vec::new(),
             }
         };
-        if !due.is_empty() {
-            let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
-            let mut batches: BTreeMap<String, (Sender<ContainerMsg>, ContainerBatch)> =
-                BTreeMap::new();
-            {
-                let routes = self.shared.routes.lock();
-                for (message, receiver) in due {
-                    let target = routes
-                        .residents
-                        .get(&receiver)
-                        .and_then(|container| routes.txs.get(container).map(|tx| (container, tx)));
-                    match target {
-                        Some((container, tx)) => {
-                            if let Some(t) = &self.shared.telemetry {
-                                let scope = t.container_scope(container);
-                                t.message_delivered(&message, &receiver, &scope, now_ms);
-                            }
-                            batches
-                                .entry(container.clone())
-                                .or_insert_with(|| (tx.clone(), Vec::new()))
-                                .1
-                                .push((message, vec![receiver]));
-                        }
-                        None => failed.push((message, receiver)),
-                    }
-                }
+        self.deliver_due_legs(due, now_ms);
+        // Delayed and retransmitted legs due by now re-enter. Lock
+        // order: routes before net, matching the router.
+        let net_due = {
+            let routes = self.shared.routes.lock();
+            let mut net = self.shared.net.lock();
+            match net.as_mut() {
+                Some(net) => net.due(
+                    now_ms,
+                    |agent| routes.residents.get(agent).cloned(),
+                    self.shared.telemetry.as_deref(),
+                ),
+                None => Vec::new(),
             }
-            for (message, receiver) in &failed {
-                self.shared.fail_delivery(message, receiver, now_ms);
-            }
-            for (tx, legs) in batches.into_values() {
-                if let Some(t) = &self.shared.telemetry {
-                    t.batch_flushed(batch_legs(&legs));
-                }
-                self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                if let Err(err) = tx.send(ContainerMsg::Deliver(legs)) {
-                    // Killed between resolution and send: balance the
-                    // gauge and fail the legs.
-                    self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-                    if let ContainerMsg::Deliver(legs) = err.0 {
-                        for (message, receivers) in &legs {
-                            for receiver in receivers {
-                                self.shared.fail_delivery(message, receiver, now_ms);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        };
+        self.deliver_due_legs(net_due, now_ms);
         let parked: Vec<SharedMessage> = std::mem::take(&mut *self.shared.requeue_parked.lock());
         for message in parked {
             self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
             let _ = self.router_tx.send(message);
+        }
+    }
+
+    /// Delivers `(message, receiver)` legs that waited outside the
+    /// normal routing path (overload deferrals, delayed/retransmitted
+    /// net legs): resolve under one routes acquisition, batch per
+    /// container, send after the lock drops, and fail the unresolvable.
+    fn deliver_due_legs(&self, due: Vec<(SharedMessage, AgentId)>, now_ms: u64) {
+        if due.is_empty() {
+            return;
+        }
+        let mut failed: Vec<(SharedMessage, AgentId)> = Vec::new();
+        let mut batches: BTreeMap<String, (Sender<ContainerMsg>, ContainerBatch)> = BTreeMap::new();
+        {
+            let routes = self.shared.routes.lock();
+            for (message, receiver) in due {
+                let target = routes
+                    .residents
+                    .get(&receiver)
+                    .and_then(|container| routes.txs.get(container).map(|tx| (container, tx)));
+                match target {
+                    Some((container, tx)) => {
+                        if let Some(t) = &self.shared.telemetry {
+                            let scope = t.container_scope(container);
+                            t.message_delivered(&message, &receiver, &scope, now_ms);
+                        }
+                        batches
+                            .entry(container.clone())
+                            .or_insert_with(|| (tx.clone(), Vec::new()))
+                            .1
+                            .push((message, vec![receiver]));
+                    }
+                    None => failed.push((message, receiver)),
+                }
+            }
+        }
+        for (message, receiver) in &failed {
+            self.shared.fail_delivery(message, receiver, now_ms);
+        }
+        for (tx, legs) in batches.into_values() {
+            if let Some(t) = &self.shared.telemetry {
+                t.batch_flushed(batch_legs(&legs));
+            }
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            if let Err(err) = tx.send(ContainerMsg::Deliver(legs)) {
+                // Killed between resolution and send: balance the
+                // gauge and fail the legs.
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                if let ContainerMsg::Deliver(legs) = err.0 {
+                    for (message, receivers) in &legs {
+                        for receiver in receivers {
+                            self.shared.fail_delivery(message, receiver, now_ms);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -833,9 +910,33 @@ impl RunningPlatform {
     }
 
     /// Injects (or clears) a transport fault, effective for messages the
-    /// router handles from now on.
+    /// router handles from now on, with the legacy **replace**
+    /// semantics. Composable windows go through
+    /// [`net_command`](Self::net_command).
     pub fn set_transport_fault(&self, fault: TransportFault) {
-        *self.shared.transport.lock() = fault;
+        *self.shared.transport.lock() = FaultSet::just(fault);
+    }
+
+    /// Applies one command against the network layer, effective for
+    /// messages the router handles from now on (see [`crate::net`]).
+    pub fn net_command(&self, command: NetCommand) {
+        match command {
+            NetCommand::AddFault(fault) => self.shared.transport.lock().insert(fault),
+            NetCommand::RemoveFault(fault) => self.shared.transport.lock().remove(&fault),
+            NetCommand::ClearFaults => self.shared.transport.lock().clear(),
+            other => self
+                .shared
+                .net
+                .lock()
+                .get_or_insert_with(|| NetAdversary::new(0))
+                .command(other),
+        }
+    }
+
+    /// Counters of the network adversary/reliability layer; `None`
+    /// while untouched.
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.shared.net.lock().as_ref().map(NetAdversary::stats)
     }
 
     /// Switches the dead-letter requeue policy mid-run.

@@ -87,6 +87,39 @@ pub enum EventKind {
     /// The conversation tracer hit its span-capacity cap for the first
     /// time (subsequent drops only move the counter).
     TraceDropped,
+    /// The network adversary held a delivery leg back for `ms` of
+    /// simulated time before letting it through.
+    Delayed {
+        /// Link the leg travelled, as `sender->receiver`.
+        link: String,
+        /// How long the leg was held, in simulated milliseconds.
+        ms: u64,
+    },
+    /// The network adversary injected a duplicate of a delivery leg.
+    Duplicated {
+        /// Link the leg travelled, as `sender->receiver`.
+        link: String,
+    },
+    /// The reliable-delivery layer retransmitted an unacknowledged leg.
+    Retransmit {
+        /// Link the leg travels, as `sender->receiver`.
+        link: String,
+        /// 1-based retransmission attempt.
+        attempt: u32,
+    },
+    /// A named network partition opened: containers in different groups
+    /// can no longer exchange messages.
+    PartitionOpen {
+        /// Partition name (pairs with the matching [`PartitionHeal`]).
+        ///
+        /// [`PartitionHeal`]: EventKind::PartitionHeal
+        name: String,
+    },
+    /// A named network partition healed.
+    PartitionHeal {
+        /// Partition name.
+        name: String,
+    },
 }
 
 impl EventKind {
@@ -104,6 +137,11 @@ impl EventKind {
             EventKind::TaskRebrokered { .. } => "task-rebrokered",
             EventKind::TaskEscalated { .. } => "task-escalated",
             EventKind::TraceDropped => "trace-dropped",
+            EventKind::Delayed { .. } => "net-delayed",
+            EventKind::Duplicated { .. } => "net-duplicated",
+            EventKind::Retransmit { .. } => "net-retransmit",
+            EventKind::PartitionOpen { .. } => "partition-open",
+            EventKind::PartitionHeal { .. } => "partition-heal",
         }
     }
 
@@ -119,6 +157,10 @@ impl EventKind {
             | EventKind::TaskRebrokered { task, container } => format!("{task} @ {container}"),
             EventKind::TaskEscalated { rule, device } => format!("{rule} {device}"),
             EventKind::TraceDropped => "span capacity reached".to_owned(),
+            EventKind::Delayed { link, ms } => format!("{link} +{ms}ms"),
+            EventKind::Duplicated { link } => link.clone(),
+            EventKind::Retransmit { link, attempt } => format!("{link} attempt {attempt}"),
+            EventKind::PartitionOpen { name } | EventKind::PartitionHeal { name } => name.clone(),
         }
     }
 }

@@ -514,6 +514,33 @@ mod tests {
                 prop_assert!(json_ok(&json).is_ok(), "invalid JSON: {}", json);
                 prop_assert!(!json.chars().any(|c| (c as u32) < 0x20));
             }
+
+            /// The network EventKinds carry free-form link and
+            /// partition names into the Perfetto export — spans and
+            /// instants alike must survive any value and still render
+            /// a parseable trace document.
+            #[test]
+            fn chrome_trace_stays_well_formed_for_any_net_event_value(
+                printable in ".{0,24}",
+                nasty in "[\u{0}-\u{1f}\"\\\\`{}é ]{0,16}",
+            ) {
+                use crate::events::EventKind;
+                let value = format!("{printable}{nasty}");
+                let telemetry = crate::Telemetry::new();
+                telemetry.flight_recorder().enable();
+                let recorder = telemetry.flight_recorder();
+                recorder.record(1_000, EventKind::Delayed { link: value.clone(), ms: 250 });
+                recorder.record(2_000, EventKind::Duplicated { link: value.clone() });
+                recorder.record(3_000, EventKind::Retransmit { link: value.clone(), attempt: 2 });
+                // One healed partition (span) and one left open
+                // (unhealed span) named by the raw value.
+                recorder.record(4_000, EventKind::PartitionOpen { name: value.clone() });
+                recorder.record(5_000, EventKind::PartitionHeal { name: value.clone() });
+                recorder.record(6_000, EventKind::PartitionOpen { name: value.clone() });
+                let trace = crate::perfetto::chrome_trace(&telemetry);
+                prop_assert!(json_ok(&trace).is_ok(), "invalid JSON: {}", trace);
+                prop_assert!(!trace.chars().any(|c| (c as u32) < 0x20));
+            }
         }
     }
 }

@@ -3,7 +3,7 @@
 //! [`chrome_trace`] renders everything the telemetry facade holds into
 //! one JSON document in the Chrome trace-event format, loadable directly
 //! in `ui.perfetto.dev` (or `chrome://tracing`). The document carries
-//! two synthetic processes:
+//! up to three synthetic processes:
 //!
 //! * **pid 1 — simulated time**: task spans (one complete event per
 //!   task, observation → done), conversation spans (one lane per
@@ -15,6 +15,11 @@
 //!   `1 + worker`). Timestamps are real microseconds since the
 //!   profiler's epoch; gaps between job slices on a worker lane are its
 //!   idle time, and stolen jobs are flagged in the event args.
+//! * **pid 3 — network adversary** (simulated time, present only when
+//!   the adversary fired): each named partition renders as one
+//!   complete span from open to heal on the `partitions` lane, and
+//!   delays, duplications and retransmissions render as instants on
+//!   the `adversary` lane.
 //!
 //! The profiler is disabled by default and costs one relaxed atomic
 //! load per check, preserving the byte-identical-default discipline.
@@ -24,6 +29,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::events::EventKind;
 use crate::export::json_escape;
 use crate::Telemetry;
 
@@ -171,6 +177,12 @@ const TID_CONVERSATIONS_BASE: u64 = 3;
 const PID_POOL: u64 = 2;
 const TID_PHASES: u64 = 0;
 const TID_WORKERS_BASE: u64 = 1;
+/// Network-adversary process (simulated time) and its lanes. A
+/// separate pid because the conversation lanes on [`PID_SIM`] grow
+/// unbounded from [`TID_CONVERSATIONS_BASE`].
+const PID_NET: u64 = 3;
+const TID_PARTITIONS: u64 = 1;
+const TID_NET_FLOW: u64 = 2;
 
 fn metadata(pid: u64, tid: Option<u64>, what: &str, name: &str) -> String {
     let tid = tid.unwrap_or(0);
@@ -250,15 +262,93 @@ pub fn chrome_trace(telemetry: &Telemetry) -> String {
         }
     }
 
-    // Flight-recorder instants.
+    // Flight-recorder instants. Network-adversary events are split out
+    // onto their own process: partition open/heal pairs (matched by
+    // name, first-open-first-healed) become complete spans covering the
+    // partition window, and per-leg interference becomes instants on a
+    // dedicated lane.
+    let mut net_events: Vec<String> = Vec::new();
+    let mut open_partitions: Vec<(String, u64)> = Vec::new();
+    let mut net_last_ms: u64 = 0;
     for event in telemetry.flight_recorder().events() {
-        events.push(instant(
-            PID_SIM,
-            TID_EVENTS,
-            event.kind.label(),
-            event.sim_ms * 1_000,
-            &str_arg("detail", &event.kind.detail()),
+        match &event.kind {
+            EventKind::PartitionOpen { name } => {
+                net_last_ms = net_last_ms.max(event.sim_ms);
+                open_partitions.push((name.clone(), event.sim_ms));
+            }
+            EventKind::PartitionHeal { name } => {
+                net_last_ms = net_last_ms.max(event.sim_ms);
+                match open_partitions.iter().position(|(n, _)| n == name) {
+                    Some(i) => {
+                        let (name, opened_ms) = open_partitions.remove(i);
+                        net_events.push(complete(
+                            PID_NET,
+                            TID_PARTITIONS,
+                            &format!("partition {name}"),
+                            opened_ms * 1_000,
+                            event.sim_ms.saturating_sub(opened_ms) * 1_000,
+                            "\"healed\":true",
+                        ));
+                    }
+                    // A heal with no recorded open still shows up,
+                    // just without a window.
+                    None => net_events.push(instant(
+                        PID_NET,
+                        TID_PARTITIONS,
+                        event.kind.label(),
+                        event.sim_ms * 1_000,
+                        &str_arg("detail", &event.kind.detail()),
+                    )),
+                }
+            }
+            EventKind::Delayed { .. }
+            | EventKind::Duplicated { .. }
+            | EventKind::Retransmit { .. } => {
+                net_last_ms = net_last_ms.max(event.sim_ms);
+                net_events.push(instant(
+                    PID_NET,
+                    TID_NET_FLOW,
+                    event.kind.label(),
+                    event.sim_ms * 1_000,
+                    &str_arg("detail", &event.kind.detail()),
+                ));
+            }
+            _ => events.push(instant(
+                PID_SIM,
+                TID_EVENTS,
+                event.kind.label(),
+                event.sim_ms * 1_000,
+                &str_arg("detail", &event.kind.detail()),
+            )),
+        }
+    }
+    // Partitions still open at the end of the recording render as a
+    // span to the last network event, flagged unhealed.
+    for (name, opened_ms) in open_partitions {
+        net_events.push(complete(
+            PID_NET,
+            TID_PARTITIONS,
+            &format!("partition {name}"),
+            opened_ms * 1_000,
+            net_last_ms.saturating_sub(opened_ms) * 1_000,
+            "\"healed\":false",
         ));
+    }
+    if !net_events.is_empty() {
+        events.push(metadata(PID_NET, None, "process_name", "network adversary"));
+        events.push(metadata(
+            PID_NET,
+            Some(TID_PARTITIONS),
+            "thread_name",
+            "partitions",
+        ));
+        events.push(metadata(
+            PID_NET,
+            Some(TID_NET_FLOW),
+            "thread_name",
+            "adversary",
+        ));
+        events.append(&mut net_events);
     }
 
     // Conversation spans: one lane per destination container, named
@@ -415,6 +505,79 @@ mod tests {
         assert!(trace.contains("pool runtime (wall clock)"));
         // No raw control characters may survive into the document.
         assert!(!trace.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    #[test]
+    fn partition_windows_render_as_spans_on_the_net_track() {
+        let telemetry = Telemetry::new();
+        telemetry.flight_recorder().enable();
+        let recorder = telemetry.flight_recorder();
+        recorder.record(
+            60_000,
+            EventKind::PartitionOpen {
+                name: "seeded-net".into(),
+            },
+        );
+        recorder.record(
+            90_000,
+            EventKind::Delayed {
+                link: "a@x->b@y".into(),
+                ms: 2_500,
+            },
+        );
+        recorder.record(
+            100_000,
+            EventKind::Retransmit {
+                link: "a@x->b@y".into(),
+                attempt: 2,
+            },
+        );
+        recorder.record(
+            180_000,
+            EventKind::PartitionHeal {
+                name: "seeded-net".into(),
+            },
+        );
+        recorder.record(
+            200_000,
+            EventKind::PartitionOpen {
+                name: "forever".into(),
+            },
+        );
+        let trace = chrome_trace(&telemetry);
+        assert!(trace.contains("\"name\":\"network adversary\""));
+        // Healed partition: one complete span covering open -> heal.
+        assert!(
+            trace.contains(
+                "{\"name\":\"partition seeded-net\",\"ph\":\"X\",\"pid\":3,\"tid\":1,\
+                 \"ts\":60000000,\"dur\":120000000,\"args\":{\"healed\":true}}"
+            ),
+            "{trace}"
+        );
+        // Unhealed partition: span to the last net event, flagged.
+        assert!(trace.contains("\"name\":\"partition forever\""), "{trace}");
+        assert!(trace.contains("\"healed\":false"));
+        // Per-leg interference lands on the adversary lane of pid 3.
+        assert!(trace
+            .contains("{\"name\":\"net-delayed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":3,\"tid\":2,"));
+        assert!(trace.contains(
+            "{\"name\":\"net-retransmit\",\"ph\":\"i\",\"s\":\"t\",\"pid\":3,\"tid\":2,"
+        ));
+    }
+
+    #[test]
+    fn trace_without_net_events_omits_pid_3() {
+        let telemetry = Telemetry::new();
+        telemetry.flight_recorder().enable();
+        telemetry.flight_recorder().record(
+            60_000,
+            EventKind::Crash {
+                container: "pg-1".into(),
+            },
+        );
+        let trace = chrome_trace(&telemetry);
+        assert!(!trace.contains("network adversary"));
+        assert!(trace.contains("\"name\":\"crash\""));
     }
 
     #[test]

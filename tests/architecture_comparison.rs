@@ -380,6 +380,104 @@ fn chaos_recovery_is_consistent_across_runtimes() {
     }
 }
 
+/// Network-adversary parity: the same seeded fault plan (loss,
+/// duplication, delay, reordering, a healing partition) with reliable
+/// delivery produces byte-identical reports on the deterministic
+/// stepper and the pool runtime — the whole misbehavior sequence is a
+/// pure function of `(seed, link, sequence)`, and the pool preserves
+/// the stepper's delivery order exactly. The threaded runtime cannot
+/// promise byte-identity (per-link sequence numbers depend on router
+/// interleaving), but the conservation contract must still hold there:
+/// nothing lost, the injected device fault's alert delivered.
+#[test]
+fn network_adversary_is_consistent_across_runtimes() {
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+    use agentgrid_suite::platform::ReliabilityConfig;
+
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+    let seed = 42u64;
+    let horizon = 18 * 60_000;
+    let containers: Vec<String> = ["pg-1", "pg-2", "pg-root-ct", "clg", "ig", "cg-hq"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let plan = ChaosPlan::seeded_net(seed, &containers, horizon);
+    assert!(!plan.is_empty());
+    let builder = || {
+        let mut net = Network::new();
+        for i in 0..4 {
+            net.add_device(
+                Device::builder(format!("srv-{i}"), DeviceKind::Server)
+                    .site("hq")
+                    .seed(i)
+                    .build(),
+            );
+        }
+        ManagementGrid::builder()
+            .network(net)
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .net_adversary(seed)
+            .reliability(ReliabilityConfig::seeded(seed))
+            .chaos(plan.clone())
+            .fault(ScheduledFault::from(
+                "srv-1",
+                FaultKind::CpuRunaway,
+                120_000,
+            ))
+    };
+
+    let det = builder().build().run(horizon, 60_000);
+    let det_again = builder().build().run(horizon, 60_000);
+    let pool = builder().build_pool().run(horizon, 60_000);
+    let thr = builder().build_threaded().run(horizon, 60_000);
+
+    // Determinism first: same seed, same misbehavior, to the byte.
+    assert_eq!(det.render(), det_again.render());
+    assert_eq!(det.assignments, det_again.assignments);
+    assert_eq!(det.completed_ids, det_again.completed_ids);
+    assert_eq!(det.net, det_again.net, "same adversary counters");
+
+    // The pool preserves the stepper's delivery order exactly, so the
+    // adversary's decisions — and everything downstream — match byte
+    // for byte.
+    assert_eq!(det.render(), pool.render());
+    assert_eq!(det.assignments, pool.assignments);
+    assert_eq!(det.completed_ids, pool.completed_ids);
+    assert_eq!(det.net, pool.net);
+
+    let net = det.net.expect("adversary configured");
+    assert!(net.retransmits > 0, "reliability layer must be exercised");
+    assert!(net.dup_suppressed > 0, "dedup window must be exercised");
+
+    for (name, report) in [("deterministic", &det), ("pool", &pool), ("threaded", &thr)] {
+        assert!(
+            report.lost_tasks().is_empty(),
+            "{name}: tasks permanently lost: {:?}",
+            report.lost_tasks()
+        );
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| a.rule == "high-cpu" && a.device == "srv-1"),
+            "{name}: the device fault's alert was lost to the adversary"
+        );
+    }
+}
+
 /// Overflow-policy parity: the same seeded burst against the same
 /// [`MailboxConfig`] must shed the same messages on both runtimes.
 /// Mailbox budgets are window credits keyed to the simulated clock, so

@@ -12,7 +12,8 @@
 
 use agentgrid_suite::core::chaos::ChaosPlan;
 use agentgrid_suite::core::recovery::RecoveryConfig;
-use agentgrid_suite::net::{Device, DeviceKind, Network};
+use agentgrid_suite::net::{Device, DeviceKind, FaultKind, Network, ScheduledFault};
+use agentgrid_suite::platform::ReliabilityConfig;
 use agentgrid_suite::{GridReport, ManagementGrid};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -201,6 +202,82 @@ proptest! {
             report.dead_letters,
             recovery_traffic,
         );
+    }
+}
+
+/// Conservation under the full network adversary: 64 seeded fault
+/// plans (probabilistic loss and duplication on every link, delay +
+/// jitter + reordering into one analyzer, a named partition that
+/// heals) against reliable delivery and the recovery layer. For every
+/// seed no task is permanently lost, re-brokering stays exactly-once,
+/// and the Alert-class traffic survives end-to-end — the device fault
+/// injected mid-run must surface at the interface grid despite the
+/// adversary. Every eighth seed additionally replays on the
+/// deterministic stepper and the pool runtime to prove the whole
+/// misbehavior sequence is a pure function of the seed.
+#[test]
+fn network_adversary_with_reliability_loses_nothing_across_64_seeds() {
+    let horizon = 15 * 60_000;
+    let containers: Vec<String> = ["pg-1", "pg-2", "pg-root-ct", "clg", "ig", "cg-hq"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    for seed in 0..64u64 {
+        let plan = ChaosPlan::seeded_net(seed, &containers, horizon);
+        assert!(!plan.is_empty(), "seed {seed} must schedule faults");
+        let build = || {
+            ManagementGrid::builder()
+                .network(network(4, seed))
+                .collectors_per_site(2)
+                .analyzer("pg-1", 1.0, ALL_SKILLS)
+                .analyzer("pg-2", 1.0, ALL_SKILLS)
+                .recovery(RecoveryConfig::seeded(seed))
+                .net_adversary(seed)
+                .reliability(ReliabilityConfig::seeded(seed))
+                .chaos(plan.clone())
+                // dev-2 is a server: its runaway CPU must alert through
+                // the lossy network — reliable delivery lands every
+                // Alert-class message.
+                .fault(ScheduledFault::from(
+                    "dev-2",
+                    FaultKind::CpuRunaway,
+                    120_000,
+                ))
+        };
+        let report = build().build().run(horizon, 60_000);
+        assert_nothing_lost(&report);
+        assert_exactly_once(&report);
+        assert_eq!(report.unassigned, 0, "seed {seed}");
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| a.rule == "high-cpu" && a.device == "dev-2"),
+            "seed {seed}: the device fault's alert was lost to the adversary"
+        );
+        let net = report.net.expect("adversary configured");
+        assert!(
+            net.dropped + net.partition_dropped + net.delayed + net.duplicated > 0,
+            "seed {seed}: the adversary never interfered — the run proves nothing"
+        );
+        if seed % 8 == 0 {
+            let replay = build().build().run(horizon, 60_000);
+            assert_eq!(
+                report.render(),
+                replay.render(),
+                "seed {seed}: deterministic replay diverged"
+            );
+            assert_eq!(report.assignments, replay.assignments, "seed {seed}");
+            assert_eq!(report.completed_ids, replay.completed_ids, "seed {seed}");
+            let pool = build().build_pool().run(horizon, 60_000);
+            assert_eq!(
+                report.render(),
+                pool.render(),
+                "seed {seed}: pool runtime diverged from the stepper"
+            );
+            assert_eq!(report.assignments, pool.assignments, "seed {seed}");
+            assert_eq!(report.completed_ids, pool.completed_ids, "seed {seed}");
+        }
     }
 }
 

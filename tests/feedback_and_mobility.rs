@@ -117,6 +117,85 @@ fn rebalancer_moves_analyzer_to_spare_and_work_follows() {
     assert_eq!(after.dead_letters, 0, "migration must not lose messages");
 }
 
+/// Migration mid-scenario while the network adversary is active: an
+/// analyzer moves to a spare container in the middle of a seeded
+/// loss/duplication/partition plan with reliable delivery on. No task
+/// or message may be lost across the move — retransmit-parked traffic
+/// addressed to the migrating agent must follow it to its new
+/// container — and the whole run (chaos, migration, recovery) must be
+/// bit-identical when replayed with the same seed.
+#[test]
+fn migration_under_network_adversary_loses_nothing_and_replays_identically() {
+    use agentgrid_suite::core::chaos::ChaosPlan;
+    use agentgrid_suite::core::recovery::RecoveryConfig;
+    use agentgrid_suite::platform::ReliabilityConfig;
+
+    let seed = 5u64;
+    let half = 8 * 60_000;
+    let containers: Vec<String> = ["pg-1", "pg-2", "pg-root-ct", "clg", "cg-hq"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let plan = ChaosPlan::seeded_net(seed, &containers, 2 * half);
+    assert!(!plan.is_empty());
+    let run_once = || {
+        let mut grid = ManagementGrid::builder()
+            .network(network(4, 21))
+            .collectors_per_site(2)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .recovery(RecoveryConfig::seeded(seed))
+            .net_adversary(seed)
+            .reliability(ReliabilityConfig::seeded(seed))
+            .chaos(plan.clone())
+            .build();
+        grid.run(half, 60_000);
+        // The spare joins mid-scenario — profile, container and a
+        // fresh heartbeat (recovery's liveness sweep deregisters
+        // containers that never beat; an agentless spare only starts
+        // beating once the analyzer moves in).
+        grid.platform_mut().add_container("spare");
+        grid.platform_mut()
+            .df_mut()
+            .register_container(ResourceProfile::new("spare", 4.0, 1.0, 8192, ALL_SKILLS));
+        grid.platform_mut().df_mut().record_heartbeat("spare", half);
+        // Force a migration regardless of current load figures.
+        let rebalancer = Rebalancer {
+            high_watermark: 0.0,
+            low_watermark: 1.0,
+        };
+        let migrations = rebalancer.rebalance(grid.platform_mut());
+        let report = grid.run(half, 60_000);
+        (migrations, report)
+    };
+    let (migrations, report) = run_once();
+    assert_eq!(migrations.len(), 1, "one analyzer moves to the spare");
+    assert_eq!(migrations[0].to, "spare");
+
+    let lost = report.lost_tasks();
+    assert!(lost.is_empty(), "tasks lost across the migration: {lost:?}");
+    assert_eq!(report.unassigned, 0);
+    assert!(
+        report.tasks_per_container().contains_key("spare"),
+        "work must follow the migrated analyzer: {:?}",
+        report.tasks_per_container()
+    );
+    let net = report.net.expect("adversary configured");
+    assert!(
+        net.dropped + net.partition_dropped + net.duplicated > 0,
+        "the adversary must actually interfere with the migration run"
+    );
+
+    // Same seed, same everything: migration under the adversary is as
+    // reproducible as the rest of the simulation.
+    let (again_migrations, again) = run_once();
+    assert_eq!(migrations, again_migrations);
+    assert_eq!(report.render(), again.render());
+    assert_eq!(report.assignments, again.assignments);
+    assert_eq!(report.completed_ids, again.completed_ids);
+    assert_eq!(report.net, again.net);
+}
+
 #[test]
 fn knowledge_base_merge_shares_rules_across_sites() {
     use agentgrid_suite::rules::{parse_rules, KnowledgeBase};
