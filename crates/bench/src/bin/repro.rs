@@ -70,6 +70,20 @@
 //! writes the medians to `<path>` as JSON (the `BENCH_pr8.json`
 //! artifact). With no explicit experiment list, `--store-bench-json`
 //! runs only the store benchmark.
+//!
+//! `--sharded <n> [seed]` runs the federated-grid experiment: the grid
+//! split into `n` domain shards connected by the federation protocol
+//! (load gossip, task spill-over, cross-domain finding summaries). The
+//! deterministic checks run the sharded scenario twice on the stepper
+//! and once on the pool runtime (all three must be byte-identical),
+//! then an overload scenario that forces spill-over and proves every
+//! task in the federation is counted exactly once — stdout is fully
+//! deterministic so CI can diff two fresh runs. With
+//! `--shard-bench-json <path>`, a 10 000-device scenario is also timed
+//! on the pool runtime at 1 shard vs `n` shards and the measured
+//! throughputs written to `<path>` (the `BENCH_pr10.json` artifact).
+//! With no explicit experiment list, `--sharded` runs only this
+//! experiment.
 
 use agentgrid::balance::{
     ContractNet, KnowledgeCapacityIdle, LeastLoaded, LoadBalancer, Random, RoundRobin,
@@ -147,6 +161,14 @@ fn main() {
     let overload_seed = take_overload_flag(&mut args);
     let bench_json = take_bench_json_flag(&mut args);
     let store_bench_json = take_store_bench_json_flag(&mut args);
+    let sharded_shards = take_sharded_flag(&mut args);
+    let shard_bench_json = take_shard_bench_json_flag(&mut args);
+    // `--sharded N SEED`: the bare number after the flags is the seed.
+    let sharded_seed = sharded_shards.and_then(|_| {
+        args.iter()
+            .position(|a| a.parse::<u64>().is_ok())
+            .map(|i| args.remove(i).parse().expect("position checked"))
+    });
     let runtime = take_runtime_flag(&mut args);
     let store = take_store_flag(&mut args);
     let telemetry = (metrics_path.is_some() || trace_path.is_some()).then(Telemetry::new);
@@ -160,7 +182,8 @@ fn main() {
                 || netchaos_seed.is_some()
                 || overload_seed.is_some()
                 || bench_json.is_some()
-                || store_bench_json.is_some())
+                || store_bench_json.is_some()
+                || sharded_shards.is_some())
         {
             let mut only = Vec::new();
             if chaos_seed.is_some() {
@@ -177,6 +200,9 @@ fn main() {
             }
             if store_bench_json.is_some() {
                 only.push("store-bench");
+            }
+            if sharded_shards.is_some() {
+                only.push("sharded");
             }
             only
         } else {
@@ -221,6 +247,11 @@ fn main() {
             ),
             "bench" => bench_inference(bench_json.as_deref()),
             "store-bench" => store_bench(store_bench_json.as_deref()),
+            "sharded" => sharded(
+                sharded_shards.unwrap_or(4),
+                sharded_seed.unwrap_or(42),
+                shard_bench_json.as_deref(),
+            ),
             other => eprintln!("unknown experiment `{other}` (try `all`)"),
         }
     }
@@ -417,6 +448,58 @@ fn take_store_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
         .position(|a| a.starts_with("--store-bench-json="))
     {
         let path = args.remove(i)["--store-bench-json=".len()..].to_owned();
+        return Some(path);
+    }
+    None
+}
+
+/// Removes `--sharded <n>` (or `--sharded=<n>`) from `args` and returns
+/// the shard count, if present.
+fn take_sharded_flag(args: &mut Vec<String>) -> Option<usize> {
+    let parse = |raw: &str| {
+        let shards: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("--sharded needs a shard count, got `{raw}`");
+            std::process::exit(2);
+        });
+        if shards == 0 {
+            eprintln!("--sharded needs at least one shard");
+            std::process::exit(2);
+        }
+        shards
+    };
+    if let Some(i) = args.iter().position(|a| a == "--sharded") {
+        if i + 1 >= args.len() {
+            eprintln!("--sharded needs a shard count argument");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        return Some(parse(&raw));
+    }
+    if let Some(i) = args.iter().position(|a| a.starts_with("--sharded=")) {
+        let raw = args.remove(i)["--sharded=".len()..].to_owned();
+        return Some(parse(&raw));
+    }
+    None
+}
+
+/// Removes `--shard-bench-json <path>` (or `--shard-bench-json=<path>`)
+/// from `args` and returns the path, if present.
+fn take_shard_bench_json_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == "--shard-bench-json") {
+        if i + 1 >= args.len() {
+            eprintln!("--shard-bench-json needs a path argument");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        return Some(path);
+    }
+    if let Some(i) = args
+        .iter()
+        .position(|a| a.starts_with("--shard-bench-json="))
+    {
+        let path = args.remove(i)["--shard-bench-json=".len()..].to_owned();
         return Some(path);
     }
     None
@@ -1229,4 +1312,347 @@ fn overload(
         );
         std::process::exit(1);
     }
+}
+
+/// Rules for the 10k-device shard throughput tier. The default rule set
+/// includes a two-pattern cross-device join (`correlated-cpu`) whose
+/// match cost is quadratic in device count *for every shard count* — at
+/// 10 000 devices it would dwarf the pipeline under measurement (the
+/// same reason `scenario_throughput.rs` trims its rule set). The cost
+/// the shards actually cut is the task-fan-in × store-scan product, so
+/// the bench keeps single-pattern alert rules plus a stats rule that
+/// still forces the per-series consolidation sweep.
+const SHARD_BENCH_RULES: &str = r#"
+rule "high-cpu" salience 10 {
+    when cpu(device: ?d, value: ?v)
+    if ?v > 90
+    then emit critical ?d "cpu load at ?v% on ?d"
+}
+rule "disk-pressure" salience 8 {
+    when disk(device: ?d, value: ?v)
+    if ?v >= 85
+    then emit warning ?d "disk ?v% full on ?d"
+}
+rule "memory-pressure" salience 8 {
+    when mem(device: ?d, value: ?v)
+    if ?v >= 90
+    then emit warning ?d "memory ?v% used on ?d"
+}
+rule "sustained-cpu" salience 5 {
+    when stat(device: ?d, metric: "cpu.load.1", mean: ?m)
+    if ?m > 80
+    then emit warning ?d "sustained cpu pressure on ?d (mean ?m%)"
+}
+"#;
+
+/// Sharded-federation experiment: the grid split into `shards` peer
+/// domains (devices partitioned by site, one root + broker scope +
+/// analyzer tier per shard) connected by the federation protocol. Two
+/// deterministic phases with fully deterministic stdout, so CI can diff
+/// two fresh runs of the same seed:
+///
+/// 1. **Cross-domain correlation** — CPU runaways injected into two
+///    different shards; the run executes twice on the stepper and once
+///    on the pool runtime (all three byte-identical), and a
+///    `correlated-cpu` alert must fire on a `fed-s…` device alias,
+///    proving a peer's summary correlated with a local fact.
+/// 2. **Spill-over conservation** — a tight admission gate forces the
+///    roots to spill work to their peers; every task in the federation
+///    must be counted exactly once (created = completed + outstanding)
+///    with zero losses, again bit-identically across a replay and the
+///    pool runtime.
+///
+/// With `--shard-bench-json <path>`, a third phase times a
+/// 10 000-device scenario on the pool runtime at 1 shard vs `shards`
+/// and writes the measured throughputs to `<path>` (wall-clock output
+/// — never part of the CI diff).
+fn sharded(shards: usize, seed: u64, json_path: Option<&str>) {
+    banner(&format!(
+        "Sharded — federated domain grids ({shards} shard(s), seed {seed})"
+    ));
+    let sites = 2 * shards;
+    let horizon = 20 * 60_000;
+    println!("partitioning: {sites} sites over {shards} shard(s) (site i -> shard i mod {shards})");
+    // The same analyzer pool regardless of shard count: any throughput
+    // difference comes from the partitioning, not from extra capacity.
+    let analyzer_pool = shards.max(2);
+    let with_analyzers = |mut b: GridBuilder| {
+        for a in 0..analyzer_pool {
+            b = b.analyzer(format!("pg-{}", a + 1), 1.0, ALL_SKILLS);
+        }
+        b
+    };
+
+    // Phase 1 — cross-domain correlation under simultaneous runaways.
+    println!("schedule:");
+    println!("  t= 120s CpuRunaway on site-0-dev2 (shard 0)");
+    if shards > 1 {
+        println!("  t= 180s CpuRunaway on site-1-dev2 (shard 1)");
+    }
+    let build_correlation = || {
+        let mut b = ManagementGrid::builder()
+            .network(standard_network(sites, 4, seed))
+            .collectors_per_site(1)
+            .shards(shards)
+            .recovery(RecoveryConfig::seeded(seed))
+            .fault(ScheduledFault::from(
+                "site-0-dev2",
+                FaultKind::CpuRunaway,
+                120_000,
+            ));
+        if shards > 1 {
+            b = b.fault(ScheduledFault::from(
+                "site-1-dev2",
+                FaultKind::CpuRunaway,
+                180_000,
+            ));
+        }
+        with_analyzers(b)
+    };
+    let first = run_grid(
+        build_correlation(),
+        RuntimeChoice::Deterministic,
+        horizon,
+        60_000,
+    )
+    .0;
+    let second = run_grid(
+        build_correlation(),
+        RuntimeChoice::Deterministic,
+        horizon,
+        60_000,
+    )
+    .0;
+    let pool = run_grid(build_correlation(), RuntimeChoice::Pool, horizon, 60_000).0;
+    let per_shard = if first.shard_created.is_empty() {
+        "single domain".to_owned()
+    } else {
+        first
+            .shard_created
+            .iter()
+            .enumerate()
+            .map(|(s, n)| format!("s{s} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!(
+        "tasks: {} created ({per_shard}), {} completed, {} outstanding at horizon",
+        first.tasks_created,
+        first.tasks_completed,
+        first.outstanding.len(),
+    );
+    println!(
+        "federation: {} summaries sent, {} received, {} findings injected",
+        first.federation.summaries_sent,
+        first.federation.summaries_received,
+        first.federation.injected_findings,
+    );
+    // Prefer the two-fact correlation (a peer's summary joined with a
+    // local fact); any alert on a `fed-s…` alias still proves injection.
+    let fed_alert = first
+        .alerts
+        .iter()
+        .find(|a| a.rule == "correlated-cpu" && a.device.starts_with("fed-s"))
+        .or_else(|| first.alerts.iter().find(|a| a.device.starts_with("fed-s")))
+        .cloned();
+    match &fed_alert {
+        Some(a) => println!("cross-domain correlation: {} fired on {}", a.rule, a.device),
+        None => println!("cross-domain correlation: no federated alert"),
+    }
+    let identical = |a: &GridReport, b: &GridReport| {
+        a.render() == b.render()
+            && a.completed_ids == b.completed_ids
+            && a.assignments == b.assignments
+    };
+    let lost_a = first.lost_tasks().len();
+    let unaccounted_a = first.unaccounted_tasks();
+    let replay_a = identical(&first, &second);
+    let pool_a = identical(&first, &pool);
+    println!("unaccounted tasks: {unaccounted_a}, lost tasks: {lost_a}");
+    println!(
+        "deterministic replay: {}",
+        if replay_a {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "pool runtime: {}",
+        if pool_a { "bit-identical" } else { "DIVERGED" }
+    );
+
+    // Phase 2 — spill-over conservation under a tight admission gate.
+    println!("\nspill-over under admission pressure (token bucket 2, +1/window):");
+    let build_spill = || {
+        let protection = OverloadConfig::new().admission(AdmissionConfig {
+            bucket_capacity: 2,
+            refill_per_window: 1,
+            load_threshold: 0.9,
+        });
+        let b = ManagementGrid::builder()
+            .network(standard_network(sites, 6, seed))
+            .collectors_per_site(2)
+            .shards(shards)
+            .recovery(RecoveryConfig::seeded(seed))
+            .overload(protection);
+        with_analyzers(b)
+    };
+    let s_first = run_grid(build_spill(), RuntimeChoice::Deterministic, horizon, 60_000).0;
+    let s_second = run_grid(build_spill(), RuntimeChoice::Deterministic, horizon, 60_000).0;
+    let s_pool = run_grid(build_spill(), RuntimeChoice::Pool, horizon, 60_000).0;
+    println!(
+        "  tasks: {} created, {} completed, {} rejected at the gate, {} outstanding",
+        s_first.tasks_created,
+        s_first.tasks_completed,
+        s_first.rejected,
+        s_first.outstanding.len(),
+    );
+    println!(
+        "  federation: {} spilled out, {} absorbed by peers, {} confirmed home",
+        s_first.federation.spilled_out,
+        s_first.federation.spilled_in,
+        s_first.federation.spill_completed,
+    );
+    let lost_b = s_first.lost_tasks().len();
+    let unaccounted_b = s_first.unaccounted_tasks();
+    let replay_b = identical(&s_first, &s_second);
+    let pool_b = identical(&s_first, &s_pool);
+    println!("  unaccounted tasks: {unaccounted_b}, lost tasks: {lost_b}");
+    println!(
+        "  deterministic replay: {}",
+        if replay_b {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "  pool runtime: {}",
+        if pool_b { "bit-identical" } else { "DIVERGED" }
+    );
+
+    let fed_exercised = shards == 1
+        || (first.federation.summaries_sent > 0
+            && fed_alert.is_some()
+            && s_first.federation.spilled_out > 0
+            && s_first.federation.spill_completed > 0);
+    let conserved = unaccounted_a == 0 && unaccounted_b == 0 && lost_a == 0 && lost_b == 0;
+    let all_identical = replay_a && pool_a && replay_b && pool_b;
+    if fed_exercised && conserved && all_identical {
+        println!(
+            "sharded check PASSED ({shards} shard(s), {} spilled, {} cross-domain alert(s), \
+             0 unaccounted, 0 lost)",
+            s_first.federation.spilled_out,
+            u64::from(fed_alert.is_some()),
+        );
+    } else {
+        eprintln!(
+            "sharded check FAILED (federation exercised: {fed_exercised}, \
+             unaccounted: {unaccounted_a}/{unaccounted_b}, lost: {lost_a}/{lost_b}, \
+             identical: {replay_a}/{pool_a}/{replay_b}/{pool_b})"
+        );
+        std::process::exit(1);
+    }
+
+    // Phase 3 — 10k-device throughput, only when an artifact path was
+    // given (wall-clock output, deliberately outside the CI diff).
+    if let Some(path) = json_path {
+        shard_throughput_bench(shards, seed, path);
+    }
+}
+
+/// Times the 10 000-device scenario on the pool runtime at 1 shard vs
+/// `shards`, prints the comparison, and writes the `BENCH_pr10.json`
+/// artifact. Scenario throughput is records stored per wall-second:
+/// both configurations ingest the identical record stream (asserted),
+/// so the ratio is purely the wall-time ratio. The win is algorithmic,
+/// not parallel-hardware: unsharded, every data-ready fans into tasks
+/// that each scan the whole store (sites × devices compounding — the
+/// quadratic called out in `scenario_throughput.rs`); sharded, each
+/// root sees only its sites and each task scans only its shard's store.
+fn shard_throughput_bench(shards: usize, seed: u64, path: &str) {
+    const SITES: usize = 40;
+    const DEVICES_PER_SITE: usize = 250;
+    const HORIZON_MS: u64 = 5 * 60_000;
+    const TICK_MS: u64 = 60_000;
+    let devices = SITES * DEVICES_PER_SITE;
+    let analyzer_pool = shards.max(2);
+    println!(
+        "\nthroughput: {devices} devices ({SITES} sites x {DEVICES_PER_SITE}), \
+         pool runtime, {analyzer_pool} analyzers, {} simulated min",
+        HORIZON_MS / 60_000
+    );
+    let run_at = |n: usize| {
+        let mut b = ManagementGrid::builder()
+            .network(standard_network(SITES, DEVICES_PER_SITE, seed))
+            .collectors_per_site(1)
+            .rules(SHARD_BENCH_RULES)
+            .shards(n);
+        for a in 0..analyzer_pool {
+            b = b.analyzer(format!("pg-{}", a + 1), 1.0, ALL_SKILLS);
+        }
+        let mut grid = b.build_pool();
+        let start = std::time::Instant::now();
+        let report = grid.run(HORIZON_MS, TICK_MS);
+        (report, start.elapsed())
+    };
+    println!(
+        "{:>7} {:>12} {:>15} {:>17} {:>9}",
+        "shards", "wall-ms", "records-stored", "records-per-sec", "speedup"
+    );
+    let (base_report, base_wall) = run_at(1);
+    let base_tput = base_report.records_stored as f64 / base_wall.as_secs_f64();
+    println!(
+        "{:>7} {:>12} {:>15} {:>17.0} {:>8.2}x",
+        1,
+        base_wall.as_millis(),
+        base_report.records_stored,
+        base_tput,
+        1.0
+    );
+    let (fed_report, fed_wall) = run_at(shards);
+    // The federated stores hold the identical scenario stream plus the
+    // peer findings the summaries injected; throughput counts only the
+    // scenario records so both configurations share one numerator.
+    let fed_scenario = fed_report.records_stored - fed_report.federation.injected_findings as usize;
+    assert_eq!(
+        base_report.records_stored, fed_scenario,
+        "both configurations must ingest the identical record stream"
+    );
+    let fed_tput = fed_scenario as f64 / fed_wall.as_secs_f64();
+    let speedup = fed_tput / base_tput;
+    println!(
+        "{:>7} {:>12} {:>15} {:>17.0} {:>8.2}x",
+        shards,
+        fed_wall.as_millis(),
+        fed_scenario,
+        fed_tput,
+        speedup
+    );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"devices\": {devices},\n  \"sites\": {SITES},\n  \
+         \"devices_per_site\": {DEVICES_PER_SITE},\n  \"seed\": {seed},\n  \
+         \"horizon_ms\": {HORIZON_MS},\n  \"tick_ms\": {TICK_MS},\n  \
+         \"runtime\": \"pool\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"analyzers\": {analyzer_pool},\n  \
+         \"baseline\": {{\"shards\": 1, \"wall_ms\": {}, \"records_stored\": {}, \
+         \"records_per_sec\": {:.0}}},\n  \
+         \"federated\": {{\"shards\": {shards}, \"wall_ms\": {}, \"records_stored\": {}, \
+         \"records_per_sec\": {:.0}}},\n  \"speedup\": {speedup:.2}\n}}\n",
+        base_wall.as_millis(),
+        base_report.records_stored,
+        base_tput,
+        fed_wall.as_millis(),
+        fed_scenario,
+        fed_tput,
+    );
+    if let Err(err) = std::fs::write(path, &json) {
+        eprintln!("failed to write shard bench results to {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("shard bench results written to {path}");
 }

@@ -24,6 +24,12 @@ pub trait LoadBalancer: Send {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// A fresh boxed copy of this policy, for builds that wire one
+    /// broker per shard ([`GridBuilder::shards`](crate::grid::GridBuilder::shards)
+    /// gives every shard root its own instance). Stateful policies
+    /// (e.g. the seeded [`Random`]) duplicate their current state.
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer>;
 }
 
 /// The paper's policy: knowledge match first, then capacity, then
@@ -56,6 +62,10 @@ impl LoadBalancer for KnowledgeCapacityIdle {
     fn name(&self) -> &'static str {
         "knowledge-capacity-idle"
     }
+
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer> {
+        Box::new(*self)
+    }
 }
 
 /// Ablation: rotate over *skilled* candidates regardless of load.
@@ -81,10 +91,14 @@ impl LoadBalancer for RoundRobin {
     fn name(&self) -> &'static str {
         "round-robin"
     }
+
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer> {
+        Box::new(*self)
+    }
 }
 
 /// Ablation: uniformly random skilled candidate (seeded, reproducible).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Random {
     rng: StdRng,
 }
@@ -114,6 +128,10 @@ impl LoadBalancer for Random {
     fn name(&self) -> &'static str {
         "random"
     }
+
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Ablation: lowest current load among skilled candidates, ignoring
@@ -137,6 +155,10 @@ impl LoadBalancer for LeastLoaded {
 
     fn name(&self) -> &'static str {
         "least-loaded"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer> {
+        Box::new(*self)
     }
 }
 
@@ -184,6 +206,10 @@ impl LoadBalancer for ContractNet {
 
     fn name(&self) -> &'static str {
         "contract-net"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn LoadBalancer> {
+        Box::new(*self)
     }
 }
 

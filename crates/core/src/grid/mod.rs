@@ -31,7 +31,7 @@ pub use analyzer::{analyze_task, facts_for, AnalyzerAgent};
 pub use classifier::ClassifierAgent;
 pub use collector::{CollectorAgent, CollectorInterface};
 pub use interface::{AlertSink, InterfaceAgent};
-pub use root::ProcessorRootAgent;
+pub use root::{FederationLink, ProcessorRootAgent};
 pub use system::{GridBuilder, GridReport, ManagementGrid};
 
 /// Default analysis rules shipped with the grid: the problems the paper's

@@ -4,10 +4,12 @@ use std::sync::Arc;
 use agentgrid_acl::ontology::{Alert, AnalysisTask, Severity, ToContent, MANAGEMENT_ONTOLOGY};
 use agentgrid_acl::{AclMessage, AgentId, Performative, Value};
 use agentgrid_platform::{Agent, AgentCtx};
+use agentgrid_store::{ManagementStore, Record};
 use agentgrid_telemetry::{Counter, EventKind, Gauge, TelemetryHandle};
 use parking_lot::Mutex;
 
 use crate::balance::LoadBalancer;
+use crate::federation::{self, FederationStats, LoadDigest};
 use crate::grid::classifier::parse_data_ready;
 use crate::overload::{AdmissionConfig, AdmissionGate, BreakerBoard, BreakerConfig};
 use crate::recovery::{jitter_key, Liveness, RecoveryConfig};
@@ -46,6 +48,26 @@ fn liveness_label(state: Liveness) -> &'static str {
         Liveness::Suspect => "suspect",
         Liveness::Dead => "dead",
     }
+}
+
+/// One shard root's view of the federation (sharded mode): who its
+/// peers are, which directory service scopes its brokering, and where
+/// cross-domain findings are read from and written to.
+pub struct FederationLink {
+    /// Index of the shard this root serves.
+    pub shard: usize,
+    /// Peer shard roots as `(shard index, root agent id)`, self
+    /// excluded.
+    pub peers: Vec<(usize, AgentId)>,
+    /// The shard-scoped analyzer service
+    /// ([`federation::shard_service`]) this root brokers over instead
+    /// of the global `"analysis"`.
+    pub service: String,
+    /// The shard's own store — `fed-summary` findings are built from
+    /// it and peer findings are injected into it.
+    pub store: Arc<Mutex<ManagementStore>>,
+    /// Shared federation counters, reported by the grid facade.
+    pub stats: Arc<Mutex<FederationStats>>,
 }
 
 /// Brokering outcome counters exported as
@@ -111,6 +133,15 @@ impl BrokerMetrics {
             .registry()
             .gauge("agentgrid_breaker_state", &[("container", container)])
     }
+
+    /// One direction of this shard's spill-over traffic:
+    /// `agentgrid_shard_spill_total{direction=...,shard=...}`.
+    fn spill_counter(&self, direction: &str, shard: usize) -> Counter {
+        self.telemetry.registry().counter(
+            "agentgrid_shard_spill_total",
+            &[("direction", direction), ("shard", &shard.to_string())],
+        )
+    }
 }
 
 /// Counters the root maintains, shared out through
@@ -118,6 +149,11 @@ impl BrokerMetrics {
 /// brokering after the agent has been spawned.
 #[derive(Debug, Default)]
 pub struct RootStats {
+    /// Tasks this root created from `data-ready` notifications. A
+    /// spilled task counts at its origin, never at the peer that ran
+    /// it, so summing `created` across shards counts every task in the
+    /// federation exactly once.
+    pub created: u64,
     /// `(task id, container)` assignment log, in decision order. Every
     /// award appends here — including re-awards — so for any task id,
     /// `assignments` holds `1 + (times the id appears in rebrokered)`
@@ -205,6 +241,32 @@ pub struct ProcessorRootAgent {
     /// duplicated or retransmitted `done` — or a stale award finishing
     /// after the task was re-brokered — never double-counts.
     done_seen: BTreeSet<String>,
+    /// Federation wiring (sharded mode). `None` on an unsharded grid —
+    /// every federation code path is gated on this, keeping unsharded
+    /// runs byte-identical to the pre-federation behavior.
+    federation: Option<FederationLink>,
+    /// Latest load digest gossiped by each peer shard.
+    digests: BTreeMap<usize, LoadDigest>,
+    /// Tasks forwarded to a peer and not yet confirmed done: task id →
+    /// destination shard. Spilled tasks stay in the outstanding
+    /// snapshot until their `spill-done` lands, so a lost spill shows
+    /// up as lost work instead of silently vanishing.
+    spilled_out: BTreeMap<String, usize>,
+    /// Tasks accepted from a peer: task id → (origin shard, origin
+    /// root), so the `spill-done` goes home on completion.
+    spilled_in: BTreeMap<String, (usize, AgentId)>,
+    /// Spill task ids already accepted, so a duplicated or
+    /// retransmitted spill never runs twice.
+    spill_seen: BTreeSet<String>,
+    /// Newest `fed-summary` timestamp accepted per origin shard; older
+    /// or equal timestamps are stale duplicates and are dropped.
+    summary_seen: BTreeMap<usize, u64>,
+    /// Simulated time of the last gossiped load digest. The stepper
+    /// re-ticks every container at the same timestamp until the
+    /// exchange is quiescent, so an ungated gossip would keep the
+    /// platform busy to its step limit; digests go out once per clock
+    /// advance instead.
+    last_gossip_ms: Option<u64>,
 }
 
 impl std::fmt::Debug for ProcessorRootAgent {
@@ -236,6 +298,13 @@ impl ProcessorRootAgent {
             liveness_seen: BTreeMap::new(),
             quarantine: None,
             done_seen: BTreeSet::new(),
+            federation: None,
+            digests: BTreeMap::new(),
+            spilled_out: BTreeMap::new(),
+            spilled_in: BTreeMap::new(),
+            spill_seen: BTreeSet::new(),
+            summary_seen: BTreeMap::new(),
+            last_gossip_ms: None,
         }
     }
 
@@ -279,6 +348,24 @@ impl ProcessorRootAgent {
         self.breakers = breaker.map(BreakerBoard::new);
     }
 
+    /// Joins this root to a federation of peer shards (sharded mode):
+    /// brokering and liveness scope to the link's shard service,
+    /// admission-gate and broker rejections spill to the least-loaded
+    /// peer, and finding summaries flow both ways on the correlation
+    /// cadence.
+    pub fn set_federation(&mut self, link: FederationLink) {
+        self.federation = Some(link);
+    }
+
+    /// The directory service this root brokers over: the shard-scoped
+    /// one when federated, the global `"analysis"` otherwise.
+    fn service(&self) -> &str {
+        match &self.federation {
+            Some(link) => &link.service,
+            None => "analysis",
+        }
+    }
+
     /// A handle onto the root's statistics, valid after the agent is
     /// spawned into a platform.
     pub fn stats_handle(&self) -> Arc<Mutex<RootStats>> {
@@ -294,10 +381,12 @@ impl ProcessorRootAgent {
         // skipped until mobility moves an analyzer in. Suspect
         // containers (stale heartbeats, recovery mode) are skipped too.
         let now = ctx.now_ms();
+        // Federated roots broker only over their own shard's tier.
+        let service = self.service().to_owned();
         let df = ctx.df();
         let mut profiles: Vec<_> = df
             .container_profiles()
-            .filter(|p| df.providers_with("analysis", &p.container).next().is_some())
+            .filter(|p| df.providers_with(&service, &p.container).next().is_some())
             .filter(|p| !self.suspect.contains(&p.container))
             .cloned()
             .collect();
@@ -308,11 +397,11 @@ impl ProcessorRootAgent {
             profiles.retain(|p| !breakers.blocks(&p.container, now));
         }
         let container = self.policy.select(task, &profiles)?;
-        // The analyzer registered itself under service "analysis"
-        // with its container name as a property (Fig. 4).
+        // The analyzer registered itself under the service with its
+        // container name as a property (Fig. 4).
         let analyzer = ctx
             .df()
-            .providers_with("analysis", &container)
+            .providers_with(&service, &container)
             .next()
             .cloned()?;
         // Project the added load so the next selection sees it.
@@ -361,11 +450,18 @@ impl ProcessorRootAgent {
         // the token bucket has budget and the mean measured load across
         // the directory's profiles is under the threshold. Re-awards of
         // reclaimed tasks bypass the gate — they were admitted once.
+        let federated = self.federation.is_some();
+        let service = self.service().to_owned();
         if let Some(gate) = &mut self.admission {
             let aggregate = {
                 let df = ctx.df();
+                // A federated root gates on the mean load of its own
+                // shard's analyzer containers, not the whole directory.
                 let (sum, n) = df
                     .container_profiles()
+                    .filter(|p| {
+                        !federated || df.providers_with(&service, &p.container).next().is_some()
+                    })
                     .fold((0.0_f64, 0u32), |(s, n), p| (s + p.load, n + 1));
                 if n == 0 {
                     0.0
@@ -383,6 +479,11 @@ impl ProcessorRootAgent {
                             task: task.task_id.clone(),
                         },
                     );
+                }
+                // Sharded mode: a gate rejection is the spill trigger —
+                // the least-loaded peer shard runs the task instead.
+                if self.try_spill(&task, ctx) {
+                    return;
                 }
                 // Parks under recovery (retried next window); dropped —
                 // but counted — without it.
@@ -405,6 +506,11 @@ impl ProcessorRootAgent {
                     },
                 );
             }
+            return;
+        }
+        // Sharded mode: no capable local container is the other spill
+        // trigger.
+        if self.try_spill(&task, ctx) {
             return;
         }
         if self.recovery.is_some() {
@@ -447,8 +553,262 @@ impl ProcessorRootAgent {
         }
     }
 
+    /// Forwards a task the local admission gate or broker turned away
+    /// to the least-loaded peer shard (by gossiped digest; ties break
+    /// to the lowest shard index). Returns `false` when unfederated,
+    /// when the task itself arrived as a spill (one domain hop, never
+    /// a relay), or when there is no peer — the caller then falls back
+    /// to the usual park/drop path.
+    fn try_spill(&mut self, task: &AnalysisTask, ctx: &mut AgentCtx<'_>) -> bool {
+        let Some(link) = &self.federation else {
+            return false;
+        };
+        if self.spilled_in.contains_key(&task.task_id) {
+            return false;
+        }
+        let Some((to_shard, peer)) = link
+            .peers
+            .iter()
+            .min_by_key(|(shard, _)| {
+                let pressure = self
+                    .digests
+                    .get(shard)
+                    .map(|d| (d.load_milli, d.outstanding))
+                    .unwrap_or((0, 0));
+                (pressure, *shard)
+            })
+            .cloned()
+        else {
+            return false;
+        };
+        let from_shard = link.shard;
+        let msg = AclMessage::builder(Performative::Request)
+            .sender(ctx.self_id().clone())
+            .receiver(peer)
+            .ontology(MANAGEMENT_ONTOLOGY)
+            .content(federation::spill_content(from_shard, task))
+            .build()
+            .expect("sender and receiver are set");
+        ctx.send(msg);
+        link.stats.lock().spilled_out += 1;
+        self.spilled_out.insert(task.task_id.clone(), to_shard);
+        if let Some(m) = &self.metrics {
+            m.spill_counter("out", from_shard).inc();
+            m.telemetry.record_event(
+                ctx.now_ms(),
+                EventKind::TaskSpilled {
+                    task: task.task_id.clone(),
+                    from_shard,
+                    to_shard,
+                },
+            );
+        }
+        true
+    }
+
+    /// Runs a task a peer shard spilled here. The origin already paid
+    /// an admission rejection for it, so it bypasses the local gate —
+    /// bouncing it a second time could ping-pong work between
+    /// saturated shards forever. Duplicated spills (reliability-layer
+    /// retransmission) are dropped by the `spill_seen` ledger.
+    fn accept_spill(
+        &mut self,
+        origin_shard: usize,
+        origin_root: AgentId,
+        task: AnalysisTask,
+        ctx: &mut AgentCtx<'_>,
+    ) {
+        if self.federation.is_none() || !self.spill_seen.insert(task.task_id.clone()) {
+            return;
+        }
+        self.spilled_in
+            .insert(task.task_id.clone(), (origin_shard, origin_root));
+        if let Some(link) = &self.federation {
+            link.stats.lock().spilled_in += 1;
+        }
+        if let Some(m) = &self.metrics {
+            m.spill_counter("in", origin_shard).inc();
+        }
+        if let Some(container) = self.try_award(&task, ctx) {
+            if let Some(m) = &self.metrics {
+                let now = ctx.now_ms();
+                m.telemetry
+                    .task_awarded(&task.task_id, &container, now, false);
+                m.telemetry.record_event(
+                    now,
+                    EventKind::TaskBrokered {
+                        task: task.task_id.clone(),
+                        container,
+                    },
+                );
+            }
+            return;
+        }
+        if self.recovery.is_some() {
+            self.parked.push((task, false));
+        } else {
+            self.stats.lock().unassigned += 1;
+            if let Some(m) = &self.metrics {
+                m.unassigned.inc();
+            }
+        }
+    }
+
+    /// Publishes this shard's load digest to every peer — once per
+    /// tick, federated mode — so peers base this tick's spill
+    /// decisions on fresh data.
+    fn gossip_digest(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(link) = &self.federation else {
+            return;
+        };
+        let now = ctx.now_ms();
+        if self.last_gossip_ms == Some(now) {
+            return;
+        }
+        self.last_gossip_ms = Some(now);
+        let service = link.service.clone();
+        let shard = link.shard;
+        let (sum, n) = {
+            let df = ctx.df();
+            df.container_profiles()
+                .filter(|p| df.providers_with(&service, &p.container).next().is_some())
+                .fold((0.0_f64, 0u32), |(s, n), p| (s + p.load, n + 1))
+        };
+        let load = if n == 0 { 0.0 } else { sum / f64::from(n) };
+        let digest = LoadDigest {
+            shard,
+            load_milli: (load * 1000.0).round() as i64,
+            outstanding: (self.pending.len() + self.parked.len() + self.spilled_out.len()) as u64,
+        };
+        if let Some(m) = &self.metrics {
+            let shard_label = shard.to_string();
+            let registry = m.telemetry.registry();
+            registry
+                .gauge("agentgrid_shard_load_milli", &[("shard", &shard_label)])
+                .set(digest.load_milli);
+            registry
+                .gauge("agentgrid_shard_outstanding", &[("shard", &shard_label)])
+                .set(digest.outstanding as i64);
+        }
+        for (_, peer) in &link.peers {
+            let msg = AclMessage::builder(Performative::Inform)
+                .sender(ctx.self_id().clone())
+                .receiver(peer.clone())
+                .ontology(MANAGEMENT_ONTOLOGY)
+                .content(digest.to_content())
+                .build()
+                .expect("sender and receiver are set");
+            ctx.send(msg);
+        }
+    }
+
+    /// Publishes this shard's hottest devices to every peer as a
+    /// compact `fed-summary` (correlation cadence, federated mode).
+    /// Findings are read deterministically from the shard's store —
+    /// devices in name order, ranked by latest 1-minute CPU load —
+    /// so federated runs stay bit-identical across runtimes.
+    fn publish_summary(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(link) = &self.federation else {
+            return;
+        };
+        if link.peers.is_empty() {
+            return;
+        }
+        let mut hot: Vec<federation::Finding> = Vec::new();
+        {
+            let store = link.store.lock();
+            for device in store.devices() {
+                // Never re-export a peer's findings: a summary makes
+                // one hop, or every shard would echo the federation.
+                if device.starts_with("fed-s") {
+                    continue;
+                }
+                if let Some((_, value)) = store.latest(device, "cpu.load.1") {
+                    hot.push((device.to_owned(), "cpu.load.1".to_owned(), value));
+                }
+            }
+        }
+        hot.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        hot.truncate(federation::SUMMARY_TOP_K);
+        if hot.is_empty() {
+            return;
+        }
+        let content = federation::summary_content(link.shard, ctx.now_ms(), &hot);
+        for (_, peer) in &link.peers {
+            let msg = AclMessage::builder(Performative::Inform)
+                .sender(ctx.self_id().clone())
+                .receiver(peer.clone())
+                .ontology(MANAGEMENT_ONTOLOGY)
+                .content(content.clone())
+                .build()
+                .expect("sender and receiver are set");
+            ctx.send(msg);
+        }
+        link.stats.lock().summaries_sent += 1;
+    }
+
+    /// Ingests a peer's `fed-summary`: fresh findings are written into
+    /// the local store under a [`federation::fed_device`] alias, where
+    /// the ordinary level-3 correlation rules see them next to local
+    /// facts.
+    fn accept_summary(
+        &mut self,
+        origin_shard: usize,
+        ts_ms: u64,
+        findings: Vec<federation::Finding>,
+    ) {
+        let Some(link) = &self.federation else {
+            return;
+        };
+        if origin_shard == link.shard {
+            return;
+        }
+        if self
+            .summary_seen
+            .get(&origin_shard)
+            .is_some_and(|last| ts_ms <= *last)
+        {
+            return;
+        }
+        self.summary_seen.insert(origin_shard, ts_ms);
+        {
+            let mut stats = link.stats.lock();
+            stats.summaries_received += 1;
+            stats.injected_findings += findings.len() as u64;
+        }
+        let mut store = link.store.lock();
+        for (device, metric, value) in findings {
+            store.insert(
+                Record::new(
+                    federation::fed_device(origin_shard, &device),
+                    metric,
+                    value,
+                    ts_ms,
+                )
+                .with_site(format!("fed-s{origin_shard}")),
+            );
+        }
+    }
+
+    /// Allocates the next task id; shard-qualified (`s2-t17`) when
+    /// federated, so ids stay unique across the whole federation even
+    /// after a task crosses a domain boundary.
+    fn next_task_id(&mut self) -> String {
+        self.task_seq += 1;
+        self.stats.lock().created += 1;
+        match &self.federation {
+            Some(link) => format!("s{}-t{}", link.shard, self.task_seq),
+            None => format!("t{}", self.task_seq),
+        }
+    }
+
     /// Refreshes the outstanding-ids snapshot in the shared stats from
-    /// the in-flight ledger and the parked queue.
+    /// the in-flight ledger, the parked queue, and (sharded mode) the
+    /// spilled-but-unconfirmed set.
     fn sync_outstanding(&self) {
         let mut stats = self.stats.lock();
         stats.outstanding = self
@@ -456,6 +816,7 @@ impl ProcessorRootAgent {
             .iter()
             .map(|p| p.task.task_id.clone())
             .chain(self.parked.iter().map(|(t, _)| t.task_id.clone()))
+            .chain(self.spilled_out.keys().cloned())
             .collect();
     }
 
@@ -505,13 +866,21 @@ impl ProcessorRootAgent {
     /// deadline retries, escalations, and re-award of parked work.
     fn recovery_tick(&mut self, cfg: RecoveryConfig, ctx: &mut AgentCtx<'_>) {
         let now = ctx.now_ms();
+        let service = self.service().to_owned();
+        let federated = self.federation.is_some();
 
         // 1. Liveness sweep over the registered container profiles.
-        let containers: Vec<String> = ctx
-            .df()
-            .container_profiles()
-            .map(|p| p.container.clone())
-            .collect();
+        //    Federated roots sweep only containers hosting their own
+        //    shard's analyzers — a peer's tier is the peer's problem.
+        let containers: Vec<String> = {
+            let df = ctx.df();
+            df.container_profiles()
+                .filter(|p| {
+                    !federated || df.providers_with(&service, &p.container).next().is_some()
+                })
+                .map(|p| p.container.clone())
+                .collect()
+        };
         self.suspect.clear();
         // Containers under partition quarantine are pinned to Suspect:
         // the network cut them off, their process is still running.
@@ -567,7 +936,7 @@ impl ProcessorRootAgent {
         for container in dead {
             let providers: Vec<AgentId> = ctx
                 .df()
-                .providers_with("analysis", &container)
+                .providers_with(&service, &container)
                 .cloned()
                 .collect();
             for provider in providers {
@@ -630,7 +999,7 @@ impl ProcessorRootAgent {
         for (task, container) in retries {
             let Some(analyzer) = ctx
                 .df()
-                .providers_with("analysis", &container)
+                .providers_with(&service, &container)
                 .next()
                 .cloned()
             else {
@@ -725,6 +1094,18 @@ impl Agent for ProcessorRootAgent {
                 }
                 if let Some(container) = cleared {
                     self.done_seen.insert(task_id.to_owned());
+                    // A completed spill reports home: the origin root
+                    // carries the task as outstanding until this lands.
+                    if let Some((_, origin_root)) = self.spilled_in.remove(task_id) {
+                        let report = AclMessage::builder(Performative::Inform)
+                            .sender(ctx.self_id().clone())
+                            .receiver(origin_root)
+                            .ontology(MANAGEMENT_ONTOLOGY)
+                            .content(federation::spill_done_content(task_id))
+                            .build()
+                            .expect("sender and receiver are set");
+                        ctx.send(report);
+                    }
                     let mut stats = self.stats.lock();
                     stats.completed += 1;
                     stats.completed_ids.push(task_id.to_owned());
@@ -748,6 +1129,51 @@ impl Agent for ProcessorRootAgent {
             self.sync_outstanding();
             return;
         }
+        // Federation traffic (sharded mode). An unfederated root never
+        // receives these concepts; the guard keeps its hot path
+        // untouched all the same.
+        if self.federation.is_some() {
+            if let Some(digest) = LoadDigest::parse(message.content()) {
+                self.digests.insert(digest.shard, digest);
+                return;
+            }
+            if let Some((origin_shard, task)) = federation::parse_spill(message.content()) {
+                let origin_root = message.sender().clone();
+                self.accept_spill(origin_shard, origin_root, task, ctx);
+                self.sync_outstanding();
+                return;
+            }
+            if let Some(task_id) = federation::parse_spill_done(message.content()) {
+                if self.spilled_out.remove(task_id).is_some() {
+                    // The peer ran our rejected task: record it done so
+                    // a late duplicate cannot double-count, and take it
+                    // off the outstanding set. Completion was counted
+                    // at the peer — never here, or the federation total
+                    // would double.
+                    self.done_seen.insert(task_id.to_owned());
+                    if let Some(link) = &self.federation {
+                        link.stats.lock().spill_completed += 1;
+                        if let Some(m) = &self.metrics {
+                            m.telemetry.record_event(
+                                ctx.now_ms(),
+                                EventKind::SpillCompleted {
+                                    task: task_id.to_owned(),
+                                    origin_shard: link.shard,
+                                },
+                            );
+                        }
+                    }
+                    self.sync_outstanding();
+                }
+                return;
+            }
+            if let Some((origin_shard, ts_ms, findings)) =
+                federation::parse_summary(message.content())
+            {
+                self.accept_summary(origin_shard, ts_ms, findings);
+                return;
+            }
+        }
         // Fresh-data notifications.
         let Some((_site, partitions)) = parse_data_ready(message.content()) else {
             return;
@@ -770,9 +1196,8 @@ impl Agent for ProcessorRootAgent {
             1
         };
         for (partition, size) in partitions {
-            self.task_seq += 1;
             let task = AnalysisTask::new(
-                format!("t{}", self.task_seq),
+                self.next_task_id(),
                 partition.clone(),
                 partition,
                 level,
@@ -785,19 +1210,26 @@ impl Agent for ProcessorRootAgent {
             self.assign_and_send(task, ctx);
         }
         if self.ready_seen.is_multiple_of(CORRELATION_EVERY) {
-            self.task_seq += 1;
-            let task = AnalysisTask::new(format!("t{}", self.task_seq), "correlation", "*", 3, 0);
+            let task = AnalysisTask::new(self.next_task_id(), "correlation", "*", 3, 0);
             if let Some(m) = &self.metrics {
                 m.telemetry
                     .task_created(&task.task_id, observed_ms, ctx.now_ms());
             }
             self.assign_and_send(task, ctx);
+            // Cross-domain correlation rides the same cadence as the
+            // level-3 sweep: publish our hottest devices to the peers.
+            self.publish_summary(ctx);
         }
         self.drain_breaker_transitions(ctx.now_ms());
         self.sync_outstanding();
     }
 
     fn on_tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Federated roots gossip their load digest first, so peers
+        // base this tick's spill decisions on fresh data.
+        if self.federation.is_some() {
+            self.gossip_digest(ctx);
+        }
         if let Some(cfg) = self.recovery {
             self.recovery_tick(cfg, ctx);
             self.sync_outstanding();
@@ -1196,6 +1628,212 @@ mod tests {
             "finished work is not re-awarded"
         );
         assert_eq!(stats.assignments.len(), 1);
+    }
+
+    /// Wires a root into a test federation, returning its store and
+    /// federation-stats handles.
+    fn federate(
+        root: &mut ProcessorRootAgent,
+        shard: usize,
+        peers: &[(usize, &str)],
+    ) -> (Arc<Mutex<ManagementStore>>, Arc<Mutex<FederationStats>>) {
+        let store = Arc::new(Mutex::new(ManagementStore::new(
+            agentgrid_store::Classifier::standard(),
+        )));
+        let stats = Arc::new(Mutex::new(FederationStats::default()));
+        root.set_federation(FederationLink {
+            shard,
+            peers: peers
+                .iter()
+                .map(|(s, id)| (*s, AgentId::new(*id)))
+                .collect(),
+            service: federation::shard_service(shard),
+            store: Arc::clone(&store),
+            stats: Arc::clone(&stats),
+        });
+        (store, stats)
+    }
+
+    /// Containers whose analyzers carry both the global and the
+    /// shard-scoped directory registration, as the sharded builder
+    /// wires them.
+    fn df_with_shard_containers(shard: usize, names: &[&str]) -> DirectoryFacilitator {
+        let mut df = DirectoryFacilitator::new();
+        for name in names {
+            df.register_container(ResourceProfile::new(
+                *name,
+                1.0,
+                1.0,
+                1024,
+                ["cpu", "disk", "correlation"],
+            ));
+            let agent = AgentId::new(format!("analyzer-{name}@g"));
+            df.register_service(agent.clone(), "analysis", [*name]);
+            df.register_service(agent, federation::shard_service(shard), [*name]);
+        }
+        df
+    }
+
+    #[test]
+    fn unawardable_task_spills_to_peer_and_spill_done_closes_it() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let (_store, fstats) = federate(&mut root, 0, &[(1, "pg-root-s1@g")]);
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root-s0@g");
+        let mut outbox = Vec::new();
+        // No local capacity at all: the task must cross the boundary.
+        let mut df = DirectoryFacilitator::new();
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
+        assert_eq!(fstats.lock().spilled_out, 1);
+        let spill = outbox.last().unwrap();
+        assert_eq!(spill.receivers(), [AgentId::new("pg-root-s1@g")]);
+        let (origin, task) = federation::parse_spill(spill.content()).unwrap();
+        assert_eq!(origin, 0);
+        assert_eq!(task.task_id, "s0-t1", "shard-qualified id");
+        // Still outstanding at the origin — a lost spill is visible.
+        assert_eq!(stats.lock().outstanding, ["s0-t1"]);
+        assert_eq!(stats.lock().created, 1);
+
+        // The peer's completion report closes it exactly once, even
+        // when the reliability layer duplicates it.
+        let done = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("pg-root-s1@g"))
+            .receiver(id.clone())
+            .content(federation::spill_done_content("s0-t1"))
+            .build()
+            .unwrap();
+        for _ in 0..2 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(&done, &mut ctx);
+        }
+        assert_eq!(fstats.lock().spill_completed, 1);
+        assert!(stats.lock().outstanding.is_empty());
+        assert_eq!(stats.lock().completed, 0, "completion counts at the peer");
+    }
+
+    #[test]
+    fn spilled_in_task_runs_locally_and_reports_home() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let (_store, fstats) = federate(&mut root, 1, &[(0, "pg-root-s0@g")]);
+        let stats = root.stats_handle();
+        let id = AgentId::new("pg-root-s1@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_shard_containers(1, &["pg-1"]);
+        let task = AnalysisTask::new("s0-t1", "cpu", "cpu", 1, 1);
+        let spill = AclMessage::builder(Performative::Request)
+            .sender(AgentId::new("pg-root-s0@g"))
+            .receiver(id.clone())
+            .content(federation::spill_content(0, &task))
+            .build()
+            .unwrap();
+        // A duplicated spill runs once.
+        for _ in 0..2 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(&spill, &mut ctx);
+        }
+        assert_eq!(fstats.lock().spilled_in, 1);
+        assert_eq!(stats.lock().assignments, [("s0-t1".into(), "pg-1".into())]);
+        assert_eq!(stats.lock().created, 0, "created counts at the origin");
+
+        let done = done_msg("s0-t1", "analyzer-pg-1@g", &id);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&done, &mut ctx);
+        drop(ctx);
+        assert_eq!(stats.lock().completed, 1, "the running shard owns it");
+        let report = outbox.last().unwrap();
+        assert_eq!(report.receivers(), [AgentId::new("pg-root-s0@g")]);
+        assert_eq!(
+            federation::parse_spill_done(report.content()),
+            Some("s0-t1")
+        );
+    }
+
+    #[test]
+    fn spill_targets_the_least_loaded_peer_from_gossip() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        federate(&mut root, 0, &[(1, "pg-root-s1@g"), (2, "pg-root-s2@g")]);
+        let id = AgentId::new("pg-root-s0@g");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        for (shard, peer, load) in [(1usize, "pg-root-s1@g", 900), (2, "pg-root-s2@g", 50)] {
+            let digest = LoadDigest {
+                shard,
+                load_milli: load,
+                outstanding: 0,
+            };
+            let msg = AclMessage::builder(Performative::Inform)
+                .sender(AgentId::new(peer))
+                .receiver(id.clone())
+                .content(digest.to_content())
+                .build()
+                .unwrap();
+            let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+            root.on_message(&msg, &mut ctx);
+        }
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_message(&data_ready_msg(&[("cpu", 1)]), &mut ctx);
+        drop(ctx);
+        assert_eq!(
+            outbox.last().unwrap().receivers(),
+            [AgentId::new("pg-root-s2@g")],
+            "gossip steers the spill to the lighter shard"
+        );
+    }
+
+    #[test]
+    fn fed_summary_injects_aliased_records_once() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        let (store, fstats) = federate(&mut root, 0, &[(1, "pg-root-s1@g")]);
+        let id = AgentId::new("pg-root-s0@g");
+        let mut outbox = Vec::new();
+        let mut df = DirectoryFacilitator::new();
+        let findings = vec![("site-1-dev0".to_owned(), "cpu.load.1".to_owned(), 97.0)];
+        let msg = AclMessage::builder(Performative::Inform)
+            .sender(AgentId::new("pg-root-s1@g"))
+            .receiver(id.clone())
+            .content(federation::summary_content(1, 60_000, &findings))
+            .build()
+            .unwrap();
+        // The second delivery carries the same timestamp: stale, dropped.
+        for _ in 0..2 {
+            let mut ctx = AgentCtx::new(&id, "root-ct", 60_000, &mut outbox, &mut df);
+            root.on_message(&msg, &mut ctx);
+        }
+        assert_eq!(fstats.lock().summaries_received, 1);
+        assert_eq!(fstats.lock().injected_findings, 1);
+        assert_eq!(
+            store.lock().latest("fed-s1:site-1-dev0", "cpu.load.1"),
+            Some((60_000, 97.0)),
+            "peer finding lands under the federation alias"
+        );
+    }
+
+    #[test]
+    fn tick_gossips_a_load_digest_to_every_peer() {
+        let mut root = ProcessorRootAgent::new(Box::new(KnowledgeCapacityIdle));
+        federate(&mut root, 2, &[(0, "pg-root-s0@g"), (1, "pg-root-s1@g")]);
+        let id = AgentId::new("pg-root-s2@g");
+        let mut outbox = Vec::new();
+        let mut df = df_with_shard_containers(2, &["pg-1"]);
+        df.update_load("pg-1", 0.25);
+        let mut ctx = AgentCtx::new(&id, "root-ct", 0, &mut outbox, &mut df);
+        root.on_tick(&mut ctx);
+        drop(ctx);
+        let digests: Vec<LoadDigest> = outbox
+            .iter()
+            .filter_map(|m| LoadDigest::parse(m.content()))
+            .collect();
+        assert_eq!(digests.len(), 2, "one digest per peer");
+        assert_eq!(
+            digests[0],
+            LoadDigest {
+                shard: 2,
+                load_milli: 250,
+                outstanding: 0
+            }
+        );
     }
 
     #[test]

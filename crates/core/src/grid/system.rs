@@ -17,8 +17,9 @@ use parking_lot::Mutex;
 
 use crate::balance::{KnowledgeCapacityIdle, LoadBalancer};
 use crate::chaos::{ChaosAction, ChaosPlan};
+use crate::federation::{self, FederationStats};
 use crate::grid::interface::AlertSink;
-use crate::grid::root::RootStats;
+use crate::grid::root::{FederationLink, RootStats};
 use crate::grid::{
     AnalyzerAgent, ClassifierAgent, CollectorAgent, CollectorInterface, InterfaceAgent,
     ProcessorRootAgent, DEFAULT_RULES,
@@ -30,6 +31,11 @@ pub use agentgrid_platform::OverloadStats;
 
 /// Container hosting the processor-grid root.
 const ROOT_CONTAINER: &str = "pg-root-ct";
+
+/// Name of the agent platform a grid builds on. Agent ids are a pure
+/// function of local name and platform name, so the sharded wiring can
+/// compute every peer root's id before any root is spawned.
+const PLATFORM_NAME: &str = "grid";
 
 /// How long a healed container stays quarantined (Suspect) after its
 /// partition closes — one poll period, covering the heartbeat and
@@ -77,6 +83,7 @@ pub struct GridBuilder {
     store_backend: StoreBackend,
     net_seed: Option<u64>,
     reliability: Option<ReliabilityConfig>,
+    shards: usize,
 }
 
 impl fmt::Debug for GridBuilder {
@@ -214,6 +221,32 @@ impl GridBuilder {
         self
     }
 
+    /// Splits the grid into `n` federated peer shards (domain
+    /// partitioning). Sites are dealt round-robin over the shards
+    /// ([`federation::shard_of_site`]); each shard gets its own root,
+    /// classifier, store, network domain and a round-robin subset of
+    /// the analyzer containers — same total capacity as the unsharded
+    /// grid — and the roots cooperate through the
+    /// [`federation`](crate::federation) protocol: per-tick load
+    /// gossip, task spill-over on admission rejection or broker
+    /// failure, and cross-domain finding summaries on the correlation
+    /// cadence. On the pool runtime each shard's pipeline stages tick
+    /// as one parallel group, so shards run concurrently — the source
+    /// of the near-linear device-count scaling.
+    ///
+    /// `1` (the default) keeps the single-domain wiring byte-identical
+    /// to the unsharded grid.
+    ///
+    /// # Panics
+    ///
+    /// `build*` panics if fewer analyzer containers than shards were
+    /// configured.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
     /// Selects the management-store engine (default
     /// [`StoreBackend::Chunked`]). The naive backend is the executable
     /// spec the chunked engine is tested against; running a grid on it
@@ -283,6 +316,9 @@ impl GridBuilder {
             !self.analyzers.is_empty(),
             "configure at least one analyzer container"
         );
+        if self.shards > 1 {
+            return self.build_sharded_on::<R>();
+        }
         // One compiled knowledge base, shared by every analyzer (and kept
         // for chaos restarts); analyzers copy-on-write if they learn.
         let kb = Arc::new(KnowledgeBase::from_rules(
@@ -305,7 +341,7 @@ impl GridBuilder {
             Classifier::standard(),
         )));
         let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
-        let mut platform = R::create("grid");
+        let mut platform = R::create(PLATFORM_NAME);
         if recovery.is_some() {
             platform.set_dead_letter_requeue(true);
         }
@@ -476,6 +512,304 @@ impl GridBuilder {
             partition_members: BTreeMap::new(),
             paced_polls,
             match_attempts,
+            shards: 1,
+            peer_networks: Vec::new(),
+            peer_stores: Vec::new(),
+            peer_root_stats: Vec::new(),
+            federation_stats: Vec::new(),
+            analyzer_shard: BTreeMap::new(),
+        }
+    }
+
+    /// The federated wiring behind [`shards`](Self::shards): N peer
+    /// grids — each its own root, classifier, analyzer subset, store
+    /// and network domain — on one platform, cooperating through the
+    /// [`federation`](crate::federation) protocol. Shard membership is
+    /// [`federation::shard_of_site`] over the sites in sorted name
+    /// order; analyzer containers are dealt round-robin, so the
+    /// federation runs on exactly the capacity the unsharded grid
+    /// would — any speedup comes from shards ticking concurrently,
+    /// never from extra hardware.
+    fn build_sharded_on<R: Runtime>(mut self) -> ManagementGrid<R> {
+        let shards = self.shards;
+        assert!(
+            self.analyzers.len() >= shards,
+            "need at least one analyzer container per shard"
+        );
+        let kb = Arc::new(KnowledgeBase::from_rules(
+            parse_rules(&self.rules).expect("analysis rules must parse"),
+        ));
+        let overload = self.overload.unwrap_or_default();
+        let recovery = self
+            .recovery
+            .or_else(|| self.chaos.as_ref().map(|_| RecoveryConfig::default()))
+            .or_else(|| overload.breaker.map(|_| RecoveryConfig::default()));
+
+        // Partition the managed network by site; shard 0 keeps the
+        // original `Network` value, peers split off their sites.
+        let site_names: Vec<String> = self.network.sites().map(|s| s.name().to_owned()).collect();
+        let mut shard_sites: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for (i, name) in site_names.iter().enumerate() {
+            shard_sites[federation::shard_of_site(i, shards)].push(name.clone());
+        }
+        let peer_nets: Vec<Network> = (1..shards)
+            .map(|s| {
+                let names: Vec<&str> = shard_sites[s].iter().map(String::as_str).collect();
+                self.network.split_sites(&names)
+            })
+            .collect();
+        let mut networks: Vec<Arc<Mutex<Network>>> = Vec::with_capacity(shards);
+        networks.push(Arc::new(Mutex::new(self.network)));
+        networks.extend(peer_nets.into_iter().map(|n| Arc::new(Mutex::new(n))));
+        let mut stores: Vec<Arc<Mutex<ManagementStore>>> = (0..shards)
+            .map(|_| {
+                Arc::new(Mutex::new(ManagementStore::with_backend(
+                    self.store_backend,
+                    Classifier::standard(),
+                )))
+            })
+            .collect();
+
+        let alerts: AlertSink = Arc::new(Mutex::new(Vec::new()));
+        let mut platform = R::create(PLATFORM_NAME);
+        if recovery.is_some() {
+            platform.set_dead_letter_requeue(true);
+        }
+        if let Some(seed) = self.net_seed {
+            platform.net_command(NetCommand::Seed(seed));
+        }
+        if let Some(config) = self.reliability {
+            platform.net_command(NetCommand::SetReliability(config));
+        }
+        let pressure = overload
+            .mailbox
+            .filter(|_| overload.collector_pacing)
+            .map(|_| Arc::new(PressureSignal::new()));
+        if let Some(mailbox) = overload.mailbox {
+            platform.set_overload(mailbox, pressure.clone());
+        }
+        let paced_polls = Arc::new(AtomicU64::new(0));
+        let match_attempts = Arc::new(AtomicU64::new(0));
+
+        // Analyzer containers dealt round-robin over the shards.
+        let shard_specs: Vec<Vec<AnalyzerSpec>> = (0..shards)
+            .map(|s| {
+                self.analyzers
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == s)
+                    .map(|(_, spec)| spec.clone())
+                    .collect()
+            })
+            .collect();
+
+        if let Some(telemetry) = &self.telemetry {
+            platform.set_telemetry(Arc::clone(telemetry));
+            telemetry.set_stage("ig", "interface");
+            for s in 0..shards {
+                telemetry.set_stage(&format!("pg-root-s{s}"), "root");
+                telemetry.set_stage(&format!("clg-s{s}"), "classifier");
+            }
+            for spec in &self.analyzers {
+                telemetry.set_stage(&spec.name, "analyzer");
+            }
+        }
+
+        // One shared interface grid: every shard's alerts and
+        // escalations land in a single operator-facing place.
+        platform.add_container("ig");
+        let interface_id = platform
+            .spawn_agent("ig", "interface", InterfaceAgent::new(Arc::clone(&alerts)))
+            .expect("fresh platform");
+
+        // Peer root ids are computable before any root spawns: agent
+        // ids are a pure function of local and platform name.
+        let root_ids: Vec<AgentId> = (0..shards)
+            .map(|s| AgentId::with_platform(format!("pg-root-s{s}"), PLATFORM_NAME))
+            .collect();
+
+        let quarantine: Arc<Mutex<BTreeMap<String, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let mut root_stats_all = Vec::with_capacity(shards);
+        let mut federation_stats = Vec::with_capacity(shards);
+        let mut analyzer_shard = BTreeMap::new();
+
+        for s in 0..shards {
+            // Root, classifier and analyzers of one shard form a
+            // dependent pipeline; as one named group they tick
+            // internally in order but concurrently with other shards
+            // on the pool runtime — the source of the sharded speedup.
+            let group = format!("shard-{s}");
+            let root_container = format!("pg-root-s{s}");
+            platform.add_container(&root_container);
+            platform.hint_parallel_group(&group, &root_container);
+            let mut root_agent = ProcessorRootAgent::new(self.policy.boxed_clone());
+            if let Some(telemetry) = &self.telemetry {
+                root_agent.attach_telemetry(telemetry);
+            }
+            if let Some(cfg) = recovery {
+                root_agent.set_recovery(cfg, Some(interface_id.clone()));
+            }
+            if recovery.is_some() {
+                root_agent.set_quarantine(Arc::clone(&quarantine));
+            }
+            if overload.admission.is_some() || overload.breaker.is_some() {
+                root_agent.set_overload(overload.admission, overload.breaker);
+            }
+            let fed_stats = Arc::new(Mutex::new(FederationStats::default()));
+            root_agent.set_federation(FederationLink {
+                shard: s,
+                peers: root_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| *p != s)
+                    .map(|(p, id)| (p, id.clone()))
+                    .collect(),
+                service: federation::shard_service(s),
+                store: Arc::clone(&stores[s]),
+                stats: Arc::clone(&fed_stats),
+            });
+            root_stats_all.push(root_agent.stats_handle());
+            federation_stats.push(fed_stats);
+            let root_id = platform
+                .spawn_agent(&root_container, &format!("pg-root-s{s}"), root_agent)
+                .expect("container just added");
+            debug_assert_eq!(root_id, root_ids[s], "precomputed peer ids must match");
+
+            for spec in &shard_specs[s] {
+                platform.add_container(&spec.name);
+                platform.hint_parallel_group(&group, &spec.name);
+                let analyzer = AnalyzerAgent::shared(
+                    Arc::clone(&stores[s]),
+                    Arc::clone(&kb),
+                    interface_id.clone(),
+                )
+                .with_match_counter(Arc::clone(&match_attempts));
+                let analyzer_id = platform
+                    .spawn_agent(&spec.name, &format!("analyzer-{}", spec.name), analyzer)
+                    .expect("container just added");
+                let mut profile = ResourceProfile::new(
+                    &spec.name,
+                    spec.cpu_capacity,
+                    1.0,
+                    4096,
+                    spec.skills.iter().cloned(),
+                );
+                profile.load = 0.0;
+                platform.with_df(|df| {
+                    df.register_container(profile);
+                    // Both entries: the shard service scopes this
+                    // root's brokering to its own tier, while the
+                    // global one keeps interface-grid rule broadcasts
+                    // reaching every analyzer in the federation.
+                    df.register_service(analyzer_id.clone(), "analysis", [spec.name.clone()]);
+                    df.register_service(
+                        analyzer_id,
+                        federation::shard_service(s),
+                        [spec.name.clone()],
+                    );
+                });
+                analyzer_shard.insert(spec.name.clone(), s);
+            }
+
+            let clg_container = format!("clg-s{s}");
+            platform.add_container(&clg_container);
+            platform.hint_parallel_group(&group, &clg_container);
+            let classifier_id = platform
+                .spawn_agent(
+                    &clg_container,
+                    &format!("classifier-s{s}"),
+                    ClassifierAgent::new(Arc::clone(&stores[s]), root_ids[s].clone()),
+                )
+                .expect("container just added");
+
+            // This shard's collector grid — exactly the unsharded
+            // wiring, over the shard's own network domain.
+            let sites: Vec<(String, Vec<String>)> = {
+                let net = networks[s].lock();
+                net.sites()
+                    .map(|site| (site.name().to_owned(), site.device_names().to_vec()))
+                    .collect()
+            };
+            for (site, devices) in &sites {
+                let container = format!("cg-{site}");
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.set_stage(&container, "collector");
+                }
+                platform.add_container(&container);
+                platform.hint_parallel(&container);
+                for c in 0..self.collectors_per_site {
+                    let assigned: Vec<String> = devices
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % self.collectors_per_site == c)
+                        .map(|(_, d)| d.clone())
+                        .collect();
+                    if assigned.is_empty() {
+                        continue;
+                    }
+                    let interface = if c % 2 == 0 {
+                        CollectorInterface::Snmp
+                    } else {
+                        CollectorInterface::Cli
+                    };
+                    let mut collector = CollectorAgent::new(
+                        Arc::clone(&networks[s]),
+                        assigned,
+                        interface,
+                        self.poll_period_ms,
+                        classifier_id.clone(),
+                        site.clone(),
+                    );
+                    if let Some(cfg) = recovery {
+                        collector.set_backoff(cfg.backoff);
+                        if let Some(telemetry) = &self.telemetry {
+                            collector.set_retry_metric(
+                                telemetry.registry().counter(
+                                    "agentgrid_retries_total",
+                                    &[("component", "collector")],
+                                ),
+                            );
+                        }
+                    }
+                    if let Some(signal) = &pressure {
+                        collector.set_pacing(Arc::clone(signal), Arc::clone(&paced_polls));
+                    }
+                    platform
+                        .spawn_agent(&container, &format!("cg-{site}-{c}"), collector)
+                        .expect("container just added");
+                }
+            }
+        }
+
+        let network = networks.remove(0);
+        let store = stores.remove(0);
+        let root_stats = root_stats_all.remove(0);
+        ManagementGrid {
+            platform,
+            network,
+            store,
+            alerts,
+            injector: self.faults,
+            root_stats,
+            interface_id,
+            ticks: 0,
+            live_profiles: self.live_profiles,
+            last_busy_ns: BTreeMap::new(),
+            kb,
+            specs: self.analyzers,
+            chaos: self.chaos.unwrap_or_default(),
+            chaos_cursor: 0,
+            downed: BTreeSet::new(),
+            quarantine,
+            partition_members: BTreeMap::new(),
+            paced_polls,
+            match_attempts,
+            shards,
+            peer_networks: networks,
+            peer_stores: stores,
+            peer_root_stats: root_stats_all,
+            federation_stats,
+            analyzer_shard,
         }
     }
 }
@@ -532,6 +866,17 @@ pub struct GridReport {
     /// duplicates, retransmits, dedup suppressions); `None` unless a
     /// net adversary or reliability protocol was configured.
     pub net: Option<NetStats>,
+    /// Number of federated domain shards the grid ran as (1 = the
+    /// classic single-domain grid).
+    pub shards: usize,
+    /// Tasks the roots created from `data-ready` notifications. A
+    /// spilled task counts at its origin shard only, so this counts
+    /// every task in the federation exactly once.
+    pub tasks_created: u64,
+    /// Tasks created per shard, in shard order (empty unsharded).
+    pub shard_created: Vec<u64>,
+    /// Federation counters summed over the shards (all zero unsharded).
+    pub federation: FederationStats,
 }
 
 impl GridReport {
@@ -552,6 +897,15 @@ impl GridReport {
             }
         }
         lost
+    }
+
+    /// Created minus completed minus still-outstanding, federation-wide
+    /// (a task spilled mid-flight sits in two shards' outstanding sets,
+    /// hence the dedup). Positive means tasks vanished, negative means
+    /// something was double-counted; any conserving run reports zero.
+    pub fn unaccounted_tasks(&self) -> i64 {
+        let outstanding: BTreeSet<&str> = self.outstanding.iter().map(String::as_str).collect();
+        self.tasks_created as i64 - self.tasks_completed as i64 - outstanding.len() as i64
     }
 
     /// Tasks per container, for balance inspection.
@@ -593,6 +947,29 @@ impl GridReport {
             out.push_str(&format!(
                 "  overload: {} shed, {} rejected, {} paced polls\n",
                 self.shed, self.rejected, self.paced_polls,
+            ));
+        }
+        if self.shards > 1 || self.federation.spilled_out > 0 {
+            let per_shard = self
+                .shard_created
+                .iter()
+                .enumerate()
+                .map(|(s, n)| format!("s{s} {n}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "  shards: {} domains, created per shard: {per_shard}\n",
+                self.shards,
+            ));
+            out.push_str(&format!(
+                "  federation: {} spilled out, {} absorbed, {} confirmed, \
+                 {} summaries sent, {} received, {} findings injected\n",
+                self.federation.spilled_out,
+                self.federation.spilled_in,
+                self.federation.spill_completed,
+                self.federation.summaries_sent,
+                self.federation.summaries_received,
+                self.federation.injected_findings,
             ));
         }
         if let Some(net) = self.net.filter(|n| n.any()) {
@@ -685,6 +1062,20 @@ pub struct ManagementGrid<R: Runtime = Platform> {
     /// Rule-engine match attempts, totalled across every analyzer
     /// (including restarted ones) — the Table 1 inference-cost proxy.
     match_attempts: Arc<AtomicU64>,
+    /// Number of federated shards (1 = classic single-domain grid).
+    shards: usize,
+    /// Peer shards' network domains (shards 1..; shard 0 is `network`).
+    peer_networks: Vec<Arc<Mutex<Network>>>,
+    /// Peer shards' stores (shards 1..; shard 0 is `store`).
+    peer_stores: Vec<Arc<Mutex<ManagementStore>>>,
+    /// Peer shards' root stats (shards 1..; shard 0 is `root_stats`).
+    peer_root_stats: Vec<Arc<Mutex<RootStats>>>,
+    /// Per-shard federation counters, all shards (empty unsharded).
+    federation_stats: Vec<Arc<Mutex<FederationStats>>>,
+    /// Which shard each analyzer container belongs to (sharded mode),
+    /// so a chaos restart rebuilds it against the right store and
+    /// re-registers its shard-scoped directory service.
+    analyzer_shard: BTreeMap<String, usize>,
 }
 
 impl<R: Runtime> fmt::Debug for ManagementGrid<R> {
@@ -719,6 +1110,7 @@ impl ManagementGrid {
             store_backend: StoreBackend::default(),
             net_seed: None,
             reliability: None,
+            shards: 1,
         }
     }
 }
@@ -744,6 +1136,13 @@ impl<R: Runtime> ManagementGrid<R> {
                 let mut network = self.network.lock();
                 // Apply scheduled faults before sampling, so a fault that
                 // clears at time T no longer taints the sample taken at T.
+                self.injector.apply(&mut network, now);
+                network.tick_all(now);
+            }
+            // Peer shards' domains advance under the same schedule;
+            // faults naming devices in another domain are skipped.
+            for net in &self.peer_networks {
+                let mut network = net.lock();
                 self.injector.apply(&mut network, now);
                 network.tick_all(now);
             }
@@ -813,9 +1212,17 @@ impl<R: Runtime> ManagementGrid<R> {
                     let Some(spec) = self.specs.iter().find(|s| s.name == name).cloned() else {
                         continue;
                     };
+                    // In sharded mode the analyzer rejoins its own
+                    // shard: that shard's store, plus the shard-scoped
+                    // directory service its root brokers over.
+                    let shard = self.analyzer_shard.get(&name).copied();
+                    let store = match shard {
+                        Some(s) if s > 0 => Arc::clone(&self.peer_stores[s - 1]),
+                        _ => Arc::clone(&self.store),
+                    };
                     self.platform.add_container(&name);
                     let analyzer = AnalyzerAgent::shared(
-                        Arc::clone(&self.store),
+                        store,
                         Arc::clone(&self.kb),
                         self.interface_id.clone(),
                     )
@@ -834,7 +1241,14 @@ impl<R: Runtime> ManagementGrid<R> {
                     profile.load = 0.0;
                     self.platform.with_df(|df| {
                         df.register_container(profile);
-                        df.register_service(analyzer_id, "analysis", [name.clone()]);
+                        df.register_service(analyzer_id.clone(), "analysis", [name.clone()]);
+                        if let Some(s) = shard {
+                            df.register_service(
+                                analyzer_id,
+                                federation::shard_service(s),
+                                [name.clone()],
+                            );
+                        }
                         df.record_heartbeat(&name, now);
                     });
                     if let Some(t) = self.platform.telemetry() {
@@ -922,34 +1336,88 @@ impl<R: Runtime> ManagementGrid<R> {
     }
 
     fn report(&self, duration_ms: u64) -> GridReport {
+        // Aggregate the shard roots in shard order; shard 0's stats are
+        // the whole story for an unsharded grid.
         let stats = self.root_stats.lock();
+        let mut assignments = stats.assignments.clone();
+        let mut unassigned = stats.unassigned;
+        let mut reassigned = stats.reassigned;
+        let mut completed = stats.completed;
+        let mut completed_ids = stats.completed_ids.clone();
+        let mut rebrokered = stats.rebrokered.clone();
+        let mut retries = stats.retries;
+        let mut escalations = stats.escalations;
+        let mut rejected = stats.rejected;
+        let mut outstanding = stats.outstanding.clone();
+        let mut tasks_created = stats.created;
+        let mut shard_created = if self.shards > 1 {
+            vec![stats.created]
+        } else {
+            Vec::new()
+        };
+        drop(stats);
+        for peer in &self.peer_root_stats {
+            let peer = peer.lock();
+            shard_created.push(peer.created);
+            tasks_created += peer.created;
+            assignments.extend(peer.assignments.iter().cloned());
+            unassigned += peer.unassigned;
+            reassigned += peer.reassigned;
+            completed += peer.completed;
+            completed_ids.extend(peer.completed_ids.iter().cloned());
+            rebrokered.extend(peer.rebrokered.iter().cloned());
+            retries += peer.retries;
+            escalations += peer.escalations;
+            rejected += peer.rejected;
+            outstanding.extend(peer.outstanding.iter().cloned());
+        }
+        let mut federation = FederationStats::default();
+        for shard in &self.federation_stats {
+            let shard = shard.lock();
+            federation.spilled_out += shard.spilled_out;
+            federation.spilled_in += shard.spilled_in;
+            federation.spill_completed += shard.spill_completed;
+            federation.summaries_sent += shard.summaries_sent;
+            federation.summaries_received += shard.summaries_received;
+            federation.injected_findings += shard.injected_findings;
+        }
+        let records_stored = self.store.lock().len()
+            + self
+                .peer_stores
+                .iter()
+                .map(|s| s.lock().len())
+                .sum::<usize>();
         GridReport {
             duration_ms,
             alerts: self.alerts.lock().clone(),
-            records_stored: self.store.lock().len(),
+            records_stored,
             messages_delivered: self.platform.delivered_count(),
             dead_letters: self.platform.dead_letter_count(),
-            assignments: stats.assignments.clone(),
-            unassigned: stats.unassigned,
-            reassigned: stats.reassigned,
-            tasks_completed: stats.completed,
-            completed_ids: stats.completed_ids.clone(),
-            rebrokered: stats.rebrokered.clone(),
-            retries: stats.retries,
-            escalations: stats.escalations,
-            outstanding: stats.outstanding.clone(),
+            assignments,
+            unassigned,
+            reassigned,
+            tasks_completed: completed,
+            completed_ids,
+            rebrokered,
+            retries,
+            escalations,
+            outstanding,
             shed: self
                 .platform
                 .overload_stats()
                 .map(|s| s.shed_total())
                 .unwrap_or(0),
-            rejected: stats.rejected,
+            rejected,
             paced_polls: self.paced_polls.load(Ordering::Relaxed),
             task_latency: self
                 .platform
                 .telemetry()
                 .and_then(|t| t.task_latency_summary()),
             net: self.platform.net_stats(),
+            shards: self.shards,
+            tasks_created,
+            shard_created,
+            federation,
         }
     }
 
@@ -1151,6 +1619,79 @@ mod tests {
                 .any(|a| a.rule == "always-report-procs"),
             "learned rule must fire"
         );
+    }
+
+    fn multi_site_network(sites: usize) -> Network {
+        let mut net = Network::new();
+        for s in 0..sites {
+            for i in 0..2 {
+                net.add_device(
+                    Device::builder(format!("site-{s}-dev{i}"), DeviceKind::Server)
+                        .site(format!("site-{s}"))
+                        .seed((s * 10 + i) as u64)
+                        .build(),
+                );
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn sharded_grid_partitions_and_conserves_tasks() {
+        let mut grid = ManagementGrid::builder()
+            .network(multi_site_network(4))
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .shards(2)
+            .build();
+        let report = grid.run(10 * 60_000, 60_000);
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.shard_created.len(), 2);
+        assert!(
+            report.shard_created.iter().all(|&n| n > 0),
+            "both domains created work: {:?}",
+            report.shard_created
+        );
+        assert_eq!(report.tasks_created, report.shard_created.iter().sum());
+        assert_eq!(report.unaccounted_tasks(), 0, "{report}");
+        assert_eq!(report.lost_tasks(), Vec::<&str>::new());
+        assert!(
+            report.federation.summaries_sent > 0,
+            "roots exchanged cross-domain summaries"
+        );
+        let text = report.render();
+        assert!(text.contains("shards: 2 domains"), "{text}");
+        assert!(text.contains("federation:"), "{text}");
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic() {
+        let run = || {
+            let mut grid = ManagementGrid::builder()
+                .network(multi_site_network(3))
+                .analyzer("pg-1", 1.0, ALL_SKILLS)
+                .analyzer("pg-2", 1.0, ALL_SKILLS)
+                .analyzer("pg-3", 1.0, ALL_SKILLS)
+                .shards(3)
+                .build();
+            grid.run(8 * 60_000, 60_000).render()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unsharded_report_hides_federation_sections() {
+        let mut grid = ManagementGrid::builder()
+            .network(small_network())
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .build();
+        let report = grid.run(3 * 60_000, 60_000);
+        assert_eq!(report.shards, 1);
+        assert!(report.shard_created.is_empty());
+        assert_eq!(report.federation, FederationStats::default());
+        let text = report.render();
+        assert!(!text.contains("shards:"), "{text}");
+        assert!(!text.contains("federation:"), "{text}");
     }
 
     #[test]

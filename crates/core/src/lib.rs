@@ -28,7 +28,10 @@
 //!   testing ([`grid::GridBuilder::chaos`]);
 //! * [`overload`] — bounded mailboxes, priority shedding, admission
 //!   control, circuit breakers and collector pacing (opt-in via
-//!   [`grid::GridBuilder::overload`]).
+//!   [`grid::GridBuilder::overload`]);
+//! * [`federation`] — the inter-grid protocol behind domain-partitioned
+//!   peer shards: spill-over brokering and cross-domain finding
+//!   summaries (opt-in via [`grid::GridBuilder::shards`]).
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod balance;
 pub mod broker;
 pub mod chaos;
 pub mod costmodel;
+pub mod federation;
 pub mod grid;
 pub mod mobility;
 pub mod overload;

@@ -161,6 +161,40 @@ impl Network {
         }
     }
 
+    /// Splits the named sites out into their own [`Network`], moving
+    /// their devices and every link whose endpoints both stay inside
+    /// the partition (a link endpoint may name a device or a site).
+    /// Links crossing the cut remain behind — a partition only ever
+    /// sees topology it manages. Site names not present are ignored,
+    /// so a deterministic partitioner can hand over its share blindly.
+    pub fn split_sites(&mut self, site_names: &[&str]) -> Network {
+        let mut part = Network::new();
+        for name in site_names {
+            let Some(site) = self.sites.remove(*name) else {
+                continue;
+            };
+            for device in &site.devices {
+                let device = self.devices.remove(device).expect("site lists its devices");
+                // Re-register through `add_device` so the partition
+                // rebuilds its own site table.
+                part.add_device(device);
+            }
+        }
+        let inside = |endpoint: &str| {
+            part.sites.contains_key(endpoint) || part.devices.contains_key(endpoint)
+        };
+        let mut kept = Vec::with_capacity(self.links.len());
+        for link in self.links.drain(..) {
+            if inside(&link.a) && inside(&link.b) {
+                part.links.push(link);
+            } else {
+                kept.push(link);
+            }
+        }
+        self.links = kept;
+        part
+    }
+
     /// Latency between two endpoints, if a direct link exists.
     pub fn latency_between(&self, a: &str, b: &str) -> Option<u64> {
         self.links
@@ -216,6 +250,20 @@ mod tests {
         assert_eq!(net.latency_between("hq", "branch"), Some(35));
         assert_eq!(net.latency_between("branch", "hq"), Some(35));
         assert_eq!(net.latency_between("hq", "nowhere"), None);
+    }
+
+    #[test]
+    fn split_sites_moves_devices_and_interior_links() {
+        let mut net = network();
+        net.add_link(Link::new("r1", "s1", 1, 1_000));
+        let part = net.split_sites(&["hq", "nowhere"]);
+        assert_eq!(part.device_count(), 2);
+        assert_eq!(part.site("hq").unwrap().device_names(), ["r1", "s1"]);
+        assert_eq!(part.latency_between("r1", "s1"), Some(1));
+        // The cross-cut hq<->branch link stays behind; branch does too.
+        assert_eq!(net.device_count(), 1);
+        assert_eq!(net.links().len(), 1);
+        assert!(part.latency_between("hq", "branch").is_none());
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub(crate) type ContainerBatch = Vec<(SharedMessage, Vec<AgentId>)>;
 ///   caller) in exactly the order a per-message router would have
 ///   failed them.
 ///
+/// Resolution is memoized for the duration of the call: fan-out batches
+/// name the same handful of receivers hundreds of times per round, and
+/// agents do not move containers mid-batch, so each receiver is probed
+/// against the routing table exactly once. Unresolved receivers are
+/// cached too — but `fail` still fires for every leg naming them, in
+/// posted order, so dead-letter accounting is unchanged.
+///
 /// The returned map iterates in container-name order, so batch-first
 /// routing stays deterministic on the deterministic runtimes.
 pub(crate) fn group_into_batches(
@@ -46,6 +53,7 @@ pub(crate) fn group_into_batches(
     mut fail: impl FnMut(&SharedMessage, &AgentId),
 ) -> BTreeMap<String, ContainerBatch> {
     let mut per_container: BTreeMap<String, ContainerBatch> = BTreeMap::new();
+    let mut resolved: BTreeMap<AgentId, Option<String>> = BTreeMap::new();
     for message in batch {
         if faults.drops_from(message.sender()) {
             continue;
@@ -55,8 +63,14 @@ pub(crate) fn group_into_batches(
             if faults.drops_to(receiver) {
                 continue;
             }
-            match resolve(receiver) {
-                Some(container) => groups.entry(container).or_default().push(receiver.clone()),
+            let home = resolved
+                .entry(receiver.clone())
+                .or_insert_with(|| resolve(receiver));
+            match home {
+                Some(container) => groups
+                    .entry(container.clone())
+                    .or_default()
+                    .push(receiver.clone()),
                 None => fail(message, receiver),
             }
         }
@@ -134,6 +148,31 @@ mod tests {
         assert_eq!(grouped["c1"].len(), 1);
         assert_eq!(failed.len(), 1);
         assert_eq!(failed[0].1, AgentId::new("ghost@x"));
+    }
+
+    #[test]
+    fn resolution_is_memoized_but_fail_fires_per_leg() {
+        let batch = vec![
+            msg("s", &["a@x", "ghost@x"]),
+            msg("s", &["a@x", "ghost@x"]),
+            msg("s", &["a@x"]),
+        ];
+        let mut probes = Vec::new();
+        let mut failed = Vec::new();
+        let grouped = group_into_batches(
+            &batch,
+            &FaultSet::default(),
+            |r| {
+                probes.push(r.clone());
+                (r.name() == "a@x").then(|| "c1".to_owned())
+            },
+            |_, r| failed.push(r.clone()),
+        );
+        // One probe per distinct receiver, resolvable or not...
+        assert_eq!(probes, vec![AgentId::new("a@x"), AgentId::new("ghost@x")]);
+        // ...but every unresolved leg still dead-letters, in order.
+        assert_eq!(failed, vec![AgentId::new("ghost@x"); 2]);
+        assert_eq!(grouped["c1"].len(), 3);
     }
 
     #[test]

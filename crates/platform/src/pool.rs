@@ -11,6 +11,12 @@
 //!   threads per phase, no async runtime). Idle workers steal **whole
 //!   container batches** from their siblings, so a site whose collectors
 //!   finish early helps drain a slow one;
+//! * containers hinted via [`Runtime::hint_parallel_group`] become one
+//!   job **per group**: the group's members tick in container-name order
+//!   inside the job — the same relative order the stepper gives them —
+//!   so containers that depend on each other (a federated shard's root,
+//!   classifier and analyzers trading load and liveness state through
+//!   the directory) still parallelize as a unit against other groups;
 //! * every other container — the cluster entangled through the shared
 //!   directory and any cross-agent stores — ticks sequentially in name
 //!   order on the driving thread, concurrently with the workers.
@@ -67,12 +73,20 @@ use crate::overload::{MailboxConfig, OverloadStats, PressureSignal};
 use crate::runtime::Runtime;
 use crate::{DirectoryFacilitator, Platform, PlatformError, TransportFault};
 
-/// One unit of pool work: a hinted container taken out of the platform
-/// for the duration of a tick phase, with its private outbox.
-struct Job {
+/// One container's share of a pool job: taken out of the platform for
+/// the duration of a tick phase, with its private outbox so the merge
+/// stays in global container-name order.
+struct Unit {
     name: String,
     container: Container,
     outbox: Vec<SharedMessage>,
+}
+
+/// One unit of pool work: a single hinted container, or a whole hinted
+/// group whose members tick in container-name order on one worker.
+struct Job {
+    label: String,
+    units: Vec<Unit>,
 }
 
 /// The work-stealing runtime. See the [module docs](self).
@@ -82,6 +96,9 @@ pub struct PoolRuntime {
     /// [`Runtime::hint_parallel`]. Names may be hinted before their
     /// containers exist; unknown names are simply never scheduled.
     parallel: BTreeSet<String>,
+    /// Named groups of mutually-dependent containers declared via
+    /// [`Runtime::hint_parallel_group`]; each group runs as one job.
+    groups: BTreeMap<String, BTreeSet<String>>,
     workers: usize,
 }
 
@@ -111,6 +128,7 @@ impl PoolRuntime {
         PoolRuntime {
             inner: Platform::new(name),
             parallel: BTreeSet::new(),
+            groups: BTreeMap::new(),
             workers: workers.max(1),
         }
     }
@@ -155,14 +173,38 @@ impl PoolRuntime {
             profiler.record_phase("route", start);
         }
 
-        // Pull the hinted containers out of the platform for this phase.
+        // Pull the hinted containers out of the platform for this phase:
+        // singles first, then whole groups (sorted member order — the
+        // same relative order the stepper's global name order gives the
+        // group's containers).
         let mut jobs: Vec<Job> = Vec::new();
         for name in &self.parallel {
             if let Some(container) = self.inner.containers.remove(name) {
                 jobs.push(Job {
-                    name: name.clone(),
-                    container,
-                    outbox: Vec::new(),
+                    label: name.clone(),
+                    units: vec![Unit {
+                        name: name.clone(),
+                        container,
+                        outbox: Vec::new(),
+                    }],
+                });
+            }
+        }
+        for (group, members) in &self.groups {
+            let units: Vec<Unit> = members
+                .iter()
+                .filter_map(|name| {
+                    self.inner.containers.remove(name).map(|container| Unit {
+                        name: name.clone(),
+                        container,
+                        outbox: Vec::new(),
+                    })
+                })
+                .collect();
+            if !units.is_empty() {
+                jobs.push(Job {
+                    label: group.clone(),
+                    units,
                 });
             }
         }
@@ -189,16 +231,18 @@ impl PoolRuntime {
                 scope.spawn(move || {
                     while let Some((mut job, stolen)) = next_job(&local, stealers, me) {
                         let job_start = profiler.map(|p| p.now_us());
-                        let mut df_ref = DfRef::Shared(df);
-                        job.container.tick_agents(
-                            &job.name,
-                            now_ms,
-                            &mut job.outbox,
-                            &mut df_ref,
-                            telemetry,
-                        );
+                        for unit in &mut job.units {
+                            let mut df_ref = DfRef::Shared(df);
+                            unit.container.tick_agents(
+                                &unit.name,
+                                now_ms,
+                                &mut unit.outbox,
+                                &mut df_ref,
+                                telemetry,
+                            );
+                        }
                         if let (Some(profiler), Some(start)) = (profiler, job_start) {
-                            profiler.record_job(me, &job.name, start, stolen);
+                            profiler.record_job(me, &job.label, start, stolen);
                         }
                         finished.lock().push(job);
                     }
@@ -220,13 +264,15 @@ impl PoolRuntime {
         let merge_start = profiler.map(|p| p.now_us());
         self.inner.df = df.into_inner();
         for job in finished.into_inner() {
-            let Job {
-                name,
-                container,
-                outbox,
-            } = job;
-            outboxes.insert(name.clone(), outbox);
-            self.inner.containers.insert(name, container);
+            for unit in job.units {
+                let Unit {
+                    name,
+                    container,
+                    outbox,
+                } = unit;
+                outboxes.insert(name.clone(), outbox);
+                self.inner.containers.insert(name, container);
+            }
         }
         for outbox in outboxes.into_values() {
             self.inner.in_flight.extend(outbox);
@@ -355,6 +401,13 @@ impl Runtime for PoolRuntime {
         self.parallel.insert(container.to_owned());
     }
 
+    fn hint_parallel_group(&mut self, group: &str, container: &str) {
+        self.groups
+            .entry(group.to_owned())
+            .or_default()
+            .insert(container.to_owned());
+    }
+
     fn net_command(&mut self, command: NetCommand) {
         self.inner.net_command(command);
     }
@@ -461,6 +514,56 @@ mod tests {
         assert_eq!(sequential, pooled);
         assert_eq!(seq_hits, pool_hits);
         assert_eq!(seq_hits, 48, "16 senders x 3 ticks each");
+    }
+
+    #[test]
+    fn grouped_containers_match_the_platform() {
+        // Four two-container groups; traffic stays inside each group,
+        // mimicking federated shards. The pool must agree with the
+        // stepper on every observable count.
+        fn run<R: Runtime>(hits: &Arc<AtomicUsize>) -> (u64, usize) {
+            let mut rt = R::create("grid");
+            for g in 0..4 {
+                let sink_ct = format!("shard{g}-sink-ct");
+                let send_ct = format!("shard{g}-send-ct");
+                rt.add_container(&sink_ct);
+                rt.add_container(&send_ct);
+                let group = format!("shard-{g}");
+                rt.hint_parallel_group(&group, &sink_ct);
+                rt.hint_parallel_group(&group, &send_ct);
+                let sink = rt
+                    .spawn_agent(
+                        &sink_ct,
+                        &format!("sink-{g}"),
+                        Ponger {
+                            hits: Arc::clone(hits),
+                        },
+                    )
+                    .unwrap();
+                rt.spawn_agent(
+                    &send_ct,
+                    &format!("send-{g}"),
+                    TickSender {
+                        target: sink,
+                        sent: 0,
+                        limit: 2,
+                    },
+                )
+                .unwrap();
+            }
+            for t in 0..3 {
+                rt.run_until_idle(t * 1_000);
+            }
+            (rt.delivered_count(), rt.dead_letter_count())
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        let sequential = run::<Platform>(&hits);
+        let seq_hits = hits.swap(0, Ordering::SeqCst);
+        let pooled = run::<PoolRuntime>(&hits);
+        let pool_hits = hits.load(Ordering::SeqCst);
+        assert_eq!(sequential, pooled);
+        assert_eq!(seq_hits, pool_hits);
+        assert_eq!(seq_hits, 8, "4 shards x 2 sends each");
     }
 
     #[test]

@@ -183,6 +183,20 @@ pub trait Runtime {
         let _ = container;
     }
 
+    /// Declares a container part of a named **parallel group**: the
+    /// group's containers depend on each other (a federated shard's
+    /// root, classifier and analyzers share load/liveness state through
+    /// the directory) but on nothing outside the group, so a runtime
+    /// with a parallel tick phase may execute the whole group — ticked
+    /// internally in container-name order — on one worker thread,
+    /// concurrently with other groups and with
+    /// [`hint_parallel`](Runtime::hint_parallel)ed containers. Purely a
+    /// hint: runtimes without such a phase ignore it, and it is safe to
+    /// call before the container exists.
+    fn hint_parallel_group(&mut self, group: &str, container: &str) {
+        let _ = (group, container);
+    }
+
     /// Applies one command against the network layer (composable fault
     /// windows, per-link faults, partitions, reliability — see
     /// [`net`](crate::net)). Default: ignored, for runtimes without a

@@ -84,6 +84,24 @@ pub enum EventKind {
         /// Device or container the alert names.
         device: String,
     },
+    /// A federated shard's root forwarded a rejected task to a peer
+    /// shard (spill-over).
+    TaskSpilled {
+        /// Task id (globally unique across shards).
+        task: String,
+        /// Shard index the task originated on.
+        from_shard: usize,
+        /// Shard index that accepted the spill.
+        to_shard: usize,
+    },
+    /// A spilled task completed on its host shard and the origin root
+    /// was notified (exactly-once via its `done_seen` ledger).
+    SpillCompleted {
+        /// Task id.
+        task: String,
+        /// Shard index the task originated on.
+        origin_shard: usize,
+    },
     /// The conversation tracer hit its span-capacity cap for the first
     /// time (subsequent drops only move the counter).
     TraceDropped,
@@ -136,6 +154,8 @@ impl EventKind {
             EventKind::TaskBrokered { .. } => "task-brokered",
             EventKind::TaskRebrokered { .. } => "task-rebrokered",
             EventKind::TaskEscalated { .. } => "task-escalated",
+            EventKind::TaskSpilled { .. } => "task-spilled",
+            EventKind::SpillCompleted { .. } => "spill-completed",
             EventKind::TraceDropped => "trace-dropped",
             EventKind::Delayed { .. } => "net-delayed",
             EventKind::Duplicated { .. } => "net-duplicated",
@@ -156,6 +176,14 @@ impl EventKind {
             EventKind::TaskBrokered { task, container }
             | EventKind::TaskRebrokered { task, container } => format!("{task} @ {container}"),
             EventKind::TaskEscalated { rule, device } => format!("{rule} {device}"),
+            EventKind::TaskSpilled {
+                task,
+                from_shard,
+                to_shard,
+            } => format!("{task} s{from_shard} -> s{to_shard}"),
+            EventKind::SpillCompleted { task, origin_shard } => {
+                format!("{task} -> s{origin_shard}")
+            }
             EventKind::TraceDropped => "span capacity reached".to_owned(),
             EventKind::Delayed { link, ms } => format!("{link} +{ms}ms"),
             EventKind::Duplicated { link } => link.clone(),

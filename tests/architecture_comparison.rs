@@ -904,3 +904,70 @@ fn workload_pacing_reduces_contention_not_work() {
     );
     assert!(paced.peak_utilization() < burst.peak_utilization());
 }
+
+/// The federated (sharded) grid — every shard its own root, broker
+/// scope and analyzer tier, connected by the federation protocol —
+/// must produce byte-identical reports on the deterministic stepper
+/// and the work-stealing pool: the shards tick concurrently on the
+/// pool (one group per shard), but gossip, spill and summary traffic
+/// merge deterministically. The wall-clock threaded runtime keeps the
+/// task-level invariants (same tasks, same awards, same records) but
+/// its alert values can shift: a peer summary lands whenever the
+/// thread is scheduled, racing live collection, so the snapshot a
+/// rule sees is timing-dependent there by design.
+#[test]
+fn sharded_grid_is_byte_identical_across_runtimes() {
+    const ALL_SKILLS: [&str; 8] = [
+        "cpu",
+        "memory",
+        "disk",
+        "interface",
+        "process",
+        "system",
+        "other",
+        "correlation",
+    ];
+    let network = || {
+        let mut net = Network::new();
+        for s in 0..6 {
+            for d in 0..3 {
+                net.add_device(
+                    Device::builder(format!("site-{s}-dev{d}"), DeviceKind::Server)
+                        .site(format!("site-{s}"))
+                        .seed((s * 10 + d) as u64)
+                        .build(),
+                );
+            }
+        }
+        net
+    };
+    let builder = || {
+        ManagementGrid::builder()
+            .network(network())
+            .collectors_per_site(1)
+            .shards(3)
+            .analyzer("pg-1", 1.0, ALL_SKILLS)
+            .analyzer("pg-2", 1.0, ALL_SKILLS)
+            .analyzer("pg-3", 1.0, ALL_SKILLS)
+            .fault(ScheduledFault::from(
+                "site-0-dev1",
+                FaultKind::CpuRunaway,
+                120_000,
+            ))
+    };
+    let horizon = 10 * 60_000;
+    let det = builder().build().run(horizon, 60_000);
+    let pool = builder().build_pool().run(horizon, 60_000);
+    let threaded = builder().build_threaded().run(horizon, 60_000);
+    assert_eq!(det.shards, 3);
+    assert!(
+        det.federation.summaries_sent > 0,
+        "the federation must actually be exercised"
+    );
+    assert_eq!(det.render(), pool.render(), "pool report must match");
+    assert_eq!(det.completed_ids, pool.completed_ids);
+    assert_eq!(det.assignments, pool.assignments);
+    assert_eq!(det.completed_ids, threaded.completed_ids);
+    assert_eq!(det.assignments, threaded.assignments);
+    assert_eq!(det.records_stored, threaded.records_stored);
+}
